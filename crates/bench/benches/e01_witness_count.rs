@@ -1,0 +1,34 @@
+//! E1 — counting the `2^{n-1}` witnesses of the Section 3 family.
+//!
+//! Shape reproduced: enumeration cost grows with the witness count
+//! (exponential in `n`), while the *decision* (first witness) stays flat.
+
+use bagcons_gen::families::section3_pair;
+use bagcons_lp::ilp::{count_solutions, solve, SolverConfig};
+use bagcons_lp::ConsistencyProgram;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e01_witness_count");
+    g.sample_size(10);
+    for n in [4u64, 6, 8, 10] {
+        let (r, s) = section3_pair(n).unwrap();
+        let prog = ConsistencyProgram::build(&[&r, &s]).unwrap();
+        g.bench_with_input(BenchmarkId::new("count_all", n), &n, |b, &n| {
+            b.iter(|| {
+                let (count, complete) =
+                    count_solutions(&prog, &SolverConfig::default(), 1 << 22);
+                assert!(complete);
+                assert_eq!(count, 1 << (n - 1));
+                count
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("decide_first", n), &n, |b, _| {
+            b.iter(|| solve(&prog, &SolverConfig::default()).is_sat())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 — Lemmas 6 & 7: cost of the chain reductions.
+//!
+//! Shape reproduced: each reduction step is polynomial (Lemma 6 linear in
+//! the instance; Lemma 7 proportional to the active-domain product, as
+//! its output schema demands).
+
+use bagcons::reductions::{lift_clique_complement_instance, lift_cycle_instance};
+use bagcons::tseitin::tseitin_bags;
+use bagcons_gen::consistent::planted_family;
+use bagcons_hypergraph::{cycle, full_clique_complement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e08_reductions");
+    g.sample_size(20);
+    // Lemma 6 lift from increasing cycle sizes
+    for n in [3u32, 5, 7] {
+        let inst = tseitin_bags(&cycle(n)).unwrap();
+        g.bench_with_input(BenchmarkId::new("lemma6_cycle_lift", n), &n, |b, _| {
+            b.iter(|| lift_cycle_instance(&inst).unwrap().len())
+        });
+    }
+    // Lemma 7 lift from H3 and H4
+    let mut rng = StdRng::seed_from_u64(0xE8);
+    for n in [3u32, 4] {
+        let (inst, _) = planted_family(&full_clique_complement(n), 2, 6, 4, &mut rng).unwrap();
+        g.bench_with_input(BenchmarkId::new("lemma7_hn_lift", n), &n, |b, _| {
+            b.iter(|| lift_clique_complement_instance(&inst).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E11 (ablation) — design choices of the exact solver.
+//!
+//! DESIGN.md calls out two solver design choices; this bench isolates
+//! their effect on identical instances:
+//!
+//! * **A1 forced-variable detection** — when a variable is the last on a
+//!   constraint row its value is forced; disabling it must not change
+//!   answers but explores more nodes / time.
+//! * **A2 total-equality presolve** — the ∅-marginal necessary condition;
+//!   disabling it makes total-mismatch refutations exponentially slower.
+
+use bagcons_core::Bag;
+use bagcons_gen::tables::{planted_3dct, sparse_3dct};
+use bagcons_gen::perturb::scale_one;
+use bagcons_lp::ilp::{solve, SolverConfig};
+use bagcons_lp::ConsistencyProgram;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_ablation");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xE11);
+
+    // A1: forcing on/off on satisfiable dense tables
+    let inst = planted_3dct(3, 4, &mut rng);
+    let bags = inst.to_bags().unwrap();
+    let refs: Vec<&Bag> = bags.iter().collect();
+    let prog = ConsistencyProgram::build(&refs).unwrap();
+    g.bench_function(BenchmarkId::new("forcing", "on"), |b| {
+        b.iter(|| solve(&prog, &SolverConfig::default()).is_sat())
+    });
+    g.bench_function(BenchmarkId::new("forcing", "off"), |b| {
+        let cfg = SolverConfig { disable_forcing: true, ..Default::default() };
+        b.iter(|| solve(&prog, &cfg).is_sat())
+    });
+
+    // A2: presolve on/off on a total-mismatch refutation (kept tiny: with
+    // both prunings off the refutation is a full exponential enumeration)
+    let inst = sparse_3dct(2, 3, 2, &mut rng);
+    let mut bags = inst.to_bags().unwrap();
+    scale_one(&mut bags, 0, 2).unwrap(); // break totals, keep structure
+    let refs: Vec<&Bag> = bags.iter().collect();
+    let prog = ConsistencyProgram::build(&refs).unwrap();
+    g.bench_function(BenchmarkId::new("presolve", "on"), |b| {
+        b.iter(|| !solve(&prog, &SolverConfig::default()).is_sat())
+    });
+    g.bench_function(BenchmarkId::new("presolve", "off"), |b| {
+        let cfg = SolverConfig {
+            disable_presolve: true,
+            disable_forcing: true,
+            ..Default::default()
+        };
+        b.iter(|| !solve(&prog, &cfg).is_sat())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! # `bagcons`
+//!
+//! The algorithms of *Structure and Complexity of Bag Consistency*
+//! (Atserias & Kolaitis, PODS 2021) — the paper's primary contribution.
+//!
+//! | Paper item | Module / entry point |
+//! |---|---|
+//! | Lemma 2 (five characterizations of two-bag consistency) | [`pairwise`], [`report::Lemma2Report`] |
+//! | Corollary 1 (strongly-poly witness for two bags) | [`pairwise::consistency_witness`] |
+//! | Theorem 2 (acyclic ⟺ local-to-global for bags) | [`acyclic`], [`tseitin`], [`lifting`] |
+//! | Lemma 4 (k-wise-consistency-preserving lifting) | [`lifting`] |
+//! | Theorem 3 / Corollary 3 (NP membership, witness bounds) | re-exported from [`bagcons_lp::bounds`] |
+//! | Theorem 4 (dichotomy: acyclic ⇒ P, cyclic ⇒ NP-complete) | [`dichotomy`] |
+//! | Lemmas 6, 7 (hardness chain reductions) | [`reductions`] |
+//! | Theorem 5 / Corollary 4 (minimal two-bag witness) | [`minimal`] |
+//! | Theorem 6 (acyclic witness construction) | [`acyclic::acyclic_global_witness`] |
+//! | Section 5.1 (set-semantics baseline) | [`sets`] |
+//! | Section 6 (full reducers: set case + the bag obstacle) | [`reducer`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acyclic;
+pub mod diagnose;
+pub mod dichotomy;
+pub mod global;
+pub mod kwise;
+pub mod lifting;
+pub mod minimal;
+pub mod optimal;
+pub mod pairwise;
+pub mod reducer;
+pub mod reductions;
+pub mod report;
+pub mod sets;
+pub mod tseitin;
+
+pub use acyclic::{acyclic_global_witness, AcyclicError};
+pub use dichotomy::{decide_global_consistency, GcpbOutcome, GcpbReport};
+pub use global::{globally_consistent_via_ilp, is_global_witness, schema_hypergraph};
+pub use kwise::k_wise_consistent;
+pub use minimal::minimal_two_bag_witness;
+pub use pairwise::{bags_consistent, consistency_witness, pairwise_consistent};
+pub use report::Lemma2Report;
+pub use tseitin::tseitin_bags;

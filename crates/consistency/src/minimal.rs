@@ -1,0 +1,130 @@
+//! Minimal witnesses for two bags (Section 5.3, Theorem 5, Corollary 4).
+//!
+//! The paper's algorithm: loop over the middle edges of `N(R,S)`; for each
+//! one ask "is this edge used by all saturated flows?" by temporarily
+//! removing it and checking whether the reduced network still has a
+//! saturated max-flow. If yes, the removal becomes permanent. After one
+//! pass the surviving saturated flow uses an inclusion-minimal set of
+//! middle edges — a **minimal witness**, whose support Theorem 5 bounds by
+//! `‖R‖supp + ‖S‖supp` via Carathéodory's theorem.
+
+use bagcons_core::join::relation_join;
+use bagcons_core::{Bag, FxHashSet, Result, Row};
+use bagcons_flow::ConsistencyNetwork;
+
+/// Corollary 4: returns an inclusion-minimal witness of the consistency of
+/// `r` and `s`, or `None` when they are inconsistent. Runs
+/// `|R' ⋈ S'| + 1` max-flow computations — strongly polynomial.
+pub fn minimal_two_bag_witness(r: &Bag, s: &Bag) -> Result<Option<Bag>> {
+    let Some(mut witness) = ConsistencyNetwork::build(r, s)?.solve() else {
+        return Ok(None);
+    };
+    // Deterministic middle-edge order: sorted join support.
+    let join_support = relation_join(&r.support(), &s.support());
+    let mut excluded: FxHashSet<Row> = FxHashSet::default();
+    for row in join_support.iter_sorted() {
+        if witness.multiplicity(row) == 0 {
+            // Not used by the current witness; excluding it permanently
+            // can only shrink later feasible sets, and keeps the
+            // minimality argument intact.
+            excluded.insert(row.to_vec().into_boxed_slice());
+            continue;
+        }
+        excluded.insert(row.to_vec().into_boxed_slice());
+        let trial =
+            ConsistencyNetwork::build_excluding(r, s, |t| excluded.contains(t))?.solve();
+        match trial {
+            Some(w) => witness = w,
+            None => {
+                let key: Row = row.to_vec().into_boxed_slice();
+                excluded.remove(&key);
+            }
+        }
+    }
+    debug_assert!(
+        witness.support_size() <= r.support_size() + s.support_size(),
+        "Theorem 5: minimal witness support must be ≤ ‖R‖supp + ‖S‖supp"
+    );
+    Ok(Some(witness))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::is_two_bag_witness;
+    use bagcons_core::{Attr, Schema};
+    use bagcons_flow::ConsistencyNetwork;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn minimal_witness_is_a_witness() {
+        let r = Bag::from_u64s(
+            schema(&[0, 1]),
+            [(&[1u64, 1][..], 2), (&[2, 1][..], 3), (&[3, 1][..], 1)],
+        )
+        .unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 4), (&[1, 2][..], 2)]).unwrap();
+        let w = minimal_two_bag_witness(&r, &s).unwrap().expect("consistent");
+        assert!(is_two_bag_witness(&w, &r, &s).unwrap());
+        assert!(w.support_size() <= r.support_size() + s.support_size());
+    }
+
+    #[test]
+    fn minimality_every_support_tuple_is_needed() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2), (&[2, 1][..], 2)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 2), (&[1, 2][..], 2)]).unwrap();
+        let w = minimal_two_bag_witness(&r, &s).unwrap().unwrap();
+        // removing any support row of w from the allowed middle edges must
+        // make saturation impossible given the other exclusions
+        let support: Vec<Vec<bagcons_core::Value>> =
+            w.iter_sorted().iter().map(|(row, _)| row.to_vec()).collect();
+        for banned in &support {
+            let allowed: Vec<&[bagcons_core::Value]> = support
+                .iter()
+                .filter(|r| r != &banned)
+                .map(|r| r.as_slice())
+                .collect();
+            let net = ConsistencyNetwork::build_excluding(&r, &s, |row| {
+                !allowed.contains(&row)
+            })
+            .unwrap();
+            assert!(net.solve().is_none(), "support of minimal witness is not minimal");
+        }
+    }
+
+    #[test]
+    fn theorem5_bound_on_wide_instance() {
+        // R has 6 support tuples all sharing one B-value; S has 2. The
+        // naive flow witness could use up to 12 join tuples; the minimal
+        // one must use ≤ 8.
+        let mut r = Bag::new(schema(&[0, 1]));
+        for i in 1..=6u64 {
+            r.insert(vec![bagcons_core::Value(i), bagcons_core::Value(1)], 2).unwrap();
+        }
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 6), (&[1, 2][..], 6)]).unwrap();
+        let w = minimal_two_bag_witness(&r, &s).unwrap().unwrap();
+        assert!(w.support_size() <= 8);
+        assert!(is_two_bag_witness(&w, &r, &s).unwrap());
+    }
+
+    #[test]
+    fn inconsistent_returns_none() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 3)]).unwrap();
+        assert!(minimal_two_bag_witness(&r, &s).unwrap().is_none());
+    }
+
+    #[test]
+    fn unique_witness_pair_keeps_its_witness() {
+        // Section 3's R1, S1: exactly two witnesses, each of support 2 =
+        // minimal. The algorithm must return one of them.
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 1), (&[2, 2][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
+        let w = minimal_two_bag_witness(&r, &s).unwrap().unwrap();
+        assert_eq!(w.support_size(), 2);
+        assert!(is_two_bag_witness(&w, &r, &s).unwrap());
+    }
+}

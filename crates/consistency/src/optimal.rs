@@ -1,0 +1,206 @@
+//! Cost-optimal witnesses for two bags.
+//!
+//! The paper (end of Section 3): an LP algorithm over `P(R,S)` "could be
+//! asked to minimize any given linear function of the multiplicities of
+//! the witnessing bag", in time polynomial in the bit-complexity of the
+//! bags and the objective. Because `P(R,S)` is a flow polytope, the
+//! combinatorial route is **min-cost max-flow** on `N(R,S)`: among all
+//! witnesses `T`, find one minimizing `Σ_t c(t) · T(t)` for a
+//! caller-supplied non-negative cost per join tuple.
+//!
+//! By Hoffman–Kruskal total unimodularity (the paper's observation), the
+//! optimum over the rationals is attained at an integral point, which is
+//! exactly what the flow computes.
+
+use bagcons_core::join::JoinPlan;
+use bagcons_core::tuple::project_row;
+use bagcons_core::{Bag, FxHashMap, Result, Row, Value};
+use bagcons_flow::mincost::{CostEdgeId, MinCostFlow};
+
+/// Finds a witness of the consistency of `r` and `s` minimizing the
+/// linear objective `Σ cost(t) · T(t)` over all witnesses. Returns the
+/// optimal witness and its objective value, or `None` when inconsistent.
+///
+/// `cost` receives each join tuple as a row over the joint schema
+/// `X ∪ Y` (sorted attribute order) and must return a non-negative
+/// per-unit cost.
+///
+/// ```
+/// use bagcons::optimal::min_cost_witness;
+/// use bagcons_core::{Bag, Schema};
+///
+/// let r = Bag::from_u64s(Schema::range(0, 2), [(&[1u64, 2][..], 1), (&[2, 2][..], 1)])?;
+/// let s = Bag::from_u64s(Schema::range(1, 3), [(&[2u64, 1][..], 1), (&[2, 2][..], 1)])?;
+/// // penalize tuples where A0 == A2: forces the "swapped" witness
+/// let (t, cost) = min_cost_witness(&r, &s, |row| u64::from(row[0] == row[2]))?
+///     .expect("consistent");
+/// assert_eq!(cost, 0);
+/// assert_eq!(t.marginal(r.schema())?, r);
+/// # Ok::<(), bagcons_core::CoreError>(())
+/// ```
+pub fn min_cost_witness(
+    r: &Bag,
+    s: &Bag,
+    cost: impl Fn(&[Value]) -> u64,
+) -> Result<Option<(Bag, u128)>> {
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let r_rows = r.iter_sorted();
+    let s_rows = s.iter_sorted();
+    let n = 1 + r_rows.len() + s_rows.len() + 1;
+    let (source, sink) = (0, n - 1);
+    let mut net = MinCostFlow::new(n);
+
+    let mut total_r: u128 = 0;
+    for (i, &(_, m)) in r_rows.iter().enumerate() {
+        net.add_edge(source, 1 + i, m, 0);
+        total_r += m as u128;
+    }
+    let s_base = 1 + r_rows.len();
+    let mut total_s: u128 = 0;
+    for (j, &(_, m)) in s_rows.iter().enumerate() {
+        net.add_edge(s_base + j, sink, m, 0);
+        total_s += m as u128;
+    }
+    if total_r != total_s {
+        return Ok(None);
+    }
+
+    let z = plan.common_schema().clone();
+    let z_of_r = r.schema().projection_indices(&z)?;
+    let z_of_s = s.schema().projection_indices(&z)?;
+    let mut s_index: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
+    for (j, &(row, _)) in s_rows.iter().enumerate() {
+        s_index.entry(project_row(row, &z_of_s)).or_default().push(j);
+    }
+
+    let out_schema = plan.output_schema().clone();
+    let mut middle: Vec<(CostEdgeId, Row)> = Vec::new();
+    for (i, &(r_row, rm)) in r_rows.iter().enumerate() {
+        let key = project_row(r_row, &z_of_r);
+        let Some(matches) = s_index.get(&key) else { continue };
+        for &j in matches {
+            let (s_row, sm) = s_rows[j];
+            let combined: Row = out_schema
+                .iter()
+                .map(|a| match r.schema().position(a) {
+                    Some(p) => r_row[p],
+                    None => s_row[s.schema().position(a).expect("attr of XY")],
+                })
+                .collect();
+            let c = cost(&combined);
+            let id = net.add_edge(1 + i, s_base + j, rm.min(sm), c);
+            middle.push((id, combined));
+        }
+    }
+
+    let (flow, total_cost) = net.min_cost_max_flow(source, sink);
+    if flow != total_r {
+        return Ok(None); // not saturated: inconsistent
+    }
+    let mut witness = Bag::with_capacity(out_schema, middle.len());
+    for (id, row) in middle {
+        let f = net.flow(id);
+        if f > 0 {
+            witness.insert(row.to_vec(), f)?;
+        }
+    }
+    Ok(Some((witness, total_cost)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::is_two_bag_witness;
+    use bagcons_core::{Attr, Schema};
+    use bagcons_lp::ilp::{enumerate_solutions, SolverConfig};
+    use bagcons_lp::ConsistencyProgram;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    /// Brute-force optimum: enumerate all witnesses through the ILP and
+    /// minimize the objective directly.
+    fn brute_force_optimum(r: &Bag, s: &Bag, cost: impl Fn(&[Value]) -> u64) -> Option<u128> {
+        let prog = ConsistencyProgram::build(&[r, s]).unwrap();
+        let (sols, complete) = enumerate_solutions(&prog, &SolverConfig::default(), 1 << 20);
+        assert!(complete);
+        sols.iter()
+            .map(|x| {
+                x.iter()
+                    .enumerate()
+                    .map(|(v, &m)| (cost(prog.variable(v)) as u128) * (m as u128))
+                    .sum::<u128>()
+            })
+            .min()
+    }
+
+    #[test]
+    fn matches_brute_force_on_section3_family() {
+        for n in 2..=5u64 {
+            let (r, s) = {
+                // reuse the generator through plain construction to avoid
+                // a circular dev-dependency on bagcons-gen here
+                let mut r = Bag::new(schema(&[0, 1]));
+                let mut s = Bag::new(schema(&[1, 2]));
+                for v in 2..=n {
+                    r.insert(vec![Value(1), Value(v)], 1).unwrap();
+                    r.insert(vec![Value(v), Value(v)], 1).unwrap();
+                    s.insert(vec![Value(v), Value(1)], 1).unwrap();
+                    s.insert(vec![Value(v), Value(v)], 1).unwrap();
+                }
+                (r, s)
+            };
+            // objective: prefer small A2 values
+            let cost = |row: &[Value]| row[2].get();
+            let (w, c) = min_cost_witness(&r, &s, cost).unwrap().expect("consistent");
+            assert!(is_two_bag_witness(&w, &r, &s).unwrap());
+            assert_eq!(Some(c), brute_force_optimum(&r, &s, cost), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn zero_cost_degenerates_to_any_witness() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 3), (&[2, 1][..], 2)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 5][..], 4), (&[1, 6][..], 1)]).unwrap();
+        let (w, c) = min_cost_witness(&r, &s, |_| 0).unwrap().unwrap();
+        assert_eq!(c, 0);
+        assert!(is_two_bag_witness(&w, &r, &s).unwrap());
+    }
+
+    #[test]
+    fn support_penalty_prefers_concentrated_witnesses() {
+        // uniform cost 1 per unit: every witness costs ‖T‖u = total, so
+        // cost is invariant — check it equals the total
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2), (&[2, 1][..], 2)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 5][..], 2), (&[1, 6][..], 2)]).unwrap();
+        let (_, c) = min_cost_witness(&r, &s, |_| 1).unwrap().unwrap();
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn inconsistent_returns_none() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 5][..], 3)]).unwrap();
+        assert!(min_cost_witness(&r, &s, |_| 1).unwrap().is_none());
+        // equal totals but mismatched marginals
+        let s2 = Bag::from_u64s(schema(&[1, 2]), [(&[9u64, 5][..], 2)]).unwrap();
+        assert!(min_cost_witness(&r, &s2, |_| 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn expensive_tuple_avoided_when_possible() {
+        // two witnesses exist (Section 3 base pair); make one tuple costly
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 1), (&[2, 2][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
+        // penalize (1,2,2): the witness T2 = {(1,2,1),(2,2,2)} avoids it
+        let banned: Vec<Value> = vec![Value(1), Value(2), Value(2)];
+        let (w, c) =
+            min_cost_witness(&r, &s, |row| u64::from(row == &banned[..]) * 100)
+                .unwrap()
+                .unwrap();
+        assert_eq!(c, 0);
+        assert_eq!(w.multiplicity(&banned), 0);
+        assert!(is_two_bag_witness(&w, &r, &s).unwrap());
+    }
+}

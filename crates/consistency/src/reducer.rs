@@ -1,0 +1,301 @@
+//! Full reducers: the set-semantics machinery and the bag obstacle
+//! (Section 6 / concluding remarks of the paper).
+//!
+//! For **relations**, Beeri et al. showed acyclicity is also equivalent
+//! to the existence of a *full reducer*: a sequence of semijoins
+//! `R_i ← R_i ⋉ R_j` after which every relation equals the projection of
+//! the full join (no dangling tuples). The classical construction is two
+//! sweeps over a join tree (Yannakakis).
+//!
+//! For **bags**, the paper poses it as an *open problem* to even define
+//! the right notion: "the bag-join of a globally consistent collection of
+//! bags need not witness their global consistency", so removing dangling
+//! tuples cannot make the join a witness. [`naive_bag_semijoin`]
+//! implements the obvious candidate (restrict the support, keep
+//! multiplicities) and the tests exhibit the paper's obstacle concretely:
+//! after naive full reduction the bag join still over-counts.
+
+use bagcons_core::join::multi_relation_join;
+use bagcons_core::tuple::project_row;
+use bagcons_core::{Bag, FxHashSet, Relation, Result, Row};
+use bagcons_hypergraph::{Hypergraph, JoinTree};
+
+/// The semijoin `R ⋉ S`: tuples of `R` that join with at least one tuple
+/// of `S` (set semantics).
+pub fn semijoin(r: &Relation, s: &Relation) -> Result<Relation> {
+    let z = r.schema().intersection(s.schema());
+    let s_keys: FxHashSet<Row> = {
+        let idx = s.schema().projection_indices(&z)?;
+        s.iter().map(|row| project_row(row, &idx)).collect()
+    };
+    let idx = r.schema().projection_indices(&z)?;
+    let mut out = Relation::new(r.schema().clone());
+    for row in r.iter() {
+        if s_keys.contains(&project_row(row, &idx)) {
+            out.insert(row.to_vec())?;
+        }
+    }
+    Ok(out)
+}
+
+/// One semijoin step of a reducer program: `target ← target ⋉ source`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SemijoinStep {
+    /// Index of the relation being reduced.
+    pub target: usize,
+    /// Index of the relation semijoined against.
+    pub source: usize,
+}
+
+/// A full-reducer program for an acyclic schema: the two join-tree sweeps
+/// (leaves → root, then root → leaves).
+#[derive(Clone, Debug)]
+pub struct FullReducer {
+    steps: Vec<SemijoinStep>,
+}
+
+impl FullReducer {
+    /// Builds the reducer program for the hypergraph of the given edge
+    /// schemas. Returns `None` iff the schema is cyclic — reproducing the
+    /// [BFMY83] equivalence "acyclic ⟺ has a full reducer" on the
+    /// positive side.
+    pub fn build(h: &Hypergraph) -> Option<FullReducer> {
+        let tree = JoinTree::build(h)?;
+        let order = tree.bfs_order().to_vec();
+        let mut steps = Vec::new();
+        // Upward sweep: children into parents, deepest first.
+        for &node in order.iter().rev() {
+            if let Some(parent) = tree.parent(node) {
+                steps.push(SemijoinStep { target: parent, source: node });
+            }
+        }
+        // Downward sweep: parents into children, root first.
+        for &node in &order {
+            if let Some(parent) = tree.parent(node) {
+                steps.push(SemijoinStep { target: node, source: parent });
+            }
+        }
+        Some(FullReducer { steps })
+    }
+
+    /// The semijoin program (indices refer to `h.edges()` order).
+    pub fn steps(&self) -> &[SemijoinStep] {
+        &self.steps
+    }
+
+    /// Applies the program to relations aligned with the hypergraph's
+    /// edges, returning the fully reduced relations.
+    pub fn apply(&self, rels: &[Relation]) -> Result<Vec<Relation>> {
+        let mut rels: Vec<Relation> = rels.to_vec();
+        for step in &self.steps {
+            rels[step.target] = semijoin(&rels[step.target], &rels[step.source])?;
+        }
+        Ok(rels)
+    }
+}
+
+/// Checks the defining property of a full reduction: every relation
+/// equals the projection of the full join (no dangling tuples).
+pub fn is_fully_reduced(rels: &[Relation]) -> Result<bool> {
+    let refs: Vec<&Relation> = rels.iter().collect();
+    let join = multi_relation_join(&refs);
+    for r in rels {
+        if &join.project(r.schema())? != r {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Yannakakis' algorithm (the paper's introduction: "the relational join
+/// evaluation problem is solvable in polynomial time if the schema of the
+/// given relations is acyclic"): fully reduce, then join bottom-up along
+/// a running-intersection order. Returns `None` iff the schema is cyclic.
+///
+/// Unlike the naive multiway join, every intermediate result here is a
+/// projection of the final join, so intermediate sizes never exceed the
+/// output — the polynomiality the introduction cites.
+pub fn acyclic_join(rels: &[Relation]) -> Result<Option<Relation>> {
+    let h = Hypergraph::from_edges(rels.iter().map(|r| r.schema().clone()));
+    let Some(reducer) = FullReducer::build(&h) else {
+        return Ok(None);
+    };
+    // group by schema (duplicates intersect: R ⋈ S on equal schemas)
+    let mut by_schema: std::collections::BTreeMap<bagcons_core::Schema, Relation> =
+        Default::default();
+    for r in rels {
+        by_schema
+            .entry(r.schema().clone())
+            .and_modify(|acc| {
+                *acc = bagcons_core::join::relation_join(acc, r);
+            })
+            .or_insert_with(|| r.clone());
+    }
+    let aligned: Vec<Relation> =
+        h.edges().iter().map(|e| by_schema[e].clone()).collect();
+    let reduced = reducer.apply(&aligned)?;
+    let refs: Vec<&Relation> = reduced.iter().collect();
+    Ok(Some(multi_relation_join(&refs)))
+}
+
+/// The naive bag "semijoin": keep only support tuples that join with the
+/// other bag, preserving multiplicities. This is the obvious candidate
+/// the paper's Section 6 warns about — the tests show it cannot play the
+/// full-reducer role for bags.
+pub fn naive_bag_semijoin(r: &Bag, s: &Bag) -> Result<Bag> {
+    let z = r.schema().intersection(s.schema());
+    let s_keys: FxHashSet<Row> = {
+        let idx = s.schema().projection_indices(&z)?;
+        s.iter().map(|(row, _)| project_row(row, &idx)).collect()
+    };
+    let idx = r.schema().projection_indices(&z)?;
+    let mut out = Bag::new(r.schema().clone());
+    for (row, m) in r.iter() {
+        if s_keys.contains(&project_row(row, &idx)) {
+            out.insert(row.to_vec(), m)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::is_two_bag_witness;
+    use bagcons_core::{Attr, Schema};
+    use bagcons_hypergraph::{cycle, path, star};
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn semijoin_drops_dangling_tuples() {
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 1][..], &[2, 9][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[1, 2]), [&[1u64, 5][..]]).unwrap();
+        let red = semijoin(&r, &s).unwrap();
+        assert_eq!(red.len(), 1);
+        assert!(red.contains(&[bagcons_core::Value(1), bagcons_core::Value(1)]));
+    }
+
+    #[test]
+    fn full_reducer_exists_iff_acyclic() {
+        assert!(FullReducer::build(&path(5)).is_some());
+        assert!(FullReducer::build(&star(4)).is_some());
+        assert!(FullReducer::build(&cycle(3)).is_none());
+        assert!(FullReducer::build(&cycle(5)).is_none());
+    }
+
+    #[test]
+    fn reducer_achieves_full_reduction_on_path() {
+        // relations with dangling tuples in several places
+        let h = path(4);
+        let r0 = Relation::from_u64s(
+            schema(&[0, 1]),
+            [&[1u64, 1][..], &[2, 2][..], &[3, 9][..]], // (3,9) dangles
+        )
+        .unwrap();
+        let r1 = Relation::from_u64s(
+            schema(&[1, 2]),
+            [&[1u64, 1][..], &[2, 2][..], &[8, 8][..]], // (8,8) dangles
+        )
+        .unwrap();
+        let r2 = Relation::from_u64s(
+            schema(&[2, 3]),
+            [&[1u64, 7][..], &[5, 5][..]], // (5,5) dangles; kills (2,2) upstream
+        )
+        .unwrap();
+        let rels = vec![r0, r1, r2];
+        assert!(!is_fully_reduced(&rels).unwrap());
+        let reducer = FullReducer::build(&h).unwrap();
+        let reduced = reducer.apply(&rels).unwrap();
+        assert!(is_fully_reduced(&reduced).unwrap());
+        // only the (1,1)-(1,1)-(1,7) chain survives
+        assert_eq!(reduced[0].len(), 1);
+        assert_eq!(reduced[1].len(), 1);
+        assert_eq!(reduced[2].len(), 1);
+    }
+
+    #[test]
+    fn reducer_program_has_two_sweeps() {
+        let h = path(4); // 3 edges → 2 tree edges → 4 steps
+        let reducer = FullReducer::build(&h).unwrap();
+        assert_eq!(reducer.steps().len(), 4);
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let h = star(3);
+        let r0 = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 1][..], &[2, 2][..]]).unwrap();
+        let r1 = Relation::from_u64s(schema(&[0, 2]), [&[1u64, 5][..]]).unwrap();
+        let r2 = Relation::from_u64s(schema(&[0, 3]), [&[1u64, 6][..], &[3, 6][..]]).unwrap();
+        let reducer = FullReducer::build(&h).unwrap();
+        let once = reducer.apply(&[r0, r1, r2]).unwrap();
+        let twice = reducer.apply(&once).unwrap();
+        assert_eq!(once, twice);
+        assert!(is_fully_reduced(&once).unwrap());
+    }
+
+    #[test]
+    fn acyclic_join_matches_naive_multiway_join() {
+        let r0 = Relation::from_u64s(
+            schema(&[0, 1]),
+            [&[1u64, 1][..], &[2, 2][..], &[3, 9][..]],
+        )
+        .unwrap();
+        let r1 = Relation::from_u64s(schema(&[1, 2]), [&[1u64, 1][..], &[2, 2][..]]).unwrap();
+        let r2 = Relation::from_u64s(schema(&[2, 3]), [&[1u64, 7][..], &[2, 8][..]]).unwrap();
+        let rels = vec![r0.clone(), r1.clone(), r2.clone()];
+        let smart = acyclic_join(&rels).unwrap().expect("path schema is acyclic");
+        let naive = multi_relation_join(&[&r0, &r1, &r2]);
+        assert_eq!(smart, naive);
+        assert_eq!(smart.len(), 2);
+    }
+
+    #[test]
+    fn acyclic_join_refuses_cyclic_schemas() {
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[0u64, 0][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[1, 2]), [&[0u64, 0][..]]).unwrap();
+        let t = Relation::from_u64s(schema(&[0, 2]), [&[0u64, 0][..]]).unwrap();
+        assert!(acyclic_join(&[r, s, t]).unwrap().is_none());
+    }
+
+    #[test]
+    fn acyclic_join_handles_duplicate_schemas() {
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 1][..], &[2, 2][..]]).unwrap();
+        let r2 = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 1][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[1, 2]), [&[1u64, 5][..]]).unwrap();
+        let smart = acyclic_join(&[r.clone(), r2.clone(), s.clone()]).unwrap().unwrap();
+        let naive = multi_relation_join(&[&r, &r2, &s]);
+        assert_eq!(smart, naive);
+        assert_eq!(smart.len(), 1);
+    }
+
+    #[test]
+    fn bag_obstacle_naive_semijoin_does_not_yield_witnesses() {
+        // Section 3's pair: already "fully reduced" in the support sense
+        // (every support tuple joins), yet the bag join is NOT a witness.
+        // So no support-pruning semijoin can ever repair it — the
+        // concrete form of the paper's Section 6 obstacle.
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 1), (&[2, 2][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
+        // naive semijoins change nothing: nothing dangles
+        let r_red = naive_bag_semijoin(&r, &s).unwrap();
+        let s_red = naive_bag_semijoin(&s, &r).unwrap();
+        assert_eq!(r_red, r);
+        assert_eq!(s_red, s);
+        // and the bag join of the "reduced" bags still fails as a witness
+        let join = bagcons_core::join::bag_join(&r_red, &s_red).unwrap();
+        assert!(!is_two_bag_witness(&join, &r, &s).unwrap());
+    }
+
+    #[test]
+    fn naive_bag_semijoin_does_prune_dangling_support() {
+        // it is still a sensible support operation, matching the set case
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 5), (&[2, 9][..], 3)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 5][..], 2)]).unwrap();
+        let red = naive_bag_semijoin(&r, &s).unwrap();
+        assert_eq!(red.support(), semijoin(&r.support(), &s.support()).unwrap());
+        assert_eq!(red.multiplicity(&[bagcons_core::Value(1), bagcons_core::Value(1)]), 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! The five characterizations of Lemma 2, computed independently.
+//!
+//! Lemma 2: for bags `R(X)` and `S(Y)` the following are equivalent —
+//! (1) `R` and `S` are consistent; (2) `R[X∩Y] = S[X∩Y]`;
+//! (3) `P(R,S)` is feasible over ℚ; (4) feasible over ℤ;
+//! (5) `N(R,S)` admits a saturated flow.
+//!
+//! [`Lemma2Report`] evaluates each side with a *different* mechanism —
+//! marginal comparison, the closed-form rational point, the exact integer
+//! search, and the max-flow saturation test — so the equivalence can be
+//! cross-validated mechanically (experiment E2).
+
+use bagcons_core::{Bag, Result, Schema};
+use bagcons_flow::ConsistencyNetwork;
+use bagcons_lp::ilp::{solve, IlpOutcome, SolverConfig};
+use bagcons_lp::{rational_solution, ConsistencyProgram};
+
+/// Truth values of Lemma 2's five statements for a concrete pair of bags.
+#[derive(Clone, Debug)]
+pub struct Lemma2Report {
+    /// (2) `R[X∩Y] = S[X∩Y]`.
+    pub marginals_equal: bool,
+    /// (3) `P(R,S)` feasible over the rationals (closed-form point).
+    pub rational_feasible: bool,
+    /// (4) `P(R,S)` feasible over the integers (exact search).
+    pub integral_feasible: bool,
+    /// (5) `N(R,S)` admits a saturated flow.
+    pub saturated_flow: bool,
+    /// (1) a consistency witness, when one exists (from the flow).
+    pub witness: Option<Bag>,
+}
+
+impl Lemma2Report {
+    /// Evaluates all five characterizations independently.
+    pub fn compute(r: &Bag, s: &Bag) -> Result<Lemma2Report> {
+        let z: Schema = r.schema().intersection(s.schema());
+        let marginals_equal = r.marginal(&z)? == s.marginal(&z)?;
+
+        let rational_feasible = rational_solution(r, s)?.is_some();
+
+        let prog = ConsistencyProgram::build(&[r, s])?;
+        let integral_feasible =
+            matches!(solve(&prog, &SolverConfig::default()), IlpOutcome::Sat(_));
+
+        let witness = ConsistencyNetwork::build(r, s)?.solve();
+        let saturated_flow = witness.is_some();
+
+        Ok(Lemma2Report {
+            marginals_equal,
+            rational_feasible,
+            integral_feasible,
+            saturated_flow,
+            witness,
+        })
+    }
+
+    /// True iff all five statements carry the same truth value — what
+    /// Lemma 2 asserts must always hold.
+    pub fn all_agree(&self) -> bool {
+        let v = self.marginals_equal;
+        self.rational_feasible == v
+            && self.integral_feasible == v
+            && self.saturated_flow == v
+            && self.witness.is_some() == v
+    }
+
+    /// The common truth value (consistency), assuming agreement.
+    pub fn consistent(&self) -> bool {
+        debug_assert!(self.all_agree());
+        self.marginals_equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcons_core::Attr;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn agree_on_consistent_pair() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 1), (&[2, 2][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
+        let rep = Lemma2Report::compute(&r, &s).unwrap();
+        assert!(rep.all_agree());
+        assert!(rep.consistent());
+        let w = rep.witness.unwrap();
+        assert_eq!(w.marginal(r.schema()).unwrap(), r);
+    }
+
+    #[test]
+    fn agree_on_inconsistent_pair() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 2)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 1)]).unwrap();
+        let rep = Lemma2Report::compute(&r, &s).unwrap();
+        assert!(rep.all_agree());
+        assert!(!rep.consistent());
+        assert!(rep.witness.is_none());
+    }
+
+    #[test]
+    fn agree_on_fractional_lp_instance() {
+        // The closed-form rational point is fractional (1/2 everywhere)
+        // yet integral feasibility still holds — total unimodularity in
+        // action.
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 1), (&[2, 1][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 5][..], 1), (&[1, 6][..], 1)]).unwrap();
+        let rep = Lemma2Report::compute(&r, &s).unwrap();
+        assert!(rep.all_agree());
+        assert!(rep.consistent());
+    }
+
+    #[test]
+    fn agree_on_empty_bags() {
+        let r = Bag::new(schema(&[0, 1]));
+        let s = Bag::new(schema(&[1, 2]));
+        let rep = Lemma2Report::compute(&r, &s).unwrap();
+        assert!(rep.all_agree());
+        assert!(rep.consistent());
+    }
+}

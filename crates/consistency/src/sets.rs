@@ -1,0 +1,180 @@
+//! The set-semantics baseline (Section 5.1 of the paper).
+//!
+//! For **relations** the landscape differs from bags in exactly the ways
+//! the paper highlights:
+//!
+//! * the join of globally consistent relations *is* the largest witness,
+//!   so for every fixed schema, global consistency is decidable in
+//!   polynomial time by computing `J = R₁ ⋈ ⋯ ⋈ R_m` and checking
+//!   `J[X_i] = R_i` ([`relations_globally_consistent`]);
+//! * with the schema as input the problem is NP-complete
+//!   (Honeyman–Ladner–Yannakakis), via 3-colorability with binary
+//!   relations of six pairs each ([`coloring_relations`]);
+//! * for acyclic schemas pairwise consistency suffices (Theorem 1 (e)).
+
+use bagcons_core::join::multi_relation_join;
+use bagcons_core::{Attr, Relation, Result, Schema, Value};
+
+/// Set-semantics global consistency: computes the full join and compares
+/// projections. Returns the decision and, when consistent, the join as
+/// the (largest) universal relation.
+///
+/// Polynomial for every *fixed* schema (the join has ≤ `max|R_i|^m`
+/// tuples with `m` constant), exponential when the schema is part of the
+/// input — matching Section 5.1.
+pub fn relations_globally_consistent(rels: &[&Relation]) -> Result<(bool, Relation)> {
+    let join = multi_relation_join(rels);
+    for r in rels {
+        if &join.project(r.schema())? != *r {
+            return Ok((false, join));
+        }
+    }
+    Ok((true, join))
+}
+
+/// Set-semantics pairwise consistency: `R[X∩Y] = S[X∩Y]` for all pairs.
+pub fn relations_pairwise_consistent(rels: &[&Relation]) -> Result<bool> {
+    for i in 0..rels.len() {
+        for j in (i + 1)..rels.len() {
+            let z: Schema = rels[i].schema().intersection(rels[j].schema());
+            if rels[i].project(&z)? != rels[j].project(&z)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// The Honeyman–Ladner–Yannakakis reduction: for a graph with edges
+/// `(u, v)`, one binary relation per edge over attributes `A_u, A_v`
+/// holding all six ordered pairs of *distinct* colors from `{0,1,2}`.
+/// The collection is globally consistent iff the graph is 3-colorable.
+pub fn coloring_relations(edges: &[(u32, u32)]) -> Vec<Relation> {
+    edges
+        .iter()
+        .map(|&(u, v)| {
+            let schema = Schema::from_attrs([Attr::new(u), Attr::new(v)]);
+            let mut rel = Relation::new(schema.clone());
+            // Row order must follow the sorted schema; attribute min(u,v)
+            // comes first.
+            let flip = u > v;
+            for c1 in 0..3u64 {
+                for c2 in 0..3u64 {
+                    if c1 != c2 {
+                        let row = if flip {
+                            vec![Value(c2), Value(c1)]
+                        } else {
+                            vec![Value(c1), Value(c2)]
+                        };
+                        rel.insert(row).expect("arity 2");
+                    }
+                }
+            }
+            rel
+        })
+        .collect()
+}
+
+/// Decides 3-colorability of a graph through the universal-relation
+/// reduction (exponential in general — that is the point of [HLY80]).
+pub fn three_colorable_via_relations(edges: &[(u32, u32)]) -> Result<bool> {
+    let rels = coloring_relations(edges);
+    let refs: Vec<&Relation> = rels.iter().collect();
+    Ok(relations_globally_consistent(&refs)?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn join_is_witness_for_consistent_relations() {
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[0u64, 0][..], &[1, 1][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[1, 2]), [&[0u64, 5][..], &[1, 6][..]]).unwrap();
+        let (ok, join) = relations_globally_consistent(&[&r, &s]).unwrap();
+        assert!(ok);
+        assert_eq!(join.project(&schema(&[0, 1])).unwrap(), r);
+        assert_eq!(join.project(&schema(&[1, 2])).unwrap(), s);
+    }
+
+    #[test]
+    fn section4_triangle_pairwise_but_not_global() {
+        // R(AB)={00,11}, S(BC)={01,10}, T(AC)={00,11}
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[0u64, 0][..], &[1, 1][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[1, 2]), [&[0u64, 1][..], &[1, 0][..]]).unwrap();
+        let t = Relation::from_u64s(schema(&[0, 2]), [&[0u64, 0][..], &[1, 1][..]]).unwrap();
+        let refs = [&r, &s, &t];
+        assert!(relations_pairwise_consistent(&refs).unwrap());
+        let (ok, join) = relations_globally_consistent(&refs).unwrap();
+        assert!(!ok);
+        assert!(join.is_empty());
+    }
+
+    #[test]
+    fn acyclic_pairwise_implies_global_for_relations() {
+        // Theorem 1 (e) on a path schema
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[0u64, 0][..], &[1, 0][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[1, 2]), [&[0u64, 7][..]]).unwrap();
+        let refs = [&r, &s];
+        assert!(relations_pairwise_consistent(&refs).unwrap());
+        assert!(relations_globally_consistent(&refs).unwrap().0);
+    }
+
+    #[test]
+    fn coloring_relation_shape() {
+        let rels = coloring_relations(&[(0, 1)]);
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].len(), 6); // "each relation ... consists of just six pairs"
+    }
+
+    #[test]
+    fn triangle_graph_is_three_colorable() {
+        assert!(three_colorable_via_relations(&[(0, 1), (1, 2), (0, 2)]).unwrap());
+    }
+
+    #[test]
+    fn k4_is_not_three_colorable() {
+        let k4 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        assert!(!three_colorable_via_relations(&k4).unwrap());
+    }
+
+    #[test]
+    fn odd_cycle_is_three_colorable_even_cycle_too() {
+        let c5 = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        assert!(three_colorable_via_relations(&c5).unwrap());
+        let c4 = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        assert!(three_colorable_via_relations(&c4).unwrap());
+    }
+
+    #[test]
+    fn coloring_handles_reversed_edge_labels() {
+        // edge (2,0): attributes sorted as {A0, A2}; colors must land on
+        // the right columns
+        let rels = coloring_relations(&[(2, 0)]);
+        let rel = &rels[0];
+        assert_eq!(rel.schema(), &schema(&[0, 2]));
+        // (A2=c1, A0=c2) stored as row (c2, c1); all 6 distinct pairs
+        assert_eq!(rel.len(), 6);
+        assert!(!rel.contains(&[Value(1), Value(1)]));
+        assert!(rel.contains(&[Value(0), Value(1)]));
+    }
+
+    #[test]
+    fn fixed_schema_bags_vs_relations_contrast() {
+        // the same triangle *supports* are globally consistent as
+        // relations but the parity multiplicities are not as bags — the
+        // heart of the dichotomy contrast (Section 5)
+        let even = Relation::from_u64s(schema(&[0, 1]), [&[0u64, 0][..], &[1, 1][..]]).unwrap();
+        let even2 = Relation::from_u64s(schema(&[1, 2]), [&[0u64, 0][..], &[1, 1][..]]).unwrap();
+        let odd = Relation::from_u64s(schema(&[0, 2]), [&[0u64, 1][..], &[1, 0][..]]).unwrap();
+        let refs = [&even, &even2, &odd];
+        // as relations: globally inconsistent here as well (join empty) —
+        // but deciding it took polynomial time via the join
+        let (ok, _) = relations_globally_consistent(&refs).unwrap();
+        assert!(!ok);
+    }
+}

@@ -1,0 +1,119 @@
+//! Attributes and domain values.
+//!
+//! The paper (Section 2) treats an *attribute* as a symbol with an
+//! associated domain, and tuples as functions from attributes to domain
+//! elements. We intern both as integer newtypes: an [`Attr`] is an opaque
+//! attribute identifier and a [`Value`] is an element of some attribute's
+//! domain. Human-readable names can be attached with
+//! [`crate::names::AttrNames`]; none of the algorithms depend on names.
+
+use std::fmt;
+
+/// An attribute identifier.
+///
+/// Ordering of attributes is the canonical order used by [`crate::Schema`]
+/// to align tuple rows; it carries no semantic meaning beyond determinism.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Attr(pub u32);
+
+impl Attr {
+    /// Creates an attribute with the given identifier.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        Attr(id)
+    }
+
+    /// The raw identifier.
+    #[inline]
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl From<u32> for Attr {
+    #[inline]
+    fn from(id: u32) -> Self {
+        Attr(id)
+    }
+}
+
+/// A domain element.
+///
+/// Domains in the paper's constructions are always finite sets of the form
+/// `{0, …, d-1}` or `[n]`, so a 64-bit integer comfortably encodes every
+/// value that appears; applications with symbolic domains should intern
+/// their symbols to dense integers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Value(pub u64);
+
+impl Value {
+    /// Creates a value.
+    #[inline]
+    pub const fn new(v: u64) -> Self {
+        Value(v)
+    }
+
+    /// The raw integer.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_ordering_is_by_id() {
+        assert!(Attr::new(0) < Attr::new(1));
+        assert!(Attr::new(7) > Attr::new(3));
+        assert_eq!(Attr::new(5), Attr::from(5));
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::new(u64::MAX);
+        assert_eq!(v.get(), u64::MAX);
+        assert_eq!(Value::from(9).to_string(), "9");
+    }
+
+    #[test]
+    fn attr_display() {
+        assert_eq!(Attr::new(3).to_string(), "A3");
+        assert_eq!(format!("{:?}", Attr::new(3)), "A3");
+    }
+}

@@ -1,0 +1,522 @@
+//! Bags: finite multisets of tuples (`Tup(X) → Z≥0`).
+//!
+//! A [`Bag`] stores only its support — tuples with non-zero multiplicity —
+//! as a hash map from rows to `u64` counts. This matches the paper's
+//! convention that a bag "can be viewed as a finite set of elements of the
+//! form `t : R(t)`".
+//!
+//! The central operation is the **marginal** `R[Z]` of Equation (2):
+//! ```text
+//! R(t) = Σ { R(r) : r ∈ R', r[Z] = t }        for Z ⊆ X, t a Z-tuple
+//! ```
+//! computed by [`Bag::marginal`]. Two easy facts from Section 2, both
+//! enforced by tests and property tests:
+//!
+//! * `R'[Z] = R[Z]'` (support of marginal = projection of support), and
+//! * `R[Z][W] = R[W]` for `W ⊆ Z ⊆ X` (marginals commute with nesting).
+
+use crate::tuple::project_row;
+use crate::{CoreError, FxHashMap, Relation, Result, Row, Schema, Tuple, Value};
+use std::fmt;
+
+/// A finite bag (multiset) of tuples over a fixed schema.
+#[derive(Clone)]
+pub struct Bag {
+    schema: Schema,
+    rows: FxHashMap<Row, u64>,
+}
+
+impl Bag {
+    /// Creates an empty bag over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Bag { schema, rows: FxHashMap::default() }
+    }
+
+    /// Creates an empty bag with reserved capacity for `n` support tuples.
+    pub fn with_capacity(schema: Schema, n: usize) -> Self {
+        let mut rows = FxHashMap::default();
+        rows.reserve(n);
+        Bag { schema, rows }
+    }
+
+    /// Builds a bag from `(row, multiplicity)` pairs; multiplicities of
+    /// equal rows accumulate (checked).
+    pub fn from_rows<I, R>(schema: Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (R, u64)>,
+        R: Into<Vec<Value>>,
+    {
+        let mut bag = Bag::new(schema);
+        for (row, m) in rows {
+            bag.insert(row, m)?;
+        }
+        Ok(bag)
+    }
+
+    /// Convenience constructor from plain `u64` rows, used pervasively in
+    /// tests and examples: `Bag::from_u64s(schema, [(&[1,2], 3), …])`.
+    pub fn from_u64s<'a, I>(schema: Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (&'a [u64], u64)>,
+    {
+        let mut bag = Bag::new(schema);
+        for (row, m) in rows {
+            let vals: Vec<Value> = row.iter().copied().map(Value::new).collect();
+            bag.insert(vals, m)?;
+        }
+        Ok(bag)
+    }
+
+    /// The bag holding only the empty tuple with multiplicity `m`
+    /// (the marginal of any bag with `‖R‖u = m` on the empty schema).
+    pub fn of_empty_tuple(m: u64) -> Self {
+        let mut bag = Bag::new(Schema::empty());
+        if m > 0 {
+            bag.rows.insert(Box::new([]), m);
+        }
+        bag
+    }
+
+    /// The bag's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Adds `mult` occurrences of `row` (values in schema order).
+    ///
+    /// Inserting multiplicity `0` is a no-op, preserving the invariant
+    /// that the stored key set is exactly the support.
+    pub fn insert(&mut self, row: impl Into<Vec<Value>>, mult: u64) -> Result<()> {
+        let row: Vec<Value> = row.into();
+        if row.len() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        if mult == 0 {
+            return Ok(());
+        }
+        let slot = self.rows.entry(row.into_boxed_slice()).or_insert(0);
+        *slot = slot.checked_add(mult).ok_or(CoreError::MultiplicityOverflow)?;
+        Ok(())
+    }
+
+    /// Adds `mult` occurrences of a [`Tuple`] (must match the schema).
+    pub fn insert_tuple(&mut self, t: &Tuple, mult: u64) -> Result<()> {
+        if t.schema() != &self.schema {
+            return Err(CoreError::SchemaMismatch {
+                left: t.schema().clone(),
+                right: self.schema.clone(),
+            });
+        }
+        self.insert(t.row().to_vec(), mult)
+    }
+
+    /// Sets the multiplicity of `row` exactly (0 removes it).
+    pub fn set(&mut self, row: impl Into<Vec<Value>>, mult: u64) -> Result<()> {
+        let row: Vec<Value> = row.into();
+        if row.len() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        let key = row.into_boxed_slice();
+        if mult == 0 {
+            self.rows.remove(&key);
+        } else {
+            self.rows.insert(key, mult);
+        }
+        Ok(())
+    }
+
+    /// The multiplicity `R(t)` of a row (0 if absent).
+    #[inline]
+    pub fn multiplicity(&self, row: &[Value]) -> u64 {
+        self.rows.get(row).copied().unwrap_or(0)
+    }
+
+    /// `‖R‖supp`: the number of support tuples.
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the bag is empty (all multiplicities zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `‖R‖mu`: the largest multiplicity (0 for the empty bag).
+    pub fn multiplicity_bound(&self) -> u64 {
+        self.rows.values().copied().max().unwrap_or(0)
+    }
+
+    /// `‖R‖mb`: the largest number of bits over all multiplicities, i.e.
+    /// `max ⌈log₂(R(r)+1)⌉` (0 for the empty bag).
+    pub fn multiplicity_size(&self) -> u32 {
+        self.rows.values().map(|&m| bits(m)).max().unwrap_or(0)
+    }
+
+    /// `‖R‖u = Σ R(r)`: the multiset cardinality. Returned as `u128`
+    /// because sums of `u64` multiplicities can exceed `u64::MAX`.
+    pub fn unary_size(&self) -> u128 {
+        self.rows.values().map(|&m| m as u128).sum()
+    }
+
+    /// `‖R‖b = Σ ⌈log₂(R(r)+1)⌉`: the bit-size of the multiplicity column.
+    pub fn binary_size(&self) -> u64 {
+        self.rows.values().map(|&m| bits(m) as u64).sum()
+    }
+
+    /// Iterates over `(row, multiplicity)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], u64)> + '_ {
+        self.rows.iter().map(|(r, &m)| (&**r, m))
+    }
+
+    /// Rows with multiplicities, sorted lexicographically — use whenever
+    /// deterministic order matters (display, harness output).
+    pub fn iter_sorted(&self) -> Vec<(&[Value], u64)> {
+        let mut v: Vec<(&[Value], u64)> = self.iter().collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
+    /// The support `Supp(R)` as a relation over the same schema.
+    pub fn support(&self) -> Relation {
+        let mut rel = Relation::new(self.schema.clone());
+        for row in self.rows.keys() {
+            rel.insert_row_unchecked(row.clone());
+        }
+        rel
+    }
+
+    /// The marginal `R[Z]` of Equation (2) of the paper.
+    ///
+    /// Requires `Z ⊆ X`; multiplicities of collapsing tuples are summed
+    /// with overflow checking.
+    pub fn marginal(&self, sub: &Schema) -> Result<Bag> {
+        let idx = self.schema.projection_indices(sub)?;
+        let mut out = Bag::with_capacity(sub.clone(), self.rows.len());
+        for (row, &m) in &self.rows {
+            let key = project_row(row, &idx);
+            let slot = out.rows.entry(key).or_insert(0);
+            *slot = slot.checked_add(m).ok_or(CoreError::MultiplicityOverflow)?;
+        }
+        Ok(out)
+    }
+
+    /// Bag containment `R ⊆ᵇ S`: `R(t) ≤ S(t)` for every tuple.
+    ///
+    /// Returns `false` (rather than an error) when the schemas differ,
+    /// since bags over different schemas are simply incomparable.
+    pub fn contained_in(&self, other: &Bag) -> bool {
+        self.schema == other.schema
+            && self.rows.iter().all(|(r, &m)| m <= other.multiplicity(r))
+    }
+
+    /// True iff every multiplicity is ≤ 1 (the bag "is" a relation).
+    pub fn is_relation(&self) -> bool {
+        self.rows.values().all(|&m| m <= 1)
+    }
+
+    /// Pointwise sum of two bags over the same schema (checked).
+    pub fn sum(&self, other: &Bag) -> Result<Bag> {
+        if self.schema != other.schema {
+            return Err(CoreError::SchemaMismatch {
+                left: self.schema.clone(),
+                right: other.schema.clone(),
+            });
+        }
+        let mut out = self.clone();
+        for (row, m) in other.iter() {
+            out.insert(row.to_vec(), m)?;
+        }
+        Ok(out)
+    }
+
+    /// Multiplies every multiplicity by `k` (checked). `k = 0` empties
+    /// the bag.
+    pub fn scale(&self, k: u64) -> Result<Bag> {
+        let mut out = Bag::with_capacity(self.schema.clone(), self.rows.len());
+        if k == 0 {
+            return Ok(out);
+        }
+        for (row, m) in self.iter() {
+            let mk = m.checked_mul(k).ok_or(CoreError::MultiplicityOverflow)?;
+            out.rows.insert(row.to_vec().into_boxed_slice(), mk);
+        }
+        Ok(out)
+    }
+
+    /// Renames attributes via `f`, keeping rows. The map must be
+    /// injective on the schema (checked via resulting arity).
+    ///
+    /// Used by the paper's reduction in Lemma 6, which replaces
+    /// `R_{n-1}(A_{n-1} A_1)` by "an identical copy of schema
+    /// `A_{n-1} A_n`".
+    pub fn rename(&self, f: impl Fn(crate::Attr) -> crate::Attr) -> Result<Bag> {
+        let new_attrs: Vec<crate::Attr> = self.schema.iter().map(&f).collect();
+        let new_schema = Schema::from_attrs(new_attrs.iter().copied());
+        if new_schema.arity() != self.schema.arity() {
+            return Err(CoreError::DuplicateAttr(
+                // Find one collision for the error message.
+                new_attrs
+                    .iter()
+                    .copied()
+                    .find(|a| new_attrs.iter().filter(|&&b| b == *a).count() > 1)
+                    .unwrap_or(crate::Attr::new(0)),
+            ));
+        }
+        // position i of the old schema maps to position of f(old[i]) in new.
+        let mut out = Bag::with_capacity(new_schema.clone(), self.rows.len());
+        let old_attrs = self.schema.attrs();
+        let mut perm = vec![0usize; old_attrs.len()];
+        for (i, &a) in old_attrs.iter().enumerate() {
+            perm[i] = new_schema.position(f(a)).expect("renamed attr in new schema");
+        }
+        for (row, m) in self.iter() {
+            let mut new_row = vec![Value::new(0); row.len()];
+            for (i, &v) in row.iter().enumerate() {
+                new_row[perm[i]] = v;
+            }
+            out.rows.insert(new_row.into_boxed_slice(), m);
+        }
+        Ok(out)
+    }
+}
+
+/// `⌈log₂(m+1)⌉`: bits needed to write `m` in binary (0 for m = 0).
+#[inline]
+pub fn bits(m: u64) -> u32 {
+    64 - m.leading_zeros()
+}
+
+impl PartialEq for Bag {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Bag {}
+
+impl fmt::Debug for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Bag {
+    /// Tabular form mirroring the paper's `A B # / a b : m` notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} #", self.schema)?;
+        for (row, m) in self.iter_sorted() {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  {} : {}", cells.join(" "), m)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attr;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    /// The bag R(A,B) = {(a1,b1):2, (a2,b2):1, (a3,b3):5} from Section 2.
+    fn section2_bag() -> Bag {
+        Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2), (&[2, 2][..], 1), (&[3, 3][..], 5)])
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_accumulates_and_skips_zero() {
+        let mut b = Bag::new(schema(&[0]));
+        b.insert(vec![Value(1)], 2).unwrap();
+        b.insert(vec![Value(1)], 3).unwrap();
+        b.insert(vec![Value(2)], 0).unwrap();
+        assert_eq!(b.multiplicity(&[Value(1)]), 5);
+        assert_eq!(b.multiplicity(&[Value(2)]), 0);
+        assert_eq!(b.support_size(), 1);
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut b = Bag::new(schema(&[0, 1]));
+        assert!(b.insert(vec![Value(1)], 1).is_err());
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut b = Bag::new(schema(&[0]));
+        b.insert(vec![Value(1)], u64::MAX).unwrap();
+        assert_eq!(b.insert(vec![Value(1)], 1), Err(CoreError::MultiplicityOverflow));
+        // marginal overflow: two rows collapsing to one
+        let mut c = Bag::new(schema(&[0, 1]));
+        c.insert(vec![Value(1), Value(1)], u64::MAX).unwrap();
+        c.insert(vec![Value(1), Value(2)], 1).unwrap();
+        assert_eq!(c.marginal(&schema(&[0])).unwrap_err(), CoreError::MultiplicityOverflow);
+    }
+
+    #[test]
+    fn set_zero_removes() {
+        let mut b = section2_bag();
+        b.set(vec![Value(1), Value(1)], 0).unwrap();
+        assert_eq!(b.support_size(), 2);
+        b.set(vec![Value(2), Value(2)], 7).unwrap();
+        assert_eq!(b.multiplicity(&[Value(2), Value(2)]), 7);
+    }
+
+    #[test]
+    fn norms_match_definitions() {
+        let b = section2_bag();
+        assert_eq!(b.support_size(), 3); // ‖R‖supp
+        assert_eq!(b.multiplicity_bound(), 5); // ‖R‖mu
+        assert_eq!(b.multiplicity_size(), 3); // ⌈log2(5+1)⌉ = 3
+        assert_eq!(b.unary_size(), 8); // 2+1+5
+        assert_eq!(b.binary_size(), 2 + 1 + 3); // bits(2)+bits(1)+bits(5)
+    }
+
+    #[test]
+    fn bits_function() {
+        assert_eq!(bits(0), 0);
+        assert_eq!(bits(1), 1);
+        assert_eq!(bits(2), 2);
+        assert_eq!(bits(3), 2);
+        assert_eq!(bits(4), 3);
+        assert_eq!(bits(u64::MAX), 64);
+    }
+
+    #[test]
+    fn marginal_on_full_schema_is_identity() {
+        let b = section2_bag();
+        assert_eq!(b.marginal(b.schema()).unwrap(), b);
+    }
+
+    #[test]
+    fn marginal_sums_multiplicities() {
+        // R(A,B) with two tuples sharing the same A-value.
+        let b = Bag::from_u64s(
+            schema(&[0, 1]),
+            [(&[1u64, 1][..], 2), (&[1, 2][..], 3), (&[2, 1][..], 5)],
+        )
+        .unwrap();
+        let m = b.marginal(&schema(&[0])).unwrap();
+        assert_eq!(m.multiplicity(&[Value(1)]), 5);
+        assert_eq!(m.multiplicity(&[Value(2)]), 5);
+    }
+
+    #[test]
+    fn marginal_on_empty_schema_is_total_count() {
+        let b = section2_bag();
+        let m = b.marginal(&Schema::empty()).unwrap();
+        assert_eq!(m.multiplicity(&[]), 8);
+        assert_eq!(m, Bag::of_empty_tuple(8));
+    }
+
+    #[test]
+    fn marginal_requires_subschema() {
+        let b = section2_bag();
+        assert!(b.marginal(&schema(&[7])).is_err());
+    }
+
+    #[test]
+    fn nested_marginals_commute() {
+        // R[Z][W] = R[W] for W ⊆ Z ⊆ X
+        let x = schema(&[0, 1, 2]);
+        let b = Bag::from_u64s(
+            x,
+            [(&[1u64, 1, 1][..], 1), (&[1, 1, 2][..], 2), (&[1, 2, 1][..], 4), (&[2, 2, 2][..], 8)],
+        )
+        .unwrap();
+        let z = schema(&[0, 1]);
+        let w = schema(&[0]);
+        assert_eq!(b.marginal(&z).unwrap().marginal(&w).unwrap(), b.marginal(&w).unwrap());
+    }
+
+    #[test]
+    fn support_of_marginal_is_projection_of_support() {
+        let b = section2_bag();
+        let z = schema(&[0]);
+        let lhs = b.marginal(&z).unwrap().support();
+        let rhs = b.support().project(&z).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn containment() {
+        let b = section2_bag();
+        let mut c = b.clone();
+        c.insert(vec![Value(9), Value(9)], 1).unwrap();
+        assert!(b.contained_in(&c));
+        assert!(!c.contained_in(&b));
+        assert!(b.contained_in(&b));
+        // different schemas are incomparable
+        let d = Bag::new(schema(&[5]));
+        assert!(!b.contained_in(&d));
+        // the empty bag over the same schema is contained in anything
+        assert!(Bag::new(schema(&[0, 1])).contained_in(&b));
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let b = section2_bag();
+        let two_b = b.sum(&b).unwrap();
+        assert_eq!(two_b, b.scale(2).unwrap());
+        assert_eq!(b.scale(0).unwrap().support_size(), 0);
+        assert!(b.scale(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn is_relation_detects_multiplicities() {
+        assert!(!section2_bag().is_relation());
+        let r = Bag::from_u64s(schema(&[0]), [(&[1u64][..], 1), (&[2][..], 1)]).unwrap();
+        assert!(r.is_relation());
+        assert!(Bag::new(schema(&[0])).is_relation());
+    }
+
+    #[test]
+    fn rename_permutes_columns() {
+        // swap A0 <-> A1: row (a,b) becomes (b,a) in the new sorted order.
+        let b = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 3)]).unwrap();
+        let r = b
+            .rename(|a| if a == Attr(0) { Attr(1) } else { Attr(0) })
+            .unwrap();
+        assert_eq!(r.multiplicity(&[Value(2), Value(1)]), 3);
+        // non-injective rename is rejected
+        assert!(b.rename(|_| Attr(7)).is_err());
+    }
+
+    #[test]
+    fn rename_to_fresh_attr() {
+        // the Lemma 6 move: R(A_{n-1}, A_1) -> R(A_{n-1}, A_n)
+        let b = Bag::from_u64s(schema(&[0, 3]), [(&[1u64, 5][..], 2)]).unwrap();
+        let r = b.rename(|a| if a == Attr(0) { Attr(4) } else { a }).unwrap();
+        assert_eq!(r.schema(), &schema(&[3, 4]));
+        // old row was (A0=1, A3=5); new row is (A3=5, A4=1)
+        assert_eq!(r.multiplicity(&[Value(5), Value(1)]), 2);
+    }
+
+    #[test]
+    fn display_sorted() {
+        let b = section2_bag();
+        let s = b.to_string();
+        let i1 = s.find("1 1 : 2").unwrap();
+        let i2 = s.find("2 2 : 1").unwrap();
+        let i3 = s.find("3 3 : 5").unwrap();
+        assert!(i1 < i2 && i2 < i3);
+    }
+
+    #[test]
+    fn of_empty_tuple_zero_is_empty() {
+        assert!(Bag::of_empty_tuple(0).is_empty());
+        assert_eq!(Bag::of_empty_tuple(3).unary_size(), 3);
+    }
+}

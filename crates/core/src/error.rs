@@ -1,0 +1,88 @@
+//! Error type for core operations.
+
+use crate::{Attr, Schema};
+use std::fmt;
+
+/// Errors produced by bag/relation operations.
+#[derive(Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A tuple's arity did not match the schema it was used with.
+    ArityMismatch {
+        /// Arity the schema requires.
+        expected: usize,
+        /// Arity that was supplied.
+        got: usize,
+    },
+    /// An operation required `sub ⊆ sup` on schemas but it did not hold.
+    NotASubschema {
+        /// The would-be subschema.
+        sub: Schema,
+        /// The schema it had to be contained in.
+        sup: Schema,
+    },
+    /// Two operands were required to have the same schema.
+    SchemaMismatch {
+        /// Schema of the left operand.
+        left: Schema,
+        /// Schema of the right operand.
+        right: Schema,
+    },
+    /// An attribute assignment mentioned an attribute twice.
+    DuplicateAttr(Attr),
+    /// An attribute assignment did not cover the full schema.
+    MissingAttr(Attr),
+    /// A multiplicity computation exceeded `u64::MAX`.
+    ///
+    /// The paper's size bounds (Theorem 3) concern binary-encoded
+    /// multiplicities; rather than silently wrapping we surface overflow.
+    MultiplicityOverflow,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            CoreError::NotASubschema { sub, sup } => {
+                write!(f, "schema {sub} is not a subset of {sup}")
+            }
+            CoreError::SchemaMismatch { left, right } => {
+                write!(f, "schemas differ: {left} vs {right}")
+            }
+            CoreError::DuplicateAttr(a) => write!(f, "attribute {a} assigned twice"),
+            CoreError::MissingAttr(a) => write!(f, "attribute {a} missing from assignment"),
+            CoreError::MultiplicityOverflow => {
+                write!(f, "multiplicity arithmetic overflowed u64")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attr;
+
+    #[test]
+    fn display_messages() {
+        let s1 = Schema::from_attrs([Attr(0), Attr(1)]);
+        let s2 = Schema::from_attrs([Attr(2)]);
+        let e = CoreError::NotASubschema { sub: s2.clone(), sup: s1.clone() };
+        assert!(e.to_string().contains("not a subset"));
+        let e = CoreError::SchemaMismatch { left: s1, right: s2 };
+        assert!(e.to_string().contains("schemas differ"));
+        assert!(CoreError::MultiplicityOverflow.to_string().contains("overflow"));
+        assert!(CoreError::ArityMismatch { expected: 2, got: 3 }.to_string().contains("arity"));
+        assert!(CoreError::DuplicateAttr(Attr(1)).to_string().contains("twice"));
+        assert!(CoreError::MissingAttr(Attr(1)).to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Plain-text serialization of bags and relations.
+//!
+//! The format mirrors the paper's tabular notation (Section 2):
+//!
+//! ```text
+//! A B #
+//! a1 b1 : 2
+//! a2 b2 : 1
+//! a3 b3 : 5
+//! ```
+//!
+//! * The header names the attributes; `#` marks the multiplicity column.
+//!   Attribute names of the form `A<digits>` map to [`Attr`] ids directly;
+//!   any other name is interned in order of first appearance.
+//! * Each data row lists one value per attribute and, after a `:`, the
+//!   multiplicity. Omitting `: m` means multiplicity 1, so the same file
+//!   format reads relations.
+//! * Values must be unsigned integers (intern symbolic values upstream).
+//! * Blank lines and `%`-comments are ignored.
+//!
+//! Round-tripping is exact; ordering is canonical (sorted rows) on write.
+
+use crate::{Attr, AttrNames, Bag, CoreError, Relation, Schema, Value};
+use std::fmt;
+
+/// Parse errors with 1-based line numbers.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input had no header line.
+    MissingHeader,
+    /// The header repeated an attribute name.
+    DuplicateAttribute(String),
+    /// A data row had the wrong number of values.
+    WrongArity {
+        /// 1-based line number.
+        line: usize,
+        /// Values expected (the header's attribute count).
+        expected: usize,
+        /// Values found.
+        got: usize,
+    },
+    /// A value or multiplicity failed to parse as an unsigned integer.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A relation was requested but some multiplicity exceeded 1.
+    NotARelation,
+    /// A core-level failure (e.g. multiplicity overflow on accumulate).
+    Core(CoreError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing header line"),
+            ParseError::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            ParseError::WrongArity { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} values, got {got}")
+            }
+            ParseError::BadNumber { line, token } => {
+                write!(f, "line {line}: {token:?} is not an unsigned integer")
+            }
+            ParseError::NotARelation => {
+                write!(f, "input has multiplicities > 1 but a relation was requested")
+            }
+            ParseError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<CoreError> for ParseError {
+    fn from(e: CoreError) -> Self {
+        ParseError::Core(e)
+    }
+}
+
+/// Interns attribute names to [`Attr`] ids **consistently across files**:
+/// the same name always maps to the same attribute. Canonical names
+/// `A<digits>` keep their numeric id; symbolic names are allocated from a
+/// high id range (`2³⁰+`) so the two kinds never collide in practice.
+#[derive(Default, Debug)]
+pub struct NameInterner {
+    by_name: crate::FxHashMap<String, Attr>,
+    names: AttrNames,
+    next_symbolic: u32,
+}
+
+impl NameInterner {
+    /// Fresh interner.
+    pub fn new() -> Self {
+        NameInterner {
+            by_name: Default::default(),
+            names: AttrNames::new(),
+            next_symbolic: 1 << 30,
+        }
+    }
+
+    /// The attribute for `token`, allocating on first sight.
+    pub fn attr(&mut self, token: &str) -> Attr {
+        if let Some(&a) = self.by_name.get(token) {
+            return a;
+        }
+        let attr = match token.strip_prefix('A').and_then(|d| d.parse::<u32>().ok()) {
+            Some(id) => Attr::new(id),
+            None => {
+                let a = Attr::new(self.next_symbolic);
+                self.next_symbolic += 1;
+                a
+            }
+        };
+        self.names.set(attr, token);
+        self.by_name.insert(token.to_string(), attr);
+        attr
+    }
+
+    /// The accumulated display names.
+    pub fn names(&self) -> &AttrNames {
+        &self.names
+    }
+}
+
+/// Parses a bag from the tabular text format. Returns the bag plus the
+/// attribute-name registry built from the header. For multi-file inputs
+/// that must share attribute identities, use [`parse_bag_with`].
+pub fn parse_bag(text: &str) -> Result<(Bag, AttrNames), ParseError> {
+    let mut interner = NameInterner::new();
+    let bag = parse_bag_with(text, &mut interner)?;
+    Ok((bag, interner.names))
+}
+
+/// Parses a bag, resolving attribute names through a shared interner.
+pub fn parse_bag_with(text: &str, interner: &mut NameInterner) -> Result<Bag, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('%').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (_, header) = lines.next().ok_or(ParseError::MissingHeader)?;
+    let mut attrs: Vec<Attr> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    for token in header.split_whitespace() {
+        if token == "#" {
+            break;
+        }
+        if seen.iter().any(|s| s == token) {
+            return Err(ParseError::DuplicateAttribute(token.to_string()));
+        }
+        seen.push(token.to_string());
+        attrs.push(interner.attr(token));
+    }
+    let schema = Schema::from_attrs(attrs.iter().copied());
+    if schema.arity() != attrs.len() {
+        // two distinct names mapped to the same id (e.g. "A1" twice caught
+        // above, but "A1" and a fresh name colliding cannot happen since
+        // fresh ids start above all seen ids — still guard)
+        return Err(ParseError::DuplicateAttribute(header.to_string()));
+    }
+    // positions of header columns inside the sorted schema
+    let positions: Vec<usize> =
+        attrs.iter().map(|a| schema.position(*a).expect("attr in schema")).collect();
+
+    let mut bag = Bag::new(schema.clone());
+    for (line_no, line) in lines {
+        let (vals_part, mult_part) = match line.split_once(':') {
+            Some((v, m)) => (v, Some(m)),
+            None => (line, None),
+        };
+        let tokens: Vec<&str> = vals_part.split_whitespace().collect();
+        if tokens.len() != attrs.len() {
+            return Err(ParseError::WrongArity {
+                line: line_no,
+                expected: attrs.len(),
+                got: tokens.len(),
+            });
+        }
+        let mut row = vec![Value(0); attrs.len()];
+        for (col, token) in tokens.iter().enumerate() {
+            let v: u64 = token.parse().map_err(|_| ParseError::BadNumber {
+                line: line_no,
+                token: token.to_string(),
+            })?;
+            row[positions[col]] = Value(v);
+        }
+        let mult: u64 = match mult_part {
+            Some(m) => {
+                let m = m.trim();
+                m.parse().map_err(|_| ParseError::BadNumber {
+                    line: line_no,
+                    token: m.to_string(),
+                })?
+            }
+            None => 1,
+        };
+        bag.insert(row, mult)?;
+    }
+    Ok(bag)
+}
+
+/// Writes a bag in the tabular text format (canonical: sorted rows).
+pub fn write_bag(bag: &Bag, names: &AttrNames) -> String {
+    let mut out = String::new();
+    for a in bag.schema().iter() {
+        out.push_str(&names.name(a));
+        out.push(' ');
+    }
+    out.push_str("#\n");
+    for (row, m) in bag.iter_sorted() {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        out.push_str(&cells.join(" "));
+        out.push_str(&format!(" : {m}\n"));
+    }
+    out
+}
+
+/// Parses a relation (multiplicities, if present, must be 1).
+pub fn parse_relation(text: &str) -> Result<(Relation, AttrNames), ParseError> {
+    let (bag, names) = parse_bag(text)?;
+    if !bag.is_relation() {
+        return Err(ParseError::NotARelation);
+    }
+    Ok((bag.support(), names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let text = "A B #\n1 10 : 2\n2 20 : 1\n3 30 : 5\n";
+        let (bag, names) = parse_bag(text).unwrap();
+        assert_eq!(bag.support_size(), 3);
+        assert_eq!(bag.unary_size(), 8);
+        assert_eq!(names.name(bag.schema().attrs()[0]), "A");
+        assert_eq!(names.name(bag.schema().attrs()[1]), "B");
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let text = "A0 A1 #\n1 2 : 7\n3 4 : 1\n";
+        let (bag, names) = parse_bag(text).unwrap();
+        let written = write_bag(&bag, &names);
+        let (bag2, _) = parse_bag(&written).unwrap();
+        assert_eq!(bag, bag2);
+    }
+
+    #[test]
+    fn canonical_attr_names_keep_ids() {
+        let text = "A5 A2 #\n1 2 : 1\n";
+        let (bag, _) = parse_bag(text).unwrap();
+        // header order A5 A2, but schema sorts: value 2 belongs to A2
+        assert_eq!(bag.schema().attrs(), &[Attr::new(2), Attr::new(5)]);
+        assert_eq!(bag.multiplicity(&[Value(2), Value(1)]), 1);
+    }
+
+    #[test]
+    fn default_multiplicity_is_one_and_accumulates() {
+        let text = "X #\n1\n1\n2 : 3\n";
+        let (bag, _) = parse_bag(text).unwrap();
+        assert_eq!(bag.multiplicity(&[Value(1)]), 2);
+        assert_eq!(bag.multiplicity(&[Value(2)]), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "% a bag\n\nA #\n% data follows\n1 : 4\n\n";
+        let (bag, _) = parse_bag(text).unwrap();
+        assert_eq!(bag.multiplicity(&[Value(1)]), 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(parse_bag(""), Err(ParseError::MissingHeader));
+        let wrong = parse_bag("A B #\n1 : 1\n");
+        assert_eq!(wrong, Err(ParseError::WrongArity { line: 2, expected: 2, got: 1 }));
+        let bad = parse_bag("A #\nx : 1\n");
+        assert!(matches!(bad, Err(ParseError::BadNumber { line: 2, .. })));
+        let badm = parse_bag("A #\n1 : y\n");
+        assert!(matches!(badm, Err(ParseError::BadNumber { line: 2, .. })));
+        let dup = parse_bag("A A #\n1 1 : 1\n");
+        assert_eq!(dup, Err(ParseError::DuplicateAttribute("A".into())));
+    }
+
+    #[test]
+    fn symbolic_names_are_interned() {
+        let text = "Origin Dest #\n0 1 : 120\n0 2 : 80\n";
+        let (bag, names) = parse_bag(text).unwrap();
+        assert_eq!(bag.support_size(), 2);
+        let a = bag.schema().attrs()[0];
+        let b = bag.schema().attrs()[1];
+        assert_eq!(names.name(a), "Origin");
+        assert_eq!(names.name(b), "Dest");
+    }
+
+    #[test]
+    fn parse_relation_rejects_multiplicities() {
+        assert!(parse_relation("A #\n1 : 1\n2 : 1\n").is_ok());
+        assert!(parse_relation("A #\n1 : 2\n").is_err());
+    }
+
+    #[test]
+    fn shared_interner_keeps_names_consistent_across_files() {
+        let mut interner = NameInterner::new();
+        let r = parse_bag_with("A B #\n0 0 : 1\n", &mut interner).unwrap();
+        let s = parse_bag_with("B C #\n0 0 : 1\n", &mut interner).unwrap();
+        // "B" must denote the same attribute in both bags
+        let shared = r.schema().intersection(s.schema());
+        assert_eq!(shared.arity(), 1);
+        assert_eq!(interner.names().name(shared.attrs()[0]), "B");
+        // canonical and symbolic ids do not collide
+        let t = parse_bag_with("A0 D #\n1 2 : 1\n", &mut interner).unwrap();
+        assert_eq!(t.schema().arity(), 2);
+    }
+
+    #[test]
+    fn empty_bag_roundtrip() {
+        let (bag, names) = parse_bag("A B #\n").unwrap();
+        assert!(bag.is_empty());
+        let written = write_bag(&bag, &names);
+        let (bag2, _) = parse_bag(&written).unwrap();
+        assert_eq!(bag, bag2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Joins under set and bag semantics.
+//!
+//! Section 2 of the paper defines, for `R(X)` and `S(Y)`:
+//!
+//! * the **relational join** `R ⋈ S`: all `XY`-tuples `xy` with `x ∈ R'`,
+//!   `y ∈ S'` and `x[X∩Y] = y[X∩Y]`;
+//! * the **bag join** `R ⋈ᵇ S`: support `R' ⋈ S'` and multiplicity
+//!   `(R ⋈ᵇ S)(t) = R(t[X]) × S(t[Y])`.
+//!
+//! Both are implemented as hash joins on the common attributes. A
+//! [`JoinPlan`] precomputes the index arithmetic (key extraction and
+//! output-row assembly) so multiway joins and repeated joins don't redo it.
+
+use crate::tuple::project_row;
+use crate::{Bag, CoreError, FxHashMap, Relation, Result, Row, Schema, Value};
+
+/// Which operand of a join a value comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// Precomputed index arithmetic for joining schemas `X` and `Y`.
+#[derive(Clone, Debug)]
+pub struct JoinPlan {
+    /// The output schema `XY = X ∪ Y`.
+    out: Schema,
+    /// The common schema `Z = X ∩ Y`.
+    common: Schema,
+    /// Positions of `Z` inside `X`.
+    left_key: Vec<usize>,
+    /// Positions of `Z` inside `Y`.
+    right_key: Vec<usize>,
+    /// For each output position: where its value comes from.
+    sources: Vec<(Side, usize)>,
+}
+
+impl JoinPlan {
+    /// Builds a plan for joining `left` with `right`.
+    pub fn new(left: &Schema, right: &Schema) -> Self {
+        let out = left.union(right);
+        let common = left.intersection(right);
+        let left_key = left.projection_indices(&common).expect("Z ⊆ X by construction");
+        let right_key = right.projection_indices(&common).expect("Z ⊆ Y by construction");
+        let sources = out
+            .iter()
+            .map(|a| match left.position(a) {
+                Some(i) => (Side::Left, i),
+                None => (Side::Right, right.position(a).expect("attr in X ∪ Y")),
+            })
+            .collect();
+        JoinPlan { out, common, left_key, right_key, sources }
+    }
+
+    /// The output schema `X ∪ Y`.
+    pub fn output_schema(&self) -> &Schema {
+        &self.out
+    }
+
+    /// The common schema `X ∩ Y`.
+    pub fn common_schema(&self) -> &Schema {
+        &self.common
+    }
+
+    /// Assembles the joined row `xy` from matching halves.
+    #[inline]
+    fn combine(&self, left: &[Value], right: &[Value]) -> Row {
+        self.sources
+            .iter()
+            .map(|&(side, i)| match side {
+                Side::Left => left[i],
+                Side::Right => right[i],
+            })
+            .collect()
+    }
+}
+
+/// The bag join `R ⋈ᵇ S` of Section 2.
+///
+/// Multiplicities multiply; overflow yields
+/// [`CoreError::MultiplicityOverflow`]. Note the paper's warning (Section 3):
+/// the bag join of two *consistent* bags need **not** witness their
+/// consistency — this function computes the algebraic join, nothing more.
+pub fn bag_join(r: &Bag, s: &Bag) -> Result<Bag> {
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let mut right_index: FxHashMap<Row, Vec<(&[Value], u64)>> = FxHashMap::default();
+    for (row, m) in s.iter() {
+        right_index.entry(project_row(row, &plan.right_key)).or_default().push((row, m));
+    }
+    let mut out = Bag::new(plan.out.clone());
+    for (lrow, lm) in r.iter() {
+        let key = project_row(lrow, &plan.left_key);
+        if let Some(matches) = right_index.get(&key) {
+            for &(rrow, rm) in matches {
+                let m = lm.checked_mul(rm).ok_or(CoreError::MultiplicityOverflow)?;
+                out.insert(plan.combine(lrow, rrow).to_vec(), m)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The relational join `R ⋈ S` of Section 2.
+pub fn relation_join(r: &Relation, s: &Relation) -> Relation {
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let mut right_index: FxHashMap<Row, Vec<&[Value]>> = FxHashMap::default();
+    for row in s.iter() {
+        right_index.entry(project_row(row, &plan.right_key)).or_default().push(row);
+    }
+    let mut out = Relation::new(plan.out.clone());
+    for lrow in r.iter() {
+        let key = project_row(lrow, &plan.left_key);
+        if let Some(matches) = right_index.get(&key) {
+            for rrow in matches {
+                out.insert_row_unchecked(plan.combine(lrow, rrow));
+            }
+        }
+    }
+    out
+}
+
+/// The multiway relational join `R₁ ⋈ ⋯ ⋈ R_m` (left fold).
+///
+/// The empty join is the unit relation (empty tuple over `∅`). This is
+/// `J = R'₁ ⋈ ⋯ ⋈ R'_m`, the candidate-witness support of Lemma 1 and the
+/// variable set of the linear program `P(R₁,…,R_m)` of Section 5.2 —
+/// beware that its size can grow exponentially in `m`.
+pub fn multi_relation_join(rels: &[&Relation]) -> Relation {
+    let mut acc = Relation::unit();
+    for r in rels {
+        acc = relation_join(&acc, r);
+    }
+    acc
+}
+
+/// The multiway bag join `R₁ ⋈ᵇ ⋯ ⋈ᵇ R_m` (left fold; empty = unit bag).
+pub fn multi_bag_join(bags: &[&Bag]) -> Result<Bag> {
+    let mut acc = Relation::unit().to_bag();
+    for b in bags {
+        acc = bag_join(&acc, b)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attr;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn bag_join_multiplies_multiplicities() {
+        // R(A,B) = {(1,2):2}, S(B,C) = {(2,5):3} -> R⋈ᵇS = {(1,2,5):6}
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 2)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 5][..], 3)]).unwrap();
+        let j = bag_join(&r, &s).unwrap();
+        assert_eq!(j.schema(), &schema(&[0, 1, 2]));
+        assert_eq!(j.multiplicity(&[Value(1), Value(2), Value(5)]), 6);
+        assert_eq!(j.support_size(), 1);
+    }
+
+    #[test]
+    fn bag_join_respects_common_attrs() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 1), (&[1, 3][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 9][..], 1)]).unwrap();
+        let j = bag_join(&r, &s).unwrap();
+        // only the (1,2) row of r matches B=2
+        assert_eq!(j.support_size(), 1);
+        assert_eq!(j.multiplicity(&[Value(1), Value(2), Value(9)]), 1);
+    }
+
+    #[test]
+    fn join_with_disjoint_schemas_is_cartesian_product() {
+        let r = Bag::from_u64s(schema(&[0]), [(&[1u64][..], 2), (&[2][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1]), [(&[7u64][..], 3)]).unwrap();
+        let j = bag_join(&r, &s).unwrap();
+        assert_eq!(j.support_size(), 2);
+        assert_eq!(j.multiplicity(&[Value(1), Value(7)]), 6);
+        assert_eq!(j.multiplicity(&[Value(2), Value(7)]), 3);
+    }
+
+    #[test]
+    fn join_support_law() {
+        // (R ⋈ᵇ S)' = R' ⋈ S'
+        let r = Bag::from_u64s(
+            schema(&[0, 1]),
+            [(&[1u64, 2][..], 2), (&[2, 2][..], 5), (&[3, 4][..], 1)],
+        )
+        .unwrap();
+        let s = Bag::from_u64s(
+            schema(&[1, 2]),
+            [(&[2u64, 1][..], 7), (&[2, 2][..], 1), (&[9, 9][..], 3)],
+        )
+        .unwrap();
+        let lhs = bag_join(&r, &s).unwrap().support();
+        let rhs = relation_join(&r.support(), &s.support());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn relation_join_identity_with_unit() {
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 2][..]]).unwrap();
+        let j = relation_join(&Relation::unit(), &r);
+        assert_eq!(j, r);
+        let j2 = relation_join(&r, &Relation::unit());
+        assert_eq!(j2, r);
+    }
+
+    #[test]
+    fn self_join_on_same_schema_is_intersection() {
+        let r = Relation::from_u64s(schema(&[0]), [&[1u64][..], &[2][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[0]), [&[2u64][..], &[3][..]]).unwrap();
+        let j = relation_join(&r, &s);
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&[Value(2)]));
+    }
+
+    #[test]
+    fn multi_join_triangle() {
+        // R(AB)={00,11}, S(BC)={01,10}, T(AC)={00,11}: pairwise consistent
+        // relations whose 3-way join is empty (Section 4 example).
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[0u64, 0][..], &[1, 1][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[1, 2]), [&[0u64, 1][..], &[1, 0][..]]).unwrap();
+        let t = Relation::from_u64s(schema(&[0, 2]), [&[0u64, 0][..], &[1, 1][..]]).unwrap();
+        let j = multi_relation_join(&[&r, &s, &t]);
+        assert!(j.is_empty());
+        // but R ⋈ S alone is not empty
+        let rs = relation_join(&r, &s);
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn multi_bag_join_associates_with_pairwise() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 3)]).unwrap();
+        let t = Bag::from_u64s(schema(&[2, 3]), [(&[1u64, 1][..], 5)]).unwrap();
+        let j1 = multi_bag_join(&[&r, &s, &t]).unwrap();
+        let j2 = bag_join(&bag_join(&r, &s).unwrap(), &t).unwrap();
+        assert_eq!(j1, j2);
+        assert_eq!(j1.multiplicity(&[Value(1); 4]), 30);
+    }
+
+    #[test]
+    fn overflow_in_join_detected() {
+        let r = Bag::from_u64s(schema(&[0]), [(&[1u64][..], u64::MAX)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1]), [(&[1u64][..], 2)]).unwrap();
+        assert_eq!(bag_join(&r, &s), Err(CoreError::MultiplicityOverflow));
+    }
+
+    #[test]
+    fn plan_exposes_schemas() {
+        let plan = JoinPlan::new(&schema(&[0, 1]), &schema(&[1, 2]));
+        assert_eq!(plan.output_schema(), &schema(&[0, 1, 2]));
+        assert_eq!(plan.common_schema(), &schema(&[1]));
+    }
+}

@@ -1,0 +1,61 @@
+//! # `bagcons-core`
+//!
+//! Data model for *Structure and Complexity of Bag Consistency*
+//! (Atserias & Kolaitis, PODS 2021).
+//!
+//! The paper works with **relations** (functions `Tup(X) -> {0,1}`) and
+//! **bags** (functions `Tup(X) -> Z_{>=0}`) over finite sets of attributes.
+//! This crate provides exactly those objects plus the operations the paper
+//! uses:
+//!
+//! * [`Attr`], [`Value`], [`Schema`]: attributes, domain elements, and sorted
+//!   attribute sets.
+//! * [`Bag`]: a finite multiset of `X`-tuples with `u64` multiplicities,
+//!   supporting the **marginal** `R[Z]` of Equation (2) of the paper and the
+//!   **bag join** `R ⋈ᵇ S`.
+//! * [`Relation`]: a finite set of `X`-tuples, supporting projection and the
+//!   **relational join** `R ⋈ S`.
+//! * The size measures of Section 5.2: `‖R‖supp`, `‖R‖mu`, `‖R‖mb`,
+//!   `‖R‖u`, `‖R‖b` ([`Bag::support_size`], [`Bag::multiplicity_bound`],
+//!   [`Bag::multiplicity_size`], [`Bag::unary_size`], [`Bag::binary_size`]).
+//!
+//! All multiplicity arithmetic is **checked**: operations that could
+//! overflow a `u64` return [`CoreError::MultiplicityOverflow`] instead of
+//! wrapping, because the paper's complexity analysis (Theorem 3, Example 1)
+//! is specifically about binary-encoded, i.e. potentially huge,
+//! multiplicities.
+//!
+//! Invariants maintained by construction:
+//!
+//! * A [`Schema`] is a strictly sorted sequence of attributes.
+//! * A [`Bag`] never stores a tuple with multiplicity `0`
+//!   (so `Supp(R)` is exactly the key set).
+//! * Rows are stored in schema order, so row equality is tuple equality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod bag;
+pub mod error;
+pub mod hash;
+pub mod io;
+pub mod join;
+pub mod names;
+pub mod relation;
+pub mod schema;
+pub mod semiring;
+pub mod tuple;
+
+pub use attr::{Attr, Value};
+pub use bag::Bag;
+pub use error::CoreError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use names::AttrNames;
+pub use relation::Relation;
+pub use schema::Schema;
+pub use semiring::{KRelation, Semiring};
+pub use tuple::{Row, Tuple};
+
+/// Convenience result alias for fallible core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

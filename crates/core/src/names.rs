@@ -1,0 +1,66 @@
+//! Optional human-readable attribute names.
+//!
+//! Algorithms never consult names; they exist so examples and the
+//! experiment harness can print `Origin`, `Dest`, `Carrier` instead of
+//! `A0`, `A1`, `A2`.
+
+use crate::{Attr, FxHashMap};
+
+/// A registry assigning display names to attributes.
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+pub struct AttrNames {
+    names: FxHashMap<Attr, String>,
+    next: u32,
+}
+
+impl AttrNames {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a fresh attribute with the given name.
+    pub fn fresh(&mut self, name: impl Into<String>) -> Attr {
+        let a = Attr::new(self.next);
+        self.next += 1;
+        self.names.insert(a, name.into());
+        a
+    }
+
+    /// Assigns a name to an existing attribute id.
+    pub fn set(&mut self, a: Attr, name: impl Into<String>) {
+        self.next = self.next.max(a.id() + 1);
+        self.names.insert(a, name.into());
+    }
+
+    /// The display name of `a` (falls back to `A{id}`).
+    pub fn name(&self, a: Attr) -> String {
+        self.names.get(&a).cloned().unwrap_or_else(|| a.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocates_distinct_attrs() {
+        let mut n = AttrNames::new();
+        let a = n.fresh("Origin");
+        let b = n.fresh("Dest");
+        assert_ne!(a, b);
+        assert_eq!(n.name(a), "Origin");
+        assert_eq!(n.name(b), "Dest");
+    }
+
+    #[test]
+    fn fallback_and_set() {
+        let mut n = AttrNames::new();
+        assert_eq!(n.name(Attr::new(7)), "A7");
+        n.set(Attr::new(7), "City");
+        assert_eq!(n.name(Attr::new(7)), "City");
+        // fresh after set must not collide with id 7
+        let a = n.fresh("X");
+        assert!(a.id() > 7);
+    }
+}

@@ -1,0 +1,231 @@
+//! Relations: finite sets of tuples (`Tup(X) → {0,1}`).
+//!
+//! A [`Relation`] is the set-semantics counterpart of [`crate::Bag`]; the
+//! paper identifies relations with bags whose multiplicities are 0/1.
+//! Relations carry the set-case baseline of Section 5.1 (the universal
+//! relation problem) and the supports `R'` of bags.
+
+use crate::tuple::project_row;
+use crate::{Bag, CoreError, FxHashSet, Result, Row, Schema, Value};
+use std::fmt;
+
+/// A finite relation over a fixed schema.
+#[derive(Clone)]
+pub struct Relation {
+    schema: Schema,
+    rows: FxHashSet<Row>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: FxHashSet::default() }
+    }
+
+    /// Builds a relation from rows (values in schema order).
+    pub fn from_rows<I, R>(schema: Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = R>,
+        R: Into<Vec<Value>>,
+    {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Convenience constructor from plain `u64` rows.
+    pub fn from_u64s<'a, I>(schema: Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a [u64]>,
+    {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.insert(row.iter().copied().map(Value::new).collect::<Vec<_>>())?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation over `∅` holding the empty tuple — the identity of the
+    /// relational join.
+    pub fn unit() -> Self {
+        let mut rel = Relation::new(Schema::empty());
+        rel.rows.insert(Box::new([]));
+        rel
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Inserts a row (values in schema order).
+    pub fn insert(&mut self, row: impl Into<Vec<Value>>) -> Result<()> {
+        let row: Vec<Value> = row.into();
+        if row.len() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        self.rows.insert(row.into_boxed_slice());
+        Ok(())
+    }
+
+    /// Internal: inserts a pre-validated row without re-checking arity.
+    pub(crate) fn insert_row_unchecked(&mut self, row: Row) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        self.rows.insert(row);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over rows in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rows.iter().map(|r| &**r)
+    }
+
+    /// Rows sorted lexicographically, for deterministic output.
+    pub fn iter_sorted(&self) -> Vec<&[Value]> {
+        let mut v: Vec<&[Value]> = self.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Projection `R[Z]` under set semantics (duplicates collapse).
+    pub fn project(&self, sub: &Schema) -> Result<Relation> {
+        let idx = self.schema.projection_indices(sub)?;
+        let mut out = Relation::new(sub.clone());
+        for row in &self.rows {
+            out.rows.insert(project_row(row, &idx));
+        }
+        Ok(out)
+    }
+
+    /// Set containment `R ⊆ S` (schemas must match to be comparable).
+    pub fn subset_of(&self, other: &Relation) -> bool {
+        self.schema == other.schema && self.rows.iter().all(|r| other.rows.contains(r))
+    }
+
+    /// Views this relation as a bag with all multiplicities 1.
+    pub fn to_bag(&self) -> Bag {
+        let mut bag = Bag::with_capacity(self.schema.clone(), self.rows.len());
+        for row in &self.rows {
+            bag.insert(row.to_vec(), 1).expect("arity verified on insert");
+        }
+        bag
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for row in self.iter_sorted() {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  {}", cells.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attr;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(schema(&[0, 1]));
+        r.insert(vec![Value(1), Value(2)]).unwrap();
+        r.insert(vec![Value(1), Value(2)]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[Value(1), Value(2)]));
+        assert!(!r.contains(&[Value(2), Value(1)]));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = Relation::new(schema(&[0, 1]));
+        assert!(r.insert(vec![Value(1)]).is_err());
+    }
+
+    #[test]
+    fn projection_collapses() {
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 1][..], &[1, 2][..], &[2, 1][..]])
+            .unwrap();
+        let p = r.project(&schema(&[0])).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&[Value(1)]));
+        assert!(p.contains(&[Value(2)]));
+    }
+
+    #[test]
+    fn unit_relation() {
+        let u = Relation::unit();
+        assert_eq!(u.len(), 1);
+        assert!(u.contains(&[]));
+        assert_eq!(u.schema(), &Schema::empty());
+    }
+
+    #[test]
+    fn subset() {
+        let r = Relation::from_u64s(schema(&[0]), [&[1u64][..]]).unwrap();
+        let s = Relation::from_u64s(schema(&[0]), [&[1u64][..], &[2][..]]).unwrap();
+        assert!(r.subset_of(&s));
+        assert!(!s.subset_of(&r));
+        let t = Relation::from_u64s(schema(&[1]), [&[1u64][..]]).unwrap();
+        assert!(!r.subset_of(&t)); // different schema
+    }
+
+    #[test]
+    fn to_bag_and_back() {
+        let r = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 2][..], &[3, 4][..]]).unwrap();
+        let b = r.to_bag();
+        assert!(b.is_relation());
+        assert_eq!(b.support(), r);
+        assert_eq!(b.unary_size(), 2);
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let r = Relation::from_u64s(schema(&[0]), [&[9u64][..], &[1][..]]).unwrap();
+        let s = r.to_string();
+        assert!(s.find("1").unwrap() < s.find("9").unwrap());
+    }
+}

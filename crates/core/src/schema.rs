@@ -1,0 +1,287 @@
+//! Schemas: finite, sorted sets of attributes.
+//!
+//! The paper writes `X`, `Y`, `Z` for sets of attributes and `XY` for the
+//! union `X ∪ Y`. A [`Schema`] is such a set, stored strictly sorted so
+//! that tuple rows have a canonical attribute order and set operations are
+//! linear merges.
+
+use crate::{Attr, CoreError, Result};
+use std::fmt;
+
+/// A finite set of attributes, strictly sorted by attribute id.
+///
+/// The empty schema is valid and important: `Tup(∅)` contains exactly the
+/// empty tuple, and the marginal `R[∅]` of a bag is the bag holding the
+/// empty tuple with multiplicity `‖R‖u` (the total count).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schema {
+    attrs: Box<[Attr]>,
+}
+
+impl Schema {
+    /// The empty schema `∅`.
+    pub fn empty() -> Self {
+        Schema { attrs: Box::new([]) }
+    }
+
+    /// Builds a schema from any iterator of attributes, sorting and
+    /// deduplicating.
+    pub fn from_attrs<I: IntoIterator<Item = Attr>>(attrs: I) -> Self {
+        let mut v: Vec<Attr> = attrs.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Schema { attrs: v.into_boxed_slice() }
+    }
+
+    /// Builds the schema `{A_lo, …, A_{hi-1}}` of consecutively numbered
+    /// attributes. Convenient for the paper's families over `A_1 … A_n`.
+    pub fn range(lo: u32, hi: u32) -> Self {
+        Schema::from_attrs((lo..hi).map(Attr::new))
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True iff this is the empty schema.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes in sorted order.
+    #[inline]
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Iterator over the attributes in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = Attr> + '_ {
+        self.attrs.iter().copied()
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, a: Attr) -> bool {
+        self.attrs.binary_search(&a).is_ok()
+    }
+
+    /// Position of `a` within this schema's sorted order, if present.
+    #[inline]
+    pub fn position(&self, a: Attr) -> Option<usize> {
+        self.attrs.binary_search(&a).ok()
+    }
+
+    /// True iff `self ⊆ other` (linear merge walk).
+    pub fn is_subset_of(&self, other: &Schema) -> bool {
+        let mut it = other.attrs.iter();
+        'outer: for a in self.attrs.iter() {
+            for b in it.by_ref() {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Union `self ∪ other` (the paper's `XY`).
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut out = Vec::with_capacity(self.arity() + other.arity());
+        let (mut i, mut j) = (0, 0);
+        while i < self.attrs.len() && j < other.attrs.len() {
+            match self.attrs[i].cmp(&other.attrs[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.attrs[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.attrs[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.attrs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.attrs[i..]);
+        out.extend_from_slice(&other.attrs[j..]);
+        Schema { attrs: out.into_boxed_slice() }
+    }
+
+    /// Intersection `self ∩ other`.
+    pub fn intersection(&self, other: &Schema) -> Schema {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.attrs.len() && j < other.attrs.len() {
+            match self.attrs[i].cmp(&other.attrs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.attrs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Schema { attrs: out.into_boxed_slice() }
+    }
+
+    /// Difference `self \ other`.
+    pub fn difference(&self, other: &Schema) -> Schema {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &a in self.attrs.iter() {
+            while j < other.attrs.len() && other.attrs[j] < a {
+                j += 1;
+            }
+            if j >= other.attrs.len() || other.attrs[j] != a {
+                out.push(a);
+            }
+        }
+        Schema { attrs: out.into_boxed_slice() }
+    }
+
+    /// Removes a single attribute (used by vertex safe-deletions).
+    pub fn without(&self, a: Attr) -> Schema {
+        Schema::from_attrs(self.iter().filter(|&b| b != a))
+    }
+
+    /// For a subschema `sub ⊆ self`, returns for each attribute of `sub`
+    /// its index within `self`'s sorted order.
+    ///
+    /// This is the projection map used to compute `t[Z]` from `t`: the
+    /// `Z`-row consists of the `self`-row's entries at these positions.
+    pub fn projection_indices(&self, sub: &Schema) -> Result<Vec<usize>> {
+        let mut idx = Vec::with_capacity(sub.arity());
+        for a in sub.iter() {
+            match self.position(a) {
+                Some(p) => idx.push(p),
+                None => {
+                    return Err(CoreError::NotASubschema {
+                        sub: sub.clone(),
+                        sup: self.clone(),
+                    })
+                }
+            }
+        }
+        Ok(idx)
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Attr> for Schema {
+    fn from_iter<I: IntoIterator<Item = Attr>>(iter: I) -> Self {
+        Schema::from_attrs(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Schema {
+    type Item = Attr;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Attr>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.attrs.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let x = Schema::from_attrs([Attr(3), Attr(1), Attr(3), Attr(2)]);
+        assert_eq!(x.attrs(), &[Attr(1), Attr(2), Attr(3)]);
+        assert_eq!(x.arity(), 3);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let e = Schema::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.arity(), 0);
+        assert!(e.is_subset_of(&s(&[1, 2])));
+        assert_eq!(e.union(&s(&[1])), s(&[1]));
+        assert_eq!(s(&[1]).intersection(&e), e);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let x = s(&[1, 2, 3]);
+        let y = s(&[2, 3, 4]);
+        assert_eq!(x.union(&y), s(&[1, 2, 3, 4]));
+        assert_eq!(x.intersection(&y), s(&[2, 3]));
+        assert_eq!(x.difference(&y), s(&[1]));
+        assert_eq!(y.difference(&x), s(&[4]));
+    }
+
+    #[test]
+    fn subset_checks() {
+        assert!(s(&[1, 3]).is_subset_of(&s(&[1, 2, 3])));
+        assert!(!s(&[1, 4]).is_subset_of(&s(&[1, 2, 3])));
+        assert!(s(&[]).is_subset_of(&s(&[])));
+        assert!(!s(&[1]).is_subset_of(&s(&[])));
+        let x = s(&[5, 9]);
+        assert!(x.is_subset_of(&x));
+    }
+
+    #[test]
+    fn positions_and_projection_indices() {
+        let x = s(&[10, 20, 30]);
+        assert_eq!(x.position(Attr(20)), Some(1));
+        assert_eq!(x.position(Attr(25)), None);
+        let idx = x.projection_indices(&s(&[30, 10])).unwrap();
+        // sub-schema is sorted as {10, 30} -> positions 0 and 2.
+        assert_eq!(idx, vec![0, 2]);
+        assert!(x.projection_indices(&s(&[40])).is_err());
+    }
+
+    #[test]
+    fn without_removes_one() {
+        let x = s(&[1, 2, 3]);
+        assert_eq!(x.without(Attr(2)), s(&[1, 3]));
+        assert_eq!(x.without(Attr(9)), x);
+    }
+
+    #[test]
+    fn range_builds_consecutive() {
+        assert_eq!(Schema::range(1, 4), s(&[1, 2, 3]));
+        assert_eq!(Schema::range(2, 2), Schema::empty());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(s(&[1, 2]).to_string(), "{A1,A2}");
+        assert_eq!(Schema::empty().to_string(), "{}");
+    }
+}

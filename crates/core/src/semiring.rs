@@ -1,0 +1,384 @@
+//! Positive semirings and `K`-relations (the paper's concluding remarks).
+//!
+//! Section 6 of the paper: "the stricter notion of consistency for bags
+//! studied here makes perfectly good sense for `K`-relations as well. It
+//! is an open problem whether or not the results presented here extend to
+//! `K`-relations, where `K` is a positive semiring…"
+//!
+//! This module provides the machinery to *experiment* with that question:
+//! a [`Semiring`] trait, the three canonical instances —
+//!
+//! * [`Bool`]-semiring `B` (relations),
+//! * [`Natural`] `Z≥0` (bags; cross-checked against [`crate::Bag`]),
+//! * the max-plus [`Tropical`] semiring —
+//!
+//! and a generic [`KRelation`] with semiring marginals and joins. The
+//! test suite records what is known to carry over: the two-object
+//! marginal-equality characterization (Lemma 2 (1)⟺(2)) holds for `B`
+//! and — via an explicit min-construction — for the tropical semiring,
+//! while the general question stays open, as in the paper.
+
+use crate::tuple::project_row;
+use crate::{CoreError, FxHashMap, Result, Row, Schema, Value};
+use std::fmt;
+
+/// A commutative semiring `(K, +, ×, 0, 1)`.
+///
+/// *Positivity* (no zero divisors and `a + b = 0 ⇒ a = b = 0`) is assumed
+/// by the consistency notions but cannot be enforced by the type system;
+/// all provided instances are positive.
+pub trait Semiring: Clone + Eq + fmt::Debug {
+    /// Additive identity; elements equal to `zero` are not stored.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition (used by marginals). Checked: `None` on overflow.
+    fn add(&self, other: &Self) -> Option<Self>;
+    /// Multiplication (used by joins). Checked: `None` on overflow.
+    fn mul(&self, other: &Self) -> Option<Self>;
+}
+
+/// The Boolean semiring `B = ({0,1}, ∨, ∧)`; `B`-relations are relations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+    fn one() -> Self {
+        Bool(true)
+    }
+    fn add(&self, other: &Self) -> Option<Self> {
+        Some(Bool(self.0 || other.0))
+    }
+    fn mul(&self, other: &Self) -> Option<Self> {
+        Some(Bool(self.0 && other.0))
+    }
+}
+
+/// The semiring of non-negative integers; `Natural`-relations are bags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Natural(pub u64);
+
+impl Semiring for Natural {
+    fn zero() -> Self {
+        Natural(0)
+    }
+    fn one() -> Self {
+        Natural(1)
+    }
+    fn add(&self, other: &Self) -> Option<Self> {
+        self.0.checked_add(other.0).map(Natural)
+    }
+    fn mul(&self, other: &Self) -> Option<Self> {
+        self.0.checked_mul(other.0).map(Natural)
+    }
+}
+
+/// The max-plus (tropical) semiring over `Z≥0 ∪ {−∞}`:
+/// `a ⊕ b = max(a,b)`, `a ⊗ b = a + b`, `0 = −∞` (`None`), `1 = 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Tropical(pub Option<u64>);
+
+impl Tropical {
+    /// A finite tropical value.
+    pub fn finite(v: u64) -> Self {
+        Tropical(Some(v))
+    }
+}
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical(None)
+    }
+    fn one() -> Self {
+        Tropical(Some(0))
+    }
+    fn add(&self, other: &Self) -> Option<Self> {
+        Some(Tropical(match (self.0, other.0) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some(a), Some(b)) => Some(a.max(b)),
+        }))
+    }
+    fn mul(&self, other: &Self) -> Option<Self> {
+        match (self.0, other.0) {
+            (Some(a), Some(b)) => a.checked_add(b).map(|s| Tropical(Some(s))),
+            _ => Some(Tropical(None)),
+        }
+    }
+}
+
+/// A finite `K`-relation: a function `Tup(X) → K` with finite support.
+#[derive(Clone)]
+pub struct KRelation<K: Semiring> {
+    schema: Schema,
+    rows: FxHashMap<Row, K>,
+}
+
+impl<K: Semiring> KRelation<K> {
+    /// An empty `K`-relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        KRelation { schema, rows: FxHashMap::default() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Adds `value` to the annotation of `row` (semiring addition).
+    pub fn insert(&mut self, row: impl Into<Vec<Value>>, value: K) -> Result<()> {
+        let row: Vec<Value> = row.into();
+        if row.len() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        if value == K::zero() {
+            return Ok(());
+        }
+        let key = row.into_boxed_slice();
+        let next = match self.rows.get(&key) {
+            Some(old) => old.add(&value).ok_or(CoreError::MultiplicityOverflow)?,
+            None => value,
+        };
+        if next == K::zero() {
+            self.rows.remove(&key);
+        } else {
+            self.rows.insert(key, next);
+        }
+        Ok(())
+    }
+
+    /// The annotation of `row` (`K::zero()` when absent).
+    pub fn get(&self, row: &[Value]) -> K {
+        self.rows.get(row).cloned().unwrap_or_else(K::zero)
+    }
+
+    /// Number of support tuples.
+    pub fn support_size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterates over `(row, annotation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], &K)> + '_ {
+        self.rows.iter().map(|(r, k)| (&**r, k))
+    }
+
+    /// The marginal `R[Z]`: semiring sums over collapsing tuples —
+    /// Equation (2) generalized from `Z≥0` to `K`.
+    pub fn marginal(&self, sub: &Schema) -> Result<KRelation<K>> {
+        let idx = self.schema.projection_indices(sub)?;
+        let mut out = KRelation::new(sub.clone());
+        for (row, k) in &self.rows {
+            out.insert(project_row(row, &idx).to_vec(), k.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// The `K`-join: support `R' ⋈ S'`, annotations multiply — the
+    /// `K`-relation analogue of the bag join.
+    pub fn join(&self, other: &KRelation<K>) -> Result<KRelation<K>> {
+        let plan = crate::join::JoinPlan::new(&self.schema, &other.schema);
+        let z = plan.common_schema().clone();
+        let self_idx = self.schema.projection_indices(&z)?;
+        let other_idx = other.schema.projection_indices(&z)?;
+        let mut index: FxHashMap<Row, Vec<(&[Value], &K)>> = FxHashMap::default();
+        for (row, k) in self.iter() {
+            index.entry(project_row(row, &self_idx)).or_default().push((row, k));
+        }
+        let out_schema = plan.output_schema().clone();
+        let mut out = KRelation::new(out_schema.clone());
+        for (orow, ok) in other.iter() {
+            let key = project_row(orow, &other_idx);
+            let Some(matches) = index.get(&key) else { continue };
+            for &(srow, sk) in matches {
+                let combined: Vec<Value> = out_schema
+                    .iter()
+                    .map(|a| match self.schema.position(a) {
+                        Some(i) => srow[i],
+                        None => orow[other.schema.position(a).expect("attr of XY")],
+                    })
+                    .collect();
+                let prod = sk.mul(ok).ok_or(CoreError::MultiplicityOverflow)?;
+                out.insert(combined, prod)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Two `K`-relations are *consistent* when some `K`-relation over the
+    /// joint schema marginalizes to both (the paper's strict notion,
+    /// verbatim from bags). This checks whether `t` is such a witness.
+    pub fn witnesses(&self, other: &KRelation<K>, t: &KRelation<K>) -> Result<bool> {
+        Ok(t.marginal(&self.schema)? == *self && t.marginal(&other.schema)? == *other)
+    }
+}
+
+impl<K: Semiring> PartialEq for KRelation<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl<K: Semiring> Eq for KRelation<K> {}
+
+impl<K: Semiring> fmt::Debug for KRelation<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut rows: Vec<_> = self.rows.iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(b.0));
+        write!(f, "KRelation({} ", self.schema)?;
+        for (row, k) in rows {
+            write!(f, "{row:?}:{k:?} ")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Converts a [`crate::Bag`] into a `Natural`-relation (they are the same
+/// object; the paper: "the `Z≥0`-relations are precisely the bags").
+pub fn bag_to_krelation(bag: &crate::Bag) -> KRelation<Natural> {
+    let mut out = KRelation::new(bag.schema().clone());
+    for (row, m) in bag.iter() {
+        out.insert(row.to_vec(), Natural(m)).expect("arity matches");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attr, Bag};
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn natural_krelation_marginal_matches_bag_marginal() {
+        let bag = Bag::from_u64s(
+            schema(&[0, 1]),
+            [(&[1u64, 1][..], 2), (&[1, 2][..], 3), (&[2, 1][..], 5)],
+        )
+        .unwrap();
+        let kr = bag_to_krelation(&bag);
+        let z = schema(&[0]);
+        let km = kr.marginal(&z).unwrap();
+        let bm = bag.marginal(&z).unwrap();
+        for (row, m) in bm.iter() {
+            assert_eq!(km.get(row), Natural(m));
+        }
+        assert_eq!(km.support_size(), bm.support_size());
+    }
+
+    #[test]
+    fn bool_krelation_is_set_semantics() {
+        let mut r: KRelation<Bool> = KRelation::new(schema(&[0, 1]));
+        r.insert(vec![Value(1), Value(1)], Bool(true)).unwrap();
+        r.insert(vec![Value(1), Value(2)], Bool(true)).unwrap();
+        // re-inserting is idempotent (∨)
+        r.insert(vec![Value(1), Value(1)], Bool(true)).unwrap();
+        assert_eq!(r.support_size(), 2);
+        let m = r.marginal(&schema(&[0])).unwrap();
+        assert_eq!(m.get(&[Value(1)]), Bool(true));
+        assert_eq!(m.support_size(), 1); // duplicates collapse, no counting
+    }
+
+    #[test]
+    fn zero_annotations_are_not_stored() {
+        let mut r: KRelation<Natural> = KRelation::new(schema(&[0]));
+        r.insert(vec![Value(1)], Natural(0)).unwrap();
+        assert_eq!(r.support_size(), 0);
+        let mut t: KRelation<Tropical> = KRelation::new(schema(&[0]));
+        t.insert(vec![Value(1)], Tropical::zero()).unwrap();
+        assert_eq!(t.support_size(), 0);
+        t.insert(vec![Value(1)], Tropical::finite(0)).unwrap();
+        assert_eq!(t.support_size(), 1); // tropical one ≠ tropical zero
+    }
+
+    #[test]
+    fn tropical_marginal_takes_max() {
+        let mut r: KRelation<Tropical> = KRelation::new(schema(&[0, 1]));
+        r.insert(vec![Value(1), Value(1)], Tropical::finite(3)).unwrap();
+        r.insert(vec![Value(1), Value(2)], Tropical::finite(7)).unwrap();
+        let m = r.marginal(&schema(&[0])).unwrap();
+        assert_eq!(m.get(&[Value(1)]), Tropical::finite(7));
+    }
+
+    #[test]
+    fn join_multiplies_annotations() {
+        let mut r: KRelation<Natural> = KRelation::new(schema(&[0, 1]));
+        r.insert(vec![Value(1), Value(2)], Natural(2)).unwrap();
+        let mut s: KRelation<Natural> = KRelation::new(schema(&[1, 2]));
+        s.insert(vec![Value(2), Value(5)], Natural(3)).unwrap();
+        let j = r.join(&s).unwrap();
+        assert_eq!(j.get(&[Value(1), Value(2), Value(5)]), Natural(6));
+        // matches the Bag implementation
+        let rb = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 2)]).unwrap();
+        let sb = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 5][..], 3)]).unwrap();
+        let jb = crate::join::bag_join(&rb, &sb).unwrap();
+        assert_eq!(jb.multiplicity(&[Value(1), Value(2), Value(5)]), 6);
+    }
+
+    #[test]
+    fn boolean_lemma2_direction_join_witnesses_equal_marginals() {
+        // classic set fact: if R[Z] = S[Z] then R ⋈ S witnesses — the
+        // B-instance of Lemma 2 (1)⟸(2)
+        let mut r: KRelation<Bool> = KRelation::new(schema(&[0, 1]));
+        r.insert(vec![Value(1), Value(1)], Bool(true)).unwrap();
+        r.insert(vec![Value(2), Value(1)], Bool(true)).unwrap();
+        let mut s: KRelation<Bool> = KRelation::new(schema(&[1, 2]));
+        s.insert(vec![Value(1), Value(5)], Bool(true)).unwrap();
+        s.insert(vec![Value(1), Value(6)], Bool(true)).unwrap();
+        let z = schema(&[1]);
+        assert_eq!(r.marginal(&z).unwrap(), s.marginal(&z).unwrap());
+        let t = r.join(&s).unwrap();
+        assert!(r.witnesses(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn tropical_lemma2_direction_min_construction_witnesses() {
+        // For max-plus: equal Z-marginals ⟹ consistent, witnessed by
+        // T(xy) = min(R(x), S(y)) — an explicit construction showing the
+        // two-object characterization survives in this semiring.
+        let mut r: KRelation<Tropical> = KRelation::new(schema(&[0, 1]));
+        r.insert(vec![Value(1), Value(1)], Tropical::finite(3)).unwrap();
+        r.insert(vec![Value(2), Value(1)], Tropical::finite(7)).unwrap();
+        let mut s: KRelation<Tropical> = KRelation::new(schema(&[1, 2]));
+        s.insert(vec![Value(1), Value(5)], Tropical::finite(7)).unwrap();
+        s.insert(vec![Value(1), Value(6)], Tropical::finite(2)).unwrap();
+        let z = schema(&[1]);
+        assert_eq!(r.marginal(&z).unwrap(), s.marginal(&z).unwrap());
+        // min-construction over the join support
+        let mut t: KRelation<Tropical> = KRelation::new(schema(&[0, 1, 2]));
+        for (rrow, rk) in r.iter() {
+            for (srow, sk) in s.iter() {
+                if rrow[1] == srow[0] {
+                    let (Some(a), Some(b)) = (rk.0, sk.0) else { continue };
+                    t.insert(
+                        vec![rrow[0], rrow[1], srow[1]],
+                        Tropical::finite(a.min(b)),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        assert!(r.witnesses(&s, &t).unwrap(), "min-construction must witness");
+        // note: the max-plus JOIN (sum of annotations) does NOT witness —
+        // the same failure mode as bags
+        let j = r.join(&s).unwrap();
+        assert!(!r.witnesses(&s, &j).unwrap());
+    }
+
+    #[test]
+    fn overflow_detected_in_natural_and_tropical() {
+        let mut r: KRelation<Natural> = KRelation::new(schema(&[0]));
+        r.insert(vec![Value(1)], Natural(u64::MAX)).unwrap();
+        assert!(r.insert(vec![Value(1)], Natural(1)).is_err());
+        let a = Tropical::finite(u64::MAX);
+        assert!(a.mul(&Tropical::finite(1)).is_none());
+    }
+}

@@ -1,0 +1,260 @@
+//! The consistency network `N(R,S)` of Section 3.
+//!
+//! > The network has `1 + |R'| + |S'| + 1` vertices: one source `s*`, one
+//! > vertex per tuple of `R'`, one per tuple of `S'`, and one target `t*`.
+//! > There is an arc of capacity `R(r)` from `s*` to `r`, an arc of
+//! > capacity `S(s)` from `s` to `t*`, and an arc of unbounded capacity
+//! > from `t[X]` to `t[Y]` for each `t ∈ R' ⋈ S'`.
+//!
+//! A **saturated** flow (every source and sink arc at capacity) exists iff
+//! `R` and `S` are consistent (Lemma 2), and an integral saturated flow
+//! *is* a witness bag: `T(t) = f(t[X], t[Y])`.
+//!
+//! Implementation notes:
+//!
+//! * "Unbounded" middle capacities are realized as `min(R(r), S(s))` —
+//!   flow through the arc can never exceed either endpoint's bottleneck,
+//!   so this preserves all flows while keeping arithmetic in `u64`.
+//! * [`ConsistencyNetwork::build_excluding`] can omit selected middle
+//!   edges; the minimal-witness algorithm of Section 5.3 needs exactly
+//!   this ("temporarily remove it, compute a maximum flow of the resulting
+//!   network, and check whether it is saturated").
+
+use crate::dinic::{EdgeId, FlowNetwork};
+use bagcons_core::join::JoinPlan;
+use bagcons_core::tuple::project_row;
+use bagcons_core::{Bag, FxHashMap, Result, Row, Schema, Value};
+
+/// The network `N(R,S)` with bookkeeping to extract witness bags.
+pub struct ConsistencyNetwork {
+    net: FlowNetwork,
+    source: usize,
+    sink: usize,
+    xy: Schema,
+    /// One entry per middle edge: its flow-network id and its `XY`-row.
+    middle: Vec<(EdgeId, Row)>,
+    total_r: u128,
+    total_s: u128,
+}
+
+impl ConsistencyNetwork {
+    /// Builds `N(R,S)` with every middle edge present.
+    pub fn build(r: &Bag, s: &Bag) -> Result<Self> {
+        Self::build_excluding(r, s, |_| false)
+    }
+
+    /// Builds `N(R,S)` omitting middle edges whose `XY`-row satisfies
+    /// `exclude` — the self-reducibility hook of Section 5.3.
+    pub fn build_excluding(
+        r: &Bag,
+        s: &Bag,
+        exclude: impl Fn(&[Value]) -> bool,
+    ) -> Result<Self> {
+        let plan = JoinPlan::new(r.schema(), s.schema());
+        let r_rows = r.iter_sorted();
+        let s_rows = s.iter_sorted();
+        let n = 1 + r_rows.len() + s_rows.len() + 1;
+        let source = 0;
+        let sink = n - 1;
+        let mut net = FlowNetwork::new(n);
+
+        let mut total_r: u128 = 0;
+        for (i, &(_, m)) in r_rows.iter().enumerate() {
+            net.add_edge(source, 1 + i, m);
+            total_r += m as u128;
+        }
+        let mut total_s: u128 = 0;
+        let s_base = 1 + r_rows.len();
+        for (j, &(_, m)) in s_rows.iter().enumerate() {
+            net.add_edge(s_base + j, sink, m);
+            total_s += m as u128;
+        }
+
+        // Hash S-rows by their Z-projection for the middle edges.
+        let z_of_s = s.schema().projection_indices(plan.common_schema())?;
+        let z_of_r = r.schema().projection_indices(plan.common_schema())?;
+        let mut s_index: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
+        for (j, &(row, _)) in s_rows.iter().enumerate() {
+            s_index.entry(project_row(row, &z_of_s)).or_default().push(j);
+        }
+
+        let out_schema = plan.output_schema().clone();
+        let mut middle = Vec::new();
+        for (i, &(r_row, rm)) in r_rows.iter().enumerate() {
+            let key = project_row(r_row, &z_of_r);
+            let Some(matches) = s_index.get(&key) else { continue };
+            for &j in matches {
+                let (s_row, sm) = s_rows[j];
+                let combined = combine_rows(&out_schema, r.schema(), r_row, s.schema(), s_row);
+                if exclude(&combined) {
+                    continue;
+                }
+                let id = net.add_edge(1 + i, s_base + j, rm.min(sm));
+                middle.push((id, combined));
+            }
+        }
+
+        Ok(ConsistencyNetwork { net, source, sink, xy: out_schema, middle, total_r, total_s })
+    }
+
+    /// The joined schema `XY`.
+    pub fn output_schema(&self) -> &Schema {
+        &self.xy
+    }
+
+    /// Number of middle edges (= `|R' ⋈ S'|` minus exclusions).
+    pub fn num_middle_edges(&self) -> usize {
+        self.middle.len()
+    }
+
+    /// Runs max-flow; if the flow saturates every source and sink arc,
+    /// returns the witness bag `T(t) = f(t[X], t[Y])`, else `None`.
+    pub fn solve(mut self) -> Option<Bag> {
+        if self.total_r != self.total_s {
+            // A saturated flow needs both sides saturated; impossible.
+            return None;
+        }
+        let value = self.net.max_flow(self.source, self.sink);
+        if value != self.total_r {
+            return None;
+        }
+        let mut witness = Bag::with_capacity(self.xy.clone(), self.middle.len());
+        for (id, row) in self.middle {
+            let f = self.net.flow(id);
+            if f > 0 {
+                witness
+                    .insert(row.to_vec(), f)
+                    .expect("middle rows are valid XY rows and flows fit u64");
+            }
+        }
+        Some(witness)
+    }
+}
+
+/// Assembles the `XY`-row from an `X`-row and a matching `Y`-row.
+fn combine_rows(
+    out: &Schema,
+    x: &Schema,
+    x_row: &[Value],
+    y: &Schema,
+    y_row: &[Value],
+) -> Row {
+    out.iter()
+        .map(|a| match x.position(a) {
+            Some(i) => x_row[i],
+            None => y_row[y.position(a).expect("attr of XY")],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcons_core::Attr;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    /// R1(AB), S1(BC) from Section 3: consistent, witnessed by exactly two bags.
+    fn section3_pair() -> (Bag, Bag) {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 1), (&[2, 2][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
+        (r, s)
+    }
+
+    #[test]
+    fn consistent_pair_yields_witness() {
+        let (r, s) = section3_pair();
+        let net = ConsistencyNetwork::build(&r, &s).unwrap();
+        assert_eq!(net.num_middle_edges(), 4); // |R' ⋈ S'| = 2×2 on B=2
+        let t = net.solve().expect("consistent");
+        assert_eq!(t.marginal(r.schema()).unwrap(), r);
+        assert_eq!(t.marginal(s.schema()).unwrap(), s);
+    }
+
+    #[test]
+    fn inconsistent_pair_yields_none() {
+        // unequal totals
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 3)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 1)]).unwrap();
+        assert!(ConsistencyNetwork::build(&r, &s).unwrap().solve().is_none());
+    }
+
+    #[test]
+    fn equal_totals_but_marginal_mismatch() {
+        // R[B] = {2:1, 3:1}, S[B] = {2:2}: same totals, inconsistent.
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 1), (&[1, 3][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 2)]).unwrap();
+        assert!(ConsistencyNetwork::build(&r, &s).unwrap().solve().is_none());
+    }
+
+    #[test]
+    fn disjoint_schemas_always_consistent_when_totals_match() {
+        let r = Bag::from_u64s(schema(&[0]), [(&[1u64][..], 2), (&[2][..], 1)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1]), [(&[5u64][..], 3)]).unwrap();
+        let t = ConsistencyNetwork::build(&r, &s).unwrap().solve().expect("consistent");
+        assert_eq!(t.marginal(r.schema()).unwrap(), r);
+        assert_eq!(t.marginal(s.schema()).unwrap(), s);
+    }
+
+    #[test]
+    fn disjoint_schemas_with_unequal_totals_inconsistent() {
+        // R(∅-overlap): marginals on ∅ are the totals; 3 ≠ 4.
+        let r = Bag::from_u64s(schema(&[0]), [(&[1u64][..], 3)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1]), [(&[5u64][..], 4)]).unwrap();
+        assert!(ConsistencyNetwork::build(&r, &s).unwrap().solve().is_none());
+    }
+
+    #[test]
+    fn empty_bags_are_consistent() {
+        let r = Bag::new(schema(&[0, 1]));
+        let s = Bag::new(schema(&[1, 2]));
+        let t = ConsistencyNetwork::build(&r, &s).unwrap().solve().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.schema(), &schema(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn identical_schemas_require_equal_bags() {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2)]).unwrap();
+        let t = ConsistencyNetwork::build(&r, &r.clone()).unwrap().solve().unwrap();
+        assert_eq!(t, r);
+        let other = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 2)]).unwrap();
+        assert!(ConsistencyNetwork::build(&r, &other).unwrap().solve().is_none());
+    }
+
+    #[test]
+    fn excluding_all_middle_edges_blocks_flow() {
+        let (r, s) = section3_pair();
+        let net = ConsistencyNetwork::build_excluding(&r, &s, |_| true).unwrap();
+        assert_eq!(net.num_middle_edges(), 0);
+        assert!(net.solve().is_none());
+    }
+
+    #[test]
+    fn excluding_one_witness_row_leaves_the_other_witness() {
+        // Section 3: witnesses are T1 = {(1,2,2),(2,2,1)} and
+        // T2 = {(1,2,1),(2,2,2)}. Excluding (1,2,2) must force T2.
+        let (r, s) = section3_pair();
+        let banned: Row = vec![Value(1), Value(2), Value(2)].into_boxed_slice();
+        let net =
+            ConsistencyNetwork::build_excluding(&r, &s, |row| row == &*banned).unwrap();
+        let t = net.solve().expect("still consistent without that row");
+        assert_eq!(t.multiplicity(&[Value(1), Value(2), Value(1)]), 1);
+        assert_eq!(t.multiplicity(&[Value(2), Value(2), Value(2)]), 1);
+        assert_eq!(t.support_size(), 2);
+    }
+
+    #[test]
+    fn large_multiplicities() {
+        let big = 1u64 << 62;
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], big), (&[2, 1][..], big)])
+            .unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], big), (&[1, 2][..], big)])
+            .unwrap();
+        let t = ConsistencyNetwork::build(&r, &s).unwrap().solve().expect("consistent");
+        assert_eq!(t.unary_size(), 2 * big as u128);
+        assert_eq!(t.marginal(r.schema()).unwrap(), r);
+    }
+}

@@ -1,0 +1,107 @@
+//! Random bags, relations, and hypergraphs.
+
+use bagcons_core::{Attr, Bag, Relation, Schema, Value};
+use bagcons_hypergraph::Hypergraph;
+use rand::Rng;
+
+/// A random bag over `schema`: up to `support` distinct tuples with values
+/// in `0..domain` and multiplicities in `1..=max_mult`. The actual support
+/// may be smaller when collisions occur (duplicates accumulate).
+pub fn random_bag<R: Rng>(
+    schema: &Schema,
+    domain: u64,
+    support: usize,
+    max_mult: u64,
+    rng: &mut R,
+) -> Bag {
+    assert!(domain > 0 && max_mult > 0);
+    let mut bag = Bag::with_capacity(schema.clone(), support);
+    for _ in 0..support {
+        let row: Vec<Value> =
+            (0..schema.arity()).map(|_| Value(rng.gen_range(0..domain))).collect();
+        let mult = rng.gen_range(1..=max_mult);
+        bag.insert(row, mult).expect("random multiplicities stay far from u64::MAX");
+    }
+    bag
+}
+
+/// A random relation over `schema` with up to `size` tuples.
+pub fn random_relation<R: Rng>(
+    schema: &Schema,
+    domain: u64,
+    size: usize,
+    rng: &mut R,
+) -> Relation {
+    assert!(domain > 0);
+    let mut rel = Relation::new(schema.clone());
+    for _ in 0..size {
+        let row: Vec<Value> =
+            (0..schema.arity()).map(|_| Value(rng.gen_range(0..domain))).collect();
+        rel.insert(row).expect("arity matches schema");
+    }
+    rel
+}
+
+/// A random hypergraph: `edges` hyperedges of arity `2..=max_arity` over
+/// vertices `0..vertices`. Duplicate edges collapse, so the result may
+/// have fewer edges. Useful for cross-validating the structural
+/// characterizations of Theorem 1/2 on unstructured inputs.
+pub fn random_hypergraph<R: Rng>(
+    vertices: u32,
+    edges: usize,
+    max_arity: usize,
+    rng: &mut R,
+) -> Hypergraph {
+    assert!(vertices >= 2 && max_arity >= 2);
+    let es = (0..edges).map(|_| {
+        let arity = rng.gen_range(2..=max_arity);
+        Schema::from_attrs((0..arity).map(|_| Attr::new(rng.gen_range(0..vertices))))
+    });
+    Hypergraph::from_edges(es.filter(|e| !e.is_empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn random_bag_respects_parameters() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let b = random_bag(&schema(&[0, 1]), 4, 50, 9, &mut rng);
+        assert!(b.support_size() <= 50);
+        assert!(b.multiplicity_bound() > 0);
+        for (row, _) in b.iter() {
+            assert!(row.iter().all(|v| v.get() < 4));
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = random_bag(&schema(&[0, 1]), 8, 20, 5, &mut StdRng::seed_from_u64(7));
+        let b = random_bag(&schema(&[0, 1]), 8, 20, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_relation_within_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = random_relation(&schema(&[0, 1, 2]), 3, 30, &mut rng);
+        assert!(r.len() <= 30);
+        assert!(r.len() <= 27); // at most 3^3 distinct tuples
+    }
+
+    #[test]
+    fn random_hypergraph_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = random_hypergraph(8, 10, 4, &mut rng);
+        assert!(h.num_edges() <= 10);
+        assert!(h.num_vertices() <= 8);
+        assert!(h.edges().iter().all(|e| e.arity() >= 1 && e.arity() <= 4));
+    }
+}

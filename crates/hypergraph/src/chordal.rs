@@ -1,0 +1,168 @@
+//! Chordality of the primal graph.
+//!
+//! A hypergraph is **chordal** when its primal graph is chordal: every
+//! cycle of length ≥ 4 has a chord. We use the classical two-phase test of
+//! Rose–Tarjan–Lueker [RTL76] (cited by the paper in Lemma 3):
+//! *maximum-cardinality search* produces a vertex order whose reverse is a
+//! perfect elimination order iff the graph is chordal; a second pass
+//! verifies the elimination property.
+
+use crate::{Hypergraph, PrimalGraph};
+
+/// Maximum-cardinality search: returns vertices (dense indices) in visit
+/// order. Visits the vertex with the most already-visited neighbors first,
+/// breaking ties by index for determinism.
+pub fn mcs_order(g: &PrimalGraph) -> Vec<usize> {
+    let n = g.len();
+    let mut weight = vec![0usize; n];
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&i| !visited[i])
+            .max_by_key(|&i| (weight[i], std::cmp::Reverse(i)))
+            .expect("unvisited vertex remains");
+        visited[v] = true;
+        order.push(v);
+        for u in g.neighbors(v) {
+            if !visited[u] {
+                weight[u] += 1;
+            }
+        }
+    }
+    order
+}
+
+/// Checks whether `peo` (dense indices, elimination-first) is a perfect
+/// elimination order of `g`: for every vertex `v`, the later-eliminated
+/// neighbors of `v` form a clique. It suffices to check that they are all
+/// adjacent to the earliest of them (the standard "parent" test).
+pub fn is_perfect_elimination_order(g: &PrimalGraph, peo: &[usize]) -> bool {
+    let n = g.len();
+    debug_assert_eq!(peo.len(), n);
+    let mut pos = vec![0usize; n];
+    for (i, &v) in peo.iter().enumerate() {
+        pos[v] = i;
+    }
+    for (i, &v) in peo.iter().enumerate() {
+        // neighbors of v eliminated after v
+        let later: Vec<usize> = g.neighbors(v).filter(|&u| pos[u] > i).collect();
+        if let Some(&parent) = later.iter().min_by_key(|&&u| pos[u]) {
+            for &u in &later {
+                if u != parent && !g.adjacent(parent, u) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// True iff the graph is chordal.
+pub fn is_chordal_graph(g: &PrimalGraph) -> bool {
+    let mut order = mcs_order(g);
+    order.reverse(); // reverse MCS order is a PEO iff chordal
+    is_perfect_elimination_order(g, &order)
+}
+
+/// True iff the hypergraph's primal graph is chordal (Section 4).
+pub fn is_chordal(h: &Hypergraph) -> bool {
+    is_chordal_graph(&PrimalGraph::of(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, full_clique_complement, path, star, triangle};
+    use bagcons_core::{Attr, Schema};
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn paths_and_stars_are_chordal() {
+        for n in 2..8 {
+            assert!(is_chordal(&path(n)), "P_{n} must be chordal");
+        }
+        for n in 1..6 {
+            assert!(is_chordal(&star(n)), "star_{n} must be chordal");
+        }
+    }
+
+    #[test]
+    fn triangle_is_chordal() {
+        // C_3 is chordal (no cycle of length >= 4); it fails conformality instead.
+        assert!(is_chordal(&triangle()));
+    }
+
+    #[test]
+    fn long_cycles_are_not_chordal() {
+        for n in 4..9 {
+            assert!(!is_chordal(&cycle(n)), "C_{n} must not be chordal");
+        }
+    }
+
+    #[test]
+    fn hn_is_chordal() {
+        // primal graph of H_n is complete
+        for n in 3..7 {
+            assert!(is_chordal(&full_clique_complement(n)), "H_{n} must be chordal");
+        }
+    }
+
+    #[test]
+    fn cycle_with_chord_is_chordal() {
+        // C4 plus chord {0,2}
+        let h = crate::Hypergraph::from_edges([
+            s(&[0, 1]),
+            s(&[1, 2]),
+            s(&[2, 3]),
+            s(&[3, 0]),
+            s(&[0, 2]),
+        ]);
+        assert!(is_chordal(&h));
+    }
+
+    #[test]
+    fn disconnected_components_checked_independently() {
+        // two disjoint C4s: still non-chordal
+        let c4a = cycle(4);
+        let c4b: Vec<Schema> = cycle(4)
+            .edges()
+            .iter()
+            .map(|e| Schema::from_attrs(e.iter().map(|a| Attr::new(a.id() + 10))))
+            .collect();
+        let both =
+            crate::Hypergraph::from_edges(c4a.edges().iter().cloned().chain(c4b.clone()));
+        assert!(!is_chordal(&both));
+        // one P3 and one triangle: chordal
+        let mix = crate::Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[10, 11, 12])]);
+        assert!(is_chordal(&mix));
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let empty = crate::Hypergraph::from_edges(Vec::<Schema>::new());
+        assert!(is_chordal(&empty));
+        let single = crate::Hypergraph::from_edges([s(&[0])]);
+        assert!(is_chordal(&single));
+    }
+
+    #[test]
+    fn peo_verifier_rejects_bad_order_on_c4() {
+        let g = PrimalGraph::of(&cycle(4));
+        // any order of C4's vertices fails the PEO property
+        assert!(!is_perfect_elimination_order(&g, &[0, 1, 2, 3]));
+        assert!(!is_perfect_elimination_order(&g, &[2, 0, 1, 3]));
+    }
+
+    #[test]
+    fn mcs_visits_every_vertex_once() {
+        let g = PrimalGraph::of(&cycle(6));
+        let order = mcs_order(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,215 @@
+//! Conformality via Gilmore's criterion.
+//!
+//! A hypergraph is **conformal** when every clique of its primal graph is
+//! contained in a hyperedge (Section 4). The paper's Lemma 3 cites
+//! Gilmore's theorem (Berge, *Hypergraphs*, p. 31) for a polynomial test:
+//!
+//! > `H` is conformal iff for every three hyperedges `e₁, e₂, e₃` there is
+//! > a hyperedge containing `(e₁∩e₂) ∪ (e₁∩e₃) ∪ (e₂∩e₃)`.
+//!
+//! We implement both the Gilmore test (polynomial, used by algorithms) and
+//! a direct maximal-clique check via Bron–Kerbosch (exponential, used to
+//! cross-validate on small inputs and to *exhibit* an uncovered clique).
+
+use crate::{Hypergraph, PrimalGraph};
+use bagcons_core::Schema;
+
+/// Gilmore's polynomial-time conformality test.
+pub fn is_conformal(h: &Hypergraph) -> bool {
+    gilmore_violation(h).is_none()
+}
+
+/// Finds a triple of hyperedge indices violating Gilmore's criterion,
+/// if any. `None` means the hypergraph is conformal.
+pub fn gilmore_violation(h: &Hypergraph) -> Option<(usize, usize, usize)> {
+    let edges = h.edges();
+    let m = edges.len();
+    // Precompute pairwise intersections (m² schemas).
+    let mut inter = vec![vec![Schema::empty(); m]; m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let x = edges[i].intersection(&edges[j]);
+            inter[i][j] = x.clone();
+            inter[j][i] = x;
+        }
+    }
+    for i in 0..m {
+        for j in (i + 1)..m {
+            for k in (j + 1)..m {
+                let need = inter[i][j].union(&inter[i][k]).union(&inter[j][k]);
+                if !edges.iter().any(|e| need.is_subset_of(e)) {
+                    return Some((i, j, k));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// All maximal cliques of `g` (Bron–Kerbosch with pivoting), as sorted
+/// dense-index vectors. Exponential in the worst case — intended for
+/// small graphs (tests, obstruction display).
+pub fn maximal_cliques(g: &PrimalGraph) -> Vec<Vec<usize>> {
+    let n = g.len();
+    let mut out = Vec::new();
+    let mut r = Vec::new();
+    let p: Vec<usize> = (0..n).collect();
+    let x = Vec::new();
+    bron_kerbosch(g, &mut r, p, x, &mut out);
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out.sort();
+    out
+}
+
+fn bron_kerbosch(
+    g: &PrimalGraph,
+    r: &mut Vec<usize>,
+    p: Vec<usize>,
+    x: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        out.push(r.clone());
+        return;
+    }
+    // pivot: vertex of P ∪ X with most neighbors in P
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&v| g.adjacent(u, v)).count())
+        .expect("P ∪ X nonempty");
+    let candidates: Vec<usize> =
+        p.iter().copied().filter(|&v| !g.adjacent(pivot, v)).collect();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        r.push(v);
+        let np: Vec<usize> = p.iter().copied().filter(|&u| g.adjacent(u, v)).collect();
+        let nx: Vec<usize> = x.iter().copied().filter(|&u| g.adjacent(u, v)).collect();
+        bron_kerbosch(g, r, np, nx, out);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+/// Direct conformality check: every maximal clique of the primal graph is
+/// contained in a hyperedge. Exponential; cross-validates Gilmore's test.
+pub fn is_conformal_direct(h: &Hypergraph) -> bool {
+    uncovered_clique(h).is_none()
+}
+
+/// A maximal clique of the primal graph not covered by any hyperedge,
+/// if one exists (as a schema).
+pub fn uncovered_clique(h: &Hypergraph) -> Option<Schema> {
+    let g = PrimalGraph::of(h);
+    for clique in maximal_cliques(&g) {
+        let sch = Schema::from_attrs(clique.iter().map(|&i| g.vertex(i)));
+        if !h.edges().iter().any(|e| sch.is_subset_of(e)) {
+            return Some(sch);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, full_clique_complement, path, star, triangle};
+    use bagcons_core::{Attr, Schema};
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn paths_and_stars_are_conformal() {
+        for n in 2..8 {
+            assert!(is_conformal(&path(n)));
+        }
+        for n in 1..6 {
+            assert!(is_conformal(&star(n)));
+        }
+    }
+
+    #[test]
+    fn triangle_is_not_conformal() {
+        // C3's primal graph is the 3-clique; no hyperedge has 3 vertices.
+        assert!(!is_conformal(&triangle()));
+        let (i, j, k) = gilmore_violation(&triangle()).unwrap();
+        assert!(i < j && j < k);
+    }
+
+    #[test]
+    fn long_cycles_are_conformal() {
+        // "For every n ≥ 4, the hypergraph C_n is conformal, but not chordal."
+        for n in 4..9 {
+            assert!(is_conformal(&cycle(n)), "C_{n} must be conformal");
+        }
+    }
+
+    #[test]
+    fn hn_is_not_conformal() {
+        // "the hypergraph H_n is chordal, but not conformal"
+        for n in 3..7 {
+            assert!(!is_conformal(&full_clique_complement(n)));
+        }
+    }
+
+    #[test]
+    fn gilmore_agrees_with_direct_check() {
+        let cases = [
+            path(5),
+            star(4),
+            cycle(3),
+            cycle(4),
+            cycle(6),
+            full_clique_complement(3),
+            full_clique_complement(4),
+            full_clique_complement(5),
+            Hypergraph::from_edges([s(&[0, 1, 2]), s(&[1, 2, 3]), s(&[2, 3, 4])]),
+            Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[0, 1, 2])]),
+        ];
+        for h in &cases {
+            assert_eq!(is_conformal(h), is_conformal_direct(h), "disagree on {h}");
+        }
+    }
+
+    #[test]
+    fn covering_edge_restores_conformality() {
+        // triangle plus the full edge {0,1,2} is conformal
+        let h = Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[0, 1, 2])]);
+        assert!(is_conformal(&h));
+        assert!(uncovered_clique(&h).is_none());
+    }
+
+    #[test]
+    fn uncovered_clique_of_triangle_is_whole_vertex_set() {
+        assert_eq!(uncovered_clique(&triangle()), Some(s(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn maximal_cliques_of_c4() {
+        let g = PrimalGraph::of(&cycle(4));
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques.len(), 4); // the 4 edges
+        assert!(cliques.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn maximal_cliques_of_complete_graph() {
+        let g = PrimalGraph::of(&full_clique_complement(4));
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn single_edge_hypergraph_conformal() {
+        let h = Hypergraph::from_edges([s(&[0, 1, 2, 3])]);
+        assert!(is_conformal(&h));
+        assert!(is_conformal_direct(&h));
+    }
+}

@@ -1,0 +1,182 @@
+//! Safe deletions (Section 4 of the paper).
+//!
+//! `H'` is obtained from `H` by a **safe deletion** when `H' = H \ u` for a
+//! vertex `u` (vertex deletion = inducing on `V \ {u}`) or `H' = H \ e` for
+//! a hyperedge `e` covered by another hyperedge (covered-edge deletion).
+//! Lemma 4 shows that collections of bags can be lifted *backwards* along
+//! safe deletions preserving `k`-wise consistency; Lemma 3's obstruction
+//! algorithm emits a sequence of safe deletions transforming a cyclic
+//! hypergraph into its minimal obstruction.
+
+use crate::Hypergraph;
+use bagcons_core::{Attr, Schema};
+use std::fmt;
+
+/// A single safe-deletion operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SafeDeletion {
+    /// Delete vertex `u`: `H ← H[V \ {u}]`.
+    Vertex(Attr),
+    /// Delete hyperedge `edge`, which must be covered by the distinct
+    /// hyperedge `cover` at the time of application.
+    CoveredEdge {
+        /// The hyperedge being removed.
+        edge: Schema,
+        /// A distinct hyperedge containing it.
+        cover: Schema,
+    },
+}
+
+/// Why a safe deletion could not be applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeletionError {
+    /// The vertex to delete is not in the hypergraph.
+    NoSuchVertex(Attr),
+    /// The edge to delete is not in the hypergraph.
+    NoSuchEdge(Schema),
+    /// The claimed cover is absent or does not cover the edge.
+    NotCovered {
+        /// The edge that was to be deleted.
+        edge: Schema,
+        /// The claimed (invalid) cover.
+        cover: Schema,
+    },
+}
+
+impl fmt::Display for DeletionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeletionError::NoSuchVertex(a) => write!(f, "vertex {a} not in hypergraph"),
+            DeletionError::NoSuchEdge(e) => write!(f, "edge {e} not in hypergraph"),
+            DeletionError::NotCovered { edge, cover } => {
+                write!(f, "edge {edge} is not covered by {cover}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeletionError {}
+
+impl SafeDeletion {
+    /// Applies this deletion to `h`, validating safety.
+    pub fn apply(&self, h: &Hypergraph) -> Result<Hypergraph, DeletionError> {
+        match self {
+            SafeDeletion::Vertex(u) => {
+                if !h.vertices().contains(*u) {
+                    return Err(DeletionError::NoSuchVertex(*u));
+                }
+                Ok(h.delete_vertex(*u))
+            }
+            SafeDeletion::CoveredEdge { edge, cover } => {
+                if !h.has_edge(edge) {
+                    return Err(DeletionError::NoSuchEdge(edge.clone()));
+                }
+                if edge == cover || !h.has_edge(cover) || !edge.is_subset_of(cover) {
+                    return Err(DeletionError::NotCovered {
+                        edge: edge.clone(),
+                        cover: cover.clone(),
+                    });
+                }
+                Ok(h.delete_edge(edge))
+            }
+        }
+    }
+}
+
+/// Applies a sequence of safe deletions in order.
+pub fn apply_sequence(
+    h: &Hypergraph,
+    ops: &[SafeDeletion],
+) -> Result<Hypergraph, DeletionError> {
+    let mut cur = h.clone();
+    for op in ops {
+        cur = op.apply(&cur)?;
+    }
+    Ok(cur)
+}
+
+/// Emits a deletion sequence transforming `h` into `R(h[w])`: first delete
+/// every vertex outside `w`, then delete covered edges until reduced.
+/// This is exactly the recipe at the end of the proof of Lemma 3.
+pub fn sequence_to_reduced_induced(h: &Hypergraph, w: &Schema) -> Vec<SafeDeletion> {
+    let mut ops = Vec::new();
+    let mut cur = h.clone();
+    for v in h.vertices().difference(w).iter() {
+        ops.push(SafeDeletion::Vertex(v));
+        cur = cur.delete_vertex(v);
+    }
+    // delete covered edges until the hypergraph is reduced
+    while let Some((edge, cover)) = cur.edges().iter().find_map(|e| {
+        cur.edges()
+            .iter()
+            .find(|f| *f != e && e.is_subset_of(f))
+            .map(|f| (e.clone(), f.clone()))
+    }) {
+        cur = cur.delete_edge(&edge);
+        ops.push(SafeDeletion::CoveredEdge { edge, cover });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, path};
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn vertex_deletion_applies() {
+        let h = cycle(4);
+        let d = SafeDeletion::Vertex(Attr::new(2)).apply(&h).unwrap();
+        assert_eq!(d.num_vertices(), 3);
+        assert!(SafeDeletion::Vertex(Attr::new(9)).apply(&h).is_err());
+    }
+
+    #[test]
+    fn covered_edge_deletion_validates_cover() {
+        let h = Hypergraph::from_edges([s(&[0, 1]), s(&[0, 1, 2])]);
+        let ok = SafeDeletion::CoveredEdge { edge: s(&[0, 1]), cover: s(&[0, 1, 2]) };
+        let d = ok.apply(&h).unwrap();
+        assert_eq!(d.num_edges(), 1);
+        // deleting the cover "as covered" must fail
+        let bad = SafeDeletion::CoveredEdge { edge: s(&[0, 1, 2]), cover: s(&[0, 1]) };
+        assert!(matches!(bad.apply(&h), Err(DeletionError::NotCovered { .. })));
+        // absent edge
+        let missing = SafeDeletion::CoveredEdge { edge: s(&[7, 8]), cover: s(&[0, 1, 2]) };
+        assert!(matches!(missing.apply(&h), Err(DeletionError::NoSuchEdge(_))));
+        // self-cover rejected
+        let selfc = SafeDeletion::CoveredEdge { edge: s(&[0, 1]), cover: s(&[0, 1]) };
+        assert!(selfc.apply(&h).is_err());
+    }
+
+    #[test]
+    fn sequence_reaches_reduced_induced() {
+        // C5 induced on {0,1,2}: traces {0,1},{1,2},{2},{0} -> reduction
+        // keeps {0,1},{1,2}.
+        let h = cycle(5);
+        let w = s(&[0, 1, 2]);
+        let ops = sequence_to_reduced_induced(&h, &w);
+        let result = apply_sequence(&h, &ops).unwrap();
+        assert_eq!(result, h.induced(&w).reduction());
+        assert!(result.is_reduced());
+    }
+
+    #[test]
+    fn sequence_on_full_w_is_pure_edge_cleanup() {
+        let h = Hypergraph::from_edges([s(&[0]), s(&[0, 1]), s(&[1, 2])]);
+        let ops = sequence_to_reduced_induced(&h, h.vertices());
+        assert!(ops.iter().all(|o| matches!(o, SafeDeletion::CoveredEdge { .. })));
+        let r = apply_sequence(&h, &ops).unwrap();
+        assert_eq!(r, h.reduction());
+    }
+
+    #[test]
+    fn empty_sequence_for_already_reduced() {
+        let h = path(3);
+        let ops = sequence_to_reduced_induced(&h, h.vertices());
+        assert!(ops.is_empty());
+    }
+}

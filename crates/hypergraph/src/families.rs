@@ -1,0 +1,151 @@
+//! The hypergraph families of Equations (4)–(6) of the paper.
+//!
+//! Over vertices `V_n = {A_1, …, A_n}` (we use 0-based ids `A_0 … A_{n-1}`):
+//!
+//! * `P_n` — the **path**: edges `{A_i, A_{i+1}}`; conformal and chordal
+//!   (hence acyclic) for every `n ≥ 2`.
+//! * `C_n` — the **cycle**: the path plus `{A_{n-1}, A_0}`; for `n ≥ 4`
+//!   conformal but not chordal; `C_3` is chordal but not conformal.
+//! * `H_n` — all `(n−1)`-subsets of `V_n` (complements of singletons);
+//!   chordal but not conformal for every `n ≥ 3`; `H_3 = C_3`.
+//!
+//! These are the minimal obstructions to acyclicity (Lemma 3) and the
+//! hypergraphs on which the paper's NP-hardness chain (Lemmas 6 and 7) runs.
+
+use crate::Hypergraph;
+use bagcons_core::{Attr, Schema};
+
+/// The path hypergraph `P_n` on `n ≥ 2` vertices.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn path(n: u32) -> Hypergraph {
+    assert!(n >= 2, "P_n requires n >= 2");
+    Hypergraph::from_edges(
+        (0..n - 1).map(|i| Schema::from_attrs([Attr::new(i), Attr::new(i + 1)])),
+    )
+}
+
+/// The cycle hypergraph `C_n` on `n ≥ 3` vertices.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: u32) -> Hypergraph {
+    assert!(n >= 3, "C_n requires n >= 3");
+    Hypergraph::from_edges(
+        (0..n).map(|i| Schema::from_attrs([Attr::new(i), Attr::new((i + 1) % n)])),
+    )
+}
+
+/// The hypergraph `H_n` of all `(n−1)`-element subsets of `{A_0,…,A_{n-1}}`.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn full_clique_complement(n: u32) -> Hypergraph {
+    assert!(n >= 3, "H_n requires n >= 3");
+    Hypergraph::from_edges((0..n).map(|skip| {
+        Schema::from_attrs((0..n).filter(|&i| i != skip).map(Attr::new))
+    }))
+}
+
+/// The triangle hypergraph `C_3 = H_3` with edges `{A0,A1},{A1,A2},{A2,A0}`
+/// — the schema of 3-dimensional contingency tables (Lemma 6 / [IJ94]).
+pub fn triangle() -> Hypergraph {
+    cycle(3)
+}
+
+/// A star: center `A_0`, edges `{A_0, A_i}` for `i = 1..n`. Acyclic for
+/// every `n ≥ 1`.
+///
+/// # Panics
+/// Panics if `n < 1`.
+pub fn star(n: u32) -> Hypergraph {
+    assert!(n >= 1, "star requires at least one leaf");
+    Hypergraph::from_edges((1..=n).map(|i| Schema::from_attrs([Attr::new(0), Attr::new(i)])))
+}
+
+/// The circulant hypergraph: `n` vertices, edges
+/// `{A_i, A_{i+1}, …, A_{i+k-1}}` (indices mod `n`) for every `i` —
+/// `k`-uniform and `k`-regular, so the Tseitin construction (Theorem 2
+/// Step 2) applies for every `k ≥ 2`. `circulant(n, 2) = C_n`.
+///
+/// # Panics
+/// Panics unless `2 ≤ k < n`.
+pub fn circulant(n: u32, k: u32) -> Hypergraph {
+    assert!(k >= 2 && k < n, "circulant requires 2 <= k < n");
+    Hypergraph::from_edges(
+        (0..n).map(|i| Schema::from_attrs((0..k).map(|j| Attr::new((i + j) % n)))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let p = path(4);
+        assert_eq!(p.num_vertices(), 4);
+        assert_eq!(p.num_edges(), 3);
+        assert!(p.is_uniform(2));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let c = cycle(5);
+        assert_eq!(c.num_vertices(), 5);
+        assert_eq!(c.num_edges(), 5);
+        assert_eq!(c.uniformity_regularity(), Some((2, 2)));
+    }
+
+    #[test]
+    fn hn_shape() {
+        let h = full_clique_complement(5);
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_edges(), 5);
+        assert_eq!(h.uniformity_regularity(), Some((4, 4)));
+    }
+
+    #[test]
+    fn h3_equals_c3() {
+        assert_eq!(full_clique_complement(3), cycle(3));
+        assert_eq!(triangle(), cycle(3));
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = star(4);
+        assert_eq!(s.num_vertices(), 5);
+        assert_eq!(s.num_edges(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycle_too_small_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn circulant_is_uniform_regular() {
+        for (n, k) in [(5u32, 2u32), (6, 3), (7, 4)] {
+            let h = circulant(n, k);
+            assert_eq!(h.num_vertices(), n as usize);
+            assert_eq!(h.num_edges(), n as usize);
+            assert_eq!(h.uniformity_regularity(), Some((k as usize, k as usize)));
+        }
+    }
+
+    #[test]
+    fn circulant_2_is_the_cycle() {
+        for n in 3u32..8 {
+            assert_eq!(circulant(n, 2), cycle(n));
+        }
+    }
+
+    #[test]
+    fn circulants_are_cyclic() {
+        for (n, k) in [(5u32, 2u32), (6, 3), (7, 3)] {
+            assert!(!crate::is_acyclic(&circulant(n, k)), "circulant({n},{k})");
+        }
+    }
+}

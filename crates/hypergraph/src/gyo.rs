@@ -1,0 +1,213 @@
+//! GYO reduction (Graham / Yu–Özsoyoğlu): the classical acyclicity test.
+//!
+//! Repeatedly apply, until fixpoint:
+//!
+//! 1. delete a vertex that occurs in at most one hyperedge (an "ear"
+//!    vertex), and
+//! 2. delete a hyperedge that is empty or contained in another hyperedge.
+//!
+//! The hypergraph is **acyclic** iff the process deletes every hyperedge.
+//! The paper mentions Graham's algorithm as one of the equivalent
+//! characterizations in [BFMY83] (remark after Theorem 2); we use it as the
+//! reference decision procedure and cross-check the other characterizations
+//! (chordal ∧ conformal, join tree, RIP) against it in tests.
+
+use crate::Hypergraph;
+use bagcons_core::{Attr, Schema};
+
+/// One step of the GYO trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GyoStep {
+    /// Removed a vertex occurring in at most one (working) hyperedge.
+    EarVertex(Attr),
+    /// Removed a working hyperedge contained in another (or empty).
+    /// Stores the *original index* of the removed edge.
+    CoveredEdge(usize),
+}
+
+/// The result of running GYO to fixpoint.
+#[derive(Clone, Debug)]
+pub struct GyoResult {
+    /// True iff all hyperedges were eliminated (the hypergraph is acyclic).
+    pub acyclic: bool,
+    /// The deletion trace.
+    pub steps: Vec<GyoStep>,
+    /// The residual (shrunken) hyperedges at fixpoint, by original index.
+    pub residual: Vec<(usize, Schema)>,
+}
+
+/// Runs the GYO reduction on `h`.
+pub fn gyo_reduce(h: &Hypergraph) -> GyoResult {
+    // Working copies of the edges; `None` = deleted.
+    let mut work: Vec<Option<Schema>> = h.edges().iter().cloned().map(Some).collect();
+    let mut steps = Vec::new();
+    loop {
+        let mut changed = false;
+
+        // Rule 2: delete empty or covered edges first (cheap, exposes ears).
+        'edges: loop {
+            for i in 0..work.len() {
+                let Some(e) = work[i].clone() else { continue };
+                let covered = e.is_empty()
+                    || work.iter().enumerate().any(|(j, f)| {
+                        j != i && f.as_ref().is_some_and(|f| e.is_subset_of(f))
+                    });
+                if covered {
+                    work[i] = None;
+                    steps.push(GyoStep::CoveredEdge(i));
+                    changed = true;
+                    continue 'edges;
+                }
+            }
+            break;
+        }
+
+        // Rule 1: delete a vertex that occurs in at most one live edge.
+        let mut occurrences: std::collections::BTreeMap<Attr, usize> = Default::default();
+        for e in work.iter().flatten() {
+            for a in e.iter() {
+                *occurrences.entry(a).or_insert(0) += 1;
+            }
+        }
+        if let Some((&v, _)) = occurrences.iter().find(|(_, &c)| c <= 1) {
+            for s in work.iter_mut().flatten() {
+                if s.contains(v) {
+                    *s = s.without(v);
+                }
+            }
+            steps.push(GyoStep::EarVertex(v));
+            changed = true;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    let residual: Vec<(usize, Schema)> = work
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, e)| e.map(|e| (i, e)))
+        .collect();
+    GyoResult { acyclic: residual.is_empty(), steps, residual }
+}
+
+/// True iff `h` is an acyclic hypergraph (GYO reduces it to nothing).
+///
+/// ```
+/// use bagcons_hypergraph::{cycle, is_acyclic, path, triangle, Hypergraph};
+/// use bagcons_core::Schema;
+///
+/// assert!(is_acyclic(&path(5)));
+/// assert!(!is_acyclic(&triangle()));
+/// assert!(!is_acyclic(&cycle(6)));
+/// // α-acyclicity is not hereditary: covering the triangle fixes it
+/// let covered = Hypergraph::from_edges([
+///     Schema::range(0, 2),
+///     Schema::range(1, 3),
+///     Schema::from_attrs([bagcons_core::Attr(0), bagcons_core::Attr(2)]),
+///     Schema::range(0, 3),
+/// ]);
+/// assert!(is_acyclic(&covered));
+/// ```
+pub fn is_acyclic(h: &Hypergraph) -> bool {
+    gyo_reduce(h).acyclic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, full_clique_complement, path, star, triangle};
+    use crate::{is_chordal, is_conformal};
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn paths_and_stars_are_acyclic() {
+        for n in 2..10 {
+            assert!(is_acyclic(&path(n)), "P_{n}");
+        }
+        for n in 1..8 {
+            assert!(is_acyclic(&star(n)));
+        }
+    }
+
+    #[test]
+    fn cycles_and_hn_are_cyclic() {
+        for n in 3..10 {
+            assert!(!is_acyclic(&cycle(n)), "C_{n}");
+        }
+        for n in 3..7 {
+            assert!(!is_acyclic(&full_clique_complement(n)), "H_{n}");
+        }
+    }
+
+    #[test]
+    fn covered_edges_do_not_create_cycles() {
+        // acyclic: {0,1,2} covers {0,1} and {1,2}
+        let h = Hypergraph::from_edges([s(&[0, 1, 2]), s(&[0, 1]), s(&[1, 2])]);
+        assert!(is_acyclic(&h));
+    }
+
+    #[test]
+    fn alpha_acyclicity_is_not_hereditary() {
+        // classic: adding the full edge makes the triangle acyclic
+        let fixed = Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[0, 1, 2])]);
+        assert!(is_acyclic(&fixed));
+        assert!(!is_acyclic(&triangle()));
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert!(is_acyclic(&Hypergraph::from_edges([s(&[0, 1, 2])])));
+        assert!(is_acyclic(&Hypergraph::from_edges(Vec::<Schema>::new())));
+    }
+
+    #[test]
+    fn gyo_matches_chordal_and_conformal() {
+        // Theorem 1: acyclic ⟺ conformal ∧ chordal. Check on every family
+        // plus assorted ad-hoc hypergraphs.
+        let mut cases = vec![
+            path(2),
+            path(5),
+            star(4),
+            triangle(),
+            cycle(4),
+            cycle(6),
+            full_clique_complement(4),
+            full_clique_complement(5),
+            Hypergraph::from_edges([s(&[0, 1, 2]), s(&[1, 2, 3]), s(&[2, 3, 4])]),
+            Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[0, 1, 2])]),
+            Hypergraph::from_edges([s(&[0, 1, 2]), s(&[2, 3]), s(&[3, 4]), s(&[4, 0])]),
+        ];
+        // band of C_n with chords
+        cases.push(Hypergraph::from_edges([
+            s(&[0, 1]),
+            s(&[1, 2]),
+            s(&[2, 3]),
+            s(&[3, 0]),
+            s(&[0, 2]),
+        ]));
+        for h in &cases {
+            assert_eq!(
+                is_acyclic(h),
+                is_chordal(h) && is_conformal(h),
+                "Theorem 1 equivalence fails on {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_wellformed() {
+        let r = gyo_reduce(&path(4));
+        assert!(r.acyclic);
+        assert!(!r.steps.is_empty());
+        assert!(r.residual.is_empty());
+        let r = gyo_reduce(&cycle(4));
+        assert!(!r.acyclic);
+        // residual of a pure cycle is the cycle itself: no ears, no covers
+        assert_eq!(r.residual.len(), 4);
+        assert!(r.steps.is_empty());
+    }
+}

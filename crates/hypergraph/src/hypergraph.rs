@@ -1,0 +1,370 @@
+//! The [`Hypergraph`] type: vertices are attributes, hyperedges are schemas.
+//!
+//! Following Section 4 of the paper, a collection `X₁,…,X_m` of attribute
+//! sets *is* a hypergraph `H = (V, E)` with `V = X₁ ∪ ⋯ ∪ X_m` and
+//! `E = {X₁,…,X_m}`. We therefore reuse [`Schema`] as the hyperedge type —
+//! the translation between schemas and hypergraphs in the paper is the
+//! identity here.
+//!
+//! Edge sets are kept sorted and deduplicated, so two hypergraphs are equal
+//! iff they have the same vertices and the same edge *set* — matching the
+//! paper's set-of-hyperedges convention.
+
+use bagcons_core::{Attr, Schema};
+use std::fmt;
+
+/// A finite hypergraph with attribute vertices and schema hyperedges.
+///
+/// Invariants: `edges` is sorted and deduplicated; every edge is non-empty
+/// and contained in `vertices`; `vertices` may include isolated vertices
+/// (vertices in no edge) only through [`Hypergraph::with_vertices`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Hypergraph {
+    vertices: Schema,
+    edges: Vec<Schema>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph whose vertex set is the union of the given
+    /// edges. Empty edges are rejected (the paper requires hyperedges to
+    /// be non-empty subsets of `V`); duplicates collapse.
+    pub fn from_edges<I: IntoIterator<Item = Schema>>(edges: I) -> Self {
+        let mut es: Vec<Schema> = edges.into_iter().filter(|e| !e.is_empty()).collect();
+        es.sort_unstable();
+        es.dedup();
+        let mut vertices = Schema::empty();
+        for e in &es {
+            vertices = vertices.union(e);
+        }
+        Hypergraph { vertices, edges: es }
+    }
+
+    /// Like [`Hypergraph::from_edges`] but with an explicit vertex set
+    /// (which must contain every edge; extra vertices are isolated).
+    pub fn with_vertices<I: IntoIterator<Item = Schema>>(vertices: Schema, edges: I) -> Self {
+        let mut h = Hypergraph::from_edges(edges);
+        debug_assert!(h.vertices.is_subset_of(&vertices));
+        h.vertices = h.vertices.union(&vertices);
+        h
+    }
+
+    /// The vertex set `V`.
+    #[inline]
+    pub fn vertices(&self) -> &Schema {
+        &self.vertices
+    }
+
+    /// The hyperedges, sorted.
+    #[inline]
+    pub fn edges(&self) -> &[Schema] {
+        &self.edges
+    }
+
+    /// Number of hyperedges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.arity()
+    }
+
+    /// True if `e` is one of the hyperedges.
+    pub fn has_edge(&self, e: &Schema) -> bool {
+        self.edges.binary_search(e).is_ok()
+    }
+
+    /// The **reduction** `R(H)`: keep only hyperedges not strictly
+    /// contained in another hyperedge.
+    pub fn reduction(&self) -> Hypergraph {
+        let kept: Vec<Schema> = self
+            .edges
+            .iter()
+            .filter(|e| {
+                !self
+                    .edges
+                    .iter()
+                    .any(|f| f != *e && e.is_subset_of(f))
+            })
+            .cloned()
+            .collect();
+        Hypergraph { vertices: self.vertices.clone(), edges: kept }
+    }
+
+    /// True iff `H = R(H)`.
+    pub fn is_reduced(&self) -> bool {
+        self.edges.iter().all(|e| {
+            !self.edges.iter().any(|f| f != e && e.is_subset_of(f))
+        })
+    }
+
+    /// The **induced hypergraph** `H[W]`: vertex set `W`, hyperedges the
+    /// non-empty traces `X ∩ W`.
+    pub fn induced(&self, w: &Schema) -> Hypergraph {
+        let es = self.edges.iter().map(|e| e.intersection(w)).filter(|e| !e.is_empty());
+        Hypergraph::with_vertices(w.clone(), es)
+    }
+
+    /// Vertex deletion `H \ u = H[V \ {u}]`.
+    pub fn delete_vertex(&self, u: Attr) -> Hypergraph {
+        self.induced(&self.vertices.without(u))
+    }
+
+    /// Edge deletion `H \ e` (vertex set unchanged).
+    pub fn delete_edge(&self, e: &Schema) -> Hypergraph {
+        Hypergraph::with_vertices(
+            self.vertices.clone(),
+            self.edges.iter().filter(|f| *f != e).cloned(),
+        )
+    }
+
+    /// True iff edge `e` is **covered**: `e ⊆ f` for some other edge `f`.
+    /// Deleting a covered edge is one of the paper's safe deletions.
+    pub fn is_covered_edge(&self, e: &Schema) -> bool {
+        self.has_edge(e) && self.edges.iter().any(|f| f != e && e.is_subset_of(f))
+    }
+
+    /// True if the two hypergraphs are isomorphic via a vertex relabeling.
+    ///
+    /// Exponential in general; used only on the small minimal obstructions
+    /// (`C_n`, `H_n`) in tests and obstruction verification, where the
+    /// degree/size invariants below prune the search immediately.
+    pub fn is_isomorphic_to(&self, other: &Hypergraph) -> bool {
+        if self.num_vertices() != other.num_vertices()
+            || self.num_edges() != other.num_edges()
+        {
+            return false;
+        }
+        let sizes = |h: &Hypergraph| {
+            let mut v: Vec<usize> = h.edges.iter().map(|e| e.arity()).collect();
+            v.sort_unstable();
+            v
+        };
+        if sizes(self) != sizes(other) {
+            return false;
+        }
+        let sv: Vec<Attr> = self.vertices.iter().collect();
+        let ov: Vec<Attr> = other.vertices.iter().collect();
+        // degree sequence pruning
+        let deg = |h: &Hypergraph, v: Attr| h.edges.iter().filter(|e| e.contains(v)).count();
+        let mut self_deg: Vec<usize> = sv.iter().map(|&v| deg(self, v)).collect();
+        let mut other_deg: Vec<usize> = ov.iter().map(|&v| deg(other, v)).collect();
+        {
+            let mut a = self_deg.clone();
+            let mut b = other_deg.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            if a != b {
+                return false;
+            }
+        }
+        // backtracking over degree-compatible assignments
+        #[allow(clippy::too_many_arguments)]
+        fn rec(
+            i: usize,
+            sv: &[Attr],
+            ov: &[Attr],
+            self_deg: &mut [usize],
+            other_deg: &mut [usize],
+            used: &mut [bool],
+            map: &mut Vec<Attr>,
+            this: &Hypergraph,
+            other: &Hypergraph,
+        ) -> bool {
+            if i == sv.len() {
+                // verify edges map to edges
+                return this.edges.iter().all(|e| {
+                    let img = Schema::from_attrs(e.iter().map(|a| {
+                        let pos = sv.iter().position(|&x| x == a).expect("vertex of edge");
+                        map[pos]
+                    }));
+                    other.has_edge(&img)
+                });
+            }
+            for j in 0..ov.len() {
+                if !used[j] && self_deg[i] == other_deg[j] {
+                    used[j] = true;
+                    map.push(ov[j]);
+                    if rec(i + 1, sv, ov, self_deg, other_deg, used, map, this, other) {
+                        return true;
+                    }
+                    map.pop();
+                    used[j] = false;
+                }
+            }
+            false
+        }
+        let mut used = vec![false; ov.len()];
+        let mut map = Vec::with_capacity(sv.len());
+        rec(0, &sv, &ov, &mut self_deg, &mut other_deg, &mut used, &mut map, self, other)
+    }
+
+    /// True iff every hyperedge has exactly `k` vertices.
+    pub fn is_uniform(&self, k: usize) -> bool {
+        self.edges.iter().all(|e| e.arity() == k)
+    }
+
+    /// True iff every vertex lies in exactly `d` hyperedges.
+    pub fn is_regular(&self, d: usize) -> bool {
+        self.vertices
+            .iter()
+            .all(|v| self.edges.iter().filter(|e| e.contains(v)).count() == d)
+    }
+
+    /// If the hypergraph is `k`-uniform and `d`-regular, returns `(k, d)`.
+    pub fn uniformity_regularity(&self) -> Option<(usize, usize)> {
+        let k = self.edges.first()?.arity();
+        if !self.is_uniform(k) {
+            return None;
+        }
+        let first_v = self.vertices.iter().next()?;
+        let d = self.edges.iter().filter(|e| e.contains(first_v)).count();
+        if self.is_regular(d) {
+            Some((k, d))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H(V={}, E=[", self.vertices)?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, full_clique_complement, path};
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn from_edges_dedups_and_unions_vertices() {
+        let h = Hypergraph::from_edges([s(&[1, 2]), s(&[2, 3]), s(&[1, 2])]);
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.vertices(), &s(&[1, 2, 3]));
+        assert!(h.has_edge(&s(&[1, 2])));
+        assert!(!h.has_edge(&s(&[1, 3])));
+    }
+
+    #[test]
+    fn empty_edges_dropped() {
+        let h = Hypergraph::from_edges([s(&[]), s(&[1])]);
+        assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    fn reduction_removes_covered() {
+        let h = Hypergraph::from_edges([s(&[1]), s(&[1, 2]), s(&[2, 3])]);
+        assert!(!h.is_reduced());
+        let r = h.reduction();
+        assert!(r.is_reduced());
+        assert_eq!(r.num_edges(), 2);
+        assert!(!r.has_edge(&s(&[1])));
+        // vertices unchanged by reduction
+        assert_eq!(r.vertices(), h.vertices());
+    }
+
+    #[test]
+    fn induced_traces_edges() {
+        // C4 induced on 3 of its vertices
+        let h = cycle(4);
+        let w = s(&[0, 1, 2]);
+        let i = h.induced(&w);
+        assert_eq!(i.vertices(), &w);
+        // edges {0,1},{1,2},{2,3}∩W={2},{3,0}∩W={0}
+        assert!(i.has_edge(&s(&[0, 1])));
+        assert!(i.has_edge(&s(&[1, 2])));
+        assert!(i.has_edge(&s(&[2])));
+        assert!(i.has_edge(&s(&[0])));
+        assert_eq!(i.num_edges(), 4);
+    }
+
+    #[test]
+    fn delete_vertex_is_induced_on_rest() {
+        let h = cycle(4);
+        let d = h.delete_vertex(Attr::new(3));
+        assert_eq!(d, h.induced(&s(&[0, 1, 2])));
+        assert_eq!(d.num_vertices(), 3);
+    }
+
+    #[test]
+    fn delete_edge_keeps_vertices() {
+        let h = cycle(3);
+        let d = h.delete_edge(&s(&[0, 1]));
+        assert_eq!(d.num_edges(), 2);
+        assert_eq!(d.num_vertices(), 3);
+    }
+
+    #[test]
+    fn covered_edge_detection() {
+        let h = Hypergraph::from_edges([s(&[1]), s(&[1, 2])]);
+        assert!(h.is_covered_edge(&s(&[1])));
+        assert!(!h.is_covered_edge(&s(&[1, 2])));
+        assert!(!h.is_covered_edge(&s(&[9])));
+    }
+
+    #[test]
+    fn isomorphism_detects_relabelled_cycles() {
+        let c4 = cycle(4);
+        // same C4 with shifted labels 10..13
+        let shifted = Hypergraph::from_edges([
+            s(&[10, 11]),
+            s(&[11, 12]),
+            s(&[12, 13]),
+            s(&[13, 10]),
+        ]);
+        assert!(c4.is_isomorphic_to(&shifted));
+        // C4 is not isomorphic to P4 (path has different degrees)
+        assert!(!c4.is_isomorphic_to(&path(4)));
+        // nor to C5
+        assert!(!c4.is_isomorphic_to(&cycle(5)));
+    }
+
+    #[test]
+    fn isomorphism_hn() {
+        let h3 = full_clique_complement(3);
+        assert!(h3.is_isomorphic_to(&cycle(3)));
+        let h4 = full_clique_complement(4);
+        assert!(!h4.is_isomorphic_to(&cycle(4)));
+    }
+
+    #[test]
+    fn uniform_regular() {
+        let c5 = cycle(5);
+        assert!(c5.is_uniform(2));
+        assert!(c5.is_regular(2));
+        assert_eq!(c5.uniformity_regularity(), Some((2, 2)));
+        let h4 = full_clique_complement(4);
+        assert_eq!(h4.uniformity_regularity(), Some((3, 3)));
+        let p3 = path(3);
+        assert_eq!(p3.uniformity_regularity(), None); // middle vertex has degree 2, ends 1
+    }
+
+    #[test]
+    fn with_vertices_allows_isolated() {
+        let h = Hypergraph::with_vertices(s(&[1, 2, 3]), [s(&[1, 2])]);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 1);
+    }
+}

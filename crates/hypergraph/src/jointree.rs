@@ -1,0 +1,286 @@
+//! Join trees via Maier's maximum-weight spanning tree.
+//!
+//! A **join tree** for `H` (Section 4) is a tree on the hyperedges such
+//! that for every vertex `v`, the hyperedges containing `v` form a subtree.
+//! Maier's theorem: `H` has a join tree iff the maximum-weight spanning
+//! tree of the edge-intersection graph (weight `|X_i ∩ X_j|`) is one. We
+//! build that tree with Kruskal's algorithm and then *verify* the subtree
+//! property directly, so the construction is self-certifying: a returned
+//! [`JoinTree`] is always valid, and `None` means no join tree exists
+//! (equivalently, `H` is cyclic — Theorem 1 (a)⟺(d)).
+
+use crate::Hypergraph;
+use bagcons_core::Schema;
+
+/// A verified join tree over the hyperedges of a hypergraph.
+#[derive(Clone, Debug)]
+pub struct JoinTree {
+    nodes: Vec<Schema>,
+    /// Tree adjacency by node index.
+    adj: Vec<Vec<usize>>,
+    /// BFS preorder from node 0 (each component rooted at its smallest
+    /// index); `parent[i]` is `None` for roots.
+    order: Vec<usize>,
+    parent: Vec<Option<usize>>,
+}
+
+impl JoinTree {
+    /// Attempts to build a join tree for `h`. Returns `None` iff `h` has
+    /// no join tree (iff `h` is cyclic).
+    pub fn build(h: &Hypergraph) -> Option<JoinTree> {
+        let nodes: Vec<Schema> = h.edges().to_vec();
+        let m = nodes.len();
+        if m == 0 {
+            return Some(JoinTree { nodes, adj: vec![], order: vec![], parent: vec![] });
+        }
+        // Kruskal on all pairs, heaviest intersection first; ties broken by
+        // index for determinism. Weight-0 edges are allowed so the result
+        // spans even disconnected hypergraphs.
+        let mut pairs: Vec<(usize, usize, usize)> = Vec::with_capacity(m * (m - 1) / 2);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                pairs.push((nodes[i].intersection(&nodes[j]).arity(), i, j));
+            }
+        }
+        pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut dsu = Dsu::new(m);
+        let mut adj = vec![Vec::new(); m];
+        for (_, i, j) in pairs {
+            if dsu.union(i, j) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+        let tree = JoinTree::finish(nodes, adj);
+        tree.verify().then_some(tree)
+    }
+
+    fn finish(nodes: Vec<Schema>, adj: Vec<Vec<usize>>) -> JoinTree {
+        let m = nodes.len();
+        let mut order = Vec::with_capacity(m);
+        let mut parent = vec![None; m];
+        let mut seen = vec![false; m];
+        for root in 0..m {
+            if seen[root] {
+                continue;
+            }
+            seen[root] = true;
+            let mut queue = std::collections::VecDeque::from([root]);
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                let mut nbrs = adj[u].clone();
+                nbrs.sort_unstable();
+                for v in nbrs {
+                    if !seen[v] {
+                        seen[v] = true;
+                        parent[v] = Some(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        JoinTree { nodes, adj, order, parent }
+    }
+
+    /// Checks the join-tree property: for every vertex `v` of the
+    /// hypergraph, the nodes containing `v` induce a connected subtree.
+    fn verify(&self) -> bool {
+        let m = self.nodes.len();
+        let mut all = Schema::empty();
+        for n in &self.nodes {
+            all = all.union(n);
+        }
+        for v in all.iter() {
+            let holders: Vec<usize> =
+                (0..m).filter(|&i| self.nodes[i].contains(v)).collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // BFS within holder-induced subgraph of the tree
+            let mut seen = vec![false; m];
+            let mut queue = std::collections::VecDeque::from([holders[0]]);
+            seen[holders[0]] = true;
+            let mut count = 1;
+            while let Some(u) = queue.pop_front() {
+                for &w in &self.adj[u] {
+                    if !seen[w] && self.nodes[w].contains(v) {
+                        seen[w] = true;
+                        count += 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if count != holders.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The hyperedges (tree nodes).
+    pub fn nodes(&self) -> &[Schema] {
+        &self.nodes
+    }
+
+    /// Tree neighbors of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Parent of node `i` in the rooted BFS forest.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// BFS preorder over all components.
+    pub fn bfs_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The hyperedges listed in BFS preorder — a listing with the
+    /// **running intersection property** (Theorem 1 (c)⟸(d)): for `i ≥ 2`,
+    /// `X_i ∩ (X_1 ∪ ⋯ ∪ X_{i-1}) ⊆ X_{parent(i)}`.
+    pub fn rip_listing(&self) -> Vec<Schema> {
+        self.order.iter().map(|&i| self.nodes[i].clone()).collect()
+    }
+
+    /// Number of tree edges.
+    pub fn num_tree_edges(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum::<usize>() / 2
+    }
+}
+
+/// Minimal disjoint-set union for Kruskal.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            false
+        } else {
+            self.parent[ra] = rb;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, full_clique_complement, path, star, triangle};
+    use crate::is_acyclic;
+    use bagcons_core::Attr;
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn acyclic_families_have_join_trees() {
+        for n in 2..8 {
+            assert!(JoinTree::build(&path(n)).is_some(), "P_{n}");
+        }
+        for n in 1..6 {
+            assert!(JoinTree::build(&star(n)).is_some());
+        }
+    }
+
+    #[test]
+    fn cyclic_families_do_not() {
+        assert!(JoinTree::build(&triangle()).is_none());
+        for n in 4..8 {
+            assert!(JoinTree::build(&cycle(n)).is_none(), "C_{n}");
+        }
+        for n in 3..6 {
+            assert!(JoinTree::build(&full_clique_complement(n)).is_none());
+        }
+    }
+
+    #[test]
+    fn join_tree_existence_matches_gyo() {
+        let cases = [
+            path(6),
+            star(5),
+            triangle(),
+            cycle(5),
+            full_clique_complement(4),
+            Hypergraph::from_edges([s(&[0, 1, 2]), s(&[1, 2, 3]), s(&[2, 3, 4])]),
+            Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[0, 1, 2])]),
+            Hypergraph::from_edges([s(&[0, 1]), s(&[2, 3])]), // disconnected, acyclic
+        ];
+        for h in &cases {
+            assert_eq!(JoinTree::build(h).is_some(), is_acyclic(h), "on {h}");
+        }
+    }
+
+    #[test]
+    fn tree_spans_all_nodes() {
+        let t = JoinTree::build(&path(5)).unwrap();
+        assert_eq!(t.nodes().len(), 4);
+        assert_eq!(t.num_tree_edges(), 3);
+        assert_eq!(t.bfs_order().len(), 4);
+    }
+
+    #[test]
+    fn rip_listing_has_rip() {
+        for h in [path(6), star(5), Hypergraph::from_edges([
+            s(&[0, 1, 2]),
+            s(&[1, 2, 3]),
+            s(&[2, 3, 4]),
+            s(&[4, 5]),
+        ])] {
+            let t = JoinTree::build(&h).unwrap();
+            let listing = t.rip_listing();
+            assert!(crate::rip::has_rip(&listing), "listing lacks RIP for {h}");
+        }
+    }
+
+    #[test]
+    fn disconnected_acyclic_hypergraph() {
+        let h = Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[10, 11])]);
+        let t = JoinTree::build(&h).unwrap();
+        assert_eq!(t.num_tree_edges(), 2); // forest glued by a 0-weight edge
+        assert!(crate::rip::has_rip(&t.rip_listing()));
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_edges(Vec::<Schema>::new());
+        let t = JoinTree::build(&h).unwrap();
+        assert!(t.nodes().is_empty());
+        assert!(t.rip_listing().is_empty());
+    }
+
+    #[test]
+    fn parents_are_consistent_with_order() {
+        let t = JoinTree::build(&star(4)).unwrap();
+        let order = t.bfs_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, &n) in order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for &n in order {
+            if let Some(p) = t.parent(n) {
+                assert!(pos[p] < pos[n], "parent must precede child in BFS order");
+            }
+        }
+    }
+}

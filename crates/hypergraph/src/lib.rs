@@ -1,0 +1,47 @@
+//! # `bagcons-hypergraph`
+//!
+//! Hypergraph structure theory for *Structure and Complexity of Bag
+//! Consistency* (Atserias & Kolaitis, PODS 2021).
+//!
+//! Theorem 1 (Beeri–Fagin–Maier–Yannakakis) and Theorem 2 (the paper)
+//! characterize acyclicity through several equivalent properties; this crate
+//! implements every structural one, so the equivalences can be verified
+//! mechanically:
+//!
+//! * **chordality** of the primal graph ([`chordal`]),
+//! * **conformality** via Gilmore's criterion ([`conformal`]),
+//! * **GYO reducibility** — Graham / Yu–Özsoyoğlu ([`gyo`]),
+//! * **join trees** via Maier's maximum-weight spanning tree ([`jointree`]),
+//! * the **running intersection property** ([`rip`]).
+//!
+//! The negative direction of Theorem 2 needs the *minimal obstructions* of
+//! Lemma 3 — induced sub-hypergraphs reducing to a cycle `C_n` or to the
+//! complement-of-singletons hypergraph `H_n` — and the *safe deletions* of
+//! Lemma 4 connecting a cyclic hypergraph to its obstruction. Those live in
+//! [`obstruction`] and [`deletion`], and the standard families `P_n`, `C_n`,
+//! `H_n` of Equations (4)–(6) in [`families`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chordal;
+pub mod conformal;
+pub mod deletion;
+pub mod families;
+pub mod gyo;
+pub mod hypergraph;
+pub mod jointree;
+pub mod obstruction;
+pub mod primal;
+pub mod rip;
+
+pub use chordal::is_chordal;
+pub use conformal::is_conformal;
+pub use deletion::SafeDeletion;
+pub use families::{circulant, cycle, full_clique_complement, path, star, triangle};
+pub use gyo::{gyo_reduce, is_acyclic};
+pub use hypergraph::Hypergraph;
+pub use jointree::JoinTree;
+pub use obstruction::{find_obstruction, Obstruction, ObstructionKind};
+pub use primal::PrimalGraph;
+pub use rip::{has_rip, rip_order};

@@ -1,0 +1,214 @@
+//! Minimal obstructions to acyclicity (Lemma 3).
+//!
+//! Lemma 3 of the paper: a hypergraph `H` is
+//!
+//! 1. **not chordal** iff some `W ⊆ V` with `|W| ≥ 4` has
+//!    `R(H[W]) ≅ C_{|W|}`, and
+//! 2. **not conformal** iff some `W ⊆ V` with `|W| ≥ 3` has
+//!    `R(H[W]) ≅ H_{|W|}`;
+//!
+//! and in both cases `W` and a sequence of safe deletions transforming `H`
+//! into `R(H[W])` can be found in polynomial time. We implement the
+//! paper's own algorithm: iteratively delete vertices whose removal
+//! preserves the violation until none can be removed, then emit the
+//! deletion sequence (vertices outside `W`, then covered edges).
+//!
+//! The returned obstruction is self-certifying: the reduced induced
+//! hypergraph is checked (debug assertions) to be isomorphic to the
+//! claimed `C_n` / `H_n`.
+
+use crate::deletion::{sequence_to_reduced_induced, SafeDeletion};
+use crate::families::{cycle, full_clique_complement};
+use crate::{is_chordal, is_conformal, Hypergraph};
+use bagcons_core::Schema;
+
+/// Which minimal obstruction was found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObstructionKind {
+    /// `R(H[W]) ≅ C_n` (chordality violation), `n = |W| ≥ 4`.
+    Cycle(u32),
+    /// `R(H[W]) ≅ H_n` (conformality violation), `n = |W| ≥ 3`.
+    CliqueComplement(u32),
+}
+
+/// A minimal obstruction witnessing cyclicity.
+#[derive(Clone, Debug)]
+pub struct Obstruction {
+    /// The kind and size of the obstruction.
+    pub kind: ObstructionKind,
+    /// The vertex set `W`.
+    pub w: Schema,
+    /// Safe deletions transforming the original `H` into `R(H[W])`.
+    pub deletions: Vec<SafeDeletion>,
+    /// The resulting hypergraph `R(H[W])` (isomorphic to `C_n` or `H_n`).
+    pub target: Hypergraph,
+}
+
+/// Finds a minimal obstruction of `h`, or `None` when `h` is acyclic.
+///
+/// Conformality violations are preferred (they exist whenever `H` is not
+/// conformal, including `C_3 = H_3`); chordality violations are used
+/// otherwise. Either suffices for Step 2 of Theorem 2.
+pub fn find_obstruction(h: &Hypergraph) -> Option<Obstruction> {
+    if !is_conformal(h) {
+        Some(minimize(h, &|g| !is_conformal(g), true))
+    } else if !is_chordal(h) {
+        Some(minimize(h, &|g| !is_chordal(g), false))
+    } else {
+        None
+    }
+}
+
+/// Shrinks the vertex set while `violates(H[W])` holds, then packages the
+/// obstruction. `conformal_kind` selects which family the minimal induced
+/// hypergraph must reduce to.
+fn minimize(
+    h: &Hypergraph,
+    violates: &dyn Fn(&Hypergraph) -> bool,
+    conformal_kind: bool,
+) -> Obstruction {
+    debug_assert!(violates(h));
+    let mut w = h.vertices().clone();
+    let mut cur = h.clone();
+    loop {
+        let mut shrunk = false;
+        let candidates: Vec<_> = w.iter().collect();
+        for v in candidates {
+            let candidate = cur.delete_vertex(v);
+            if violates(&candidate) {
+                w = w.without(v);
+                cur = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let target = cur.reduction();
+    let n = w.arity() as u32;
+    let kind = if conformal_kind {
+        debug_assert!(
+            target.is_isomorphic_to(&full_clique_complement(n)),
+            "Lemma 3(2): minimal non-conformal induced must reduce to H_n; got {target}"
+        );
+        ObstructionKind::CliqueComplement(n)
+    } else {
+        debug_assert!(
+            target.is_isomorphic_to(&cycle(n)),
+            "Lemma 3(1): minimal non-chordal induced must reduce to C_n; got {target}"
+        );
+        ObstructionKind::Cycle(n)
+    };
+    let deletions = sequence_to_reduced_induced(h, &w);
+    Obstruction { kind, w, deletions, target }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deletion::apply_sequence;
+    use crate::families::{cycle, full_clique_complement, path, star, triangle};
+    use bagcons_core::Attr;
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn acyclic_has_no_obstruction() {
+        assert!(find_obstruction(&path(5)).is_none());
+        assert!(find_obstruction(&star(4)).is_none());
+        let covered = Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[0, 1, 2])]);
+        assert!(find_obstruction(&covered).is_none());
+    }
+
+    #[test]
+    fn triangle_yields_h3() {
+        let ob = find_obstruction(&triangle()).unwrap();
+        assert_eq!(ob.kind, ObstructionKind::CliqueComplement(3));
+        assert_eq!(ob.w.arity(), 3);
+        assert!(ob.target.is_isomorphic_to(&full_clique_complement(3)));
+        assert!(ob.deletions.is_empty()); // already minimal & reduced
+    }
+
+    #[test]
+    fn pure_cycle_yields_cn() {
+        for n in 4u32..8 {
+            let ob = find_obstruction(&cycle(n)).unwrap();
+            assert_eq!(ob.kind, ObstructionKind::Cycle(n));
+            assert!(ob.target.is_isomorphic_to(&cycle(n)));
+        }
+    }
+
+    #[test]
+    fn hn_yields_clique_complement() {
+        for n in 3u32..6 {
+            let ob = find_obstruction(&full_clique_complement(n)).unwrap();
+            assert_eq!(ob.kind, ObstructionKind::CliqueComplement(n));
+        }
+    }
+
+    #[test]
+    fn deletion_sequence_reproduces_target() {
+        // cyclic hypergraph with extra acyclic decoration hanging off it
+        let h = Hypergraph::from_edges([
+            s(&[0, 1]),
+            s(&[1, 2]),
+            s(&[2, 3]),
+            s(&[3, 0]),
+            s(&[3, 10]),
+            s(&[10, 11]),
+        ]);
+        let ob = find_obstruction(&h).unwrap();
+        let reached = apply_sequence(&h, &ob.deletions).unwrap();
+        assert_eq!(reached, ob.target);
+        match ob.kind {
+            ObstructionKind::Cycle(n) => assert!(reached.is_isomorphic_to(&cycle(n))),
+            ObstructionKind::CliqueComplement(n) => {
+                assert!(reached.is_isomorphic_to(&full_clique_complement(n)))
+            }
+        }
+    }
+
+    #[test]
+    fn big_cycle_with_pendant_shrinks_to_core() {
+        // C5 with two pendant edges: obstruction must be the 5-cycle itself
+        let mut edges: Vec<Schema> = cycle(5).edges().to_vec();
+        edges.push(s(&[0, 20]));
+        edges.push(s(&[20, 21]));
+        let h = Hypergraph::from_edges(edges);
+        let ob = find_obstruction(&h).unwrap();
+        assert_eq!(ob.kind, ObstructionKind::Cycle(5));
+        assert_eq!(ob.w, s(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn non_conformal_inside_larger_hypergraph() {
+        // triangle on {5,6,7} plus a path attached
+        let h = Hypergraph::from_edges([
+            s(&[5, 6]),
+            s(&[6, 7]),
+            s(&[5, 7]),
+            s(&[7, 8]),
+            s(&[8, 9]),
+        ]);
+        let ob = find_obstruction(&h).unwrap();
+        assert_eq!(ob.kind, ObstructionKind::CliqueComplement(3));
+        assert_eq!(ob.w, s(&[5, 6, 7]));
+        let reached = apply_sequence(&h, &ob.deletions).unwrap();
+        assert_eq!(reached, ob.target);
+    }
+
+    #[test]
+    fn obstruction_minimality() {
+        // for a C6, no proper subset of W still violates chordality
+        let ob = find_obstruction(&cycle(6)).unwrap();
+        let h = cycle(6);
+        for v in ob.w.iter() {
+            let smaller = h.induced(&ob.w.without(v));
+            assert!(crate::is_chordal(&smaller), "W must be minimal");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The primal (Gaifman) graph of a hypergraph.
+//!
+//! Two distinct vertices are adjacent iff they appear together in some
+//! hyperedge. Chordality and conformality (Section 4 of the paper) are
+//! both defined through this graph.
+
+use crate::Hypergraph;
+use bagcons_core::Attr;
+
+/// An undirected graph over the hypergraph's vertices, with dense indices
+/// for fast adjacency tests.
+#[derive(Clone, Debug)]
+pub struct PrimalGraph {
+    verts: Vec<Attr>,
+    adj: Vec<Vec<bool>>,
+}
+
+impl PrimalGraph {
+    /// Builds the primal graph of `h`.
+    pub fn of(h: &Hypergraph) -> Self {
+        let verts: Vec<Attr> = h.vertices().iter().collect();
+        let n = verts.len();
+        let index = |a: Attr| verts.binary_search(&a).expect("vertex of hypergraph");
+        let mut adj = vec![vec![false; n]; n];
+        for e in h.edges() {
+            let idx: Vec<usize> = e.iter().map(index).collect();
+            for (k, &i) in idx.iter().enumerate() {
+                for &j in &idx[k + 1..] {
+                    adj[i][j] = true;
+                    adj[j][i] = true;
+                }
+            }
+        }
+        PrimalGraph { verts, adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// True iff the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// The vertex with dense index `i`.
+    #[inline]
+    pub fn vertex(&self, i: usize) -> Attr {
+        self.verts[i]
+    }
+
+    /// Dense index of attribute `a`, if it is a vertex.
+    pub fn index_of(&self, a: Attr) -> Option<usize> {
+        self.verts.binary_search(&a).ok()
+    }
+
+    /// Adjacency test by dense indices.
+    #[inline]
+    pub fn adjacent(&self, i: usize, j: usize) -> bool {
+        self.adj[i][j]
+    }
+
+    /// Neighbors of `i` as dense indices.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[i]
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &b)| b.then_some(j))
+    }
+
+    /// Degree of vertex `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].iter().filter(|&&b| b).count()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        (0..self.len()).map(|i| self.degree(i)).sum::<usize>() / 2
+    }
+
+    /// True iff the dense index set `clique` is pairwise adjacent.
+    pub fn is_clique(&self, clique: &[usize]) -> bool {
+        clique
+            .iter()
+            .enumerate()
+            .all(|(k, &i)| clique[k + 1..].iter().all(|&j| self.adj[i][j]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, full_clique_complement, path, star};
+
+    #[test]
+    fn cycle_primal_is_cycle_graph() {
+        let g = PrimalGraph::of(&cycle(5));
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.num_edges(), 5);
+        for i in 0..5 {
+            assert_eq!(g.degree(i), 2);
+        }
+    }
+
+    #[test]
+    fn hn_primal_is_complete() {
+        // every pair of vertices shares an (n-1)-edge when n >= 3
+        let g = PrimalGraph::of(&full_clique_complement(4));
+        assert_eq!(g.num_edges(), 6);
+        let all: Vec<usize> = (0..4).collect();
+        assert!(g.is_clique(&all));
+    }
+
+    #[test]
+    fn path_primal() {
+        let g = PrimalGraph::of(&path(4));
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.adjacent(0, 1));
+        assert!(!g.adjacent(0, 2));
+    }
+
+    #[test]
+    fn star_primal() {
+        let g = PrimalGraph::of(&star(3));
+        let center = g.index_of(bagcons_core::Attr::new(0)).unwrap();
+        assert_eq!(g.degree(center), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn neighbors_iteration() {
+        let g = PrimalGraph::of(&path(3));
+        let mid = g.index_of(bagcons_core::Attr::new(1)).unwrap();
+        let nbrs: Vec<usize> = g.neighbors(mid).collect();
+        assert_eq!(nbrs.len(), 2);
+    }
+
+    #[test]
+    fn is_clique_checks_pairs() {
+        let g = PrimalGraph::of(&cycle(4));
+        assert!(g.is_clique(&[0, 1]));
+        assert!(!g.is_clique(&[0, 1, 2]));
+        assert!(g.is_clique(&[])); // vacuous
+    }
+}

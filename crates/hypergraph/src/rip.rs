@@ -1,0 +1,121 @@
+//! The running intersection property (RIP).
+//!
+//! A listing `X₁, …, X_m` of the hyperedges has the RIP when for every
+//! `i ≥ 2` there is `j < i` with `X_i ∩ (X₁ ∪ ⋯ ∪ X_{i-1}) ⊆ X_j`
+//! (Section 4). Theorem 1/2 (c): such a listing exists iff the hypergraph
+//! is acyclic. Step 1 of the proof of Theorem 2 — and our implementation
+//! of the acyclic witness chain (Theorem 6) — consumes exactly such a
+//! listing.
+
+use crate::{Hypergraph, JoinTree};
+use bagcons_core::Schema;
+
+/// Verifies the RIP for a listing, returning for each `i ≥ 1` a witness
+/// index `j < i` with `X_i ∩ (X_1 ∪ ⋯ ∪ X_{i-1}) ⊆ X_j`. `None` if the
+/// listing lacks the property.
+pub fn rip_witnesses(listing: &[Schema]) -> Option<Vec<usize>> {
+    let mut witnesses = Vec::with_capacity(listing.len().saturating_sub(1));
+    let mut union = match listing.first() {
+        Some(x) => x.clone(),
+        None => return Some(witnesses),
+    };
+    for i in 1..listing.len() {
+        let inter = listing[i].intersection(&union);
+        let j = (0..i).find(|&j| inter.is_subset_of(&listing[j]))?;
+        witnesses.push(j);
+        union = union.union(&listing[i]);
+    }
+    Some(witnesses)
+}
+
+/// True iff the listing has the running intersection property.
+pub fn has_rip(listing: &[Schema]) -> bool {
+    rip_witnesses(listing).is_some()
+}
+
+/// Produces a RIP listing of `h`'s hyperedges, or `None` if `h` is cyclic.
+///
+/// Implemented as the paper's Theorem 6 prescribes: "by first computing a
+/// rooted join-tree … and then by sorting its vertices in topological
+/// order, we may assume that the listing satisfies the running
+/// intersection property."
+pub fn rip_order(h: &Hypergraph) -> Option<Vec<Schema>> {
+    let tree = JoinTree::build(h)?;
+    let listing = tree.rip_listing();
+    debug_assert!(has_rip(&listing), "join-tree BFS order must have RIP");
+    Some(listing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, full_clique_complement, path, star, triangle};
+    use crate::is_acyclic;
+    use bagcons_core::Attr;
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    #[test]
+    fn path_listing_in_order_has_rip() {
+        let listing: Vec<Schema> = path(5).edges().to_vec();
+        assert!(has_rip(&listing));
+        let w = rip_witnesses(&listing).unwrap();
+        assert_eq!(w.len(), listing.len() - 1);
+    }
+
+    #[test]
+    fn cycle_has_no_rip_order() {
+        assert!(rip_order(&triangle()).is_none());
+        assert!(rip_order(&cycle(5)).is_none());
+        assert!(rip_order(&full_clique_complement(4)).is_none());
+    }
+
+    #[test]
+    fn acyclic_always_has_rip_order() {
+        for h in [path(7), star(6)] {
+            let listing = rip_order(&h).unwrap();
+            assert!(has_rip(&listing));
+            assert_eq!(listing.len(), h.num_edges());
+        }
+    }
+
+    #[test]
+    fn bad_listing_of_acyclic_hypergraph_detected() {
+        // P4 edges listed as {0,1},{2,3},{1,2}: the second edge intersects
+        // the union {0,1} emptily — fine (∅ ⊆ anything) — but listing
+        // {0,1},{3,4},{1,2},{2,3} of P5 in this order still works since
+        // empty intersections are subsets. A genuinely bad case needs the
+        // intersection to be split across two earlier edges:
+        let bad = vec![s(&[0, 1]), s(&[2, 3]), s(&[1, 2])];
+        // X3 ∩ (X1 ∪ X2) = {1,2}, not ⊆ {0,1} nor ⊆ {2,3}
+        assert!(!has_rip(&bad));
+        // yet a good order exists
+        assert!(rip_order(&Hypergraph::from_edges(bad)).is_some());
+    }
+
+    #[test]
+    fn rip_existence_matches_acyclicity() {
+        let cases = [
+            path(4),
+            star(3),
+            triangle(),
+            cycle(4),
+            cycle(6),
+            full_clique_complement(4),
+            Hypergraph::from_edges([s(&[0, 1, 2]), s(&[1, 2, 3]), s(&[2, 3, 4])]),
+            Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[0, 1, 2])]),
+        ];
+        for h in &cases {
+            assert_eq!(rip_order(h).is_some(), is_acyclic(h), "on {h}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_listings() {
+        assert!(has_rip(&[]));
+        assert!(has_rip(&[s(&[0, 1])]));
+        assert_eq!(rip_witnesses(&[]).unwrap().len(), 0);
+    }
+}

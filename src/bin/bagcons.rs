@@ -1,0 +1,234 @@
+//! `bagcons` — command-line interface to the bag-consistency library.
+//!
+//! ```text
+//! bagcons check <FILE>...          decide global consistency (dichotomy)
+//! bagcons witness <FILE>...        print a witness bag, if one exists
+//! bagcons diagnose <FILE>...       explain inconsistencies tuple-by-tuple
+//! bagcons schema <FILE>...         analyze the schema hypergraph
+//! bagcons counterexample <FILE>... emit a pairwise-consistent but
+//!                                  globally-inconsistent family over the
+//!                                  same (cyclic) schema
+//! ```
+//!
+//! Each FILE holds one bag in the tabular text format of
+//! [`bagcons_core::io`] (header `A B #`, rows `1 2 : 3`,
+//! `%`-comments). Exit codes: 0 = yes/ok, 1 = no, 2 = usage or input
+//! error, 3 = undecided (search budget exhausted).
+
+use bagcons::diagnose::{diagnose, Diagnosis};
+use bagcons::dichotomy::{decide_global_consistency, GcpbOutcome};
+use bagcons::lifting::pairwise_consistent_globally_inconsistent;
+use bagcons_core::io::{parse_bag_with, write_bag, NameInterner};
+use bagcons_core::{AttrNames, Bag};
+use bagcons_hypergraph::{
+    find_obstruction, is_acyclic, is_chordal, is_conformal, rip_order, Hypergraph,
+    ObstructionKind,
+};
+use bagcons_lp::ilp::SolverConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, files)) = args.split_first() else {
+        return usage();
+    };
+    if files.is_empty() {
+        return usage();
+    }
+    let mut bags = Vec::new();
+    let mut interner = NameInterner::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_bag_with(&text, &mut interner) {
+            Ok(bag) => bags.push(bag),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let names = interner.names().clone();
+    let refs: Vec<&Bag> = bags.iter().collect();
+    match cmd.as_str() {
+        "check" => cmd_check(&refs),
+        "witness" => cmd_witness(&refs, &names),
+        "diagnose" => cmd_diagnose(&refs, &names),
+        "schema" => cmd_schema(&refs, &names),
+        "counterexample" => cmd_counterexample(&refs, &names),
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            usage()
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bagcons <check|witness|diagnose|schema|counterexample> <FILE>...\n\
+         FILEs hold bags in tabular text form (`A B #` header, `1 2 : 3` rows)."
+    );
+    ExitCode::from(2)
+}
+
+/// Renders a schema with display names, e.g. `{Origin, Dest}`.
+fn pretty_schema(s: &bagcons_core::Schema, names: &AttrNames) -> String {
+    let cells: Vec<String> = s.iter().map(|a| names.name(a)).collect();
+    format!("{{{}}}", cells.join(", "))
+}
+
+fn solver() -> SolverConfig {
+    SolverConfig { node_limit: Some(50_000_000), ..Default::default() }
+}
+
+fn cmd_check(refs: &[&Bag]) -> ExitCode {
+    match decide_global_consistency(refs, &solver()) {
+        Ok(rep) => {
+            let path = if rep.acyclic { "acyclic/polynomial" } else { "cyclic/search" };
+            match rep.outcome {
+                GcpbOutcome::Consistent(_) => {
+                    println!("globally consistent ({path}, {} nodes)", rep.search_nodes);
+                    ExitCode::SUCCESS
+                }
+                GcpbOutcome::Inconsistent => {
+                    println!("NOT globally consistent ({path}, {} nodes)", rep.search_nodes);
+                    ExitCode::from(1)
+                }
+                GcpbOutcome::Unknown => {
+                    println!("undecided: search budget exhausted ({} nodes)", rep.search_nodes);
+                    ExitCode::from(3)
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_witness(refs: &[&Bag], names: &AttrNames) -> ExitCode {
+    match decide_global_consistency(refs, &solver()) {
+        Ok(rep) => match rep.outcome {
+            GcpbOutcome::Consistent(w) => {
+                print!("{}", write_bag(&w, names));
+                ExitCode::SUCCESS
+            }
+            GcpbOutcome::Inconsistent => {
+                eprintln!("no witness: the bags are not globally consistent");
+                ExitCode::from(1)
+            }
+            GcpbOutcome::Unknown => {
+                eprintln!("undecided: search budget exhausted");
+                ExitCode::from(3)
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_diagnose(refs: &[&Bag], names: &AttrNames) -> ExitCode {
+    match diagnose(refs, 32) {
+        Ok(Diagnosis::PairwiseConsistent { acyclic, obstruction }) => {
+            println!("pairwise consistent");
+            if acyclic {
+                println!("schema is acyclic ⇒ globally consistent (Theorem 2)");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "schema is CYCLIC: pairwise consistency does not imply global \
+                     consistency here — run `bagcons check` for the full decision"
+                );
+                if let Some(ob) = obstruction {
+                    let kind = match ob.kind {
+                        ObstructionKind::Cycle(n) => format!("C{n} (chordless cycle)"),
+                        ObstructionKind::CliqueComplement(n) => {
+                            format!("H{n} (uncovered clique)")
+                        }
+                    };
+                    println!(
+                        "minimal obstruction: {kind} on vertices {}",
+                        pretty_schema(&ob.w, names)
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+        }
+        Ok(Diagnosis::PairwiseInconsistent(ms)) => {
+            println!("pairwise INCONSISTENT — {} mismatch(es):", ms.len());
+            for m in ms {
+                println!("  {m}");
+            }
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_schema(refs: &[&Bag], names: &AttrNames) -> ExitCode {
+    let h = Hypergraph::from_edges(refs.iter().map(|b| b.schema().clone()));
+    let edges: Vec<String> = h.edges().iter().map(|e| pretty_schema(e, names)).collect();
+    println!("hyperedges: {}", edges.join(", "));
+    println!("vertices: {}  edges: {}", h.num_vertices(), h.num_edges());
+    let acyclic = is_acyclic(&h);
+    println!("acyclic:   {acyclic}");
+    println!("chordal:   {}", is_chordal(&h));
+    println!("conformal: {}", is_conformal(&h));
+    if let Some(order) = rip_order(&h) {
+        let pretty: Vec<String> = order.iter().map(|s| pretty_schema(s, names)).collect();
+        println!("running-intersection order: {}", pretty.join(" → "));
+    }
+    if let Some(ob) = find_obstruction(&h) {
+        let kind = match ob.kind {
+            ObstructionKind::Cycle(n) => format!("C{n}"),
+            ObstructionKind::CliqueComplement(n) => format!("H{n}"),
+        };
+        println!(
+            "minimal obstruction: {kind} on {} ({} safe deletions)",
+            pretty_schema(&ob.w, names),
+            ob.deletions.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_counterexample(refs: &[&Bag], names: &AttrNames) -> ExitCode {
+    let h = Hypergraph::from_edges(refs.iter().map(|b| b.schema().clone()));
+    match pairwise_consistent_globally_inconsistent(&h) {
+        Ok(Some(bags)) => {
+            let edges: Vec<String> =
+                h.edges().iter().map(|e| pretty_schema(e, names)).collect();
+            println!(
+                "% pairwise consistent but globally inconsistent over [{}]\n\
+                 % one bag per hyperedge, each preceded by a marker line",
+                edges.join(", ")
+            );
+            for bag in bags {
+                println!("%% ---");
+                print!("{}", write_bag(&bag, names));
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            println!(
+                "schema is acyclic: no such family exists (local-to-global holds, Theorem 2)"
+            );
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

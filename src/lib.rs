@@ -1,0 +1,64 @@
+//! # bag-consistency
+//!
+//! Facade crate for the reproduction of **“Structure and Complexity of Bag
+//! Consistency”** (Albert Atserias & Phokion G. Kolaitis, PODS 2021,
+//! arXiv:2012.12126).
+//!
+//! The workspace is organised bottom-up:
+//!
+//! * [`core`](bagcons_core) — bags, relations, schemas, marginals, joins;
+//! * [`hypergraph`](bagcons_hypergraph) — acyclicity structure theory
+//!   (chordality, conformality, GYO, join trees, running-intersection
+//!   orders, safe deletions, minimal obstructions);
+//! * [`flow`](bagcons_flow) — integral max-flow and the consistency network
+//!   `N(R,S)`;
+//! * [`lp`](bagcons_lp) — the linear program `P(R₁,…,R_m)`, exact integer
+//!   search, Carathéodory / Eisenbrand–Shmonin sparsification;
+//! * [`bagcons`] — the paper's algorithms: two-bag consistency (Lemma 2),
+//!   the local-to-global structure theorem (Theorem 2), the complexity
+//!   dichotomy (Theorem 4), and witness construction (Theorems 5–6);
+//! * [`gen`](bagcons_gen) — workload generators for tests, examples, and
+//!   the experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bag_consistency::prelude::*;
+//!
+//! // Two bags over schemas {A0,A1} and {A1,A2}.
+//! let x = Schema::range(0, 2);
+//! let y = Schema::range(1, 3);
+//! let r = Bag::from_u64s(x, [(&[1u64, 2][..], 1), (&[2, 2][..], 1)]).unwrap();
+//! let s = Bag::from_u64s(y, [(&[2u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
+//!
+//! // Lemma 2: consistency ⟺ equal marginals on the common attributes.
+//! assert!(bags_consistent(&r, &s).unwrap());
+//!
+//! // Corollary 1: build a witness via max-flow.
+//! let t = consistency_witness(&r, &s).unwrap().expect("consistent");
+//! assert_eq!(t.marginal(r.schema()).unwrap(), r);
+//! assert_eq!(t.marginal(s.schema()).unwrap(), s);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use bagcons;
+pub use bagcons_core as core;
+pub use bagcons_flow as flow;
+pub use bagcons_gen as gen;
+pub use bagcons_hypergraph as hypergraph;
+pub use bagcons_lp as lp;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use bagcons::{
+        acyclic::acyclic_global_witness,
+        dichotomy::{decide_global_consistency, GcpbOutcome, GcpbReport},
+        global::{globally_consistent_via_ilp, is_global_witness},
+        minimal::minimal_two_bag_witness,
+        pairwise::{bags_consistent, consistency_witness, pairwise_consistent},
+        tseitin::tseitin_bags,
+    };
+    pub use bagcons_core::{Attr, AttrNames, Bag, CoreError, Relation, Schema, Tuple, Value};
+    pub use bagcons_hypergraph::Hypergraph;
+}

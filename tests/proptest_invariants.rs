@@ -1,0 +1,155 @@
+//! Property-based tests for the algebraic invariants the paper relies on.
+//!
+//! Each property is one of the "easy to verify" facts of Section 2/3 that
+//! the proofs lean on; here they are checked on thousands of random bags.
+
+use bag_consistency::prelude::*;
+use bagcons_core::join::{bag_join, relation_join};
+use proptest::prelude::*;
+
+/// Strategy: a random bag over `{A0..A_arity}` with small domain.
+fn arb_bag(arity: u32, domain: u64, max_support: usize, max_mult: u64) -> impl Strategy<Value = Bag> {
+    let schema = Schema::range(0, arity);
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0..domain, arity as usize),
+            1..=max_mult,
+        ),
+        0..=max_support,
+    )
+    .prop_map(move |rows| {
+        let mut bag = Bag::new(schema.clone());
+        for (row, m) in rows {
+            let vals: Vec<Value> = row.into_iter().map(Value::new).collect();
+            bag.insert(vals, m).unwrap();
+        }
+        bag
+    })
+}
+
+/// Strategy: two bags over overlapping schemas {A0,A1} and {A1,A2}.
+fn arb_pair() -> impl Strategy<Value = (Bag, Bag)> {
+    let x = Schema::range(0, 2);
+    let y = Schema::range(1, 3);
+    let mk = move |schema: Schema| {
+        proptest::collection::vec(
+            (proptest::collection::vec(0..3u64, 2), 1..=8u64),
+            0..=12,
+        )
+        .prop_map(move |rows| {
+            let mut bag = Bag::new(schema.clone());
+            for (row, m) in rows {
+                let vals: Vec<Value> = row.into_iter().map(Value::new).collect();
+                bag.insert(vals, m).unwrap();
+            }
+            bag
+        })
+    };
+    (mk(x), mk(y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Section 2: `R'[Z] = R[Z]'` — support commutes with marginals.
+    #[test]
+    fn support_of_marginal_is_projection_of_support(bag in arb_bag(3, 4, 20, 16)) {
+        let z = Schema::range(0, 2);
+        let lhs = bag.marginal(&z).unwrap().support();
+        let rhs = bag.support().project(&z).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Section 2: `R[Z][W] = R[W]` for `W ⊆ Z ⊆ X`.
+    #[test]
+    fn marginals_compose(bag in arb_bag(4, 3, 25, 16)) {
+        let z = Schema::range(0, 3);
+        let w = Schema::range(0, 2);
+        prop_assert_eq!(
+            bag.marginal(&z).unwrap().marginal(&w).unwrap(),
+            bag.marginal(&w).unwrap()
+        );
+    }
+
+    /// Marginals preserve the multiset cardinality `‖R‖u`.
+    #[test]
+    fn marginals_preserve_total(bag in arb_bag(3, 4, 20, 16)) {
+        let z = Schema::range(1, 3);
+        prop_assert_eq!(bag.marginal(&z).unwrap().unary_size(), bag.unary_size());
+    }
+
+    /// Section 2: `(R ⋈ᵇ S)' = R' ⋈ S'`.
+    #[test]
+    fn bag_join_support_law((r, s) in arb_pair()) {
+        let lhs = bag_join(&r, &s).unwrap().support();
+        let rhs = relation_join(&r.support(), &s.support());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Lemma 1: every consistency witness has support inside `R' ⋈ S'`.
+    #[test]
+    fn lemma1_witness_support((r, s) in arb_pair()) {
+        if let Some(t) = consistency_witness(&r, &s).unwrap() {
+            let join_supp = relation_join(&r.support(), &s.support());
+            prop_assert!(t.support().subset_of(&join_supp));
+        }
+    }
+
+    /// Lemma 2: the flow test agrees with the marginal test.
+    #[test]
+    fn lemma2_flow_agrees_with_marginals((r, s) in arb_pair()) {
+        let by_marginals = bags_consistent(&r, &s).unwrap();
+        let by_flow = bagcons_flow::ConsistencyNetwork::build(&r, &s)
+            .unwrap()
+            .solve()
+            .is_some();
+        prop_assert_eq!(by_marginals, by_flow);
+    }
+
+    /// Corollary 1: the witness really marginalizes to both inputs.
+    #[test]
+    fn corollary1_witness_is_correct((r, s) in arb_pair()) {
+        if let Some(t) = consistency_witness(&r, &s).unwrap() {
+            prop_assert_eq!(t.marginal(r.schema()).unwrap(), r);
+            prop_assert_eq!(t.marginal(s.schema()).unwrap(), s);
+        }
+    }
+
+    /// Theorem 3(1)+(2): flow witnesses obey the multiplicity and unary
+    /// support bounds.
+    #[test]
+    fn theorem3_bounds_on_flow_witness((r, s) in arb_pair()) {
+        if let Some(t) = consistency_witness(&r, &s).unwrap() {
+            let mu = r.multiplicity_bound().max(s.multiplicity_bound());
+            prop_assert!(t.multiplicity_bound() <= mu);
+            prop_assert!((t.support_size() as u128) <= r.unary_size() + s.unary_size());
+        }
+    }
+
+    /// Theorem 5: minimal witnesses obey the Carathéodory support bound.
+    #[test]
+    fn theorem5_minimal_witness_bound((r, s) in arb_pair()) {
+        if let Some(t) = minimal_two_bag_witness(&r, &s).unwrap() {
+            prop_assert!(t.support_size() <= r.support_size() + s.support_size());
+            prop_assert_eq!(&t.marginal(r.schema()).unwrap(), &r);
+            prop_assert_eq!(&t.marginal(s.schema()).unwrap(), &s);
+        }
+    }
+
+    /// Bag containment is a partial order compatible with sums.
+    #[test]
+    fn containment_sum_compatibility(bag in arb_bag(2, 3, 10, 8)) {
+        let doubled = bag.sum(&bag).unwrap();
+        prop_assert!(bag.contained_in(&doubled));
+        prop_assert!(doubled.contained_in(&bag) == bag.is_empty());
+    }
+
+    /// Scaling preserves pairwise consistency.
+    #[test]
+    fn scaling_preserves_consistency((r, s) in arb_pair(), k in 1..5u64) {
+        let consistent = bags_consistent(&r, &s).unwrap();
+        let rk = r.scale(k).unwrap();
+        let sk = s.scale(k).unwrap();
+        prop_assert_eq!(bags_consistent(&rk, &sk).unwrap(), consistent);
+    }
+}
