@@ -16,8 +16,7 @@ fn bench(c: &mut Criterion) {
         let prog = ConsistencyProgram::build(&[&r, &s]).unwrap();
         g.bench_with_input(BenchmarkId::new("count_all", n), &n, |b, &n| {
             b.iter(|| {
-                let (count, complete) =
-                    count_solutions(&prog, &SolverConfig::default(), 1 << 22);
+                let (count, complete) = count_solutions(&prog, &SolverConfig::default(), 1 << 22);
                 assert!(complete);
                 assert_eq!(count, 1 << (n - 1));
                 count

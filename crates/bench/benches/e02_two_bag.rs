@@ -21,12 +21,16 @@ fn bench(c: &mut Criterion) {
     for exp in [6u32, 8, 10] {
         let support = 1usize << exp;
         let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 20, &mut rng).unwrap();
-        g.bench_with_input(BenchmarkId::new("marginal_test", support), &support, |b, _| {
-            b.iter(|| bags_consistent(&r, &s).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("flow_saturation", support), &support, |b, _| {
-            b.iter(|| ConsistencyNetwork::build(&r, &s).unwrap().solve().is_some())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("marginal_test", support),
+            &support,
+            |b, _| b.iter(|| bags_consistent(&r, &s).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("flow_saturation", support),
+            &support,
+            |b, _| b.iter(|| ConsistencyNetwork::build(&r, &s).unwrap().solve().is_some()),
+        );
     }
     g.finish();
 }

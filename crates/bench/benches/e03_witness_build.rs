@@ -18,8 +18,7 @@ fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0xE3);
     for exp in [6u32, 8, 10, 12] {
         let support = 1usize << exp;
-        let (r, s) =
-            planted_pair(&x, &y, support as u64, support, 1 << 40, &mut rng).unwrap();
+        let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 40, &mut rng).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(support), &support, |b, _| {
             b.iter(|| {
                 let w = consistency_witness(&r, &s).unwrap().expect("planted");

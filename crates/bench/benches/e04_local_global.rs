@@ -39,8 +39,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let bags = tseitin_bags(&cycle(n)).unwrap();
                 let refs: Vec<&Bag> = bags.iter().collect();
-                let dec =
-                    globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
+                let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
                 assert_eq!(dec.outcome, IlpOutcome::Unsat);
             })
         });
@@ -55,7 +54,10 @@ fn bench(c: &mut Criterion) {
             bagcons_core::Schema::from_attrs([bagcons_core::Attr(0), bagcons_core::Attr(9)]),
         ]);
         b.iter(|| {
-            pairwise_consistent_globally_inconsistent(&h).unwrap().unwrap().len()
+            pairwise_consistent_globally_inconsistent(&h)
+                .unwrap()
+                .unwrap()
+                .len()
         })
     });
     g.finish();

@@ -20,8 +20,7 @@ fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0xE9);
     for exp in [3u32, 5, 7] {
         let support = 1usize << exp;
-        let (r, s) =
-            planted_pair(&x, &y, (support as u64) / 2 + 2, support, 64, &mut rng).unwrap();
+        let (r, s) = planted_pair(&x, &y, (support as u64) / 2 + 2, support, 64, &mut rng).unwrap();
         let bound = r.support_size() + s.support_size();
         g.bench_with_input(BenchmarkId::from_parameter(support), &support, |b, _| {
             b.iter(|| {

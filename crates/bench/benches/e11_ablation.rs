@@ -10,8 +10,8 @@
 //!   disabling it makes total-mismatch refutations exponentially slower.
 
 use bagcons_core::Bag;
-use bagcons_gen::tables::{planted_3dct, sparse_3dct};
 use bagcons_gen::perturb::scale_one;
+use bagcons_gen::tables::{planted_3dct, sparse_3dct};
 use bagcons_lp::ilp::{solve, SolverConfig};
 use bagcons_lp::ConsistencyProgram;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -32,7 +32,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| solve(&prog, &SolverConfig::default()).is_sat())
     });
     g.bench_function(BenchmarkId::new("forcing", "off"), |b| {
-        let cfg = SolverConfig { disable_forcing: true, ..Default::default() };
+        let cfg = SolverConfig {
+            disable_forcing: true,
+            ..Default::default()
+        };
         b.iter(|| solve(&prog, &cfg).is_sat())
     });
 

@@ -1,0 +1,61 @@
+//! E12 — the storage layer: columnar sort-merge join vs hash join, and
+//! the downstream `Bag` join → `ConsistencyNetwork` build path, on the
+//! e02 two-bag workload.
+//!
+//! Shape expected: at the e02 supports (2^6..2^12) both operands exceed
+//! the `JoinStrategy` crossover, and the sort-merge path wins by avoiding
+//! the per-probe hashing of the build side — with zero per-tuple
+//! `Box<[Value]>` allocations either way.
+
+use bagcons_bench::seed_boxed_hash_join;
+use bagcons_core::join::{bag_join_hash, bag_join_merge};
+use bagcons_core::Schema;
+use bagcons_flow::ConsistencyNetwork;
+use bagcons_gen::consistent::planted_pair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_storage");
+    g.sample_size(20);
+    let x = Schema::range(0, 2);
+    let y = Schema::range(1, 3);
+    let mut rng = StdRng::seed_from_u64(0xE2); // the e02 workload seed
+    for exp in [6u32, 8, 10] {
+        let support = 1usize << exp;
+        let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 20, &mut rng).unwrap();
+        g.bench_with_input(BenchmarkId::new("join_merge", support), &support, |b, _| {
+            b.iter(|| bag_join_merge(&r, &s).unwrap().support_size())
+        });
+        g.bench_with_input(BenchmarkId::new("join_hash", support), &support, |b, _| {
+            b.iter(|| bag_join_hash(&r, &s).unwrap().support_size())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("join_seed_boxed", support),
+            &support,
+            |b, _| b.iter(|| seed_boxed_hash_join(&r, &s)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("network_build", support),
+            &support,
+            |b, _| {
+                b.iter(|| {
+                    ConsistencyNetwork::build(&r, &s)
+                        .unwrap()
+                        .num_middle_edges()
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("marginal", support), &support, |b, _| {
+            b.iter(|| {
+                let z = r.schema().intersection(s.schema());
+                r.marginal(&z).unwrap().support_size()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -35,7 +35,9 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"];
+    let all = [
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12",
+    ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
     } else {
@@ -53,6 +55,7 @@ fn main() {
             "E8" => e8(),
             "E9" => e9(),
             "E10" => e10(),
+            "E12" => e12(),
             other => eprintln!("unknown experiment {other}; known: {all:?}"),
         }
     }
@@ -81,11 +84,15 @@ fn e1() {
         // structural claims verified where enumeration is cheap
         let (incomparable, proper) = if n <= 7 {
             let (sols, _) = enumerate_solutions(&prog, &SolverConfig::default(), 1 << 22);
-            let ws: Vec<Bag> =
-                sols.iter().map(|x| prog.bag_from_solution(x).unwrap()).collect();
+            let ws: Vec<Bag> = sols
+                .iter()
+                .map(|x| prog.bag_from_solution(x).unwrap())
+                .collect();
             let join = bagcons_core::join::bag_join(&r, &s).unwrap();
             let inc = ws.iter().enumerate().all(|(i, w)| {
-                ws.iter().enumerate().all(|(j, u)| i == j || !w.contained_in(u))
+                ws.iter()
+                    .enumerate()
+                    .all(|(j, u)| i == j || !w.contained_in(u))
             });
             let prop = ws.iter().all(|w| w.support_size() < join.support_size());
             (inc.to_string(), prop.to_string())
@@ -139,7 +146,10 @@ fn e2() {
 /// E3 — Corollary 1: strongly-polynomial witness construction scaling.
 fn e3() {
     header("E3", "Corollary 1 witness construction (flow) scaling");
-    println!("{:>9} {:>12} {:>12} {:>12}", "support", "|J|", "witness", "time(ms)");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "support", "|J|", "witness", "time(ms)"
+    );
     let mut rng = StdRng::seed_from_u64(3);
     let x = Schema::range(0, 2);
     let y = Schema::range(1, 3);
@@ -191,14 +201,16 @@ fn e4() {
             Some(bags) => {
                 let refs: Vec<&Bag> = bags.iter().collect();
                 assert!(pairwise_consistent(&refs).unwrap());
-                let dec =
-                    globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
+                let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
                 assert_eq!(dec.outcome, IlpOutcome::Unsat);
                 "pairwise✓ global✗"
             }
             None => "none (acyclic)",
         };
-        println!("{:>8} {:>8} {:>16} {:>18}", name, acyclic, planted_ok, counter_desc);
+        println!(
+            "{:>8} {:>8} {:>16} {:>18}",
+            name, acyclic, planted_ok, counter_desc
+        );
     }
 }
 
@@ -215,7 +227,10 @@ fn e5() {
         let refs: Vec<&Bag> = bags.iter().collect();
         let bits: u64 = refs.iter().map(|b| b.binary_size()).sum();
         let uniform = if n <= 16 {
-            example1_uniform_witness(n).unwrap().support_size().to_string()
+            example1_uniform_witness(n)
+                .unwrap()
+                .support_size()
+                .to_string()
         } else {
             format!("2^{n}")
         };
@@ -225,7 +240,11 @@ fn e5() {
         assert!((t.support_size() as u64) <= bound);
         println!(
             "{:>3} {:>12} {:>14} {:>16} {:>12}",
-            n, bits, uniform, t.support_size(), bound
+            n,
+            bits,
+            uniform,
+            t.support_size(),
+            bound
         );
     }
 }
@@ -233,7 +252,10 @@ fn e5() {
 /// E6 — Theorem 4(1): GCPB on acyclic schemas is polynomial.
 fn e6() {
     header("E6", "GCPB on acyclic schemas (polynomial path)");
-    println!("{:>7} {:>9} {:>12} {:>12}", "edges", "support", "witness", "time(ms)");
+    println!(
+        "{:>7} {:>9} {:>12} {:>12}",
+        "edges", "support", "witness", "time(ms)"
+    );
     let mut rng = StdRng::seed_from_u64(6);
     for m in [2u32, 4, 6, 8, 10, 12] {
         let h = path(m + 1); // m edges
@@ -259,7 +281,10 @@ fn e6() {
 
 /// E7 — Theorem 4(2): GCPB on the triangle (3DCT) needs real search.
 fn e7() {
-    header("E7", "GCPB(C3) = 3DCT: exact search effort (NP-complete regime)");
+    header(
+        "E7",
+        "GCPB(C3) = 3DCT: exact search effort (NP-complete regime)",
+    );
     println!(
         "{:>6} {:>8} {:>10} {:>12} {:>12} {:>10}",
         "side", "kind", "|J|", "nodes", "time(ms)", "answer"
@@ -313,15 +338,27 @@ fn e7() {
 
 /// E8 — Lemmas 6 & 7: the hardness chain preserves answers.
 fn e8() {
-    header("E8", "Chain reductions GCPB(C_{n-1})→GCPB(C_n), GCPB(H_{n-1})→GCPB(H_n)");
-    println!("{:>10} {:>7} {:>10} {:>12}", "instance", "target", "answer", "nodes");
+    header(
+        "E8",
+        "Chain reductions GCPB(C_{n-1})→GCPB(C_n), GCPB(H_{n-1})→GCPB(H_n)",
+    );
+    println!(
+        "{:>10} {:>7} {:>10} {:>12}",
+        "instance", "target", "answer", "nodes"
+    );
     let mut inst = tseitin_bags(&cycle(3)).unwrap();
     for n in 4u32..=7 {
         inst = lift_cycle_instance(&inst).unwrap();
         let refs: Vec<&Bag> = inst.iter().collect();
         let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
         assert_eq!(dec.outcome, IlpOutcome::Unsat);
-        println!("{:>10} {:>7} {:>10} {:>12}", "unsat C3", format!("C{n}"), "unsat", dec.stats.nodes);
+        println!(
+            "{:>10} {:>7} {:>10} {:>12}",
+            "unsat C3",
+            format!("C{n}"),
+            "unsat",
+            dec.stats.nodes
+        );
     }
     let mut rng = StdRng::seed_from_u64(8);
     let (mut sat, _) = planted_family(&cycle(3), 2, 6, 4, &mut rng).unwrap();
@@ -330,20 +367,32 @@ fn e8() {
         let refs: Vec<&Bag> = sat.iter().collect();
         let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
         assert!(dec.outcome.is_sat());
-        println!("{:>10} {:>7} {:>10} {:>12}", "sat C3", format!("C{n}"), "sat", dec.stats.nodes);
+        println!(
+            "{:>10} {:>7} {:>10} {:>12}",
+            "sat C3",
+            format!("C{n}"),
+            "sat",
+            dec.stats.nodes
+        );
     }
     let unsat_h = tseitin_bags(&full_clique_complement(3)).unwrap();
     let lifted = lift_clique_complement_instance(&unsat_h).unwrap();
     let refs: Vec<&Bag> = lifted.iter().collect();
     let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
     assert_eq!(dec.outcome, IlpOutcome::Unsat);
-    println!("{:>10} {:>7} {:>10} {:>12}", "unsat H3", "H4", "unsat", dec.stats.nodes);
+    println!(
+        "{:>10} {:>7} {:>10} {:>12}",
+        "unsat H3", "H4", "unsat", dec.stats.nodes
+    );
     let (sat_h, _) = planted_family(&full_clique_complement(3), 2, 5, 3, &mut rng).unwrap();
     let lifted = lift_clique_complement_instance(&sat_h).unwrap();
     let refs: Vec<&Bag> = lifted.iter().collect();
     let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
     assert!(dec.outcome.is_sat());
-    println!("{:>10} {:>7} {:>10} {:>12}", "sat H3", "H4", "sat", dec.stats.nodes);
+    println!(
+        "{:>10} {:>7} {:>10} {:>12}",
+        "sat H3", "H4", "sat", dec.stats.nodes
+    );
 }
 
 /// E9 — Theorem 5 / Corollary 4: minimal two-bag witnesses.
@@ -358,8 +407,7 @@ fn e9() {
     let y = Schema::range(1, 3);
     for exp in [3u32, 4, 5, 6, 7, 8] {
         let support = 1usize << exp;
-        let (r, s) =
-            planted_pair(&x, &y, (support as u64) / 2 + 2, support, 64, &mut rng).unwrap();
+        let (r, s) = planted_pair(&x, &y, (support as u64) / 2 + 2, support, 64, &mut rng).unwrap();
         let flow_w = consistency_witness(&r, &s).unwrap().unwrap();
         let join = bagcons_core::join::relation_join(&r.support(), &s.support());
         let t0 = Instant::now();
@@ -381,8 +429,14 @@ fn e9() {
 /// E10 — Theorem 6 + Section 5.1: acyclic witness chains; set-vs-bag
 /// contrast on a fixed cyclic schema.
 fn e10() {
-    header("E10", "Theorem 6 acyclic witness chain; set-vs-bag contrast");
-    println!("{:>7} {:>10} {:>12} {:>10} {:>12}", "edges", "Σ‖Ri‖supp", "‖T‖supp", "ok", "time(ms)");
+    header(
+        "E10",
+        "Theorem 6 acyclic witness chain; set-vs-bag contrast",
+    );
+    println!(
+        "{:>7} {:>10} {:>12} {:>10} {:>12}",
+        "edges", "Σ‖Ri‖supp", "‖T‖supp", "ok", "time(ms)"
+    );
     let mut rng = StdRng::seed_from_u64(10);
     for m in [2u32, 4, 6, 8, 10] {
         let h = path(m + 1);
@@ -423,4 +477,70 @@ fn e10() {
         bag_ms,
         dec.stats.nodes
     );
+}
+
+/// E12 — storage layer: columnar sort-merge vs hash join (and the
+/// network-build path) on the e02 two-bag workload. Writes the measured
+/// baseline to `BENCH_e12.json` in the current directory.
+fn e12() {
+    use bagcons_bench::seed_boxed_hash_join;
+    use bagcons_core::join::{bag_join_hash, bag_join_merge};
+    use bagcons_flow::ConsistencyNetwork;
+
+    header(
+        "E12",
+        "columnar storage: sort-merge vs hash join (e02 workload)",
+    );
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "support", "seed(ms)", "merge(ms)", "hash(ms)", "speedup", "net build(ms)"
+    );
+    let x = Schema::range(0, 2);
+    let y = Schema::range(1, 3);
+    let mut rng = StdRng::seed_from_u64(0xE2); // the e02 workload seed
+    let mut rows = Vec::new();
+    for exp in [6u32, 8, 10, 12] {
+        let support = 1usize << exp;
+        let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 20, &mut rng).unwrap();
+        // median of `reps` timed runs, one warm-up each
+        let reps = 7;
+        let time_ms = |f: &dyn Fn() -> usize| -> f64 {
+            let warm = f();
+            assert!(warm > 0 || r.is_empty());
+            let mut samples: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(f());
+                    ms(t0)
+                })
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            samples[reps / 2]
+        };
+        let seed_ms = time_ms(&|| seed_boxed_hash_join(&r, &s));
+        let merge_ms = time_ms(&|| bag_join_merge(&r, &s).unwrap().support_size());
+        let hash_ms = time_ms(&|| bag_join_hash(&r, &s).unwrap().support_size());
+        let build_ms = time_ms(&|| {
+            ConsistencyNetwork::build(&r, &s)
+                .unwrap()
+                .num_middle_edges()
+        });
+        println!(
+            "{support:>9} {seed_ms:>12.3} {merge_ms:>12.3} {hash_ms:>12.3} {:>11.2}x {build_ms:>14.3}",
+            seed_ms / merge_ms
+        );
+        rows.push(format!(
+            "    {{\"support\": {support}, \"seed_boxed_ms\": {seed_ms:.4}, \
+             \"merge_ms\": {merge_ms:.4}, \"hash_ms\": {hash_ms:.4}, \
+             \"network_build_ms\": {build_ms:.4}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e12_storage\",\n  \"workload\": \
+         \"planted_pair x={{A0,A1}} y={{A1,A2}} mult=2^20 seed=0xE2 (e02)\",\n  \
+         \"unit\": \"milliseconds, median of 7\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_e12.json", &json).expect("write BENCH_e12.json");
+    println!("wrote BENCH_e12.json");
 }

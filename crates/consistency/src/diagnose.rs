@@ -9,8 +9,8 @@
 //!   the failure is a genuinely global (cyclic-schema) phenomenon —
 //!   optionally with the schema's minimal obstruction attached.
 
-use crate::pairwise::bags_consistent;
 use crate::global::schema_hypergraph;
+use crate::pairwise::bags_consistent;
 use bagcons_core::{Bag, Result, Row, Schema};
 use bagcons_hypergraph::{find_obstruction, is_acyclic, Obstruction};
 use std::fmt;
@@ -116,7 +116,10 @@ pub fn diagnose(bags: &[&Bag], max_mismatches: usize) -> Result<Diagnosis> {
     let h = schema_hypergraph(bags);
     let acyclic = is_acyclic(&h);
     let obstruction = if acyclic { None } else { find_obstruction(&h) };
-    Ok(Diagnosis::PairwiseConsistent { acyclic, obstruction })
+    Ok(Diagnosis::PairwiseConsistent {
+        acyclic,
+        obstruction,
+    })
 }
 
 #[cfg(test)]
@@ -176,7 +179,11 @@ mod tests {
         let bags = tseitin_bags(&triangle()).unwrap();
         let refs: Vec<&Bag> = bags.iter().collect();
         let d = diagnose(&refs, 10).unwrap();
-        let Diagnosis::PairwiseConsistent { acyclic, obstruction } = d else {
+        let Diagnosis::PairwiseConsistent {
+            acyclic,
+            obstruction,
+        } = d
+        else {
             panic!("parity triangle is pairwise consistent");
         };
         assert!(!acyclic);
@@ -189,7 +196,11 @@ mod tests {
         let s = Bag::from_u64s(schema(&[1, 2]), [(&[5u64, 9][..], 2)]).unwrap();
         let d = diagnose(&[&r, &s], 10).unwrap();
         assert!(d.is_pairwise_consistent());
-        let Diagnosis::PairwiseConsistent { acyclic, obstruction } = d else {
+        let Diagnosis::PairwiseConsistent {
+            acyclic,
+            obstruction,
+        } = d
+        else {
             panic!("consistent");
         };
         assert!(acyclic);

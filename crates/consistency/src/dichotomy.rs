@@ -66,7 +66,11 @@ pub fn decide_global_consistency(
             }
             Err(AcyclicError::Core(e)) => return Err(e),
         };
-        Ok(GcpbReport { outcome, acyclic: true, search_nodes: 0 })
+        Ok(GcpbReport {
+            outcome,
+            acyclic: true,
+            search_nodes: 0,
+        })
     } else {
         let decision = globally_consistent_via_ilp(bags, cfg)?;
         let outcome = match &decision.outcome {
@@ -77,7 +81,11 @@ pub fn decide_global_consistency(
             IlpOutcome::Unsat => GcpbOutcome::Inconsistent,
             IlpOutcome::NodeLimit => GcpbOutcome::Unknown,
         };
-        Ok(GcpbReport { outcome, acyclic: false, search_nodes: decision.stats.nodes })
+        Ok(GcpbReport {
+            outcome,
+            acyclic: false,
+            search_nodes: decision.stats.nodes,
+        })
     }
 }
 
@@ -142,12 +150,14 @@ mod tests {
     #[test]
     fn node_budget_reports_unknown() {
         // a loose satisfiable triangle with a 1-node budget
-        let wide: Vec<(&[u64], u64)> =
-            vec![(&[0, 0], 3), (&[0, 1], 3), (&[1, 0], 3), (&[1, 1], 3)];
+        let wide: Vec<(&[u64], u64)> = vec![(&[0, 0], 3), (&[0, 1], 3), (&[1, 0], 3), (&[1, 1], 3)];
         let r = Bag::from_u64s(schema(&[0, 1]), wide.clone()).unwrap();
         let s = Bag::from_u64s(schema(&[1, 2]), wide.clone()).unwrap();
         let t = Bag::from_u64s(schema(&[0, 2]), wide).unwrap();
-        let cfg = SolverConfig { node_limit: Some(1), ..Default::default() };
+        let cfg = SolverConfig {
+            node_limit: Some(1),
+            ..Default::default()
+        };
         let rep = decide_global_consistency(&[&r, &s, &t], &cfg).unwrap();
         assert!(matches!(rep.outcome, GcpbOutcome::Unknown));
     }

@@ -30,7 +30,8 @@ pub fn is_global_witness(t: &Bag, bags: &[&Bag]) -> Result<bool> {
 
 /// The union schema `X₁ ∪ ⋯ ∪ X_m`.
 pub fn union_schema(bags: &[&Bag]) -> Schema {
-    bags.iter().fold(Schema::empty(), |acc, b| acc.union(b.schema()))
+    bags.iter()
+        .fold(Schema::empty(), |acc, b| acc.union(b.schema()))
 }
 
 /// The hypergraph whose hyperedges are the schemas of the bags
@@ -68,7 +69,11 @@ pub fn globally_consistent_via_ilp(bags: &[&Bag], cfg: &SolverConfig) -> Result<
         }
         other => other,
     };
-    Ok(IlpDecision { outcome, stats, num_variables })
+    Ok(IlpDecision {
+        outcome,
+        stats,
+        num_variables,
+    })
 }
 
 /// Converts a `Sat` ILP decision into its witness bag.
@@ -101,8 +106,7 @@ mod tests {
         // wrong schema
         assert!(!is_global_witness(&r, &[&r, &s]).unwrap());
         // wrong multiplicity
-        let t_bad =
-            Bag::from_u64s(schema(&[0, 1, 2]), [(&[1u64, 1, 5][..], 3)]).unwrap();
+        let t_bad = Bag::from_u64s(schema(&[0, 1, 2]), [(&[1u64, 1, 5][..], 3)]).unwrap();
         assert!(!is_global_witness(&t_bad, &[&r, &s]).unwrap());
     }
 

@@ -16,11 +16,7 @@ use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
 /// and tests, exactly where the paper uses the notion.
 ///
 /// Returns `Ok(None)` if some subset's search hit the node limit.
-pub fn k_wise_consistent(
-    bags: &[&Bag],
-    k: usize,
-    cfg: &SolverConfig,
-) -> Result<Option<bool>> {
+pub fn k_wise_consistent(bags: &[&Bag], k: usize, cfg: &SolverConfig) -> Result<Option<bool>> {
     let m = bags.len();
     let k = k.min(m);
     // Enumerate subsets of size 2..=k (size 0/1 are trivially consistent).
@@ -103,9 +99,11 @@ mod tests {
     #[test]
     fn m_wise_equals_global_on_consistent_family() {
         let d: Vec<(&[u64], u64)> = vec![(&[0, 0], 1), (&[1, 1], 1)];
-        let bags = [Bag::from_u64s(schema(&[0, 1]), d.clone()).unwrap(),
+        let bags = [
+            Bag::from_u64s(schema(&[0, 1]), d.clone()).unwrap(),
             Bag::from_u64s(schema(&[1, 2]), d.clone()).unwrap(),
-            Bag::from_u64s(schema(&[0, 2]), d).unwrap()];
+            Bag::from_u64s(schema(&[0, 2]), d).unwrap(),
+        ];
         let refs: Vec<&Bag> = bags.iter().collect();
         assert_eq!(
             k_wise_consistent(&refs, 3, &SolverConfig::default()).unwrap(),
@@ -127,7 +125,13 @@ mod tests {
     fn trivial_sizes() {
         let bags = parity_triangle();
         let refs: Vec<&Bag> = bags.iter().collect();
-        assert_eq!(k_wise_consistent(&refs, 1, &SolverConfig::default()).unwrap(), Some(true));
-        assert_eq!(k_wise_consistent(&[], 3, &SolverConfig::default()).unwrap(), Some(true));
+        assert_eq!(
+            k_wise_consistent(&refs, 1, &SolverConfig::default()).unwrap(),
+            Some(true)
+        );
+        assert_eq!(
+            k_wise_consistent(&[], 3, &SolverConfig::default()).unwrap(),
+            Some(true)
+        );
     }
 }

@@ -82,10 +82,12 @@ pub fn lift_step(
     op: &SafeDeletion,
     u0: Value,
 ) -> Result<Vec<Bag>, LiftError> {
-    let by_schema: FxHashMap<&Schema, &Bag> =
-        d0.iter().map(|b| (b.schema(), b)).collect();
+    let by_schema: FxHashMap<&Schema, &Bag> = d0.iter().map(|b| (b.schema(), b)).collect();
     let find = |s: &Schema| -> Result<&Bag, LiftError> {
-        by_schema.get(s).copied().ok_or_else(|| LiftError::MissingSchema(s.clone()))
+        by_schema
+            .get(s)
+            .copied()
+            .ok_or_else(|| LiftError::MissingSchema(s.clone()))
     };
     match op {
         SafeDeletion::Vertex(a) => targets
@@ -121,12 +123,13 @@ fn extend_with_default(source: &Bag, x: &Schema, a: Attr, u0: Value) -> Result<B
     debug_assert_eq!(source.schema(), &y);
     let pos = x.position(a).expect("a ∈ X");
     let mut out = Bag::with_capacity(x.clone(), source.support_size());
+    let mut scratch: Vec<Value> = Vec::with_capacity(x.arity());
     for (row, m) in source.iter() {
-        let mut new_row = Vec::with_capacity(x.arity());
-        new_row.extend_from_slice(&row[..pos]);
-        new_row.push(u0);
-        new_row.extend_from_slice(&row[pos..]);
-        out.insert(new_row, m)?;
+        scratch.clear();
+        scratch.extend_from_slice(&row[..pos]);
+        scratch.push(u0);
+        scratch.extend_from_slice(&row[pos..]);
+        out.insert_row(&scratch, m)?;
     }
     Ok(out)
 }
@@ -250,7 +253,10 @@ mod tests {
         let lifted = lift_step(
             std::slice::from_ref(&big),
             &[edge.clone(), cover.clone()],
-            &SafeDeletion::CoveredEdge { edge: edge.clone(), cover: cover.clone() },
+            &SafeDeletion::CoveredEdge {
+                edge: edge.clone(),
+                cover: cover.clone(),
+            },
             Value(0),
         )
         .unwrap();
@@ -274,12 +280,21 @@ mod tests {
     fn counterexample_on_pure_cycles() {
         for n in 3u32..7 {
             let h = cycle(n);
-            let bags = pairwise_consistent_globally_inconsistent(&h).unwrap().unwrap();
+            let bags = pairwise_consistent_globally_inconsistent(&h)
+                .unwrap()
+                .unwrap();
             assert_eq!(bags.len(), h.num_edges());
             let refs: Vec<&Bag> = bags.iter().collect();
-            assert!(pairwise_consistent(&refs).unwrap(), "C_{n} lift not pairwise consistent");
+            assert!(
+                pairwise_consistent(&refs).unwrap(),
+                "C_{n} lift not pairwise consistent"
+            );
             let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
-            assert_eq!(dec.outcome, IlpOutcome::Unsat, "C_{n} lift must be globally inconsistent");
+            assert_eq!(
+                dec.outcome,
+                IlpOutcome::Unsat,
+                "C_{n} lift must be globally inconsistent"
+            );
         }
     }
 
@@ -287,7 +302,9 @@ mod tests {
     fn counterexample_on_hn() {
         for n in [3u32, 4] {
             let h = full_clique_complement(n);
-            let bags = pairwise_consistent_globally_inconsistent(&h).unwrap().unwrap();
+            let bags = pairwise_consistent_globally_inconsistent(&h)
+                .unwrap()
+                .unwrap();
             let refs: Vec<&Bag> = bags.iter().collect();
             assert!(pairwise_consistent(&refs).unwrap());
             let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
@@ -308,7 +325,9 @@ mod tests {
             schema(&[10, 11]),
             schema(&[1]), // covered by {0,1} and {1,2}
         ]);
-        let bags = pairwise_consistent_globally_inconsistent(&h).unwrap().unwrap();
+        let bags = pairwise_consistent_globally_inconsistent(&h)
+            .unwrap()
+            .unwrap();
         assert_eq!(bags.len(), h.num_edges());
         // schemas align with h.edges()
         for (bag, edge) in bags.iter().zip(h.edges()) {
@@ -330,7 +349,9 @@ mod tests {
             schema(&[0, 2]),
             schema(&[20, 21]),
         ]);
-        let bags = pairwise_consistent_globally_inconsistent(&h).unwrap().unwrap();
+        let bags = pairwise_consistent_globally_inconsistent(&h)
+            .unwrap()
+            .unwrap();
         assert_eq!(bags.len(), 4);
         let refs: Vec<&Bag> = bags.iter().collect();
         assert!(pairwise_consistent(&refs).unwrap());
@@ -340,7 +361,9 @@ mod tests {
 
     #[test]
     fn acyclic_yields_none() {
-        assert!(pairwise_consistent_globally_inconsistent(&path(5)).unwrap().is_none());
+        assert!(pairwise_consistent_globally_inconsistent(&path(5))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -356,7 +379,9 @@ mod tests {
             schema(&[0, 2]),
             schema(&[2, 5]),
         ]);
-        let bags = pairwise_consistent_globally_inconsistent(&h).unwrap().unwrap();
+        let bags = pairwise_consistent_globally_inconsistent(&h)
+            .unwrap()
+            .unwrap();
         let refs: Vec<&Bag> = bags.iter().collect();
         // 2-wise holds
         assert!(pairwise_consistent(&refs).unwrap());

@@ -31,13 +31,11 @@ pub fn minimal_two_bag_witness(r: &Bag, s: &Bag) -> Result<Option<Bag>> {
             continue;
         }
         excluded.insert(row.to_vec().into_boxed_slice());
-        let trial =
-            ConsistencyNetwork::build_excluding(r, s, |t| excluded.contains(t))?.solve();
+        let trial = ConsistencyNetwork::build_excluding(r, s, |t| excluded.contains(t))?.solve();
         match trial {
             Some(w) => witness = w,
             None => {
-                let key: Row = row.to_vec().into_boxed_slice();
-                excluded.remove(&key);
+                excluded.remove(row);
             }
         }
     }
@@ -67,7 +65,9 @@ mod tests {
         )
         .unwrap();
         let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 4), (&[1, 2][..], 2)]).unwrap();
-        let w = minimal_two_bag_witness(&r, &s).unwrap().expect("consistent");
+        let w = minimal_two_bag_witness(&r, &s)
+            .unwrap()
+            .expect("consistent");
         assert!(is_two_bag_witness(&w, &r, &s).unwrap());
         assert!(w.support_size() <= r.support_size() + s.support_size());
     }
@@ -79,19 +79,23 @@ mod tests {
         let w = minimal_two_bag_witness(&r, &s).unwrap().unwrap();
         // removing any support row of w from the allowed middle edges must
         // make saturation impossible given the other exclusions
-        let support: Vec<Vec<bagcons_core::Value>> =
-            w.iter_sorted().iter().map(|(row, _)| row.to_vec()).collect();
+        let support: Vec<Vec<bagcons_core::Value>> = w
+            .iter_sorted()
+            .iter()
+            .map(|(row, _)| row.to_vec())
+            .collect();
         for banned in &support {
             let allowed: Vec<&[bagcons_core::Value]> = support
                 .iter()
                 .filter(|r| r != &banned)
                 .map(|r| r.as_slice())
                 .collect();
-            let net = ConsistencyNetwork::build_excluding(&r, &s, |row| {
-                !allowed.contains(&row)
-            })
-            .unwrap();
-            assert!(net.solve().is_none(), "support of minimal witness is not minimal");
+            let net =
+                ConsistencyNetwork::build_excluding(&r, &s, |row| !allowed.contains(&row)).unwrap();
+            assert!(
+                net.solve().is_none(),
+                "support of minimal witness is not minimal"
+            );
         }
     }
 
@@ -102,7 +106,8 @@ mod tests {
         // one must use ≤ 8.
         let mut r = Bag::new(schema(&[0, 1]));
         for i in 1..=6u64 {
-            r.insert(vec![bagcons_core::Value(i), bagcons_core::Value(1)], 2).unwrap();
+            r.insert(vec![bagcons_core::Value(i), bagcons_core::Value(1)], 2)
+                .unwrap();
         }
         let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 6), (&[1, 2][..], 6)]).unwrap();
         let w = minimal_two_bag_witness(&r, &s).unwrap().unwrap();

@@ -12,9 +12,8 @@
 //! optimum over the rationals is attained at an integral point, which is
 //! exactly what the flow computes.
 
-use bagcons_core::join::JoinPlan;
-use bagcons_core::tuple::project_row;
-use bagcons_core::{Bag, FxHashMap, Result, Row, Value};
+use bagcons_core::join::{merge_matching_pairs, JoinPlan};
+use bagcons_core::{Bag, Result, RowId, RowStore, Value};
 use bagcons_flow::mincost::{CostEdgeId, MinCostFlow};
 
 /// Finds a witness of the consistency of `r` and `s` minimizing the
@@ -68,42 +67,38 @@ pub fn min_cost_witness(
     let z = plan.common_schema().clone();
     let z_of_r = r.schema().projection_indices(&z)?;
     let z_of_s = s.schema().projection_indices(&z)?;
-    let mut s_index: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
-    for (j, &(row, _)) in s_rows.iter().enumerate() {
-        s_index.entry(project_row(row, &z_of_s)).or_default().push(j);
-    }
 
+    // Middle edges keyed by RowId into a columnar arena of XY-rows,
+    // matched by a sort-merge group sweep — no per-edge boxed rows.
     let out_schema = plan.output_schema().clone();
-    let mut middle: Vec<(CostEdgeId, Row)> = Vec::new();
-    for (i, &(r_row, rm)) in r_rows.iter().enumerate() {
-        let key = project_row(r_row, &z_of_r);
-        let Some(matches) = s_index.get(&key) else { continue };
-        for &j in matches {
-            let (s_row, sm) = s_rows[j];
-            let combined: Row = out_schema
-                .iter()
-                .map(|a| match r.schema().position(a) {
-                    Some(p) => r_row[p],
-                    None => s_row[s.schema().position(a).expect("attr of XY")],
-                })
-                .collect();
-            let c = cost(&combined);
-            let id = net.add_edge(1 + i, s_base + j, rm.min(sm), c);
-            middle.push((id, combined));
-        }
-    }
+    let mut rows = RowStore::new(out_schema.arity());
+    let mut middle: Vec<(CostEdgeId, RowId)> = Vec::new();
+    let mut scratch: Vec<Value> = Vec::with_capacity(out_schema.arity());
+    merge_matching_pairs(&r_rows, &z_of_r, &s_rows, &z_of_s, |i, j| {
+        let (r_row, rm) = r_rows[i];
+        let (s_row, sm) = s_rows[j];
+        plan.combine_into(r_row, s_row, &mut scratch);
+        let c = cost(&scratch);
+        let id = net.add_edge(1 + i, s_base + j, rm.min(sm), c);
+        // Distinct (R-row, S-row) pairs assemble distinct XY rows.
+        let rid = rows.push_unique_unchecked(&scratch);
+        middle.push((id, rid));
+    });
 
     let (flow, total_cost) = net.min_cost_max_flow(source, sink);
     if flow != total_r {
         return Ok(None); // not saturated: inconsistent
     }
     let mut witness = Bag::with_capacity(out_schema, middle.len());
-    for (id, row) in middle {
+    for (id, rid) in middle {
         let f = net.flow(id);
         if f > 0 {
-            witness.insert(row.to_vec(), f)?;
+            witness.insert_row(rows.row(rid), f)?;
         }
     }
+    // Sealed like ConsistencyNetwork::solve's witnesses, so downstream
+    // marginal checks hit the sort-free prefix paths.
+    witness.seal();
     Ok(Some((witness, total_cost)))
 }
 
@@ -195,10 +190,9 @@ mod tests {
         let s = Bag::from_u64s(schema(&[1, 2]), [(&[2u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
         // penalize (1,2,2): the witness T2 = {(1,2,1),(2,2,2)} avoids it
         let banned: Vec<Value> = vec![Value(1), Value(2), Value(2)];
-        let (w, c) =
-            min_cost_witness(&r, &s, |row| u64::from(row == &banned[..]) * 100)
-                .unwrap()
-                .unwrap();
+        let (w, c) = min_cost_witness(&r, &s, |row| u64::from(row == &banned[..]) * 100)
+            .unwrap()
+            .unwrap();
         assert_eq!(c, 0);
         assert_eq!(w.multiplicity(&banned), 0);
         assert!(is_two_bag_witness(&w, &r, &s).unwrap());

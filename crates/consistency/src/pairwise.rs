@@ -24,6 +24,12 @@ use bagcons_flow::ConsistencyNetwork;
 /// # Ok::<(), bagcons_core::CoreError>(())
 /// ```
 pub fn bags_consistent(r: &Bag, s: &Bag) -> Result<bool> {
+    // ‖R‖u = ‖S‖u is the marginal equality on ∅ ⊆ Z: a free O(supp)
+    // columnar reduction that rejects most inconsistent pairs before the
+    // marginals are materialized.
+    if r.unary_size() != s.unary_size() {
+        return Ok(false);
+    }
     let z: Schema = r.schema().intersection(s.schema());
     Ok(r.marginal(&z)? == s.marginal(&z)?)
 }
@@ -50,7 +56,10 @@ pub fn consistency_witness(r: &Bag, s: &Bag) -> Result<Option<Bag>> {
         return Ok(None);
     }
     let witness = ConsistencyNetwork::build(r, s)?.solve();
-    debug_assert!(witness.is_some(), "Lemma 2: marginal equality implies a saturated flow");
+    debug_assert!(
+        witness.is_some(),
+        "Lemma 2: marginal equality implies a saturated flow"
+    );
     Ok(witness)
 }
 
@@ -153,7 +162,10 @@ mod tests {
         let t = Bag::from_u64s(schema(&[0, 2]), [(&[1u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
         assert!(pairwise_consistent(&[&r, &s, &t]).unwrap());
         let bad = Bag::from_u64s(schema(&[0, 2]), [(&[1u64, 1][..], 5)]).unwrap();
-        assert_eq!(first_inconsistent_pair(&[&r, &s, &bad]).unwrap(), Some((0, 2)));
+        assert_eq!(
+            first_inconsistent_pair(&[&r, &s, &bad]).unwrap(),
+            Some((0, 2))
+        );
     }
 
     #[test]

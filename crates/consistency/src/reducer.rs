@@ -16,23 +16,36 @@
 //! after naive full reduction the bag join still over-counts.
 
 use bagcons_core::join::multi_relation_join;
-use bagcons_core::tuple::project_row;
-use bagcons_core::{Bag, FxHashSet, Relation, Result, Row};
+use bagcons_core::{Bag, Relation, Result, RowStore, Value};
 use bagcons_hypergraph::{Hypergraph, JoinTree};
 
+/// Interns the `idx`-projections of `rows` into a key arena — the probe
+/// set for one semijoin sweep, built without per-key boxing.
+fn key_set<'a>(rows: impl Iterator<Item = &'a [Value]>, idx: &[usize]) -> RowStore {
+    let mut keys = RowStore::new(idx.len());
+    let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
+    for row in rows {
+        scratch.clear();
+        scratch.extend(idx.iter().map(|&i| row[i]));
+        keys.intern(&scratch);
+    }
+    keys
+}
+
 /// The semijoin `R ⋉ S`: tuples of `R` that join with at least one tuple
-/// of `S` (set semantics).
+/// of `S` (set semantics). One columnar scan per side through a reused
+/// scratch buffer.
 pub fn semijoin(r: &Relation, s: &Relation) -> Result<Relation> {
     let z = r.schema().intersection(s.schema());
-    let s_keys: FxHashSet<Row> = {
-        let idx = s.schema().projection_indices(&z)?;
-        s.iter().map(|row| project_row(row, &idx)).collect()
-    };
+    let s_keys = key_set(s.iter(), &s.schema().projection_indices(&z)?);
     let idx = r.schema().projection_indices(&z)?;
-    let mut out = Relation::new(r.schema().clone());
+    let mut out = Relation::with_capacity(r.schema().clone(), r.len());
+    let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
     for row in r.iter() {
-        if s_keys.contains(&project_row(row, &idx)) {
-            out.insert(row.to_vec())?;
+        scratch.clear();
+        scratch.extend(idx.iter().map(|&i| row[i]));
+        if s_keys.lookup(&scratch).is_some() {
+            out.insert_row(row)?;
         }
     }
     Ok(out)
@@ -66,13 +79,19 @@ impl FullReducer {
         // Upward sweep: children into parents, deepest first.
         for &node in order.iter().rev() {
             if let Some(parent) = tree.parent(node) {
-                steps.push(SemijoinStep { target: parent, source: node });
+                steps.push(SemijoinStep {
+                    target: parent,
+                    source: node,
+                });
             }
         }
         // Downward sweep: parents into children, root first.
         for &node in &order {
             if let Some(parent) = tree.parent(node) {
-                steps.push(SemijoinStep { target: node, source: parent });
+                steps.push(SemijoinStep {
+                    target: node,
+                    source: parent,
+                });
             }
         }
         Some(FullReducer { steps })
@@ -131,8 +150,7 @@ pub fn acyclic_join(rels: &[Relation]) -> Result<Option<Relation>> {
             })
             .or_insert_with(|| r.clone());
     }
-    let aligned: Vec<Relation> =
-        h.edges().iter().map(|e| by_schema[e].clone()).collect();
+    let aligned: Vec<Relation> = h.edges().iter().map(|e| by_schema[e].clone()).collect();
     let reduced = reducer.apply(&aligned)?;
     let refs: Vec<&Relation> = reduced.iter().collect();
     Ok(Some(multi_relation_join(&refs)))
@@ -144,15 +162,18 @@ pub fn acyclic_join(rels: &[Relation]) -> Result<Option<Relation>> {
 /// full-reducer role for bags.
 pub fn naive_bag_semijoin(r: &Bag, s: &Bag) -> Result<Bag> {
     let z = r.schema().intersection(s.schema());
-    let s_keys: FxHashSet<Row> = {
-        let idx = s.schema().projection_indices(&z)?;
-        s.iter().map(|(row, _)| project_row(row, &idx)).collect()
-    };
+    let s_keys = key_set(
+        s.iter().map(|(row, _)| row),
+        &s.schema().projection_indices(&z)?,
+    );
     let idx = r.schema().projection_indices(&z)?;
-    let mut out = Bag::new(r.schema().clone());
+    let mut out = Bag::with_capacity(r.schema().clone(), r.support_size());
+    let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
     for (row, m) in r.iter() {
-        if s_keys.contains(&project_row(row, &idx)) {
-            out.insert(row.to_vec(), m)?;
+        scratch.clear();
+        scratch.extend(idx.iter().map(|&i| row[i]));
+        if s_keys.lookup(&scratch).is_some() {
+            out.insert_row(row, m)?;
         }
     }
     Ok(out)
@@ -238,15 +259,14 @@ mod tests {
 
     #[test]
     fn acyclic_join_matches_naive_multiway_join() {
-        let r0 = Relation::from_u64s(
-            schema(&[0, 1]),
-            [&[1u64, 1][..], &[2, 2][..], &[3, 9][..]],
-        )
-        .unwrap();
+        let r0 = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 1][..], &[2, 2][..], &[3, 9][..]])
+            .unwrap();
         let r1 = Relation::from_u64s(schema(&[1, 2]), [&[1u64, 1][..], &[2, 2][..]]).unwrap();
         let r2 = Relation::from_u64s(schema(&[2, 3]), [&[1u64, 7][..], &[2, 8][..]]).unwrap();
         let rels = vec![r0.clone(), r1.clone(), r2.clone()];
-        let smart = acyclic_join(&rels).unwrap().expect("path schema is acyclic");
+        let smart = acyclic_join(&rels)
+            .unwrap()
+            .expect("path schema is acyclic");
         let naive = multi_relation_join(&[&r0, &r1, &r2]);
         assert_eq!(smart, naive);
         assert_eq!(smart.len(), 2);
@@ -265,7 +285,9 @@ mod tests {
         let r = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 1][..], &[2, 2][..]]).unwrap();
         let r2 = Relation::from_u64s(schema(&[0, 1]), [&[1u64, 1][..]]).unwrap();
         let s = Relation::from_u64s(schema(&[1, 2]), [&[1u64, 5][..]]).unwrap();
-        let smart = acyclic_join(&[r.clone(), r2.clone(), s.clone()]).unwrap().unwrap();
+        let smart = acyclic_join(&[r.clone(), r2.clone(), s.clone()])
+            .unwrap()
+            .unwrap();
         let naive = multi_relation_join(&[&r, &r2, &s]);
         assert_eq!(smart, naive);
         assert_eq!(smart.len(), 1);
@@ -296,6 +318,9 @@ mod tests {
         let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 5][..], 2)]).unwrap();
         let red = naive_bag_semijoin(&r, &s).unwrap();
         assert_eq!(red.support(), semijoin(&r.support(), &s.support()).unwrap());
-        assert_eq!(red.multiplicity(&[bagcons_core::Value(1), bagcons_core::Value(1)]), 5);
+        assert_eq!(
+            red.multiplicity(&[bagcons_core::Value(1), bagcons_core::Value(1)]),
+            5
+        );
     }
 }

@@ -39,9 +39,15 @@ impl ContingencyTable3D {
             for j in 0..n {
                 for k in 0..n {
                     let v = x[i][j][k];
-                    r[i][k] = r[i][k].checked_add(v).ok_or(CoreError::MultiplicityOverflow)?;
-                    c[j][k] = c[j][k].checked_add(v).ok_or(CoreError::MultiplicityOverflow)?;
-                    f[i][j] = f[i][j].checked_add(v).ok_or(CoreError::MultiplicityOverflow)?;
+                    r[i][k] = r[i][k]
+                        .checked_add(v)
+                        .ok_or(CoreError::MultiplicityOverflow)?;
+                    c[j][k] = c[j][k]
+                        .checked_add(v)
+                        .ok_or(CoreError::MultiplicityOverflow)?;
+                    f[i][j] = f[i][j]
+                        .checked_add(v)
+                        .ok_or(CoreError::MultiplicityOverflow)?;
                 }
             }
         }
@@ -71,7 +77,11 @@ impl ContingencyTable3D {
         let n = self.n;
         let mut x = vec![vec![vec![0u64; n]; n]; n];
         for (row, m) in w.iter() {
-            let (i, j, k) = (row[0].get() as usize, row[1].get() as usize, row[2].get() as usize);
+            let (i, j, k) = (
+                row[0].get() as usize,
+                row[1].get() as usize,
+                row[2].get() as usize,
+            );
             x[i][j][k] = m;
         }
         x
@@ -136,8 +146,14 @@ pub fn lift_cycle_instance(bags: &[Bag]) -> Result<Vec<Bag>> {
 pub fn project_cycle_witness(witness: &Bag, old_len: u32) -> Result<Bag> {
     let new_attr = Attr(old_len);
     let old_schema = Schema::from_attrs((0..old_len).map(Attr));
-    let idx_new = witness.schema().position(new_attr).expect("witness over A_0..A_m");
-    let idx_a0 = witness.schema().position(Attr(0)).expect("A_0 in witness schema");
+    let idx_new = witness
+        .schema()
+        .position(new_attr)
+        .expect("witness over A_0..A_m");
+    let idx_a0 = witness
+        .schema()
+        .position(Attr(0))
+        .expect("A_0 in witness schema");
     let proj = witness.schema().projection_indices(&old_schema)?;
     let mut out = Bag::new(old_schema);
     for (row, m) in witness.iter() {
@@ -192,11 +208,17 @@ pub fn lift_clique_complement_instance(bags: &[Bag]) -> Result<Vec<Bag>> {
             }
         }
     }
-    let m_mult: u64 = bags.iter().map(|b| b.multiplicity_bound()).max().unwrap_or(0);
+    let m_mult: u64 = bags
+        .iter()
+        .map(|b| b.multiplicity_bound())
+        .max()
+        .unwrap_or(0);
     let mut out = Vec::with_capacity(bags.len() + 1);
     for (i, bag) in bags.iter().enumerate() {
         let d_i = domains[i].len() as u64;
-        let cap = m_mult.checked_mul(d_i).ok_or(CoreError::MultiplicityOverflow)?;
+        let cap = m_mult
+            .checked_mul(d_i)
+            .ok_or(CoreError::MultiplicityOverflow)?;
         let xi = bag.schema().clone();
         let yi = xi.union(&Schema::from_attrs([new_attr]));
         let mut s_i = Bag::new(yi.clone());
@@ -205,8 +227,7 @@ pub fn lift_clique_complement_instance(bags: &[Bag]) -> Result<Vec<Bag>> {
         let choices: Vec<Vec<Value>> = attrs
             .iter()
             .map(|a| {
-                let mut v: Vec<Value> =
-                    domains[a.id() as usize].iter().copied().collect();
+                let mut v: Vec<Value> = domains[a.id() as usize].iter().copied().collect();
                 v.sort_unstable();
                 v
             })
@@ -237,7 +258,7 @@ pub fn lift_clique_complement_instance(bags: &[Bag]) -> Result<Vec<Bag>> {
         .collect();
     let mut t = vec![Value(0); n1 as usize];
     enumerate_product(&choices, &mut t, 0, &mut |t| {
-        s_n.insert(t.to_vec(), m_mult)?;
+        s_n.insert(t, m_mult)?;
         Ok(())
     })?;
     out.push(s_n);
@@ -249,7 +270,10 @@ pub fn lift_clique_complement_instance(bags: &[Bag]) -> Result<Vec<Bag>> {
 pub fn project_clique_complement_witness(witness: &Bag, old_attrs: u32) -> Result<Bag> {
     let old_schema = Schema::from_attrs((0..old_attrs).map(Attr));
     let new_attr = Attr(old_attrs);
-    let idx_new = witness.schema().position(new_attr).expect("lifted witness has A_{n-1}");
+    let idx_new = witness
+        .schema()
+        .position(new_attr)
+        .expect("lifted witness has A_{n-1}");
     let proj = witness.schema().projection_indices(&old_schema)?;
     let mut out = Bag::new(old_schema);
     for (row, m) in witness.iter() {
@@ -295,10 +319,7 @@ mod tests {
     #[test]
     fn planted_3dct_is_satisfiable() {
         // explicit 2×2×2 table
-        let x = vec![
-            vec![vec![1, 2], vec![0, 3]],
-            vec![vec![4, 0], vec![2, 1]],
-        ];
+        let x = vec![vec![vec![1, 2], vec![0, 3]], vec![vec![4, 0], vec![2, 1]]];
         let inst = ContingencyTable3D::from_table(&x).unwrap();
         let bags = inst.to_bags().unwrap();
         let (outcome, w) = decide(&bags);
@@ -368,7 +389,11 @@ mod tests {
         // satisfiable H3 instance: margins of an explicit witness
         let w = Bag::from_u64s(
             Schema::from_attrs([Attr(0), Attr(1), Attr(2)]),
-            [(&[0u64, 0, 0][..], 1), (&[0, 1, 1][..], 2), (&[1, 0, 1][..], 1)],
+            [
+                (&[0u64, 0, 0][..], 1),
+                (&[0, 1, 1][..], 2),
+                (&[1, 0, 1][..], 1),
+            ],
         )
         .unwrap();
         let bags: Vec<Bag> = (0..3u32)
@@ -403,10 +428,7 @@ mod tests {
 
     #[test]
     fn table_roundtrip_shapes() {
-        let x = vec![
-            vec![vec![1, 0], vec![0, 0]],
-            vec![vec![0, 0], vec![0, 2]],
-        ];
+        let x = vec![vec![vec![1, 0], vec![0, 0]], vec![vec![0, 0], vec![0, 2]]];
         let inst = ContingencyTable3D::from_table(&x).unwrap();
         assert_eq!(inst.n, 2);
         assert_eq!(inst.f[0][0], 1);

@@ -68,7 +68,9 @@ impl std::error::Error for TseitinError {}
 /// assert!(bagcons_core::join::multi_relation_join(&support_refs).is_empty());
 /// ```
 pub fn tseitin_bags(h: &Hypergraph) -> std::result::Result<Vec<Bag>, TseitinError> {
-    let (_k, d) = h.uniformity_regularity().ok_or(TseitinError::NotUniformRegular)?;
+    let (_k, d) = h
+        .uniformity_regularity()
+        .ok_or(TseitinError::NotUniformRegular)?;
     if h.num_edges() == 0 {
         return Err(TseitinError::Empty);
     }
@@ -98,7 +100,14 @@ pub fn congruence_bag(schema: &Schema, d: u64, charge: u64) -> Result<Bag> {
     Ok(bag)
 }
 
-fn fill(bag: &mut Bag, row: &mut Vec<Value>, pos: usize, sum: u64, d: u64, charge: u64) -> Result<()> {
+fn fill(
+    bag: &mut Bag,
+    row: &mut Vec<Value>,
+    pos: usize,
+    sum: u64,
+    d: u64,
+    charge: u64,
+) -> Result<()> {
     if pos == row.len() {
         if sum % d == charge {
             bag.insert(row.clone(), 1)?;
@@ -135,7 +144,11 @@ mod tests {
         assert_eq!(b.support_size(), 9);
         // charges partition the cube
         let total: usize = (0..3)
-            .map(|c| congruence_bag(&schema(&[0, 1, 2]), 3, c).unwrap().support_size())
+            .map(|c| {
+                congruence_bag(&schema(&[0, 1, 2]), 3, c)
+                    .unwrap()
+                    .support_size()
+            })
             .sum();
         assert_eq!(total, 27);
     }
@@ -155,7 +168,10 @@ mod tests {
         for n in 3u32..7 {
             let bags = tseitin_bags(&cycle(n)).unwrap();
             let refs: Vec<&Bag> = bags.iter().collect();
-            assert!(pairwise_consistent(&refs).unwrap(), "C(C_{n}) must be pairwise consistent");
+            assert!(
+                pairwise_consistent(&refs).unwrap(),
+                "C(C_{n}) must be pairwise consistent"
+            );
         }
     }
 
@@ -164,7 +180,10 @@ mod tests {
         for n in 3u32..6 {
             let bags = tseitin_bags(&full_clique_complement(n)).unwrap();
             let refs: Vec<&Bag> = bags.iter().collect();
-            assert!(pairwise_consistent(&refs).unwrap(), "C(H_{n}) must be pairwise consistent");
+            assert!(
+                pairwise_consistent(&refs).unwrap(),
+                "C(H_{n}) must be pairwise consistent"
+            );
         }
     }
 
@@ -196,7 +215,11 @@ mod tests {
             let bags = tseitin_bags(&cycle(n)).unwrap();
             let refs: Vec<&Bag> = bags.iter().collect();
             let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
-            assert_eq!(dec.outcome, IlpOutcome::Unsat, "C(C_{n}) must be globally inconsistent");
+            assert_eq!(
+                dec.outcome,
+                IlpOutcome::Unsat,
+                "C(C_{n}) must be globally inconsistent"
+            );
         }
     }
 
@@ -206,7 +229,11 @@ mod tests {
             let bags = tseitin_bags(&full_clique_complement(n)).unwrap();
             let refs: Vec<&Bag> = bags.iter().collect();
             let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
-            assert_eq!(dec.outcome, IlpOutcome::Unsat, "C(H_{n}) must be globally inconsistent");
+            assert_eq!(
+                dec.outcome,
+                IlpOutcome::Unsat,
+                "C(H_{n}) must be globally inconsistent"
+            );
         }
     }
 

@@ -1,55 +1,89 @@
 //! Bags: finite multisets of tuples (`Tup(X) → Z≥0`).
 //!
 //! A [`Bag`] stores only its support — tuples with non-zero multiplicity —
-//! as a hash map from rows to `u64` counts. This matches the paper's
-//! convention that a bag "can be viewed as a finite set of elements of the
-//! form `t : R(t)`".
+//! as a **columnar, arena-backed run**: all distinct rows live in one
+//! contiguous [`RowStore`] with a parallel `Vec<u64>` multiplicity column.
+//! This matches the paper's convention that a bag "can be viewed as a
+//! finite set of elements of the form `t : R(t)`" while keeping the hot
+//! paths (marginals, joins, flow-network construction) free of per-tuple
+//! heap allocations.
+//!
+//! Storage invariants:
+//!
+//! * each distinct row is interned exactly once; `mults[id]` is its
+//!   multiplicity (`0` marks a tombstone left by [`Bag::set`]);
+//! * a **sealed** bag ([`Bag::is_sealed`]) additionally has its rows laid
+//!   out in strictly increasing lexicographic order with no tombstones —
+//!   the "sorted run" at-rest form that bulk constructors produce and
+//!   [`Bag::seal`] restores after mutation;
+//! * multiplicity arithmetic is checked ([`CoreError::MultiplicityOverflow`]).
 //!
 //! The central operation is the **marginal** `R[Z]` of Equation (2):
 //! ```text
 //! R(t) = Σ { R(r) : r ∈ R', r[Z] = t }        for Z ⊆ X, t a Z-tuple
 //! ```
-//! computed by [`Bag::marginal`]. Two easy facts from Section 2, both
-//! enforced by tests and property tests:
+//! computed by [`Bag::marginal`] as a single columnar scan — and, when
+//! `Z` is a prefix of a sealed bag's schema, as a pure group-by sweep
+//! with no hashing at all. Two easy facts from Section 2, both enforced
+//! by tests and property tests:
 //!
 //! * `R'[Z] = R[Z]'` (support of marginal = projection of support), and
 //! * `R[Z][W] = R[W]` for `W ⊆ Z ⊆ X` (marginals commute with nesting).
 
-use crate::tuple::project_row;
-use crate::{CoreError, FxHashMap, Relation, Result, Row, Schema, Tuple, Value};
+use crate::store::{RowId, RowStore};
+use crate::{CoreError, Relation, Result, Schema, Tuple, Value};
 use std::fmt;
 
 /// A finite bag (multiset) of tuples over a fixed schema.
 #[derive(Clone)]
 pub struct Bag {
     schema: Schema,
-    rows: FxHashMap<Row, u64>,
+    store: RowStore,
+    /// Parallel to `store` ids; `0` is a tombstone (row removed by `set`).
+    mults: Vec<u64>,
+    /// Number of ids with non-zero multiplicity (`‖R‖supp`).
+    live: usize,
+    /// True iff rows are in strictly increasing lex order, tombstone-free.
+    sealed: bool,
 }
 
 impl Bag {
     /// Creates an empty bag over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Bag { schema, rows: FxHashMap::default() }
+        let arity = schema.arity();
+        Bag {
+            schema,
+            store: RowStore::new(arity),
+            mults: Vec::new(),
+            live: 0,
+            sealed: true,
+        }
     }
 
     /// Creates an empty bag with reserved capacity for `n` support tuples.
     pub fn with_capacity(schema: Schema, n: usize) -> Self {
-        let mut rows = FxHashMap::default();
-        rows.reserve(n);
-        Bag { schema, rows }
+        let arity = schema.arity();
+        Bag {
+            schema,
+            store: RowStore::with_capacity(arity, n),
+            mults: Vec::with_capacity(n),
+            live: 0,
+            sealed: true,
+        }
     }
 
     /// Builds a bag from `(row, multiplicity)` pairs; multiplicities of
-    /// equal rows accumulate (checked).
+    /// equal rows accumulate (checked). The result is sealed.
     pub fn from_rows<I, R>(schema: Schema, rows: I) -> Result<Self>
     where
         I: IntoIterator<Item = (R, u64)>,
-        R: Into<Vec<Value>>,
+        R: AsRef<[Value]>,
     {
         let mut bag = Bag::new(schema);
         for (row, m) in rows {
-            bag.insert(row, m)?;
+            bag.insert_row(row.as_ref(), m)?;
         }
+        bag.seal();
         Ok(bag)
     }
 
@@ -60,10 +94,13 @@ impl Bag {
         I: IntoIterator<Item = (&'a [u64], u64)>,
     {
         let mut bag = Bag::new(schema);
+        let mut scratch: Vec<Value> = Vec::new();
         for (row, m) in rows {
-            let vals: Vec<Value> = row.iter().copied().map(Value::new).collect();
-            bag.insert(vals, m)?;
+            scratch.clear();
+            scratch.extend(row.iter().copied().map(Value::new));
+            bag.insert_row(&scratch, m)?;
         }
+        bag.seal();
         Ok(bag)
     }
 
@@ -72,7 +109,8 @@ impl Bag {
     pub fn of_empty_tuple(m: u64) -> Self {
         let mut bag = Bag::new(Schema::empty());
         if m > 0 {
-            bag.rows.insert(Box::new([]), m);
+            bag.insert_row(&[], m)
+                .expect("empty row matches empty schema");
         }
         bag
     }
@@ -86,9 +124,17 @@ impl Bag {
     /// Adds `mult` occurrences of `row` (values in schema order).
     ///
     /// Inserting multiplicity `0` is a no-op, preserving the invariant
-    /// that the stored key set is exactly the support.
-    pub fn insert(&mut self, row: impl Into<Vec<Value>>, mult: u64) -> Result<()> {
-        let row: Vec<Value> = row.into();
+    /// that the stored support is exactly the rows with `R(t) > 0`.
+    ///
+    /// Accepts anything viewable as a `&[Value]` slice (`Vec`, array,
+    /// slice); the row is copied into the columnar arena only when it is
+    /// new, so no intermediate `Box<[Value]>` is ever built.
+    pub fn insert(&mut self, row: impl AsRef<[Value]>, mult: u64) -> Result<()> {
+        self.insert_row(row.as_ref(), mult)
+    }
+
+    /// Slice-based [`Bag::insert`]: the allocation-free hot path.
+    pub fn insert_row(&mut self, row: &[Value], mult: u64) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(CoreError::ArityMismatch {
                 expected: self.schema.arity(),
@@ -98,9 +144,36 @@ impl Bag {
         if mult == 0 {
             return Ok(());
         }
-        let slot = self.rows.entry(row.into_boxed_slice()).or_insert(0);
-        *slot = slot.checked_add(mult).ok_or(CoreError::MultiplicityOverflow)?;
+        if let Some(id) = self.intern_row(row, mult) {
+            let slot = &mut self.mults[id.index()];
+            if *slot == 0 {
+                self.live += 1;
+                // Reviving a tombstone: row order unchanged, but a sealed
+                // bag has no tombstones, so `sealed` is already false.
+            }
+            *slot = slot
+                .checked_add(mult)
+                .ok_or(CoreError::MultiplicityOverflow)?;
+        }
         Ok(())
+    }
+
+    /// Interns `row`; when fresh, records `mult`, bumps `live`, and
+    /// updates the sorted-run tracking (a fresh append keeps the run
+    /// sealed only when it extends it). Returns the id of an already
+    /// present row for the caller to update.
+    fn intern_row(&mut self, row: &[Value], mult: u64) -> Option<RowId> {
+        let last = self.store.len();
+        let (id, fresh) = self.store.intern(row);
+        if !fresh {
+            return Some(id);
+        }
+        self.mults.push(mult);
+        self.live += 1;
+        if self.sealed && last > 0 && self.store.row(RowId(id.0 - 1)) >= row {
+            self.sealed = false;
+        }
+        None
     }
 
     /// Adds `mult` occurrences of a [`Tuple`] (must match the schema).
@@ -111,23 +184,34 @@ impl Bag {
                 right: self.schema.clone(),
             });
         }
-        self.insert(t.row().to_vec(), mult)
+        self.insert_row(t.row(), mult)
     }
 
     /// Sets the multiplicity of `row` exactly (0 removes it).
-    pub fn set(&mut self, row: impl Into<Vec<Value>>, mult: u64) -> Result<()> {
-        let row: Vec<Value> = row.into();
+    pub fn set(&mut self, row: impl AsRef<[Value]>, mult: u64) -> Result<()> {
+        let row = row.as_ref();
         if row.len() != self.schema.arity() {
             return Err(CoreError::ArityMismatch {
                 expected: self.schema.arity(),
                 got: row.len(),
             });
         }
-        let key = row.into_boxed_slice();
         if mult == 0 {
-            self.rows.remove(&key);
-        } else {
-            self.rows.insert(key, mult);
+            // Tombstone without interning rows we never stored.
+            if let Some(id) = self.store.lookup(row) {
+                if self.mults[id.index()] > 0 {
+                    self.mults[id.index()] = 0;
+                    self.live -= 1;
+                    self.sealed = false;
+                }
+            }
+            return Ok(());
+        }
+        if let Some(id) = self.intern_row(row, mult) {
+            if self.mults[id.index()] == 0 {
+                self.live += 1;
+            }
+            self.mults[id.index()] = mult;
         }
         Ok(())
     }
@@ -135,61 +219,101 @@ impl Bag {
     /// The multiplicity `R(t)` of a row (0 if absent).
     #[inline]
     pub fn multiplicity(&self, row: &[Value]) -> u64 {
-        self.rows.get(row).copied().unwrap_or(0)
+        match self.store.lookup(row) {
+            Some(id) => self.mults[id.index()],
+            None => 0,
+        }
     }
 
     /// `‖R‖supp`: the number of support tuples.
     #[inline]
     pub fn support_size(&self) -> usize {
-        self.rows.len()
+        self.live
     }
 
     /// True iff the bag is empty (all multiplicities zero).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.live == 0
     }
 
     /// `‖R‖mu`: the largest multiplicity (0 for the empty bag).
     pub fn multiplicity_bound(&self) -> u64 {
-        self.rows.values().copied().max().unwrap_or(0)
+        self.mults.iter().copied().max().unwrap_or(0)
     }
 
     /// `‖R‖mb`: the largest number of bits over all multiplicities, i.e.
     /// `max ⌈log₂(R(r)+1)⌉` (0 for the empty bag).
     pub fn multiplicity_size(&self) -> u32 {
-        self.rows.values().map(|&m| bits(m)).max().unwrap_or(0)
+        bits(self.multiplicity_bound())
     }
 
     /// `‖R‖u = Σ R(r)`: the multiset cardinality. Returned as `u128`
     /// because sums of `u64` multiplicities can exceed `u64::MAX`.
     pub fn unary_size(&self) -> u128 {
-        self.rows.values().map(|&m| m as u128).sum()
+        self.mults.iter().map(|&m| m as u128).sum()
     }
 
     /// `‖R‖b = Σ ⌈log₂(R(r)+1)⌉`: the bit-size of the multiplicity column.
     pub fn binary_size(&self) -> u64 {
-        self.rows.values().map(|&m| bits(m) as u64).sum()
+        self.mults.iter().map(|&m| bits(m) as u64).sum()
     }
 
-    /// Iterates over `(row, multiplicity)` in unspecified order.
+    /// Iterates over `(row, multiplicity)` in storage (id) order.
     pub fn iter(&self) -> impl Iterator<Item = (&[Value], u64)> + '_ {
-        self.rows.iter().map(|(r, &m)| (&**r, m))
+        self.store
+            .iter()
+            .zip(self.mults.iter())
+            .filter_map(|(r, &m)| (m > 0).then_some((r, m)))
     }
 
     /// Rows with multiplicities, sorted lexicographically — use whenever
-    /// deterministic order matters (display, harness output).
+    /// deterministic order matters (display, harness output). Free of
+    /// sorting work when the bag is sealed.
     pub fn iter_sorted(&self) -> Vec<(&[Value], u64)> {
         let mut v: Vec<(&[Value], u64)> = self.iter().collect();
-        v.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        if !self.sealed {
+            v.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        }
         v
+    }
+
+    /// True iff rows are physically laid out as one lexicographically
+    /// sorted, tombstone-free columnar run.
+    #[inline]
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Restores the sorted-run invariant: rows are re-laid-out in
+    /// lexicographic order and tombstones are compacted away.
+    ///
+    /// `O(n log n)` when unsorted; a no-op on sealed bags. Sealing makes
+    /// [`Bag::iter_sorted`] allocation-light and lets prefix marginals
+    /// and merge joins skip their sort step.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        let mut order: Vec<u32> = (0..self.store.len() as u32)
+            .filter(|&i| self.mults[i as usize] > 0)
+            .collect();
+        order.sort_unstable_by(|&a, &b| crate::store::cmp_rows(&self.store, a, b));
+        let mults = order.iter().map(|&i| self.mults[i as usize]).collect();
+        self.store = self.store.reordered(&order);
+        self.mults = mults;
+        self.sealed = true;
     }
 
     /// The support `Supp(R)` as a relation over the same schema.
     pub fn support(&self) -> Relation {
-        let mut rel = Relation::new(self.schema.clone());
-        for row in self.rows.keys() {
-            rel.insert_row_unchecked(row.clone());
+        let mut rel = Relation::with_capacity(self.schema.clone(), self.live);
+        for (row, _) in self.iter() {
+            // Support rows of an interned bag are distinct.
+            rel.push_unique_row(row);
+        }
+        if self.sealed {
+            rel.mark_sealed();
         }
         rel
     }
@@ -197,16 +321,97 @@ impl Bag {
     /// The marginal `R[Z]` of Equation (2) of the paper.
     ///
     /// Requires `Z ⊆ X`; multiplicities of collapsing tuples are summed
-    /// with overflow checking.
+    /// with overflow checking. This is one columnar scan: rows are
+    /// projected into a reused scratch buffer and accumulated in the
+    /// output arena — no per-row boxing. When `Z` is a *prefix* of a
+    /// sealed bag's schema the scan degenerates to a group-by sweep over
+    /// adjacent rows with no hashing, and the result is itself sealed.
     pub fn marginal(&self, sub: &Schema) -> Result<Bag> {
         let idx = self.schema.projection_indices(sub)?;
-        let mut out = Bag::with_capacity(sub.clone(), self.rows.len());
-        for (row, &m) in &self.rows {
-            let key = project_row(row, &idx);
-            let slot = out.rows.entry(key).or_insert(0);
-            *slot = slot.checked_add(m).ok_or(CoreError::MultiplicityOverflow)?;
+        if self.sealed && crate::tuple::is_prefix_projection(&idx) {
+            return self.marginal_sorted_prefix(sub, idx.len());
+        }
+        let mut out = Bag::with_capacity(sub.clone(), self.live.min(1 << 20));
+        let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
+        for (row, m) in self.iter() {
+            scratch.clear();
+            scratch.extend(idx.iter().map(|&i| row[i]));
+            out.insert_row(&scratch, m)?;
         }
         Ok(out)
+    }
+
+    /// Group-by sweep for `Z` = first `k` columns of a sealed bag: equal
+    /// prefixes are adjacent, so marginalizing is a linear merge of
+    /// neighbouring groups and the output inherits the sorted order.
+    fn marginal_sorted_prefix(&self, sub: &Schema, k: usize) -> Result<Bag> {
+        let mut out = Bag::with_capacity(sub.clone(), self.live.min(1 << 20));
+        let arity = self.schema.arity();
+        let data = self.store.values();
+        let mut current: Option<(usize, u64)> = None; // (row offset, acc)
+        for id in 0..self.store.len() {
+            let off = id * arity;
+            let m = self.mults[id];
+            debug_assert!(m > 0, "sealed bags have no tombstones");
+            match current {
+                Some((prev, acc)) if data[prev..prev + k] == data[off..off + k] => {
+                    let acc = acc.checked_add(m).ok_or(CoreError::MultiplicityOverflow)?;
+                    current = Some((prev, acc));
+                }
+                Some((prev, acc)) => {
+                    out.push_sorted_row(&data[prev..prev + k], acc);
+                    current = Some((off, m));
+                }
+                None => current = Some((off, m)),
+            }
+        }
+        if let Some((prev, acc)) = current {
+            out.push_sorted_row(&data[prev..prev + k], acc);
+        }
+        Ok(out)
+    }
+
+    /// Appends a row known to be strictly greater than every stored row
+    /// (bulk builds emitting in lexicographic order). Keeps the bag
+    /// sealed.
+    pub(crate) fn push_sorted_row(&mut self, row: &[Value], mult: u64) {
+        debug_assert!(self.sealed);
+        debug_assert!(mult > 0);
+        debug_assert_eq!(row.len(), self.schema.arity());
+        self.store.push_unique_unchecked(row);
+        self.mults.push(mult);
+        self.live += 1;
+    }
+
+    /// Appends a distinct row without the sorted guarantee (join outputs,
+    /// which are unique by construction but emitted in key-group order).
+    pub(crate) fn push_unique_row(&mut self, row: &[Value], mult: u64) {
+        debug_assert!(mult > 0);
+        self.store.push_unique_unchecked(row);
+        self.mults.push(mult);
+        self.live += 1;
+        self.sealed = false;
+    }
+
+    /// The backing columnar arena. Join and flow-network hot paths index
+    /// rows by id through this instead of materializing reference
+    /// vectors; pair it with [`Bag::live_ids`] and [`Bag::mult_of`] for
+    /// single-pass columnar scans.
+    #[inline]
+    pub fn store(&self) -> &RowStore {
+        &self.store
+    }
+
+    /// Multiplicity by dense row id (0 for tombstoned rows).
+    #[inline]
+    pub fn mult_of(&self, id: u32) -> u64 {
+        self.mults[id as usize]
+    }
+
+    /// Ids of live (non-tombstone) rows in storage order. On a sealed
+    /// bag this is `0..store().len()` in lexicographic row order.
+    pub fn live_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.store.len() as u32).filter(|&i| self.mults[i as usize] > 0)
     }
 
     /// Bag containment `R ⊆ᵇ S`: `R(t) ≤ S(t)` for every tuple.
@@ -214,13 +419,12 @@ impl Bag {
     /// Returns `false` (rather than an error) when the schemas differ,
     /// since bags over different schemas are simply incomparable.
     pub fn contained_in(&self, other: &Bag) -> bool {
-        self.schema == other.schema
-            && self.rows.iter().all(|(r, &m)| m <= other.multiplicity(r))
+        self.schema == other.schema && self.iter().all(|(r, m)| m <= other.multiplicity(r))
     }
 
     /// True iff every multiplicity is ≤ 1 (the bag "is" a relation).
     pub fn is_relation(&self) -> bool {
-        self.rows.values().all(|&m| m <= 1)
+        self.mults.iter().all(|&m| m <= 1)
     }
 
     /// Pointwise sum of two bags over the same schema (checked).
@@ -233,7 +437,7 @@ impl Bag {
         }
         let mut out = self.clone();
         for (row, m) in other.iter() {
-            out.insert(row.to_vec(), m)?;
+            out.insert_row(row, m)?;
         }
         Ok(out)
     }
@@ -241,14 +445,16 @@ impl Bag {
     /// Multiplies every multiplicity by `k` (checked). `k = 0` empties
     /// the bag.
     pub fn scale(&self, k: u64) -> Result<Bag> {
-        let mut out = Bag::with_capacity(self.schema.clone(), self.rows.len());
+        let mut out = Bag::with_capacity(self.schema.clone(), self.live);
         if k == 0 {
             return Ok(out);
         }
         for (row, m) in self.iter() {
             let mk = m.checked_mul(k).ok_or(CoreError::MultiplicityOverflow)?;
-            out.rows.insert(row.to_vec().into_boxed_slice(), mk);
+            // Scaling preserves distinctness and row order.
+            out.push_unique_row(row, mk);
         }
+        out.sealed = self.sealed;
         Ok(out)
     }
 
@@ -272,18 +478,21 @@ impl Bag {
             ));
         }
         // position i of the old schema maps to position of f(old[i]) in new.
-        let mut out = Bag::with_capacity(new_schema.clone(), self.rows.len());
+        let mut out = Bag::with_capacity(new_schema.clone(), self.live);
         let old_attrs = self.schema.attrs();
         let mut perm = vec![0usize; old_attrs.len()];
         for (i, &a) in old_attrs.iter().enumerate() {
-            perm[i] = new_schema.position(f(a)).expect("renamed attr in new schema");
+            perm[i] = new_schema
+                .position(f(a))
+                .expect("renamed attr in new schema");
         }
+        let mut scratch = vec![Value::new(0); self.schema.arity()];
         for (row, m) in self.iter() {
-            let mut new_row = vec![Value::new(0); row.len()];
             for (i, &v) in row.iter().enumerate() {
-                new_row[perm[i]] = v;
+                scratch[perm[i]] = v;
             }
-            out.rows.insert(new_row.into_boxed_slice(), m);
+            // A permutation of distinct rows stays distinct.
+            out.push_unique_row(&scratch, m);
         }
         Ok(out)
     }
@@ -297,7 +506,9 @@ pub fn bits(m: u64) -> u32 {
 
 impl PartialEq for Bag {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.rows == other.rows
+        self.schema == other.schema
+            && self.live == other.live
+            && self.iter().all(|(r, m)| other.multiplicity(r) == m)
     }
 }
 
@@ -332,8 +543,11 @@ mod tests {
 
     /// The bag R(A,B) = {(a1,b1):2, (a2,b2):1, (a3,b3):5} from Section 2.
     fn section2_bag() -> Bag {
-        Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2), (&[2, 2][..], 1), (&[3, 3][..], 5)])
-            .unwrap()
+        Bag::from_u64s(
+            schema(&[0, 1]),
+            [(&[1u64, 1][..], 2), (&[2, 2][..], 1), (&[3, 3][..], 5)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -357,12 +571,32 @@ mod tests {
     fn overflow_is_detected() {
         let mut b = Bag::new(schema(&[0]));
         b.insert(vec![Value(1)], u64::MAX).unwrap();
-        assert_eq!(b.insert(vec![Value(1)], 1), Err(CoreError::MultiplicityOverflow));
+        assert_eq!(
+            b.insert(vec![Value(1)], 1),
+            Err(CoreError::MultiplicityOverflow)
+        );
         // marginal overflow: two rows collapsing to one
         let mut c = Bag::new(schema(&[0, 1]));
         c.insert(vec![Value(1), Value(1)], u64::MAX).unwrap();
         c.insert(vec![Value(1), Value(2)], 1).unwrap();
-        assert_eq!(c.marginal(&schema(&[0])).unwrap_err(), CoreError::MultiplicityOverflow);
+        assert_eq!(
+            c.marginal(&schema(&[0])).unwrap_err(),
+            CoreError::MultiplicityOverflow
+        );
+    }
+
+    #[test]
+    fn prefix_marginal_overflow_is_detected() {
+        // Same collapse, but through the sealed group-by sweep.
+        let mut c = Bag::new(schema(&[0, 1]));
+        c.insert(vec![Value(1), Value(1)], u64::MAX).unwrap();
+        c.insert(vec![Value(1), Value(2)], 1).unwrap();
+        c.seal();
+        assert!(c.is_sealed());
+        assert_eq!(
+            c.marginal(&schema(&[0])).unwrap_err(),
+            CoreError::MultiplicityOverflow
+        );
     }
 
     #[test]
@@ -372,6 +606,18 @@ mod tests {
         assert_eq!(b.support_size(), 2);
         b.set(vec![Value(2), Value(2)], 7).unwrap();
         assert_eq!(b.multiplicity(&[Value(2), Value(2)]), 7);
+    }
+
+    #[test]
+    fn set_zero_then_reinsert_revives_row() {
+        let mut b = section2_bag();
+        b.set(vec![Value(1), Value(1)], 0).unwrap();
+        assert_eq!(b.multiplicity(&[Value(1), Value(1)]), 0);
+        b.insert(vec![Value(1), Value(1)], 4).unwrap();
+        assert_eq!(b.multiplicity(&[Value(1), Value(1)]), 4);
+        assert_eq!(b.support_size(), 3);
+        // unary size ignores tombstones
+        assert_eq!(b.unary_size(), 4 + 1 + 5);
     }
 
     #[test]
@@ -414,6 +660,36 @@ mod tests {
     }
 
     #[test]
+    fn prefix_and_generic_marginals_agree() {
+        // Sealed prefix sweep vs unsealed hash accumulation.
+        let rows: [(&[u64], u64); 5] = [
+            (&[1, 1, 1], 1),
+            (&[1, 1, 2], 2),
+            (&[1, 2, 1], 4),
+            (&[2, 2, 2], 8),
+            (&[2, 2, 3], 16),
+        ];
+        let sealed = Bag::from_u64s(schema(&[0, 1, 2]), rows).unwrap();
+        assert!(sealed.is_sealed());
+        let mut unsealed = Bag::new(schema(&[0, 1, 2]));
+        for (row, m) in rows.iter().rev() {
+            let vals: Vec<Value> = row.iter().copied().map(Value::new).collect();
+            unsealed.insert(vals, *m).unwrap();
+        }
+        assert!(!unsealed.is_sealed());
+        for sub in [
+            schema(&[0]),
+            schema(&[0, 1]),
+            schema(&[0, 1, 2]),
+            schema(&[1, 2]),
+        ] {
+            let a = sealed.marginal(&sub).unwrap();
+            let b = unsealed.marginal(&sub).unwrap();
+            assert_eq!(a, b, "marginal onto {sub}");
+        }
+    }
+
+    #[test]
     fn marginal_on_empty_schema_is_total_count() {
         let b = section2_bag();
         let m = b.marginal(&Schema::empty()).unwrap();
@@ -433,12 +709,20 @@ mod tests {
         let x = schema(&[0, 1, 2]);
         let b = Bag::from_u64s(
             x,
-            [(&[1u64, 1, 1][..], 1), (&[1, 1, 2][..], 2), (&[1, 2, 1][..], 4), (&[2, 2, 2][..], 8)],
+            [
+                (&[1u64, 1, 1][..], 1),
+                (&[1, 1, 2][..], 2),
+                (&[1, 2, 1][..], 4),
+                (&[2, 2, 2][..], 8),
+            ],
         )
         .unwrap();
         let z = schema(&[0, 1]);
         let w = schema(&[0]);
-        assert_eq!(b.marginal(&z).unwrap().marginal(&w).unwrap(), b.marginal(&w).unwrap());
+        assert_eq!(
+            b.marginal(&z).unwrap().marginal(&w).unwrap(),
+            b.marginal(&w).unwrap()
+        );
     }
 
     #[test]
@@ -498,7 +782,9 @@ mod tests {
     fn rename_to_fresh_attr() {
         // the Lemma 6 move: R(A_{n-1}, A_1) -> R(A_{n-1}, A_n)
         let b = Bag::from_u64s(schema(&[0, 3]), [(&[1u64, 5][..], 2)]).unwrap();
-        let r = b.rename(|a| if a == Attr(0) { Attr(4) } else { a }).unwrap();
+        let r = b
+            .rename(|a| if a == Attr(0) { Attr(4) } else { a })
+            .unwrap();
         assert_eq!(r.schema(), &schema(&[3, 4]));
         // old row was (A0=1, A3=5); new row is (A3=5, A4=1)
         assert_eq!(r.multiplicity(&[Value(5), Value(1)]), 2);
@@ -518,5 +804,47 @@ mod tests {
     fn of_empty_tuple_zero_is_empty() {
         assert!(Bag::of_empty_tuple(0).is_empty());
         assert_eq!(Bag::of_empty_tuple(3).unary_size(), 3);
+    }
+
+    #[test]
+    fn seal_compacts_tombstones_and_sorts() {
+        let mut b = Bag::new(schema(&[0]));
+        for v in [5u64, 1, 9, 3] {
+            b.insert(vec![Value(v)], v).unwrap();
+        }
+        b.set(vec![Value(9)], 0).unwrap();
+        assert!(!b.is_sealed());
+        b.seal();
+        assert!(b.is_sealed());
+        assert_eq!(b.support_size(), 3);
+        let rows: Vec<u64> = b.iter().map(|(r, _)| r[0].get()).collect();
+        assert_eq!(rows, vec![1, 3, 5], "iteration follows the sorted run");
+        assert_eq!(b.multiplicity(&[Value(9)]), 0);
+        assert_eq!(b.multiplicity(&[Value(3)]), 3);
+    }
+
+    #[test]
+    fn ascending_inserts_stay_sealed() {
+        let mut b = Bag::new(schema(&[0]));
+        for v in 0..10u64 {
+            b.insert(vec![Value(v)], 1).unwrap();
+        }
+        assert!(b.is_sealed(), "in-order appends extend the sorted run");
+        b.insert(vec![Value(4)], 1).unwrap();
+        assert!(b.is_sealed(), "revisiting an existing row keeps order");
+        b.insert(vec![Value(3)], 0).unwrap();
+        assert!(b.is_sealed(), "zero-multiplicity insert is a no-op");
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order_and_sealing() {
+        let a = section2_bag();
+        let mut b = Bag::new(schema(&[0, 1]));
+        b.insert(vec![Value(3), Value(3)], 5).unwrap();
+        b.insert(vec![Value(1), Value(1)], 2).unwrap();
+        b.insert(vec![Value(2), Value(2)], 1).unwrap();
+        assert_eq!(a, b);
+        b.seal();
+        assert_eq!(a, b);
     }
 }

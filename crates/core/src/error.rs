@@ -42,7 +42,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             CoreError::NotASubschema { sub, sup } => {
                 write!(f, "schema {sub} is not a subset of {sup}")
@@ -76,13 +79,30 @@ mod tests {
     fn display_messages() {
         let s1 = Schema::from_attrs([Attr(0), Attr(1)]);
         let s2 = Schema::from_attrs([Attr(2)]);
-        let e = CoreError::NotASubschema { sub: s2.clone(), sup: s1.clone() };
+        let e = CoreError::NotASubschema {
+            sub: s2.clone(),
+            sup: s1.clone(),
+        };
         assert!(e.to_string().contains("not a subset"));
-        let e = CoreError::SchemaMismatch { left: s1, right: s2 };
+        let e = CoreError::SchemaMismatch {
+            left: s1,
+            right: s2,
+        };
         assert!(e.to_string().contains("schemas differ"));
-        assert!(CoreError::MultiplicityOverflow.to_string().contains("overflow"));
-        assert!(CoreError::ArityMismatch { expected: 2, got: 3 }.to_string().contains("arity"));
-        assert!(CoreError::DuplicateAttr(Attr(1)).to_string().contains("twice"));
-        assert!(CoreError::MissingAttr(Attr(1)).to_string().contains("missing"));
+        assert!(CoreError::MultiplicityOverflow
+            .to_string()
+            .contains("overflow"));
+        assert!(CoreError::ArityMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("arity"));
+        assert!(CoreError::DuplicateAttr(Attr(1))
+            .to_string()
+            .contains("twice"));
+        assert!(CoreError::MissingAttr(Attr(1))
+            .to_string()
+            .contains("missing"));
     }
 }

@@ -57,14 +57,21 @@ impl fmt::Display for ParseError {
         match self {
             ParseError::MissingHeader => write!(f, "missing header line"),
             ParseError::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
-            ParseError::WrongArity { line, expected, got } => {
+            ParseError::WrongArity {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} values, got {got}")
             }
             ParseError::BadNumber { line, token } => {
                 write!(f, "line {line}: {token:?} is not an unsigned integer")
             }
             ParseError::NotARelation => {
-                write!(f, "input has multiplicities > 1 but a relation was requested")
+                write!(
+                    f,
+                    "input has multiplicities > 1 but a relation was requested"
+                )
             }
             ParseError::Core(e) => write!(f, "{e}"),
         }
@@ -162,8 +169,10 @@ pub fn parse_bag_with(text: &str, interner: &mut NameInterner) -> Result<Bag, Pa
         return Err(ParseError::DuplicateAttribute(header.to_string()));
     }
     // positions of header columns inside the sorted schema
-    let positions: Vec<usize> =
-        attrs.iter().map(|a| schema.position(*a).expect("attr in schema")).collect();
+    let positions: Vec<usize> = attrs
+        .iter()
+        .map(|a| schema.position(*a).expect("attr in schema"))
+        .collect();
 
     let mut bag = Bag::new(schema.clone());
     for (line_no, line) in lines {
@@ -278,7 +287,14 @@ mod tests {
     fn errors_carry_line_numbers() {
         assert_eq!(parse_bag(""), Err(ParseError::MissingHeader));
         let wrong = parse_bag("A B #\n1 : 1\n");
-        assert_eq!(wrong, Err(ParseError::WrongArity { line: 2, expected: 2, got: 1 }));
+        assert_eq!(
+            wrong,
+            Err(ParseError::WrongArity {
+                line: 2,
+                expected: 2,
+                got: 1
+            })
+        );
         let bad = parse_bag("A #\nx : 1\n");
         assert!(matches!(bad, Err(ParseError::BadNumber { line: 2, .. })));
         let badm = parse_bag("A #\n1 : y\n");

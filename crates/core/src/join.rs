@@ -7,18 +7,65 @@
 //! * the **bag join** `R ⋈ᵇ S`: support `R' ⋈ S'` and multiplicity
 //!   `(R ⋈ᵇ S)(t) = R(t[X]) × S(t[Y])`.
 //!
-//! Both are implemented as hash joins on the common attributes. A
-//! [`JoinPlan`] precomputes the index arithmetic (key extraction and
-//! output-row assembly) so multiway joins and repeated joins don't redo it.
+//! Both run over the columnar [`crate::store::RowStore`] arenas, in one
+//! of two physical strategies selected by a size heuristic
+//! ([`JoinStrategy::select`]):
+//!
+//! * **sort-merge** — both sides' row ids are sorted by their projection
+//!   onto the common schema `Z` (a `u32` permutation sort; no row data
+//!   moves), then equal-key *runs* are matched group against group. A
+//!   sealed operand whose `Z`-columns form a schema prefix skips its
+//!   sort entirely — its sorted run is already grouped by key.
+//! * **hash** — the smaller side's keys are interned into a scratch
+//!   key arena with intrusive chains (flat vectors, no per-key boxes),
+//!   and the larger side probes.
+//!
+//! Sort-merge wins once both sides are large (cache-friendly sequential
+//! scans, no hash-table build); hashing wins when one side is small
+//! enough that `O(small)` build + `O(large)` probe beats sorting the
+//! large side. The crossover [`MERGE_MIN`] is coarse by design.
+//!
+//! Joined rows are assembled in a reused scratch buffer and appended to
+//! the output arena: the whole path performs **zero per-tuple
+//! `Box<[Value]>` allocations**. A [`JoinPlan`] precomputes the index
+//! arithmetic (key extraction and output-row assembly) so multiway joins
+//! and repeated joins don't redo it.
 
-use crate::tuple::project_row;
-use crate::{Bag, CoreError, FxHashMap, Relation, Result, Row, Schema, Value};
+use crate::store::RowStore;
+use crate::{Bag, CoreError, Relation, Result, Schema, Value};
+use std::cmp::Ordering;
 
 /// Which operand of a join a value comes from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Side {
     Left,
     Right,
+}
+
+/// Below this support size (on either side), hashing the smaller side
+/// beats sorting both; at or above it, sort-merge takes over.
+const MERGE_MIN: usize = 64;
+
+/// The physical join strategy; exposed so benchmarks and the harness can
+/// pin either path explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Sort both sides by the common-key projection, match runs.
+    SortMerge,
+    /// Build a key index on the right side, probe with the left.
+    Hash,
+}
+
+impl JoinStrategy {
+    /// The size heuristic: sort-merge once both sides reach
+    /// [`MERGE_MIN`] support tuples, hash otherwise.
+    pub fn select(left_support: usize, right_support: usize) -> Self {
+        if left_support >= MERGE_MIN && right_support >= MERGE_MIN {
+            JoinStrategy::SortMerge
+        } else {
+            JoinStrategy::Hash
+        }
+    }
 }
 
 /// Precomputed index arithmetic for joining schemas `X` and `Y`.
@@ -41,8 +88,12 @@ impl JoinPlan {
     pub fn new(left: &Schema, right: &Schema) -> Self {
         let out = left.union(right);
         let common = left.intersection(right);
-        let left_key = left.projection_indices(&common).expect("Z ⊆ X by construction");
-        let right_key = right.projection_indices(&common).expect("Z ⊆ Y by construction");
+        let left_key = left
+            .projection_indices(&common)
+            .expect("Z ⊆ X by construction");
+        let right_key = right
+            .projection_indices(&common)
+            .expect("Z ⊆ Y by construction");
         let sources = out
             .iter()
             .map(|a| match left.position(a) {
@@ -50,7 +101,13 @@ impl JoinPlan {
                 None => (Side::Right, right.position(a).expect("attr in X ∪ Y")),
             })
             .collect();
-        JoinPlan { out, common, left_key, right_key, sources }
+        JoinPlan {
+            out,
+            common,
+            left_key,
+            right_key,
+            sources,
+        }
     }
 
     /// The output schema `X ∪ Y`.
@@ -63,61 +120,397 @@ impl JoinPlan {
         &self.common
     }
 
-    /// Assembles the joined row `xy` from matching halves.
+    /// Assembles the joined row `xy` into `buf` (cleared first).
     #[inline]
-    fn combine(&self, left: &[Value], right: &[Value]) -> Row {
-        self.sources
-            .iter()
-            .map(|&(side, i)| match side {
-                Side::Left => left[i],
-                Side::Right => right[i],
-            })
-            .collect()
+    pub fn combine_into(&self, left: &[Value], right: &[Value], buf: &mut Vec<Value>) {
+        buf.clear();
+        buf.extend(self.sources.iter().map(|&(side, i)| match side {
+            Side::Left => left[i],
+            Side::Right => right[i],
+        }));
     }
 }
 
-/// The bag join `R ⋈ᵇ S` of Section 2.
+/// Compares two rows (possibly from different stores) by their key
+/// projections.
+#[inline]
+fn cmp_keys(a: &[Value], a_idx: &[usize], b: &[Value], b_idx: &[usize]) -> Ordering {
+    debug_assert_eq!(a_idx.len(), b_idx.len());
+    for (&i, &j) in a_idx.iter().zip(b_idx) {
+        match a[i].cmp(&b[j]) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// One side of a merge join: row ids sorted by key projection, with the
+/// projected keys **materialized** into one flat columnar buffer aligned
+/// with the sorted order. The sort and merge sweep then touch only this
+/// contiguous buffer — no per-comparison trips back into the row arena.
+struct KeyedSide {
+    /// Row ids in key order.
+    ids: Vec<u32>,
+    /// `ids.len() * k` values: the key of `ids[p]` is `keys[p*k..(p+1)*k]`.
+    keys: Vec<Value>,
+    /// Key width.
+    k: usize,
+}
+
+impl KeyedSide {
+    /// Projects and sorts. A sealed operand whose key is a schema prefix
+    /// skips the sort — its storage order is already grouped by key.
+    fn build(store: &RowStore, ids: Vec<u32>, key: &[usize], sealed: bool) -> KeyedSide {
+        let k = key.len();
+        let is_prefix = crate::tuple::is_prefix_projection(key);
+        let mut keys: Vec<Value> = Vec::with_capacity(ids.len() * k);
+        for &a in &ids {
+            let row = store.row(crate::store::RowId(a));
+            keys.extend(key.iter().map(|&c| row[c]));
+        }
+        if sealed && is_prefix {
+            // lex-sorted rows are sorted (and grouped) by any prefix
+            return KeyedSide { ids, keys, k };
+        }
+        let mut order: Vec<u32> = (0..ids.len() as u32).collect();
+        order.sort_unstable_by(|&p, &q| {
+            let (p, q) = (p as usize, q as usize);
+            keys[p * k..(p + 1) * k]
+                .cmp(&keys[q * k..(q + 1) * k])
+                .then_with(|| ids[p].cmp(&ids[q]))
+        });
+        let sorted_ids: Vec<u32> = order.iter().map(|&p| ids[p as usize]).collect();
+        let mut sorted_keys: Vec<Value> = Vec::with_capacity(keys.len());
+        for &p in &order {
+            let p = p as usize;
+            sorted_keys.extend_from_slice(&keys[p * k..(p + 1) * k]);
+        }
+        KeyedSide {
+            ids: sorted_ids,
+            keys: sorted_keys,
+            k,
+        }
+    }
+
+    /// The key at sorted position `p`.
+    #[inline]
+    fn key(&self, p: usize) -> &[Value] {
+        &self.keys[p * self.k..(p + 1) * self.k]
+    }
+
+    /// End of the equal-key run starting at `start`.
+    #[inline]
+    fn run_end(&self, start: usize) -> usize {
+        let head = self.key(start);
+        let mut end = start + 1;
+        while end < self.ids.len() && self.key(end) == head {
+            end += 1;
+        }
+        end
+    }
+}
+
+/// The bag join `R ⋈ᵇ S` of Section 2, strategy chosen by
+/// [`JoinStrategy::select`].
 ///
 /// Multiplicities multiply; overflow yields
 /// [`CoreError::MultiplicityOverflow`]. Note the paper's warning (Section 3):
 /// the bag join of two *consistent* bags need **not** witness their
 /// consistency — this function computes the algebraic join, nothing more.
 pub fn bag_join(r: &Bag, s: &Bag) -> Result<Bag> {
-    let plan = JoinPlan::new(r.schema(), s.schema());
-    let mut right_index: FxHashMap<Row, Vec<(&[Value], u64)>> = FxHashMap::default();
-    for (row, m) in s.iter() {
-        right_index.entry(project_row(row, &plan.right_key)).or_default().push((row, m));
+    match JoinStrategy::select(r.support_size(), s.support_size()) {
+        JoinStrategy::SortMerge => bag_join_merge(r, s),
+        // The join is symmetric (output schema is the union, multiplicities
+        // multiply), so build the key index on the smaller operand.
+        JoinStrategy::Hash if r.support_size() < s.support_size() => bag_join_hash(s, r),
+        JoinStrategy::Hash => bag_join_hash(r, s),
     }
-    let mut out = Bag::new(plan.out.clone());
-    for (lrow, lm) in r.iter() {
-        let key = project_row(lrow, &plan.left_key);
-        if let Some(matches) = right_index.get(&key) {
-            for &(rrow, rm) in matches {
-                let m = lm.checked_mul(rm).ok_or(CoreError::MultiplicityOverflow)?;
-                out.insert(plan.combine(lrow, rrow).to_vec(), m)?;
+}
+
+/// The sort-merge bag join: both sides' live ids are key-sorted, then
+/// equal-key runs multiply out group × group.
+pub fn bag_join_merge(r: &Bag, s: &Bag) -> Result<Bag> {
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let left = KeyedSide::build(
+        r.store(),
+        r.live_ids().collect(),
+        &plan.left_key,
+        r.is_sealed(),
+    );
+    let right = KeyedSide::build(
+        s.store(),
+        s.live_ids().collect(),
+        &plan.right_key,
+        s.is_sealed(),
+    );
+
+    let mut out = Bag::with_capacity(plan.out.clone(), left.ids.len().max(right.ids.len()));
+    let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+    let (mut i, mut j) = (0, 0);
+    while i < left.ids.len() && j < right.ids.len() {
+        match left.key(i).cmp(right.key(j)) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                let i_end = left.run_end(i);
+                let j_end = right.run_end(j);
+                for &a in &left.ids[i..i_end] {
+                    let arow = r.store().row(crate::store::RowId(a));
+                    let am = r.mult_of(a);
+                    for &b in &right.ids[j..j_end] {
+                        let brow = s.store().row(crate::store::RowId(b));
+                        let m = am
+                            .checked_mul(s.mult_of(b))
+                            .ok_or(CoreError::MultiplicityOverflow)?;
+                        plan.combine_into(arow, brow, &mut scratch);
+                        // Distinct (a, b) pairs assemble distinct XY rows.
+                        out.push_unique_row(&scratch, m);
+                    }
+                }
+                i = i_end;
+                j = j_end;
             }
         }
     }
     Ok(out)
 }
 
-/// The relational join `R ⋈ S` of Section 2.
-pub fn relation_join(r: &Relation, s: &Relation) -> Relation {
-    let plan = JoinPlan::new(r.schema(), s.schema());
-    let mut right_index: FxHashMap<Row, Vec<&[Value]>> = FxHashMap::default();
-    for row in s.iter() {
-        right_index.entry(project_row(row, &plan.right_key)).or_default().push(row);
+/// Flat chained index over the right side's key projections: keys are
+/// interned into a scratch arena; chains live in two plain vectors.
+struct KeyIndex {
+    keys: RowStore,
+    /// Per key id: head of its chain into `next` (`u32::MAX` = empty).
+    head: Vec<u32>,
+    /// Per indexed position: next position with the same key.
+    next: Vec<u32>,
+    /// Indexed row ids, position-aligned with `next`.
+    rows: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl KeyIndex {
+    fn build(
+        store: &RowStore,
+        ids: impl Iterator<Item = u32>,
+        key: &[usize],
+        scratch: &mut Vec<Value>,
+    ) -> Self {
+        let mut idx = KeyIndex {
+            keys: RowStore::new(key.len()),
+            head: Vec::new(),
+            next: Vec::new(),
+            rows: Vec::new(),
+        };
+        for id in ids {
+            let row = store.row(crate::store::RowId(id));
+            scratch.clear();
+            scratch.extend(key.iter().map(|&i| row[i]));
+            let (kid, fresh) = idx.keys.intern(scratch);
+            if fresh {
+                idx.head.push(NONE);
+            }
+            let pos = idx.rows.len() as u32;
+            idx.next.push(idx.head[kid.index()]);
+            idx.rows.push(id);
+            idx.head[kid.index()] = pos;
+        }
+        idx
     }
-    let mut out = Relation::new(plan.out.clone());
-    for lrow in r.iter() {
-        let key = project_row(lrow, &plan.left_key);
-        if let Some(matches) = right_index.get(&key) {
-            for rrow in matches {
-                out.insert_row_unchecked(plan.combine(lrow, rrow));
+
+    /// Iterates row ids matching `row`'s key projection.
+    fn probe<'a>(
+        &'a self,
+        row: &[Value],
+        key: &[usize],
+        scratch: &mut Vec<Value>,
+    ) -> ProbeIter<'a> {
+        scratch.clear();
+        scratch.extend(key.iter().map(|&i| row[i]));
+        let pos = match self.keys.lookup(scratch) {
+            Some(kid) => self.head[kid.index()],
+            None => NONE,
+        };
+        ProbeIter { index: self, pos }
+    }
+}
+
+/// Iterator over one key chain of a [`KeyIndex`].
+struct ProbeIter<'a> {
+    index: &'a KeyIndex,
+    pos: u32,
+}
+
+impl Iterator for ProbeIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.pos == NONE {
+            return None;
+        }
+        let p = self.pos as usize;
+        self.pos = self.index.next[p];
+        Some(self.index.rows[p])
+    }
+}
+
+/// The hash bag join: right side's keys interned into a flat chained
+/// index, left side probes. The small-side fallback of the heuristic.
+pub fn bag_join_hash(r: &Bag, s: &Bag) -> Result<Bag> {
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let mut key_scratch: Vec<Value> = Vec::with_capacity(plan.common.arity());
+    let index = KeyIndex::build(s.store(), s.live_ids(), &plan.right_key, &mut key_scratch);
+    let mut out = Bag::with_capacity(plan.out.clone(), r.support_size());
+    let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+    for a in r.live_ids() {
+        let lrow = r.store().row(crate::store::RowId(a));
+        let lm = r.mult_of(a);
+        for b in index.probe(lrow, &plan.left_key, &mut key_scratch) {
+            let rrow = s.store().row(crate::store::RowId(b));
+            let m = lm
+                .checked_mul(s.mult_of(b))
+                .ok_or(CoreError::MultiplicityOverflow)?;
+            plan.combine_into(lrow, rrow, &mut scratch);
+            out.push_unique_row(&scratch, m);
+        }
+    }
+    Ok(out)
+}
+
+/// The relational join `R ⋈ S` of Section 2, strategy chosen by
+/// [`JoinStrategy::select`].
+pub fn relation_join(r: &Relation, s: &Relation) -> Relation {
+    match JoinStrategy::select(r.len(), s.len()) {
+        JoinStrategy::SortMerge => relation_join_merge(r, s),
+        // Symmetric join: index the smaller operand, probe with the larger.
+        JoinStrategy::Hash if r.len() < s.len() => relation_join_hash(s, r),
+        JoinStrategy::Hash => relation_join_hash(r, s),
+    }
+}
+
+/// The sort-merge relational join.
+pub fn relation_join_merge(r: &Relation, s: &Relation) -> Relation {
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let left = KeyedSide::build(
+        r.store(),
+        (0..r.len() as u32).collect(),
+        &plan.left_key,
+        r.is_sealed(),
+    );
+    let right = KeyedSide::build(
+        s.store(),
+        (0..s.len() as u32).collect(),
+        &plan.right_key,
+        s.is_sealed(),
+    );
+
+    let mut out = Relation::with_capacity(plan.out.clone(), left.ids.len().max(right.ids.len()));
+    let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+    let (mut i, mut j) = (0, 0);
+    while i < left.ids.len() && j < right.ids.len() {
+        match left.key(i).cmp(right.key(j)) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                let i_end = left.run_end(i);
+                let j_end = right.run_end(j);
+                for &a in &left.ids[i..i_end] {
+                    let arow = r.store().row(crate::store::RowId(a));
+                    for &b in &right.ids[j..j_end] {
+                        let brow = s.store().row(crate::store::RowId(b));
+                        plan.combine_into(arow, brow, &mut scratch);
+                        out.push_unique_row(&scratch);
+                    }
+                }
+                i = i_end;
+                j = j_end;
             }
         }
     }
     out
+}
+
+/// The hash relational join.
+pub fn relation_join_hash(r: &Relation, s: &Relation) -> Relation {
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let mut key_scratch: Vec<Value> = Vec::with_capacity(plan.common.arity());
+    let index = KeyIndex::build(
+        s.store(),
+        0..s.len() as u32,
+        &plan.right_key,
+        &mut key_scratch,
+    );
+    let mut out = Relation::with_capacity(plan.out.clone(), r.len());
+    let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+    for a in 0..r.len() as u32 {
+        let lrow = r.store().row(crate::store::RowId(a));
+        for b in index.probe(lrow, &plan.left_key, &mut key_scratch) {
+            let rrow = s.store().row(crate::store::RowId(b));
+            plan.combine_into(lrow, rrow, &mut scratch);
+            out.push_unique_row(&scratch);
+        }
+    }
+    out
+}
+
+/// Sort-merge driver for callers that pair off two row lists on a shared
+/// key without materializing the join (the flow-network builders key
+/// their middle edges this way).
+///
+/// Sorts positions of `left` and `right` by their projections onto the
+/// common key (`left_key`/`right_key` are each side's column indices for
+/// the same key schema, in the same order) and invokes `on_pair(i, j)`
+/// for every `(i, j)` whose rows agree on the key. Pairs arrive grouped
+/// by ascending key, with `i` and then `j` ascending within a group —
+/// deterministic regardless of input order.
+pub fn merge_matching_pairs(
+    left: &[(&[Value], u64)],
+    left_key: &[usize],
+    right: &[(&[Value], u64)],
+    right_key: &[usize],
+    mut on_pair: impl FnMut(usize, usize),
+) {
+    let proj_cmp = |rows: &[(&[Value], u64)], a: u32, b: u32, idx: &[usize]| {
+        cmp_keys(rows[a as usize].0, idx, rows[b as usize].0, idx).then_with(|| a.cmp(&b))
+    };
+    let mut l_order: Vec<u32> = (0..left.len() as u32).collect();
+    l_order.sort_unstable_by(|&a, &b| proj_cmp(left, a, b, left_key));
+    let mut r_order: Vec<u32> = (0..right.len() as u32).collect();
+    r_order.sort_unstable_by(|&a, &b| proj_cmp(right, a, b, right_key));
+
+    let group_end = |rows: &[(&[Value], u64)], order: &[u32], idx: &[usize], start: usize| {
+        let head = rows[order[start] as usize].0;
+        let mut end = start + 1;
+        while end < order.len()
+            && cmp_keys(head, idx, rows[order[end] as usize].0, idx) == Ordering::Equal
+        {
+            end += 1;
+        }
+        end
+    };
+
+    let (mut i, mut j) = (0, 0);
+    while i < l_order.len() && j < r_order.len() {
+        let lrow = left[l_order[i] as usize].0;
+        let rrow = right[r_order[j] as usize].0;
+        match cmp_keys(lrow, left_key, rrow, right_key) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                let i_end = group_end(left, &l_order, left_key, i);
+                let j_end = group_end(right, &r_order, right_key, j);
+                for &a in &l_order[i..i_end] {
+                    for &b in &r_order[j..j_end] {
+                        on_pair(a as usize, b as usize);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
 }
 
 /// The multiway relational join `R₁ ⋈ ⋯ ⋈ R_m` (left fold).
@@ -181,6 +574,78 @@ mod tests {
         assert_eq!(j.support_size(), 2);
         assert_eq!(j.multiplicity(&[Value(1), Value(7)]), 6);
         assert_eq!(j.multiplicity(&[Value(2), Value(7)]), 3);
+    }
+
+    #[test]
+    fn merge_and_hash_paths_agree() {
+        // Random-ish structured inputs exercising runs of equal keys.
+        let mut r = Bag::new(schema(&[0, 1]));
+        let mut s = Bag::new(schema(&[1, 2]));
+        for i in 0..40u64 {
+            r.insert(vec![Value(i % 7), Value(i % 5)], i % 3 + 1)
+                .unwrap();
+            s.insert(vec![Value(i % 5), Value(i % 11)], i % 4 + 1)
+                .unwrap();
+        }
+        let merge = bag_join_merge(&r, &s).unwrap();
+        let hash = bag_join_hash(&r, &s).unwrap();
+        assert_eq!(merge, hash);
+        // and for relations
+        let rm = relation_join_merge(&r.support(), &s.support());
+        let rh = relation_join_hash(&r.support(), &s.support());
+        assert_eq!(rm, rh);
+        assert_eq!(merge.support(), rm);
+    }
+
+    #[test]
+    fn merge_path_on_sealed_prefix_operands() {
+        // Right operand: key {A1} is a schema prefix of {A1,A2}, so a
+        // sealed bag's run is reused without sorting.
+        let r = Bag::from_u64s(
+            schema(&[0, 1]),
+            [(&[1u64, 1][..], 2), (&[2, 1][..], 3), (&[3, 2][..], 5)],
+        )
+        .unwrap();
+        let s = Bag::from_u64s(
+            schema(&[1, 2]),
+            [(&[1u64, 4][..], 7), (&[1, 5][..], 11), (&[2, 6][..], 13)],
+        )
+        .unwrap();
+        assert!(r.is_sealed() && s.is_sealed());
+        let j = bag_join_merge(&r, &s).unwrap();
+        assert_eq!(j.multiplicity(&[Value(1), Value(1), Value(4)]), 14);
+        assert_eq!(j.multiplicity(&[Value(2), Value(1), Value(5)]), 33);
+        assert_eq!(j.multiplicity(&[Value(3), Value(2), Value(6)]), 65);
+        assert_eq!(j.support_size(), 5);
+    }
+
+    #[test]
+    fn hash_dispatch_side_swap_is_observation_invariant() {
+        // Asymmetric supports route through the swapped hash dispatch;
+        // the join is symmetric, so both orders must agree everywhere.
+        let mut small = Bag::new(schema(&[0, 1]));
+        small.insert(vec![Value(1), Value(2)], 3).unwrap();
+        let mut big = Bag::new(schema(&[1, 2]));
+        for i in 0..200u64 {
+            big.insert(vec![Value(i % 5), Value(i)], i + 1).unwrap();
+        }
+        let via_dispatch = bag_join(&small, &big).unwrap();
+        let direct = bag_join_hash(&small, &big).unwrap();
+        let swapped = bag_join_hash(&big, &small).unwrap();
+        assert_eq!(via_dispatch, direct);
+        assert_eq!(via_dispatch, swapped);
+        assert_eq!(
+            relation_join(&small.support(), &big.support()),
+            relation_join_hash(&big.support(), &small.support())
+        );
+    }
+
+    #[test]
+    fn strategy_heuristic_thresholds() {
+        assert_eq!(JoinStrategy::select(1, 1_000_000), JoinStrategy::Hash);
+        assert_eq!(JoinStrategy::select(1_000_000, 1), JoinStrategy::Hash);
+        assert_eq!(JoinStrategy::select(64, 64), JoinStrategy::SortMerge);
+        assert_eq!(JoinStrategy::select(63, 64), JoinStrategy::Hash);
     }
 
     #[test]
@@ -249,6 +714,7 @@ mod tests {
         let r = Bag::from_u64s(schema(&[0]), [(&[1u64][..], u64::MAX)]).unwrap();
         let s = Bag::from_u64s(schema(&[1]), [(&[1u64][..], 2)]).unwrap();
         assert_eq!(bag_join(&r, &s), Err(CoreError::MultiplicityOverflow));
+        assert_eq!(bag_join_merge(&r, &s), Err(CoreError::MultiplicityOverflow));
     }
 
     #[test]

@@ -25,12 +25,45 @@
 //! is specifically about binary-encoded, i.e. potentially huge,
 //! multiplicities.
 //!
+//! # Storage architecture
+//!
+//! Bags and relations are **columnar and arena-backed** ([`store`]):
+//!
+//! * a [`RowStore`] owns every distinct row of one schema in a single
+//!   contiguous `Vec<Value>` (row-major) and **interns** rows — equal
+//!   content maps to one dense [`RowId`], found through a flat
+//!   open-addressing table. Three allocations total, regardless of row
+//!   count; no per-tuple `Box<[Value]>` anywhere on the hot paths.
+//! * a [`Bag`] is a `RowStore` plus a parallel `Vec<u64>` multiplicity
+//!   column; a [`Relation`] is a `RowStore` alone (interning *is* set
+//!   semantics). Per-row companions (flow capacities, edge ids) can be
+//!   plain vectors indexed by `RowId`.
+//! * **sorted runs**: a *sealed* bag/relation additionally keeps its rows
+//!   in strictly increasing lexicographic order with no tombstones. Bulk
+//!   constructors return sealed values; point mutations may unseal
+//!   (appends that extend the run keep the seal), and [`Bag::seal`] /
+//!   [`Relation::seal`] restore the invariant by one sort + compaction.
+//!   Sealed data gives order-free `iter_sorted`, group-by marginals on
+//!   schema prefixes (no hashing), and sort-free merge joins on prefix
+//!   keys.
+//!
+//! Joins ([`join`]) pick their physical strategy by a size heuristic
+//! ([`join::JoinStrategy::select`]): **sort-merge** (permute each side's
+//! `u32` ids by the common-key projection, match equal-key runs group ×
+//! group) once both supports reach the crossover, and **hash** (intern
+//! the right side's keys into a scratch arena with intrusive chains,
+//! probe with the left) when one side is small. Marginals are single
+//! columnar scans through a reused scratch buffer.
+//!
 //! Invariants maintained by construction:
 //!
 //! * A [`Schema`] is a strictly sorted sequence of attributes.
-//! * A [`Bag`] never stores a tuple with multiplicity `0`
-//!   (so `Supp(R)` is exactly the key set).
+//! * A [`Bag`] never *reports* a tuple with multiplicity `0` (tombstones
+//!   left by [`Bag::set`] are invisible to every observation and are
+//!   compacted away by [`Bag::seal`]), so `Supp(R)` is exactly the live
+//!   row set.
 //! * Rows are stored in schema order, so row equality is tuple equality.
+//! * Interning is injective on content: one distinct row, one `RowId`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +78,7 @@ pub mod names;
 pub mod relation;
 pub mod schema;
 pub mod semiring;
+pub mod store;
 pub mod tuple;
 
 pub use attr::{Attr, Value};
@@ -55,6 +89,7 @@ pub use names::AttrNames;
 pub use relation::Relation;
 pub use schema::Schema;
 pub use semiring::{KRelation, Semiring};
+pub use store::{RowId, RowStore};
 pub use tuple::{Row, Tuple};
 
 /// Convenience result alias for fallible core operations.

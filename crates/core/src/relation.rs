@@ -4,34 +4,56 @@
 //! paper identifies relations with bags whose multiplicities are 0/1.
 //! Relations carry the set-case baseline of Section 5.1 (the universal
 //! relation problem) and the supports `R'` of bags.
+//!
+//! Storage mirrors [`crate::Bag`] minus the multiplicity column: one
+//! columnar [`RowStore`] arena whose interning provides set semantics for
+//! free, with the same sealed sorted-run invariant.
 
-use crate::tuple::project_row;
-use crate::{Bag, CoreError, FxHashSet, Result, Row, Schema, Value};
+use crate::store::RowStore;
+use crate::{Bag, CoreError, Result, Schema, Value};
 use std::fmt;
 
 /// A finite relation over a fixed schema.
 #[derive(Clone)]
 pub struct Relation {
     schema: Schema,
-    rows: FxHashSet<Row>,
+    store: RowStore,
+    /// True iff rows are laid out in strictly increasing lex order.
+    sealed: bool,
 }
 
 impl Relation {
     /// Creates an empty relation over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, rows: FxHashSet::default() }
+        let arity = schema.arity();
+        Relation {
+            schema,
+            store: RowStore::new(arity),
+            sealed: true,
+        }
     }
 
-    /// Builds a relation from rows (values in schema order).
+    /// Creates an empty relation with reserved capacity for `n` tuples.
+    pub fn with_capacity(schema: Schema, n: usize) -> Self {
+        let arity = schema.arity();
+        Relation {
+            schema,
+            store: RowStore::with_capacity(arity, n),
+            sealed: true,
+        }
+    }
+
+    /// Builds a relation from rows (values in schema order). Sealed.
     pub fn from_rows<I, R>(schema: Schema, rows: I) -> Result<Self>
     where
         I: IntoIterator<Item = R>,
-        R: Into<Vec<Value>>,
+        R: AsRef<[Value]>,
     {
         let mut rel = Relation::new(schema);
         for row in rows {
-            rel.insert(row)?;
+            rel.insert_row(row.as_ref())?;
         }
+        rel.seal();
         Ok(rel)
     }
 
@@ -41,9 +63,13 @@ impl Relation {
         I: IntoIterator<Item = &'a [u64]>,
     {
         let mut rel = Relation::new(schema);
+        let mut scratch: Vec<Value> = Vec::new();
         for row in rows {
-            rel.insert(row.iter().copied().map(Value::new).collect::<Vec<_>>())?;
+            scratch.clear();
+            scratch.extend(row.iter().copied().map(Value::new));
+            rel.insert_row(&scratch)?;
         }
+        rel.seal();
         Ok(rel)
     }
 
@@ -51,7 +77,7 @@ impl Relation {
     /// relational join.
     pub fn unit() -> Self {
         let mut rel = Relation::new(Schema::empty());
-        rel.rows.insert(Box::new([]));
+        rel.insert_row(&[]).expect("empty row matches empty schema");
         rel
     }
 
@@ -62,74 +88,158 @@ impl Relation {
     }
 
     /// Inserts a row (values in schema order).
-    pub fn insert(&mut self, row: impl Into<Vec<Value>>) -> Result<()> {
-        let row: Vec<Value> = row.into();
+    pub fn insert(&mut self, row: impl AsRef<[Value]>) -> Result<()> {
+        self.insert_row(row.as_ref())
+    }
+
+    /// Slice-based [`Relation::insert`]: the allocation-free hot path.
+    pub fn insert_row(&mut self, row: &[Value]) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(CoreError::ArityMismatch {
                 expected: self.schema.arity(),
                 got: row.len(),
             });
         }
-        self.rows.insert(row.into_boxed_slice());
+        let last = self.store.len();
+        let (id, fresh) = self.store.intern(row);
+        if fresh && self.sealed && last > 0 {
+            let prev = crate::store::RowId(id.0 - 1);
+            if self.store.row(prev) >= row {
+                self.sealed = false;
+            }
+        }
         Ok(())
     }
 
-    /// Internal: inserts a pre-validated row without re-checking arity.
-    pub(crate) fn insert_row_unchecked(&mut self, row: Row) {
+    /// Internal: appends a row the caller guarantees is distinct from all
+    /// stored rows (bag supports, join outputs). Leaves the relation
+    /// unsealed; callers emitting in sorted order follow up with
+    /// [`Relation::mark_sealed`].
+    pub(crate) fn push_unique_row(&mut self, row: &[Value]) {
         debug_assert_eq!(row.len(), self.schema.arity());
-        self.rows.insert(row);
+        self.store.push_unique_unchecked(row);
+        self.sealed = false;
+    }
+
+    /// Internal: asserts that rows were appended in strictly increasing
+    /// lexicographic order (debug-checked).
+    pub(crate) fn mark_sealed(&mut self) {
+        debug_assert!(
+            self.store
+                .iter()
+                .zip(self.store.iter().skip(1))
+                .all(|(a, b)| a < b),
+            "mark_sealed on out-of-order rows"
+        );
+        self.sealed = true;
+    }
+
+    /// True iff rows are physically laid out as one sorted columnar run.
+    #[inline]
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Restores the sorted-run layout (no-op when already sealed).
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        let mut order: Vec<u32> = (0..self.store.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| crate::store::cmp_rows(&self.store, a, b));
+        self.store = self.store.reordered(&order);
+        self.sealed = true;
+    }
+
+    /// The backing columnar arena, for single-pass scans. Ids are dense
+    /// (`0..len()`); on a sealed relation they follow lexicographic row
+    /// order.
+    #[inline]
+    pub fn store(&self) -> &RowStore {
+        &self.store
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, row: &[Value]) -> bool {
-        self.rows.contains(row)
+        self.store.lookup(row).is_some()
     }
 
     /// Number of tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.store.len()
     }
 
     /// True iff the relation has no tuples.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.store.is_empty()
     }
 
-    /// Iterates over rows in unspecified order.
+    /// Iterates over rows in storage (id) order.
     pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
-        self.rows.iter().map(|r| &**r)
+        self.store.iter()
     }
 
-    /// Rows sorted lexicographically, for deterministic output.
+    /// Rows sorted lexicographically, for deterministic output. Free of
+    /// sorting work when the relation is sealed.
     pub fn iter_sorted(&self) -> Vec<&[Value]> {
         let mut v: Vec<&[Value]> = self.iter().collect();
-        v.sort_unstable();
+        if !self.sealed {
+            v.sort_unstable();
+        }
         v
     }
 
     /// Projection `R[Z]` under set semantics (duplicates collapse).
+    ///
+    /// A single columnar scan through a reused scratch buffer; when `Z`
+    /// is a prefix of a sealed relation's schema, deduplication is a
+    /// group-by sweep over adjacent rows and the result stays sealed.
     pub fn project(&self, sub: &Schema) -> Result<Relation> {
         let idx = self.schema.projection_indices(sub)?;
-        let mut out = Relation::new(sub.clone());
-        for row in &self.rows {
-            out.rows.insert(project_row(row, &idx));
+        let k = idx.len();
+        if self.sealed && crate::tuple::is_prefix_projection(&idx) {
+            let mut out = Relation::with_capacity(sub.clone(), self.len().min(1 << 20));
+            let arity = self.schema.arity();
+            let data = self.store.values();
+            let mut prev: Option<usize> = None;
+            for id in 0..self.store.len() {
+                let off = id * arity;
+                if prev.is_none_or(|p| data[p..p + k] != data[off..off + k]) {
+                    out.store.push_unique_unchecked(&data[off..off + k]);
+                    prev = Some(off);
+                }
+            }
+            out.sealed = true;
+            return Ok(out);
+        }
+        let mut out = Relation::with_capacity(sub.clone(), self.len().min(1 << 20));
+        let mut scratch: Vec<Value> = Vec::with_capacity(k);
+        for row in self.iter() {
+            scratch.clear();
+            scratch.extend(idx.iter().map(|&i| row[i]));
+            out.insert_row(&scratch)?;
         }
         Ok(out)
     }
 
     /// Set containment `R ⊆ S` (schemas must match to be comparable).
     pub fn subset_of(&self, other: &Relation) -> bool {
-        self.schema == other.schema && self.rows.iter().all(|r| other.rows.contains(r))
+        self.schema == other.schema && self.iter().all(|r| other.contains(r))
     }
 
     /// Views this relation as a bag with all multiplicities 1.
     pub fn to_bag(&self) -> Bag {
-        let mut bag = Bag::with_capacity(self.schema.clone(), self.rows.len());
-        for row in &self.rows {
-            bag.insert(row.to_vec(), 1).expect("arity verified on insert");
+        let mut bag = Bag::with_capacity(self.schema.clone(), self.len());
+        for row in self.iter() {
+            if self.sealed {
+                bag.push_sorted_row(row, 1);
+            } else {
+                bag.insert_row(row, 1)
+                    .expect("arity matches by construction");
+            }
         }
         bag
     }
@@ -137,7 +247,9 @@ impl Relation {
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.rows == other.rows
+        self.schema == other.schema
+            && self.len() == other.len()
+            && self.iter().all(|r| other.contains(r))
     }
 }
 
@@ -196,6 +308,27 @@ mod tests {
     }
 
     #[test]
+    fn prefix_and_generic_projections_agree() {
+        let rows: [&[u64]; 4] = [&[1, 1], &[1, 2], &[2, 1], &[2, 2]];
+        let sealed = Relation::from_u64s(schema(&[0, 1]), rows).unwrap();
+        assert!(sealed.is_sealed());
+        let mut unsealed = Relation::new(schema(&[0, 1]));
+        for row in rows.iter().rev() {
+            unsealed
+                .insert(row.iter().copied().map(Value::new).collect::<Vec<_>>())
+                .unwrap();
+        }
+        assert!(!unsealed.is_sealed());
+        for sub in [schema(&[0]), schema(&[1]), schema(&[0, 1])] {
+            assert_eq!(
+                sealed.project(&sub).unwrap(),
+                unsealed.project(&sub).unwrap(),
+                "projection onto {sub}"
+            );
+        }
+    }
+
+    #[test]
     fn unit_relation() {
         let u = Relation::unit();
         assert_eq!(u.len(), 1);
@@ -227,5 +360,19 @@ mod tests {
         let r = Relation::from_u64s(schema(&[0]), [&[9u64][..], &[1][..]]).unwrap();
         let s = r.to_string();
         assert!(s.find("1").unwrap() < s.find("9").unwrap());
+    }
+
+    #[test]
+    fn seal_sorts_rows() {
+        let mut r = Relation::new(schema(&[0]));
+        for v in [5u64, 1, 9] {
+            r.insert(vec![Value(v)]).unwrap();
+        }
+        assert!(!r.is_sealed());
+        r.seal();
+        assert!(r.is_sealed());
+        let rows: Vec<u64> = r.iter().map(|row| row[0].get()).collect();
+        assert_eq!(rows, vec![1, 5, 9]);
+        assert!(r.contains(&[Value(5)]));
     }
 }

@@ -22,7 +22,9 @@ pub struct Schema {
 impl Schema {
     /// The empty schema `∅`.
     pub fn empty() -> Self {
-        Schema { attrs: Box::new([]) }
+        Schema {
+            attrs: Box::new([]),
+        }
     }
 
     /// Builds a schema from any iterator of attributes, sorting and
@@ -31,7 +33,9 @@ impl Schema {
         let mut v: Vec<Attr> = attrs.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        Schema { attrs: v.into_boxed_slice() }
+        Schema {
+            attrs: v.into_boxed_slice(),
+        }
     }
 
     /// Builds the schema `{A_lo, …, A_{hi-1}}` of consecutively numbered
@@ -114,7 +118,9 @@ impl Schema {
         }
         out.extend_from_slice(&self.attrs[i..]);
         out.extend_from_slice(&other.attrs[j..]);
-        Schema { attrs: out.into_boxed_slice() }
+        Schema {
+            attrs: out.into_boxed_slice(),
+        }
     }
 
     /// Intersection `self ∩ other`.
@@ -132,7 +138,9 @@ impl Schema {
                 }
             }
         }
-        Schema { attrs: out.into_boxed_slice() }
+        Schema {
+            attrs: out.into_boxed_slice(),
+        }
     }
 
     /// Difference `self \ other`.
@@ -147,7 +155,9 @@ impl Schema {
                 out.push(a);
             }
         }
-        Schema { attrs: out.into_boxed_slice() }
+        Schema {
+            attrs: out.into_boxed_slice(),
+        }
     }
 
     /// Removes a single attribute (used by vertex safe-deletions).

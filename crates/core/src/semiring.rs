@@ -120,7 +120,10 @@ pub struct KRelation<K: Semiring> {
 impl<K: Semiring> KRelation<K> {
     /// An empty `K`-relation over `schema`.
     pub fn new(schema: Schema) -> Self {
-        KRelation { schema, rows: FxHashMap::default() }
+        KRelation {
+            schema,
+            rows: FxHashMap::default(),
+        }
     }
 
     /// The schema.
@@ -188,13 +191,18 @@ impl<K: Semiring> KRelation<K> {
         let other_idx = other.schema.projection_indices(&z)?;
         let mut index: FxHashMap<Row, Vec<(&[Value], &K)>> = FxHashMap::default();
         for (row, k) in self.iter() {
-            index.entry(project_row(row, &self_idx)).or_default().push((row, k));
+            index
+                .entry(project_row(row, &self_idx))
+                .or_default()
+                .push((row, k));
         }
         let out_schema = plan.output_schema().clone();
         let mut out = KRelation::new(out_schema.clone());
         for (orow, ok) in other.iter() {
             let key = project_row(orow, &other_idx);
-            let Some(matches) = index.get(&key) else { continue };
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
             for &(srow, sk) in matches {
                 let combined: Vec<Value> = out_schema
                     .iter()
@@ -302,8 +310,10 @@ mod tests {
     #[test]
     fn tropical_marginal_takes_max() {
         let mut r: KRelation<Tropical> = KRelation::new(schema(&[0, 1]));
-        r.insert(vec![Value(1), Value(1)], Tropical::finite(3)).unwrap();
-        r.insert(vec![Value(1), Value(2)], Tropical::finite(7)).unwrap();
+        r.insert(vec![Value(1), Value(1)], Tropical::finite(3))
+            .unwrap();
+        r.insert(vec![Value(1), Value(2)], Tropical::finite(7))
+            .unwrap();
         let m = r.marginal(&schema(&[0])).unwrap();
         assert_eq!(m.get(&[Value(1)]), Tropical::finite(7));
     }
@@ -345,11 +355,15 @@ mod tests {
         // T(xy) = min(R(x), S(y)) — an explicit construction showing the
         // two-object characterization survives in this semiring.
         let mut r: KRelation<Tropical> = KRelation::new(schema(&[0, 1]));
-        r.insert(vec![Value(1), Value(1)], Tropical::finite(3)).unwrap();
-        r.insert(vec![Value(2), Value(1)], Tropical::finite(7)).unwrap();
+        r.insert(vec![Value(1), Value(1)], Tropical::finite(3))
+            .unwrap();
+        r.insert(vec![Value(2), Value(1)], Tropical::finite(7))
+            .unwrap();
         let mut s: KRelation<Tropical> = KRelation::new(schema(&[1, 2]));
-        s.insert(vec![Value(1), Value(5)], Tropical::finite(7)).unwrap();
-        s.insert(vec![Value(1), Value(6)], Tropical::finite(2)).unwrap();
+        s.insert(vec![Value(1), Value(5)], Tropical::finite(7))
+            .unwrap();
+        s.insert(vec![Value(1), Value(6)], Tropical::finite(2))
+            .unwrap();
         let z = schema(&[1]);
         assert_eq!(r.marginal(&z).unwrap(), s.marginal(&z).unwrap());
         // min-construction over the join support
@@ -357,16 +371,18 @@ mod tests {
         for (rrow, rk) in r.iter() {
             for (srow, sk) in s.iter() {
                 if rrow[1] == srow[0] {
-                    let (Some(a), Some(b)) = (rk.0, sk.0) else { continue };
-                    t.insert(
-                        vec![rrow[0], rrow[1], srow[1]],
-                        Tropical::finite(a.min(b)),
-                    )
-                    .unwrap();
+                    let (Some(a), Some(b)) = (rk.0, sk.0) else {
+                        continue;
+                    };
+                    t.insert(vec![rrow[0], rrow[1], srow[1]], Tropical::finite(a.min(b)))
+                        .unwrap();
                 }
             }
         }
-        assert!(r.witnesses(&s, &t).unwrap(), "min-construction must witness");
+        assert!(
+            r.witnesses(&s, &t).unwrap(),
+            "min-construction must witness"
+        );
         // note: the max-plus JOIN (sum of annotations) does NOT witness —
         // the same failure mode as bags
         let j = r.join(&s).unwrap();

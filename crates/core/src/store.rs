@@ -1,0 +1,408 @@
+//! Columnar, arena-backed row storage.
+//!
+//! A [`RowStore`] owns every row of one schema in a single contiguous
+//! `Vec<Value>` (row-major), hands out compact [`RowId`] handles, and
+//! **interns** rows: equal rows share one id, so the arena holds each
+//! distinct tuple exactly once. This is the storage layer under
+//! [`crate::Bag`] and [`crate::Relation`]; the paper's hot paths — joins,
+//! marginals, flow-network construction — operate on `RowId`s and slices
+//! into the arena instead of per-tuple `Box<[Value]>` allocations.
+//!
+//! Deduplication uses an open-addressing hash table (`u32` slots, linear
+//! probing) whose entries point back into the arena, so the whole store
+//! is three flat allocations regardless of row count: no per-row boxes,
+//! no per-bucket vectors.
+//!
+//! Invariants:
+//!
+//! * every stored row has length [`RowStore::arity`];
+//! * `row(a) == row(b)` implies `a == b` (interning is injective on
+//!   content) unless rows were pushed through
+//!   [`RowStore::push_unique_unchecked`], whose caller guarantees
+//!   freshness;
+//! * ids are dense: `0..len()` in insertion order, which lets callers
+//!   keep parallel columns (multiplicities, flow capacities) as plain
+//!   vectors indexed by `RowId`.
+
+use crate::Value;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Compact handle to an interned row within one [`RowStore`].
+///
+/// Ids are dense (`0..store.len()`); parallel per-row data can live in a
+/// plain vector indexed by [`RowId::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// The id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Sentinel for an empty hash slot.
+const EMPTY: u32 = u32::MAX;
+
+/// A per-schema arena of interned rows.
+#[derive(Clone, Debug)]
+pub struct RowStore {
+    arity: usize,
+    /// All row data, row-major: row `i` is `data[i*arity .. (i+1)*arity]`.
+    data: Vec<Value>,
+    /// Number of rows (tracked separately: `arity` may be 0).
+    len: u32,
+    /// Open-addressing table of row ids, probed by row-content hash.
+    slots: Vec<u32>,
+    /// `slots.len() - 1`; slot count is a power of two.
+    mask: usize,
+}
+
+impl Default for RowStore {
+    /// An empty arity-0 store. A derived `Default` would zero the slot
+    /// table and violate the nonzero power-of-two slot-count invariant,
+    /// panicking on first insert — so it is implemented by hand.
+    fn default() -> Self {
+        RowStore::new(0)
+    }
+}
+
+impl RowStore {
+    /// An empty store for rows of length `arity`.
+    pub fn new(arity: usize) -> Self {
+        Self::with_capacity(arity, 0)
+    }
+
+    /// An empty store with room for `rows` rows before reallocating.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        let cap = slot_count_for(rows);
+        RowStore {
+            arity,
+            data: Vec::with_capacity(arity * rows),
+            len: 0,
+            slots: vec![EMPTY; cap],
+            mask: cap - 1,
+        }
+    }
+
+    /// Row length this store accepts.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of stored rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff no rows are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The row behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn row(&self, id: RowId) -> &[Value] {
+        let i = id.index();
+        assert!(
+            i < self.len(),
+            "RowId {i} out of bounds (len {})",
+            self.len()
+        );
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over rows in id order.
+    #[inline]
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Value]> + '_ {
+        // `chunks_exact(0)` panics, so route arity-0 stores through a
+        // constant empty slice repeated `len` times.
+        RowIter {
+            store: self,
+            next: 0,
+        }
+    }
+
+    /// The raw columnar arena (row-major). Exposed for single-pass scans
+    /// that want to avoid per-row bounds checks.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Interns `row`, returning its id and whether it was newly added.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.arity()`.
+    pub fn intern(&mut self, row: &[Value]) -> (RowId, bool) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.grow_if_needed();
+        let hash = hash_row(row);
+        let mut i = hash as usize & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                let id = self.push_row(row);
+                self.slots[i] = id.0;
+                return (id, true);
+            }
+            if self.stored_row(slot) == row {
+                return (RowId(slot), false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up an existing row without inserting.
+    pub fn lookup(&self, row: &[Value]) -> Option<RowId> {
+        if row.len() != self.arity || self.len == 0 {
+            return None;
+        }
+        let hash = hash_row(row);
+        let mut i = hash as usize & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                return None;
+            }
+            if self.stored_row(slot) == row {
+                return Some(RowId(slot));
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Appends a row the caller guarantees is not yet present (e.g. join
+    /// outputs, which are distinct by construction). Still registered in
+    /// the dedup table so later [`RowStore::lookup`]/[`RowStore::intern`]
+    /// calls see it; only the content comparison is skipped.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.arity()`. Violating the uniqueness
+    /// contract leaves lookups returning an arbitrary duplicate.
+    pub fn push_unique_unchecked(&mut self, row: &[Value]) -> RowId {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        debug_assert!(
+            self.lookup(row).is_none(),
+            "push_unique_unchecked on duplicate row"
+        );
+        self.grow_if_needed();
+        let hash = hash_row(row);
+        let mut i = hash as usize & self.mask;
+        while self.slots[i] != EMPTY {
+            i = (i + 1) & self.mask;
+        }
+        let id = self.push_row(row);
+        self.slots[i] = id.0;
+        id
+    }
+
+    /// Rebuilds the store with rows in `order`, dropping rows not listed.
+    ///
+    /// `order` must contain distinct, in-bounds ids. Used by
+    /// [`crate::Bag::seal`] to lay rows out in lexicographic order (the
+    /// "sorted run" invariant) and to compact away tombstoned rows.
+    pub(crate) fn reordered(&self, order: &[u32]) -> RowStore {
+        let mut out = RowStore::with_capacity(self.arity, order.len());
+        for &old in order {
+            let row = self.row(RowId(old));
+            // Rows come from an interned store and `order` has no
+            // duplicates, so each pushed row is unique.
+            out.push_unique_unchecked(row);
+        }
+        out
+    }
+
+    #[inline]
+    fn stored_row(&self, id: u32) -> &[Value] {
+        let i = id as usize;
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    #[inline]
+    fn push_row(&mut self, row: &[Value]) -> RowId {
+        assert!(
+            self.len < u32::MAX - 1,
+            "RowStore capacity (u32 ids) exhausted"
+        );
+        self.data.extend_from_slice(row);
+        let id = RowId(self.len);
+        self.len += 1;
+        id
+    }
+
+    /// Keeps the load factor below 7/8, rehashing by re-deriving hashes
+    /// from row content (no stored hash column needed).
+    fn grow_if_needed(&mut self) {
+        if (self.len as usize + 1) * 8 <= self.slots.len() * 7 {
+            return;
+        }
+        let cap = self.slots.len() * 2;
+        let mask = cap - 1;
+        let mut slots = vec![EMPTY; cap];
+        for id in 0..self.len {
+            let hash = hash_row(self.stored_row(id));
+            let mut i = hash as usize & mask;
+            while slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = id;
+        }
+        self.slots = slots;
+        self.mask = mask;
+    }
+}
+
+/// Iterator over a store's rows in id order.
+struct RowIter<'a> {
+    store: &'a RowStore,
+    next: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [Value];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.next >= self.store.len() {
+            return None;
+        }
+        let id = RowId(self.next as u32);
+        self.next += 1;
+        Some(self.store.row(id))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.store.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+/// Hashes a row's content with the workspace Fx hasher.
+#[inline]
+pub fn hash_row(row: &[Value]) -> u64 {
+    let mut h = crate::FxBuildHasher::default().build_hasher();
+    for v in row {
+        v.get().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Smallest power-of-two slot count holding `rows` at 7/8 load.
+fn slot_count_for(rows: usize) -> usize {
+    let needed = rows + rows / 4 + 8;
+    needed.next_power_of_two()
+}
+
+/// Compares two rows lexicographically through a store.
+#[inline]
+pub(crate) fn cmp_rows(store: &RowStore, a: u32, b: u32) -> std::cmp::Ordering {
+    store.row(RowId(a)).cmp(store.row(RowId(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[u64]) -> Vec<Value> {
+        xs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn intern_dedups_and_round_trips() {
+        let mut s = RowStore::new(3);
+        let (a, fresh_a) = s.intern(&v(&[1, 2, 3]));
+        let (b, fresh_b) = s.intern(&v(&[4, 5, 6]));
+        let (a2, fresh_a2) = s.intern(&v(&[1, 2, 3]));
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(a), &v(&[1, 2, 3])[..]);
+        assert_eq!(s.row(b), &v(&[4, 5, 6])[..]);
+    }
+
+    #[test]
+    fn lookup_finds_only_present_rows() {
+        let mut s = RowStore::new(2);
+        let (id, _) = s.intern(&v(&[7, 8]));
+        assert_eq!(s.lookup(&v(&[7, 8])), Some(id));
+        assert_eq!(s.lookup(&v(&[8, 7])), None);
+        assert_eq!(s.lookup(&v(&[7])), None, "wrong arity is never present");
+    }
+
+    #[test]
+    fn survives_growth_past_initial_capacity() {
+        let mut s = RowStore::with_capacity(2, 2);
+        let ids: Vec<RowId> = (0..1000).map(|i| s.intern(&v(&[i, i * i])).0).collect();
+        assert_eq!(s.len(), 1000);
+        for (i, id) in ids.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(s.row(*id), &v(&[i, i * i])[..]);
+            assert_eq!(s.lookup(&v(&[i, i * i])), Some(*id));
+        }
+    }
+
+    #[test]
+    fn arity_zero_rows_all_intern_to_one_id() {
+        let mut s = RowStore::new(0);
+        let (a, fresh) = s.intern(&[]);
+        let (b, fresh2) = s.intern(&[]);
+        assert!(fresh && !fresh2);
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.row(a), &[] as &[Value]);
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn iter_is_id_order() {
+        let mut s = RowStore::new(1);
+        s.intern(&v(&[9]));
+        s.intern(&v(&[3]));
+        s.intern(&v(&[7]));
+        let rows: Vec<u64> = s.iter().map(|r| r[0].get()).collect();
+        assert_eq!(rows, vec![9, 3, 7]);
+    }
+
+    #[test]
+    fn reordered_keeps_content_and_drops_unlisted() {
+        let mut s = RowStore::new(1);
+        for i in 0..5 {
+            s.intern(&v(&[i]));
+        }
+        let r = s.reordered(&[4, 0, 2]);
+        let rows: Vec<u64> = r.iter().map(|row| row[0].get()).collect();
+        assert_eq!(rows, vec![4, 0, 2]);
+        assert_eq!(r.lookup(&v(&[1])), None);
+        assert_eq!(r.lookup(&v(&[2])), Some(RowId(2)));
+    }
+
+    #[test]
+    fn default_store_upholds_slot_invariant() {
+        let mut s = RowStore::default();
+        let (id, fresh) = s.intern(&[]);
+        assert!(fresh);
+        assert_eq!(s.row(id), &[] as &[Value]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn push_unique_registers_in_index() {
+        let mut s = RowStore::new(2);
+        let id = s.push_unique_unchecked(&v(&[1, 2]));
+        assert_eq!(s.lookup(&v(&[1, 2])), Some(id));
+        let (again, fresh) = s.intern(&v(&[1, 2]));
+        assert_eq!(again, id);
+        assert!(!fresh);
+    }
+}

@@ -26,9 +26,15 @@ impl Tuple {
     pub fn new(schema: Schema, row: impl Into<Vec<Value>>) -> Result<Self> {
         let row: Vec<Value> = row.into();
         if row.len() != schema.arity() {
-            return Err(CoreError::ArityMismatch { expected: schema.arity(), got: row.len() });
+            return Err(CoreError::ArityMismatch {
+                expected: schema.arity(),
+                got: row.len(),
+            });
         }
-        Ok(Tuple { schema, row: row.into_boxed_slice() })
+        Ok(Tuple {
+            schema,
+            row: row.into_boxed_slice(),
+        })
     }
 
     /// Creates a tuple from an unordered attribute/value assignment.
@@ -62,12 +68,18 @@ impl Tuple {
                 None => return Err(CoreError::MissingAttr(schema.attrs()[i])),
             }
         }
-        Ok(Tuple { schema: schema.clone(), row: out.into_boxed_slice() })
+        Ok(Tuple {
+            schema: schema.clone(),
+            row: out.into_boxed_slice(),
+        })
     }
 
     /// The empty tuple over the empty schema.
     pub fn empty() -> Self {
-        Tuple { schema: Schema::empty(), row: Box::new([]) }
+        Tuple {
+            schema: Schema::empty(),
+            row: Box::new([]),
+        }
     }
 
     /// The tuple's schema.
@@ -98,7 +110,10 @@ impl Tuple {
     pub fn project(&self, sub: &Schema) -> Result<Tuple> {
         let idx = self.schema.projection_indices(sub)?;
         let row: Vec<Value> = idx.iter().map(|&i| self.row[i]).collect();
-        Ok(Tuple { schema: sub.clone(), row: row.into_boxed_slice() })
+        Ok(Tuple {
+            schema: sub.clone(),
+            row: row.into_boxed_slice(),
+        })
     }
 }
 
@@ -130,6 +145,14 @@ pub fn project_row(row: &[Value], indices: &[usize]) -> Row {
     indices.iter().map(|&i| row[i]).collect()
 }
 
+/// True iff `indices` is `[0, 1, …, k-1]` — a schema-prefix projection.
+/// Sealed (lex-sorted) storage is already grouped by any such prefix,
+/// which lets marginals, projections, and merge joins skip their sort.
+#[inline]
+pub(crate) fn is_prefix_projection(indices: &[usize]) -> bool {
+    indices.iter().enumerate().all(|(i, &j)| i == j)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,7 +174,11 @@ mod tests {
         let x = schema(&[1, 2, 3]);
         let t = Tuple::from_assignment(
             &x,
-            &[(Attr(3), Value(30)), (Attr(1), Value(10)), (Attr(2), Value(20))],
+            &[
+                (Attr(3), Value(30)),
+                (Attr(1), Value(10)),
+                (Attr(2), Value(20)),
+            ],
         )
         .unwrap();
         assert_eq!(t.row(), &[Value(10), Value(20), Value(30)]);

@@ -30,7 +30,11 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates a network with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new(), orig_cap: Vec::new() }
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            orig_cap: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -43,10 +47,21 @@ impl FlowNetwork {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: u64) -> EdgeId {
-        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "vertex out of range"
+        );
         let e = self.edges.len();
-        self.edges.push(Edge { to: v, cap, rev: e + 1 });
-        self.edges.push(Edge { to: u, cap: 0, rev: e });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            rev: e + 1,
+        });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0,
+            rev: e,
+        });
         self.adj[u].push(e);
         self.adj[v].push(e + 1);
         let id = EdgeId(self.orig_cap.len());

@@ -36,7 +36,11 @@ pub struct MinCostFlow {
 impl MinCostFlow {
     /// Creates a network with `n` vertices.
     pub fn new(n: usize) -> Self {
-        MinCostFlow { adj: vec![Vec::new(); n], edges: Vec::new(), orig: Vec::new() }
+        MinCostFlow {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            orig: Vec::new(),
+        }
     }
 
     /// Adds an edge `u → v` with capacity `cap` and per-unit cost `cost`.
@@ -44,11 +48,24 @@ impl MinCostFlow {
     /// # Panics
     /// Panics if a vertex is out of range or `cost > i64::MAX as u64`.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: u64, cost: u64) -> CostEdgeId {
-        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "vertex out of range"
+        );
         let cost = i64::try_from(cost).expect("cost fits i64");
         let e = self.edges.len();
-        self.edges.push(Edge { to: v, cap, cost, rev: e + 1 });
-        self.edges.push(Edge { to: u, cap: 0, cost: -cost, rev: e });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            cost,
+            rev: e + 1,
+        });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0,
+            cost: -cost,
+            rev: e,
+        });
         self.adj[u].push(e);
         self.adj[v].push(e + 1);
         let id = CostEdgeId(self.orig.len());

@@ -19,11 +19,15 @@
 //!   edges; the minimal-witness algorithm of Section 5.3 needs exactly
 //!   this ("temporarily remove it, compute a maximum flow of the resulting
 //!   network, and check whether it is saturated").
+//! * Middle edges are keyed by [`RowId`] into a network-local columnar
+//!   [`RowStore`] of candidate `XY`-rows instead of owning a boxed row
+//!   per edge, and matching `R`-rows with `S`-rows on the shared schema
+//!   `Z` is a sort-merge group sweep (two `u32` permutation sorts), so
+//!   building `N(R,S)` performs no per-tuple heap allocation.
 
 use crate::dinic::{EdgeId, FlowNetwork};
-use bagcons_core::join::JoinPlan;
-use bagcons_core::tuple::project_row;
-use bagcons_core::{Bag, FxHashMap, Result, Row, Schema, Value};
+use bagcons_core::join::{merge_matching_pairs, JoinPlan};
+use bagcons_core::{Bag, Result, RowId, RowStore, Schema, Value};
 
 /// The network `N(R,S)` with bookkeeping to extract witness bags.
 pub struct ConsistencyNetwork {
@@ -31,8 +35,10 @@ pub struct ConsistencyNetwork {
     source: usize,
     sink: usize,
     xy: Schema,
+    /// Candidate witness rows (`R' ⋈ S'` minus exclusions), interned.
+    rows: RowStore,
     /// One entry per middle edge: its flow-network id and its `XY`-row.
-    middle: Vec<(EdgeId, Row)>,
+    middle: Vec<(EdgeId, RowId)>,
     total_r: u128,
     total_s: u128,
 }
@@ -45,11 +51,7 @@ impl ConsistencyNetwork {
 
     /// Builds `N(R,S)` omitting middle edges whose `XY`-row satisfies
     /// `exclude` — the self-reducibility hook of Section 5.3.
-    pub fn build_excluding(
-        r: &Bag,
-        s: &Bag,
-        exclude: impl Fn(&[Value]) -> bool,
-    ) -> Result<Self> {
+    pub fn build_excluding(r: &Bag, s: &Bag, exclude: impl Fn(&[Value]) -> bool) -> Result<Self> {
         let plan = JoinPlan::new(r.schema(), s.schema());
         let r_rows = r.iter_sorted();
         let s_rows = s.iter_sorted();
@@ -70,31 +72,39 @@ impl ConsistencyNetwork {
             total_s += m as u128;
         }
 
-        // Hash S-rows by their Z-projection for the middle edges.
+        // Sort-merge the two sides on their Z-projections: vertex lists
+        // are permuted by key (u32 sorts, no row data moves), then
+        // equal-key runs pair off group against group.
         let z_of_s = s.schema().projection_indices(plan.common_schema())?;
         let z_of_r = r.schema().projection_indices(plan.common_schema())?;
-        let mut s_index: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
-        for (j, &(row, _)) in s_rows.iter().enumerate() {
-            s_index.entry(project_row(row, &z_of_s)).or_default().push(j);
-        }
 
         let out_schema = plan.output_schema().clone();
+        let mut rows = RowStore::new(out_schema.arity());
         let mut middle = Vec::new();
-        for (i, &(r_row, rm)) in r_rows.iter().enumerate() {
-            let key = project_row(r_row, &z_of_r);
-            let Some(matches) = s_index.get(&key) else { continue };
-            for &j in matches {
-                let (s_row, sm) = s_rows[j];
-                let combined = combine_rows(&out_schema, r.schema(), r_row, s.schema(), s_row);
-                if exclude(&combined) {
-                    continue;
-                }
-                let id = net.add_edge(1 + i, s_base + j, rm.min(sm));
-                middle.push((id, combined));
+        let mut scratch: Vec<Value> = Vec::with_capacity(out_schema.arity());
+        merge_matching_pairs(&r_rows, &z_of_r, &s_rows, &z_of_s, |i, j| {
+            let (r_row, rm) = r_rows[i];
+            let (s_row, sm) = s_rows[j];
+            plan.combine_into(r_row, s_row, &mut scratch);
+            if exclude(&scratch) {
+                return;
             }
-        }
+            let id = net.add_edge(1 + i, s_base + j, rm.min(sm));
+            // Distinct (R-row, S-row) pairs assemble distinct XY rows.
+            let rid = rows.push_unique_unchecked(&scratch);
+            middle.push((id, rid));
+        });
 
-        Ok(ConsistencyNetwork { net, source, sink, xy: out_schema, middle, total_r, total_s })
+        Ok(ConsistencyNetwork {
+            net,
+            source,
+            sink,
+            xy: out_schema,
+            rows,
+            middle,
+            total_r,
+            total_s,
+        })
     }
 
     /// The joined schema `XY`.
@@ -109,42 +119,32 @@ impl ConsistencyNetwork {
 
     /// Runs max-flow; if the flow saturates every source and sink arc,
     /// returns the witness bag `T(t) = f(t[X], t[Y])`, else `None`.
-    pub fn solve(mut self) -> Option<Bag> {
+    pub fn solve(self) -> Option<Bag> {
         if self.total_r != self.total_s {
             // A saturated flow needs both sides saturated; impossible.
             return None;
         }
-        let value = self.net.max_flow(self.source, self.sink);
+        let mut net = self.net;
+        let value = net.max_flow(self.source, self.sink);
         if value != self.total_r {
             return None;
         }
         let mut witness = Bag::with_capacity(self.xy.clone(), self.middle.len());
-        for (id, row) in self.middle {
-            let f = self.net.flow(id);
+        for (id, rid) in self.middle {
+            let f = net.flow(id);
             if f > 0 {
                 witness
-                    .insert(row.to_vec(), f)
+                    .insert_row(self.rows.row(rid), f)
                     .expect("middle rows are valid XY rows and flows fit u64");
             }
         }
+        // Witnesses leave as sealed sorted runs: the acyclic chain feeds
+        // them straight back into the next network build (which wants
+        // sorted order) and into prefix marginals (which then skip
+        // hashing entirely).
+        witness.seal();
         Some(witness)
     }
-}
-
-/// Assembles the `XY`-row from an `X`-row and a matching `Y`-row.
-fn combine_rows(
-    out: &Schema,
-    x: &Schema,
-    x_row: &[Value],
-    y: &Schema,
-    y_row: &[Value],
-) -> Row {
-    out.iter()
-        .map(|a| match x.position(a) {
-            Some(i) => x_row[i],
-            None => y_row[y.position(a).expect("attr of XY")],
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -193,7 +193,10 @@ mod tests {
     fn disjoint_schemas_always_consistent_when_totals_match() {
         let r = Bag::from_u64s(schema(&[0]), [(&[1u64][..], 2), (&[2][..], 1)]).unwrap();
         let s = Bag::from_u64s(schema(&[1]), [(&[5u64][..], 3)]).unwrap();
-        let t = ConsistencyNetwork::build(&r, &s).unwrap().solve().expect("consistent");
+        let t = ConsistencyNetwork::build(&r, &s)
+            .unwrap()
+            .solve()
+            .expect("consistent");
         assert_eq!(t.marginal(r.schema()).unwrap(), r);
         assert_eq!(t.marginal(s.schema()).unwrap(), s);
     }
@@ -218,10 +221,16 @@ mod tests {
     #[test]
     fn identical_schemas_require_equal_bags() {
         let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 2)]).unwrap();
-        let t = ConsistencyNetwork::build(&r, &r.clone()).unwrap().solve().unwrap();
+        let t = ConsistencyNetwork::build(&r, &r.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
         assert_eq!(t, r);
         let other = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 2][..], 2)]).unwrap();
-        assert!(ConsistencyNetwork::build(&r, &other).unwrap().solve().is_none());
+        assert!(ConsistencyNetwork::build(&r, &other)
+            .unwrap()
+            .solve()
+            .is_none());
     }
 
     #[test]
@@ -237,9 +246,8 @@ mod tests {
         // Section 3: witnesses are T1 = {(1,2,2),(2,2,1)} and
         // T2 = {(1,2,1),(2,2,2)}. Excluding (1,2,2) must force T2.
         let (r, s) = section3_pair();
-        let banned: Row = vec![Value(1), Value(2), Value(2)].into_boxed_slice();
-        let net =
-            ConsistencyNetwork::build_excluding(&r, &s, |row| row == &*banned).unwrap();
+        let banned = [Value(1), Value(2), Value(2)];
+        let net = ConsistencyNetwork::build_excluding(&r, &s, |row| row == banned).unwrap();
         let t = net.solve().expect("still consistent without that row");
         assert_eq!(t.multiplicity(&[Value(1), Value(2), Value(1)]), 1);
         assert_eq!(t.multiplicity(&[Value(2), Value(2), Value(2)]), 1);
@@ -249,11 +257,14 @@ mod tests {
     #[test]
     fn large_multiplicities() {
         let big = 1u64 << 62;
-        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], big), (&[2, 1][..], big)])
-            .unwrap();
-        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], big), (&[1, 2][..], big)])
-            .unwrap();
-        let t = ConsistencyNetwork::build(&r, &s).unwrap().solve().expect("consistent");
+        let r =
+            Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], big), (&[2, 1][..], big)]).unwrap();
+        let s =
+            Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], big), (&[1, 2][..], big)]).unwrap();
+        let t = ConsistencyNetwork::build(&r, &s)
+            .unwrap()
+            .solve()
+            .expect("consistent");
         assert_eq!(t.unary_size(), 2 * big as u128);
         assert_eq!(t.marginal(r.schema()).unwrap(), r);
     }

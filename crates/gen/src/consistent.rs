@@ -22,8 +22,15 @@ pub fn planted_family<R: Rng>(
     rng: &mut R,
 ) -> Result<(Vec<Bag>, Bag)> {
     let witness = random_bag(h.vertices(), domain, support, max_mult, rng);
-    let bags: Result<Vec<Bag>> =
-        h.edges().iter().map(|x| witness.marginal(x)).collect();
+    let bags: Result<Vec<Bag>> = h
+        .edges()
+        .iter()
+        .map(|x| {
+            let mut b = witness.marginal(x)?;
+            b.seal();
+            Ok(b)
+        })
+        .collect();
     Ok((bags?, witness))
 }
 
@@ -38,7 +45,11 @@ pub fn planted_pair<R: Rng>(
 ) -> Result<(Bag, Bag)> {
     let xy = x.union(y);
     let witness = random_bag(&xy, domain, support, max_mult, rng);
-    Ok((witness.marginal(x)?, witness.marginal(y)?))
+    let mut r = witness.marginal(x)?;
+    let mut s = witness.marginal(y)?;
+    r.seal();
+    s.seal();
+    Ok((r, s))
 }
 
 #[cfg(test)]

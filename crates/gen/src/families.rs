@@ -114,8 +114,7 @@ mod tests {
         for n in 2..=6u64 {
             let (r, s) = section3_pair(n).unwrap();
             let prog = ConsistencyProgram::build(&[&r, &s]).unwrap();
-            let (count, complete) =
-                count_solutions(&prog, &SolverConfig::default(), 1 << 20);
+            let (count, complete) = count_solutions(&prog, &SolverConfig::default(), 1 << 20);
             assert!(complete);
             assert_eq!(count, 1 << (n - 1), "n = {n}");
         }

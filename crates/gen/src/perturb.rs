@@ -11,8 +11,7 @@ use rand::Rng;
 /// Returns the index of the perturbed bag. No-op (returns `None`) when
 /// every bag is empty.
 pub fn bump_one_tuple<R: Rng>(bags: &mut [Bag], rng: &mut R) -> Result<Option<usize>> {
-    let candidates: Vec<usize> =
-        (0..bags.len()).filter(|&i| !bags[i].is_empty()).collect();
+    let candidates: Vec<usize> = (0..bags.len()).filter(|&i| !bags[i].is_empty()).collect();
     let Some(&i) = candidates.get(rng.gen_range(0..candidates.len().max(1))) else {
         return Ok(None);
     };

@@ -17,28 +17,29 @@ pub fn random_bag<R: Rng>(
     assert!(domain > 0 && max_mult > 0);
     let mut bag = Bag::with_capacity(schema.clone(), support);
     for _ in 0..support {
-        let row: Vec<Value> =
-            (0..schema.arity()).map(|_| Value(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..schema.arity())
+            .map(|_| Value(rng.gen_range(0..domain)))
+            .collect();
         let mult = rng.gen_range(1..=max_mult);
-        bag.insert(row, mult).expect("random multiplicities stay far from u64::MAX");
+        bag.insert(row, mult)
+            .expect("random multiplicities stay far from u64::MAX");
     }
+    // Hand out the at-rest representation: one sealed sorted run.
+    bag.seal();
     bag
 }
 
 /// A random relation over `schema` with up to `size` tuples.
-pub fn random_relation<R: Rng>(
-    schema: &Schema,
-    domain: u64,
-    size: usize,
-    rng: &mut R,
-) -> Relation {
+pub fn random_relation<R: Rng>(schema: &Schema, domain: u64, size: usize, rng: &mut R) -> Relation {
     assert!(domain > 0);
     let mut rel = Relation::new(schema.clone());
     for _ in 0..size {
-        let row: Vec<Value> =
-            (0..schema.arity()).map(|_| Value(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..schema.arity())
+            .map(|_| Value(rng.gen_range(0..domain)))
+            .collect();
         rel.insert(row).expect("arity matches schema");
     }
+    rel.seal();
     rel
 }
 

@@ -22,7 +22,11 @@ use rand::Rng;
 /// `0..=max_cell`. Always satisfiable.
 pub fn planted_3dct<R: Rng>(n: usize, max_cell: u64, rng: &mut R) -> ContingencyTable3D {
     let table: Vec<Vec<Vec<u64>>> = (0..n)
-        .map(|_| (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..=max_cell)).collect()).collect())
+        .map(|_| {
+            (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0..=max_cell)).collect())
+                .collect()
+        })
         .collect();
     ContingencyTable3D::from_table(&table).expect("bounded cells cannot overflow")
 }
@@ -38,8 +42,11 @@ pub fn sparse_3dct<R: Rng>(
 ) -> ContingencyTable3D {
     let mut table = vec![vec![vec![0u64; n]; n]; n];
     for _ in 0..nonzeros {
-        let (i, j, k) =
-            (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..n));
+        let (i, j, k) = (
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+        );
         table[i][j][k] = rng.gen_range(1..=max_cell);
     }
     ContingencyTable3D::from_table(&table).expect("bounded cells cannot overflow")

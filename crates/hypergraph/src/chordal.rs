@@ -107,7 +107,10 @@ mod tests {
     fn hn_is_chordal() {
         // primal graph of H_n is complete
         for n in 3..7 {
-            assert!(is_chordal(&full_clique_complement(n)), "H_{n} must be chordal");
+            assert!(
+                is_chordal(&full_clique_complement(n)),
+                "H_{n} must be chordal"
+            );
         }
     }
 
@@ -133,8 +136,7 @@ mod tests {
             .iter()
             .map(|e| Schema::from_attrs(e.iter().map(|a| Attr::new(a.id() + 10))))
             .collect();
-        let both =
-            crate::Hypergraph::from_edges(c4a.edges().iter().cloned().chain(c4b.clone()));
+        let both = crate::Hypergraph::from_edges(c4a.edges().iter().cloned().chain(c4b.clone()));
         assert!(!is_chordal(&both));
         // one P3 and one triangle: chordal
         let mix = crate::Hypergraph::from_edges([s(&[0, 1]), s(&[1, 2]), s(&[10, 11, 12])]);

@@ -81,8 +81,11 @@ fn bron_kerbosch(
         .copied()
         .max_by_key(|&u| p.iter().filter(|&&v| g.adjacent(u, v)).count())
         .expect("P ∪ X nonempty");
-    let candidates: Vec<usize> =
-        p.iter().copied().filter(|&v| !g.adjacent(pivot, v)).collect();
+    let candidates: Vec<usize> = p
+        .iter()
+        .copied()
+        .filter(|&v| !g.adjacent(pivot, v))
+        .collect();
     let mut p = p;
     let mut x = x;
     for v in candidates {

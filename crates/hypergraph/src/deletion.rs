@@ -84,10 +84,7 @@ impl SafeDeletion {
 }
 
 /// Applies a sequence of safe deletions in order.
-pub fn apply_sequence(
-    h: &Hypergraph,
-    ops: &[SafeDeletion],
-) -> Result<Hypergraph, DeletionError> {
+pub fn apply_sequence(h: &Hypergraph, ops: &[SafeDeletion]) -> Result<Hypergraph, DeletionError> {
     let mut cur = h.clone();
     for op in ops {
         cur = op.apply(&cur)?;
@@ -138,17 +135,35 @@ mod tests {
     #[test]
     fn covered_edge_deletion_validates_cover() {
         let h = Hypergraph::from_edges([s(&[0, 1]), s(&[0, 1, 2])]);
-        let ok = SafeDeletion::CoveredEdge { edge: s(&[0, 1]), cover: s(&[0, 1, 2]) };
+        let ok = SafeDeletion::CoveredEdge {
+            edge: s(&[0, 1]),
+            cover: s(&[0, 1, 2]),
+        };
         let d = ok.apply(&h).unwrap();
         assert_eq!(d.num_edges(), 1);
         // deleting the cover "as covered" must fail
-        let bad = SafeDeletion::CoveredEdge { edge: s(&[0, 1, 2]), cover: s(&[0, 1]) };
-        assert!(matches!(bad.apply(&h), Err(DeletionError::NotCovered { .. })));
+        let bad = SafeDeletion::CoveredEdge {
+            edge: s(&[0, 1, 2]),
+            cover: s(&[0, 1]),
+        };
+        assert!(matches!(
+            bad.apply(&h),
+            Err(DeletionError::NotCovered { .. })
+        ));
         // absent edge
-        let missing = SafeDeletion::CoveredEdge { edge: s(&[7, 8]), cover: s(&[0, 1, 2]) };
-        assert!(matches!(missing.apply(&h), Err(DeletionError::NoSuchEdge(_))));
+        let missing = SafeDeletion::CoveredEdge {
+            edge: s(&[7, 8]),
+            cover: s(&[0, 1, 2]),
+        };
+        assert!(matches!(
+            missing.apply(&h),
+            Err(DeletionError::NoSuchEdge(_))
+        ));
         // self-cover rejected
-        let selfc = SafeDeletion::CoveredEdge { edge: s(&[0, 1]), cover: s(&[0, 1]) };
+        let selfc = SafeDeletion::CoveredEdge {
+            edge: s(&[0, 1]),
+            cover: s(&[0, 1]),
+        };
         assert!(selfc.apply(&h).is_err());
     }
 
@@ -168,7 +183,9 @@ mod tests {
     fn sequence_on_full_w_is_pure_edge_cleanup() {
         let h = Hypergraph::from_edges([s(&[0]), s(&[0, 1]), s(&[1, 2])]);
         let ops = sequence_to_reduced_induced(&h, h.vertices());
-        assert!(ops.iter().all(|o| matches!(o, SafeDeletion::CoveredEdge { .. })));
+        assert!(ops
+            .iter()
+            .all(|o| matches!(o, SafeDeletion::CoveredEdge { .. })));
         let r = apply_sequence(&h, &ops).unwrap();
         assert_eq!(r, h.reduction());
     }

@@ -21,9 +21,7 @@ use bagcons_core::{Attr, Schema};
 /// Panics if `n < 2`.
 pub fn path(n: u32) -> Hypergraph {
     assert!(n >= 2, "P_n requires n >= 2");
-    Hypergraph::from_edges(
-        (0..n - 1).map(|i| Schema::from_attrs([Attr::new(i), Attr::new(i + 1)])),
-    )
+    Hypergraph::from_edges((0..n - 1).map(|i| Schema::from_attrs([Attr::new(i), Attr::new(i + 1)])))
 }
 
 /// The cycle hypergraph `C_n` on `n ≥ 3` vertices.
@@ -43,9 +41,9 @@ pub fn cycle(n: u32) -> Hypergraph {
 /// Panics if `n < 3`.
 pub fn full_clique_complement(n: u32) -> Hypergraph {
     assert!(n >= 3, "H_n requires n >= 3");
-    Hypergraph::from_edges((0..n).map(|skip| {
-        Schema::from_attrs((0..n).filter(|&i| i != skip).map(Attr::new))
-    }))
+    Hypergraph::from_edges(
+        (0..n).map(|skip| Schema::from_attrs((0..n).filter(|&i| i != skip).map(Attr::new))),
+    )
 }
 
 /// The triangle hypergraph `C_3 = H_3` with edges `{A0,A1},{A1,A2},{A2,A0}`

@@ -49,9 +49,10 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoResult {
             for i in 0..work.len() {
                 let Some(e) = work[i].clone() else { continue };
                 let covered = e.is_empty()
-                    || work.iter().enumerate().any(|(j, f)| {
-                        j != i && f.as_ref().is_some_and(|f| e.is_subset_of(f))
-                    });
+                    || work
+                        .iter()
+                        .enumerate()
+                        .any(|(j, f)| j != i && f.as_ref().is_some_and(|f| e.is_subset_of(f)));
                 if covered {
                     work[i] = None;
                     steps.push(GyoStep::CoveredEdge(i));
@@ -88,7 +89,11 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoResult {
         .enumerate()
         .filter_map(|(i, e)| e.map(|e| (i, e)))
         .collect();
-    GyoResult { acyclic: residual.is_empty(), steps, residual }
+    GyoResult {
+        acyclic: residual.is_empty(),
+        steps,
+        residual,
+    }
 }
 
 /// True iff `h` is an acyclic hypergraph (GYO reduces it to nothing).

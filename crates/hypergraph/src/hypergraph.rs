@@ -36,7 +36,10 @@ impl Hypergraph {
         for e in &es {
             vertices = vertices.union(e);
         }
-        Hypergraph { vertices, edges: es }
+        Hypergraph {
+            vertices,
+            edges: es,
+        }
     }
 
     /// Like [`Hypergraph::from_edges`] but with an explicit vertex set
@@ -83,28 +86,30 @@ impl Hypergraph {
         let kept: Vec<Schema> = self
             .edges
             .iter()
-            .filter(|e| {
-                !self
-                    .edges
-                    .iter()
-                    .any(|f| f != *e && e.is_subset_of(f))
-            })
+            .filter(|e| !self.edges.iter().any(|f| f != *e && e.is_subset_of(f)))
             .cloned()
             .collect();
-        Hypergraph { vertices: self.vertices.clone(), edges: kept }
+        Hypergraph {
+            vertices: self.vertices.clone(),
+            edges: kept,
+        }
     }
 
     /// True iff `H = R(H)`.
     pub fn is_reduced(&self) -> bool {
-        self.edges.iter().all(|e| {
-            !self.edges.iter().any(|f| f != e && e.is_subset_of(f))
-        })
+        self.edges
+            .iter()
+            .all(|e| !self.edges.iter().any(|f| f != e && e.is_subset_of(f)))
     }
 
     /// The **induced hypergraph** `H[W]`: vertex set `W`, hyperedges the
     /// non-empty traces `X ∩ W`.
     pub fn induced(&self, w: &Schema) -> Hypergraph {
-        let es = self.edges.iter().map(|e| e.intersection(w)).filter(|e| !e.is_empty());
+        let es = self
+            .edges
+            .iter()
+            .map(|e| e.intersection(w))
+            .filter(|e| !e.is_empty());
         Hypergraph::with_vertices(w.clone(), es)
     }
 
@@ -133,9 +138,7 @@ impl Hypergraph {
     /// (`C_n`, `H_n`) in tests and obstruction verification, where the
     /// degree/size invariants below prune the search immediately.
     pub fn is_isomorphic_to(&self, other: &Hypergraph) -> bool {
-        if self.num_vertices() != other.num_vertices()
-            || self.num_edges() != other.num_edges()
-        {
+        if self.num_vertices() != other.num_vertices() || self.num_edges() != other.num_edges() {
             return false;
         }
         let sizes = |h: &Hypergraph| {
@@ -199,7 +202,17 @@ impl Hypergraph {
         }
         let mut used = vec![false; ov.len()];
         let mut map = Vec::with_capacity(sv.len());
-        rec(0, &sv, &ov, &mut self_deg, &mut other_deg, &mut used, &mut map, self, other)
+        rec(
+            0,
+            &sv,
+            &ov,
+            &mut self_deg,
+            &mut other_deg,
+            &mut used,
+            &mut map,
+            self,
+            other,
+        )
     }
 
     /// True iff every hyperedge has exactly `k` vertices.
@@ -328,12 +341,8 @@ mod tests {
     fn isomorphism_detects_relabelled_cycles() {
         let c4 = cycle(4);
         // same C4 with shifted labels 10..13
-        let shifted = Hypergraph::from_edges([
-            s(&[10, 11]),
-            s(&[11, 12]),
-            s(&[12, 13]),
-            s(&[13, 10]),
-        ]);
+        let shifted =
+            Hypergraph::from_edges([s(&[10, 11]), s(&[11, 12]), s(&[12, 13]), s(&[13, 10])]);
         assert!(c4.is_isomorphic_to(&shifted));
         // C4 is not isomorphic to P4 (path has different degrees)
         assert!(!c4.is_isomorphic_to(&path(4)));

@@ -31,7 +31,12 @@ impl JoinTree {
         let nodes: Vec<Schema> = h.edges().to_vec();
         let m = nodes.len();
         if m == 0 {
-            return Some(JoinTree { nodes, adj: vec![], order: vec![], parent: vec![] });
+            return Some(JoinTree {
+                nodes,
+                adj: vec![],
+                order: vec![],
+                parent: vec![],
+            });
         }
         // Kruskal on all pairs, heaviest intersection first; ties broken by
         // index for determinism. Weight-0 edges are allowed so the result
@@ -79,7 +84,12 @@ impl JoinTree {
                 }
             }
         }
-        JoinTree { nodes, adj, order, parent }
+        JoinTree {
+            nodes,
+            adj,
+            order,
+            parent,
+        }
     }
 
     /// Checks the join-tree property: for every vertex `v` of the
@@ -91,8 +101,7 @@ impl JoinTree {
             all = all.union(n);
         }
         for v in all.iter() {
-            let holders: Vec<usize> =
-                (0..m).filter(|&i| self.nodes[i].contains(v)).collect();
+            let holders: Vec<usize> = (0..m).filter(|&i| self.nodes[i].contains(v)).collect();
             if holders.len() <= 1 {
                 continue;
             }
@@ -157,7 +166,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -238,12 +249,11 @@ mod tests {
 
     #[test]
     fn rip_listing_has_rip() {
-        for h in [path(6), star(5), Hypergraph::from_edges([
-            s(&[0, 1, 2]),
-            s(&[1, 2, 3]),
-            s(&[2, 3, 4]),
-            s(&[4, 5]),
-        ])] {
+        for h in [
+            path(6),
+            star(5),
+            Hypergraph::from_edges([s(&[0, 1, 2]), s(&[1, 2, 3]), s(&[2, 3, 4]), s(&[4, 5])]),
+        ] {
             let t = JoinTree::build(&h).unwrap();
             let listing = t.rip_listing();
             assert!(crate::rip::has_rip(&listing), "listing lacks RIP for {h}");

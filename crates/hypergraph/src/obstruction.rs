@@ -102,7 +102,12 @@ fn minimize(
         ObstructionKind::Cycle(n)
     };
     let deletions = sequence_to_reduced_induced(h, &w);
-    Obstruction { kind, w, deletions, target }
+    Obstruction {
+        kind,
+        w,
+        deletions,
+        target,
+    }
 }
 
 #[cfg(test)]
@@ -187,13 +192,8 @@ mod tests {
     #[test]
     fn non_conformal_inside_larger_hypergraph() {
         // triangle on {5,6,7} plus a path attached
-        let h = Hypergraph::from_edges([
-            s(&[5, 6]),
-            s(&[6, 7]),
-            s(&[5, 7]),
-            s(&[7, 8]),
-            s(&[8, 9]),
-        ]);
+        let h =
+            Hypergraph::from_edges([s(&[5, 6]), s(&[6, 7]), s(&[5, 7]), s(&[7, 8]), s(&[8, 9])]);
         let ob = find_obstruction(&h).unwrap();
         assert_eq!(ob.kind, ObstructionKind::CliqueComplement(3));
         assert_eq!(ob.w, s(&[5, 6, 7]));

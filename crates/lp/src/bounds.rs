@@ -35,7 +35,11 @@ pub struct WitnessBounds {
 /// Computes the Theorem 3 bounds from the input bags.
 pub fn theorem3_bounds(bags: &[&Bag]) -> WitnessBounds {
     WitnessBounds {
-        multiplicity: bags.iter().map(|b| b.multiplicity_bound()).max().unwrap_or(0),
+        multiplicity: bags
+            .iter()
+            .map(|b| b.multiplicity_bound())
+            .max()
+            .unwrap_or(0),
         support_unary: bags.iter().map(|b| b.unary_size()).sum(),
         support_binary: bags.iter().map(|b| b.binary_size()).sum(),
     }
@@ -139,11 +143,7 @@ mod tests {
             [(&[1u64, 1][..], 2), (&[2, 1][..], 2), (&[3, 1][..], 2)],
         )
         .unwrap();
-        let s = Bag::from_u64s(
-            schema(&[1, 2]),
-            [(&[1u64, 1][..], 3), (&[1, 2][..], 3)],
-        )
-        .unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 3), (&[1, 2][..], 3)]).unwrap();
         let prog = ConsistencyProgram::build(&[&r, &s]).unwrap();
         let x = minimize_support(&prog, &SolverConfig::default()).expect("consistent");
         assert!(prog.is_feasible_point(&x));
@@ -164,10 +164,9 @@ mod tests {
     fn minimal_witness_obeys_binary_bound() {
         // Theorem 3(3): minimal witness support ≤ Σ‖R_i‖b, exercised with
         // larger multiplicities where the unary bound would be far looser.
-        let r = Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 100), (&[2, 1][..], 28)])
-            .unwrap();
-        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 64), (&[1, 2][..], 64)])
-            .unwrap();
+        let r =
+            Bag::from_u64s(schema(&[0, 1]), [(&[1u64, 1][..], 100), (&[2, 1][..], 28)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[1u64, 1][..], 64), (&[1, 2][..], 64)]).unwrap();
         let prog = ConsistencyProgram::build(&[&r, &s]).unwrap();
         let x = minimize_support(&prog, &SolverConfig::default()).expect("consistent");
         let supp = x.iter().filter(|&&v| v > 0).count() as u64;

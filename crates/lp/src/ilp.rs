@@ -123,7 +123,11 @@ impl<'a> Search<'a> {
     fn dfs(&mut self, v: usize, on_solution: &mut dyn FnMut(&[u64]) -> bool) -> Found {
         if v == self.prog.num_variables() {
             debug_assert!(self.residual.iter().all(|&r| r == 0));
-            return if on_solution(&self.x) { Found::No } else { Found::Yes };
+            return if on_solution(&self.x) {
+                Found::No
+            } else {
+                Found::Yes
+            };
         }
         if self.banned[v] {
             return self.dfs(v + 1, on_solution);
@@ -232,7 +236,9 @@ pub fn solve_masked(
         solution = Some(x.to_vec());
         false // stop at first solution
     });
-    let stats = SolveStats { nodes: search.nodes };
+    let stats = SolveStats {
+        nodes: search.nodes,
+    };
     let outcome = match found {
         Found::Yes => IlpOutcome::Sat(solution.expect("solution recorded")),
         Found::No => IlpOutcome::Unsat,
@@ -255,9 +261,9 @@ pub fn count_solutions(prog: &ConsistencyProgram, cfg: &SolverConfig, limit: u64
         count < limit
     });
     match found {
-        Found::Yes => (count, false),    // stopped by limit
-        Found::No => (count, true),      // exhausted the space
-        Found::Aborted => (count, false) // node budget
+        Found::Yes => (count, false),     // stopped by limit
+        Found::No => (count, true),       // exhausted the space
+        Found::Aborted => (count, false), // node budget
     }
 }
 
@@ -358,7 +364,10 @@ mod tests {
         let r = Bag::from_u64s(schema(&[0]), [(&[0u64][..], 10), (&[1][..], 10)]).unwrap();
         let s = Bag::from_u64s(schema(&[1]), [(&[0u64][..], 10), (&[1][..], 10)]).unwrap();
         let prog = ConsistencyProgram::build(&[&r, &s]).unwrap();
-        let cfg = SolverConfig { node_limit: Some(1), ..Default::default() };
+        let cfg = SolverConfig {
+            node_limit: Some(1),
+            ..Default::default()
+        };
         // with 4 variables, one node cannot finish
         assert_eq!(solve(&prog, &cfg), IlpOutcome::NodeLimit);
     }
@@ -423,7 +432,10 @@ mod tests {
         let baseline = solve_with_stats(&prog, &SolverConfig::default());
         let no_forcing = solve_with_stats(
             &prog,
-            &SolverConfig { disable_forcing: true, ..Default::default() },
+            &SolverConfig {
+                disable_forcing: true,
+                ..Default::default()
+            },
         );
         assert_eq!(baseline.0.is_sat(), no_forcing.0.is_sat());
         assert!(no_forcing.1.nodes >= baseline.1.nodes);

@@ -74,7 +74,13 @@ impl ConsistencyProgram {
             var_rows.push(rows);
         }
 
-        Ok(ConsistencyProgram { schemas, join_schema, variables, constraints, var_rows })
+        Ok(ConsistencyProgram {
+            schemas,
+            join_schema,
+            variables,
+            constraints,
+            var_rows,
+        })
     }
 
     /// Number of variables `|J|`.
@@ -154,7 +160,7 @@ impl ConsistencyProgram {
         }
         let mut bag = Bag::with_capacity(self.join_schema.clone(), x.len());
         for (v, &m) in x.iter().enumerate() {
-            bag.insert(self.variables[v].to_vec(), m)?;
+            bag.insert(&self.variables[v], m)?;
         }
         Ok(bag)
     }
@@ -289,8 +295,7 @@ mod tests {
     fn solution_from_bag_rejects_foreign_support() {
         let (r, s) = section3_pair();
         let p = ConsistencyProgram::build(&[&r, &s]).unwrap();
-        let alien =
-            Bag::from_u64s(schema(&[0, 1, 2]), [(&[9u64, 9, 9][..], 1)]).unwrap();
+        let alien = Bag::from_u64s(schema(&[0, 1, 2]), [(&[9u64, 9, 9][..], 1)]).unwrap();
         assert!(p.solution_from_bag(&alien).is_none());
     }
 

@@ -33,7 +33,10 @@ impl Rational {
             return Rational { num: 0, den: 1 };
         }
         let g = gcd(num, den);
-        Rational { num: num / g, den: den / g }
+        Rational {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Zero.
@@ -168,7 +171,9 @@ mod tests {
         let b = Rational::new(1, 3);
         assert_eq!(a.checked_add(b).unwrap(), Rational::new(5, 6));
         assert_eq!(
-            Rational::new(1, 2).checked_add(Rational::new(1, 2)).unwrap(),
+            Rational::new(1, 2)
+                .checked_add(Rational::new(1, 2))
+                .unwrap(),
             Rational::from_int(1)
         );
     }

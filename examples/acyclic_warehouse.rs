@@ -43,12 +43,8 @@ fn main() {
     let stores = Schema::from_attrs([store, city]);
     let promos = Schema::from_attrs([city, campaign]);
 
-    let schema_h = Hypergraph::from_edges([
-        sales.clone(),
-        stock.clone(),
-        stores.clone(),
-        promos.clone(),
-    ]);
+    let schema_h =
+        Hypergraph::from_edges([sales.clone(), stock.clone(), stores.clone(), promos.clone()]);
     assert!(is_acyclic(&schema_h), "the snowflake is acyclic");
     let order = rip_order(&schema_h).unwrap();
     println!("running-intersection order of the warehouse schema:");

@@ -26,9 +26,16 @@ use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
 
 fn refute(bags: &[Bag], label: &str) {
     let refs: Vec<&Bag> = bags.iter().collect();
-    assert!(pairwise_consistent(&refs).unwrap(), "{label}: must be locally consistent");
+    assert!(
+        pairwise_consistent(&refs).unwrap(),
+        "{label}: must be locally consistent"
+    );
     let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
-    assert_eq!(dec.outcome, IlpOutcome::Unsat, "{label}: must be globally inconsistent");
+    assert_eq!(
+        dec.outcome,
+        IlpOutcome::Unsat,
+        "{label}: must be globally inconsistent"
+    );
     println!(
         "{label}: locally consistent, globally refuted after {} search nodes",
         dec.stats.nodes
@@ -62,14 +69,18 @@ fn main() {
         Schema::from_attrs([bagcons_core::Attr(0), bagcons_core::Attr(10)]),
     ]);
     assert!(!is_acyclic(&exotic));
-    let paradox = pairwise_consistent_globally_inconsistent(&exotic).unwrap().unwrap();
+    let paradox = pairwise_consistent_globally_inconsistent(&exotic)
+        .unwrap()
+        .unwrap();
     refute(&paradox, "lifted paradox on a decorated 4-cycle");
 
     // --- and never on acyclic ones ------------------------------------
     let classical = path(5);
     assert!(is_acyclic(&classical));
     assert!(
-        pairwise_consistent_globally_inconsistent(&classical).unwrap().is_none(),
+        pairwise_consistent_globally_inconsistent(&classical)
+            .unwrap()
+            .is_none(),
         "acyclic contexts admit no paradox (Theorem 2)"
     );
     println!(

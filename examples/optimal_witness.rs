@@ -29,12 +29,22 @@ fn main() {
     // Wards 0,1; Diagnoses 0,1; Outcomes: 0 = recovered, 1 = readmitted.
     let admissions = Bag::from_u64s(
         Schema::from_attrs([ward, diagnosis]),
-        [(&[0u64, 0][..], 30), (&[0, 1][..], 10), (&[1, 0][..], 5), (&[1, 1][..], 25)],
+        [
+            (&[0u64, 0][..], 30),
+            (&[0, 1][..], 10),
+            (&[1, 0][..], 5),
+            (&[1, 1][..], 25),
+        ],
     )
     .unwrap();
     let discharges = Bag::from_u64s(
         Schema::from_attrs([diagnosis, outcome]),
-        [(&[0u64, 0][..], 28), (&[0, 1][..], 7), (&[1, 0][..], 20), (&[1, 1][..], 15)],
+        [
+            (&[0u64, 0][..], 28),
+            (&[0, 1][..], 7),
+            (&[1, 0][..], 20),
+            (&[1, 1][..], 15),
+        ],
     )
     .unwrap();
     assert!(bags_consistent(&admissions, &discharges).unwrap());
@@ -42,16 +52,14 @@ fn main() {
     println!("discharges (Diagnosis, Outcome):\n{discharges}");
 
     // Best case for ward 1: minimize (Ward=1, Outcome=readmitted) counts.
-    let ward1_readmits =
-        |row: &[Value]| u64::from(row[0] == Value(1) && row[2] == Value(1));
-    let (best, best_cost) =
-        min_cost_witness(&admissions, &discharges, ward1_readmits).unwrap().unwrap();
+    let ward1_readmits = |row: &[Value]| u64::from(row[0] == Value(1) && row[2] == Value(1));
+    let (best, best_cost) = min_cost_witness(&admissions, &discharges, ward1_readmits)
+        .unwrap()
+        .unwrap();
     // Worst case: maximize the same count = minimize its complement.
-    let (worst, _) = min_cost_witness(&admissions, &discharges, |row| {
-        1 - ward1_readmits(row)
-    })
-    .unwrap()
-    .unwrap();
+    let (worst, _) = min_cost_witness(&admissions, &discharges, |row| 1 - ward1_readmits(row))
+        .unwrap()
+        .unwrap();
     let count = |bag: &Bag| -> u128 {
         bag.iter()
             .filter(|(row, _)| row[0] == Value(1) && row[2] == Value(1))
@@ -63,7 +71,7 @@ fn main() {
         best_cost,
         count(&worst)
     );
-    assert_eq!(count(&best) , best_cost);
+    assert_eq!(count(&best), best_cost);
     assert!(count(&best) <= count(&worst));
 
     // Both extremes are genuine witnesses: they explain the inputs exactly.

@@ -26,9 +26,15 @@ fn main() {
 
     // city codes: 0 = SFO, 1 = JFK, 2 = BOS; carriers: 10, 11
     let sold = Bag::from_u64s(legs, [(&[0u64, 1][..], 120), (&[0, 2][..], 80)]).unwrap();
-    let handled =
-        Bag::from_u64s(ops, [(&[1u64, 10][..], 70), (&[1, 11][..], 50), (&[2, 10][..], 80)])
-            .unwrap();
+    let handled = Bag::from_u64s(
+        ops,
+        [
+            (&[1u64, 10][..], 70),
+            (&[1, 11][..], 50),
+            (&[2, 10][..], 80),
+        ],
+    )
+    .unwrap();
 
     println!("sold (Origin, Dest):\n{sold}");
     println!("handled (Dest, Carrier):\n{handled}");
@@ -43,7 +49,9 @@ fn main() {
     // ---------------------------------------------------------------
     // 3. Corollary 1: build an actual joint bag via max-flow.
     // ---------------------------------------------------------------
-    let joint = consistency_witness(&sold, &handled).unwrap().expect("consistent");
+    let joint = consistency_witness(&sold, &handled)
+        .unwrap()
+        .expect("consistent");
     println!("a joint bag over (Origin, Dest, Carrier):\n{joint}");
     assert_eq!(joint.marginal(sold.schema()).unwrap(), sold);
     assert_eq!(joint.marginal(handled.schema()).unwrap(), handled);

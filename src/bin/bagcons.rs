@@ -21,8 +21,7 @@ use bagcons::lifting::pairwise_consistent_globally_inconsistent;
 use bagcons_core::io::{parse_bag_with, write_bag, NameInterner};
 use bagcons_core::{AttrNames, Bag};
 use bagcons_hypergraph::{
-    find_obstruction, is_acyclic, is_chordal, is_conformal, rip_order, Hypergraph,
-    ObstructionKind,
+    find_obstruction, is_acyclic, is_chordal, is_conformal, rip_order, Hypergraph, ObstructionKind,
 };
 use bagcons_lp::ilp::SolverConfig;
 use std::process::ExitCode;
@@ -83,24 +82,37 @@ fn pretty_schema(s: &bagcons_core::Schema, names: &AttrNames) -> String {
 }
 
 fn solver() -> SolverConfig {
-    SolverConfig { node_limit: Some(50_000_000), ..Default::default() }
+    SolverConfig {
+        node_limit: Some(50_000_000),
+        ..Default::default()
+    }
 }
 
 fn cmd_check(refs: &[&Bag]) -> ExitCode {
     match decide_global_consistency(refs, &solver()) {
         Ok(rep) => {
-            let path = if rep.acyclic { "acyclic/polynomial" } else { "cyclic/search" };
+            let path = if rep.acyclic {
+                "acyclic/polynomial"
+            } else {
+                "cyclic/search"
+            };
             match rep.outcome {
                 GcpbOutcome::Consistent(_) => {
                     println!("globally consistent ({path}, {} nodes)", rep.search_nodes);
                     ExitCode::SUCCESS
                 }
                 GcpbOutcome::Inconsistent => {
-                    println!("NOT globally consistent ({path}, {} nodes)", rep.search_nodes);
+                    println!(
+                        "NOT globally consistent ({path}, {} nodes)",
+                        rep.search_nodes
+                    );
                     ExitCode::from(1)
                 }
                 GcpbOutcome::Unknown => {
-                    println!("undecided: search budget exhausted ({} nodes)", rep.search_nodes);
+                    println!(
+                        "undecided: search budget exhausted ({} nodes)",
+                        rep.search_nodes
+                    );
                     ExitCode::from(3)
                 }
             }
@@ -137,7 +149,10 @@ fn cmd_witness(refs: &[&Bag], names: &AttrNames) -> ExitCode {
 
 fn cmd_diagnose(refs: &[&Bag], names: &AttrNames) -> ExitCode {
     match diagnose(refs, 32) {
-        Ok(Diagnosis::PairwiseConsistent { acyclic, obstruction }) => {
+        Ok(Diagnosis::PairwiseConsistent {
+            acyclic,
+            obstruction,
+        }) => {
             println!("pairwise consistent");
             if acyclic {
                 println!("schema is acyclic ⇒ globally consistent (Theorem 2)");
@@ -207,8 +222,7 @@ fn cmd_counterexample(refs: &[&Bag], names: &AttrNames) -> ExitCode {
     let h = Hypergraph::from_edges(refs.iter().map(|b| b.schema().clone()));
     match pairwise_consistent_globally_inconsistent(&h) {
         Ok(Some(bags)) => {
-            let edges: Vec<String> =
-                h.edges().iter().map(|e| pretty_schema(e, names)).collect();
+            let edges: Vec<String> = h.edges().iter().map(|e| pretty_schema(e, names)).collect();
             println!(
                 "% pairwise consistent but globally inconsistent over [{}]\n\
                  % one bag per hyperedge, each preceded by a marker line",
@@ -221,9 +235,7 @@ fn cmd_counterexample(refs: &[&Bag], names: &AttrNames) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(None) => {
-            println!(
-                "schema is acyclic: no such family exists (local-to-global holds, Theorem 2)"
-            );
+            println!("schema is acyclic: no such family exists (local-to-global holds, Theorem 2)");
             ExitCode::from(1)
         }
         Err(e) => {

@@ -11,7 +11,10 @@ fn write(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_bagcons")).args(args).output().expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_bagcons"))
+        .args(args)
+        .output()
+        .expect("binary runs")
 }
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -59,7 +62,11 @@ fn check_parity_triangle_is_inconsistent() {
     let a = write(&dir, "a.bag", "A B #\n0 0 : 1\n1 1 : 1\n");
     let b = write(&dir, "b.bag", "B C #\n0 0 : 1\n1 1 : 1\n");
     let c = write(&dir, "c.bag", "A C #\n0 1 : 1\n1 0 : 1\n");
-    let files = [a.to_str().unwrap(), b.to_str().unwrap(), c.to_str().unwrap()];
+    let files = [
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ];
     let out = run(&[&["check"], &files[..]].concat());
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stdout).contains("NOT globally consistent"));
@@ -94,7 +101,11 @@ fn counterexample_roundtrips_through_check() {
     let a = write(&dir, "a.bag", "A B #\n0 0 : 1\n");
     let b = write(&dir, "b.bag", "B C #\n0 0 : 1\n");
     let c = write(&dir, "c.bag", "A C #\n0 0 : 1\n");
-    let files = [a.to_str().unwrap(), b.to_str().unwrap(), c.to_str().unwrap()];
+    let files = [
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ];
     let out = run(&[&["counterexample"], &files[..]].concat());
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -59,7 +59,10 @@ fn lemma4_lifting_preserves_kwise_consistency_both_ways() {
     let lifted =
         lift_through_sequence(h.edges(), &ob.deletions, &seed, bagcons_core::Value(0)).unwrap();
     let refs: Vec<&Bag> = lifted.iter().collect();
-    assert_eq!(k_wise_consistent(&refs, 2, &SolverConfig::default()).unwrap(), Some(true));
+    assert_eq!(
+        k_wise_consistent(&refs, 2, &SolverConfig::default()).unwrap(),
+        Some(true)
+    );
     assert_eq!(
         k_wise_consistent(&refs, refs.len(), &SolverConfig::default()).unwrap(),
         Some(false)
@@ -74,8 +77,7 @@ fn schema_walk_matches_hypergraph_walk_modulo_empty() {
     for op in &ob.deletions {
         schemas = apply_to_schemas(&schemas, op);
     }
-    let target_edges: Vec<Schema> =
-        ob.target.edges().to_vec();
+    let target_edges: Vec<Schema> = ob.target.edges().to_vec();
     let non_empty: Vec<Schema> = schemas.into_iter().filter(|s| !s.is_empty()).collect();
     assert_eq!(non_empty, target_edges);
     // sanity on the op types
@@ -91,9 +93,21 @@ fn hly80_three_coloring_end_to_end() {
     // Petersen graph is 3-colorable; K4 is not. The universal-relation
     // reduction must reflect both through relation global consistency.
     let petersen: Vec<(u32, u32)> = vec![
-        (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer cycle
-        (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner star
-        (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 0), // outer cycle
+        (5, 7),
+        (7, 9),
+        (9, 6),
+        (6, 8),
+        (8, 5), // inner star
+        (0, 5),
+        (1, 6),
+        (2, 7),
+        (3, 8),
+        (4, 9), // spokes
     ];
     let rels = coloring_relations(&petersen);
     let refs: Vec<&bagcons_core::Relation> = rels.iter().collect();

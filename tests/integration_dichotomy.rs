@@ -2,10 +2,10 @@
 //! (experiments E6–E8 at test scale).
 
 use bagcons::dichotomy::{decide_global_consistency, GcpbOutcome};
+use bagcons::global::{globally_consistent_via_ilp, is_global_witness};
 use bagcons::reductions::{
     lift_clique_complement_instance, lift_cycle_instance, project_cycle_witness,
 };
-use bagcons::global::{globally_consistent_via_ilp, is_global_witness};
 use bagcons::tseitin::tseitin_bags;
 use bagcons_core::Bag;
 use bagcons_gen::consistent::planted_family;
@@ -130,7 +130,13 @@ fn node_budget_degrades_gracefully() {
     let inst = planted_3dct(4, 6, &mut rng);
     let bags = inst.to_bags().unwrap();
     let refs: Vec<&Bag> = bags.iter().collect();
-    let tiny = SolverConfig { node_limit: Some(2), ..Default::default() };
+    let tiny = SolverConfig {
+        node_limit: Some(2),
+        ..Default::default()
+    };
     let rep = decide_global_consistency(&refs, &tiny).unwrap();
-    assert!(matches!(rep.outcome, GcpbOutcome::Unknown | GcpbOutcome::Consistent(_)));
+    assert!(matches!(
+        rep.outcome,
+        GcpbOutcome::Unknown | GcpbOutcome::Consistent(_)
+    ));
 }

@@ -22,7 +22,10 @@ fn five_way_equivalence_on_planted_consistent_pairs() {
             let (r, s) = planted_pair(&x, &y, 4, support, 8, &mut rng).unwrap();
             let rep = Lemma2Report::compute(&r, &s).unwrap();
             assert!(rep.all_agree(), "disagreement on planted pair: {rep:?}");
-            assert!(rep.consistent(), "planted pairs are consistent by construction");
+            assert!(
+                rep.consistent(),
+                "planted pairs are consistent by construction"
+            );
         }
     }
 }
@@ -76,7 +79,8 @@ fn disjoint_and_identical_schema_edge_cases() {
     let r = random_bag(&a, 3, 6, 5, &mut rng);
     let total = u64::try_from(r.unary_size()).unwrap();
     let mut s = Bag::new(b.clone());
-    s.insert(vec![bagcons_core::Value(0), bagcons_core::Value(0)], total).unwrap();
+    s.insert(vec![bagcons_core::Value(0), bagcons_core::Value(0)], total)
+        .unwrap();
     let rep = Lemma2Report::compute(&r, &s).unwrap();
     assert!(rep.all_agree());
     assert!(rep.consistent());

@@ -2,15 +2,15 @@
 //! bags (experiment E4 at test scale), plus the structural equivalences
 //! (a)–(d) of Theorems 1/2.
 
+use bagcons::acyclic::acyclic_global_witness;
 use bagcons::global::{globally_consistent_via_ilp, is_global_witness};
 use bagcons::lifting::pairwise_consistent_globally_inconsistent;
 use bagcons::pairwise::pairwise_consistent;
-use bagcons::acyclic::acyclic_global_witness;
 use bagcons_core::{Attr, Bag, Schema};
 use bagcons_gen::consistent::planted_family;
 use bagcons_hypergraph::{
     cycle, full_clique_complement, is_acyclic, is_chordal, is_conformal, path, rip_order, star,
-    JoinTree, Hypergraph,
+    Hypergraph, JoinTree,
 };
 use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
 use rand::rngs::StdRng;
@@ -86,9 +86,16 @@ fn cyclic_direction_explicit_counterexamples() {
             assert_eq!(bag.schema(), edge, "bag/edge alignment on {h}");
         }
         let refs: Vec<&Bag> = bags.iter().collect();
-        assert!(pairwise_consistent(&refs).unwrap(), "lift lost pairwise consistency on {h}");
+        assert!(
+            pairwise_consistent(&refs).unwrap(),
+            "lift lost pairwise consistency on {h}"
+        );
         let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
-        assert_eq!(dec.outcome, IlpOutcome::Unsat, "lift lost global inconsistency on {h}");
+        assert_eq!(
+            dec.outcome,
+            IlpOutcome::Unsat,
+            "lift lost global inconsistency on {h}"
+        );
     }
 }
 
@@ -96,7 +103,9 @@ fn cyclic_direction_explicit_counterexamples() {
 fn acyclic_schemas_admit_no_counterexample() {
     for h in zoo().into_iter().filter(is_acyclic_ref) {
         assert!(
-            pairwise_consistent_globally_inconsistent(&h).unwrap().is_none(),
+            pairwise_consistent_globally_inconsistent(&h)
+                .unwrap()
+                .is_none(),
             "acyclic {h} must have the local-to-global property"
         );
     }

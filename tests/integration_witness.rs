@@ -47,7 +47,10 @@ fn example1_minimal_witness_stays_polynomial() {
         let supp_bound: usize = refs.iter().map(|b| b.support_size()).sum();
         assert!(t.support_size() <= supp_bound, "Theorem 6 bound at n = {n}");
         assert!((t.support_size() as u64) <= es_support_bound(&refs));
-        assert!(t.support_size() < (1usize << n), "exponentially below the uniform witness");
+        assert!(
+            t.support_size() < (1usize << n),
+            "exponentially below the uniform witness"
+        );
     }
 }
 
@@ -62,13 +65,18 @@ fn section3_all_witnesses_are_incomparable_and_inside_join() {
         let (sols, complete) = enumerate_solutions(&prog, &SolverConfig::default(), 1 << 12);
         assert!(complete);
         assert_eq!(sols.len(), 1 << (n - 1));
-        let witnesses: Vec<Bag> =
-            sols.iter().map(|x| prog.bag_from_solution(x).unwrap()).collect();
+        let witnesses: Vec<Bag> = sols
+            .iter()
+            .map(|x| prog.bag_from_solution(x).unwrap())
+            .collect();
         let join = bagcons_core::join::bag_join(&r, &s).unwrap();
         for (i, w) in witnesses.iter().enumerate() {
             // support strictly inside the join support
             assert!(w.support().subset_of(&join.support()));
-            assert!(w.support_size() < join.support_size(), "proper containment at n={n}");
+            assert!(
+                w.support_size() < join.support_size(),
+                "proper containment at n={n}"
+            );
             for (j, u) in witnesses.iter().enumerate() {
                 if i != j {
                     assert!(!w.contained_in(u), "witnesses {i},{j} comparable at n={n}");

@@ -116,19 +116,21 @@ fn tropical_two_object_consistency_via_min_construction() {
     let mut r: KRelation<Tropical> = KRelation::new(schema(&[0, 1]));
     let mut s: KRelation<Tropical> = KRelation::new(schema(&[1, 2]));
     // build S first, then give R matching B-marginals
-    let s_rows: &[(u64, u64, u64)] =
-        &[(1, 5, 9), (1, 6, 4), (2, 5, 7), (2, 7, 7), (3, 9, 2)];
+    let s_rows: &[(u64, u64, u64)] = &[(1, 5, 9), (1, 6, 4), (2, 5, 7), (2, 7, 7), (3, 9, 2)];
     for &(b, c, w) in s_rows {
-        s.insert(vec![Value(b), Value(c)], Tropical::finite(w)).unwrap();
+        s.insert(vec![Value(b), Value(c)], Tropical::finite(w))
+            .unwrap();
     }
     // R: for each B-value give tuples whose max equals S's B-marginal
     let sb = s.marginal(&schema(&[1])).unwrap();
     for (row, k) in sb.iter() {
         let b = row[0];
         let max = k.0.unwrap();
-        r.insert(vec![Value(100), b], Tropical::finite(max)).unwrap();
+        r.insert(vec![Value(100), b], Tropical::finite(max))
+            .unwrap();
         if max > 0 {
-            r.insert(vec![Value(101), b], Tropical::finite(max - 1)).unwrap();
+            r.insert(vec![Value(101), b], Tropical::finite(max - 1))
+                .unwrap();
         }
     }
     let z = schema(&[1]);
@@ -138,7 +140,9 @@ fn tropical_two_object_consistency_via_min_construction() {
     for (rrow, rk) in r.iter() {
         for (srow, sk) in s.iter() {
             if rrow[1] == srow[0] {
-                let (Some(a), Some(b)) = (rk.0, sk.0) else { continue };
+                let (Some(a), Some(b)) = (rk.0, sk.0) else {
+                    continue;
+                };
                 t.insert(vec![rrow[0], rrow[1], srow[1]], Tropical::finite(a.min(b)))
                     .unwrap();
             }

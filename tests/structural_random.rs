@@ -2,14 +2,13 @@
 //! (Theorems 1/2 (a)–(d)) and the obstruction pipeline on unstructured
 //! hypergraphs.
 
+use bagcons::global::globally_consistent_via_ilp;
 use bagcons::lifting::pairwise_consistent_globally_inconsistent;
 use bagcons::pairwise::pairwise_consistent;
-use bagcons::global::globally_consistent_via_ilp;
 use bagcons_core::Bag;
 use bagcons_gen::random::random_hypergraph;
 use bagcons_hypergraph::{
-    find_obstruction, is_acyclic, is_chordal, is_conformal, rip_order, JoinTree,
-    ObstructionKind,
+    find_obstruction, is_acyclic, is_chordal, is_conformal, rip_order, JoinTree, ObstructionKind,
 };
 use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
 use rand::rngs::StdRng;
@@ -31,7 +30,11 @@ fn structural_equivalences_on_200_random_hypergraphs() {
         assert_eq!(a, d, "round {round}: GYO vs join tree on {h}");
         // obstruction existence must coincide with cyclicity
         let ob = find_obstruction(&h);
-        assert_eq!(ob.is_some(), !a, "round {round}: obstruction vs acyclicity on {h}");
+        assert_eq!(
+            ob.is_some(),
+            !a,
+            "round {round}: obstruction vs acyclicity on {h}"
+        );
         if let Some(ob) = ob {
             match ob.kind {
                 ObstructionKind::Cycle(n) => assert!(n >= 4),
@@ -45,7 +48,10 @@ fn structural_equivalences_on_200_random_hypergraphs() {
         }
     }
     // the workload must exercise both classes substantially
-    assert!(acyclic_count >= 20, "too few acyclic samples: {acyclic_count}");
+    assert!(
+        acyclic_count >= 20,
+        "too few acyclic samples: {acyclic_count}"
+    );
     assert!(cyclic_count >= 20, "too few cyclic samples: {cyclic_count}");
 }
 
@@ -73,5 +79,8 @@ fn counterexample_pipeline_on_random_cyclic_hypergraphs() {
             break; // enough evidence; keep the test fast
         }
     }
-    assert!(verified >= 10, "sample contained too few cyclic hypergraphs: {verified}");
+    assert!(
+        verified >= 10,
+        "sample contained too few cyclic hypergraphs: {verified}"
+    );
 }

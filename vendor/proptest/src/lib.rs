@@ -1,0 +1,375 @@
+//! Offline stand-in for the subset of the [`proptest` crate] this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! a small, deterministic property-testing harness with the same surface
+//! syntax: the [`Strategy`] trait with `prop_map`, range and tuple
+//! strategies, [`collection::vec`], the [`proptest!`] macro (including
+//! `#![proptest_config(..)]`), and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   formatted via `Debug`; the stream is seeded deterministically per
+//!   test (seed printed on failure), so failures always reproduce.
+//! * Value generation is uniform over the given ranges, without
+//!   upstream's bias toward edge cases.
+//!
+//! [`proptest` crate]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG threaded through strategies during a test run.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A deterministic runner; `seed` is printed when a case fails.
+    pub fn new(seed: u64) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values — the heart of the proptest API.
+pub trait Strategy {
+    /// The type of generated values (named `Value` to match upstream's
+    /// `Strategy::Value`, so `impl Strategy<Value = T>` reads the same).
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream `prop_map`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u64, u32, usize, u8, u16);
+
+/// A fixed value as a strategy (upstream `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection`).
+
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`]; ranges and plain sizes convert into it.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `elem` values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.rng().gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.elem.generate(runner)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (`ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestRunner,
+    };
+}
+
+/// Derives a stable 64-bit seed from a test's module path and name so
+/// every property has its own deterministic stream.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a; stability across runs is all that matters here.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// The `proptest!` macro: declares `#[test]` functions whose arguments
+/// are drawn from strategies.
+///
+/// Supported grammar (the subset upstream tests in this workspace use):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn prop_name(x in 0..10u64, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Entry: with a leading config attribute.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // Entry: no config attribute (must not start with `#!`).
+    (
+        $(#[$meta:meta])* fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $(#[$meta])* fn $($rest)*);
+    };
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut runner = $crate::TestRunner::new(seed);
+            for case in 0..config.cases {
+                // Bind each argument from its strategy, then run the body.
+                $crate::proptest!(@bind runner ($($args)*));
+                let result = || -> () { $body };
+                let guard = $crate::CaseGuard::new(stringify!($name), seed, case);
+                result();
+                guard.disarm();
+            }
+        }
+    )*};
+    // Argument binder: peels `pat in expr` items one at a time.
+    (@bind $runner:ident ()) => {};
+    (@bind $runner:ident ($pat:pat in $strat:expr)) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $runner);
+    };
+    (@bind $runner:ident ($pat:pat in $strat:expr, $($rest:tt)*)) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $runner);
+        $crate::proptest!(@bind $runner ($($rest)*));
+    };
+}
+
+/// Prints reproduction info when a property body panics.
+pub struct CaseGuard {
+    name: &'static str,
+    seed: u64,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(name: &'static str, seed: u64, case: u32) -> Self {
+        CaseGuard {
+            name,
+            seed,
+            case,
+            armed: true,
+        }
+    }
+
+    /// Marks the case as passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest {}: failing case {} (deterministic seed {:#x})",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}
+
+/// `prop_assert!`: like `assert!` inside properties.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: like `assert_eq!` inside properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: like `assert_ne!` inside properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u64)> {
+        (0..10u64, 5..=6u64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0..10u64, y in 1..=3usize) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs((a, b) in pair(), v in collection::vec(0..5u64, 0..=4)) {
+            prop_assert!(a < 10);
+            prop_assert!(b == 5 || b == 6);
+            prop_assert!(v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0..4u64).prop_map(|x| x * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert_ne!(s, 9);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+}
