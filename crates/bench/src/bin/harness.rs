@@ -36,7 +36,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -56,6 +56,7 @@ fn main() {
             "E9" => e9(),
             "E10" => e10(),
             "E12" => e12(),
+            "E13" => e13(),
             other => eprintln!("unknown experiment {other}; known: {all:?}"),
         }
     }
@@ -543,4 +544,83 @@ fn e12() {
     );
     std::fs::write("BENCH_e12.json", &json).expect("write BENCH_e12.json");
     println!("wrote BENCH_e12.json");
+}
+
+/// E13 — the execution layer: shard-parallel merge join, prefix marginal
+/// sweep, and consistency-network build across a threads × support grid.
+/// `threads = 1` is the unchanged sequential path (the PR 1 baseline);
+/// writes the grid to `BENCH_e13.json` in the current directory.
+fn e13() {
+    use bagcons_core::join::bag_join_merge_with;
+    use bagcons_core::ExecConfig;
+    use bagcons_flow::ConsistencyNetwork;
+
+    header(
+        "E13",
+        "sharded execution: threads × support scaling (e02 workload)",
+    );
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {host} (speedups need threads <= cores)");
+    println!(
+        "{:>9} {:>8} {:>12} {:>14} {:>16}",
+        "support", "threads", "join(ms)", "marginal(ms)", "net build(ms)"
+    );
+    let x = Schema::range(0, 2);
+    let y = Schema::range(1, 3);
+    let z = Schema::range(1, 2); // prefix of y: the sharded sweep target
+    let mut rng = StdRng::seed_from_u64(0xE2); // the e02 workload seed
+    let mut rows = Vec::new();
+    for exp in [10u32, 12, 14] {
+        let support = 1usize << exp;
+        let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 20, &mut rng).unwrap();
+        for threads in [1usize, 2, 4] {
+            let cfg = ExecConfig {
+                threads,
+                min_parallel_support: 1024,
+            };
+            let reps = 7;
+            let time_ms = |f: &dyn Fn() -> usize| -> f64 {
+                // planted_pair inputs are non-empty, so every measured
+                // operation must produce output
+                assert!(f() > 0, "warm-up produced an empty result");
+                let mut samples: Vec<f64> = (0..reps)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        std::hint::black_box(f());
+                        ms(t0)
+                    })
+                    .collect();
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                samples[reps / 2]
+            };
+            let join_ms = time_ms(&|| bag_join_merge_with(&r, &s, &cfg).unwrap().support_size());
+            let marginal_ms = time_ms(&|| s.marginal_with(&z, &cfg).unwrap().support_size());
+            let build_ms = time_ms(&|| {
+                ConsistencyNetwork::build_with(&r, &s, &cfg)
+                    .unwrap()
+                    .num_middle_edges()
+            });
+            println!(
+                "{support:>9} {threads:>8} {join_ms:>12.3} {marginal_ms:>14.3} {build_ms:>16.3}"
+            );
+            rows.push(format!(
+                "    {{\"support\": {support}, \"threads\": {threads}, \
+                 \"join_merge_ms\": {join_ms:.4}, \"marginal_ms\": {marginal_ms:.4}, \
+                 \"network_build_ms\": {build_ms:.4}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_parallel\",\n  \"workload\": \
+         \"planted_pair x={{A0,A1}} y={{A1,A2}} mult=2^20 seed=0xE2 (e02); \
+         marginal = S[A1] prefix sweep\",\n  \
+         \"unit\": \"milliseconds, median of 7\",\n  \
+         \"host_parallelism\": {host},\n  \
+         \"note\": \"threads = 1 is the sequential PR 1 path; parallel \
+         speedup requires host_parallelism >= threads (a 1-core container \
+         records scoped-thread overhead instead)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_e13.json", &json).expect("write BENCH_e13.json");
+    println!("wrote BENCH_e13.json");
 }

@@ -9,8 +9,8 @@
 //! support bound `‖T‖supp ≤ Σ ‖R_i‖supp`.
 
 use crate::minimal::minimal_two_bag_witness;
-use crate::pairwise::first_inconsistent_pair;
-use bagcons_core::{Bag, CoreError, FxHashMap, Schema};
+use crate::pairwise::first_inconsistent_pair_with;
+use bagcons_core::{Bag, CoreError, ExecConfig, FxHashMap, Schema};
 use bagcons_flow::ConsistencyNetwork;
 use bagcons_hypergraph::{rip_order, Hypergraph};
 use std::fmt;
@@ -95,8 +95,19 @@ pub fn acyclic_global_witness_with(
     bags: &[&Bag],
     strategy: WitnessStrategy,
 ) -> Result<Bag, AcyclicError> {
+    acyclic_global_witness_exec(bags, strategy, &ExecConfig::sequential())
+}
+
+/// [`acyclic_global_witness_with`] under an explicit execution
+/// configuration: the pairwise marginal checks and each saturated-flow
+/// network build along the chain shard across threads.
+pub fn acyclic_global_witness_exec(
+    bags: &[&Bag],
+    strategy: WitnessStrategy,
+    exec: &ExecConfig,
+) -> Result<Bag, AcyclicError> {
     // 1. Pairwise consistency (necessary; sufficient by Theorem 2).
-    if let Some((i, j)) = first_inconsistent_pair(bags)? {
+    if let Some((i, j)) = first_inconsistent_pair_with(bags, exec)? {
         return Err(AcyclicError::InconsistentPair(i, j));
     }
     // 2. Deduplicate by schema: pairwise consistent bags with equal
@@ -121,7 +132,7 @@ pub fn acyclic_global_witness_with(
     for x in &order[1..] {
         let r = by_schema[x];
         let next = match strategy {
-            WitnessStrategy::Saturated => ConsistencyNetwork::build(&t, r)?.solve(),
+            WitnessStrategy::Saturated => ConsistencyNetwork::build_with(&t, r, exec)?.solve(),
             WitnessStrategy::Minimal => minimal_two_bag_witness(&t, r)?,
         };
         t = next.expect(

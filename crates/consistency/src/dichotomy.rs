@@ -13,9 +13,9 @@
 //! reports which one ran, so the experiment harness can measure the
 //! polynomial-vs-exponential shape the theorem predicts.
 
-use crate::acyclic::{acyclic_global_witness_with, AcyclicError, WitnessStrategy};
+use crate::acyclic::{acyclic_global_witness_exec, AcyclicError, WitnessStrategy};
 use crate::global::{globally_consistent_via_ilp, schema_hypergraph, witness_from_ilp};
-use bagcons_core::{Bag, CoreError};
+use bagcons_core::{Bag, CoreError, ExecConfig};
 use bagcons_hypergraph::is_acyclic;
 use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
 
@@ -55,9 +55,21 @@ pub fn decide_global_consistency(
     bags: &[&Bag],
     cfg: &SolverConfig,
 ) -> Result<GcpbReport, CoreError> {
+    decide_global_consistency_exec(bags, cfg, &ExecConfig::sequential())
+}
+
+/// [`decide_global_consistency`] under an explicit execution
+/// configuration: the polynomial path's pairwise checks and witness-chain
+/// network builds shard across threads (the CLI passes
+/// [`ExecConfig::default`], one worker per available core).
+pub fn decide_global_consistency_exec(
+    bags: &[&Bag],
+    cfg: &SolverConfig,
+    exec: &ExecConfig,
+) -> Result<GcpbReport, CoreError> {
     let h = schema_hypergraph(bags);
     if is_acyclic(&h) {
-        let outcome = match acyclic_global_witness_with(bags, WitnessStrategy::Saturated) {
+        let outcome = match acyclic_global_witness_exec(bags, WitnessStrategy::Saturated, exec) {
             Ok(t) => GcpbOutcome::Consistent(t),
             Err(AcyclicError::InconsistentPair(..))
             | Err(AcyclicError::DuplicateSchemaMismatch(..)) => GcpbOutcome::Inconsistent,

@@ -8,7 +8,7 @@
 //! for acyclic schemas lives in [`crate::acyclic`]; the dispatch between
 //! the two is [`crate::dichotomy`].
 
-use bagcons_core::{Bag, Result, Schema};
+use bagcons_core::{Bag, ExecConfig, Result, Schema};
 use bagcons_hypergraph::Hypergraph;
 use bagcons_lp::ilp::{solve_with_stats, IlpOutcome, SolveStats, SolverConfig};
 use bagcons_lp::ConsistencyProgram;
@@ -16,12 +16,19 @@ use bagcons_lp::ConsistencyProgram;
 /// True iff `t` witnesses the global consistency of `bags`:
 /// `t` is over the union schema and `t[X_i] = R_i` for every `i`.
 pub fn is_global_witness(t: &Bag, bags: &[&Bag]) -> Result<bool> {
+    is_global_witness_with(t, bags, &ExecConfig::sequential())
+}
+
+/// [`is_global_witness`] under an explicit execution configuration: each
+/// `t[X_i]` marginal shards across threads when `t` is sealed, its
+/// schema-prefix marginals especially profiting on wide witnesses.
+pub fn is_global_witness_with(t: &Bag, bags: &[&Bag], cfg: &ExecConfig) -> Result<bool> {
     let union = union_schema(bags);
     if t.schema() != &union {
         return Ok(false);
     }
     for bag in bags {
-        if &t.marginal(bag.schema())? != *bag {
+        if &t.marginal_with(bag.schema(), cfg)? != *bag {
             return Ok(false);
         }
     }

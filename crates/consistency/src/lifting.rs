@@ -21,7 +21,7 @@
 //! cannot represent that, so lifting tracks plain `Vec<Schema>` states.
 
 use crate::tseitin::{tseitin_bags, TseitinError};
-use bagcons_core::{Attr, Bag, CoreError, FxHashMap, Schema, Value};
+use bagcons_core::{Attr, Bag, CoreError, ExecConfig, FxHashMap, Schema, Value};
 use bagcons_hypergraph::{find_obstruction, Hypergraph, SafeDeletion};
 use std::fmt;
 
@@ -82,6 +82,19 @@ pub fn lift_step(
     op: &SafeDeletion,
     u0: Value,
 ) -> Result<Vec<Bag>, LiftError> {
+    lift_step_with(d0, targets, op, u0, &ExecConfig::sequential())
+}
+
+/// [`lift_step`] under an explicit execution configuration: the
+/// covered-edge restore is a marginal of the covering bag, which shards
+/// across threads when that bag is sealed and `cfg` permits.
+pub fn lift_step_with(
+    d0: &[Bag],
+    targets: &[Schema],
+    op: &SafeDeletion,
+    u0: Value,
+    cfg: &ExecConfig,
+) -> Result<Vec<Bag>, LiftError> {
     let by_schema: FxHashMap<&Schema, &Bag> = d0.iter().map(|b| (b.schema(), b)).collect();
     let find = |s: &Schema| -> Result<&Bag, LiftError> {
         by_schema
@@ -106,7 +119,7 @@ pub fn lift_step(
             .iter()
             .map(|x| {
                 if x == edge {
-                    Ok(find(cover)?.marginal(edge)?)
+                    Ok(find(cover)?.marginal_with(edge, cfg)?)
                 } else {
                     Ok(find(x)?.clone())
                 }
@@ -143,6 +156,18 @@ pub fn lift_through_sequence(
     d_final: &[Bag],
     u0: Value,
 ) -> Result<Vec<Bag>, LiftError> {
+    lift_through_sequence_with(start_schemas, ops, d_final, u0, &ExecConfig::sequential())
+}
+
+/// [`lift_through_sequence`] under an explicit execution configuration
+/// (threaded into every [`lift_step_with`]).
+pub fn lift_through_sequence_with(
+    start_schemas: &[Schema],
+    ops: &[SafeDeletion],
+    d_final: &[Bag],
+    u0: Value,
+    cfg: &ExecConfig,
+) -> Result<Vec<Bag>, LiftError> {
     // Forward schema states s_0 .. s_n.
     let mut states: Vec<Vec<Schema>> = Vec::with_capacity(ops.len() + 1);
     let mut s: Vec<Schema> = {
@@ -159,7 +184,7 @@ pub fn lift_through_sequence(
     // Backward lifting.
     let mut bags: Vec<Bag> = d_final.to_vec();
     for (i, op) in ops.iter().enumerate().rev() {
-        bags = lift_step(&bags, &states[i], op, u0)?;
+        bags = lift_step_with(&bags, &states[i], op, u0, cfg)?;
     }
     Ok(bags)
 }

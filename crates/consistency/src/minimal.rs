@@ -79,11 +79,8 @@ mod tests {
         let w = minimal_two_bag_witness(&r, &s).unwrap().unwrap();
         // removing any support row of w from the allowed middle edges must
         // make saturation impossible given the other exclusions
-        let support: Vec<Vec<bagcons_core::Value>> = w
-            .iter_sorted()
-            .iter()
-            .map(|(row, _)| row.to_vec())
-            .collect();
+        let support: Vec<Vec<bagcons_core::Value>> =
+            w.iter_sorted().map(|(row, _)| row.to_vec()).collect();
         for banned in &support {
             let allowed: Vec<&[bagcons_core::Value]> = support
                 .iter()

@@ -43,8 +43,8 @@ pub fn min_cost_witness(
     cost: impl Fn(&[Value]) -> u64,
 ) -> Result<Option<(Bag, u128)>> {
     let plan = JoinPlan::new(r.schema(), s.schema());
-    let r_rows = r.iter_sorted();
-    let s_rows = s.iter_sorted();
+    let r_rows = r.sorted_rows();
+    let s_rows = s.sorted_rows();
     let n = 1 + r_rows.len() + s_rows.len() + 1;
     let (source, sink) = (0, n - 1);
     let mut net = MinCostFlow::new(n);

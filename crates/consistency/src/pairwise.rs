@@ -5,7 +5,7 @@
 //! strongly-polynomial witness construction via a saturated max-flow of
 //! `N(R,S)`.
 
-use bagcons_core::{Bag, Result, Schema};
+use bagcons_core::{Bag, ExecConfig, Result, Schema};
 use bagcons_flow::ConsistencyNetwork;
 
 /// Lemma 2 (1)⟺(2): decides consistency of two bags by comparing the
@@ -24,6 +24,13 @@ use bagcons_flow::ConsistencyNetwork;
 /// # Ok::<(), bagcons_core::CoreError>(())
 /// ```
 pub fn bags_consistent(r: &Bag, s: &Bag) -> Result<bool> {
+    bags_consistent_with(r, s, &ExecConfig::sequential())
+}
+
+/// [`bags_consistent`] under an explicit execution configuration: the
+/// two marginals are computed with shard-parallel prefix sweeps when the
+/// bags are sealed and `cfg` permits.
+pub fn bags_consistent_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<bool> {
     // ‖R‖u = ‖S‖u is the marginal equality on ∅ ⊆ Z: a free O(supp)
     // columnar reduction that rejects most inconsistent pairs before the
     // marginals are materialized.
@@ -31,7 +38,7 @@ pub fn bags_consistent(r: &Bag, s: &Bag) -> Result<bool> {
         return Ok(false);
     }
     let z: Schema = r.schema().intersection(s.schema());
-    Ok(r.marginal(&z)? == s.marginal(&z)?)
+    Ok(r.marginal_with(&z, cfg)? == s.marginal_with(&z, cfg)?)
 }
 
 /// Corollary 1: returns a bag `T(XY)` with `T[X] = R` and `T[Y] = S`
@@ -50,12 +57,19 @@ pub fn bags_consistent(r: &Bag, s: &Bag) -> Result<bool> {
 /// # Ok::<(), bagcons_core::CoreError>(())
 /// ```
 pub fn consistency_witness(r: &Bag, s: &Bag) -> Result<Option<Bag>> {
+    consistency_witness_with(r, s, &ExecConfig::sequential())
+}
+
+/// [`consistency_witness`] under an explicit execution configuration:
+/// both the marginal pre-check and the `N(R,S)` middle-edge build run
+/// shard-parallel when `cfg` permits.
+pub fn consistency_witness_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Option<Bag>> {
     // Cheap marginal pre-check avoids building the join for clearly
     // inconsistent inputs; the flow solve re-verifies via saturation.
-    if !bags_consistent(r, s)? {
+    if !bags_consistent_with(r, s, cfg)? {
         return Ok(None);
     }
-    let witness = ConsistencyNetwork::build(r, s)?.solve();
+    let witness = ConsistencyNetwork::build_with(r, s, cfg)?.solve();
     debug_assert!(
         witness.is_some(),
         "Lemma 2: marginal equality implies a saturated flow"
@@ -69,12 +83,25 @@ pub fn pairwise_consistent(bags: &[&Bag]) -> Result<bool> {
     Ok(first_inconsistent_pair(bags)?.is_none())
 }
 
+/// [`pairwise_consistent`] under an explicit execution configuration.
+pub fn pairwise_consistent_with(bags: &[&Bag], cfg: &ExecConfig) -> Result<bool> {
+    Ok(first_inconsistent_pair_with(bags, cfg)?.is_none())
+}
+
 /// Returns the first (lexicographic) inconsistent index pair, or `None`
 /// when the collection is pairwise consistent.
 pub fn first_inconsistent_pair(bags: &[&Bag]) -> Result<Option<(usize, usize)>> {
+    first_inconsistent_pair_with(bags, &ExecConfig::sequential())
+}
+
+/// [`first_inconsistent_pair`] under an explicit execution configuration.
+pub fn first_inconsistent_pair_with(
+    bags: &[&Bag],
+    cfg: &ExecConfig,
+) -> Result<Option<(usize, usize)>> {
     for i in 0..bags.len() {
         for j in (i + 1)..bags.len() {
-            if !bags_consistent(bags[i], bags[j])? {
+            if !bags_consistent_with(bags[i], bags[j], cfg)? {
                 return Ok(Some((i, j)));
             }
         }

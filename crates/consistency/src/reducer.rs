@@ -15,8 +15,9 @@
 //! multiplicities) and the tests exhibit the paper's obstacle concretely:
 //! after naive full reduction the bag join still over-counts.
 
+use bagcons_core::exec::{run_shards, shard_ranges};
 use bagcons_core::join::multi_relation_join;
-use bagcons_core::{Bag, Relation, Result, RowStore, Value};
+use bagcons_core::{Bag, ExecConfig, Relation, Result, RowStore, Value};
 use bagcons_hypergraph::{Hypergraph, JoinTree};
 
 /// Interns the `idx`-projections of `rows` into a key arena — the probe
@@ -32,21 +33,61 @@ fn key_set<'a>(rows: impl Iterator<Item = &'a [Value]>, idx: &[usize]) -> RowSto
     keys
 }
 
+/// The project-and-probe sweep shared by both semijoin variants: returns
+/// the ids in `0..len` (ascending) that pass `live` and whose
+/// `idx`-projection is interned in `s_keys`. Rows are independent, so
+/// the scan shards by plain index ranges per `cfg` (a single range at
+/// `threads = 1` runs inline); per-shard survivor lists concatenate back
+/// in row order.
+fn probe_ids(
+    store: &RowStore,
+    live: &(impl Fn(u32) -> bool + Sync),
+    len: usize,
+    idx: &[usize],
+    s_keys: &RowStore,
+    cfg: &ExecConfig,
+) -> Vec<u32> {
+    let ranges = shard_ranges(len, cfg.shards_for(len), |_| false);
+    let kept: Vec<Vec<u32>> = run_shards(cfg.threads, ranges, |range| {
+        let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
+        let mut ids = Vec::new();
+        for id in range {
+            let id = id as u32;
+            if !live(id) {
+                continue;
+            }
+            let row = store.row(bagcons_core::RowId(id));
+            scratch.clear();
+            scratch.extend(idx.iter().map(|&i| row[i]));
+            if s_keys.lookup(&scratch).is_some() {
+                ids.push(id);
+            }
+        }
+        ids
+    });
+    kept.into_iter().flatten().collect()
+}
+
 /// The semijoin `R ⋉ S`: tuples of `R` that join with at least one tuple
 /// of `S` (set semantics). One columnar scan per side through a reused
 /// scratch buffer.
 pub fn semijoin(r: &Relation, s: &Relation) -> Result<Relation> {
+    semijoin_with(r, s, &ExecConfig::sequential())
+}
+
+/// [`semijoin`] under an explicit execution configuration: the probe
+/// sweep over `R`'s rows is row-independent, so it shards by plain index
+/// ranges (no key-group constraint); per-shard survivor lists splice back
+/// in row order, so the result matches the sequential scan exactly.
+pub fn semijoin_with(r: &Relation, s: &Relation, cfg: &ExecConfig) -> Result<Relation> {
     let z = r.schema().intersection(s.schema());
     let s_keys = key_set(s.iter(), &s.schema().projection_indices(&z)?);
     let idx = r.schema().projection_indices(&z)?;
-    let mut out = Relation::with_capacity(r.schema().clone(), r.len());
-    let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
-    for row in r.iter() {
-        scratch.clear();
-        scratch.extend(idx.iter().map(|&i| row[i]));
-        if s_keys.lookup(&scratch).is_some() {
-            out.insert_row(row)?;
-        }
+    let store = r.store();
+    let kept = probe_ids(store, &|_| true, r.len(), &idx, &s_keys, cfg);
+    let mut out = Relation::with_capacity(r.schema().clone(), kept.len());
+    for id in kept {
+        out.insert_row(store.row(bagcons_core::RowId(id)))?;
     }
     Ok(out)
 }
@@ -105,9 +146,15 @@ impl FullReducer {
     /// Applies the program to relations aligned with the hypergraph's
     /// edges, returning the fully reduced relations.
     pub fn apply(&self, rels: &[Relation]) -> Result<Vec<Relation>> {
+        self.apply_with(rels, &ExecConfig::sequential())
+    }
+
+    /// [`FullReducer::apply`] under an explicit execution configuration
+    /// (each semijoin step's probe sweep shards across threads).
+    pub fn apply_with(&self, rels: &[Relation], cfg: &ExecConfig) -> Result<Vec<Relation>> {
         let mut rels: Vec<Relation> = rels.to_vec();
         for step in &self.steps {
-            rels[step.target] = semijoin(&rels[step.target], &rels[step.source])?;
+            rels[step.target] = semijoin_with(&rels[step.target], &rels[step.source], cfg)?;
         }
         Ok(rels)
     }
@@ -135,6 +182,12 @@ pub fn is_fully_reduced(rels: &[Relation]) -> Result<bool> {
 /// projection of the final join, so intermediate sizes never exceed the
 /// output — the polynomiality the introduction cites.
 pub fn acyclic_join(rels: &[Relation]) -> Result<Option<Relation>> {
+    acyclic_join_with(rels, &ExecConfig::sequential())
+}
+
+/// [`acyclic_join`] under an explicit execution configuration (the
+/// reducer's semijoin sweeps shard across threads).
+pub fn acyclic_join_with(rels: &[Relation], cfg: &ExecConfig) -> Result<Option<Relation>> {
     let h = Hypergraph::from_edges(rels.iter().map(|r| r.schema().clone()));
     let Some(reducer) = FullReducer::build(&h) else {
         return Ok(None);
@@ -151,7 +204,7 @@ pub fn acyclic_join(rels: &[Relation]) -> Result<Option<Relation>> {
             .or_insert_with(|| r.clone());
     }
     let aligned: Vec<Relation> = h.edges().iter().map(|e| by_schema[e].clone()).collect();
-    let reduced = reducer.apply(&aligned)?;
+    let reduced = reducer.apply_with(&aligned, cfg)?;
     let refs: Vec<&Relation> = reduced.iter().collect();
     Ok(Some(multi_relation_join(&refs)))
 }
@@ -161,20 +214,31 @@ pub fn acyclic_join(rels: &[Relation]) -> Result<Option<Relation>> {
 /// the paper's Section 6 warns about — the tests show it cannot play the
 /// full-reducer role for bags.
 pub fn naive_bag_semijoin(r: &Bag, s: &Bag) -> Result<Bag> {
+    naive_bag_semijoin_with(r, s, &ExecConfig::sequential())
+}
+
+/// [`naive_bag_semijoin`] under an explicit execution configuration
+/// (same index-range sharding as [`semijoin_with`]).
+pub fn naive_bag_semijoin_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Bag> {
     let z = r.schema().intersection(s.schema());
     let s_keys = key_set(
         s.iter().map(|(row, _)| row),
         &s.schema().projection_indices(&z)?,
     );
     let idx = r.schema().projection_indices(&z)?;
-    let mut out = Bag::with_capacity(r.schema().clone(), r.support_size());
-    let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
-    for (row, m) in r.iter() {
-        scratch.clear();
-        scratch.extend(idx.iter().map(|&i| row[i]));
-        if s_keys.lookup(&scratch).is_some() {
-            out.insert_row(row, m)?;
-        }
+    let store = r.store();
+    // `live` skips tombstones left by `Bag::set`.
+    let kept = probe_ids(
+        store,
+        &|id| r.mult_of(id) > 0,
+        store.len(),
+        &idx,
+        &s_keys,
+        cfg,
+    );
+    let mut out = Bag::with_capacity(r.schema().clone(), kept.len());
+    for id in kept {
+        out.insert_row(store.row(bagcons_core::RowId(id)), r.mult_of(id))?;
     }
     Ok(out)
 }

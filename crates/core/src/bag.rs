@@ -30,6 +30,7 @@
 //! * `R'[Z] = R[Z]'` (support of marginal = projection of support), and
 //! * `R[Z][W] = R[W]` for `W ⊆ Z ⊆ X` (marginals commute with nesting).
 
+use crate::exec::{run_shards, shard_ranges, ExecConfig, ShardRun, ShardedRowStore};
 use crate::store::{RowId, RowStore};
 use crate::{CoreError, Relation, Result, Schema, Tuple, Value};
 use std::fmt;
@@ -267,15 +268,31 @@ impl Bag {
             .filter_map(|(r, &m)| (m > 0).then_some((r, m)))
     }
 
-    /// Rows with multiplicities, sorted lexicographically — use whenever
-    /// deterministic order matters (display, harness output). Free of
-    /// sorting work when the bag is sealed.
-    pub fn iter_sorted(&self) -> Vec<(&[Value], u64)> {
-        let mut v: Vec<(&[Value], u64)> = self.iter().collect();
-        if !self.sealed {
+    /// Rows with multiplicities in lexicographic order — use whenever
+    /// deterministic order matters (display, harness output, network
+    /// vertex numbering). On a **sealed** bag this walks the sorted run
+    /// directly with **no allocation**; only an unsealed bag pays for a
+    /// sort of a scratch reference vector. Callers that index rows by
+    /// sorted position want [`Bag::sorted_rows`] instead.
+    pub fn iter_sorted(&self) -> SortedRows<'_> {
+        if self.sealed {
+            SortedRows(SortedRowsInner::Sealed {
+                store: &self.store,
+                mults: &self.mults,
+                next: 0,
+            })
+        } else {
+            let mut v: Vec<(&[Value], u64)> = self.iter().collect();
             v.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            SortedRows(SortedRowsInner::Sorted(v.into_iter()))
         }
-        v
+    }
+
+    /// Materialized [`Bag::iter_sorted`], for callers that need random
+    /// access by sorted position (flow-network vertex numbering, random
+    /// perturbations).
+    pub fn sorted_rows(&self) -> Vec<(&[Value], u64)> {
+        self.iter_sorted().collect()
     }
 
     /// True iff rows are physically laid out as one lexicographically
@@ -289,8 +306,9 @@ impl Bag {
     /// lexicographic order and tombstones are compacted away.
     ///
     /// `O(n log n)` when unsorted; a no-op on sealed bags. Sealing makes
-    /// [`Bag::iter_sorted`] allocation-light and lets prefix marginals
-    /// and merge joins skip their sort step.
+    /// [`Bag::iter_sorted`] allocation-free, lets prefix marginals and
+    /// merge joins skip their sort step, and enables key-range sharding
+    /// ([`crate::exec`]).
     pub fn seal(&mut self) {
         if self.sealed {
             return;
@@ -327,9 +345,27 @@ impl Bag {
     /// sealed bag's schema the scan degenerates to a group-by sweep over
     /// adjacent rows with no hashing, and the result is itself sealed.
     pub fn marginal(&self, sub: &Schema) -> Result<Bag> {
+        self.marginal_with(sub, &ExecConfig::sequential())
+    }
+
+    /// [`Bag::marginal`] under an explicit execution configuration.
+    ///
+    /// When `Z` is a prefix of a sealed bag's schema and `cfg` permits,
+    /// the group-by sweep is sharded at key-group boundaries
+    /// ([`crate::exec`]) and swept in parallel; per-shard runs splice
+    /// back in shard order, so the result is byte-identical to the
+    /// sequential sweep and still sealed. All other cases (unsealed or
+    /// non-prefix `Z`) take the sequential scan: their rows are
+    /// unordered, so shards would collide on output groups.
+    pub fn marginal_with(&self, sub: &Schema, cfg: &ExecConfig) -> Result<Bag> {
         let idx = self.schema.projection_indices(sub)?;
         if self.sealed && crate::tuple::is_prefix_projection(&idx) {
-            return self.marginal_sorted_prefix(sub, idx.len());
+            let k = idx.len();
+            let shards = cfg.shards_for(self.store.len());
+            if shards > 1 {
+                return self.marginal_prefix_parallel(sub, k, shards, cfg.threads);
+            }
+            return self.marginal_sorted_prefix(sub, k);
         }
         let mut out = Bag::with_capacity(sub.clone(), self.live.min(1 << 20));
         let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
@@ -339,6 +375,62 @@ impl Bag {
             out.insert_row(&scratch, m)?;
         }
         Ok(out)
+    }
+
+    /// Shard-parallel prefix marginal: the sealed run splits at prefix
+    /// group boundaries, each shard runs the group-by sweep of
+    /// [`Bag::marginal_sorted_prefix`] into a [`ShardRun`], and the runs
+    /// splice into one sealed bag.
+    fn marginal_prefix_parallel(
+        &self,
+        sub: &Schema,
+        k: usize,
+        shards: usize,
+        threads: usize,
+    ) -> Result<Bag> {
+        let arity = self.schema.arity();
+        let data = self.store.values();
+        let ranges = shard_ranges(self.store.len(), shards, |p| {
+            data[(p - 1) * arity..(p - 1) * arity + k] == data[p * arity..p * arity + k]
+        });
+        let runs = run_shards(threads, ranges, |range| self.marginal_prefix_run(k, range));
+        let runs: Result<Vec<ShardRun>> = runs.into_iter().collect();
+        Ok(Bag::from_shard_runs(
+            sub.clone(),
+            ShardedRowStore::from_runs(k, runs?),
+            true,
+        ))
+    }
+
+    /// One shard's group-by sweep over `range` of the sealed run,
+    /// emitting `(prefix, summed multiplicity)` into a [`ShardRun`].
+    fn marginal_prefix_run(&self, k: usize, range: std::ops::Range<usize>) -> Result<ShardRun> {
+        let arity = self.schema.arity();
+        let data = self.store.values();
+        // One group per input row is the upper bound (capped like the
+        // sequential path's pre-sizing).
+        let mut run = ShardRun::with_capacity(k, range.len().min(1 << 20));
+        let mut current: Option<(usize, u64)> = None; // (row offset, acc)
+        for id in range {
+            let off = id * arity;
+            let m = self.mults[id];
+            debug_assert!(m > 0, "sealed bags have no tombstones");
+            match current {
+                Some((prev, acc)) if data[prev..prev + k] == data[off..off + k] => {
+                    let acc = acc.checked_add(m).ok_or(CoreError::MultiplicityOverflow)?;
+                    current = Some((prev, acc));
+                }
+                Some((prev, acc)) => {
+                    run.push(&data[prev..prev + k], acc);
+                    current = Some((off, m));
+                }
+                None => current = Some((off, m)),
+            }
+        }
+        if let Some((prev, acc)) = current {
+            run.push(&data[prev..prev + k], acc);
+        }
+        Ok(run)
     }
 
     /// Group-by sweep for `Z` = first `k` columns of a sealed bag: equal
@@ -381,6 +473,41 @@ impl Bag {
         self.store.push_unique_unchecked(row);
         self.mults.push(mult);
         self.live += 1;
+    }
+
+    /// Assembles a bag from per-shard output runs ([`crate::exec`]): row
+    /// data memcpys into one arena with worker-precomputed hashes, run
+    /// payloads become the multiplicity column. Producers guarantee rows
+    /// are globally distinct across runs (shards cover disjoint key
+    /// ranges); `sealed` additionally asserts the concatenation is in
+    /// strictly increasing lexicographic order (prefix-marginal outputs).
+    pub(crate) fn from_shard_runs(schema: Schema, sharded: ShardedRowStore, sealed: bool) -> Bag {
+        debug_assert_eq!(
+            sharded.runs().first().map_or(schema.arity(), |r| r.arity()),
+            schema.arity()
+        );
+        let mut mults = Vec::with_capacity(sharded.total_rows());
+        for run in sharded.runs() {
+            for i in 0..run.len() {
+                debug_assert!(run.payload(i) > 0);
+                mults.push(run.payload(i));
+            }
+        }
+        let store = sharded.into_store();
+        debug_assert!(
+            !sealed || store.iter().zip(store.iter().skip(1)).all(|(a, b)| a < b),
+            "sealed splice requires globally ascending rows"
+        );
+        let live = store.len();
+        Bag {
+            schema,
+            store,
+            mults,
+            live,
+            // An empty splice is trivially a sorted run — matching the
+            // sequential paths, whose empty outputs are born sealed.
+            sealed: sealed || live == 0,
+        }
     }
 
     /// Appends a distinct row without the sorted guarantee (join outputs,
@@ -497,6 +624,52 @@ impl Bag {
         Ok(out)
     }
 }
+
+/// Iterator over a bag's `(row, multiplicity)` pairs in lexicographic
+/// order ([`Bag::iter_sorted`]). Allocation-free on sealed bags.
+pub struct SortedRows<'a>(SortedRowsInner<'a>);
+
+enum SortedRowsInner<'a> {
+    /// Sealed: storage order *is* sorted order; walk the run in place.
+    Sealed {
+        store: &'a RowStore,
+        mults: &'a [u64],
+        next: usize,
+    },
+    /// Unsealed: a reference vector sorted up front.
+    Sorted(std::vec::IntoIter<(&'a [Value], u64)>),
+}
+
+impl<'a> Iterator for SortedRows<'a> {
+    type Item = (&'a [Value], u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            SortedRowsInner::Sealed { store, mults, next } => {
+                if *next >= store.len() {
+                    return None;
+                }
+                let id = *next;
+                *next += 1;
+                Some((store.row(RowId(id as u32)), mults[id]))
+            }
+            SortedRowsInner::Sorted(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            SortedRowsInner::Sealed { store, next, .. } => {
+                let rem = store.len() - next;
+                (rem, Some(rem))
+            }
+            SortedRowsInner::Sorted(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for SortedRows<'_> {}
 
 /// `⌈log₂(m+1)⌉`: bits needed to write `m` in binary (0 for m = 0).
 #[inline]

@@ -1,0 +1,478 @@
+//! Shard-partitioned parallel execution over sealed columnar runs.
+//!
+//! The consistency pipeline (bag joins → marginals → flow-network
+//! construction) is embarrassingly parallel over **key ranges**: a sealed
+//! value's lexicographic run partitions into contiguous shards whose
+//! boundaries fall on join-key-group edges, so no group straddles a shard
+//! and per-shard outputs concatenate into exactly the sequential result.
+//! This module provides the three pieces every parallel hot path shares:
+//!
+//! * [`ExecConfig`] — thread count and the sequential-fallback threshold.
+//!   `threads = 1` (or a support below [`ExecConfig::min_parallel_support`])
+//!   routes callers through their unchanged sequential code path, so the
+//!   parallel layer costs nothing when it cannot help.
+//! * [`shard_ranges`] — the shard plan: split `0..n` into contiguous
+//!   ranges, moving every boundary forward to the next key-group edge.
+//! * [`run_shards`] — a dependency-free executor on [`std::thread::scope`]
+//!   (the build environment is offline; no rayon): one scoped worker per
+//!   shard, results returned in shard order.
+//!
+//! Workers assemble their output into [`ShardRun`]s: flat row-major
+//! buffers with **precomputed row hashes** and a parallel `u64` payload
+//! column (multiplicities or edge capacities). The splice back into one
+//! [`RowStore`] ([`ShardedRowStore::into_store`]) then memcpys row data
+//! and inserts dedup-table slots without rehashing — the only sequential
+//! work left on the output side is the flat-table probe.
+
+use crate::store::{hash_row, RowStore};
+use crate::Value;
+use std::ops::Range;
+
+/// Configuration for shard-parallel execution.
+///
+/// The two fields are deliberately public: benchmarks and property tests
+/// pin exact thread counts and force sharding on tiny inputs by dropping
+/// `min_parallel_support` to 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum worker threads (and shards) per parallel operation.
+    /// `1` disables parallelism entirely.
+    pub threads: usize,
+    /// Inputs with fewer items than this run sequentially even when
+    /// `threads > 1`: below it, thread spawn + splice overhead outweighs
+    /// the per-shard work.
+    pub min_parallel_support: usize,
+}
+
+impl ExecConfig {
+    /// Default sequential-fallback threshold (items per operation).
+    pub const DEFAULT_MIN_PARALLEL_SUPPORT: usize = 2048;
+
+    /// A strictly sequential configuration: every `*_with` entry point
+    /// takes its unchanged single-threaded code path.
+    pub const fn sequential() -> Self {
+        ExecConfig {
+            threads: 1,
+            min_parallel_support: Self::DEFAULT_MIN_PARALLEL_SUPPORT,
+        }
+    }
+
+    /// `threads` workers with the default sequential-fallback threshold.
+    pub const fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads,
+            min_parallel_support: Self::DEFAULT_MIN_PARALLEL_SUPPORT,
+        }
+    }
+
+    /// How many shards an input of `items` rows should split into: `1`
+    /// (sequential) below the parallel threshold or at `threads = 1`,
+    /// otherwise the configured thread count.
+    pub fn shards_for(&self, items: usize) -> usize {
+        if self.threads <= 1 || items < self.min_parallel_support.max(2) {
+            1
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    /// One worker per available hardware thread (capped at 8 — the hot
+    /// paths are memory-bound well before that on current parts).
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ExecConfig {
+            threads,
+            min_parallel_support: Self::DEFAULT_MIN_PARALLEL_SUPPORT,
+        }
+    }
+}
+
+/// Splits `0..n` into at most `shards` contiguous, non-empty ranges whose
+/// boundaries never split a key group.
+///
+/// `same_group(p)` reports whether position `p` belongs to the same key
+/// group as position `p - 1` (callers compare adjacent keys; `p` is always
+/// in `1..n`). Each tentative boundary `n·i/shards` moves **forward** to
+/// the next group edge, so a single giant group simply collapses the
+/// shards it swallows (possibly down to one), and duplicate boundaries
+/// (empty shards) are dropped rather than handed to workers.
+pub fn shard_ranges(
+    n: usize,
+    shards: usize,
+    mut same_group: impl FnMut(usize) -> bool,
+) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let shards = shards.max(1).min(n);
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for i in 1..shards {
+        let mut b = (n * i) / shards;
+        while b < n && b > 0 && same_group(b) {
+            b += 1;
+        }
+        if b > start && b < n {
+            ranges.push(start..b);
+            start = b;
+        }
+    }
+    ranges.push(start..n);
+    ranges
+}
+
+/// The shard plan for a merge over two key-sorted sides: shards
+/// `0..left_len` at key-group boundaries ([`shard_ranges`] semantics for
+/// `same_group`) and aligns each left range with its matching right
+/// range. `right_lower_bound(p)` must return the first right position
+/// whose key is `>=` the key at left position `p` (`p < left_len`); with
+/// that, every matching pair lands in exactly one task and task outputs
+/// concatenate in ascending key order.
+pub fn aligned_shard_tasks(
+    left_len: usize,
+    right_len: usize,
+    shards: usize,
+    same_group: impl FnMut(usize) -> bool,
+    right_lower_bound: impl Fn(usize) -> usize,
+) -> Vec<(Range<usize>, Range<usize>)> {
+    shard_ranges(left_len, shards, same_group)
+        .into_iter()
+        .map(|lr| {
+            let r_lo = right_lower_bound(lr.start);
+            let r_hi = if lr.end == left_len {
+                right_len
+            } else {
+                right_lower_bound(lr.end)
+            };
+            (lr, r_lo..r_hi)
+        })
+        .collect()
+}
+
+/// First position in `0..n` where the monotone predicate `is_less`
+/// (true, then false) turns false — the lower-bound binary search shared
+/// by the shard aligners.
+pub fn lower_bound_by(n: usize, is_less: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if is_less(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Runs `work` over each range on at most `threads` scoped worker
+/// threads (ranges beyond the thread count are distributed in contiguous
+/// chunks), returning outputs in shard order. Specialization of
+/// [`run_tasks`] for the common range-per-shard case.
+pub fn run_shards<T: Send>(
+    threads: usize,
+    ranges: Vec<Range<usize>>,
+    work: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    run_tasks(threads, ranges, work)
+}
+
+/// Runs `work` over each task on at most `threads` scoped worker threads
+/// (tasks beyond the thread count are distributed in contiguous chunks),
+/// returning outputs in task order.
+///
+/// With one task (or `threads <= 1`) the work runs inline on the calling
+/// thread — the sequential fallback spawns nothing. A worker panic is
+/// re-raised on the caller with its original payload.
+pub fn run_tasks<I: Send, T: Send>(
+    threads: usize,
+    tasks: Vec<I>,
+    work: impl Fn(I) -> T + Sync,
+) -> Vec<T> {
+    if threads <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(work).collect();
+    }
+    let workers = threads.min(tasks.len());
+    // Contiguous chunks keep the flattened outputs in task order.
+    let chunk = tasks.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut tasks = tasks;
+    while tasks.len() > chunk {
+        let tail = tasks.split_off(chunk);
+        chunks.push(std::mem::replace(&mut tasks, tail));
+    }
+    chunks.push(tasks);
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(work).collect::<Vec<T>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(outputs) => outputs,
+                // Re-raise with the worker's own message and location.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// One shard's output: freshly assembled rows (flat, row-major) with
+/// precomputed content hashes and a parallel `u64` payload column
+/// (multiplicities for bags, capacities for network middle edges).
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    arity: usize,
+    rows: Vec<Value>,
+    hashes: Vec<u64>,
+    payload: Vec<u64>,
+}
+
+impl ShardRun {
+    /// An empty run of `arity`-wide rows.
+    pub fn new(arity: usize) -> Self {
+        ShardRun {
+            arity,
+            rows: Vec::new(),
+            hashes: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// An empty run with room for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        ShardRun {
+            arity,
+            rows: Vec::with_capacity(arity * rows),
+            hashes: Vec::with_capacity(rows),
+            payload: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Appends a row with its payload, hashing it on the worker thread.
+    #[inline]
+    pub fn push(&mut self, row: &[Value], payload: u64) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.rows.extend_from_slice(row);
+        self.hashes.push(hash_row(row));
+        self.payload.push(payload);
+    }
+
+    /// Row width of the run.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True iff the run holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// The `i`-th row of the run.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The `i`-th row's precomputed content hash.
+    #[inline]
+    pub fn hash(&self, i: usize) -> u64 {
+        self.hashes[i]
+    }
+
+    /// The `i`-th row's payload (multiplicity / capacity).
+    #[inline]
+    pub fn payload(&self, i: usize) -> u64 {
+        self.payload[i]
+    }
+}
+
+/// An ordered collection of per-shard output runs over one schema — the
+/// intermediate form between parallel shard workers and the single
+/// [`RowStore`] arena the rest of the system consumes.
+///
+/// Invariants the producers guarantee (and splicing relies on):
+/// rows are **globally distinct** across runs (shards cover disjoint key
+/// ranges, and keys are part of every output row), and runs are in
+/// ascending key order, so concatenation reproduces the sequential
+/// emission order exactly.
+#[derive(Clone, Debug)]
+pub struct ShardedRowStore {
+    arity: usize,
+    runs: Vec<ShardRun>,
+}
+
+impl ShardedRowStore {
+    /// Wraps per-shard runs (all of width `arity`, in shard order).
+    pub fn from_runs(arity: usize, runs: Vec<ShardRun>) -> Self {
+        debug_assert!(runs.iter().all(|r| r.arity == arity));
+        ShardedRowStore { arity, runs }
+    }
+
+    /// Total rows across all runs.
+    pub fn total_rows(&self) -> usize {
+        self.runs.iter().map(ShardRun::len).sum()
+    }
+
+    /// The per-shard runs, in shard (= ascending key) order.
+    pub fn runs(&self) -> &[ShardRun] {
+        &self.runs
+    }
+
+    /// Splices every run into one interned [`RowStore`], reusing the
+    /// worker-computed hashes (no rehash on the splice thread).
+    pub fn into_store(self) -> RowStore {
+        let mut store = RowStore::with_capacity(self.arity, self.total_rows());
+        for run in &self.runs {
+            for i in 0..run.len() {
+                store.push_unique_hashed(run.row(i), run.hash(i));
+            }
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[u64]) -> Vec<Value> {
+        xs.iter().copied().map(Value::new).collect()
+    }
+
+    /// Checks the three shard-plan invariants: ranges tile `0..n`, are
+    /// non-empty, and never split a key group.
+    fn check_ranges(n: usize, ranges: &[Range<usize>], mut same_group: impl FnMut(usize) -> bool) {
+        if n == 0 {
+            assert!(ranges.is_empty());
+            return;
+        }
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, n);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must tile contiguously");
+        }
+        for r in ranges {
+            assert!(r.start < r.end, "no empty shards");
+            if r.start > 0 {
+                assert!(!same_group(r.start), "boundary splits a key group");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_tile_and_respect_groups() {
+        // groups of 3: positions 0..30, group = p / 3
+        let same = |p: usize| (p / 3) == ((p - 1) / 3);
+        for shards in 1..=8 {
+            let ranges = shard_ranges(30, shards, same);
+            check_ranges(30, &ranges, same);
+            assert!(ranges.len() <= shards);
+        }
+    }
+
+    #[test]
+    fn giant_group_collapses_to_one_shard() {
+        // everything is one group: no interior boundary is legal
+        let ranges = shard_ranges(100, 4, |_| true);
+        assert_eq!(ranges, vec![0..100]);
+    }
+
+    #[test]
+    fn empty_input_has_no_shards() {
+        assert!(shard_ranges(0, 4, |_| false).is_empty());
+    }
+
+    #[test]
+    fn more_shards_than_items() {
+        let ranges = shard_ranges(3, 16, |_| false);
+        check_ranges(3, &ranges, |_| false);
+    }
+
+    #[test]
+    fn skewed_groups_drop_empty_shards() {
+        // one giant group covering 0..90 followed by singletons
+        let same = |p: usize| p < 90;
+        let ranges = shard_ranges(100, 4, same);
+        check_ranges(100, &ranges, same);
+        // the first three tentative boundaries all land inside the giant
+        // group and slide forward to 90
+        assert_eq!(ranges[0], 0..90);
+    }
+
+    #[test]
+    fn run_shards_preserves_order() {
+        let ranges = shard_ranges(16, 4, |_| false);
+        let sums = run_shards(4, ranges.clone(), |r| r.sum::<usize>());
+        let expected: Vec<usize> = ranges.into_iter().map(|r| r.sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn run_shards_caps_workers_and_keeps_order() {
+        // 16 single-item ranges over 2 threads: outputs must still come
+        // back in range order despite chunked distribution.
+        let ranges: Vec<std::ops::Range<usize>> = (0..16).map(|i| i..i + 1).collect();
+        let out = run_shards(2, ranges, |r| r.start);
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_shards_sequential_fallback_matches() {
+        let ranges = shard_ranges(16, 4, |_| false);
+        let par = run_shards(4, ranges.clone(), |r| r.len());
+        let seq = run_shards(1, ranges, |r| r.len());
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn config_fallback_thresholds() {
+        let cfg = ExecConfig::with_threads(4);
+        assert_eq!(cfg.shards_for(ExecConfig::DEFAULT_MIN_PARALLEL_SUPPORT), 4);
+        assert_eq!(
+            cfg.shards_for(ExecConfig::DEFAULT_MIN_PARALLEL_SUPPORT - 1),
+            1
+        );
+        assert_eq!(ExecConfig::sequential().shards_for(1 << 20), 1);
+        // forcing shards on tiny inputs for tests: threshold 1 still
+        // refuses to shard a 0/1-row input
+        let tiny = ExecConfig {
+            threads: 4,
+            min_parallel_support: 1,
+        };
+        assert_eq!(tiny.shards_for(0), 1);
+        assert_eq!(tiny.shards_for(1), 1);
+        assert_eq!(tiny.shards_for(2), 4);
+    }
+
+    #[test]
+    fn sharded_store_splices_with_precomputed_hashes() {
+        let mut a = ShardRun::new(2);
+        a.push(&v(&[1, 1]), 2);
+        a.push(&v(&[1, 2]), 3);
+        let mut b = ShardRun::new(2);
+        b.push(&v(&[2, 1]), 5);
+        let sharded = ShardedRowStore::from_runs(2, vec![a, b]);
+        assert_eq!(sharded.total_rows(), 3);
+        let store = sharded.into_store();
+        assert_eq!(store.len(), 3);
+        // rows land in shard order and stay individually addressable
+        assert_eq!(store.lookup(&v(&[1, 2])).map(|id| id.index()), Some(1));
+        assert_eq!(store.lookup(&v(&[2, 1])).map(|id| id.index()), Some(2));
+    }
+}

@@ -31,6 +31,7 @@
 //! arithmetic (key extraction and output-row assembly) so multiway joins
 //! and repeated joins don't redo it.
 
+use crate::exec::{run_tasks, ExecConfig, ShardRun, ShardedRowStore};
 use crate::store::RowStore;
 use crate::{Bag, CoreError, Relation, Result, Schema, Value};
 use std::cmp::Ordering;
@@ -43,8 +44,50 @@ enum Side {
 }
 
 /// Below this support size (on either side), hashing the smaller side
-/// beats sorting both; at or above it, sort-merge takes over.
+/// beats any merge; at or above it the finer heuristic of
+/// [`JoinStrategy::select`] applies.
 const MERGE_MIN: usize = 64;
+
+/// When one side is at least this many times larger than the other,
+/// building a key index on the small side and probing with the large one
+/// beats putting the large side through a merge: `O(small)` build +
+/// `O(large)` probe vs an `O(large log large)` sort.
+const HASH_RATIO: usize = 8;
+
+/// Size and sortedness statistics of one join operand, the inputs to
+/// [`JoinStrategy::select`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinSide {
+    /// Support size (`‖R‖supp` for bags, `|R|` for relations).
+    pub support: usize,
+    /// True iff the operand is sealed **and** the join key is a prefix of
+    /// its schema — its sorted run doubles as the key order, so the merge
+    /// path gets this side's sort for free.
+    pub sorted: bool,
+}
+
+impl JoinSide {
+    /// Builds the statistics from explicit values.
+    pub fn new(support: usize, sorted: bool) -> Self {
+        JoinSide { support, sorted }
+    }
+
+    /// Statistics of a bag operand whose key columns are `key`.
+    pub fn of_bag(bag: &Bag, key: &[usize]) -> Self {
+        JoinSide {
+            support: bag.support_size(),
+            sorted: bag.is_sealed() && crate::tuple::is_prefix_projection(key),
+        }
+    }
+
+    /// Statistics of a relation operand whose key columns are `key`.
+    pub fn of_relation(rel: &Relation, key: &[usize]) -> Self {
+        JoinSide {
+            support: rel.len(),
+            sorted: rel.is_sealed() && crate::tuple::is_prefix_projection(key),
+        }
+    }
+}
 
 /// The physical join strategy; exposed so benchmarks and the harness can
 /// pin either path explicitly.
@@ -57,10 +100,39 @@ pub enum JoinStrategy {
 }
 
 impl JoinStrategy {
-    /// The size heuristic: sort-merge once both sides reach
-    /// [`MERGE_MIN`] support tuples, hash otherwise.
-    pub fn select(left_support: usize, right_support: usize) -> Self {
-        if left_support >= MERGE_MIN && right_support >= MERGE_MIN {
+    /// The sequential strategy heuristic. Calibrated against BENCH_e12:
+    ///
+    /// * either side below [`MERGE_MIN`] → **hash** (build the small
+    ///   side, probe the large);
+    /// * both sides sort-free (sealed with prefix keys) → **merge** —
+    ///   a pure linear sweep, no sort and no table build;
+    /// * size ratio ≥ [`HASH_RATIO`] → **hash**: probing the large side
+    ///   beats putting it through a sort;
+    /// * otherwise → **hash**: when at least one side must be sorted,
+    ///   BENCH_e12 has hash edging out merge at every measured support
+    ///   (0.51 ms vs 0.61 ms at 4096). [`JoinStrategy::select_with`]
+    ///   flips this case to merge when sharding can spread the sweep
+    ///   across threads.
+    pub fn select(left: JoinSide, right: JoinSide) -> Self {
+        Self::select_with(left, right, &ExecConfig::sequential())
+    }
+
+    /// [`JoinStrategy::select`] under an execution configuration: a
+    /// parallel merge (per-shard sweeps) overtakes the single-threaded
+    /// hash probe once sharding kicks in, so comparable-size inputs with
+    /// at least one sort-free side choose merge when `cfg` shards them.
+    pub fn select_with(left: JoinSide, right: JoinSide, cfg: &ExecConfig) -> Self {
+        let small = left.support.min(right.support);
+        let large = left.support.max(right.support);
+        if small < MERGE_MIN {
+            JoinStrategy::Hash
+        } else if left.sorted && right.sorted {
+            JoinStrategy::SortMerge
+        } else if large >= HASH_RATIO * small {
+            JoinStrategy::Hash
+        } else if (left.sorted || right.sorted) && cfg.shards_for(small) > 1 {
+            // `small` mirrors what the merge body actually shards on: if
+            // it would fall back to one shard, claim no parallel win.
             JoinStrategy::SortMerge
         } else {
             JoinStrategy::Hash
@@ -209,6 +281,13 @@ impl KeyedSide {
         }
         end
     }
+
+    /// First sorted position whose key is `>= key` (binary search; the
+    /// shard planner aligns right-side ranges to left-side boundaries
+    /// with this).
+    fn lower_bound(&self, key: &[Value]) -> usize {
+        crate::exec::lower_bound_by(self.ids.len(), |p| self.key(p) < key)
+    }
 }
 
 /// The bag join `R ⋈ᵇ S` of Section 2, strategy chosen by
@@ -219,19 +298,46 @@ impl KeyedSide {
 /// the bag join of two *consistent* bags need **not** witness their
 /// consistency — this function computes the algebraic join, nothing more.
 pub fn bag_join(r: &Bag, s: &Bag) -> Result<Bag> {
-    match JoinStrategy::select(r.support_size(), s.support_size()) {
-        JoinStrategy::SortMerge => bag_join_merge(r, s),
+    bag_join_with(r, s, &ExecConfig::sequential())
+}
+
+/// [`bag_join`] under an explicit execution configuration: the strategy
+/// choice becomes sharding-aware ([`JoinStrategy::select_with`]) and the
+/// merge path runs one sweep per key-range shard ([`crate::exec`]).
+pub fn bag_join_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Bag> {
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let left = JoinSide::of_bag(r, &plan.left_key);
+    let right = JoinSide::of_bag(s, &plan.right_key);
+    match JoinStrategy::select_with(left, right, cfg) {
+        JoinStrategy::SortMerge => bag_join_merge_planned(r, s, &plan, cfg),
         // The join is symmetric (output schema is the union, multiplicities
-        // multiply), so build the key index on the smaller operand.
+        // multiply), so build the key index on the smaller operand (the
+        // swapped orientation needs its own plan).
         JoinStrategy::Hash if r.support_size() < s.support_size() => bag_join_hash(s, r),
-        JoinStrategy::Hash => bag_join_hash(r, s),
+        JoinStrategy::Hash => bag_join_hash_planned(r, s, &plan),
     }
 }
 
 /// The sort-merge bag join: both sides' live ids are key-sorted, then
 /// equal-key runs multiply out group × group.
 pub fn bag_join_merge(r: &Bag, s: &Bag) -> Result<Bag> {
+    bag_join_merge_with(r, s, &ExecConfig::sequential())
+}
+
+/// [`bag_join_merge`] under an explicit execution configuration: when
+/// `cfg` shards the input, the left side's key-sorted run splits at join
+/// key-group boundaries (the right side's matching ranges are found by
+/// binary search), each shard multiplies its groups out into a
+/// [`ShardRun`], and the runs splice into the output arena in ascending
+/// key order — exactly the sequential emission order.
+pub fn bag_join_merge_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Bag> {
     let plan = JoinPlan::new(r.schema(), s.schema());
+    bag_join_merge_planned(r, s, &plan, cfg)
+}
+
+/// Merge-join body shared by the dispatcher (which already built the
+/// plan) and the public entry points.
+fn bag_join_merge_planned(r: &Bag, s: &Bag, plan: &JoinPlan, cfg: &ExecConfig) -> Result<Bag> {
     let left = KeyedSide::build(
         r.store(),
         r.live_ids().collect(),
@@ -245,16 +351,74 @@ pub fn bag_join_merge(r: &Bag, s: &Bag) -> Result<Bag> {
         s.is_sealed(),
     );
 
-    let mut out = Bag::with_capacity(plan.out.clone(), left.ids.len().max(right.ids.len()));
-    let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
-    let (mut i, mut j) = (0, 0);
-    while i < left.ids.len() && j < right.ids.len() {
+    let shards = cfg.shards_for(left.ids.len().min(right.ids.len()));
+    if shards <= 1 {
+        let mut out = Bag::with_capacity(plan.out.clone(), left.ids.len().max(right.ids.len()));
+        let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+        merge_range(
+            r,
+            s,
+            plan,
+            &left,
+            &right,
+            0..left.ids.len(),
+            0..right.ids.len(),
+            &mut scratch,
+            |row, m| out.push_unique_row(row, m),
+        )?;
+        return Ok(out);
+    }
+
+    // Shard the left side at key-group boundaries; align each right-side
+    // range to the shard's first key (and the next shard's first key) by
+    // binary search, so every matching pair lands in exactly one shard.
+    let tasks = crate::exec::aligned_shard_tasks(
+        left.ids.len(),
+        right.ids.len(),
+        shards,
+        |p| left.key(p - 1) == left.key(p),
+        |p| right.lower_bound(left.key(p)),
+    );
+    let runs = run_tasks(cfg.threads, tasks, |(lr, rr)| {
+        // Initial guess mirroring the sequential pre-sizing: at least one
+        // output row per larger-side input row is the common case.
+        let mut run = ShardRun::with_capacity(plan.out.arity(), lr.len().max(rr.len()));
+        let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+        merge_range(r, s, plan, &left, &right, lr, rr, &mut scratch, |row, m| {
+            run.push(row, m)
+        })?;
+        Ok(run)
+    });
+    let runs: Result<Vec<ShardRun>> = runs.into_iter().collect();
+    Ok(Bag::from_shard_runs(
+        plan.out.clone(),
+        ShardedRowStore::from_runs(plan.out.arity(), runs?),
+        false,
+    ))
+}
+
+/// The group-by-group multiply-out of the merge join over one aligned
+/// pair of key ranges, emitting `(combined row, multiplicity)`.
+#[allow(clippy::too_many_arguments)] // internal: bundling would just rename the args
+fn merge_range(
+    r: &Bag,
+    s: &Bag,
+    plan: &JoinPlan,
+    left: &KeyedSide,
+    right: &KeyedSide,
+    l_range: std::ops::Range<usize>,
+    r_range: std::ops::Range<usize>,
+    scratch: &mut Vec<Value>,
+    mut emit: impl FnMut(&[Value], u64),
+) -> Result<()> {
+    let (mut i, mut j) = (l_range.start, r_range.start);
+    while i < l_range.end && j < r_range.end {
         match left.key(i).cmp(right.key(j)) {
             Ordering::Less => i += 1,
             Ordering::Greater => j += 1,
             Ordering::Equal => {
-                let i_end = left.run_end(i);
-                let j_end = right.run_end(j);
+                let i_end = left.run_end(i).min(l_range.end);
+                let j_end = right.run_end(j).min(r_range.end);
                 for &a in &left.ids[i..i_end] {
                     let arow = r.store().row(crate::store::RowId(a));
                     let am = r.mult_of(a);
@@ -263,9 +427,9 @@ pub fn bag_join_merge(r: &Bag, s: &Bag) -> Result<Bag> {
                         let m = am
                             .checked_mul(s.mult_of(b))
                             .ok_or(CoreError::MultiplicityOverflow)?;
-                        plan.combine_into(arow, brow, &mut scratch);
+                        plan.combine_into(arow, brow, scratch);
                         // Distinct (a, b) pairs assemble distinct XY rows.
-                        out.push_unique_row(&scratch, m);
+                        emit(scratch, m);
                     }
                 }
                 i = i_end;
@@ -273,7 +437,7 @@ pub fn bag_join_merge(r: &Bag, s: &Bag) -> Result<Bag> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Flat chained index over the right side's key projections: keys are
@@ -359,7 +523,13 @@ impl Iterator for ProbeIter<'_> {
 /// The hash bag join: right side's keys interned into a flat chained
 /// index, left side probes. The small-side fallback of the heuristic.
 pub fn bag_join_hash(r: &Bag, s: &Bag) -> Result<Bag> {
-    let plan = JoinPlan::new(r.schema(), s.schema());
+    bag_join_hash_planned(r, s, &JoinPlan::new(r.schema(), s.schema()))
+}
+
+/// Hash-join body shared by the dispatcher (which already built the
+/// plan) and the public entry point. `plan` must be oriented as
+/// `JoinPlan::new(r.schema(), s.schema())`.
+fn bag_join_hash_planned(r: &Bag, s: &Bag, plan: &JoinPlan) -> Result<Bag> {
     let mut key_scratch: Vec<Value> = Vec::with_capacity(plan.common.arity());
     let index = KeyIndex::build(s.store(), s.live_ids(), &plan.right_key, &mut key_scratch);
     let mut out = Bag::with_capacity(plan.out.clone(), r.support_size());
@@ -382,17 +552,26 @@ pub fn bag_join_hash(r: &Bag, s: &Bag) -> Result<Bag> {
 /// The relational join `R ⋈ S` of Section 2, strategy chosen by
 /// [`JoinStrategy::select`].
 pub fn relation_join(r: &Relation, s: &Relation) -> Relation {
-    match JoinStrategy::select(r.len(), s.len()) {
-        JoinStrategy::SortMerge => relation_join_merge(r, s),
-        // Symmetric join: index the smaller operand, probe with the larger.
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    let left = JoinSide::of_relation(r, &plan.left_key);
+    let right = JoinSide::of_relation(s, &plan.right_key);
+    match JoinStrategy::select(left, right) {
+        JoinStrategy::SortMerge => relation_join_merge_planned(r, s, &plan),
+        // Symmetric join: index the smaller operand, probe with the
+        // larger (the swapped orientation needs its own plan).
         JoinStrategy::Hash if r.len() < s.len() => relation_join_hash(s, r),
-        JoinStrategy::Hash => relation_join_hash(r, s),
+        JoinStrategy::Hash => relation_join_hash_planned(r, s, &plan),
     }
 }
 
 /// The sort-merge relational join.
 pub fn relation_join_merge(r: &Relation, s: &Relation) -> Relation {
-    let plan = JoinPlan::new(r.schema(), s.schema());
+    relation_join_merge_planned(r, s, &JoinPlan::new(r.schema(), s.schema()))
+}
+
+/// Merge-join body shared by the dispatcher (which already built the
+/// plan) and the public entry point.
+fn relation_join_merge_planned(r: &Relation, s: &Relation, plan: &JoinPlan) -> Relation {
     let left = KeyedSide::build(
         r.store(),
         (0..r.len() as u32).collect(),
@@ -434,7 +613,13 @@ pub fn relation_join_merge(r: &Relation, s: &Relation) -> Relation {
 
 /// The hash relational join.
 pub fn relation_join_hash(r: &Relation, s: &Relation) -> Relation {
-    let plan = JoinPlan::new(r.schema(), s.schema());
+    relation_join_hash_planned(r, s, &JoinPlan::new(r.schema(), s.schema()))
+}
+
+/// Hash-join body shared by the dispatcher (which already built the
+/// plan) and the public entry point. `plan` must be oriented as
+/// `JoinPlan::new(r.schema(), s.schema())`.
+fn relation_join_hash_planned(r: &Relation, s: &Relation, plan: &JoinPlan) -> Relation {
     let mut key_scratch: Vec<Value> = Vec::with_capacity(plan.common.arity());
     let index = KeyIndex::build(
         s.store(),
@@ -470,44 +655,152 @@ pub fn merge_matching_pairs(
     left_key: &[usize],
     right: &[(&[Value], u64)],
     right_key: &[usize],
-    mut on_pair: impl FnMut(usize, usize),
+    on_pair: impl FnMut(usize, usize),
 ) {
-    let proj_cmp = |rows: &[(&[Value], u64)], a: u32, b: u32, idx: &[usize]| {
-        cmp_keys(rows[a as usize].0, idx, rows[b as usize].0, idx).then_with(|| a.cmp(&b))
-    };
-    let mut l_order: Vec<u32> = (0..left.len() as u32).collect();
-    l_order.sort_unstable_by(|&a, &b| proj_cmp(left, a, b, left_key));
-    let mut r_order: Vec<u32> = (0..right.len() as u32).collect();
-    r_order.sort_unstable_by(|&a, &b| proj_cmp(right, a, b, right_key));
+    let keyed = KeyedPairs::sort(left, left_key, right, right_key);
+    keyed
+        .sweep(0..keyed.l_order.len(), 0..keyed.r_order.len())
+        .for_each(on_pair);
+}
 
-    let group_end = |rows: &[(&[Value], u64)], order: &[u32], idx: &[usize], start: usize| {
-        let head = rows[order[start] as usize].0;
-        let mut end = start + 1;
-        while end < order.len()
-            && cmp_keys(head, idx, rows[order[end] as usize].0, idx) == Ordering::Equal
-        {
-            end += 1;
+/// Sharded [`merge_matching_pairs`]: the matched key space partitions
+/// into contiguous key-range shards (no join group straddles a shard),
+/// `shard` runs once per shard — in parallel per `cfg` — and its outputs
+/// return in ascending key order. The flow-network builder assembles its
+/// per-shard edge buffers through this.
+///
+/// Each shard receives a [`PairSweep`] that replays that shard's pairs
+/// with the same ordering guarantees as [`merge_matching_pairs`]; the
+/// concatenation of all shards' pair sequences is exactly the sequential
+/// sequence.
+pub fn merge_matching_pairs_sharded<T: Send>(
+    left: &[(&[Value], u64)],
+    left_key: &[usize],
+    right: &[(&[Value], u64)],
+    right_key: &[usize],
+    cfg: &ExecConfig,
+    shard: impl Fn(PairSweep<'_, '_>) -> T + Sync,
+) -> Vec<T> {
+    let keyed = KeyedPairs::sort(left, left_key, right, right_key);
+    let n = keyed.l_order.len();
+    let shards = cfg.shards_for(n.min(keyed.r_order.len()));
+    // Shard at left key-group boundaries and align right-side ranges to
+    // the boundary keys by binary search — the same plan as the merge
+    // join's, expressed over the sorted position permutations.
+    let tasks = crate::exec::aligned_shard_tasks(
+        n,
+        keyed.r_order.len(),
+        shards,
+        |p| {
+            let a = left[keyed.l_order[p - 1] as usize].0;
+            let b = left[keyed.l_order[p] as usize].0;
+            cmp_keys(a, left_key, b, left_key) == Ordering::Equal
+        },
+        |p| keyed.right_lower_bound(left[keyed.l_order[p] as usize].0),
+    );
+    let keyed = &keyed;
+    run_tasks(cfg.threads, tasks, |(lr, rr)| shard(keyed.sweep(lr, rr)))
+}
+
+/// Both sides of [`merge_matching_pairs`] with their key-sorted position
+/// permutations.
+struct KeyedPairs<'a, 'k> {
+    left: &'a [(&'a [Value], u64)],
+    left_key: &'k [usize],
+    right: &'a [(&'a [Value], u64)],
+    right_key: &'k [usize],
+    l_order: Vec<u32>,
+    r_order: Vec<u32>,
+}
+
+impl<'a, 'k> KeyedPairs<'a, 'k> {
+    fn sort(
+        left: &'a [(&'a [Value], u64)],
+        left_key: &'k [usize],
+        right: &'a [(&'a [Value], u64)],
+        right_key: &'k [usize],
+    ) -> Self {
+        let proj_cmp = |rows: &[(&[Value], u64)], a: u32, b: u32, idx: &[usize]| {
+            cmp_keys(rows[a as usize].0, idx, rows[b as usize].0, idx).then_with(|| a.cmp(&b))
+        };
+        let mut l_order: Vec<u32> = (0..left.len() as u32).collect();
+        l_order.sort_unstable_by(|&a, &b| proj_cmp(left, a, b, left_key));
+        let mut r_order: Vec<u32> = (0..right.len() as u32).collect();
+        r_order.sort_unstable_by(|&a, &b| proj_cmp(right, a, b, right_key));
+        KeyedPairs {
+            left,
+            left_key,
+            right,
+            right_key,
+            l_order,
+            r_order,
         }
-        end
-    };
+    }
 
-    let (mut i, mut j) = (0, 0);
-    while i < l_order.len() && j < r_order.len() {
-        let lrow = left[l_order[i] as usize].0;
-        let rrow = right[r_order[j] as usize].0;
-        match cmp_keys(lrow, left_key, rrow, right_key) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
-            Ordering::Equal => {
-                let i_end = group_end(left, &l_order, left_key, i);
-                let j_end = group_end(right, &r_order, right_key, j);
-                for &a in &l_order[i..i_end] {
-                    for &b in &r_order[j..j_end] {
-                        on_pair(a as usize, b as usize);
+    /// First sorted right position whose key is `>=` the key of `lrow`.
+    fn right_lower_bound(&self, lrow: &[Value]) -> usize {
+        crate::exec::lower_bound_by(self.r_order.len(), |p| {
+            let rrow = self.right[self.r_order[p] as usize].0;
+            cmp_keys(rrow, self.right_key, lrow, self.left_key) == Ordering::Less
+        })
+    }
+
+    /// A replayable sweep over one aligned pair of sorted-position ranges.
+    fn sweep(
+        &self,
+        l_range: std::ops::Range<usize>,
+        r_range: std::ops::Range<usize>,
+    ) -> PairSweep<'_, '_> {
+        PairSweep {
+            keyed: self,
+            l_range,
+            r_range,
+        }
+    }
+}
+
+/// One shard of the matched key space: replays its `(i, j)` pairs in the
+/// deterministic order documented on [`merge_matching_pairs`].
+pub struct PairSweep<'a, 'k> {
+    keyed: &'a KeyedPairs<'a, 'k>,
+    l_range: std::ops::Range<usize>,
+    r_range: std::ops::Range<usize>,
+}
+
+impl PairSweep<'_, '_> {
+    /// Invokes `on_pair(i, j)` for every matching pair in this shard,
+    /// grouped by ascending key, `i` then `j` ascending within a group.
+    pub fn for_each(&self, mut on_pair: impl FnMut(usize, usize)) {
+        let k = self.keyed;
+        let group_end = |rows: &[(&[Value], u64)], order: &[u32], idx: &[usize], start: usize| {
+            let head = rows[order[start] as usize].0;
+            let mut end = start + 1;
+            while end < order.len()
+                && cmp_keys(head, idx, rows[order[end] as usize].0, idx) == Ordering::Equal
+            {
+                end += 1;
+            }
+            end
+        };
+        let (mut i, mut j) = (self.l_range.start, self.r_range.start);
+        while i < self.l_range.end && j < self.r_range.end {
+            let lrow = k.left[k.l_order[i] as usize].0;
+            let rrow = k.right[k.r_order[j] as usize].0;
+            match cmp_keys(lrow, k.left_key, rrow, k.right_key) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    let i_end = group_end(k.left, &k.l_order, k.left_key, i).min(self.l_range.end);
+                    let j_end =
+                        group_end(k.right, &k.r_order, k.right_key, j).min(self.r_range.end);
+                    for &a in &k.l_order[i..i_end] {
+                        for &b in &k.r_order[j..j_end] {
+                            on_pair(a as usize, b as usize);
+                        }
                     }
+                    i = i_end;
+                    j = j_end;
                 }
-                i = i_end;
-                j = j_end;
             }
         }
     }
@@ -642,10 +935,96 @@ mod tests {
 
     #[test]
     fn strategy_heuristic_thresholds() {
-        assert_eq!(JoinStrategy::select(1, 1_000_000), JoinStrategy::Hash);
-        assert_eq!(JoinStrategy::select(1_000_000, 1), JoinStrategy::Hash);
-        assert_eq!(JoinStrategy::select(64, 64), JoinStrategy::SortMerge);
-        assert_eq!(JoinStrategy::select(63, 64), JoinStrategy::Hash);
+        let un = |n: usize| JoinSide::new(n, false);
+        let so = |n: usize| JoinSide::new(n, true);
+        // tiny side: always hash, whatever the sortedness
+        assert_eq!(
+            JoinStrategy::select(un(1), un(1_000_000)),
+            JoinStrategy::Hash
+        );
+        assert_eq!(
+            JoinStrategy::select(so(1_000_000), so(1)),
+            JoinStrategy::Hash
+        );
+        assert_eq!(JoinStrategy::select(so(63), so(64)), JoinStrategy::Hash);
+        // both sort-free: pure linear sweep, merge wins
+        assert_eq!(
+            JoinStrategy::select(so(64), so(64)),
+            JoinStrategy::SortMerge
+        );
+        // lopsided sizes: build the small side, probe the large
+        assert_eq!(JoinStrategy::select(so(64), un(512)), JoinStrategy::Hash);
+        // comparable sizes but sorts required: hash (BENCH_e12, 4096:
+        // 0.51 ms hash vs 0.61 ms merge)
+        assert_eq!(JoinStrategy::select(un(4096), un(4096)), JoinStrategy::Hash);
+        assert_eq!(JoinStrategy::select(so(4096), un(4096)), JoinStrategy::Hash);
+        // ... unless sharding spreads the sweep across threads
+        let cfg = ExecConfig {
+            threads: 4,
+            min_parallel_support: 1024,
+        };
+        assert_eq!(
+            JoinStrategy::select_with(so(4096), un(4096), &cfg),
+            JoinStrategy::SortMerge
+        );
+        // sharding claims nothing when the body would fall back
+        assert_eq!(
+            JoinStrategy::select_with(so(512), un(512), &cfg),
+            JoinStrategy::Hash
+        );
+    }
+
+    #[test]
+    fn parallel_merge_join_matches_sequential() {
+        let mut r = Bag::new(schema(&[0, 1]));
+        let mut s = Bag::new(schema(&[1, 2]));
+        for i in 0..200u64 {
+            r.insert(vec![Value(i % 17), Value(i % 5)], i % 3 + 1)
+                .unwrap();
+            s.insert(vec![Value(i % 5), Value(i % 13)], i % 4 + 1)
+                .unwrap();
+        }
+        r.seal();
+        s.seal();
+        let seq = bag_join_merge(&r, &s).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let cfg = ExecConfig {
+                threads,
+                min_parallel_support: 1,
+            };
+            let par = bag_join_merge_with(&r, &s, &cfg).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+            // the splice preserves the sequential emission order exactly
+            let seq_rows: Vec<&[Value]> = seq.iter().map(|(row, _)| row).collect();
+            let par_rows: Vec<&[Value]> = par.iter().map(|(row, _)| row).collect();
+            assert_eq!(par_rows, seq_rows);
+        }
+    }
+
+    #[test]
+    fn sharded_matching_pairs_concatenate_to_sequential() {
+        let l_rows: Vec<Vec<Value>> = (0..40u64).map(|i| vec![Value(i % 7), Value(i)]).collect();
+        let r_rows: Vec<Vec<Value>> = (0..30u64)
+            .map(|i| vec![Value(i % 7), Value(i + 100)])
+            .collect();
+        let left: Vec<(&[Value], u64)> = l_rows.iter().map(|r| (&r[..], 1)).collect();
+        let right: Vec<(&[Value], u64)> = r_rows.iter().map(|r| (&r[..], 1)).collect();
+        let mut seq = Vec::new();
+        merge_matching_pairs(&left, &[0], &right, &[0], |i, j| seq.push((i, j)));
+        for threads in [1usize, 2, 4] {
+            let cfg = ExecConfig {
+                threads,
+                min_parallel_support: 1,
+            };
+            let per_shard: Vec<Vec<(usize, usize)>> =
+                merge_matching_pairs_sharded(&left, &[0], &right, &[0], &cfg, |sweep| {
+                    let mut pairs = Vec::new();
+                    sweep.for_each(|i, j| pairs.push((i, j)));
+                    pairs
+                });
+            let flat: Vec<(usize, usize)> = per_shard.into_iter().flatten().collect();
+            assert_eq!(flat, seq, "threads = {threads}");
+        }
     }
 
     #[test]

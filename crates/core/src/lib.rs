@@ -47,13 +47,45 @@
 //!   schema prefixes (no hashing), and sort-free merge joins on prefix
 //!   keys.
 //!
-//! Joins ([`join`]) pick their physical strategy by a size heuristic
-//! ([`join::JoinStrategy::select`]): **sort-merge** (permute each side's
-//! `u32` ids by the common-key projection, match equal-key runs group ×
-//! group) once both supports reach the crossover, and **hash** (intern
-//! the right side's keys into a scratch arena with intrusive chains,
-//! probe with the left) when one side is small. Marginals are single
-//! columnar scans through a reused scratch buffer.
+//! Joins ([`join`]) pick their physical strategy by a size/sortedness
+//! heuristic ([`join::JoinStrategy::select`]): **sort-merge** (permute
+//! each side's `u32` ids by the common-key projection, match equal-key
+//! runs group × group) when both sides are sort-free — sealed with
+//! prefix keys — or when sharding spreads the sweep; **hash** (intern
+//! one side's keys into a scratch arena with intrusive chains, probe
+//! with the other) when one side is small, the size ratio is lopsided,
+//! or sorts would dominate. Marginals are single columnar scans through
+//! a reused scratch buffer.
+//!
+//! # Parallel execution
+//!
+//! The execution layer ([`exec`]) partitions sealed runs into contiguous
+//! **key-range shards** and fans the three hot paths out over
+//! `std::thread::scope` workers (dependency-free; the build environment
+//! is offline, so no rayon):
+//!
+//! * **merge joins** ([`join::bag_join_merge_with`]) — the left side's
+//!   key-sorted run splits at join-key-group boundaries, right-side
+//!   ranges align by binary search, each shard multiplies its groups out
+//!   into a [`exec::ShardRun`];
+//! * **prefix marginals** ([`Bag::marginal_with`]) — the sealed run
+//!   splits at prefix-group boundaries and each shard runs the group-by
+//!   sweep;
+//! * **flow-network middle edges** (`ConsistencyNetwork::build_with` in
+//!   `bagcons-flow`) — per-shard edge buffers splice into the
+//!   network-local arena.
+//!
+//! Shard invariants, relied on everywhere: **a shard boundary never
+//! splits a key group** (boundaries slide forward to the next group
+//! edge; a single giant group collapses its shards), and per-shard
+//! outputs **splice back in ascending key order**, reproducing the
+//! sequential emission order exactly — prefix-marginal outputs are
+//! therefore born sealed, and join/network outputs are bit-identical to
+//! their sequential counterparts at every thread count. Workers hash
+//! their output rows into [`exec::ShardRun`]s, so the sequential splice
+//! ([`RowStore::push_unique_hashed`]) only probes the flat dedup table.
+//! An [`ExecConfig`] with `threads = 1` — the default of every
+//! non-`_with` entry point — takes the unchanged sequential code path.
 //!
 //! Invariants maintained by construction:
 //!
@@ -71,6 +103,7 @@
 pub mod attr;
 pub mod bag;
 pub mod error;
+pub mod exec;
 pub mod hash;
 pub mod io;
 pub mod join;
@@ -84,6 +117,7 @@ pub mod tuple;
 pub use attr::{Attr, Value};
 pub use bag::Bag;
 pub use error::CoreError;
+pub use exec::ExecConfig;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use names::AttrNames;
 pub use relation::Relation;

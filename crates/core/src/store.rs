@@ -188,13 +188,29 @@ impl RowStore {
     /// Panics if `row.len() != self.arity()`. Violating the uniqueness
     /// contract leaves lookups returning an arbitrary duplicate.
     pub fn push_unique_unchecked(&mut self, row: &[Value]) -> RowId {
+        self.push_unique_hashed(row, hash_row(row))
+    }
+
+    /// [`RowStore::push_unique_unchecked`] with a caller-precomputed
+    /// content hash (`hash_row(row)`).
+    ///
+    /// This is the splice half of the shard-parallel builders
+    /// ([`crate::exec`]): worker threads hash rows into
+    /// [`crate::exec::ShardRun`]s, and the sequential splice only probes
+    /// the flat table — no rehashing on the spliced thread.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.arity()`. The uniqueness contract of
+    /// [`RowStore::push_unique_unchecked`] applies; a wrong hash
+    /// additionally breaks future lookups of this row (debug-checked).
+    pub fn push_unique_hashed(&mut self, row: &[Value], hash: u64) -> RowId {
         assert_eq!(row.len(), self.arity, "row arity mismatch");
+        debug_assert_eq!(hash, hash_row(row), "mismatched precomputed hash");
         debug_assert!(
             self.lookup(row).is_none(),
             "push_unique_unchecked on duplicate row"
         );
         self.grow_if_needed();
-        let hash = hash_row(row);
         let mut i = hash as usize & self.mask;
         while self.slots[i] != EMPTY {
             i = (i + 1) & self.mask;

@@ -26,7 +26,8 @@
 //!   building `N(R,S)` performs no per-tuple heap allocation.
 
 use crate::dinic::{EdgeId, FlowNetwork};
-use bagcons_core::join::{merge_matching_pairs, JoinPlan};
+use bagcons_core::exec::{ExecConfig, ShardRun};
+use bagcons_core::join::{merge_matching_pairs_sharded, JoinPlan};
 use bagcons_core::{Bag, Result, RowId, RowStore, Schema, Value};
 
 /// The network `N(R,S)` with bookkeeping to extract witness bags.
@@ -49,12 +50,41 @@ impl ConsistencyNetwork {
         Self::build_excluding(r, s, |_| false)
     }
 
+    /// [`ConsistencyNetwork::build`] under an explicit execution
+    /// configuration (shard-parallel middle-edge construction).
+    pub fn build_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Self> {
+        Self::build_excluding_with(r, s, |_| false, cfg)
+    }
+
     /// Builds `N(R,S)` omitting middle edges whose `XY`-row satisfies
     /// `exclude` — the self-reducibility hook of Section 5.3.
-    pub fn build_excluding(r: &Bag, s: &Bag, exclude: impl Fn(&[Value]) -> bool) -> Result<Self> {
+    pub fn build_excluding(
+        r: &Bag,
+        s: &Bag,
+        exclude: impl Fn(&[Value]) -> bool + Sync,
+    ) -> Result<Self> {
+        Self::build_excluding_with(r, s, exclude, &ExecConfig::sequential())
+    }
+
+    /// [`ConsistencyNetwork::build_excluding`] under an explicit
+    /// execution configuration.
+    ///
+    /// The sort-merge key matching shards by key range
+    /// ([`merge_matching_pairs_sharded`]): each shard assembles its
+    /// candidate `XY`-rows, capacities, and vertex pairs into private
+    /// buffers (hashing rows on the worker thread), and the buffers then
+    /// splice into the network-local arena in ascending key order — the
+    /// exact edge order of the sequential build, so networks and witness
+    /// extraction are bit-for-bit deterministic across thread counts.
+    pub fn build_excluding_with(
+        r: &Bag,
+        s: &Bag,
+        exclude: impl Fn(&[Value]) -> bool + Sync,
+        cfg: &ExecConfig,
+    ) -> Result<Self> {
         let plan = JoinPlan::new(r.schema(), s.schema());
-        let r_rows = r.iter_sorted();
-        let s_rows = s.iter_sorted();
+        let r_rows = r.sorted_rows();
+        let s_rows = s.sorted_rows();
         let n = 1 + r_rows.len() + s_rows.len() + 1;
         let source = 0;
         let sink = n - 1;
@@ -74,26 +104,52 @@ impl ConsistencyNetwork {
 
         // Sort-merge the two sides on their Z-projections: vertex lists
         // are permuted by key (u32 sorts, no row data moves), then
-        // equal-key runs pair off group against group.
+        // equal-key runs pair off group against group, one key-range
+        // shard per worker.
         let z_of_s = s.schema().projection_indices(plan.common_schema())?;
         let z_of_r = r.schema().projection_indices(plan.common_schema())?;
 
         let out_schema = plan.output_schema().clone();
-        let mut rows = RowStore::new(out_schema.arity());
-        let mut middle = Vec::new();
-        let mut scratch: Vec<Value> = Vec::with_capacity(out_schema.arity());
-        merge_matching_pairs(&r_rows, &z_of_r, &s_rows, &z_of_s, |i, j| {
-            let (r_row, rm) = r_rows[i];
-            let (s_row, sm) = s_rows[j];
-            plan.combine_into(r_row, s_row, &mut scratch);
-            if exclude(&scratch) {
-                return;
+        /// One shard's middle edges: vertex index pairs aligned with a
+        /// [`ShardRun`] of combined rows (capacity in the payload column).
+        struct EdgeBuffer {
+            pairs: Vec<(u32, u32)>,
+            run: ShardRun,
+        }
+        let buffers: Vec<EdgeBuffer> =
+            merge_matching_pairs_sharded(&r_rows, &z_of_r, &s_rows, &z_of_s, cfg, |sweep| {
+                let mut buf = EdgeBuffer {
+                    pairs: Vec::new(),
+                    run: ShardRun::new(out_schema.arity()),
+                };
+                let mut scratch: Vec<Value> = Vec::with_capacity(out_schema.arity());
+                sweep.for_each(|i, j| {
+                    let (r_row, rm) = r_rows[i];
+                    let (s_row, sm) = s_rows[j];
+                    plan.combine_into(r_row, s_row, &mut scratch);
+                    if exclude(&scratch) {
+                        return;
+                    }
+                    buf.run.push(&scratch, rm.min(sm));
+                    buf.pairs.push((i as u32, j as u32));
+                });
+                buf
+            });
+
+        // Splice: edge insertion order across shards equals the
+        // sequential emission order; row hashes were precomputed on the
+        // workers, so this loop only probes the flat dedup table.
+        let edge_count: usize = buffers.iter().map(|b| b.pairs.len()).sum();
+        let mut rows = RowStore::with_capacity(out_schema.arity(), edge_count);
+        let mut middle = Vec::with_capacity(edge_count);
+        for buf in &buffers {
+            for (p, &(i, j)) in buf.pairs.iter().enumerate() {
+                let id = net.add_edge(1 + i as usize, s_base + j as usize, buf.run.payload(p));
+                // Distinct (R-row, S-row) pairs assemble distinct XY rows.
+                let rid = rows.push_unique_hashed(buf.run.row(p), buf.run.hash(p));
+                middle.push((id, rid));
             }
-            let id = net.add_edge(1 + i, s_base + j, rm.min(sm));
-            // Distinct (R-row, S-row) pairs assemble distinct XY rows.
-            let rid = rows.push_unique_unchecked(&scratch);
-            middle.push((id, rid));
-        });
+        }
 
         Ok(ConsistencyNetwork {
             net,
@@ -115,6 +171,13 @@ impl ConsistencyNetwork {
     /// Number of middle edges (= `|R' ⋈ S'|` minus exclusions).
     pub fn num_middle_edges(&self) -> usize {
         self.middle.len()
+    }
+
+    /// The candidate `XY`-rows behind the middle edges, in edge insertion
+    /// order. Equivalence tests compare this across execution
+    /// configurations — the order is identical for every thread count.
+    pub fn middle_rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.middle.iter().map(|&(_, rid)| self.rows.row(rid))
     }
 
     /// Runs max-flow; if the flow saturates every source and sink arc,
@@ -252,6 +315,31 @@ mod tests {
         assert_eq!(t.multiplicity(&[Value(1), Value(2), Value(1)]), 1);
         assert_eq!(t.multiplicity(&[Value(2), Value(2), Value(2)]), 1);
         assert_eq!(t.support_size(), 2);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let mut r = Bag::new(schema(&[0, 1]));
+        let mut s = Bag::new(schema(&[1, 2]));
+        for i in 0..120u64 {
+            r.insert(vec![Value(i % 11), Value(i % 4)], i % 5 + 1)
+                .unwrap();
+            s.insert(vec![Value(i % 4), Value(i % 9)], i % 3 + 1)
+                .unwrap();
+        }
+        let seq = ConsistencyNetwork::build(&r, &s).unwrap();
+        let seq_rows: Vec<Vec<Value>> = seq.middle_rows().map(|row| row.to_vec()).collect();
+        let seq_witness = seq.solve();
+        for threads in [2usize, 4] {
+            let cfg = ExecConfig {
+                threads,
+                min_parallel_support: 1,
+            };
+            let par = ConsistencyNetwork::build_with(&r, &s, &cfg).unwrap();
+            let par_rows: Vec<Vec<Value>> = par.middle_rows().map(|row| row.to_vec()).collect();
+            assert_eq!(par_rows, seq_rows, "threads = {threads}");
+            assert_eq!(par.solve(), seq_witness, "threads = {threads}");
+        }
     }
 
     #[test]

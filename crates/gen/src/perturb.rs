@@ -15,7 +15,7 @@ pub fn bump_one_tuple<R: Rng>(bags: &mut [Bag], rng: &mut R) -> Result<Option<us
     let Some(&i) = candidates.get(rng.gen_range(0..candidates.len().max(1))) else {
         return Ok(None);
     };
-    let rows = bags[i].iter_sorted();
+    let rows = bags[i].sorted_rows();
     let (row, _) = rows[rng.gen_range(0..rows.len())];
     let row: Vec<Value> = row.to_vec();
     bags[i].insert(row, 1)?;

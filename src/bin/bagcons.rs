@@ -16,10 +16,10 @@
 //! error, 3 = undecided (search budget exhausted).
 
 use bagcons::diagnose::{diagnose, Diagnosis};
-use bagcons::dichotomy::{decide_global_consistency, GcpbOutcome};
+use bagcons::dichotomy::{decide_global_consistency_exec, GcpbOutcome};
 use bagcons::lifting::pairwise_consistent_globally_inconsistent;
 use bagcons_core::io::{parse_bag_with, write_bag, NameInterner};
-use bagcons_core::{AttrNames, Bag};
+use bagcons_core::{AttrNames, Bag, ExecConfig};
 use bagcons_hypergraph::{
     find_obstruction, is_acyclic, is_chordal, is_conformal, rip_order, Hypergraph, ObstructionKind,
 };
@@ -89,7 +89,9 @@ fn solver() -> SolverConfig {
 }
 
 fn cmd_check(refs: &[&Bag]) -> ExitCode {
-    match decide_global_consistency(refs, &solver()) {
+    // One worker per available core; small inputs stay sequential via
+    // the ExecConfig fallback, and results are thread-count invariant.
+    match decide_global_consistency_exec(refs, &solver(), &ExecConfig::default()) {
         Ok(rep) => {
             let path = if rep.acyclic {
                 "acyclic/polynomial"
@@ -125,7 +127,7 @@ fn cmd_check(refs: &[&Bag]) -> ExitCode {
 }
 
 fn cmd_witness(refs: &[&Bag], names: &AttrNames) -> ExitCode {
-    match decide_global_consistency(refs, &solver()) {
+    match decide_global_consistency_exec(refs, &solver(), &ExecConfig::default()) {
         Ok(rep) => match rep.outcome {
             GcpbOutcome::Consistent(w) => {
                 print!("{}", write_bag(&w, names));

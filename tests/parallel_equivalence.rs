@@ -1,0 +1,299 @@
+//! Property tests: shard-parallel execution is observationally identical
+//! to sequential execution.
+//!
+//! Every `*_with` entry point of the execution layer (merge joins,
+//! prefix marginals, flow-network middle-edge builds, semijoin sweeps)
+//! must produce the same result at every thread count — the shard plan
+//! never splits a key group, and per-shard outputs splice back in
+//! ascending key order, so the parallel paths reproduce the sequential
+//! emission order *exactly*, not just up to reordering. These tests pin
+//! that contract across thread counts 1/2/4 with `min_parallel_support`
+//! forced to 1, so even tiny random inputs exercise real shard
+//! boundaries (duplicate-heavy keys, giant join groups, empty shards).
+
+use bag_consistency::prelude::*;
+use bagcons_core::join::{bag_join_merge, bag_join_merge_with, bag_join_with};
+use bagcons_core::ExecConfig;
+use proptest::prelude::*;
+
+/// Thread counts under test. `1` is the sequential fallback; the others
+/// shard even on a single-core host (the executor is correctness-first:
+/// scoped threads run regardless of the machine's parallelism).
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// A config that shards everything it legally can.
+fn cfg(threads: usize) -> ExecConfig {
+    ExecConfig {
+        threads,
+        min_parallel_support: 1,
+    }
+}
+
+/// Strategy: a bag over `{A_first..A_first+arity}` with a tiny domain, so
+/// keys collide heavily and shard boundaries land inside group clusters.
+fn arb_bag(first: u32, arity: u32, domain: u64, max_support: usize) -> impl Strategy<Value = Bag> {
+    let schema = Schema::range(first, first + arity);
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0..domain, arity as usize),
+            1..=16u64,
+        ),
+        0..=max_support,
+    )
+    .prop_map(move |rows| {
+        let mut bag = Bag::new(schema.clone());
+        for (row, m) in rows {
+            let vals: Vec<Value> = row.into_iter().map(Value::new).collect();
+            bag.insert(vals, m).unwrap();
+        }
+        bag.seal();
+        bag
+    })
+}
+
+/// Two sealed bags over {A0,A1} and {A1,A2} (the e02 shape).
+fn arb_pair() -> impl Strategy<Value = (Bag, Bag)> {
+    (arb_bag(0, 2, 4, 48), arb_bag(1, 2, 4, 48))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Sharded merge join ≡ sequential merge join, at every thread count,
+    /// including identical storage order of the output.
+    #[test]
+    fn join_parallel_matches_sequential((r, s) in arb_pair()) {
+        let seq = bag_join_merge(&r, &s).unwrap();
+        for threads in THREADS {
+            let par = bag_join_merge_with(&r, &s, &cfg(threads)).unwrap();
+            prop_assert_eq!(&par, &seq, "threads = {}", threads);
+            let seq_rows: Vec<&[Value]> = seq.iter().map(|(row, _)| row).collect();
+            let par_rows: Vec<&[Value]> = par.iter().map(|(row, _)| row).collect();
+            prop_assert_eq!(par_rows, seq_rows, "emission order, threads = {}", threads);
+        }
+    }
+
+    /// The sharding-aware dispatcher agrees with the plain one whatever
+    /// physical strategy it picks.
+    #[test]
+    fn join_dispatch_strategy_is_observation_invariant((r, s) in arb_pair()) {
+        let seq = bagcons_core::join::bag_join(&r, &s).unwrap();
+        for threads in THREADS {
+            let par = bag_join_with(&r, &s, &cfg(threads)).unwrap();
+            prop_assert_eq!(&par, &seq, "threads = {}", threads);
+        }
+    }
+
+    /// Sharded prefix marginal ≡ sequential marginal on every prefix
+    /// (and on non-prefix schemas, where both take the generic scan).
+    #[test]
+    fn marginal_parallel_matches_sequential(bag in arb_bag(0, 3, 3, 64)) {
+        for sub in [
+            Schema::range(0, 1),
+            Schema::range(0, 2),
+            Schema::range(0, 3),
+            Schema::range(1, 3), // not a prefix: generic path both ways
+        ] {
+            let seq = bag.marginal(&sub).unwrap();
+            for threads in THREADS {
+                let par = bag.marginal_with(&sub, &cfg(threads)).unwrap();
+                prop_assert_eq!(&par, &seq, "Z = {}, threads = {}", sub, threads);
+                prop_assert_eq!(par.is_sealed(), seq.is_sealed());
+            }
+        }
+    }
+
+    /// Sharded network build ≡ sequential build: same middle-edge rows in
+    /// the same insertion order, and the same witness decision.
+    #[test]
+    fn network_parallel_matches_sequential((r, s) in arb_pair()) {
+        let seq = bagcons_flow::ConsistencyNetwork::build(&r, &s).unwrap();
+        let seq_rows: Vec<Vec<Value>> = seq.middle_rows().map(|row| row.to_vec()).collect();
+        let seq_witness = seq.solve();
+        for threads in THREADS {
+            let par = bagcons_flow::ConsistencyNetwork::build_with(&r, &s, &cfg(threads)).unwrap();
+            let par_rows: Vec<Vec<Value>> = par.middle_rows().map(|row| row.to_vec()).collect();
+            prop_assert_eq!(&par_rows, &seq_rows, "edge multiset, threads = {}", threads);
+            prop_assert_eq!(par.solve(), seq_witness.clone(), "witness, threads = {}", threads);
+        }
+    }
+
+    /// Sharded semijoin sweep ≡ sequential semijoin.
+    #[test]
+    fn semijoin_parallel_matches_sequential((r, s) in arb_pair()) {
+        let (r, s) = (r.support(), s.support());
+        let seq = bagcons::reducer::semijoin(&r, &s).unwrap();
+        for threads in THREADS {
+            let par = bagcons::reducer::semijoin_with(&r, &s, &cfg(threads)).unwrap();
+            prop_assert_eq!(&par, &seq, "threads = {}", threads);
+        }
+    }
+
+    /// Consistency decisions and witnesses agree across configurations
+    /// end-to-end (marginal pre-check + network build + flow).
+    #[test]
+    fn consistency_witness_parallel_matches_sequential((r, s) in arb_pair()) {
+        let seq = consistency_witness(&r, &s).unwrap();
+        for threads in THREADS {
+            let par = bagcons::pairwise::consistency_witness_with(&r, &s, &cfg(threads))
+                .unwrap();
+            prop_assert_eq!(&par, &seq, "threads = {}", threads);
+        }
+    }
+}
+
+/// Adversarial shard boundaries the random strategies may miss.
+mod adversarial {
+    use super::*;
+
+    fn schema(first: u32, len: u32) -> Schema {
+        Schema::range(first, first + len)
+    }
+
+    /// One giant join group: every row shares the single join-key value,
+    /// so no interior shard boundary is legal and the planner must
+    /// collapse to one shard.
+    #[test]
+    fn single_giant_join_group() {
+        let mut r = Bag::new(schema(0, 2));
+        let mut s = Bag::new(schema(1, 2));
+        for i in 0..300u64 {
+            r.insert(vec![Value(i), Value(7)], i % 5 + 1).unwrap();
+            s.insert(vec![Value(7), Value(i)], i % 3 + 1).unwrap();
+        }
+        r.seal();
+        s.seal();
+        let seq = bag_join_merge(&r, &s).unwrap();
+        for threads in THREADS {
+            let par = bag_join_merge_with(&r, &s, &cfg(threads)).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+        assert_eq!(seq.support_size(), 300 * 300);
+    }
+
+    /// Empty operands and empty shard plans.
+    #[test]
+    fn empty_inputs() {
+        let empty_r = Bag::new(schema(0, 2));
+        let mut s = Bag::new(schema(1, 2));
+        for i in 0..64u64 {
+            s.insert(vec![Value(i % 4), Value(i)], 1).unwrap();
+        }
+        s.seal();
+        for threads in THREADS {
+            let j = bag_join_merge_with(&empty_r, &s, &cfg(threads)).unwrap();
+            assert!(j.is_empty(), "threads = {threads}");
+            let m = empty_r.marginal_with(&schema(0, 1), &cfg(threads)).unwrap();
+            assert!(m.is_empty());
+            assert!(m.is_sealed());
+        }
+        // Non-empty sealed operands with disjoint join keys: the sharded
+        // path produces an *empty* splice, which must come out sealed
+        // exactly like the sequential empty output.
+        let mut r2 = Bag::new(schema(0, 2));
+        let mut s2 = Bag::new(schema(1, 2));
+        for i in 0..64u64 {
+            r2.insert(vec![Value(i), Value(i % 4)], 1).unwrap();
+            s2.insert(vec![Value(100 + i % 4), Value(i)], 1).unwrap();
+        }
+        r2.seal();
+        s2.seal();
+        let seq = bag_join_merge(&r2, &s2).unwrap();
+        assert!(seq.is_empty() && seq.is_sealed());
+        for threads in THREADS {
+            let par = bag_join_merge_with(&r2, &s2, &cfg(threads)).unwrap();
+            assert!(par.is_empty(), "threads = {threads}");
+            assert!(
+                par.is_sealed(),
+                "empty splice must seal, threads = {threads}"
+            );
+        }
+    }
+
+    /// Duplicate-heavy keys whose group sizes are wildly skewed: most
+    /// tentative boundaries slide forward, some shards end up dropped.
+    #[test]
+    fn skewed_group_sizes() {
+        let mut r = Bag::new(schema(0, 2));
+        let mut s = Bag::new(schema(1, 2));
+        for i in 0..400u64 {
+            // 90% of rows share key 0; the rest are singletons
+            let key = if i % 10 == 0 { i } else { 0 };
+            r.insert(vec![Value(i), Value(key)], 1).unwrap();
+            s.insert(vec![Value(key), Value(i)], 2).unwrap();
+        }
+        r.seal();
+        s.seal();
+        let seq = bag_join_merge(&r, &s).unwrap();
+        let seq_marg = s.marginal(&schema(1, 1)).unwrap();
+        for threads in THREADS {
+            assert_eq!(bag_join_merge_with(&r, &s, &cfg(threads)).unwrap(), seq);
+            assert_eq!(
+                s.marginal_with(&schema(1, 1), &cfg(threads)).unwrap(),
+                seq_marg
+            );
+        }
+    }
+
+    /// Overflow is detected identically on every shard layout.
+    #[test]
+    fn overflow_detected_in_parallel() {
+        let mut r = Bag::new(schema(0, 2));
+        let mut s = Bag::new(schema(1, 2));
+        for i in 0..100u64 {
+            r.insert(vec![Value(i), Value(i % 3)], u64::MAX).unwrap();
+            s.insert(vec![Value(i % 3), Value(i)], 2).unwrap();
+        }
+        r.seal();
+        s.seal();
+        for threads in THREADS {
+            assert_eq!(
+                bag_join_merge_with(&r, &s, &cfg(threads)),
+                Err(bagcons_core::CoreError::MultiplicityOverflow),
+                "threads = {threads}"
+            );
+        }
+        // marginal overflow through the parallel prefix sweep
+        let mut c = Bag::new(schema(0, 2));
+        for i in 0..100u64 {
+            c.insert(vec![Value(i / 2), Value(i % 2)], u64::MAX / 2 + 1)
+                .unwrap();
+        }
+        c.seal();
+        for threads in THREADS {
+            assert_eq!(
+                c.marginal_with(&schema(0, 1), &cfg(threads)),
+                Err(bagcons_core::CoreError::MultiplicityOverflow),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    /// The network build with exclusions (the Section 5.3 hook) agrees
+    /// across configurations — the `exclude` closure runs on workers.
+    #[test]
+    fn excluding_build_parallel_matches_sequential() {
+        let mut r = Bag::new(schema(0, 2));
+        let mut s = Bag::new(schema(1, 2));
+        for i in 0..80u64 {
+            r.insert(vec![Value(i % 8), Value(i % 4)], i % 3 + 1)
+                .unwrap();
+            s.insert(vec![Value(i % 4), Value(i % 6)], i % 2 + 1)
+                .unwrap();
+        }
+        let exclude = |row: &[Value]| row[0] == row[2];
+        let seq = bagcons_flow::ConsistencyNetwork::build_excluding(&r, &s, exclude).unwrap();
+        let seq_rows: Vec<Vec<Value>> = seq.middle_rows().map(|row| row.to_vec()).collect();
+        for threads in THREADS {
+            let par = bagcons_flow::ConsistencyNetwork::build_excluding_with(
+                &r,
+                &s,
+                exclude,
+                &cfg(threads),
+            )
+            .unwrap();
+            let par_rows: Vec<Vec<Value>> = par.middle_rows().map(|row| row.to_vec()).collect();
+            assert_eq!(par_rows, seq_rows, "threads = {threads}");
+        }
+    }
+}

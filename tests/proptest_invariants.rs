@@ -238,7 +238,7 @@ proptest! {
         sealed.seal();
         prop_assert!(sealed.is_sealed());
         prop_assert_eq!(&sealed, &bag);
-        prop_assert_eq!(sealed.iter_sorted(), bag.iter_sorted());
+        prop_assert_eq!(sealed.sorted_rows(), bag.sorted_rows());
     }
 
     /// Marginals agree with the model's group-by, on every sub-schema.
