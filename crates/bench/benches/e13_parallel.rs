@@ -27,10 +27,11 @@ fn bench(c: &mut Criterion) {
         let support = 1usize << exp;
         let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 20, &mut rng).unwrap();
         for threads in [1usize, 2, 4] {
-            let cfg = ExecConfig {
-                threads,
-                min_parallel_support: 1024,
-            };
+            let cfg = ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1024)
+                .build()
+                .unwrap();
             let tag = format!("s{support}_t{threads}");
             g.bench_with_input(BenchmarkId::new("join_merge", &tag), &support, |b, _| {
                 b.iter(|| bag_join_merge_with(&r, &s, &cfg).unwrap().support_size())

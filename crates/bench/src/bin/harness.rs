@@ -574,10 +574,11 @@ fn e13() {
         let support = 1usize << exp;
         let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 20, &mut rng).unwrap();
         for threads in [1usize, 2, 4] {
-            let cfg = ExecConfig {
-                threads,
-                min_parallel_support: 1024,
-            };
+            let cfg = ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1024)
+                .build()
+                .unwrap();
             let reps = 7;
             let time_ms = |f: &dyn Fn() -> usize| -> f64 {
                 // planted_pair inputs are non-empty, so every measured

@@ -86,11 +86,19 @@ pub enum WitnessStrategy {
 /// assert!(t.support_size() <= r1.support_size() + r2.support_size() + r3.support_size());
 /// # Ok::<(), bagcons_core::CoreError>(())
 /// ```
+///
+/// Legacy shim — prefer
+/// [`crate::session::Session::acyclic_global_witness`].
+#[doc(hidden)]
 pub fn acyclic_global_witness(bags: &[&Bag]) -> Result<Bag, AcyclicError> {
-    acyclic_global_witness_with(bags, WitnessStrategy::Minimal)
+    crate::session::Session::default().acyclic_global_witness(bags, WitnessStrategy::Minimal)
 }
 
 /// [`acyclic_global_witness`] with an explicit per-step strategy.
+///
+/// Legacy sequential shim — prefer
+/// [`crate::session::Session::acyclic_global_witness`].
+#[doc(hidden)]
 pub fn acyclic_global_witness_with(
     bags: &[&Bag],
     strategy: WitnessStrategy,
@@ -110,6 +118,18 @@ pub fn acyclic_global_witness_exec(
     if let Some((i, j)) = first_inconsistent_pair_with(bags, exec)? {
         return Err(AcyclicError::InconsistentPair(i, j));
     }
+    witness_chain(bags, strategy, exec)
+}
+
+/// The inductive chain of Theorem 6 *without* the pairwise pre-check:
+/// callers (the session facade, which times the two phases separately)
+/// must have already established pairwise consistency, or the chain's
+/// per-step "a witness exists" invariant may not hold.
+pub(crate) fn witness_chain(
+    bags: &[&Bag],
+    strategy: WitnessStrategy,
+    exec: &ExecConfig,
+) -> Result<Bag, AcyclicError> {
     // 2. Deduplicate by schema: pairwise consistent bags with equal
     //    schemas are equal, so one representative suffices.
     let mut by_schema: FxHashMap<Schema, &Bag> = FxHashMap::default();

@@ -10,8 +10,8 @@
 //!   optionally with the schema's minimal obstruction attached.
 
 use crate::global::schema_hypergraph;
-use crate::pairwise::bags_consistent;
-use bagcons_core::{Bag, Result, Row, Schema};
+use crate::pairwise::bags_consistent_with;
+use bagcons_core::{Bag, ExecConfig, Result, Row, Schema};
 use bagcons_hypergraph::{find_obstruction, is_acyclic, Obstruction};
 use std::fmt;
 
@@ -74,16 +74,28 @@ impl Diagnosis {
 
 /// Diagnoses a collection, reporting up to `max_mismatches` marginal
 /// discrepancies with their exact locations.
+///
+/// Legacy shim (default execution config, like every other plain shim) —
+/// prefer [`crate::session::Session::diagnose`], which also carries the
+/// mismatch budget.
+#[doc(hidden)]
 pub fn diagnose(bags: &[&Bag], max_mismatches: usize) -> Result<Diagnosis> {
+    diagnose_with(bags, max_mismatches, &ExecConfig::default())
+}
+
+/// [`diagnose`] under an explicit execution configuration: each pairwise
+/// probe and the per-pair marginal re-computation shard across threads
+/// when the bags are sealed and `cfg` permits.
+pub fn diagnose_with(bags: &[&Bag], max_mismatches: usize, cfg: &ExecConfig) -> Result<Diagnosis> {
     let mut mismatches = Vec::new();
     'pairs: for i in 0..bags.len() {
         for j in (i + 1)..bags.len() {
-            if bags_consistent(bags[i], bags[j])? {
+            if bags_consistent_with(bags[i], bags[j], cfg)? {
                 continue;
             }
             let common = bags[i].schema().intersection(bags[j].schema());
-            let mi = bags[i].marginal(&common)?;
-            let mj = bags[j].marginal(&common)?;
+            let mi = bags[i].marginal_with(&common, cfg)?;
+            let mj = bags[j].marginal_with(&common, cfg)?;
             // every tuple in either marginal's support that disagrees
             let mut keys: Vec<Row> = mi
                 .iter()

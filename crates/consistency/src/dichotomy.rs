@@ -13,11 +13,9 @@
 //! reports which one ran, so the experiment harness can measure the
 //! polynomial-vs-exponential shape the theorem predicts.
 
-use crate::acyclic::{acyclic_global_witness_exec, AcyclicError, WitnessStrategy};
-use crate::global::{globally_consistent_via_ilp, schema_hypergraph, witness_from_ilp};
+use crate::session::{check_impl, Branch, CheckOutcome, Decision};
 use bagcons_core::{Bag, CoreError, ExecConfig};
-use bagcons_hypergraph::is_acyclic;
-use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
+use bagcons_lp::ilp::SolverConfig;
 
 /// The decision (and witness, when one exists).
 #[derive(Clone, Debug)]
@@ -48,57 +46,49 @@ pub struct GcpbReport {
     pub search_nodes: u64,
 }
 
+impl From<CheckOutcome> for GcpbReport {
+    fn from(out: CheckOutcome) -> Self {
+        let outcome = match (out.decision, out.witness) {
+            (Decision::Consistent, Some(w)) => GcpbOutcome::Consistent(w),
+            (Decision::Consistent, None) => {
+                unreachable!("a Consistent check always carries a witness")
+            }
+            (Decision::Inconsistent, _) => GcpbOutcome::Inconsistent,
+            (Decision::Unknown, _) => GcpbOutcome::Unknown,
+        };
+        GcpbReport {
+            outcome,
+            acyclic: out.branch == Branch::Acyclic,
+            search_nodes: out.search_nodes,
+        }
+    }
+}
+
 /// Decides the global consistency problem for bags, following Theorem 4's
 /// dichotomy: polynomial algorithm on acyclic schemas, exact exponential
 /// search on cyclic ones.
+///
+/// Legacy shim (default execution config) — prefer
+/// [`crate::session::Session::check`], which also reports per-stage
+/// timings.
+#[doc(hidden)]
 pub fn decide_global_consistency(
     bags: &[&Bag],
     cfg: &SolverConfig,
 ) -> Result<GcpbReport, CoreError> {
-    decide_global_consistency_exec(bags, cfg, &ExecConfig::sequential())
+    decide_global_consistency_exec(bags, cfg, &ExecConfig::default())
 }
 
 /// [`decide_global_consistency`] under an explicit execution
 /// configuration: the polynomial path's pairwise checks and witness-chain
-/// network builds shard across threads (the CLI passes
-/// [`ExecConfig::default`], one worker per available core).
+/// network builds shard across threads. Delegates to the canonical
+/// dichotomy implementation behind [`crate::session::Session::check`].
 pub fn decide_global_consistency_exec(
     bags: &[&Bag],
     cfg: &SolverConfig,
     exec: &ExecConfig,
 ) -> Result<GcpbReport, CoreError> {
-    let h = schema_hypergraph(bags);
-    if is_acyclic(&h) {
-        let outcome = match acyclic_global_witness_exec(bags, WitnessStrategy::Saturated, exec) {
-            Ok(t) => GcpbOutcome::Consistent(t),
-            Err(AcyclicError::InconsistentPair(..))
-            | Err(AcyclicError::DuplicateSchemaMismatch(..)) => GcpbOutcome::Inconsistent,
-            Err(AcyclicError::NotAcyclic(h)) => {
-                unreachable!("hypergraph {h} tested acyclic above")
-            }
-            Err(AcyclicError::Core(e)) => return Err(e),
-        };
-        Ok(GcpbReport {
-            outcome,
-            acyclic: true,
-            search_nodes: 0,
-        })
-    } else {
-        let decision = globally_consistent_via_ilp(bags, cfg)?;
-        let outcome = match &decision.outcome {
-            IlpOutcome::Sat(_) => {
-                let w = witness_from_ilp(bags, &decision)?.expect("Sat carries witness");
-                GcpbOutcome::Consistent(w)
-            }
-            IlpOutcome::Unsat => GcpbOutcome::Inconsistent,
-            IlpOutcome::NodeLimit => GcpbOutcome::Unknown,
-        };
-        Ok(GcpbReport {
-            outcome,
-            acyclic: false,
-            search_nodes: decision.stats.nodes,
-        })
-    }
+    Ok(check_impl(bags, cfg, exec)?.into())
 }
 
 #[cfg(test)]

@@ -15,8 +15,11 @@ use bagcons_lp::ConsistencyProgram;
 
 /// True iff `t` witnesses the global consistency of `bags`:
 /// `t` is over the union schema and `t[X_i] = R_i` for every `i`.
+///
+/// Legacy shim — prefer [`crate::session::Session::is_global_witness`].
+#[doc(hidden)]
 pub fn is_global_witness(t: &Bag, bags: &[&Bag]) -> Result<bool> {
-    is_global_witness_with(t, bags, &ExecConfig::sequential())
+    crate::session::Session::default().is_global_witness(t, bags)
 }
 
 /// [`is_global_witness`] under an explicit execution configuration: each

@@ -1,19 +1,59 @@
 //! # `bagcons`
 //!
 //! The algorithms of *Structure and Complexity of Bag Consistency*
-//! (Atserias & Kolaitis, PODS 2021) — the paper's primary contribution.
+//! (Atserias & Kolaitis, PODS 2021) — the paper's primary contribution —
+//! behind one configurable entry surface: [`session::Session`].
+//!
+//! ## The session facade
+//!
+//! A [`Session`] owns every knob the pipeline needs —
+//! the parallel-execution configuration ([`bagcons_core::ExecConfig`]),
+//! the exact-search configuration ([`bagcons_lp::ilp::SolverConfig`]),
+//! the attribute-name interner, and the search budgets — and exposes the
+//! paper's decision procedures as methods returning **typed outcome
+//! structs** (decision + witness + per-stage timings + which dichotomy
+//! branch ran) that render to human text or machine-readable JSON via
+//! [`report::Render`]:
+//!
+//! ```
+//! use bagcons::prelude_session::*;
+//!
+//! let mut session = Session::builder().threads(4).budget(1_000_000).build()?;
+//! let r = session.load_bag("Origin Dest #\n0 1 : 120\n0 2 : 80\n")?;
+//! let s = session.load_bag("Dest Carrier #\n1 10 : 120\n2 11 : 80\n")?;
+//! let outcome = session.check(&[&r, &s])?;
+//! assert_eq!(outcome.decision, Decision::Consistent);
+//! println!("{}", outcome.render(ReportFormat::Json, session.names()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! | Question | `Session` method |
+//! |---|---|
+//! | Is the collection globally consistent? (Theorem 4) | [`check`](session::Session::check) |
+//! | Produce a witness bag (Corollary 1 / Theorems 3, 6) | [`witness`](session::Session::witness) |
+//! | *Why* is it inconsistent? (Lemma 2's evidence) | [`diagnose`](session::Session::diagnose) |
+//! | Cross-validate Lemma 2's five characterizations | [`pairwise_report`](session::Session::pairwise_report) |
+//! | Analyze the schema hypergraph (Theorem 1 structure) | [`schema_report`](session::Session::schema_report) |
+//! | Exhibit the pairwise-vs-global gap (Theorem 2 (e)⇒(a)) | [`counterexample`](session::Session::counterexample) |
+//!
+//! The pre-session plain free functions (`bags_consistent`,
+//! `decide_global_consistency`, …) remain available as `#[doc(hidden)]`
+//! shims delegating through `Session::default()`; the `_with(&ExecConfig)`
+//! variants are the canonical internals the session calls.
+//!
+//! ## Paper-item map
 //!
 //! | Paper item | Module / entry point |
 //! |---|---|
 //! | Lemma 2 (five characterizations of two-bag consistency) | [`pairwise`], [`report::Lemma2Report`] |
-//! | Corollary 1 (strongly-poly witness for two bags) | [`pairwise::consistency_witness`] |
+//! | Corollary 1 (strongly-poly witness for two bags) | [`pairwise::consistency_witness_with`] |
 //! | Theorem 2 (acyclic ⟺ local-to-global for bags) | [`acyclic`], [`tseitin`], [`lifting`] |
 //! | Lemma 4 (k-wise-consistency-preserving lifting) | [`lifting`] |
 //! | Theorem 3 / Corollary 3 (NP membership, witness bounds) | re-exported from [`bagcons_lp::bounds`] |
-//! | Theorem 4 (dichotomy: acyclic ⇒ P, cyclic ⇒ NP-complete) | [`dichotomy`] |
+//! | Theorem 4 (dichotomy: acyclic ⇒ P, cyclic ⇒ NP-complete) | [`dichotomy`], [`session::Session::check`] |
 //! | Lemmas 6, 7 (hardness chain reductions) | [`reductions`] |
 //! | Theorem 5 / Corollary 4 (minimal two-bag witness) | [`minimal`] |
-//! | Theorem 6 (acyclic witness construction) | [`acyclic::acyclic_global_witness`] |
+//! | Theorem 6 (acyclic witness construction) | [`acyclic::acyclic_global_witness_exec`] |
 //! | Section 5.1 (set-semantics baseline) | [`sets`] |
 //! | Section 6 (full reducers: set case + the bag obstacle) | [`reducer`] |
 
@@ -32,6 +72,7 @@ pub mod pairwise;
 pub mod reducer;
 pub mod reductions;
 pub mod report;
+pub mod session;
 pub mod sets;
 pub mod tseitin;
 
@@ -41,5 +82,15 @@ pub use global::{globally_consistent_via_ilp, is_global_witness, schema_hypergra
 pub use kwise::k_wise_consistent;
 pub use minimal::minimal_two_bag_witness;
 pub use pairwise::{bags_consistent, consistency_witness, pairwise_consistent};
-pub use report::Lemma2Report;
+pub use report::{Lemma2Report, Render, ReportFormat};
+pub use session::{Session, SessionBuilder, SessionError};
 pub use tseitin::tseitin_bags;
+
+/// One-stop imports for session-based applications.
+pub mod prelude_session {
+    pub use crate::report::{Render, ReportFormat};
+    pub use crate::session::{
+        Branch, CheckOutcome, CounterexampleOutcome, Decision, DiagnoseOutcome, PairwiseOutcome,
+        SchemaOutcome, Session, SessionBuilder, SessionError, StageTiming, WitnessOutcome,
+    };
+}

@@ -76,13 +76,17 @@ pub fn apply_to_schemas(schemas: &[Schema], op: &SafeDeletion) -> Vec<Schema> {
 
 /// One backward lift step: given bags `d0` aligned with
 /// `apply_to_schemas(targets, op)`, produces bags aligned with `targets`.
+///
+/// Legacy shim (default execution config) — [`lift_step_with`] is the
+/// canonical entry.
+#[doc(hidden)]
 pub fn lift_step(
     d0: &[Bag],
     targets: &[Schema],
     op: &SafeDeletion,
     u0: Value,
 ) -> Result<Vec<Bag>, LiftError> {
-    lift_step_with(d0, targets, op, u0, &ExecConfig::sequential())
+    lift_step_with(d0, targets, op, u0, &ExecConfig::default())
 }
 
 /// [`lift_step`] under an explicit execution configuration: the
@@ -150,13 +154,17 @@ fn extend_with_default(source: &Bag, x: &Schema, a: Attr, u0: Value) -> Result<B
 /// Lifts a collection through an entire deletion sequence: `d_final` is
 /// aligned with the schemas obtained by applying all of `ops` to
 /// `start_schemas`; the result is aligned with `start_schemas`.
+///
+/// Legacy shim (default execution config) —
+/// [`lift_through_sequence_with`] is the canonical entry.
+#[doc(hidden)]
 pub fn lift_through_sequence(
     start_schemas: &[Schema],
     ops: &[SafeDeletion],
     d_final: &[Bag],
     u0: Value,
 ) -> Result<Vec<Bag>, LiftError> {
-    lift_through_sequence_with(start_schemas, ops, d_final, u0, &ExecConfig::sequential())
+    lift_through_sequence_with(start_schemas, ops, d_final, u0, &ExecConfig::default())
 }
 
 /// [`lift_through_sequence`] under an explicit execution configuration

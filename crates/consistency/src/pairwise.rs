@@ -23,8 +23,11 @@ use bagcons_flow::ConsistencyNetwork;
 /// assert!(!bags_consistent(&r, &s.scale(3)?)?);
 /// # Ok::<(), bagcons_core::CoreError>(())
 /// ```
+///
+/// Legacy shim — prefer [`crate::session::Session::bags_consistent`].
+#[doc(hidden)]
 pub fn bags_consistent(r: &Bag, s: &Bag) -> Result<bool> {
-    bags_consistent_with(r, s, &ExecConfig::sequential())
+    crate::session::Session::default().bags_consistent(r, s)
 }
 
 /// [`bags_consistent`] under an explicit execution configuration: the
@@ -56,8 +59,11 @@ pub fn bags_consistent_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<bool> 
 /// assert_eq!(t.marginal(s.schema())?, s);
 /// # Ok::<(), bagcons_core::CoreError>(())
 /// ```
+///
+/// Legacy shim — prefer [`crate::session::Session::consistency_witness`].
+#[doc(hidden)]
 pub fn consistency_witness(r: &Bag, s: &Bag) -> Result<Option<Bag>> {
-    consistency_witness_with(r, s, &ExecConfig::sequential())
+    crate::session::Session::default().consistency_witness(r, s)
 }
 
 /// [`consistency_witness`] under an explicit execution configuration:
@@ -79,8 +85,11 @@ pub fn consistency_witness_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Op
 
 /// True iff every two bags of the collection are consistent
 /// (the paper's *pairwise consistency*).
+///
+/// Legacy shim — prefer [`crate::session::Session::pairwise_consistent`].
+#[doc(hidden)]
 pub fn pairwise_consistent(bags: &[&Bag]) -> Result<bool> {
-    Ok(first_inconsistent_pair(bags)?.is_none())
+    crate::session::Session::default().pairwise_consistent(bags)
 }
 
 /// [`pairwise_consistent`] under an explicit execution configuration.
@@ -90,8 +99,12 @@ pub fn pairwise_consistent_with(bags: &[&Bag], cfg: &ExecConfig) -> Result<bool>
 
 /// Returns the first (lexicographic) inconsistent index pair, or `None`
 /// when the collection is pairwise consistent.
+///
+/// Legacy shim — prefer
+/// [`crate::session::Session::first_inconsistent_pair`].
+#[doc(hidden)]
 pub fn first_inconsistent_pair(bags: &[&Bag]) -> Result<Option<(usize, usize)>> {
-    first_inconsistent_pair_with(bags, &ExecConfig::sequential())
+    crate::session::Session::default().first_inconsistent_pair(bags)
 }
 
 /// [`first_inconsistent_pair`] under an explicit execution configuration.

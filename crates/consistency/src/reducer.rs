@@ -48,7 +48,7 @@ fn probe_ids(
     cfg: &ExecConfig,
 ) -> Vec<u32> {
     let ranges = shard_ranges(len, cfg.shards_for(len), |_| false);
-    let kept: Vec<Vec<u32>> = run_shards(cfg.threads, ranges, |range| {
+    let kept: Vec<Vec<u32>> = run_shards(cfg.threads(), ranges, |range| {
         let mut scratch: Vec<Value> = Vec::with_capacity(idx.len());
         let mut ids = Vec::new();
         for id in range {
@@ -71,8 +71,11 @@ fn probe_ids(
 /// The semijoin `R ⋉ S`: tuples of `R` that join with at least one tuple
 /// of `S` (set semantics). One columnar scan per side through a reused
 /// scratch buffer.
+///
+/// Legacy shim — prefer [`crate::session::Session::semijoin`].
+#[doc(hidden)]
 pub fn semijoin(r: &Relation, s: &Relation) -> Result<Relation> {
-    semijoin_with(r, s, &ExecConfig::sequential())
+    crate::session::Session::default().semijoin(r, s)
 }
 
 /// [`semijoin`] under an explicit execution configuration: the probe
@@ -111,7 +114,7 @@ pub struct FullReducer {
 impl FullReducer {
     /// Builds the reducer program for the hypergraph of the given edge
     /// schemas. Returns `None` iff the schema is cyclic — reproducing the
-    /// [BFMY83] equivalence "acyclic ⟺ has a full reducer" on the
+    /// \[BFMY83\] equivalence "acyclic ⟺ has a full reducer" on the
     /// positive side.
     pub fn build(h: &Hypergraph) -> Option<FullReducer> {
         let tree = JoinTree::build(h)?;
@@ -181,8 +184,11 @@ pub fn is_fully_reduced(rels: &[Relation]) -> Result<bool> {
 /// Unlike the naive multiway join, every intermediate result here is a
 /// projection of the final join, so intermediate sizes never exceed the
 /// output — the polynomiality the introduction cites.
+///
+/// Legacy shim — prefer [`crate::session::Session::acyclic_join`].
+#[doc(hidden)]
 pub fn acyclic_join(rels: &[Relation]) -> Result<Option<Relation>> {
-    acyclic_join_with(rels, &ExecConfig::sequential())
+    crate::session::Session::default().acyclic_join(rels)
 }
 
 /// [`acyclic_join`] under an explicit execution configuration (the
@@ -213,8 +219,11 @@ pub fn acyclic_join_with(rels: &[Relation], cfg: &ExecConfig) -> Result<Option<R
 /// other bag, preserving multiplicities. This is the obvious candidate
 /// the paper's Section 6 warns about — the tests show it cannot play the
 /// full-reducer role for bags.
+///
+/// Legacy shim — prefer [`crate::session::Session::naive_bag_semijoin`].
+#[doc(hidden)]
 pub fn naive_bag_semijoin(r: &Bag, s: &Bag) -> Result<Bag> {
-    naive_bag_semijoin_with(r, s, &ExecConfig::sequential())
+    crate::session::Session::default().naive_bag_semijoin(r, s)
 }
 
 /// [`naive_bag_semijoin`] under an explicit execution configuration

@@ -1,4 +1,4 @@
-//! NP-hardness reductions (Section 5.2, Lemmas 6 and 7, [IJ94]).
+//! NP-hardness reductions (Section 5.2, Lemmas 6 and 7, \[IJ94\]).
 //!
 //! * [`ContingencyTable3D`] — the 3-dimensional contingency table problem
 //!   (Irving–Jerrum): given 2-D margins `R(i,k)`, `C(j,k)`, `F(i,j)`, is

@@ -10,10 +10,210 @@
 //! search, and the max-flow saturation test — so the equivalence can be
 //! cross-validated mechanically (experiment E2).
 
-use bagcons_core::{Bag, Result, Schema};
+use bagcons_core::{AttrNames, Bag, ExecConfig, Result, Schema};
 use bagcons_flow::ConsistencyNetwork;
 use bagcons_lp::ilp::{solve, IlpOutcome, SolverConfig};
 use bagcons_lp::{rational_solution, ConsistencyProgram};
+use std::fmt;
+
+/// Output formats a report can render to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// Human-readable text (the CLI's default).
+    #[default]
+    Text,
+    /// Machine-readable JSON (hand-rolled writer — the build environment
+    /// is offline, so no serde).
+    Json,
+}
+
+impl std::str::FromStr for ReportFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "text" => Ok(ReportFormat::Text),
+            "json" => Ok(ReportFormat::Json),
+            other => Err(format!("unknown format {other:?} (expected text|json)")),
+        }
+    }
+}
+
+/// Renders a typed outcome to both human text and machine-readable JSON.
+///
+/// Every [`crate::session::Session`] outcome implements this; the CLI is
+/// a thin `print(outcome.render(format, names))` on top. Attribute names
+/// travel separately (in [`AttrNames`], usually
+/// [`crate::session::Session::names`]) because outcomes hold only
+/// interned [`bagcons_core::Attr`] ids.
+pub trait Render {
+    /// Human-readable rendering.
+    fn text(&self, names: &AttrNames) -> String;
+
+    /// Machine-readable JSON rendering: one object, single-line, no
+    /// trailing newline (append your own separator when streaming).
+    fn json(&self, names: &AttrNames) -> String;
+
+    /// Dispatches on `format`.
+    fn render(&self, format: ReportFormat, names: &AttrNames) -> String {
+        match format {
+            ReportFormat::Text => self.text(names),
+            ReportFormat::Json => self.json(names),
+        }
+    }
+}
+
+/// A minimal hand-rolled JSON writer (the offline build has no serde).
+///
+/// Push-style: `begin_object`/`end_object`, `begin_array`/`end_array`,
+/// `key`, and scalar emitters; commas and string escaping are handled
+/// internally. The writer does not validate nesting — callers own the
+/// shape — but the session outcomes' tests pin well-formedness.
+///
+/// ```
+/// use bagcons::report::Json;
+/// let mut j = Json::new();
+/// j.begin_object();
+/// j.key("decision");
+/// j.string("consistent");
+/// j.key("nodes");
+/// j.u64(42);
+/// j.end_object();
+/// assert_eq!(j.finish(), "{\"decision\":\"consistent\",\"nodes\":42}");
+/// ```
+#[derive(Debug, Default)]
+pub struct Json {
+    buf: String,
+    /// Per-open-container flag: does the next element need a `,`?
+    needs_comma: Vec<bool>,
+    /// The next value completes a `"key":` — suppress its comma.
+    after_key: bool,
+}
+
+impl Json {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Json::default()
+    }
+
+    fn pre_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.buf.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Emits an object key; the next emitted value becomes its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.write_escaped(k);
+        self.buf.push(':');
+        self.after_key = true;
+    }
+
+    /// Emits a string value (escaped).
+    pub fn string(&mut self, v: &str) {
+        self.pre_value();
+        self.write_escaped(v);
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.pre_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Emits a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Emits `null`.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.buf.push_str("null");
+    }
+
+    /// `"k": "v"` shorthand.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// `"k": v` shorthand for unsigned integers.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// `"k": v` shorthand for booleans.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// The accumulated JSON.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.buf)
+    }
+}
 
 /// Truth values of Lemma 2's five statements for a concrete pair of bags.
 #[derive(Clone, Debug)]
@@ -31,18 +231,34 @@ pub struct Lemma2Report {
 }
 
 impl Lemma2Report {
-    /// Evaluates all five characterizations independently.
+    /// Evaluates all five characterizations independently (sequential,
+    /// unlimited search — [`Lemma2Report::compute_with`] exposes the
+    /// knobs).
     pub fn compute(r: &Bag, s: &Bag) -> Result<Lemma2Report> {
+        Self::compute_with(r, s, &SolverConfig::default(), &ExecConfig::sequential())
+    }
+
+    /// [`Lemma2Report::compute`] under explicit solver and execution
+    /// configurations: the marginal comparison and the `N(R,S)` build
+    /// shard across threads when `exec` permits, and the exact integer
+    /// search honors `solver`'s node budget (a budget abort counts as
+    /// "not integrally feasible", which can break
+    /// [`Lemma2Report::all_agree`] — pass an adequate budget).
+    pub fn compute_with(
+        r: &Bag,
+        s: &Bag,
+        solver: &SolverConfig,
+        exec: &ExecConfig,
+    ) -> Result<Lemma2Report> {
         let z: Schema = r.schema().intersection(s.schema());
-        let marginals_equal = r.marginal(&z)? == s.marginal(&z)?;
+        let marginals_equal = r.marginal_with(&z, exec)? == s.marginal_with(&z, exec)?;
 
         let rational_feasible = rational_solution(r, s)?.is_some();
 
         let prog = ConsistencyProgram::build(&[r, s])?;
-        let integral_feasible =
-            matches!(solve(&prog, &SolverConfig::default()), IlpOutcome::Sat(_));
+        let integral_feasible = matches!(solve(&prog, solver), IlpOutcome::Sat(_));
 
-        let witness = ConsistencyNetwork::build(r, s)?.solve();
+        let witness = ConsistencyNetwork::build_with(r, s, exec)?.solve();
         let saturated_flow = witness.is_some();
 
         Ok(Lemma2Report {

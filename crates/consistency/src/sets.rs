@@ -76,7 +76,7 @@ pub fn coloring_relations(edges: &[(u32, u32)]) -> Vec<Relation> {
 }
 
 /// Decides 3-colorability of a graph through the universal-relation
-/// reduction (exponential in general — that is the point of [HLY80]).
+/// reduction (exponential in general — that is the point of \[HLY80\]).
 pub fn three_colorable_via_relations(edges: &[(u32, u32)]) -> Result<bool> {
     let rels = coloring_relations(edges);
     let refs: Vec<&Relation> = rels.iter().collect();

@@ -36,6 +36,9 @@ pub enum CoreError {
     /// The paper's size bounds (Theorem 3) concern binary-encoded
     /// multiplicities; rather than silently wrapping we surface overflow.
     MultiplicityOverflow,
+    /// A configuration builder rejected its inputs (e.g. zero threads in
+    /// [`crate::exec::ExecConfigBuilder::build`]).
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +61,7 @@ impl fmt::Display for CoreError {
             CoreError::MultiplicityOverflow => {
                 write!(f, "multiplicity arithmetic overflowed u64")
             }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

@@ -25,28 +25,50 @@
 //! work left on the output side is the flat-table probe.
 
 use crate::store::{hash_row, RowStore};
-use crate::Value;
+use crate::{CoreError, Value};
+use std::fmt;
 use std::ops::Range;
 
 /// Configuration for shard-parallel execution.
 ///
-/// The two fields are deliberately public: benchmarks and property tests
-/// pin exact thread counts and force sharding on tiny inputs by dropping
-/// `min_parallel_support` to 1.
+/// Constructed through [`ExecConfig::builder`] (which validates
+/// `threads >= 1` and `min_parallel_support >= 1` once, at build time) or
+/// the const shorthands [`ExecConfig::sequential`] /
+/// [`ExecConfig::with_threads`]. The fields are private so every value in
+/// circulation satisfies those invariants; benchmarks and property tests
+/// force sharding on tiny inputs via
+/// `ExecConfig::builder().threads(4).min_parallel_support(1).build()`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Maximum worker threads (and shards) per parallel operation.
-    /// `1` disables parallelism entirely.
-    pub threads: usize,
+    /// `1` disables parallelism entirely. Invariant: `>= 1`.
+    pub(crate) threads: usize,
     /// Inputs with fewer items than this run sequentially even when
     /// `threads > 1`: below it, thread spawn + splice overhead outweighs
-    /// the per-shard work.
-    pub min_parallel_support: usize,
+    /// the per-shard work. Invariant: `>= 1`.
+    pub(crate) min_parallel_support: usize,
 }
 
 impl ExecConfig {
     /// Default sequential-fallback threshold (items per operation).
     pub const DEFAULT_MIN_PARALLEL_SUPPORT: usize = 2048;
+
+    /// Starts building a configuration; unset knobs take the defaults of
+    /// [`ExecConfig::default`].
+    pub fn builder() -> ExecConfigBuilder {
+        ExecConfigBuilder::new()
+    }
+
+    /// Maximum worker threads (and shards) per parallel operation.
+    pub const fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The sequential-fallback threshold: inputs with fewer items run
+    /// sequentially even when `threads() > 1`.
+    pub const fn min_parallel_support(&self) -> usize {
+        self.min_parallel_support
+    }
 
     /// A strictly sequential configuration: every `*_with` entry point
     /// takes its unchanged single-threaded code path.
@@ -58,7 +80,14 @@ impl ExecConfig {
     }
 
     /// `threads` workers with the default sequential-fallback threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `threads == 0` — the same invariant
+    /// [`ExecConfigBuilder::build`] reports as [`CoreError::InvalidConfig`];
+    /// use the builder when the count is untrusted.
     pub const fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be >= 1");
         ExecConfig {
             threads,
             min_parallel_support: Self::DEFAULT_MIN_PARALLEL_SUPPORT,
@@ -67,7 +96,8 @@ impl ExecConfig {
 
     /// How many shards an input of `items` rows should split into: `1`
     /// (sequential) below the parallel threshold or at `threads = 1`,
-    /// otherwise the configured thread count.
+    /// otherwise the configured thread count. (A 0/1-row input never
+    /// shards, whatever the threshold.)
     pub fn shards_for(&self, items: usize) -> usize {
         if self.threads <= 1 || items < self.min_parallel_support.max(2) {
             1
@@ -81,15 +111,88 @@ impl Default for ExecConfig {
     /// One worker per available hardware thread (capped at 8 — the hot
     /// paths are memory-bound well before that on current parts).
     fn default() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8);
-        ExecConfig {
-            threads,
-            min_parallel_support: Self::DEFAULT_MIN_PARALLEL_SUPPORT,
+        ExecConfig::builder()
+            .build()
+            .expect("default ExecConfig is valid")
+    }
+}
+
+impl fmt::Display for ExecConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.threads == 1 {
+            write!(f, "sequential")
+        } else {
+            write!(
+                f,
+                "{} threads (sequential below {} rows)",
+                self.threads, self.min_parallel_support
+            )
         }
     }
+}
+
+/// Builder for [`ExecConfig`]; see [`ExecConfig::builder`].
+///
+/// Validation happens once in [`ExecConfigBuilder::build`] — the
+/// executors and shard planners downstream can rely on `threads >= 1`
+/// and `min_parallel_support >= 1` instead of re-checking per call.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfigBuilder {
+    threads: Option<usize>,
+    min_parallel_support: usize,
+}
+
+impl ExecConfigBuilder {
+    fn new() -> Self {
+        ExecConfigBuilder {
+            threads: None,
+            min_parallel_support: ExecConfig::DEFAULT_MIN_PARALLEL_SUPPORT,
+        }
+    }
+
+    /// Sets the worker-thread cap. Unset, it defaults to one worker per
+    /// available hardware thread (capped at 8).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the sequential-fallback threshold
+    /// ([`ExecConfig::DEFAULT_MIN_PARALLEL_SUPPORT`] when unset).
+    pub fn min_parallel_support(mut self, items: usize) -> Self {
+        self.min_parallel_support = items;
+        self
+    }
+
+    /// Validates and builds: `threads >= 1`, `min_parallel_support >= 1`.
+    pub fn build(self) -> Result<ExecConfig, CoreError> {
+        let threads = self.threads.unwrap_or_else(default_threads);
+        if threads == 0 {
+            return Err(CoreError::InvalidConfig("threads must be >= 1"));
+        }
+        if self.min_parallel_support == 0 {
+            return Err(CoreError::InvalidConfig(
+                "min_parallel_support must be >= 1",
+            ));
+        }
+        Ok(ExecConfig {
+            threads,
+            min_parallel_support: self.min_parallel_support,
+        })
+    }
+}
+
+/// Hardware thread count used by [`ExecConfig::default`], cached so the
+/// legacy convenience entry points can construct default configs in tight
+/// loops without re-querying the OS.
+fn default_threads() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    })
 }
 
 /// Splits `0..n` into at most `shards` contiguous, non-empty ranges whose

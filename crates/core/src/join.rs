@@ -23,7 +23,7 @@
 //! Sort-merge wins once both sides are large (cache-friendly sequential
 //! scans, no hash-table build); hashing wins when one side is small
 //! enough that `O(small)` build + `O(large)` probe beats sorting the
-//! large side. The crossover [`MERGE_MIN`] is coarse by design.
+//! large side. The crossover `MERGE_MIN` is coarse by design.
 //!
 //! Joined rows are assembled in a reused scratch buffer and appended to
 //! the output arena: the whole path performs **zero per-tuple
@@ -102,11 +102,11 @@ pub enum JoinStrategy {
 impl JoinStrategy {
     /// The sequential strategy heuristic. Calibrated against BENCH_e12:
     ///
-    /// * either side below [`MERGE_MIN`] → **hash** (build the small
+    /// * either side below `MERGE_MIN` → **hash** (build the small
     ///   side, probe the large);
     /// * both sides sort-free (sealed with prefix keys) → **merge** —
     ///   a pure linear sweep, no sort and no table build;
-    /// * size ratio ≥ [`HASH_RATIO`] → **hash**: probing the large side
+    /// * size ratio ≥ `HASH_RATIO` → **hash**: probing the large side
     ///   beats putting it through a sort;
     /// * otherwise → **hash**: when at least one side must be sorted,
     ///   BENCH_e12 has hash edging out merge at every measured support

@@ -117,7 +117,7 @@ pub mod tuple;
 pub use attr::{Attr, Value};
 pub use bag::Bag;
 pub use error::CoreError;
-pub use exec::ExecConfig;
+pub use exec::{ExecConfig, ExecConfigBuilder};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use names::AttrNames;
 pub use relation::Relation;

@@ -331,10 +331,11 @@ mod tests {
         let seq_rows: Vec<Vec<Value>> = seq.middle_rows().map(|row| row.to_vec()).collect();
         let seq_witness = seq.solve();
         for threads in [2usize, 4] {
-            let cfg = ExecConfig {
-                threads,
-                min_parallel_support: 1,
-            };
+            let cfg = ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1)
+                .build()
+                .unwrap();
             let par = ConsistencyNetwork::build_with(&r, &s, &cfg).unwrap();
             let par_rows: Vec<Vec<Value>> = par.middle_rows().map(|row| row.to_vec()).collect();
             assert_eq!(par_rows, seq_rows, "threads = {threads}");

@@ -8,7 +8,7 @@
 //!   multiplicity `2ⁿ` whose *bag-join-style* witness `J` has `2ⁿ` support
 //!   tuples — exponentially bigger than the input — while minimal
 //!   witnesses stay polynomial (Theorem 3(3)).
-//! * [`random_graph`] — Erdős–Rényi graphs for the [HLY80] 3-colorability
+//! * [`random_graph`] — Erdős–Rényi graphs for the \[HLY80\] 3-colorability
 //!   reduction in the set-semantics baseline.
 
 use bagcons_core::{Attr, Bag, Result, Schema, Value};

@@ -15,7 +15,7 @@
 //!   Tseitin-unsatisfiable (see DESIGN.md §5 on this substitution);
 //! * [`families`] — the paper's own example families: the
 //!   `2^{n-1}`-witness pair of Section 3, Example 1's exponential
-//!   bag-join chain, and random graphs for the [HLY80] set-case
+//!   bag-join chain, and random graphs for the \[HLY80\] set-case
 //!   reduction.
 //!
 //! All generators take explicit [`rand`] RNGs so every experiment is

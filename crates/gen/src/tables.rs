@@ -1,4 +1,4 @@
-//! Synthetic 3-dimensional contingency tables (the [IJ94] problem).
+//! Synthetic 3-dimensional contingency tables (the \[IJ94\] problem).
 //!
 //! The paper's NP-hardness for GCPB(C₃) rests on the 3DCT problem of
 //! Irving and Jerrum. Their hard instances are not published as data, so

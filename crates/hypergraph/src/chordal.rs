@@ -2,7 +2,7 @@
 //!
 //! A hypergraph is **chordal** when its primal graph is chordal: every
 //! cycle of length ≥ 4 has a chord. We use the classical two-phase test of
-//! Rose–Tarjan–Lueker [RTL76] (cited by the paper in Lemma 3):
+//! Rose–Tarjan–Lueker \[RTL76\] (cited by the paper in Lemma 3):
 //! *maximum-cardinality search* produces a vertex order whose reverse is a
 //! perfect elimination order iff the graph is chordal; a second pass
 //! verifies the elimination property.

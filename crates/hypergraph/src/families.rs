@@ -47,7 +47,7 @@ pub fn full_clique_complement(n: u32) -> Hypergraph {
 }
 
 /// The triangle hypergraph `C_3 = H_3` with edges `{A0,A1},{A1,A2},{A2,A0}`
-/// — the schema of 3-dimensional contingency tables (Lemma 6 / [IJ94]).
+/// — the schema of 3-dimensional contingency tables (Lemma 6 / \[IJ94\]).
 pub fn triangle() -> Hypergraph {
     cycle(3)
 }

@@ -8,7 +8,7 @@
 //!
 //! The hypergraph is **acyclic** iff the process deletes every hyperedge.
 //! The paper mentions Graham's algorithm as one of the equivalent
-//! characterizations in [BFMY83] (remark after Theorem 2); we use it as the
+//! characterizations in \[BFMY83\] (remark after Theorem 2); we use it as the
 //! reference decision procedure and cross-check the other characterizations
 //! (chordal ∧ conformal, join tree, RIP) against it in tests.
 

@@ -31,6 +31,52 @@ pub struct SolverConfig {
     pub disable_presolve: bool,
 }
 
+impl SolverConfig {
+    /// Starts building a configuration (all knobs default off/unlimited).
+    pub fn builder() -> SolverConfigBuilder {
+        SolverConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SolverConfig`]; see [`SolverConfig::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct SolverConfigBuilder {
+    cfg: SolverConfig,
+}
+
+impl SolverConfigBuilder {
+    /// Aborts the search after `nodes` DFS nodes (reported as
+    /// [`IlpOutcome::NodeLimit`]).
+    pub fn node_limit(mut self, nodes: u64) -> Self {
+        self.cfg.node_limit = Some(nodes);
+        self
+    }
+
+    /// Removes any node budget (the default).
+    pub fn unlimited(mut self) -> Self {
+        self.cfg.node_limit = None;
+        self
+    }
+
+    /// Ablation A1: skip forced-variable detection.
+    pub fn disable_forcing(mut self, yes: bool) -> Self {
+        self.cfg.disable_forcing = yes;
+        self
+    }
+
+    /// Ablation A2: skip the per-bag-total presolve.
+    pub fn disable_presolve(mut self, yes: bool) -> Self {
+        self.cfg.disable_presolve = yes;
+        self
+    }
+
+    /// Builds the configuration (infallible — every knob combination is
+    /// legal).
+    pub fn build(self) -> SolverConfig {
+        self.cfg
+    }
+}
+
 /// Result of an exact feasibility search.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum IlpOutcome {

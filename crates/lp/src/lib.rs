@@ -29,6 +29,6 @@ pub mod program;
 pub mod rational;
 
 pub use bounds::{es_support_bound, theorem3_bounds, two_bag_support_bound, WitnessBounds};
-pub use ilp::{count_solutions, solve, IlpOutcome, SolverConfig};
+pub use ilp::{count_solutions, solve, IlpOutcome, SolverConfig, SolverConfigBuilder};
 pub use program::ConsistencyProgram;
 pub use rational::{rational_solution, Rational};

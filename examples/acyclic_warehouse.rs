@@ -21,9 +21,8 @@
 //! pairwise checks suffice, and Theorem 6 constructs the joint log in
 //! polynomial time with support no larger than the sum of the inputs.
 
-use bagcons::acyclic::{acyclic_global_witness_with, WitnessStrategy};
-use bagcons::global::is_global_witness;
-use bagcons::pairwise::pairwise_consistent;
+use bagcons::acyclic::WitnessStrategy;
+use bagcons::session::Session;
 use bagcons_core::{Attr, AttrNames, Bag, Schema};
 use bagcons_gen::consistent::planted_family;
 use bagcons_hypergraph::{is_acyclic, rip_order, Hypergraph};
@@ -31,6 +30,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let session = Session::builder().threads(2).build().expect("valid config");
     let mut names = AttrNames::new();
     let store = names.fresh("Store");
     let product = names.fresh("Product");
@@ -66,12 +66,14 @@ fn main() {
 
     // 1. consistency audit: pairwise only, thanks to acyclicity
     let refs: Vec<&Bag> = tables.iter().collect();
-    assert!(pairwise_consistent(&refs).unwrap());
+    assert!(session.pairwise_consistent(&refs).unwrap());
     println!("pairwise audit passed — by Theorem 2 the tables are globally consistent");
 
     // 2. reconstruct a joint event log (Theorem 6)
-    let log = acyclic_global_witness_with(&refs, WitnessStrategy::Minimal).unwrap();
-    assert!(is_global_witness(&log, &refs).unwrap());
+    let log = session
+        .acyclic_global_witness(&refs, WitnessStrategy::Minimal)
+        .unwrap();
+    assert!(session.is_global_witness(&log, &refs).unwrap());
     let bound: usize = refs.iter().map(|b| b.support_size()).sum();
     println!(
         "reconstructed joint log: {} distinct events (Theorem 6 bound: ≤ {bound})",

@@ -12,37 +12,44 @@
 //!
 //! This example builds the **PR-box / Tseitin** table for measurement
 //! contexts arranged in a cycle, verifies local consistency, refutes
-//! global consistency, and then uses the paper's Theorem 2 machinery to
-//! show that *any* cyclic context hypergraph supports such a paradox
-//! while acyclic ones never do.
+//! global consistency through one [`Session`], and then uses the paper's
+//! Theorem 2 machinery ([`Session::counterexample`]) to show that *any*
+//! cyclic context hypergraph supports such a paradox while acyclic ones
+//! never do.
 
-use bagcons::global::globally_consistent_via_ilp;
-use bagcons::lifting::pairwise_consistent_globally_inconsistent;
-use bagcons::pairwise::pairwise_consistent;
+use bagcons::session::{Decision, Session};
 use bagcons::tseitin::tseitin_bags;
 use bagcons_core::{Bag, Schema};
 use bagcons_hypergraph::{cycle, is_acyclic, path, Hypergraph};
-use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
 
-fn refute(bags: &[Bag], label: &str) {
+fn refute(session: &Session, bags: &[Bag], label: &str) {
     let refs: Vec<&Bag> = bags.iter().collect();
     assert!(
-        pairwise_consistent(&refs).unwrap(),
+        session.pairwise_consistent(&refs).unwrap(),
         "{label}: must be locally consistent"
     );
-    let dec = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
+    let outcome = session.check(&refs).unwrap();
     assert_eq!(
-        dec.outcome,
-        IlpOutcome::Unsat,
+        outcome.decision,
+        Decision::Inconsistent,
         "{label}: must be globally inconsistent"
     );
+    assert!(!outcome.branch.is_acyclic());
     println!(
         "{label}: locally consistent, globally refuted after {} search nodes",
-        dec.stats.nodes
+        outcome.search_nodes
     );
 }
 
+/// One empty bag per hyperedge — enough schema information for
+/// [`Session::counterexample`] to reconstruct the context hypergraph.
+fn empty_bags(h: &Hypergraph) -> Vec<Bag> {
+    h.edges().iter().cloned().map(Bag::new).collect()
+}
+
 fn main() {
+    let session = Session::builder().threads(2).build().expect("valid config");
+
     // --- the 4-cycle PR-box ------------------------------------------
     // contexts: (a0,b0), (b0,a1), (a1,b1), (b1,a0) — each context's
     // statistics are perfectly correlated except the last, which is
@@ -53,14 +60,15 @@ fn main() {
     for bag in &model {
         println!("context {}:\n{bag}", bag.schema());
     }
-    refute(&model, "PR box (C4)");
+    refute(&session, &model, "PR box (C4)");
 
     // --- the specker triangle ----------------------------------------
     let triangle_model = tseitin_bags(&cycle(3)).unwrap();
-    refute(&triangle_model, "Specker triangle (C3)");
+    refute(&session, &triangle_model, "Specker triangle (C3)");
 
     // --- paradoxes exist on EVERY cyclic context hypergraph ----------
-    // Theorem 2's constructive direction: obstruction + lifting.
+    // Theorem 2's constructive direction: obstruction + lifting, behind
+    // Session::counterexample.
     let exotic = Hypergraph::from_edges([
         Schema::range(0, 2),
         Schema::range(1, 3),
@@ -69,18 +77,22 @@ fn main() {
         Schema::from_attrs([bagcons_core::Attr(0), bagcons_core::Attr(10)]),
     ]);
     assert!(!is_acyclic(&exotic));
-    let paradox = pairwise_consistent_globally_inconsistent(&exotic)
+    let shells = empty_bags(&exotic);
+    let refs: Vec<&Bag> = shells.iter().collect();
+    let paradox = session
+        .counterexample(&refs)
         .unwrap()
-        .unwrap();
-    refute(&paradox, "lifted paradox on a decorated 4-cycle");
+        .family
+        .expect("cyclic schemas always admit a paradox");
+    refute(&session, &paradox, "lifted paradox on a decorated 4-cycle");
 
     // --- and never on acyclic ones ------------------------------------
     let classical = path(5);
     assert!(is_acyclic(&classical));
+    let shells = empty_bags(&classical);
+    let refs: Vec<&Bag> = shells.iter().collect();
     assert!(
-        pairwise_consistent_globally_inconsistent(&classical)
-            .unwrap()
-            .is_none(),
+        session.counterexample(&refs).unwrap().family.is_none(),
         "acyclic contexts admit no paradox (Theorem 2)"
     );
     println!(

@@ -17,10 +17,12 @@
 //! out.
 
 use bagcons::optimal::min_cost_witness;
-use bagcons::pairwise::bags_consistent;
+use bagcons::report::{Render, ReportFormat};
+use bagcons::session::Session;
 use bagcons_core::{AttrNames, Bag, Schema, Value};
 
 fn main() {
+    let session = Session::builder().threads(2).build().expect("valid config");
     let mut names = AttrNames::new();
     let ward = names.fresh("Ward");
     let diagnosis = names.fresh("Diagnosis");
@@ -47,9 +49,18 @@ fn main() {
         ],
     )
     .unwrap();
-    assert!(bags_consistent(&admissions, &discharges).unwrap());
+    assert!(session.bags_consistent(&admissions, &discharges).unwrap());
     println!("admissions (Ward, Diagnosis):\n{admissions}");
     println!("discharges (Diagnosis, Outcome):\n{discharges}");
+
+    // Lemma 2's five characterizations, cross-validated and reported in
+    // machine-readable form by the session facade:
+    let lemma2 = session.pairwise_report(&admissions, &discharges).unwrap();
+    assert!(lemma2.report.all_agree());
+    println!(
+        "Lemma 2 report: {}",
+        lemma2.render(ReportFormat::Json, &names)
+    );
 
     // Best case for ward 1: minimize (Ward=1, Outcome=readmitted) counts.
     let ward1_readmits = |row: &[Value]| u64::from(row[0] == Value(1) && row[2] == Value(1));

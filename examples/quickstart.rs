@@ -1,40 +1,38 @@
-//! Quickstart: the core API in five minutes.
+//! Quickstart: the `Session` API in five minutes.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 //!
-//! Walks through the paper's opening moves: two-bag consistency (Lemma 2),
-//! witness construction (Corollary 1), why the bag join is *not* a
-//! witness (Section 3), and the acyclic-vs-cyclic dichotomy (Theorem 4).
+//! Walks through the paper's opening moves on one [`Session`]: two-bag
+//! consistency (Lemma 2), witness construction (Corollary 1), why the bag
+//! join is *not* a witness (Section 3), and the acyclic-vs-cyclic
+//! dichotomy (Theorem 4) — plus the machine-readable JSON reports.
 
 use bag_consistency::prelude::*;
-use bagcons_lp::ilp::SolverConfig;
+use bagcons::minimal::minimal_two_bag_witness;
+use bagcons::tseitin::tseitin_bags;
 
 fn main() {
     // ---------------------------------------------------------------
-    // 1. Bags are multisets of tuples over a schema.
+    // 1. A Session owns all configuration: threads, budgets, names.
     // ---------------------------------------------------------------
-    // Flight legs: (Origin, Dest) with how many seats were sold.
-    let mut names = AttrNames::new();
-    let origin = names.fresh("Origin");
-    let dest = names.fresh("Dest");
-    let carrier = names.fresh("Carrier");
+    let mut session = Session::builder()
+        .threads(2)
+        .budget(1_000_000)
+        .build()
+        .expect("valid config");
 
-    let legs = Schema::from_attrs([origin, dest]);
-    let ops = Schema::from_attrs([dest, carrier]);
-
+    // Bags are multisets of tuples over a schema; loading through the
+    // session interns attribute names consistently across inputs.
+    // Flight legs: (Origin, Dest) seats sold; ops: (Dest, Carrier).
     // city codes: 0 = SFO, 1 = JFK, 2 = BOS; carriers: 10, 11
-    let sold = Bag::from_u64s(legs, [(&[0u64, 1][..], 120), (&[0, 2][..], 80)]).unwrap();
-    let handled = Bag::from_u64s(
-        ops,
-        [
-            (&[1u64, 10][..], 70),
-            (&[1, 11][..], 50),
-            (&[2, 10][..], 80),
-        ],
-    )
-    .unwrap();
+    let sold = session
+        .load_bag("Origin Dest #\n0 1 : 120\n0 2 : 80\n")
+        .unwrap();
+    let handled = session
+        .load_bag("Dest Carrier #\n1 10 : 70\n1 11 : 50\n2 10 : 80\n")
+        .unwrap();
 
     println!("sold (Origin, Dest):\n{sold}");
     println!("handled (Dest, Carrier):\n{handled}");
@@ -42,14 +40,15 @@ fn main() {
     // ---------------------------------------------------------------
     // 2. Lemma 2: consistency == equal marginals on shared attributes.
     // ---------------------------------------------------------------
-    let consistent = bags_consistent(&sold, &handled).unwrap();
+    let consistent = session.bags_consistent(&sold, &handled).unwrap();
     println!("consistent on Dest? {consistent}");
     assert!(consistent);
 
     // ---------------------------------------------------------------
     // 3. Corollary 1: build an actual joint bag via max-flow.
     // ---------------------------------------------------------------
-    let joint = consistency_witness(&sold, &handled)
+    let joint = session
+        .consistency_witness(&sold, &handled)
         .unwrap()
         .expect("consistent");
     println!("a joint bag over (Origin, Dest, Carrier):\n{joint}");
@@ -63,8 +62,8 @@ fn main() {
     let join_marginal = join.marginal(sold.schema()).unwrap();
     println!(
         "bag join marginal on (Origin, Dest) inflates multiplicities: {} sold at (0,1) vs {}",
-        join_marginal.multiplicity(&[bagcons_core::Value(0), bagcons_core::Value(1)]),
-        sold.multiplicity(&[bagcons_core::Value(0), bagcons_core::Value(1)]),
+        join_marginal.multiplicity(&[Value(0), Value(1)]),
+        sold.multiplicity(&[Value(0), Value(1)]),
     );
     assert_ne!(join_marginal, sold);
 
@@ -73,16 +72,22 @@ fn main() {
     // ---------------------------------------------------------------
     let triangle = tseitin_bags(&bag_consistency::hypergraph::triangle()).unwrap();
     let refs: Vec<&Bag> = triangle.iter().collect();
-    assert!(pairwise_consistent(&refs).unwrap());
-    let report = decide_global_consistency(&refs, &SolverConfig::default()).unwrap();
+    assert!(session.pairwise_consistent(&refs).unwrap());
+    let outcome = session.check(&refs).unwrap();
     println!(
-        "parity triangle: acyclic path taken? {} — globally consistent? {}",
-        report.acyclic,
-        report.outcome.is_consistent(),
+        "parity triangle: branch = {} — decision = {}",
+        outcome.branch.as_str(),
+        outcome.decision.as_str(),
     );
-    assert!(!report.acyclic);
-    assert!(!report.outcome.is_consistent());
+    assert!(!outcome.branch.is_acyclic());
+    assert_eq!(outcome.decision, Decision::Inconsistent);
     println!("pairwise consistency does NOT imply global consistency on cyclic schemas.");
+
+    // Every outcome also renders as machine-readable JSON:
+    println!(
+        "JSON report: {}",
+        outcome.render(ReportFormat::Json, session.names())
+    );
 
     // On an acyclic schema the same question needs no search at all:
     let t = minimal_two_bag_witness(&sold, &handled).unwrap().unwrap();

@@ -22,15 +22,15 @@
 //!    margins looks fine — the paper's pairwise-vs-global gap in the
 //!    wild.
 
-use bagcons::global::globally_consistent_via_ilp;
-use bagcons::pairwise::pairwise_consistent;
 use bagcons::reductions::ContingencyTable3D;
+use bagcons::session::{Decision, Session};
 use bagcons_core::Bag;
 use bagcons_gen::tables::tseitin_3dct;
-use bagcons_lp::ilp::{count_solutions, IlpOutcome, SolverConfig};
+use bagcons_lp::ilp::{count_solutions, SolverConfig};
 use bagcons_lp::ConsistencyProgram;
 
 fn main() {
+    let session = Session::builder().threads(2).build().expect("valid config");
     // --- the bureau's private microdata -----------------------------
     // dimensions: Age band (0,1) × Region (0,1) × Income band (0,1)
     let private = vec![
@@ -44,11 +44,14 @@ fn main() {
     println!("  F = {:?}", release.f);
 
     // --- the auditor: are the margins realizable? --------------------
+    // (GCPB on the triangle schema — Session::check takes the cyclic
+    // search branch of Theorem 4's dichotomy.)
     let bags = release.to_bags().unwrap();
     let refs: Vec<&Bag> = bags.iter().collect();
-    let decision = globally_consistent_via_ilp(&refs, &SolverConfig::default()).unwrap();
-    match &decision.outcome {
-        IlpOutcome::Sat(_) => println!("margins are realizable (as they must be)"),
+    let outcome = session.check(&refs).unwrap();
+    assert!(!outcome.branch.is_acyclic());
+    match outcome.decision {
+        Decision::Consistent => println!("margins are realizable (as they must be)"),
         other => panic!("planted margins must be satisfiable, got {other:?}"),
     }
 
@@ -70,13 +73,13 @@ fn main() {
     let bogus = tseitin_3dct(500).unwrap();
     let bogus_bags = bogus.to_bags().unwrap();
     let bogus_refs: Vec<&Bag> = bogus_bags.iter().collect();
-    assert!(pairwise_consistent(&bogus_refs).unwrap());
+    assert!(session.pairwise_consistent(&bogus_refs).unwrap());
     println!("\ncorrupted release passes all pairwise checks...");
-    let verdict = globally_consistent_via_ilp(&bogus_refs, &SolverConfig::default()).unwrap();
-    assert_eq!(verdict.outcome, IlpOutcome::Unsat);
+    let verdict = session.check(&bogus_refs).unwrap();
+    assert_eq!(verdict.decision, Decision::Inconsistent);
     println!(
         "...but the global check refutes it after {} search nodes: no table has these margins",
-        verdict.stats.nodes
+        verdict.search_nodes
     );
     println!("(Theorem 4: on the triangle schema this check is NP-complete in general.)");
 }

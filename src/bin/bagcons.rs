@@ -1,13 +1,21 @@
-//! `bagcons` — command-line interface to the bag-consistency library.
+//! `bagcons` — command-line interface to the bag-consistency library,
+//! a thin shell around [`bagcons::session::Session`].
 //!
 //! ```text
-//! bagcons check <FILE>...          decide global consistency (dichotomy)
-//! bagcons witness <FILE>...        print a witness bag, if one exists
-//! bagcons diagnose <FILE>...       explain inconsistencies tuple-by-tuple
-//! bagcons schema <FILE>...         analyze the schema hypergraph
-//! bagcons counterexample <FILE>... emit a pairwise-consistent but
-//!                                  globally-inconsistent family over the
-//!                                  same (cyclic) schema
+//! bagcons check [opts] <FILE>...          decide global consistency (dichotomy)
+//! bagcons witness [opts] <FILE>...        print a witness bag, if one exists
+//! bagcons diagnose [opts] <FILE>...       explain inconsistencies tuple-by-tuple
+//! bagcons pairwise [opts] <FILE> <FILE>   cross-validate Lemma 2's five tests
+//! bagcons schema [opts] <FILE>...         analyze the schema hypergraph
+//! bagcons counterexample [opts] <FILE>... emit a pairwise-consistent but
+//!                                         globally-inconsistent family over the
+//!                                         same (cyclic) schema
+//!
+//! options:
+//!   --threads N         worker threads (default: one per core, capped at 8)
+//!   --budget N          node budget for the cyclic exact search
+//!                       (default 50000000)
+//!   --format text|json  output format (default text)
 //! ```
 //!
 //! Each FILE holds one bag in the tabular text format of
@@ -15,28 +23,47 @@
 //! `%`-comments). Exit codes: 0 = yes/ok, 1 = no, 2 = usage or input
 //! error, 3 = undecided (search budget exhausted).
 
-use bagcons::diagnose::{diagnose, Diagnosis};
-use bagcons::dichotomy::{decide_global_consistency_exec, GcpbOutcome};
-use bagcons::lifting::pairwise_consistent_globally_inconsistent;
-use bagcons_core::io::{parse_bag_with, write_bag, NameInterner};
-use bagcons_core::{AttrNames, Bag, ExecConfig};
-use bagcons_hypergraph::{
-    find_obstruction, is_acyclic, is_chordal, is_conformal, rip_order, Hypergraph, ObstructionKind,
-};
-use bagcons_lp::ilp::SolverConfig;
+use bagcons::report::{Render, ReportFormat};
+use bagcons::session::{Decision, Session};
 use std::process::ExitCode;
+
+/// Default node budget for the cyclic branch's exact search.
+const DEFAULT_BUDGET: u64 = 50_000_000;
+
+struct Cli {
+    cmd: String,
+    files: Vec<String>,
+    threads: Option<usize>,
+    budget: u64,
+    format: ReportFormat,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, files)) = args.split_first() else {
-        return usage();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            return usage();
+        }
     };
-    if files.is_empty() {
-        return usage();
+
+    let mut builder = Session::builder().budget(cli.budget);
+    if let Some(threads) = cli.threads {
+        builder = builder.threads(threads);
     }
+    let mut session = match builder.build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
     let mut bags = Vec::new();
-    let mut interner = NameInterner::new();
-    for path in files {
+    for path in &cli.files {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -44,7 +71,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match parse_bag_with(&text, &mut interner) {
+        match session.load_bag(&text) {
             Ok(bag) => bags.push(bag),
             Err(e) => {
                 eprintln!("error: {path}: {e}");
@@ -52,14 +79,15 @@ fn main() -> ExitCode {
             }
         }
     }
-    let names = interner.names().clone();
-    let refs: Vec<&Bag> = bags.iter().collect();
-    match cmd.as_str() {
-        "check" => cmd_check(&refs),
-        "witness" => cmd_witness(&refs, &names),
-        "diagnose" => cmd_diagnose(&refs, &names),
-        "schema" => cmd_schema(&refs, &names),
-        "counterexample" => cmd_counterexample(&refs, &names),
+    let refs: Vec<&bagcons_core::Bag> = bags.iter().collect();
+
+    match cli.cmd.as_str() {
+        "check" => cmd_check(&session, &refs, cli.format),
+        "witness" => cmd_witness(&session, &refs, cli.format),
+        "diagnose" => cmd_diagnose(&session, &refs, cli.format),
+        "pairwise" => cmd_pairwise(&session, &refs, cli.format),
+        "schema" => cmd_schema(&session, &refs, cli.format),
+        "counterexample" => cmd_counterexample(&session, &refs, cli.format),
         other => {
             eprintln!("error: unknown command {other:?}");
             usage()
@@ -67,182 +95,151 @@ fn main() -> ExitCode {
     }
 }
 
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threads = None;
+    let mut budget = DEFAULT_BUDGET;
+    let mut format = ReportFormat::Text;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let value = |it: &mut std::slice::Iter<String>| -> Result<String, String> {
+            match inline.clone() {
+                Some(v) => Ok(v),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value")),
+            }
+        };
+        match flag {
+            "--threads" => {
+                threads = Some(
+                    value(&mut it)?
+                        .parse::<usize>()
+                        .map_err(|_| "--threads expects an unsigned integer".to_string())?,
+                );
+            }
+            "--budget" => {
+                budget = value(&mut it)?
+                    .parse::<u64>()
+                    .map_err(|_| "--budget expects an unsigned integer".to_string())?;
+            }
+            "--format" => {
+                format = value(&mut it)?.parse::<ReportFormat>()?;
+            }
+            f if f.starts_with("--") => return Err(format!("unknown option {f}")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let cmd = positional.next().ok_or(String::new())?;
+    let files: Vec<String> = positional.collect();
+    if files.is_empty() {
+        return Err(String::new());
+    }
+    Ok(Cli {
+        cmd,
+        files,
+        threads,
+        budget,
+        format,
+    })
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bagcons <check|witness|diagnose|schema|counterexample> <FILE>...\n\
+        "usage: bagcons <check|witness|diagnose|pairwise|schema|counterexample> \
+         [--threads N] [--budget N] [--format text|json] <FILE>...\n\
          FILEs hold bags in tabular text form (`A B #` header, `1 2 : 3` rows)."
     );
     ExitCode::from(2)
 }
 
-/// Renders a schema with display names, e.g. `{Origin, Dest}`.
-fn pretty_schema(s: &bagcons_core::Schema, names: &AttrNames) -> String {
-    let cells: Vec<String> = s.iter().map(|a| names.name(a)).collect();
-    format!("{{{}}}", cells.join(", "))
-}
-
-fn solver() -> SolverConfig {
-    SolverConfig {
-        node_limit: Some(50_000_000),
-        ..Default::default()
+/// Prints a rendering, newline-terminating exactly once.
+fn emit(rendered: &str) {
+    if rendered.ends_with('\n') {
+        print!("{rendered}");
+    } else {
+        println!("{rendered}");
     }
 }
 
-fn cmd_check(refs: &[&Bag]) -> ExitCode {
-    // One worker per available core; small inputs stay sequential via
-    // the ExecConfig fallback, and results are thread-count invariant.
-    match decide_global_consistency_exec(refs, &solver(), &ExecConfig::default()) {
-        Ok(rep) => {
-            let path = if rep.acyclic {
-                "acyclic/polynomial"
-            } else {
-                "cyclic/search"
-            };
-            match rep.outcome {
-                GcpbOutcome::Consistent(_) => {
-                    println!("globally consistent ({path}, {} nodes)", rep.search_nodes);
-                    ExitCode::SUCCESS
-                }
-                GcpbOutcome::Inconsistent => {
-                    println!(
-                        "NOT globally consistent ({path}, {} nodes)",
-                        rep.search_nodes
-                    );
-                    ExitCode::from(1)
-                }
-                GcpbOutcome::Unknown => {
-                    println!(
-                        "undecided: search budget exhausted ({} nodes)",
-                        rep.search_nodes
-                    );
-                    ExitCode::from(3)
-                }
-            }
+fn fail(e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::from(2)
+}
+
+fn cmd_check(session: &Session, refs: &[&bagcons_core::Bag], format: ReportFormat) -> ExitCode {
+    match session.check(refs) {
+        Ok(outcome) => {
+            emit(&outcome.render(format, session.names()));
+            ExitCode::from(outcome.decision.exit_code())
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
-        }
+        Err(e) => fail(e),
     }
 }
 
-fn cmd_witness(refs: &[&Bag], names: &AttrNames) -> ExitCode {
-    match decide_global_consistency_exec(refs, &solver(), &ExecConfig::default()) {
-        Ok(rep) => match rep.outcome {
-            GcpbOutcome::Consistent(w) => {
-                print!("{}", write_bag(&w, names));
-                ExitCode::SUCCESS
+fn cmd_witness(session: &Session, refs: &[&bagcons_core::Bag], format: ReportFormat) -> ExitCode {
+    match session.witness(refs) {
+        Ok(outcome) => {
+            let code = outcome.check.decision.exit_code();
+            match (format, outcome.check.decision) {
+                // legacy text behavior: failures explain themselves on
+                // stderr so stdout stays parseable-bag-or-empty
+                (ReportFormat::Text, Decision::Consistent) => emit(&outcome.text(session.names())),
+                (ReportFormat::Text, _) => eprintln!("{}", outcome.text(session.names())),
+                (ReportFormat::Json, _) => emit(&outcome.json(session.names())),
             }
-            GcpbOutcome::Inconsistent => {
-                eprintln!("no witness: the bags are not globally consistent");
-                ExitCode::from(1)
-            }
-            GcpbOutcome::Unknown => {
-                eprintln!("undecided: search budget exhausted");
-                ExitCode::from(3)
-            }
-        },
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(code)
         }
+        Err(e) => fail(e),
     }
 }
 
-fn cmd_diagnose(refs: &[&Bag], names: &AttrNames) -> ExitCode {
-    match diagnose(refs, 32) {
-        Ok(Diagnosis::PairwiseConsistent {
-            acyclic,
-            obstruction,
-        }) => {
-            println!("pairwise consistent");
-            if acyclic {
-                println!("schema is acyclic ⇒ globally consistent (Theorem 2)");
-                ExitCode::SUCCESS
-            } else {
-                println!(
-                    "schema is CYCLIC: pairwise consistency does not imply global \
-                     consistency here — run `bagcons check` for the full decision"
-                );
-                if let Some(ob) = obstruction {
-                    let kind = match ob.kind {
-                        ObstructionKind::Cycle(n) => format!("C{n} (chordless cycle)"),
-                        ObstructionKind::CliqueComplement(n) => {
-                            format!("H{n} (uncovered clique)")
-                        }
-                    };
-                    println!(
-                        "minimal obstruction: {kind} on vertices {}",
-                        pretty_schema(&ob.w, names)
-                    );
-                }
-                ExitCode::SUCCESS
-            }
+fn cmd_diagnose(session: &Session, refs: &[&bagcons_core::Bag], format: ReportFormat) -> ExitCode {
+    match session.diagnose(refs) {
+        Ok(outcome) => {
+            emit(&outcome.render(format, session.names()));
+            ExitCode::from(u8::from(!outcome.diagnosis.is_pairwise_consistent()))
         }
-        Ok(Diagnosis::PairwiseInconsistent(ms)) => {
-            println!("pairwise INCONSISTENT — {} mismatch(es):", ms.len());
-            for m in ms {
-                println!("  {m}");
-            }
-            ExitCode::from(1)
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
-        }
+        Err(e) => fail(e),
     }
 }
 
-fn cmd_schema(refs: &[&Bag], names: &AttrNames) -> ExitCode {
-    let h = Hypergraph::from_edges(refs.iter().map(|b| b.schema().clone()));
-    let edges: Vec<String> = h.edges().iter().map(|e| pretty_schema(e, names)).collect();
-    println!("hyperedges: {}", edges.join(", "));
-    println!("vertices: {}  edges: {}", h.num_vertices(), h.num_edges());
-    let acyclic = is_acyclic(&h);
-    println!("acyclic:   {acyclic}");
-    println!("chordal:   {}", is_chordal(&h));
-    println!("conformal: {}", is_conformal(&h));
-    if let Some(order) = rip_order(&h) {
-        let pretty: Vec<String> = order.iter().map(|s| pretty_schema(s, names)).collect();
-        println!("running-intersection order: {}", pretty.join(" → "));
+fn cmd_pairwise(session: &Session, refs: &[&bagcons_core::Bag], format: ReportFormat) -> ExitCode {
+    let [r, s] = refs else {
+        eprintln!("error: pairwise needs exactly two bag files");
+        return ExitCode::from(2);
+    };
+    match session.pairwise_report(r, s) {
+        Ok(outcome) => {
+            emit(&outcome.render(format, session.names()));
+            ExitCode::from(u8::from(!outcome.report.marginals_equal))
+        }
+        Err(e) => fail(e),
     }
-    if let Some(ob) = find_obstruction(&h) {
-        let kind = match ob.kind {
-            ObstructionKind::Cycle(n) => format!("C{n}"),
-            ObstructionKind::CliqueComplement(n) => format!("H{n}"),
-        };
-        println!(
-            "minimal obstruction: {kind} on {} ({} safe deletions)",
-            pretty_schema(&ob.w, names),
-            ob.deletions.len()
-        );
-    }
+}
+
+fn cmd_schema(session: &Session, refs: &[&bagcons_core::Bag], format: ReportFormat) -> ExitCode {
+    let outcome = session.schema_report(refs);
+    emit(&outcome.render(format, session.names()));
     ExitCode::SUCCESS
 }
 
-fn cmd_counterexample(refs: &[&Bag], names: &AttrNames) -> ExitCode {
-    let h = Hypergraph::from_edges(refs.iter().map(|b| b.schema().clone()));
-    match pairwise_consistent_globally_inconsistent(&h) {
-        Ok(Some(bags)) => {
-            let edges: Vec<String> = h.edges().iter().map(|e| pretty_schema(e, names)).collect();
-            println!(
-                "% pairwise consistent but globally inconsistent over [{}]\n\
-                 % one bag per hyperedge, each preceded by a marker line",
-                edges.join(", ")
-            );
-            for bag in bags {
-                println!("%% ---");
-                print!("{}", write_bag(&bag, names));
-            }
-            ExitCode::SUCCESS
+fn cmd_counterexample(
+    session: &Session,
+    refs: &[&bagcons_core::Bag],
+    format: ReportFormat,
+) -> ExitCode {
+    match session.counterexample(refs) {
+        Ok(outcome) => {
+            emit(&outcome.render(format, session.names()));
+            ExitCode::from(u8::from(outcome.family.is_none()))
         }
-        Ok(None) => {
-            println!("schema is acyclic: no such family exists (local-to-global holds, Theorem 2)");
-            ExitCode::from(1)
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
-        }
+        Err(e) => fail(e),
     }
 }

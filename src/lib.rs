@@ -6,38 +6,49 @@
 //!
 //! The workspace is organised bottom-up:
 //!
-//! * [`core`](bagcons_core) — bags, relations, schemas, marginals, joins;
-//! * [`hypergraph`](bagcons_hypergraph) — acyclicity structure theory
+//! * [`core`] — bags, relations, schemas, marginals, joins,
+//!   and the shard-parallel execution layer ([`ExecConfig`](bagcons_core::ExecConfig));
+//! * [`hypergraph`] — acyclicity structure theory
 //!   (chordality, conformality, GYO, join trees, running-intersection
 //!   orders, safe deletions, minimal obstructions);
-//! * [`flow`](bagcons_flow) — integral max-flow and the consistency network
+//! * [`flow`] — integral max-flow and the consistency network
 //!   `N(R,S)`;
-//! * [`lp`](bagcons_lp) — the linear program `P(R₁,…,R_m)`, exact integer
+//! * [`lp`] — the linear program `P(R₁,…,R_m)`, exact integer
 //!   search, Carathéodory / Eisenbrand–Shmonin sparsification;
-//! * [`bagcons`] — the paper's algorithms: two-bag consistency (Lemma 2),
-//!   the local-to-global structure theorem (Theorem 2), the complexity
-//!   dichotomy (Theorem 4), and witness construction (Theorems 5–6);
-//! * [`gen`](bagcons_gen) — workload generators for tests, examples, and
+//! * [`bagcons`] — the paper's algorithms behind the [`Session`] facade:
+//!   two-bag consistency (Lemma 2), the local-to-global structure theorem
+//!   (Theorem 2), the complexity dichotomy (Theorem 4), and witness
+//!   construction (Theorems 5–6);
+//! * [`gen`] — workload generators for tests, examples, and
 //!   the experiment harness.
 //!
 //! ## Quickstart
 //!
+//! A [`Session`] carries all configuration (threads, search budgets,
+//! attribute names) and returns typed outcomes that render to text or
+//! JSON:
+//!
 //! ```
 //! use bag_consistency::prelude::*;
 //!
-//! // Two bags over schemas {A0,A1} and {A1,A2}.
-//! let x = Schema::range(0, 2);
-//! let y = Schema::range(1, 3);
-//! let r = Bag::from_u64s(x, [(&[1u64, 2][..], 1), (&[2, 2][..], 1)]).unwrap();
-//! let s = Bag::from_u64s(y, [(&[2u64, 1][..], 1), (&[2, 2][..], 1)]).unwrap();
+//! let mut session = Session::builder().threads(2).build()?;
+//! let r = session.load_bag("A B #\n1 2 : 1\n2 2 : 1\n")?;
+//! let s = session.load_bag("B C #\n2 1 : 1\n2 2 : 1\n")?;
 //!
-//! // Lemma 2: consistency ⟺ equal marginals on the common attributes.
-//! assert!(bags_consistent(&r, &s).unwrap());
+//! // Theorem 4 dichotomy: acyclic schema ⇒ polynomial path.
+//! let outcome = session.check(&[&r, &s])?;
+//! assert_eq!(outcome.decision, Decision::Consistent);
+//! assert!(outcome.branch.is_acyclic());
 //!
-//! // Corollary 1: build a witness via max-flow.
-//! let t = consistency_witness(&r, &s).unwrap().expect("consistent");
-//! assert_eq!(t.marginal(r.schema()).unwrap(), r);
-//! assert_eq!(t.marginal(s.schema()).unwrap(), s);
+//! // Corollary 1: the witness marginalizes back onto both inputs.
+//! let t = outcome.witness.as_ref().expect("consistent");
+//! assert_eq!(t.marginal(r.schema())?, r);
+//! assert_eq!(t.marginal(s.schema())?, s);
+//!
+//! // machine-readable reporting
+//! let json = outcome.render(ReportFormat::Json, session.names());
+//! assert!(json.contains("\"branch\":\"acyclic\""));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,16 +60,28 @@ pub use bagcons_gen as gen;
 pub use bagcons_hypergraph as hypergraph;
 pub use bagcons_lp as lp;
 
+pub use bagcons::session::Session;
+
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use bagcons::dichotomy::{GcpbOutcome, GcpbReport};
+    pub use bagcons::report::{Lemma2Report, Render, ReportFormat};
+    pub use bagcons::session::{
+        Branch, CheckOutcome, CounterexampleOutcome, Decision, DiagnoseOutcome, PairwiseOutcome,
+        SchemaOutcome, Session, SessionBuilder, SessionError, StageTiming, WitnessOutcome,
+    };
+    #[allow(deprecated)]
+    #[doc(hidden)]
     pub use bagcons::{
         acyclic::acyclic_global_witness,
-        dichotomy::{decide_global_consistency, GcpbOutcome, GcpbReport},
+        dichotomy::decide_global_consistency,
         global::{globally_consistent_via_ilp, is_global_witness},
         minimal::minimal_two_bag_witness,
         pairwise::{bags_consistent, consistency_witness, pairwise_consistent},
         tseitin::tseitin_bags,
     };
-    pub use bagcons_core::{Attr, AttrNames, Bag, CoreError, Relation, Schema, Tuple, Value};
+    pub use bagcons_core::{
+        Attr, AttrNames, Bag, CoreError, ExecConfig, Relation, Schema, Tuple, Value,
+    };
     pub use bagcons_hypergraph::Hypergraph;
 }

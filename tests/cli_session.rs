@@ -1,0 +1,544 @@
+//! End-to-end tests of the session-based `bagcons` CLI: golden-file
+//! checks for `--format json`, exit-code coverage for 0/1/2/3, and the
+//! acceptance gate that JSON and text decisions agree on the E12/E13
+//! fixture families at threads 1 and 4.
+//!
+//! Timings are nondeterministic, so JSON comparisons run through
+//! [`normalize_micros`], which zeroes every `"micros":N` value; the
+//! golden files under `tests/golden/` store `"micros":0`.
+
+use bagcons_gen::consistent::planted_pair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let p = dir.join(name);
+    fs::write(&p, content).unwrap();
+    p
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bagcons"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bagcons-clis-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+/// Replaces every `"micros":<digits>` with `"micros":0` so timing noise
+/// never breaks a golden comparison.
+fn normalize_micros(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    const KEY: &str = "\"micros\":";
+    while let Some(pos) = rest.find(KEY) {
+        let (head, tail) = rest.split_at(pos + KEY.len());
+        out.push_str(head);
+        out.push('0');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("golden file {path:?}: {e}"))
+}
+
+fn assert_golden(out: &Output, name: &str) {
+    let actual = normalize_micros(stdout(out).trim_end());
+    let expected = golden(name);
+    assert_eq!(
+        actual,
+        expected.trim_end(),
+        "JSON output diverged from tests/golden/{name}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON well-formedness checker (the build is offline — no
+// serde): validates the grammar and returns the value of a top-level
+// string field when present.
+// ---------------------------------------------------------------------
+
+struct JsonCheck<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCheck<'a> {
+    fn parse(text: &'a str) -> Result<(), String> {
+        let mut p = JsonCheck {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.value()?;
+        p.ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(())
+    }
+
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b'0'..=b'9') | Some(b'-') => self.number(),
+            _ if self.literal("true") || self.literal("false") || self.literal("null") => Ok(()),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.value()?;
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad object separator {other:?} at {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad array separator {other:?} at {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 2; // escape + escaped byte (\uXXXX not emitted bare)
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("bad number at {start}"));
+        }
+        Ok(())
+    }
+}
+
+/// Extracts `"key":"value"` from flat JSON output (enough for decisions).
+fn json_str_field(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = json.find(&pat)? + pat.len();
+    let end = json[start..].find('"')? + start;
+    Some(json[start..end].to_string())
+}
+
+// ---------------------------------------------------------------------
+// Golden-file checks
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_check_consistent_path() {
+    let dir = tempdir("gcheck");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n1 1 : 3\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n1 8 : 3\n");
+    let out = run(&[
+        "check",
+        "--format",
+        "json",
+        r.to_str().unwrap(),
+        s.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    JsonCheck::parse(stdout(&out).trim()).expect("well-formed JSON");
+    assert_golden(&out, "check_consistent_path.json");
+}
+
+#[test]
+fn golden_check_parity_triangle() {
+    let dir = tempdir("gtri");
+    let a = write(&dir, "a.bag", "A B #\n0 0 : 1\n1 1 : 1\n");
+    let b = write(&dir, "b.bag", "B C #\n0 0 : 1\n1 1 : 1\n");
+    let c = write(&dir, "c.bag", "A C #\n0 1 : 1\n1 0 : 1\n");
+    let out = run(&[
+        "check",
+        "--format=json",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    JsonCheck::parse(stdout(&out).trim()).expect("well-formed JSON");
+    assert_golden(&out, "check_parity_triangle.json");
+}
+
+#[test]
+fn golden_witness_rows() {
+    let dir = tempdir("gwit");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n1 0 : 1\n");
+    let s = write(&dir, "s.bag", "B C #\n0 5 : 1\n0 6 : 2\n");
+    let out = run(&[
+        "witness",
+        "--format",
+        "json",
+        r.to_str().unwrap(),
+        s.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    JsonCheck::parse(stdout(&out).trim()).expect("well-formed JSON");
+    assert_golden(&out, "witness_rows.json");
+}
+
+#[test]
+fn golden_diagnose_mismatch() {
+    let dir = tempdir("gdiag");
+    let r = write(&dir, "r.bag", "A B #\n0 5 : 2\n");
+    let s = write(&dir, "s.bag", "B C #\n5 9 : 3\n");
+    let out = run(&[
+        "diagnose",
+        "--format",
+        "json",
+        r.to_str().unwrap(),
+        s.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    JsonCheck::parse(stdout(&out).trim()).expect("well-formed JSON");
+    assert_golden(&out, "diagnose_mismatch.json");
+}
+
+#[test]
+fn golden_diagnose_cyclic_obstruction() {
+    let dir = tempdir("gobs");
+    let a = write(&dir, "a.bag", "A B #\n0 0 : 1\n1 1 : 1\n");
+    let b = write(&dir, "b.bag", "B C #\n0 0 : 1\n1 1 : 1\n");
+    let c = write(&dir, "c.bag", "A C #\n0 1 : 1\n1 0 : 1\n");
+    let out = run(&[
+        "diagnose",
+        "--format",
+        "json",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    JsonCheck::parse(stdout(&out).trim()).expect("well-formed JSON");
+    assert_golden(&out, "diagnose_cyclic_obstruction.json");
+}
+
+#[test]
+fn golden_schema_triangle() {
+    let dir = tempdir("gschema");
+    let a = write(&dir, "a.bag", "A B #\n0 0 : 1\n");
+    let b = write(&dir, "b.bag", "B C #\n0 0 : 1\n");
+    let c = write(&dir, "c.bag", "A C #\n0 0 : 1\n");
+    let out = run(&[
+        "schema",
+        "--format",
+        "json",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    JsonCheck::parse(stdout(&out).trim()).expect("well-formed JSON");
+    assert_golden(&out, "schema_triangle.json");
+}
+
+#[test]
+fn golden_counterexample_triangle() {
+    let dir = tempdir("gctr");
+    let a = write(&dir, "a.bag", "A B #\n0 0 : 1\n");
+    let b = write(&dir, "b.bag", "B C #\n0 0 : 1\n");
+    let c = write(&dir, "c.bag", "A C #\n0 0 : 1\n");
+    let out = run(&[
+        "counterexample",
+        "--format",
+        "json",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    JsonCheck::parse(stdout(&out).trim()).expect("well-formed JSON");
+    assert_golden(&out, "counterexample_triangle.json");
+}
+
+// ---------------------------------------------------------------------
+// Exit-code coverage: 0 / 1 / 2 / 3 on both formats
+// ---------------------------------------------------------------------
+
+#[test]
+fn exit_codes_cover_all_four() {
+    let dir = tempdir("codes");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n1 1 : 3\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n1 8 : 3\n");
+    let bad = write(&dir, "bad.bag", "A B #\n1 : 1\n");
+    // the loose satisfiable triangle needs real search nodes
+    let wide = "0 0 : 3\n0 1 : 3\n1 0 : 3\n1 1 : 3\n";
+    let ta = write(&dir, "ta.bag", &format!("A B #\n{wide}"));
+    let tb = write(&dir, "tb.bag", &format!("B C #\n{wide}"));
+    let tc = write(&dir, "tc.bag", &format!("A C #\n{wide}"));
+
+    for format in ["text", "json"] {
+        // 0: consistent
+        let out = run(&[
+            "check",
+            "--format",
+            format,
+            r.to_str().unwrap(),
+            s.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "format={format} {out:?}");
+        // 1: inconsistent
+        let out = run(&[
+            "check",
+            "--format",
+            format,
+            r.to_str().unwrap(),
+            r.to_str().unwrap(),
+            write(&dir, "s9.bag", "B C #\n0 7 : 9\n").to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(1), "format={format}");
+        // 2: input error
+        let out = run(&["check", "--format", format, bad.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "format={format}");
+        // 3: budget exhausted
+        let out = run(&[
+            "check",
+            "--format",
+            format,
+            "--budget",
+            "1",
+            ta.to_str().unwrap(),
+            tb.to_str().unwrap(),
+            tc.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(3), "format={format}");
+        if format == "json" {
+            assert_eq!(
+                json_str_field(&stdout(&out), "decision").as_deref(),
+                Some("unknown")
+            );
+        }
+    }
+
+    // 2: usage, bad flag values, zero threads
+    assert_eq!(run(&[]).status.code(), Some(2));
+    assert_eq!(
+        run(&["check", "--format", "yaml", r.to_str().unwrap()])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(
+        run(&["check", "--threads", "0", r.to_str().unwrap()])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(
+        run(&["frobnicate", r.to_str().unwrap()]).status.code(),
+        Some(2)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Acceptance gate: JSON decision == text decision on the E12/E13
+// fixture families at threads 1 and 4
+// ---------------------------------------------------------------------
+
+fn text_decision(stdout_text: &str, code: i32) -> &'static str {
+    if stdout_text.contains("NOT globally consistent") {
+        assert_eq!(code, 1);
+        "inconsistent"
+    } else if stdout_text.contains("globally consistent") {
+        assert_eq!(code, 0);
+        "consistent"
+    } else if stdout_text.contains("undecided") {
+        assert_eq!(code, 3);
+        "unknown"
+    } else {
+        panic!("unrecognized text decision: {stdout_text}");
+    }
+}
+
+#[test]
+fn json_decision_matches_text_on_e12_e13_fixtures() {
+    // The E12/E13 benchmark fixture family: planted consistent pairs over
+    // {A0,A1} × {A1,A2} (bagcons-gen), plus a perturbed (inconsistent)
+    // variant of each.
+    let dir = tempdir("e12e13");
+    let x = bagcons_core::Schema::range(0, 2);
+    let y = bagcons_core::Schema::range(1, 3);
+    let names = {
+        let mut names = bagcons_core::AttrNames::new();
+        for (i, n) in ["A0", "A1", "A2"].iter().enumerate() {
+            names.set(bagcons_core::Attr::new(i as u32), *n);
+        }
+        names
+    };
+    let mut rng = StdRng::seed_from_u64(12);
+    for (case, support) in [(0u32, 64usize), (1, 256)] {
+        let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 10, &mut rng).unwrap();
+        for (variant, scale) in [("sat", 1u64), ("unsat", 3)] {
+            let s = s.scale(scale).unwrap();
+            let rf = write(
+                &dir,
+                &format!("r{case}{variant}.bag"),
+                &bagcons_core::io::write_bag(&r, &names),
+            );
+            let sf = write(
+                &dir,
+                &format!("s{case}{variant}.bag"),
+                &bagcons_core::io::write_bag(&s, &names),
+            );
+            for threads in ["1", "4"] {
+                let text_out = run(&[
+                    "check",
+                    "--threads",
+                    threads,
+                    rf.to_str().unwrap(),
+                    sf.to_str().unwrap(),
+                ]);
+                let json_out = run(&[
+                    "check",
+                    "--threads",
+                    threads,
+                    "--format",
+                    "json",
+                    rf.to_str().unwrap(),
+                    sf.to_str().unwrap(),
+                ]);
+                let json_text = stdout(&json_out);
+                JsonCheck::parse(json_text.trim()).expect("well-formed JSON");
+                let expected = text_decision(&stdout(&text_out), text_out.status.code().unwrap());
+                assert_eq!(
+                    json_str_field(&json_text, "decision").as_deref(),
+                    Some(expected),
+                    "support={support} variant={variant} threads={threads}"
+                );
+                assert_eq!(json_out.status.code(), text_out.status.code());
+            }
+        }
+    }
+}
+
+#[test]
+fn threads_flag_is_decision_invariant_on_triangle() {
+    // E13's thread grid on the cyclic branch: same decision at 1 and 4.
+    let dir = tempdir("tgrid");
+    let a = write(&dir, "a.bag", "A B #\n0 0 : 1\n1 1 : 1\n");
+    let b = write(&dir, "b.bag", "B C #\n0 0 : 1\n1 1 : 1\n");
+    let c = write(&dir, "c.bag", "A C #\n0 0 : 1\n1 1 : 1\n");
+    let files = [
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ];
+    let mut outputs = Vec::new();
+    for threads in ["1", "4"] {
+        let out = run(&[
+            &["check", "--format", "json", "--threads", threads],
+            &files[..],
+        ]
+        .concat());
+        assert_eq!(out.status.code(), Some(0));
+        outputs.push(normalize_micros(&stdout(&out)));
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "thread count must not leak into JSON"
+    );
+}

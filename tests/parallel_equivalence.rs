@@ -23,10 +23,11 @@ const THREADS: [usize; 3] = [1, 2, 4];
 
 /// A config that shards everything it legally can.
 fn cfg(threads: usize) -> ExecConfig {
-    ExecConfig {
-        threads,
-        min_parallel_support: 1,
-    }
+    ExecConfig::builder()
+        .threads(threads)
+        .min_parallel_support(1)
+        .build()
+        .unwrap()
 }
 
 /// Strategy: a bag over `{A_first..A_first+arity}` with a tiny domain, so

@@ -1,0 +1,210 @@
+//! Property tests: the `Session` facade is observationally identical to
+//! the legacy free-function API.
+//!
+//! `Session::default()` must be bit-identical to the legacy plain entry
+//! points (which now delegate through it), and a session pinned to
+//! threads 1/2/4 must be bit-identical to the canonical `_with` variants
+//! at the same thread counts. Inputs come from the `bagcons-gen` family
+//! generators (planted consistent families, Tseitin paradoxes, Section 3
+//! pairs) driven by proptest-chosen seeds and perturbations, so both the
+//! acyclic and cyclic dichotomy branches and both the consistent and
+//! inconsistent answers are exercised.
+
+use bag_consistency::prelude::*;
+use bagcons::acyclic::WitnessStrategy;
+use bagcons::diagnose::{diagnose, Diagnosis};
+use bagcons::dichotomy::decide_global_consistency;
+use bagcons::pairwise::{bags_consistent_with, consistency_witness_with, first_inconsistent_pair};
+use bagcons_gen::consistent::{planted_family, planted_pair};
+use bagcons_gen::families::section3_pair;
+use bagcons_gen::perturb::bump_one_tuple;
+use bagcons_lp::ilp::SolverConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thread counts under test (1 is the sequential fallback).
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// A session that shards everything it legally can at `threads` workers.
+fn session(threads: usize) -> Session {
+    Session::builder()
+        .exec(
+            ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1)
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn exec(threads: usize) -> ExecConfig {
+    ExecConfig::builder()
+        .threads(threads)
+        .min_parallel_support(1)
+        .build()
+        .unwrap()
+}
+
+/// A planted pair over {A0,A1} × {A1,A2}, optionally perturbed so the
+/// inconsistent branch is exercised too.
+fn gen_pair(seed: u64, support: usize, perturb: bool) -> (Bag, Bag) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Schema::range(0, 2);
+    let y = Schema::range(1, 3);
+    let (mut r, s) = planted_pair(&x, &y, 6, support, 12, &mut rng).unwrap();
+    if perturb {
+        let mut bags = [r];
+        bump_one_tuple(&mut bags, &mut rng).unwrap();
+        [r] = bags;
+    }
+    (r, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Session::default()` ≡ legacy plain functions ≡ `_with` at every
+    /// thread count, for two-bag consistency and witnesses.
+    #[test]
+    fn two_bag_paths_agree(seed in 0u64..1 << 48, support in 0usize..64, perturb in 0u8..2) {
+        let (r, s) = gen_pair(seed, support, perturb == 1);
+        let legacy = bags_consistent(&r, &s).unwrap();
+        let legacy_witness = consistency_witness(&r, &s).unwrap();
+        prop_assert_eq!(Session::default().bags_consistent(&r, &s).unwrap(), legacy);
+        prop_assert_eq!(
+            &Session::default().consistency_witness(&r, &s).unwrap(),
+            &legacy_witness
+        );
+        for threads in THREADS {
+            prop_assert_eq!(bags_consistent_with(&r, &s, &exec(threads)).unwrap(), legacy);
+            prop_assert_eq!(session(threads).bags_consistent(&r, &s).unwrap(), legacy);
+            prop_assert_eq!(
+                &consistency_witness_with(&r, &s, &exec(threads)).unwrap(),
+                &legacy_witness,
+                "witness must be bit-identical at threads = {}", threads
+            );
+            prop_assert_eq!(
+                &session(threads).consistency_witness(&r, &s).unwrap(),
+                &legacy_witness
+            );
+        }
+    }
+
+    /// `Session::check` ≡ legacy `decide_global_consistency` on acyclic
+    /// planted families (decision, branch, witness, node count).
+    #[test]
+    fn check_matches_dichotomy_acyclic(seed in 0u64..1 << 48, perturb in 0u8..2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = Hypergraph::from_edges([
+            Schema::range(0, 2),
+            Schema::range(1, 3),
+            Schema::range(2, 4),
+        ]);
+        let (mut bags, _) = planted_family(&h, 4, 24, 8, &mut rng).unwrap();
+        if perturb == 1 {
+            bump_one_tuple(&mut bags, &mut rng).unwrap();
+        }
+        let refs: Vec<&Bag> = bags.iter().collect();
+        let legacy = decide_global_consistency(&refs, &SolverConfig::default()).unwrap();
+        for threads in THREADS {
+            let out = session(threads).check(&refs).unwrap();
+            prop_assert_eq!(out.branch.is_acyclic(), legacy.acyclic);
+            prop_assert_eq!(out.search_nodes, legacy.search_nodes);
+            match (&legacy.outcome, &out.decision) {
+                (GcpbOutcome::Consistent(w), Decision::Consistent) => {
+                    prop_assert_eq!(w, out.witness.as_ref().unwrap());
+                }
+                (GcpbOutcome::Inconsistent, Decision::Inconsistent) => {}
+                (GcpbOutcome::Unknown, Decision::Unknown) => {}
+                (l, o) => prop_assert!(false, "legacy {l:?} vs session {o:?}"),
+            }
+        }
+    }
+
+    /// The same equivalence on the cyclic branch (triangle families).
+    #[test]
+    fn check_matches_dichotomy_cyclic(seed in 0u64..1 << 48, perturb in 0u8..2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = bagcons_hypergraph::triangle();
+        let (mut bags, _) = planted_family(&h, 2, 4, 2, &mut rng).unwrap();
+        if perturb == 1 {
+            bump_one_tuple(&mut bags, &mut rng).unwrap();
+        }
+        let refs: Vec<&Bag> = bags.iter().collect();
+        let legacy = decide_global_consistency(&refs, &SolverConfig::default()).unwrap();
+        for threads in THREADS {
+            let out = session(threads).check(&refs).unwrap();
+            prop_assert!(!out.branch.is_acyclic());
+            prop_assert_eq!(out.search_nodes, legacy.search_nodes);
+            prop_assert_eq!(out.decision == Decision::Consistent, legacy.outcome.is_consistent());
+        }
+    }
+
+    /// `Session::diagnose` ≡ legacy `diagnose` (same mismatches in the
+    /// same order, same schema verdict) at every thread count.
+    #[test]
+    fn diagnose_agrees(seed in 0u64..1 << 48, perturb in 0u8..2) {
+        let (r, s) = gen_pair(seed, 24, perturb == 1);
+        let legacy = diagnose(&[&r, &s], Session::DEFAULT_MAX_MISMATCHES).unwrap();
+        for threads in THREADS {
+            let out = session(threads).diagnose(&[&r, &s]).unwrap();
+            match (&legacy, &out.diagnosis) {
+                (
+                    Diagnosis::PairwiseConsistent { acyclic: a, .. },
+                    Diagnosis::PairwiseConsistent { acyclic: b, .. },
+                ) => prop_assert_eq!(a, b),
+                (Diagnosis::PairwiseInconsistent(a), Diagnosis::PairwiseInconsistent(b)) => {
+                    prop_assert_eq!(a, b);
+                }
+                _ => prop_assert!(false, "diagnosis shape diverged"),
+            }
+        }
+    }
+
+    /// The acyclic witness chain is bit-identical across the facade, the
+    /// legacy entry point, and every thread count, for both strategies.
+    #[test]
+    fn acyclic_witness_agrees(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = Hypergraph::from_edges([Schema::range(0, 2), Schema::range(1, 3)]);
+        let (bags, _) = planted_family(&h, 4, 32, 6, &mut rng).unwrap();
+        let refs: Vec<&Bag> = bags.iter().collect();
+        let legacy = acyclic_global_witness(&refs).unwrap();
+        for threads in THREADS {
+            let t = session(threads)
+                .acyclic_global_witness(&refs, WitnessStrategy::Minimal)
+                .unwrap();
+            prop_assert_eq!(&t, &legacy, "threads = {}", threads);
+        }
+    }
+}
+
+#[test]
+fn section3_family_agrees_at_all_scales() {
+    for n in [2u64, 3, 5, 16] {
+        let (r, s) = section3_pair(n).unwrap();
+        let legacy = consistency_witness(&r, &s).unwrap().unwrap();
+        assert!(pairwise_consistent(&[&r, &s]).unwrap());
+        assert_eq!(first_inconsistent_pair(&[&r, &s]).unwrap(), None);
+        for threads in THREADS {
+            let sess = session(threads);
+            assert_eq!(sess.consistency_witness(&r, &s).unwrap().unwrap(), legacy);
+            assert_eq!(sess.first_inconsistent_pair(&[&r, &s]).unwrap(), None);
+        }
+    }
+}
+
+#[test]
+fn session_default_matches_legacy_on_tseitin_paradox() {
+    let bags = bagcons::tseitin::tseitin_bags(&bagcons_hypergraph::cycle(4)).unwrap();
+    let refs: Vec<&Bag> = bags.iter().collect();
+    assert!(pairwise_consistent(&refs).unwrap());
+    let legacy = decide_global_consistency(&refs, &SolverConfig::default()).unwrap();
+    assert!(matches!(legacy.outcome, GcpbOutcome::Inconsistent));
+    let out = Session::default().check(&refs).unwrap();
+    assert_eq!(out.decision, Decision::Inconsistent);
+    assert_eq!(out.search_nodes, legacy.search_nodes);
+}

@@ -128,7 +128,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`]; ranges and plain sizes convert into it.
+    /// Length bounds for [`vec()`](vec()); ranges and plain sizes convert into it.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -169,7 +169,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](vec()).
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,
