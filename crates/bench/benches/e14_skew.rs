@@ -1,0 +1,88 @@
+//! E14 — the adaptive shard scheduler under skew: one giant key group
+//! next to many tiny ones, at thread counts 1/2/4.
+//!
+//! Three paths, all adaptive: the parallel seal (chunk sorts + pairwise
+//! run merges over the work-stealing queue), the sharded hash probe
+//! (build side broadcast, giant probe chains concentrated in a few
+//! chunks), and the merge join over a skewed shard plan (the giant
+//! group collapses shards; oversubscription leaves the rest stealable).
+//!
+//! Shape expected: `threads = 1` is the sequential baseline; higher
+//! thread counts scale with available cores. On a single-core host the
+//! higher counts instead show queue + splice overhead, which the
+//! `min_parallel_support` fallback keeps off the default paths.
+
+use bagcons_core::join::{bag_join_hash_with, bag_join_merge_with};
+use bagcons_core::{Bag, ExecConfig, Schema, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The E14 workload: (unsealed probe, build, sealed probe, sealed build).
+fn skew_workload(support: usize) -> (Bag, Bag, Bag, Bag) {
+    let x = Schema::range(0, 2);
+    let y = Schema::range(1, 3);
+    let mut probe = Bag::new(x);
+    for i in (0..support as u64).rev() {
+        let key = if i % 8 == 0 { 0 } else { i % 1023 + 1 };
+        probe
+            .insert(vec![Value(i), Value(key)], i % 5 + 1)
+            .expect("arity matches");
+    }
+    let mut build = Bag::new(y);
+    for c in 0..32u64 {
+        build
+            .insert(vec![Value(0), Value(10_000 + c)], c % 3 + 1)
+            .expect("arity matches");
+    }
+    for k in 1..1024u64 {
+        build
+            .insert(vec![Value(k), Value(20_000 + k)], k % 4 + 1)
+            .expect("arity matches");
+    }
+    let mut probe_sealed = probe.clone();
+    probe_sealed.seal();
+    let mut build_sealed = build.clone();
+    build_sealed.seal();
+    (probe, build, probe_sealed, build_sealed)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_skew");
+    g.sample_size(20);
+    for exp in [13u32, 15] {
+        let support = 1usize << exp;
+        let (probe, build, probe_sealed, build_sealed) = skew_workload(support);
+        for threads in [1usize, 2, 4] {
+            let cfg = ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1024)
+                .build()
+                .unwrap();
+            let tag = format!("s{support}_t{threads}");
+            g.bench_with_input(BenchmarkId::new("seal", &tag), &support, |b, _| {
+                b.iter(|| {
+                    let mut bag = probe.clone();
+                    bag.seal_with(&cfg);
+                    bag.support_size()
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("hash_probe", &tag), &support, |b, _| {
+                b.iter(|| {
+                    bag_join_hash_with(&probe, &build, &cfg)
+                        .unwrap()
+                        .support_size()
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("merge_skew", &tag), &support, |b, _| {
+                b.iter(|| {
+                    bag_join_merge_with(&probe_sealed, &build_sealed, &cfg)
+                        .unwrap()
+                        .support_size()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -36,7 +36,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13", "E14",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -57,6 +57,7 @@ fn main() {
             "E10" => e10(),
             "E12" => e12(),
             "E13" => e13(),
+            "E14" => e14(),
             other => eprintln!("unknown experiment {other}; known: {all:?}"),
         }
     }
@@ -624,4 +625,136 @@ fn e13() {
     );
     std::fs::write("BENCH_e13.json", &json).expect("write BENCH_e13.json");
     println!("wrote BENCH_e13.json");
+}
+
+/// E14 — the adaptive scheduler under skew: a workload with one giant
+/// key group next to many tiny ones, across a threads × support grid.
+/// Exercises the three paths this layer parallelizes *adaptively*: the
+/// parallel seal (chunk sorts + run merges), the sharded hash probe
+/// (giant probe chains in a few chunks), and the skew-sharded merge
+/// join (the giant group collapses shards; work stealing rebalances the
+/// rest). `threads = 1` is the sequential baseline; writes the grid to
+/// `BENCH_e14.json` in the current directory.
+fn e14() {
+    use bagcons_core::join::{bag_join_hash_with, bag_join_merge_with};
+    use bagcons_core::{Bag, ExecConfig, Value};
+
+    header(
+        "E14",
+        "adaptive scheduling under skew: seal / hash probe / merge join",
+    );
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {host} (speedups need threads <= cores)");
+    println!(
+        "{:>9} {:>8} {:>12} {:>14} {:>14}",
+        "support", "threads", "seal(ms)", "hash join(ms)", "merge join(ms)"
+    );
+    let x = Schema::range(0, 2);
+    let y = Schema::range(1, 3);
+    let mut rows = Vec::new();
+    for exp in [13u32, 15] {
+        let support = 1usize << exp;
+        // Probe side: 1/8 of the rows pile onto key 0 (the giant
+        // group); the rest spread over ~1k tiny keys. Reverse insertion
+        // order leaves the bag unsealed — the seal's worst case.
+        let mut probe = Bag::new(x.clone());
+        for i in (0..support as u64).rev() {
+            let key = if i % 8 == 0 { 0 } else { i % 1023 + 1 };
+            probe
+                .insert(vec![Value(i), Value(key)], i % 5 + 1)
+                .expect("arity matches");
+        }
+        assert!(!probe.is_sealed());
+        // Build side: 32 rows behind the giant key, one behind each tiny
+        // key — so giant-group probes emit 32 rows each and the rest one.
+        let mut build = Bag::new(y.clone());
+        for c in 0..32u64 {
+            build
+                .insert(vec![Value(0), Value(10_000 + c)], c % 3 + 1)
+                .expect("arity matches");
+        }
+        for k in 1..1024u64 {
+            build
+                .insert(vec![Value(k), Value(20_000 + k)], k % 4 + 1)
+                .expect("arity matches");
+        }
+        let mut probe_sealed = probe.clone();
+        probe_sealed.seal();
+        let mut build_sealed = build.clone();
+        build_sealed.seal();
+
+        for threads in [1usize, 2, 4] {
+            let cfg = ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1024)
+                .build()
+                .unwrap();
+            let reps = 7;
+            let median = |mut samples: Vec<f64>| -> f64 {
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                samples[samples.len() / 2]
+            };
+            // Seal: each rep re-seals a fresh clone; the clone is
+            // outside the timed region.
+            let seal_ms = {
+                let mut warm = probe.clone();
+                warm.seal_with(&cfg);
+                assert!(warm.is_sealed() && warm.support_size() > 0);
+                median(
+                    (0..reps)
+                        .map(|_| {
+                            let mut b = probe.clone();
+                            let t0 = Instant::now();
+                            b.seal_with(&cfg);
+                            let dt = ms(t0);
+                            std::hint::black_box(b.support_size());
+                            dt
+                        })
+                        .collect(),
+                )
+            };
+            let time_ms = |f: &dyn Fn() -> usize| -> f64 {
+                assert!(f() > 0, "warm-up produced an empty result");
+                median(
+                    (0..reps)
+                        .map(|_| {
+                            let t0 = Instant::now();
+                            std::hint::black_box(f());
+                            ms(t0)
+                        })
+                        .collect(),
+                )
+            };
+            let hash_ms = time_ms(&|| {
+                bag_join_hash_with(&probe, &build, &cfg)
+                    .unwrap()
+                    .support_size()
+            });
+            let merge_ms = time_ms(&|| {
+                bag_join_merge_with(&probe_sealed, &build_sealed, &cfg)
+                    .unwrap()
+                    .support_size()
+            });
+            println!("{support:>9} {threads:>8} {seal_ms:>12.3} {hash_ms:>14.3} {merge_ms:>14.3}");
+            rows.push(format!(
+                "    {{\"support\": {support}, \"threads\": {threads}, \
+                 \"seal_ms\": {seal_ms:.4}, \"hash_join_ms\": {hash_ms:.4}, \
+                 \"join_merge_ms\": {merge_ms:.4}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e14_skew\",\n  \"workload\": \
+         \"skewed keys: 1/8 of probe rows on one giant key (32 build \
+         partners), rest on ~1k tiny keys (1 partner); seal re-lays-out \
+         an unsealed reverse-inserted bag\",\n  \
+         \"unit\": \"milliseconds, median of 7\",\n  \
+         \"host_parallelism\": {host},\n  \
+         \"note\": \"threads = 1 is the sequential path; parallel speedup \
+         requires host_parallelism >= threads (a 1-core container records \
+         work-stealing overhead instead)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_e14.json", &json).expect("write BENCH_e14.json");
+    println!("wrote BENCH_e14.json");
 }

@@ -152,7 +152,9 @@ pub(crate) fn witness_chain(
     for x in &order[1..] {
         let r = by_schema[x];
         let next = match strategy {
-            WitnessStrategy::Saturated => ConsistencyNetwork::build_with(&t, r, exec)?.solve(),
+            WitnessStrategy::Saturated => {
+                ConsistencyNetwork::build_with(&t, r, exec)?.solve_with(exec)
+            }
             WitnessStrategy::Minimal => minimal_two_bag_witness(&t, r)?,
         };
         t = next.expect(

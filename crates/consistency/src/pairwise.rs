@@ -67,15 +67,15 @@ pub fn consistency_witness(r: &Bag, s: &Bag) -> Result<Option<Bag>> {
 }
 
 /// [`consistency_witness`] under an explicit execution configuration:
-/// both the marginal pre-check and the `N(R,S)` middle-edge build run
-/// shard-parallel when `cfg` permits.
+/// the marginal pre-check, the `N(R,S)` middle-edge build, and the
+/// witness's closing seal all run shard-parallel when `cfg` permits.
 pub fn consistency_witness_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Option<Bag>> {
     // Cheap marginal pre-check avoids building the join for clearly
     // inconsistent inputs; the flow solve re-verifies via saturation.
     if !bags_consistent_with(r, s, cfg)? {
         return Ok(None);
     }
-    let witness = ConsistencyNetwork::build_with(r, s, cfg)?.solve();
+    let witness = ConsistencyNetwork::build_with(r, s, cfg)?.solve_with(cfg);
     debug_assert!(
         witness.is_some(),
         "Lemma 2: marginal equality implies a saturated flow"

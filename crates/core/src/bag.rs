@@ -308,19 +308,55 @@ impl Bag {
     /// `O(n log n)` when unsorted; a no-op on sealed bags. Sealing makes
     /// [`Bag::iter_sorted`] allocation-free, lets prefix marginals and
     /// merge joins skip their sort step, and enables key-range sharding
-    /// ([`crate::exec`]).
+    /// ([`crate::exec`]). Equivalent to [`Bag::seal_with`] under a
+    /// sequential configuration.
     pub fn seal(&mut self) {
+        self.seal_with(&ExecConfig::sequential());
+    }
+
+    /// [`Bag::seal`] under an explicit execution configuration: both
+    /// halves of the seal fan out over the work-stealing executor when
+    /// `cfg` shards the live row set. The id permutation is sorted by
+    /// parallel chunk sorts + pairwise run merges
+    /// ([`crate::exec::parallel_sort_by`]), and the re-layout copies
+    /// rows (and hashes them) on shard workers before splicing the runs
+    /// back in ascending order. The resulting bag is byte-identical to
+    /// the sequential seal at every thread count — interned rows are
+    /// distinct, so the sorted order is total.
+    pub fn seal_with(&mut self, cfg: &ExecConfig) {
         if self.sealed {
             return;
         }
-        let mut order: Vec<u32> = (0..self.store.len() as u32)
+        let order: Vec<u32> = (0..self.store.len() as u32)
             .filter(|&i| self.mults[i as usize] > 0)
             .collect();
-        order.sort_unstable_by(|&a, &b| crate::store::cmp_rows(&self.store, a, b));
-        let mults = order.iter().map(|&i| self.mults[i as usize]).collect();
-        self.store = self.store.reordered(&order);
-        self.mults = mults;
-        self.sealed = true;
+        let shards = cfg.shards_for(order.len());
+        let order = self.store.sorted_order_with(order, cfg);
+        if shards <= 1 {
+            let mults = order.iter().map(|&i| self.mults[i as usize]).collect();
+            self.store = self.store.reordered(&order);
+            self.mults = mults;
+            self.sealed = true;
+            return;
+        }
+        // Parallel re-layout: plain index ranges over the sorted
+        // permutation (rows are independent); each worker copies rows
+        // and multiplicities into a ShardRun, hashing on the worker.
+        let arity = self.schema.arity();
+        let ranges = shard_ranges(order.len(), shards, |_| false);
+        let order = &order;
+        let runs = run_shards(cfg.threads(), ranges, |range| {
+            let mut run = ShardRun::with_capacity(arity, range.len());
+            for &id in &order[range] {
+                run.push(self.store.row(RowId(id)), self.mults[id as usize]);
+            }
+            run
+        });
+        *self = Bag::from_shard_runs(
+            self.schema.clone(),
+            ShardedRowStore::from_runs(arity, runs),
+            true,
+        );
     }
 
     /// The support `Supp(R)` as a relation over the same schema.
@@ -994,6 +1030,33 @@ mod tests {
         assert_eq!(rows, vec![1, 3, 5], "iteration follows the sorted run");
         assert_eq!(b.multiplicity(&[Value(9)]), 0);
         assert_eq!(b.multiplicity(&[Value(3)]), 3);
+    }
+
+    #[test]
+    fn seal_with_is_bit_identical_to_sequential_seal() {
+        // duplicate-heavy rows, reverse insertion order, and a tombstone:
+        // everything the seal has to repair.
+        let mut bag = Bag::new(schema(&[0, 1]));
+        for i in (0..500u64).rev() {
+            bag.insert(vec![Value(i % 23), Value(i % 7)], i % 5 + 1)
+                .unwrap();
+        }
+        bag.set(vec![Value(3), Value(3)], 0).unwrap();
+        assert!(!bag.is_sealed());
+        let mut seq = bag.clone();
+        seq.seal();
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = bag.clone();
+            par.seal_with(&ExecConfig {
+                threads,
+                min_parallel_support: 1,
+            });
+            assert!(par.is_sealed());
+            // identical storage layout, not just equal multisets
+            let seq_rows: Vec<(&[Value], u64)> = seq.iter().collect();
+            let par_rows: Vec<(&[Value], u64)> = par.iter().collect();
+            assert_eq!(par_rows, seq_rows, "threads = {threads}");
+        }
     }
 
     #[test]

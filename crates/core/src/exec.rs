@@ -13,9 +13,17 @@
 //!   parallel layer costs nothing when it cannot help.
 //! * [`shard_ranges`] — the shard plan: split `0..n` into contiguous
 //!   ranges, moving every boundary forward to the next key-group edge.
-//! * [`run_shards`] — a dependency-free executor on [`std::thread::scope`]
-//!   (the build environment is offline; no rayon): one scoped worker per
-//!   shard, results returned in shard order.
+//!   Plans are **oversubscribed** ([`ExecConfig::shards_for`] asks for
+//!   [`ExecConfig::CHUNKS_PER_WORKER`] chunks per worker), so a skewed
+//!   plan leaves chunks for idle workers to steal.
+//! * [`run_shards`] / [`run_tasks`] — a dependency-free **work-stealing
+//!   executor** on [`std::thread::scope`] (the build environment is
+//!   offline; no rayon): an atomic cursor walks the shard descriptors
+//!   and each worker claims the next unclaimed chunk whenever it
+//!   finishes one, so one expensive shard no longer idles every other
+//!   worker. Results are tagged with their task index and returned in
+//!   task order regardless of completion order — the splice invariant
+//!   below survives any interleaving.
 //!
 //! Workers assemble their output into [`ShardRun`]s: flat row-major
 //! buffers with **precomputed row hashes** and a parallel `u64` payload
@@ -28,6 +36,8 @@ use crate::store::{hash_row, RowStore};
 use crate::{CoreError, Value};
 use std::fmt;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 
 /// Configuration for shard-parallel execution.
 ///
@@ -52,6 +62,14 @@ pub struct ExecConfig {
 impl ExecConfig {
     /// Default sequential-fallback threshold (items per operation).
     pub const DEFAULT_MIN_PARALLEL_SUPPORT: usize = 2048;
+
+    /// Shard-plan oversubscription: how many chunks each worker's share
+    /// of the input is split into. More chunks give the work-stealing
+    /// executor room to rebalance a skewed plan (one giant key group
+    /// next to many tiny ones) at the cost of slightly more splice
+    /// bookkeeping; 4 keeps the per-chunk work large enough that the
+    /// atomic-cursor claim is noise.
+    pub const CHUNKS_PER_WORKER: usize = 4;
 
     /// Starts building a configuration; unset knobs take the defaults of
     /// [`ExecConfig::default`].
@@ -96,13 +114,16 @@ impl ExecConfig {
 
     /// How many shards an input of `items` rows should split into: `1`
     /// (sequential) below the parallel threshold or at `threads = 1`,
-    /// otherwise the configured thread count. (A 0/1-row input never
-    /// shards, whatever the threshold.)
+    /// otherwise [`ExecConfig::CHUNKS_PER_WORKER`] chunks per configured
+    /// worker — oversubscribed so the work-stealing executor can
+    /// rebalance skewed plans. (A 0/1-row input never shards, whatever
+    /// the threshold; [`shard_ranges`] caps the plan at one shard per
+    /// item, so tiny inputs cannot produce empty shards.)
     pub fn shards_for(&self, items: usize) -> usize {
         if self.threads <= 1 || items < self.min_parallel_support.max(2) {
             1
         } else {
-            self.threads
+            self.threads.saturating_mul(Self::CHUNKS_PER_WORKER)
         }
     }
 }
@@ -274,9 +295,9 @@ pub fn lower_bound_by(n: usize, is_less: impl Fn(usize) -> bool) -> usize {
 }
 
 /// Runs `work` over each range on at most `threads` scoped worker
-/// threads (ranges beyond the thread count are distributed in contiguous
-/// chunks), returning outputs in shard order. Specialization of
-/// [`run_tasks`] for the common range-per-shard case.
+/// threads through the work-stealing queue of [`run_tasks`], returning
+/// outputs in shard order. Specialization of [`run_tasks`] for the
+/// common range-per-shard case.
 pub fn run_shards<T: Send>(
     threads: usize,
     ranges: Vec<Range<usize>>,
@@ -285,9 +306,19 @@ pub fn run_shards<T: Send>(
     run_tasks(threads, ranges, work)
 }
 
-/// Runs `work` over each task on at most `threads` scoped worker threads
-/// (tasks beyond the thread count are distributed in contiguous chunks),
-/// returning outputs in task order.
+/// Runs `work` over each task on at most `threads` scoped worker
+/// threads, returning outputs in task order.
+///
+/// The tasks form a **self-scheduling work queue**: an atomic cursor
+/// indexes the task list, and each worker claims the next unclaimed
+/// task whenever it finishes one. No task-to-worker assignment is fixed
+/// up front, so a skewed plan (one chunk much more expensive than the
+/// rest) keeps every worker busy until the queue drains — the static
+/// one-chunk-per-worker split this replaces would idle all but one.
+/// Each output is written into the slot of its task index, so the
+/// returned vector is in task order regardless of which worker finished
+/// which task when; splice-order invariants downstream are unaffected
+/// by scheduling.
 ///
 /// With one task (or `threads <= 1`) the work runs inline on the calling
 /// thread — the sequential fallback spawns nothing. A worker panic is
@@ -300,31 +331,129 @@ pub fn run_tasks<I: Send, T: Send>(
     if threads <= 1 || tasks.len() <= 1 {
         return tasks.into_iter().map(work).collect();
     }
-    let workers = threads.min(tasks.len());
-    // Contiguous chunks keep the flattened outputs in task order.
-    let chunk = tasks.len().div_ceil(workers);
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
-    let mut tasks = tasks;
-    while tasks.len() > chunk {
-        let tail = tasks.split_off(chunk);
-        chunks.push(std::mem::replace(&mut tasks, tail));
-    }
-    chunks.push(tasks);
-    let work = &work;
+    let n = tasks.len();
+    let workers = threads.min(n);
+    // Slot-per-task queue and result stores. The mutexes are touched
+    // exactly once per slot (claim on the way in, write on the way
+    // out); cross-task contention lives only on the atomic cursor.
+    let queue: Vec<Mutex<Option<I>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let (queue_ref, slots_ref, cursor_ref, work_ref) = (&queue, &slots, &cursor, &work);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(work).collect::<Vec<T>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(outputs) => outputs,
-                // Re-raise with the worker's own message and location.
-                Err(payload) => std::panic::resume_unwind(payload),
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (queue, slots, cursor, work) = (queue_ref, slots_ref, cursor_ref, work_ref);
+                scope.spawn(move || {
+                    loop {
+                        let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // The cursor hands each index to exactly one
+                        // worker, so the take always finds the task.
+                        let task = queue[i]
+                            .lock()
+                            .expect("claiming worker cannot observe a poisoned task slot")
+                            .take()
+                            .expect("task claimed twice");
+                        let out = work(task);
+                        *slots[i]
+                            .lock()
+                            .expect("finishing worker cannot observe a poisoned result slot") =
+                            Some(out);
+                    }
+                })
             })
-            .collect()
-    })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                // Re-raise with the worker's own message and location.
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked past the join above")
+                .expect("every claimed task wrote its result")
+        })
+        .collect()
+}
+
+/// Parallel merge sort over the work-stealing executor: `items` splits
+/// into `shards` contiguous chunks, each chunk sorts on the task queue,
+/// and sorted runs then merge pairwise — also on the queue — until one
+/// remains. This is the sort half of the parallel seal
+/// ([`crate::Bag::seal_with`] / [`crate::Relation::seal_with`]).
+///
+/// With `threads <= 1` or `shards <= 1` the whole thing is one inline
+/// `sort_unstable_by`. Elements that compare equal keep their
+/// earlier-chunk-first order but an unspecified within-chunk order (the
+/// chunk sorts are unstable); the seal callers compare interned — hence
+/// distinct — rows, so ties cannot occur there.
+pub fn parallel_sort_by<T: Send + Copy>(
+    items: Vec<T>,
+    threads: usize,
+    shards: usize,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering + Sync,
+) -> Vec<T> {
+    let n = items.len();
+    if threads <= 1 || shards <= 1 || n < 2 {
+        let mut items = items;
+        items.sort_unstable_by(&cmp);
+        return items;
+    }
+    let shards = shards.min(n);
+    let chunk = n.div_ceil(shards);
+    let mut rest = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(shards);
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let cmp = &cmp;
+    let mut runs: Vec<Vec<T>> = run_tasks(threads, chunks, |mut c| {
+        c.sort_unstable_by(cmp);
+        c
+    });
+    while runs.len() > 1 {
+        let mut pairs: Vec<(Vec<T>, Option<Vec<T>>)> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        runs = run_tasks(threads, pairs, |(a, b)| match b {
+            Some(b) => merge_sorted_runs(a, b, cmp),
+            None => a,
+        });
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Two-way merge of sorted runs; ties take from `a` first.
+fn merge_sorted_runs<T: Copy>(
+    a: Vec<T>,
+    b: Vec<T>,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 /// One shard's output: freshly assembled rows (flat, row-major) with
@@ -546,7 +675,12 @@ mod tests {
     #[test]
     fn config_fallback_thresholds() {
         let cfg = ExecConfig::with_threads(4);
-        assert_eq!(cfg.shards_for(ExecConfig::DEFAULT_MIN_PARALLEL_SUPPORT), 4);
+        // plans oversubscribe: CHUNKS_PER_WORKER chunks per worker leave
+        // stealable work when shard costs are skewed
+        assert_eq!(
+            cfg.shards_for(ExecConfig::DEFAULT_MIN_PARALLEL_SUPPORT),
+            4 * ExecConfig::CHUNKS_PER_WORKER
+        );
         assert_eq!(
             cfg.shards_for(ExecConfig::DEFAULT_MIN_PARALLEL_SUPPORT - 1),
             1
@@ -560,7 +694,66 @@ mod tests {
         };
         assert_eq!(tiny.shards_for(0), 1);
         assert_eq!(tiny.shards_for(1), 1);
-        assert_eq!(tiny.shards_for(2), 4);
+        assert_eq!(tiny.shards_for(2), 4 * ExecConfig::CHUNKS_PER_WORKER);
+    }
+
+    /// Regression: a plan asked for more shards than there are items
+    /// (threads > supports after the oversubscribed `shards_for`) must
+    /// produce only non-empty shards — no empty trailing ranges handed
+    /// to workers.
+    #[test]
+    fn more_shards_than_items_yields_no_empty_shards() {
+        for n in [1usize, 2, 3, 5] {
+            for shards in [4usize, 16, 64] {
+                let ranges = shard_ranges(n, shards, |_| false);
+                check_ranges(n, &ranges, |_| false);
+                assert!(ranges.len() <= n, "n = {n}, shards = {shards}");
+                assert!(
+                    ranges.iter().all(|r| !r.is_empty()),
+                    "empty shard in plan for n = {n}, shards = {shards}"
+                );
+            }
+        }
+        // The aligned two-sided planner inherits the guarantee on its
+        // left ranges (right ranges may legitimately be empty — a shard
+        // whose keys have no partners).
+        let tasks = aligned_shard_tasks(3, 2, 16, |_| false, |_| 0);
+        assert!(tasks.iter().all(|(l, _)| !l.is_empty()));
+        assert_eq!(tasks.last().unwrap().0.end, 3);
+    }
+
+    /// The work-stealing queue returns outputs in task order even when
+    /// task costs are wildly skewed (the first task is the most
+    /// expensive, so it finishes last on a multicore host).
+    #[test]
+    fn work_stealing_keeps_task_order_under_skew() {
+        let tasks: Vec<usize> = (0..32).collect();
+        let out = run_tasks(4, tasks.clone(), |i| {
+            // First task spins longest; later tasks return immediately.
+            let spin = if i == 0 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(std::hint::black_box(k));
+            }
+            std::hint::black_box(acc);
+            (i, i as u64)
+        });
+        let expected: Vec<(usize, u64)> = tasks.into_iter().map(|i| (i, i as u64)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential_sort() {
+        let items: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 733)
+            .collect();
+        let mut expected = items.clone();
+        expected.sort_unstable();
+        for (threads, shards) in [(1, 1), (2, 3), (4, 16), (8, 64)] {
+            let got = parallel_sort_by(items.clone(), threads, shards, |a, b| a.cmp(b));
+            assert_eq!(got, expected, "threads = {threads}, shards = {shards}");
+        }
+        assert!(parallel_sort_by(Vec::<u32>::new(), 4, 8, |a, b| a.cmp(b)).is_empty());
     }
 
     #[test]

@@ -117,10 +117,17 @@ impl JoinStrategy {
         Self::select_with(left, right, &ExecConfig::sequential())
     }
 
-    /// [`JoinStrategy::select`] under an execution configuration: a
-    /// parallel merge (per-shard sweeps) overtakes the single-threaded
-    /// hash probe once sharding kicks in, so comparable-size inputs with
-    /// at least one sort-free side choose merge when `cfg` shards them.
+    /// [`JoinStrategy::select`] under an execution configuration. Both
+    /// physical strategies now parallelize under `cfg` — the merge
+    /// shards its group sweep at key boundaries, the hash join
+    /// broadcasts its build side and shards the probe
+    /// ([`bag_join_hash_with`]) — so the choice reduces to the
+    /// *sequential* work each strategy cannot shard away: the sorts (for
+    /// merge) vs the index build on the small side (for hash). Hence:
+    /// comparable sizes with at least one sort-free side pick merge when
+    /// `cfg` shards them (its leftover sequential work is ~nothing),
+    /// while lopsided or unsorted inputs keep hash, whose `O(small)`
+    /// build is the only part that stays on one thread.
     pub fn select_with(left: JoinSide, right: JoinSide, cfg: &ExecConfig) -> Self {
         let small = left.support.min(right.support);
         let large = left.support.max(right.support);
@@ -311,10 +318,13 @@ pub fn bag_join_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Bag> {
     match JoinStrategy::select_with(left, right, cfg) {
         JoinStrategy::SortMerge => bag_join_merge_planned(r, s, &plan, cfg),
         // The join is symmetric (output schema is the union, multiplicities
-        // multiply), so build the key index on the smaller operand (the
-        // swapped orientation needs its own plan).
-        JoinStrategy::Hash if r.support_size() < s.support_size() => bag_join_hash(s, r),
-        JoinStrategy::Hash => bag_join_hash_planned(r, s, &plan),
+        // multiply), so build the key index on the smaller operand and
+        // probe with the larger — which is also the side worth sharding
+        // (the swapped orientation needs its own plan).
+        JoinStrategy::Hash if r.support_size() < s.support_size() => {
+            bag_join_hash_planned(s, r, &JoinPlan::new(s.schema(), r.schema()), cfg)
+        }
+        JoinStrategy::Hash => bag_join_hash_planned(r, s, &plan, cfg),
     }
 }
 
@@ -523,30 +533,79 @@ impl Iterator for ProbeIter<'_> {
 /// The hash bag join: right side's keys interned into a flat chained
 /// index, left side probes. The small-side fallback of the heuristic.
 pub fn bag_join_hash(r: &Bag, s: &Bag) -> Result<Bag> {
-    bag_join_hash_planned(r, s, &JoinPlan::new(r.schema(), s.schema()))
+    bag_join_hash_with(r, s, &ExecConfig::sequential())
+}
+
+/// [`bag_join_hash`] under an explicit execution configuration: the key
+/// index builds once on the calling thread and is **broadcast** (shared
+/// read-only) to the workers, while the probe side's live ids shard
+/// into plain index ranges — probes are row-independent, so no
+/// key-group constraint applies. Each shard emits its matches into a
+/// [`ShardRun`] (hashing output rows on the worker) and the runs splice
+/// back in range order, reproducing the sequential emission order
+/// exactly.
+pub fn bag_join_hash_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Bag> {
+    bag_join_hash_planned(r, s, &JoinPlan::new(r.schema(), s.schema()), cfg)
 }
 
 /// Hash-join body shared by the dispatcher (which already built the
-/// plan) and the public entry point. `plan` must be oriented as
+/// plan) and the public entry points. `plan` must be oriented as
 /// `JoinPlan::new(r.schema(), s.schema())`.
-fn bag_join_hash_planned(r: &Bag, s: &Bag, plan: &JoinPlan) -> Result<Bag> {
+fn bag_join_hash_planned(r: &Bag, s: &Bag, plan: &JoinPlan, cfg: &ExecConfig) -> Result<Bag> {
     let mut key_scratch: Vec<Value> = Vec::with_capacity(plan.common.arity());
     let index = KeyIndex::build(s.store(), s.live_ids(), &plan.right_key, &mut key_scratch);
-    let mut out = Bag::with_capacity(plan.out.clone(), r.support_size());
-    let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
-    for a in r.live_ids() {
-        let lrow = r.store().row(crate::store::RowId(a));
-        let lm = r.mult_of(a);
-        for b in index.probe(lrow, &plan.left_key, &mut key_scratch) {
-            let rrow = s.store().row(crate::store::RowId(b));
-            let m = lm
-                .checked_mul(s.mult_of(b))
-                .ok_or(CoreError::MultiplicityOverflow)?;
-            plan.combine_into(lrow, rrow, &mut scratch);
-            out.push_unique_row(&scratch, m);
+
+    let shards = cfg.shards_for(r.support_size());
+    if shards <= 1 {
+        let mut out = Bag::with_capacity(plan.out.clone(), r.support_size());
+        let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+        for a in r.live_ids() {
+            let lrow = r.store().row(crate::store::RowId(a));
+            let lm = r.mult_of(a);
+            for b in index.probe(lrow, &plan.left_key, &mut key_scratch) {
+                let rrow = s.store().row(crate::store::RowId(b));
+                let m = lm
+                    .checked_mul(s.mult_of(b))
+                    .ok_or(CoreError::MultiplicityOverflow)?;
+                plan.combine_into(lrow, rrow, &mut scratch);
+                out.push_unique_row(&scratch, m);
+            }
         }
+        return Ok(out);
     }
-    Ok(out)
+
+    // Sharded probe: contiguous ranges of the live-id list keep the
+    // concatenated emission order equal to the sequential loop above;
+    // the oversubscribed plan + work stealing absorb skewed chains
+    // (probe rows whose key matches a giant build-side group).
+    let probe_ids: Vec<u32> = r.live_ids().collect();
+    let ranges = crate::exec::shard_ranges(probe_ids.len(), shards, |_| false);
+    let (probe_ids, index) = (&probe_ids, &index);
+    let runs = run_tasks(cfg.threads(), ranges, |range| {
+        let mut run = ShardRun::with_capacity(plan.out.arity(), range.len());
+        let mut key_scratch: Vec<Value> = Vec::with_capacity(plan.common.arity());
+        let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+        for &a in &probe_ids[range] {
+            let lrow = r.store().row(crate::store::RowId(a));
+            let lm = r.mult_of(a);
+            for b in index.probe(lrow, &plan.left_key, &mut key_scratch) {
+                let rrow = s.store().row(crate::store::RowId(b));
+                let m = lm
+                    .checked_mul(s.mult_of(b))
+                    .ok_or(CoreError::MultiplicityOverflow)?;
+                plan.combine_into(lrow, rrow, &mut scratch);
+                // Distinct (a, b) pairs assemble distinct XY rows.
+                run.push(&scratch, m);
+            }
+        }
+        Ok(run)
+    });
+    let runs: Result<Vec<ShardRun>> = runs.into_iter().collect();
+    Ok(Bag::from_shard_runs(
+        plan.out.clone(),
+        ShardedRowStore::from_runs(plan.out.arity(), runs?),
+        false,
+    ))
 }
 
 /// The relational join `R ⋈ S` of Section 2, strategy chosen by
@@ -998,6 +1057,68 @@ mod tests {
             let seq_rows: Vec<&[Value]> = seq.iter().map(|(row, _)| row).collect();
             let par_rows: Vec<&[Value]> = par.iter().map(|(row, _)| row).collect();
             assert_eq!(par_rows, seq_rows);
+        }
+    }
+
+    #[test]
+    fn parallel_hash_probe_matches_sequential() {
+        // Build side small, probe side large and skewed: one giant key
+        // chain (key 0) plus many short ones — the shape work stealing
+        // is for. The probe side is deliberately left unsealed.
+        let mut r = Bag::new(schema(&[0, 1]));
+        let mut s = Bag::new(schema(&[1, 2]));
+        for i in (0..600u64).rev() {
+            let key = if i % 3 == 0 { 0 } else { i % 40 };
+            r.insert(vec![Value(i), Value(key)], i % 7 + 1).unwrap();
+        }
+        for i in 0..40u64 {
+            s.insert(vec![Value(i), Value(i + 100)], i % 5 + 1).unwrap();
+        }
+        let seq = bag_join_hash(&r, &s).unwrap();
+        for threads in [2usize, 4, 8] {
+            let cfg = ExecConfig {
+                threads,
+                min_parallel_support: 1,
+            };
+            let par = bag_join_hash_with(&r, &s, &cfg).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+            // splice preserves the sequential emission order exactly
+            let seq_rows: Vec<&[Value]> = seq.iter().map(|(row, _)| row).collect();
+            let par_rows: Vec<&[Value]> = par.iter().map(|(row, _)| row).collect();
+            assert_eq!(par_rows, seq_rows, "emission order, threads = {threads}");
+        }
+        // the dispatcher with a sharding config agrees too (it may pick
+        // either physical strategy)
+        let via_dispatch = bag_join_with(
+            &r,
+            &s,
+            &ExecConfig {
+                threads: 4,
+                min_parallel_support: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(via_dispatch, seq);
+    }
+
+    #[test]
+    fn parallel_hash_probe_detects_overflow() {
+        let mut r = Bag::new(schema(&[0, 1]));
+        let mut s = Bag::new(schema(&[1, 2]));
+        for i in 0..100u64 {
+            r.insert(vec![Value(i), Value(i % 3)], u64::MAX).unwrap();
+            s.insert(vec![Value(i % 3), Value(i)], 2).unwrap();
+        }
+        for threads in [1usize, 4] {
+            let cfg = ExecConfig {
+                threads,
+                min_parallel_support: 1,
+            };
+            assert_eq!(
+                bag_join_hash_with(&r, &s, &cfg),
+                Err(CoreError::MultiplicityOverflow),
+                "threads = {threads}"
+            );
         }
     }
 

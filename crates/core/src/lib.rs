@@ -59,33 +59,51 @@
 //!
 //! # Parallel execution
 //!
-//! The execution layer ([`exec`]) partitions sealed runs into contiguous
-//! **key-range shards** and fans the three hot paths out over
-//! `std::thread::scope` workers (dependency-free; the build environment
-//! is offline, so no rayon):
+//! The execution layer ([`exec`]) partitions work into contiguous
+//! shards and fans it out over an **adaptive work-stealing scheduler**
+//! on `std::thread::scope` (dependency-free; the build environment is
+//! offline, so no rayon): shard plans are *oversubscribed*
+//! ([`ExecConfig::CHUNKS_PER_WORKER`] chunks per worker), an atomic
+//! cursor walks the chunk queue, and each worker claims the next chunk
+//! whenever it finishes one — so a skewed plan (one giant key group
+//! next to many tiny ones) no longer pins its cost to a single worker.
+//! The parallelized bulk paths:
 //!
 //! * **merge joins** ([`join::bag_join_merge_with`]) — the left side's
 //!   key-sorted run splits at join-key-group boundaries, right-side
 //!   ranges align by binary search, each shard multiplies its groups out
 //!   into a [`exec::ShardRun`];
+//! * **hash joins** ([`join::bag_join_hash_with`]) — the small side's
+//!   key index builds once and is broadcast read-only; the probe side's
+//!   live ids shard into plain index ranges (probes are
+//!   row-independent), each chunk emitting matches into a
+//!   [`exec::ShardRun`];
 //! * **prefix marginals** ([`Bag::marginal_with`]) — the sealed run
 //!   splits at prefix-group boundaries and each shard runs the group-by
 //!   sweep;
+//! * **seal** ([`Bag::seal_with`] / [`Relation::seal_with`]) — the id
+//!   permutation sorts via parallel chunk sorts plus pairwise sorted-run
+//!   merges ([`exec::parallel_sort_by`]), and the re-layout copies and
+//!   rehashes rows on shard workers;
 //! * **flow-network middle edges** (`ConsistencyNetwork::build_with` in
 //!   `bagcons-flow`) — per-shard edge buffers splice into the
-//!   network-local arena.
+//!   network-local arena; its `solve_with` seals the witness through the
+//!   parallel seal.
 //!
 //! Shard invariants, relied on everywhere: **a shard boundary never
 //! splits a key group** (boundaries slide forward to the next group
-//! edge; a single giant group collapses its shards), and per-shard
-//! outputs **splice back in ascending key order**, reproducing the
-//! sequential emission order exactly — prefix-marginal outputs are
-//! therefore born sealed, and join/network outputs are bit-identical to
-//! their sequential counterparts at every thread count. Workers hash
-//! their output rows into [`exec::ShardRun`]s, so the sequential splice
-//! ([`RowStore::push_unique_hashed`]) only probes the flat dedup table.
-//! An [`ExecConfig`] with `threads = 1` — the default of every
-//! non-`_with` entry point — takes the unchanged sequential code path.
+//! edge; a single giant group collapses its shards; empty shards are
+//! dropped by the planner, never handed to workers), and per-shard
+//! outputs are **tagged with their shard index and splice back in
+//! ascending shard order** — whichever worker finished which chunk when
+//! — reproducing the sequential emission order exactly. Prefix-marginal
+//! outputs are therefore born sealed, and join/network/seal outputs are
+//! bit-identical to their sequential counterparts at every thread
+//! count. Workers hash their output rows into [`exec::ShardRun`]s, so
+//! the sequential splice ([`RowStore::push_unique_hashed`]) only probes
+//! the flat dedup table. An [`ExecConfig`] with `threads = 1` — the
+//! default of every non-`_with` entry point — takes the unchanged
+//! sequential code path.
 //!
 //! Invariants maintained by construction:
 //!

@@ -141,13 +141,24 @@ impl Relation {
     }
 
     /// Restores the sorted-run layout (no-op when already sealed).
+    /// Equivalent to [`Relation::seal_with`] under a sequential
+    /// configuration.
     pub fn seal(&mut self) {
+        self.seal_with(&crate::ExecConfig::sequential());
+    }
+
+    /// [`Relation::seal`] under an explicit execution configuration:
+    /// the id permutation sorts by parallel chunk sorts + pairwise run
+    /// merges and the re-layout (row copy + rehash) fans out over shard
+    /// workers when `cfg` shards the row set. Byte-identical to the
+    /// sequential seal at every thread count.
+    pub fn seal_with(&mut self, cfg: &crate::ExecConfig) {
         if self.sealed {
             return;
         }
-        let mut order: Vec<u32> = (0..self.store.len() as u32).collect();
-        order.sort_unstable_by(|&a, &b| crate::store::cmp_rows(&self.store, a, b));
-        self.store = self.store.reordered(&order);
+        let order: Vec<u32> = (0..self.store.len() as u32).collect();
+        let order = self.store.sorted_order_with(order, cfg);
+        self.store = self.store.reordered_with(&order, cfg);
         self.sealed = true;
     }
 
@@ -360,6 +371,31 @@ mod tests {
         let r = Relation::from_u64s(schema(&[0]), [&[9u64][..], &[1][..]]).unwrap();
         let s = r.to_string();
         assert!(s.find("1").unwrap() < s.find("9").unwrap());
+    }
+
+    #[test]
+    fn seal_with_matches_sequential_seal() {
+        let mut rel = Relation::new(schema(&[0, 1]));
+        for i in (0..300u64).rev() {
+            rel.insert(vec![Value(i % 19), Value(i % 11)]).unwrap();
+        }
+        assert!(!rel.is_sealed());
+        let mut seq = rel.clone();
+        seq.seal();
+        for threads in [2usize, 4, 8] {
+            let mut par = rel.clone();
+            par.seal_with(
+                &crate::ExecConfig::builder()
+                    .threads(threads)
+                    .min_parallel_support(1)
+                    .build()
+                    .unwrap(),
+            );
+            assert!(par.is_sealed());
+            let seq_rows: Vec<&[Value]> = seq.iter().collect();
+            let par_rows: Vec<&[Value]> = par.iter().collect();
+            assert_eq!(par_rows, seq_rows, "threads = {threads}");
+        }
     }
 
     #[test]

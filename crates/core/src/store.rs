@@ -236,6 +236,44 @@ impl RowStore {
         out
     }
 
+    /// [`RowStore::reordered`] with the copy-and-rehash fanned out over
+    /// the shard executor: `order` splits into plain index ranges (rows
+    /// are independent — no key-group constraint), each worker copies
+    /// its rows into a [`crate::exec::ShardRun`] and hashes them there,
+    /// and the runs splice back in range order. The resulting layout is
+    /// byte-identical to `reordered(order)`; only the hashing moved off
+    /// the calling thread. Falls back to [`RowStore::reordered`] when
+    /// `cfg` does not shard `order`.
+    pub(crate) fn reordered_with(&self, order: &[u32], cfg: &crate::exec::ExecConfig) -> RowStore {
+        use crate::exec::{run_shards, shard_ranges, ShardRun, ShardedRowStore};
+        let shards = cfg.shards_for(order.len());
+        if shards <= 1 {
+            return self.reordered(order);
+        }
+        let ranges = shard_ranges(order.len(), shards, |_| false);
+        let runs = run_shards(cfg.threads(), ranges, |range| {
+            let mut run = ShardRun::with_capacity(self.arity, range.len());
+            for &old in &order[range] {
+                run.push(self.row(RowId(old)), 0);
+            }
+            run
+        });
+        ShardedRowStore::from_runs(self.arity, runs).into_store()
+    }
+
+    /// The ids of `order` sorted by their rows' lexicographic order —
+    /// the sort half of the parallel seal, fanned out per `cfg` through
+    /// [`crate::exec::parallel_sort_by`]. Interned rows are distinct, so
+    /// the order is total and independent of the chunking.
+    pub(crate) fn sorted_order_with(
+        &self,
+        order: Vec<u32>,
+        cfg: &crate::exec::ExecConfig,
+    ) -> Vec<u32> {
+        let shards = cfg.shards_for(order.len());
+        crate::exec::parallel_sort_by(order, cfg.threads(), shards, |&a, &b| cmp_rows(self, a, b))
+    }
+
     #[inline]
     fn stored_row(&self, id: u32) -> &[Value] {
         let i = id as usize;

@@ -183,6 +183,16 @@ impl ConsistencyNetwork {
     /// Runs max-flow; if the flow saturates every source and sink arc,
     /// returns the witness bag `T(t) = f(t[X], t[Y])`, else `None`.
     pub fn solve(self) -> Option<Bag> {
+        self.solve_with(&ExecConfig::sequential())
+    }
+
+    /// [`ConsistencyNetwork::solve`] under an explicit execution
+    /// configuration: the witness's closing seal — a sort plus re-layout
+    /// of the whole support, the last sequential bulk step on the
+    /// witness path — runs through the parallel [`Bag::seal_with`] when
+    /// `cfg` shards it. The max-flow search itself stays sequential
+    /// (augmenting paths are inherently ordered).
+    pub fn solve_with(self, cfg: &ExecConfig) -> Option<Bag> {
         if self.total_r != self.total_s {
             // A saturated flow needs both sides saturated; impossible.
             return None;
@@ -205,7 +215,7 @@ impl ConsistencyNetwork {
         // them straight back into the next network build (which wants
         // sorted order) and into prefix marginals (which then skip
         // hashing entirely).
-        witness.seal();
+        witness.seal_with(cfg);
         Some(witness)
     }
 }

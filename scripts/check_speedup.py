@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI parallel-speedup gate.
+
+Reads one or more BENCH_*.json files produced by the experiment harness
+(E13 / E14 shape: a "results" list of rows carrying "support",
+"threads", and one or more "*_ms" timing columns) and checks that on
+the **largest-support** row, threads=4 achieves at least MIN_SPEEDUP x
+the threads=1 time on at least one timing column (the best column is
+reported; all are printed).
+
+Skips — with a loud note, exit 0 — when the recorded host_parallelism
+is below 4: a 1-core container cannot measure parallel speedup, only
+scheduling overhead. CI hosted runners have >= 4 vCPUs, so the gate is
+real there.
+
+Usage: check_speedup.py BENCH_e13.json BENCH_e14.json
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP = 1.2
+THREADS_BASE = 1
+THREADS_PAR = 4
+
+
+def check(path: str) -> bool:
+    with open(path) as fh:
+        doc = json.load(fh)
+    host = doc.get("host_parallelism", 0)
+    if host < THREADS_PAR:
+        print(f"{path}: host_parallelism={host} < {THREADS_PAR}; "
+              "cannot measure speedup on this host — skipping")
+        return True
+    rows = doc["results"]
+    largest = max(row["support"] for row in rows)
+    by_threads = {row["threads"]: row for row in rows if row["support"] == largest}
+    base = by_threads.get(THREADS_BASE)
+    par = by_threads.get(THREADS_PAR)
+    if base is None or par is None:
+        print(f"{path}: missing threads={THREADS_BASE} or threads={THREADS_PAR} "
+              f"row at support={largest}")
+        return False
+    cols = [k for k in base if k.endswith("_ms")]
+    best_col, best = None, 0.0
+    print(f"{path}: support={largest} (host_parallelism={host})")
+    for col in cols:
+        t1, t4 = base[col], par[col]
+        speedup = t1 / t4 if t4 > 0 else float("inf")
+        print(f"  {col:>20}: t1={t1:8.3f} ms  t4={t4:8.3f} ms  "
+              f"speedup={speedup:5.2f}x")
+        if speedup > best:
+            best_col, best = col, speedup
+    ok = best >= MIN_SPEEDUP
+    verdict = "PASS" if ok else "FAIL"
+    print(f"  {verdict}: best column {best_col} at {best:.2f}x "
+          f"(required >= {MIN_SPEEDUP}x)")
+    return ok
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    ok = all([check(path) for path in sys.argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

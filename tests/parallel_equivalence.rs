@@ -1,25 +1,31 @@
 //! Property tests: shard-parallel execution is observationally identical
 //! to sequential execution.
 //!
-//! Every `*_with` entry point of the execution layer (merge joins,
-//! prefix marginals, flow-network middle-edge builds, semijoin sweeps)
-//! must produce the same result at every thread count — the shard plan
-//! never splits a key group, and per-shard outputs splice back in
-//! ascending key order, so the parallel paths reproduce the sequential
-//! emission order *exactly*, not just up to reordering. These tests pin
-//! that contract across thread counts 1/2/4 with `min_parallel_support`
-//! forced to 1, so even tiny random inputs exercise real shard
-//! boundaries (duplicate-heavy keys, giant join groups, empty shards).
+//! Every `*_with` entry point of the execution layer (merge joins, the
+//! sharded hash probe, prefix marginals, the parallel seal, flow-network
+//! middle-edge builds, semijoin sweeps) must produce the same result at
+//! every thread count — the shard plan never splits a key group,
+//! per-shard outputs are tagged with their shard index, and the splice
+//! reassembles them in ascending shard order regardless of which
+//! work-stealing worker finished which chunk when. So the parallel paths
+//! reproduce the sequential emission order *exactly*, not just up to
+//! reordering. These tests pin that contract across thread counts
+//! 1/2/4/8 with `min_parallel_support` forced to 1, so even tiny random
+//! inputs exercise real shard boundaries (duplicate-heavy keys, giant
+//! join groups, oversubscribed chunk queues, empty shards).
 
 use bag_consistency::prelude::*;
-use bagcons_core::join::{bag_join_merge, bag_join_merge_with, bag_join_with};
+use bagcons_core::join::{
+    bag_join_hash, bag_join_hash_with, bag_join_merge, bag_join_merge_with, bag_join_with,
+};
 use bagcons_core::ExecConfig;
 use proptest::prelude::*;
 
 /// Thread counts under test. `1` is the sequential fallback; the others
 /// shard even on a single-core host (the executor is correctness-first:
-/// scoped threads run regardless of the machine's parallelism).
-const THREADS: [usize; 3] = [1, 2, 4];
+/// scoped threads run regardless of the machine's parallelism). `8`
+/// oversubscribes the work-stealing queue to 32 chunks.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// A config that shards everything it legally can.
 fn cfg(threads: usize) -> ExecConfig {
@@ -57,6 +63,40 @@ fn arb_pair() -> impl Strategy<Value = (Bag, Bag)> {
     (arb_bag(0, 2, 4, 48), arb_bag(1, 2, 4, 48))
 }
 
+/// An **unsealed** bag: rows inserted in arbitrary order (duplicates
+/// accumulate), with a random subset tombstoned afterwards — everything
+/// `seal` has to repair. The tiny domain makes rows collide, so chunk
+/// boundaries of the parallel sort routinely land between equal-prefix
+/// rows (boundary-straddling groups).
+fn arb_unsealed_bag(
+    first: u32,
+    arity: u32,
+    domain: u64,
+    max_support: usize,
+) -> impl Strategy<Value = Bag> {
+    let schema = Schema::range(first, first + arity);
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0..domain, arity as usize),
+            1..=16u64,
+            0..10u64,
+        ),
+        0..=max_support,
+    )
+    .prop_map(move |rows| {
+        let mut bag = Bag::new(schema.clone());
+        for (row, m, tombstone_die) in &rows {
+            let vals: Vec<Value> = row.iter().copied().map(Value::new).collect();
+            bag.insert(vals.clone(), *m).unwrap();
+            // ~10% of insertions are immediately tombstoned.
+            if *tombstone_die == 0 {
+                bag.set(vals, 0).unwrap();
+            }
+        }
+        bag
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -82,6 +122,54 @@ proptest! {
         for threads in THREADS {
             let par = bag_join_with(&r, &s, &cfg(threads)).unwrap();
             prop_assert_eq!(&par, &seq, "threads = {}", threads);
+        }
+    }
+
+    /// Parallel seal ≡ sequential seal at every thread count, down to
+    /// the physical row layout (iteration order), on bags with duplicate
+    /// rows, tombstones, and chunk-boundary-straddling key groups.
+    #[test]
+    fn seal_parallel_matches_sequential(bag in arb_unsealed_bag(0, 3, 3, 64)) {
+        let mut seq = bag.clone();
+        seq.seal();
+        for threads in THREADS {
+            let mut par = bag.clone();
+            par.seal_with(&cfg(threads));
+            prop_assert!(par.is_sealed());
+            let seq_rows: Vec<(&[Value], u64)> = seq.iter().collect();
+            let par_rows: Vec<(&[Value], u64)> = par.iter().collect();
+            prop_assert_eq!(par_rows, seq_rows, "threads = {}", threads);
+        }
+    }
+
+    /// Relation seal: same contract through the set-semantics path.
+    #[test]
+    fn relation_seal_parallel_matches_sequential(bag in arb_unsealed_bag(0, 2, 4, 64)) {
+        let rel = bag.support();
+        let mut seq = rel.clone();
+        seq.seal();
+        for threads in THREADS {
+            let mut par = rel.clone();
+            par.seal_with(&cfg(threads));
+            prop_assert!(par.is_sealed());
+            let seq_rows: Vec<&[Value]> = seq.iter().collect();
+            let par_rows: Vec<&[Value]> = par.iter().collect();
+            prop_assert_eq!(par_rows, seq_rows, "threads = {}", threads);
+        }
+    }
+
+    /// Sharded hash probe ≡ sequential hash join, including identical
+    /// emission order (the build side is broadcast, the probe side
+    /// shards by id ranges).
+    #[test]
+    fn hash_join_parallel_matches_sequential((r, s) in arb_pair()) {
+        let seq = bag_join_hash(&r, &s).unwrap();
+        for threads in THREADS {
+            let par = bag_join_hash_with(&r, &s, &cfg(threads)).unwrap();
+            prop_assert_eq!(&par, &seq, "threads = {}", threads);
+            let seq_rows: Vec<&[Value]> = seq.iter().map(|(row, _)| row).collect();
+            let par_rows: Vec<&[Value]> = par.iter().map(|(row, _)| row).collect();
+            prop_assert_eq!(par_rows, seq_rows, "emission order, threads = {}", threads);
         }
     }
 
@@ -233,6 +321,48 @@ mod adversarial {
                 s.marginal_with(&schema(1, 1), &cfg(threads)).unwrap(),
                 seq_marg
             );
+        }
+    }
+
+    /// The work-stealing showcase, pinned for correctness: one giant key
+    /// group plus many tiny ones, driven through the sharded hash probe
+    /// (where the giant group is one enormous probe chain inside a few
+    /// chunks) and the parallel seal (where the giant group straddles
+    /// chunk boundaries of the sort). Outputs must be bit-identical to
+    /// sequential at every thread count — whichever worker stole which
+    /// chunk.
+    #[test]
+    fn giant_group_skew_hash_probe_and_seal() {
+        let mut probe = Bag::new(schema(0, 2));
+        let mut build = Bag::new(schema(1, 2));
+        for i in (0..900u64).rev() {
+            // two thirds of the probe rows hit key 0 (the giant group);
+            // the rest spread over 60 tiny keys
+            let key = if i % 3 != 0 { 0 } else { i % 60 };
+            probe.insert(vec![Value(i), Value(key)], i % 4 + 1).unwrap();
+        }
+        for k in 0..60u64 {
+            build
+                .insert(vec![Value(k), Value(k + 1000)], k % 3 + 1)
+                .unwrap();
+        }
+        // probe stays unsealed on purpose: the hash path must not care
+        let seq_join = bag_join_hash(&probe, &build).unwrap();
+        let mut seq_sealed = probe.clone();
+        seq_sealed.seal();
+        for threads in THREADS {
+            let par_join = bag_join_hash_with(&probe, &build, &cfg(threads)).unwrap();
+            assert_eq!(par_join, seq_join, "hash probe, threads = {threads}");
+            let par_rows: Vec<&[Value]> = par_join.iter().map(|(row, _)| row).collect();
+            let seq_rows: Vec<&[Value]> = seq_join.iter().map(|(row, _)| row).collect();
+            assert_eq!(par_rows, seq_rows, "emission order, threads = {threads}");
+
+            let mut par_sealed = probe.clone();
+            par_sealed.seal_with(&cfg(threads));
+            assert!(par_sealed.is_sealed());
+            let seq_layout: Vec<(&[Value], u64)> = seq_sealed.iter().collect();
+            let par_layout: Vec<(&[Value], u64)> = par_sealed.iter().collect();
+            assert_eq!(par_layout, seq_layout, "seal layout, threads = {threads}");
         }
     }
 
