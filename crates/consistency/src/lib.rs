@@ -35,6 +35,7 @@
 //! | Cross-validate Lemma 2's five characterizations | [`pairwise_report`](session::Session::pairwise_report) |
 //! | Analyze the schema hypergraph (Theorem 1 structure) | [`schema_report`](session::Session::schema_report) |
 //! | Exhibit the pairwise-vs-global gap (Theorem 2 (e)⇒(a)) | [`counterexample`](session::Session::counterexample) |
+//! | Re-check a stream of small edits incrementally | [`open_stream`](session::Session::open_stream) |
 //!
 //! The pre-session plain free functions (`bags_consistent`,
 //! `decide_global_consistency`, …) remain available as `#[doc(hidden)]`
@@ -56,6 +57,17 @@
 //! | Theorem 6 (acyclic witness construction) | [`acyclic::acyclic_global_witness_exec`] |
 //! | Section 5.1 (set-semantics baseline) | [`sets`] |
 //! | Section 6 (full reducers: set case + the bag obstacle) | [`reducer`] |
+//!
+//! ## Incremental streams
+//!
+//! For workloads that *edit* bags between questions,
+//! [`Session::open_stream`] returns a [`stream::ConsistencyStream`]:
+//! per-pair flow networks are cached with their flows and repaired in
+//! place on each [`stream::ConsistencyStream::update`] (capacity edits +
+//! warm-restarted Dinic), so a small multiplicity delta is re-decided at
+//! delta-proportional cost instead of a full rebuild. The CLI exposes
+//! this as `bagcons watch`. See the [`stream`] module docs for the
+//! delta invariants and the cyclic-schema fallback.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +86,7 @@ pub mod reductions;
 pub mod report;
 pub mod session;
 pub mod sets;
+pub mod stream;
 pub mod tseitin;
 
 pub use acyclic::{acyclic_global_witness, AcyclicError};
@@ -84,6 +97,7 @@ pub use minimal::minimal_two_bag_witness;
 pub use pairwise::{bags_consistent, consistency_witness, pairwise_consistent};
 pub use report::{Lemma2Report, Render, ReportFormat};
 pub use session::{Session, SessionBuilder, SessionError};
+pub use stream::{ConsistencyStream, UpdateOutcome};
 pub use tseitin::tseitin_bags;
 
 /// One-stop imports for session-based applications.
@@ -93,4 +107,5 @@ pub mod prelude_session {
         Branch, CheckOutcome, CounterexampleOutcome, Decision, DiagnoseOutcome, PairwiseOutcome,
         SchemaOutcome, Session, SessionBuilder, SessionError, StageTiming, WitnessOutcome,
     };
+    pub use crate::stream::{ConsistencyStream, UpdateOutcome};
 }

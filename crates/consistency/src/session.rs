@@ -32,6 +32,11 @@
 //! [`Render`]. The legacy plain free functions survive as `#[doc(hidden)]`
 //! delegates through [`Session::default`]; the `_with` variants remain
 //! the canonical internals.
+//!
+//! For edit-heavy workloads, [`Session::open_stream`] upgrades the
+//! one-shot [`Session::check`] into an incremental
+//! [`crate::stream::ConsistencyStream`] that re-decides each
+//! multiplicity delta at delta-proportional cost.
 
 use crate::acyclic::{witness_chain, AcyclicError, WitnessStrategy};
 use crate::diagnose::{diagnose_with, Diagnosis};
@@ -194,14 +199,14 @@ impl StageTiming {
     }
 }
 
-fn push_stage(stages: &mut Vec<StageTiming>, stage: &'static str, since: Instant) {
+pub(crate) fn push_stage(stages: &mut Vec<StageTiming>, stage: &'static str, since: Instant) {
     stages.push(StageTiming {
         stage,
         duration: since.elapsed(),
     });
 }
 
-fn json_stages(j: &mut Json, stages: &[StageTiming]) {
+pub(crate) fn json_stages(j: &mut Json, stages: &[StageTiming]) {
     j.key("stages");
     j.begin_array();
     for s in stages {

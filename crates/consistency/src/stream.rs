@@ -1,0 +1,538 @@
+//! Incremental consistency over a stream of multiplicity deltas.
+//!
+//! [`Session::open_stream`] turns a collection of bags into a
+//! [`ConsistencyStream`]: a stateful checker that answers the global
+//! consistency question after every [`ConsistencyStream::update`] at a
+//! cost proportional to the **delta**, not the database. The stream
+//! caches, per bag pair, either the pair's flow network `N(R,S)` with
+//! its per-edge flows retained (schemas that share attributes) or just
+//! the side totals (disjoint schemas), and on an update:
+//!
+//! * applies the [`DeltaSet`] to the target bag through
+//!   [`Bag::apply_delta_with`] — in-place multiplicity patches when the
+//!   support is untouched, an incremental prefix/tail merge otherwise;
+//! * **repairs** the networks of the pairs the edited bag participates
+//!   in: support-preserving deltas map to edge-capacity edits
+//!   ([`bagcons_flow::ConsistencyNetwork::apply_edit`]), overflowing
+//!   flow is cancelled along the touched arcs, and Dinic re-augments
+//!   from the previous feasible flow; support-changing deltas rebuild
+//!   only the touched pairs' networks;
+//! * leaves every pair not sharing the edited bag fully cached.
+//!
+//! # Delta invariants (when is an update cheap?)
+//!
+//! * Edits that keep every edited row's multiplicity **non-zero and
+//!   already in the support** stay entirely in place: the bag's sealed
+//!   run is untouched and pair networks warm-restart.
+//! * Edits that add or remove support rows reseal the bag incrementally
+//!   and **rebuild the touched pairs'** networks (the vertex set
+//!   changed); untouched pairs still keep their caches.
+//! * On an **acyclic** schema the cached pairwise decisions *are* the
+//!   global decision (Theorem 2), so updates never re-run a global
+//!   procedure. On a **cyclic** schema pairwise consistency does not
+//!   decide global consistency: each update that leaves every pair
+//!   consistent falls back to the exact integer search — the stream
+//!   then only saves the pairwise recheck, and
+//!   [`UpdateOutcome::full_search`] reports the fallback.
+//! * A failed update (overflow/underflow/schema mismatch) is atomic:
+//!   bag, caches, and decision are left exactly as before.
+
+use crate::global::{globally_consistent_via_ilp, schema_hypergraph};
+use crate::report::{Json, Render};
+use crate::session::{
+    check_impl, json_stages, push_stage, Branch, Decision, Session, SessionError, StageTiming,
+};
+use bagcons_core::{AttrNames, Bag, DeltaApply, DeltaSet, ExecConfig};
+use bagcons_flow::{ConsistencyNetwork, Side};
+use bagcons_hypergraph::is_acyclic;
+use bagcons_lp::ilp::IlpOutcome;
+use std::time::Instant;
+
+/// Cached consistency evidence for one bag pair.
+enum PairCheck {
+    /// Disjoint schemas: consistent iff the unary totals agree.
+    Totals,
+    /// Overlapping schemas: the warm-restartable network `N(R,S)`.
+    Network(Box<ConsistencyNetwork>),
+}
+
+struct PairState {
+    i: usize,
+    j: usize,
+    check: PairCheck,
+    consistent: bool,
+}
+
+/// A stateful incremental checker over a fixed collection of bags; see
+/// the [module docs](self) and [`Session::open_stream`].
+pub struct ConsistencyStream<'s> {
+    session: &'s Session,
+    bags: Vec<Bag>,
+    /// Cached `‖R‖u` per bag, updated from [`DeltaApply::unary_change`].
+    totals: Vec<u128>,
+    acyclic: bool,
+    /// All pairs `i < j`, in lexicographic order (so the first cached
+    /// inconsistent pair matches the full rebuild's reporting).
+    pairs: Vec<PairState>,
+    decision: Decision,
+    inconsistent_pair: Option<(usize, usize)>,
+    search_nodes: u64,
+    witness: Option<Bag>,
+}
+
+/// Outcome of one [`ConsistencyStream::update`].
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// The global decision after the update.
+    pub decision: Decision,
+    /// Which dichotomy branch produced it.
+    pub branch: Branch,
+    /// Index of the edited bag.
+    pub bag: usize,
+    /// What the delta did to the bag.
+    pub applied: DeltaApply,
+    /// Pairs whose cached network warm-restarted in place.
+    pub pairs_repaired: usize,
+    /// Pairs whose network had to rebuild (support change).
+    pub pairs_rebuilt: usize,
+    /// The first inconsistent pair, when the decision is negative on
+    /// pairwise evidence.
+    pub inconsistent_pair: Option<(usize, usize)>,
+    /// True iff the cyclic branch re-ran the exact integer search.
+    pub full_search: bool,
+    /// Search nodes of that run (0 otherwise).
+    pub search_nodes: u64,
+    /// Wall-clock timings per update stage (`apply`, `repair`,
+    /// `decide`).
+    pub stages: Vec<StageTiming>,
+}
+
+impl Render for UpdateOutcome {
+    fn text(&self, _names: &AttrNames) -> String {
+        let edit = if self.applied.support_changed() {
+            format!("+{}/-{} rows", self.applied.added, self.applied.removed)
+        } else {
+            "in-place".to_string()
+        };
+        let search = if self.full_search {
+            format!("; search {} nodes", self.search_nodes)
+        } else {
+            String::new()
+        };
+        format!(
+            "{} (bag {}: {edit}; pairs: {} repaired, {} rebuilt{search})",
+            self.decision.as_str(),
+            self.bag,
+            self.pairs_repaired,
+            self.pairs_rebuilt,
+        )
+    }
+
+    fn json(&self, _names: &AttrNames) -> String {
+        let mut j = Json::new();
+        j.begin_object();
+        j.field_str("report", "update");
+        j.field_str("decision", self.decision.as_str());
+        j.field_str("branch", self.branch.as_str());
+        j.field_u64("bag", self.bag as u64);
+        j.field_bool("in_place", !self.applied.support_changed());
+        j.field_u64("rows_added", self.applied.added as u64);
+        j.field_u64("rows_removed", self.applied.removed as u64);
+        j.field_u64("pairs_repaired", self.pairs_repaired as u64);
+        j.field_u64("pairs_rebuilt", self.pairs_rebuilt as u64);
+        j.key("inconsistent_pair");
+        match self.inconsistent_pair {
+            Some((a, b)) => {
+                j.begin_array();
+                j.u64(a as u64);
+                j.u64(b as u64);
+                j.end_array();
+            }
+            None => j.null(),
+        }
+        j.field_bool("full_search", self.full_search);
+        j.field_u64("search_nodes", self.search_nodes);
+        json_stages(&mut j, &self.stages);
+        j.end_object();
+        j.finish()
+    }
+}
+
+impl Session {
+    /// Opens an incremental consistency stream over `bags`: the initial
+    /// decision is computed once (pair networks solved and cached), and
+    /// each subsequent [`ConsistencyStream::update`] re-decides at
+    /// delta-proportional cost. See the [`stream`](crate::stream)
+    /// module docs for the caching and fallback invariants.
+    pub fn open_stream(&self, bags: Vec<Bag>) -> Result<ConsistencyStream<'_>, SessionError> {
+        ConsistencyStream::open(self, bags)
+    }
+}
+
+impl<'s> ConsistencyStream<'s> {
+    fn open(session: &'s Session, mut bags: Vec<Bag>) -> Result<Self, SessionError> {
+        let exec = session.exec();
+        for bag in &mut bags {
+            bag.seal_with(exec);
+        }
+        let totals: Vec<u128> = bags.iter().map(Bag::unary_size).collect();
+        let refs: Vec<&Bag> = bags.iter().collect();
+        let acyclic = is_acyclic(&schema_hypergraph(&refs));
+        let mut pairs = Vec::new();
+        for i in 0..bags.len() {
+            for j in (i + 1)..bags.len() {
+                let shared = bags[i].schema().intersection(bags[j].schema());
+                let (check, consistent) = if shared.arity() == 0 {
+                    (PairCheck::Totals, totals[i] == totals[j])
+                } else {
+                    let mut net = ConsistencyNetwork::build_with(&bags[i], &bags[j], exec)?;
+                    let consistent = net.reaugment();
+                    (PairCheck::Network(Box::new(net)), consistent)
+                };
+                pairs.push(PairState {
+                    i,
+                    j,
+                    check,
+                    consistent,
+                });
+            }
+        }
+        let mut stream = ConsistencyStream {
+            session,
+            bags,
+            totals,
+            acyclic,
+            pairs,
+            decision: Decision::Consistent,
+            inconsistent_pair: None,
+            search_nodes: 0,
+            witness: None,
+        };
+        stream.decide()?;
+        Ok(stream)
+    }
+
+    /// Applies `delta` to bag `bag`, repairs the touched pair caches,
+    /// and re-decides. Errors are atomic (see the module docs).
+    pub fn update(&mut self, bag: usize, delta: &DeltaSet) -> Result<UpdateOutcome, SessionError> {
+        if bag >= self.bags.len() {
+            return Err(SessionError::Core(bagcons_core::CoreError::InvalidConfig(
+                "bag index out of range",
+            )));
+        }
+        let exec: &ExecConfig = self.session.exec();
+        let mut stages = Vec::new();
+
+        let t = Instant::now();
+        let applied = self.bags[bag].apply_delta_with(delta, exec)?;
+        self.totals[bag] = (self.totals[bag] as i128 + applied.unary_change) as u128;
+        push_stage(&mut stages, "apply", t);
+
+        let t = Instant::now();
+        let mut repaired = 0usize;
+        let mut rebuilt = 0usize;
+        if !applied.is_noop() {
+            self.witness = None;
+            for p in &mut self.pairs {
+                if p.i != bag && p.j != bag {
+                    continue;
+                }
+                match &mut p.check {
+                    PairCheck::Totals => {
+                        p.consistent = self.totals[p.i] == self.totals[p.j];
+                    }
+                    PairCheck::Network(net) => {
+                        let side = if p.i == bag { Side::R } else { Side::S };
+                        let mut in_place = !applied.support_changed();
+                        if in_place {
+                            for e in delta.edits() {
+                                let mult = self.bags[bag].multiplicity(e.row());
+                                if !net.apply_edit(side, e.row(), mult) {
+                                    // A row the network never saw: the
+                                    // support did change for this pair's
+                                    // purposes — rebuild instead.
+                                    in_place = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if in_place {
+                            p.consistent = net.reaugment();
+                            repaired += 1;
+                        } else {
+                            let mut fresh = ConsistencyNetwork::build_with(
+                                &self.bags[p.i],
+                                &self.bags[p.j],
+                                exec,
+                            )?;
+                            p.consistent = fresh.reaugment();
+                            **net = fresh;
+                            rebuilt += 1;
+                        }
+                    }
+                }
+            }
+        }
+        push_stage(&mut stages, "repair", t);
+
+        let t = Instant::now();
+        let full_search = self.decide()?;
+        push_stage(&mut stages, "decide", t);
+
+        Ok(UpdateOutcome {
+            decision: self.decision,
+            branch: self.branch(),
+            bag,
+            applied,
+            pairs_repaired: repaired,
+            pairs_rebuilt: rebuilt,
+            inconsistent_pair: self.inconsistent_pair,
+            full_search,
+            search_nodes: if full_search { self.search_nodes } else { 0 },
+            stages,
+        })
+    }
+
+    /// Recomputes the global decision from the pair caches; returns
+    /// whether the exact search ran (cyclic branch, pairwise clean).
+    fn decide(&mut self) -> Result<bool, SessionError> {
+        self.inconsistent_pair = self
+            .pairs
+            .iter()
+            .find(|p| !p.consistent)
+            .map(|p| (p.i, p.j));
+        if self.inconsistent_pair.is_some() {
+            // Pairwise inconsistency refutes global consistency on both
+            // branches — no further work.
+            self.decision = Decision::Inconsistent;
+            self.search_nodes = 0;
+            return Ok(false);
+        }
+        if self.acyclic {
+            // Theorem 2: acyclic + pairwise consistent ⇒ consistent.
+            self.decision = Decision::Consistent;
+            self.search_nodes = 0;
+            return Ok(false);
+        }
+        // Cyclic schema: pairwise consistency does not decide — fall
+        // back to the exact integer search (the documented limit of the
+        // incremental path).
+        let refs: Vec<&Bag> = self.bags.iter().collect();
+        let report = globally_consistent_via_ilp(&refs, self.session.solver())
+            .map_err(SessionError::Core)?;
+        self.search_nodes = report.stats.nodes;
+        self.decision = match report.outcome {
+            IlpOutcome::Sat(_) => Decision::Consistent,
+            IlpOutcome::Unsat => Decision::Inconsistent,
+            IlpOutcome::NodeLimit => Decision::Unknown,
+        };
+        Ok(true)
+    }
+
+    /// The current global decision.
+    pub fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    /// Which dichotomy branch decisions come from.
+    pub fn branch(&self) -> Branch {
+        if self.acyclic {
+            Branch::Acyclic
+        } else {
+            Branch::CyclicSearch
+        }
+    }
+
+    /// True iff the schema hypergraph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.acyclic
+    }
+
+    /// The first (lexicographic) inconsistent pair, when pairwise
+    /// evidence refuted consistency.
+    pub fn inconsistent_pair(&self) -> Option<(usize, usize)> {
+        self.inconsistent_pair
+    }
+
+    /// The bags in their current (post-delta, sealed) state.
+    pub fn bags(&self) -> &[Bag] {
+        &self.bags
+    }
+
+    /// A global witness for the current state, computed on demand and
+    /// cached until the next update; `None` unless currently consistent.
+    pub fn witness(&mut self) -> Result<Option<&Bag>, SessionError> {
+        if self.decision != Decision::Consistent {
+            return Ok(None);
+        }
+        if self.witness.is_none() {
+            let refs: Vec<&Bag> = self.bags.iter().collect();
+            let out = check_impl(&refs, self.session.solver(), self.session.exec())?;
+            debug_assert_eq!(out.decision, Decision::Consistent);
+            self.witness = out.witness;
+        }
+        Ok(self.witness.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcons_core::{Attr, Schema};
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
+    }
+
+    fn path_pair() -> (Bag, Bag) {
+        let r = Bag::from_u64s(schema(&[0, 1]), [(&[0u64, 0][..], 2), (&[1, 1][..], 3)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1, 2]), [(&[0u64, 7][..], 2), (&[1, 8][..], 3)]).unwrap();
+        (r, s)
+    }
+
+    #[test]
+    fn stream_flips_with_in_place_deltas() {
+        let (r, s) = path_pair();
+        let session = Session::default();
+        let mut stream = session.open_stream(vec![r, s]).unwrap();
+        assert_eq!(stream.decision(), Decision::Consistent);
+        assert!(stream.branch().is_acyclic());
+
+        let mut bump = DeltaSet::new(schema(&[0, 1]));
+        bump.bump_u64s(&[0, 0], 1).unwrap();
+        let out = stream.update(0, &bump).unwrap();
+        assert_eq!(out.decision, Decision::Inconsistent);
+        assert!(!out.applied.support_changed());
+        assert_eq!(out.pairs_repaired, 1);
+        assert_eq!(out.pairs_rebuilt, 0);
+        assert_eq!(out.inconsistent_pair, Some((0, 1)));
+
+        let mut revert = DeltaSet::new(schema(&[0, 1]));
+        revert.bump_u64s(&[0, 0], -1).unwrap();
+        let out = stream.update(0, &revert).unwrap();
+        assert_eq!(out.decision, Decision::Consistent);
+        assert_eq!(out.pairs_repaired, 1);
+
+        let w = stream.witness().unwrap().expect("consistent").clone();
+        assert_eq!(w.marginal(&schema(&[0, 1])).unwrap(), stream.bags()[0]);
+        assert_eq!(w.marginal(&schema(&[1, 2])).unwrap(), stream.bags()[1]);
+    }
+
+    #[test]
+    fn support_changing_delta_rebuilds_touched_pair_only() {
+        let (r, s) = path_pair();
+        let t = Bag::from_u64s(schema(&[3]), [(&[9u64][..], 5)]).unwrap();
+        let session = Session::default();
+        let mut stream = session.open_stream(vec![r, s, t]).unwrap();
+        // totals: 5 vs 5 vs 5 — fully consistent, acyclic
+        assert_eq!(stream.decision(), Decision::Consistent);
+
+        // add a fresh row to bag 0: its support changes, so pair (0,1)
+        // rebuilds; pair (0,2) is totals-only; pair (1,2) is untouched.
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[2, 0], 1).unwrap();
+        let out = stream.update(0, &d).unwrap();
+        assert!(out.applied.support_changed());
+        assert_eq!(out.pairs_rebuilt, 1);
+        assert_eq!(out.pairs_repaired, 0);
+        assert_eq!(out.decision, Decision::Inconsistent);
+
+        // matching bump on an existing S row: in-place on pair (0,1)
+        let mut d = DeltaSet::new(schema(&[1, 2]));
+        d.bump_u64s(&[0, 7], 1).unwrap();
+        let out = stream.update(1, &d).unwrap();
+        assert_eq!(out.pairs_rebuilt, 0);
+        assert_eq!(out.pairs_repaired, 1);
+        // bag 2 is now one short on totals
+        assert_eq!(out.decision, Decision::Inconsistent);
+        assert_eq!(out.inconsistent_pair, Some((0, 2)));
+        let mut d = DeltaSet::new(schema(&[3]));
+        d.bump_u64s(&[9], 1).unwrap();
+        let out = stream.update(2, &d).unwrap();
+        assert_eq!(out.decision, Decision::Consistent);
+        assert_eq!(out.pairs_rebuilt, 0, "totals pairs never rebuild");
+    }
+
+    #[test]
+    fn net_zero_fresh_row_edit_still_repairs_in_place() {
+        // A batch that touches a row the network never saw but folds it
+        // back to zero is support-preserving end to end: the repair must
+        // warm-restart, not rebuild.
+        let (r, s) = path_pair();
+        let session = Session::default();
+        let mut stream = session.open_stream(vec![r, s]).unwrap();
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[0, 0], 1).unwrap();
+        d.bump_u64s(&[9, 9], 4).unwrap();
+        d.bump_u64s(&[9, 9], -4).unwrap();
+        let out = stream.update(0, &d).unwrap();
+        assert!(!out.applied.support_changed());
+        assert_eq!(out.pairs_repaired, 1, "net-zero fresh row must not rebuild");
+        assert_eq!(out.pairs_rebuilt, 0);
+        assert_eq!(out.decision, Decision::Inconsistent);
+    }
+
+    #[test]
+    fn cyclic_stream_falls_back_to_search() {
+        let even: Vec<(&[u64], u64)> = vec![(&[0, 0], 1), (&[1, 1], 1)];
+        let odd: Vec<(&[u64], u64)> = vec![(&[0, 1], 1), (&[1, 0], 1)];
+        let bags = vec![
+            Bag::from_u64s(schema(&[0, 1]), even.clone()).unwrap(),
+            Bag::from_u64s(schema(&[1, 2]), even).unwrap(),
+            Bag::from_u64s(schema(&[0, 2]), odd).unwrap(),
+        ];
+        let session = Session::default();
+        let mut stream = session.open_stream(bags).unwrap();
+        assert!(!stream.is_acyclic());
+        // parity triangle: pairwise consistent, globally inconsistent
+        assert_eq!(stream.decision(), Decision::Inconsistent);
+        assert_eq!(stream.inconsistent_pair(), None);
+
+        // break a pair: the search is skipped entirely
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[0, 0], 2).unwrap();
+        let out = stream.update(0, &d).unwrap();
+        assert_eq!(out.decision, Decision::Inconsistent);
+        assert!(!out.full_search);
+        assert!(out.inconsistent_pair.is_some());
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[0, 0], -2).unwrap();
+        let out = stream.update(0, &d).unwrap();
+        assert!(out.full_search, "pairwise-clean cyclic update re-searches");
+        assert_eq!(out.decision, Decision::Inconsistent);
+    }
+
+    #[test]
+    fn update_errors_are_atomic() {
+        let (r, s) = path_pair();
+        let session = Session::default();
+        let mut stream = session.open_stream(vec![r, s]).unwrap();
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[0, 0], -10).unwrap();
+        assert!(stream.update(0, &d).is_err());
+        assert_eq!(stream.decision(), Decision::Consistent);
+        let mut ok = DeltaSet::new(schema(&[0, 1]));
+        ok.bump_u64s(&[0, 0], 1).unwrap();
+        assert!(stream.update(1, &ok).is_err(), "schema mismatch");
+        assert!(stream.update(5, &ok).is_err(), "index out of range");
+        assert_eq!(stream.decision(), Decision::Consistent);
+    }
+
+    #[test]
+    fn update_outcome_renders_text_and_json() {
+        let (r, s) = path_pair();
+        let session = Session::default();
+        let mut stream = session.open_stream(vec![r, s]).unwrap();
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[0, 0], 1).unwrap();
+        let out = stream.update(0, &d).unwrap();
+        let text = out.text(session.names());
+        assert!(text.starts_with("inconsistent (bag 0: in-place"), "{text}");
+        assert!(!text.contains('\n'));
+        let json = out.json(session.names());
+        assert!(json.contains("\"report\":\"update\""));
+        assert!(json.contains("\"decision\":\"inconsistent\""));
+        assert!(json.contains("\"in_place\":true"));
+        assert!(json.contains("\"stages\":[{\"stage\":\"apply\""));
+    }
+}

@@ -359,6 +359,188 @@ impl Bag {
         );
     }
 
+    /// Applies a batch of signed multiplicity edits atomically; see
+    /// [`Bag::apply_delta_with`]. Equivalent to it under a sequential
+    /// configuration.
+    pub fn apply_delta(&mut self, delta: &crate::DeltaSet) -> Result<crate::DeltaApply> {
+        self.apply_delta_with(delta, &ExecConfig::sequential())
+    }
+
+    /// Applies a [`crate::DeltaSet`] of signed multiplicity edits — the
+    /// update primitive of the incremental consistency layer.
+    ///
+    /// The whole batch is validated first (every intermediate count must
+    /// stay inside `u64`; otherwise [`CoreError::MultiplicityUnderflow`] /
+    /// [`CoreError::MultiplicityOverflow`] and the bag is left untouched),
+    /// then applied:
+    ///
+    /// * edits that change an existing row's multiplicity to another
+    ///   non-zero value patch the multiplicity column **in place** — a
+    ///   sealed bag stays sealed with no re-layout at all;
+    /// * edits that add fresh rows or drop rows to zero dirty the sorted
+    ///   run; the seal is then repaired **incrementally**: only the new
+    ///   rows are sorted (`O(k log k)` for `k` fresh rows) and merged
+    ///   with the existing run in one linear pass, sharded over `cfg`'s
+    ///   executor — never the full `O(n log n)` re-sort of [`Bag::seal`].
+    ///
+    /// The bag always leaves sealed (an unsealed input is fully sealed as
+    /// a side effect); the returned [`crate::DeltaApply`] reports what
+    /// happened, letting callers that mirror the bag (flow networks,
+    /// cached marginals) repair rather than rebuild when
+    /// [`crate::DeltaApply::support_changed`] is false.
+    pub fn apply_delta_with(
+        &mut self,
+        delta: &crate::DeltaSet,
+        cfg: &ExecConfig,
+    ) -> Result<crate::DeltaApply> {
+        if *delta.schema() != self.schema {
+            return Err(CoreError::SchemaMismatch {
+                left: delta.schema().clone(),
+                right: self.schema.clone(),
+            });
+        }
+        // Validation pass: fold each row's edits to a final count,
+        // rejecting any step outside u64 before the bag is touched.
+        let mut finals: crate::FxHashMap<&[Value], u64> = Default::default();
+        for e in delta.edits() {
+            let cur = match finals.get(e.row()) {
+                Some(&m) => m,
+                None => self.multiplicity(e.row()),
+            };
+            let next = cur.checked_add_signed(e.delta()).ok_or(if e.delta() < 0 {
+                CoreError::MultiplicityUnderflow
+            } else {
+                CoreError::MultiplicityOverflow
+            })?;
+            finals.insert(e.row(), next);
+        }
+        // Apply pass, in first-touch edit order so the storage layout of
+        // fresh rows is deterministic.
+        let was_sealed = self.sealed;
+        let old_len = self.store.len();
+        let mut out = crate::DeltaApply {
+            touched: 0,
+            added: 0,
+            removed: 0,
+            resealed: false,
+            unary_change: 0,
+        };
+        for e in delta.edits() {
+            let Some(fin) = finals.remove(e.row()) else {
+                continue; // later edit of an already-applied row
+            };
+            let old = self.multiplicity(e.row());
+            if fin == old {
+                continue;
+            }
+            out.unary_change += fin as i128 - old as i128;
+            if fin == 0 {
+                let id = self
+                    .store
+                    .lookup(e.row())
+                    .expect("old > 0 implies interned");
+                self.mults[id.index()] = 0;
+                self.live -= 1;
+                self.sealed = false;
+                out.removed += 1;
+            } else if old == 0 {
+                match self.store.lookup(e.row()) {
+                    // Reviving a tombstone (only possible on an unsealed
+                    // input — sealed bags have none).
+                    Some(id) => {
+                        self.mults[id.index()] = fin;
+                        self.live += 1;
+                    }
+                    None => self.insert_row(e.row(), fin)?,
+                }
+                out.added += 1;
+            } else {
+                let id = self
+                    .store
+                    .lookup(e.row())
+                    .expect("old > 0 implies interned");
+                self.mults[id.index()] = fin;
+                out.touched += 1;
+            }
+        }
+        if !self.sealed {
+            if was_sealed {
+                self.reseal_delta(old_len, cfg);
+            } else {
+                self.seal_with(cfg);
+            }
+            out.resealed = true;
+        }
+        Ok(out)
+    }
+
+    /// Repairs the sorted-run invariant after [`Bag::apply_delta_with`]
+    /// dirtied a previously sealed bag: the prefix `0..old_len` is still
+    /// one sorted run (minus tombstones), the tail holds the delta's
+    /// fresh rows. The tail sorts on its own (`k log k`), and the two
+    /// runs merge in one linear pass — sharded into plain position
+    /// ranges over the prefix (interned rows are distinct, so every
+    /// position is its own key group) with the tail aligned by binary
+    /// search. Per-shard runs splice in ascending order, so the layout
+    /// is identical to the sequential merge at every thread count.
+    fn reseal_delta(&mut self, old_len: usize, cfg: &ExecConfig) {
+        debug_assert!(!self.sealed);
+        let arity = self.schema.arity();
+        let mut tail: Vec<u32> = (old_len as u32..self.store.len() as u32)
+            .filter(|&i| self.mults[i as usize] > 0)
+            .collect();
+        tail.sort_unstable_by(|&a, &b| crate::store::cmp_rows(&self.store, a, b));
+        let tasks = if old_len == 0 {
+            vec![(0..0, 0..tail.len())]
+        } else {
+            let mut tasks = crate::exec::aligned_shard_tasks(
+                old_len,
+                tail.len(),
+                cfg.shards_for(old_len),
+                |_| false,
+                |p| {
+                    let row = self.store.row(RowId(p as u32));
+                    crate::exec::lower_bound_by(tail.len(), |t| {
+                        self.store.row(RowId(tail[t])) < row
+                    })
+                },
+            );
+            // The aligned planner assigns right rows below the first left
+            // key to no task (joins drop them; this merge must not).
+            tasks
+                .first_mut()
+                .expect("old_len > 0 yields a task")
+                .1
+                .start = 0;
+            tasks
+        };
+        let tail = &tail;
+        let runs = crate::exec::run_tasks(cfg.threads(), tasks, |(pr, tr)| {
+            let mut run = ShardRun::with_capacity(arity, pr.len() + tr.len());
+            let mut t = tr.start;
+            for p in pr {
+                let row = self.store.row(RowId(p as u32));
+                while t < tr.end && self.store.row(RowId(tail[t])) < row {
+                    run.push(self.store.row(RowId(tail[t])), self.mults[tail[t] as usize]);
+                    t += 1;
+                }
+                let m = self.mults[p];
+                if m > 0 {
+                    run.push(row, m);
+                }
+            }
+            for &tid in &tail[t..tr.end] {
+                run.push(self.store.row(RowId(tid)), self.mults[tid as usize]);
+            }
+            run
+        });
+        *self = Bag::from_shard_runs(
+            self.schema.clone(),
+            ShardedRowStore::from_runs(arity, runs),
+            true,
+        );
+    }
+
     /// The support `Supp(R)` as a relation over the same schema.
     pub fn support(&self) -> Relation {
         let mut rel = Relation::with_capacity(self.schema.clone(), self.live);
@@ -1070,6 +1252,144 @@ mod tests {
         assert!(b.is_sealed(), "revisiting an existing row keeps order");
         b.insert(vec![Value(3)], 0).unwrap();
         assert!(b.is_sealed(), "zero-multiplicity insert is a no-op");
+    }
+
+    #[test]
+    fn apply_delta_in_place_keeps_seal() {
+        let mut b = section2_bag();
+        assert!(b.is_sealed());
+        let mut d = crate::DeltaSet::new(b.schema().clone());
+        d.bump_u64s(&[1, 1], 3).unwrap();
+        d.bump_u64s(&[3, 3], -4).unwrap();
+        let out = b.apply_delta(&d).unwrap();
+        assert!(b.is_sealed());
+        assert!(!out.support_changed());
+        assert!(!out.resealed);
+        assert_eq!(out.touched, 2);
+        assert_eq!(out.unary_change, -1);
+        assert_eq!(b.multiplicity(&[Value(1), Value(1)]), 5);
+        assert_eq!(b.multiplicity(&[Value(3), Value(3)]), 1);
+    }
+
+    #[test]
+    fn apply_delta_fresh_and_removed_rows_reseal_incrementally() {
+        let mut b = section2_bag();
+        let mut d = crate::DeltaSet::new(b.schema().clone());
+        d.bump_u64s(&[0, 9], 7).unwrap(); // fresh, sorts before everything
+        d.bump_u64s(&[2, 2], -1).unwrap(); // drops to zero
+        d.bump_u64s(&[9, 0], 2).unwrap(); // fresh, sorts after everything
+        let out = b.apply_delta(&d).unwrap();
+        assert!(b.is_sealed());
+        assert!(out.support_changed());
+        assert!(out.resealed);
+        assert_eq!((out.added, out.removed), (2, 1));
+        // layout identical to a from-scratch sealed build
+        let expected = Bag::from_u64s(
+            schema(&[0, 1]),
+            [
+                (&[0u64, 9][..], 7),
+                (&[1, 1][..], 2),
+                (&[3, 3][..], 5),
+                (&[9, 0][..], 2),
+            ],
+        )
+        .unwrap();
+        let got: Vec<(&[Value], u64)> = b.iter().collect();
+        let want: Vec<(&[Value], u64)> = expected.iter().collect();
+        assert_eq!(got, want, "reseal must reproduce the sealed layout");
+    }
+
+    #[test]
+    fn apply_delta_same_batch_add_then_remove_is_clean() {
+        let mut b = section2_bag();
+        let mut d = crate::DeltaSet::new(b.schema().clone());
+        d.bump_u64s(&[7, 7], 4).unwrap();
+        d.bump_u64s(&[7, 7], -4).unwrap();
+        let out = b.apply_delta(&d).unwrap();
+        assert!(out.is_noop(), "net-zero edit folds away: {out:?}");
+        assert!(b.is_sealed());
+        assert_eq!(b.multiplicity(&[Value(7), Value(7)]), 0);
+        assert_eq!(b.support_size(), 3);
+    }
+
+    #[test]
+    fn apply_delta_is_atomic_on_error() {
+        let mut b = section2_bag();
+        let before = b.clone();
+        let mut d = crate::DeltaSet::new(b.schema().clone());
+        d.bump_u64s(&[1, 1], 5).unwrap();
+        d.bump_u64s(&[2, 2], -2).unwrap(); // 1 - 2 < 0: underflow
+        assert_eq!(
+            b.apply_delta(&d).unwrap_err(),
+            CoreError::MultiplicityUnderflow
+        );
+        assert_eq!(b, before, "failed delta must leave the bag untouched");
+        let mut d = crate::DeltaSet::new(b.schema().clone());
+        d.bump_u64s(&[3, 3], i64::MAX).unwrap();
+        d.bump_u64s(&[3, 3], i64::MAX).unwrap();
+        d.bump_u64s(&[3, 3], i64::MAX).unwrap();
+        assert_eq!(
+            b.apply_delta(&d).unwrap_err(),
+            CoreError::MultiplicityOverflow
+        );
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn apply_delta_rejects_schema_mismatch() {
+        let mut b = section2_bag();
+        let d = crate::DeltaSet::new(schema(&[5, 6]));
+        assert!(matches!(
+            b.apply_delta(&d),
+            Err(CoreError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_delta_on_unsealed_bag_seals_it() {
+        let mut b = Bag::new(schema(&[0]));
+        for v in [9u64, 1, 5] {
+            b.insert(vec![Value(v)], 1).unwrap();
+        }
+        assert!(!b.is_sealed());
+        let mut d = crate::DeltaSet::new(b.schema().clone());
+        d.bump_u64s(&[5], 1).unwrap();
+        let out = b.apply_delta(&d).unwrap();
+        assert!(b.is_sealed());
+        assert!(out.resealed);
+        let rows: Vec<u64> = b.iter().map(|(r, _)| r[0].get()).collect();
+        assert_eq!(rows, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn apply_delta_with_is_thread_count_invariant() {
+        let mut base = Bag::new(schema(&[0, 1]));
+        for i in 0..300u64 {
+            base.insert(vec![Value(i % 37), Value(i % 11)], i % 6 + 1)
+                .unwrap();
+        }
+        base.seal();
+        let mut d = crate::DeltaSet::new(base.schema().clone());
+        for i in 0..40u64 {
+            d.bump([Value(100 + i), Value(i)], (i % 3 + 1) as i64)
+                .unwrap();
+        }
+        d.bump_u64s(&[0, 0], -(base.multiplicity(&[Value(0), Value(0)]) as i64))
+            .unwrap();
+        let mut seq = base.clone();
+        seq.apply_delta(&d).unwrap();
+        for threads in [2usize, 4, 8] {
+            let cfg = ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1)
+                .build()
+                .unwrap();
+            let mut par = base.clone();
+            par.apply_delta_with(&d, &cfg).unwrap();
+            let seq_rows: Vec<(&[Value], u64)> = seq.iter().collect();
+            let par_rows: Vec<(&[Value], u64)> = par.iter().collect();
+            assert_eq!(par_rows, seq_rows, "threads = {threads}");
+        }
     }
 
     #[test]

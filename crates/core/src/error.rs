@@ -36,6 +36,9 @@ pub enum CoreError {
     /// The paper's size bounds (Theorem 3) concern binary-encoded
     /// multiplicities; rather than silently wrapping we surface overflow.
     MultiplicityOverflow,
+    /// A signed multiplicity delta would drive a count below zero
+    /// ([`crate::Bag::apply_delta`]).
+    MultiplicityUnderflow,
     /// A configuration builder rejected its inputs (e.g. zero threads in
     /// [`crate::exec::ExecConfigBuilder::build`]).
     InvalidConfig(&'static str),
@@ -60,6 +63,9 @@ impl fmt::Display for CoreError {
             CoreError::MissingAttr(a) => write!(f, "attribute {a} missing from assignment"),
             CoreError::MultiplicityOverflow => {
                 write!(f, "multiplicity arithmetic overflowed u64")
+            }
+            CoreError::MultiplicityUnderflow => {
+                write!(f, "multiplicity delta drove a count below zero")
             }
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }

@@ -48,7 +48,16 @@ pub enum ParseError {
     },
     /// A relation was requested but some multiplicity exceeded 1.
     NotARelation,
-    /// A core-level failure (e.g. multiplicity overflow on accumulate).
+    /// Accumulating a duplicate row's multiplicity exceeded `u64::MAX`.
+    ///
+    /// Carried separately from [`ParseError::Core`] so the failing line
+    /// is reported — the accumulate happens per data row, and a silent
+    /// wrap here would corrupt every downstream consistency answer.
+    MultiplicityOverflow {
+        /// 1-based line number of the row whose accumulate overflowed.
+        line: usize,
+    },
+    /// A core-level failure (e.g. an arity mismatch against the header).
     Core(CoreError),
 }
 
@@ -72,6 +81,9 @@ impl fmt::Display for ParseError {
                     f,
                     "input has multiplicities > 1 but a relation was requested"
                 )
+            }
+            ParseError::MultiplicityOverflow { line } => {
+                write!(f, "line {line}: accumulated multiplicity exceeds u64::MAX")
             }
             ParseError::Core(e) => write!(f, "{e}"),
         }
@@ -206,9 +218,71 @@ pub fn parse_bag_with(text: &str, interner: &mut NameInterner) -> Result<Bag, Pa
             }
             None => 1,
         };
-        bag.insert(row, mult)?;
+        // Duplicate rows accumulate; surface an overflowing accumulate
+        // with the line that tipped it over instead of a bare core error.
+        match bag.insert(row, mult) {
+            Ok(()) => {}
+            Err(CoreError::MultiplicityOverflow) => {
+                return Err(ParseError::MultiplicityOverflow { line: line_no })
+            }
+            Err(e) => return Err(ParseError::Core(e)),
+        }
     }
     Ok(bag)
+}
+
+/// Parses one line of the `watch` delta format:
+///
+/// ```text
+/// <bag-index> <v1> ... <vk> : <±delta>
+/// ```
+///
+/// `bag-index` selects a bag of the stream (0-based, in load order);
+/// the values are in the bag's schema order (the order [`write_bag`]
+/// prints); the signed `delta` after the `:` bumps the row's
+/// multiplicity (`: +1` / `: -2`; omitting `: delta` means `+1`).
+/// Blank lines and `%`-comments yield `Ok(None)`.
+pub fn parse_delta_line(
+    line: &str,
+    line_no: usize,
+) -> Result<Option<(usize, Vec<Value>, i64)>, ParseError> {
+    let line = line.split('%').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let (vals_part, delta_part) = match line.split_once(':') {
+        Some((v, d)) => (v, Some(d)),
+        None => (line, None),
+    };
+    let mut tokens = vals_part.split_whitespace();
+    let index_token = tokens.next().ok_or(ParseError::WrongArity {
+        line: line_no,
+        expected: 1,
+        got: 0,
+    })?;
+    let index: usize = index_token.parse().map_err(|_| ParseError::BadNumber {
+        line: line_no,
+        token: index_token.to_string(),
+    })?;
+    let mut row = Vec::new();
+    for token in tokens {
+        let v: u64 = token.parse().map_err(|_| ParseError::BadNumber {
+            line: line_no,
+            token: token.to_string(),
+        })?;
+        row.push(Value(v));
+    }
+    let delta: i64 = match delta_part {
+        Some(d) => {
+            let d = d.trim();
+            d.parse().map_err(|_| ParseError::BadNumber {
+                line: line_no,
+                token: d.to_string(),
+            })?
+        }
+        None => 1,
+    };
+    Ok(Some((index, row, delta)))
 }
 
 /// Writes a bag in the tabular text format (canonical: sorted rows).
@@ -301,6 +375,55 @@ mod tests {
         assert!(matches!(badm, Err(ParseError::BadNumber { line: 2, .. })));
         let dup = parse_bag("A A #\n1 1 : 1\n");
         assert_eq!(dup, Err(ParseError::DuplicateAttribute("A".into())));
+    }
+
+    #[test]
+    fn accumulate_overflow_reports_line() {
+        let text = format!("A #\n1 : {}\n1 : 1\n", u64::MAX);
+        assert_eq!(
+            parse_bag(&text),
+            Err(ParseError::MultiplicityOverflow { line: 3 })
+        );
+        let msg = parse_bag(&text).unwrap_err().to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        // comments shift physical line numbers and must be counted
+        let text = format!("% c\nA #\n\n1 : {}\n% c\n1 : 1\n", u64::MAX);
+        assert_eq!(
+            parse_bag(&text),
+            Err(ParseError::MultiplicityOverflow { line: 6 })
+        );
+    }
+
+    #[test]
+    fn delta_lines_parse() {
+        assert_eq!(parse_delta_line("", 1).unwrap(), None);
+        assert_eq!(parse_delta_line("  % comment", 2).unwrap(), None);
+        assert_eq!(
+            parse_delta_line("0 1 2 : +1", 3).unwrap(),
+            Some((0, vec![Value(1), Value(2)], 1))
+        );
+        assert_eq!(
+            parse_delta_line("2 7 : -3", 4).unwrap(),
+            Some((2, vec![Value(7)], -3))
+        );
+        assert_eq!(
+            parse_delta_line("1 5 5", 5).unwrap(),
+            Some((1, vec![Value(5), Value(5)], 1)),
+            "omitted delta defaults to +1"
+        );
+        assert_eq!(
+            parse_delta_line("0 : 1", 6).unwrap(),
+            Some((0, vec![], 1)),
+            "empty-schema bags take zero values"
+        );
+        assert!(matches!(
+            parse_delta_line("x 1 : 1", 7),
+            Err(ParseError::BadNumber { line: 7, .. })
+        ));
+        assert!(matches!(
+            parse_delta_line("0 1 : ++2", 8),
+            Err(ParseError::BadNumber { line: 8, .. })
+        ));
     }
 
     #[test]

@@ -105,6 +105,17 @@
 //! default of every non-`_with` entry point — takes the unchanged
 //! sequential code path.
 //!
+//! # Incremental updates
+//!
+//! The update unit of the incremental consistency layer is a
+//! [`DeltaSet`] of signed multiplicity edits ([`delta`]).
+//! [`Bag::apply_delta`] applies a batch atomically: edits that keep
+//! every edited row in the support patch the multiplicity column in
+//! place (a sealed bag stays sealed, no re-layout), and
+//! support-changing edits repair the sorted run **incrementally** — the
+//! fresh tail sorts alone and merges with the old run in one sharded
+//! linear pass — never the full re-sort of [`Bag::seal`].
+//!
 //! Invariants maintained by construction:
 //!
 //! * A [`Schema`] is a strictly sorted sequence of attributes.
@@ -120,6 +131,7 @@
 
 pub mod attr;
 pub mod bag;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod hash;
@@ -134,6 +146,7 @@ pub mod tuple;
 
 pub use attr::{Attr, Value};
 pub use bag::Bag;
+pub use delta::{DeltaApply, DeltaEdit, DeltaSet};
 pub use error::CoreError;
 pub use exec::{ExecConfig, ExecConfigBuilder};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

@@ -76,6 +76,50 @@ impl FlowNetwork {
         cap - self.edges[e].cap
     }
 
+    /// The capacity edge `id` was last given ([`FlowNetwork::add_edge`] /
+    /// [`FlowNetwork::set_capacity`]).
+    pub fn capacity(&self, id: EdgeId) -> u64 {
+        self.orig_cap[id.0].1
+    }
+
+    /// Re-capacitates edge `id`, keeping its current flow — the
+    /// warm-restart primitive: raising a capacity opens residual room for
+    /// the next [`FlowNetwork::max_flow`] call to augment into, without
+    /// zeroing the feasible flow already found.
+    ///
+    /// # Panics
+    /// Panics if the current flow exceeds `cap`; cancel the excess with
+    /// [`FlowNetwork::reduce_flow`] first.
+    pub fn set_capacity(&mut self, id: EdgeId, cap: u64) {
+        let (e, old) = self.orig_cap[id.0];
+        let flow = old - self.edges[e].cap;
+        assert!(
+            flow <= cap,
+            "set_capacity below current flow ({flow} > {cap}); reduce_flow first"
+        );
+        self.edges[e].cap = cap - flow;
+        self.orig_cap[id.0].1 = cap;
+    }
+
+    /// Cancels `amount` units of flow on edge `id` (forward residual
+    /// grows, reverse residual shrinks). The caller is responsible for
+    /// keeping the overall flow conserved — cancel matching amounts along
+    /// a full source-to-sink path.
+    ///
+    /// # Panics
+    /// Panics if `amount` exceeds the edge's current flow.
+    pub fn reduce_flow(&mut self, id: EdgeId, amount: u64) {
+        let (e, cap) = self.orig_cap[id.0];
+        let flow = cap - self.edges[e].cap;
+        assert!(
+            amount <= flow,
+            "cannot cancel {amount} of {flow} flow units"
+        );
+        self.edges[e].cap += amount;
+        let rev = self.edges[e].rev;
+        self.edges[rev].cap -= amount;
+    }
+
     /// Computes a maximum `s → t` flow and returns its value.
     ///
     /// The value is returned as `u128` because it is a *sum* of `u64`
@@ -232,6 +276,46 @@ mod tests {
         net.add_edge(1, 3, u64::MAX);
         net.add_edge(2, 3, u64::MAX);
         assert_eq!(net.max_flow(0, 3), 2 * (u64::MAX as u128));
+    }
+
+    #[test]
+    fn set_capacity_keeps_flow_and_reopens_residual() {
+        let mut net = FlowNetwork::new(3);
+        let a = net.add_edge(0, 1, 5);
+        let b = net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 2), 5);
+        // raise both capacities: the old flow stays, the slack augments
+        net.set_capacity(a, 8);
+        net.set_capacity(b, 7);
+        assert_eq!(net.capacity(a), 8);
+        assert_eq!(net.flow(a), 5, "warm restart keeps the old flow");
+        assert_eq!(net.max_flow(0, 2), 2, "only the new slack augments");
+        assert_eq!(net.flow(a), 7);
+    }
+
+    #[test]
+    fn reduce_flow_then_shrink_capacity() {
+        let mut net = FlowNetwork::new(3);
+        let a = net.add_edge(0, 1, 5);
+        let b = net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 2), 5);
+        // shrink a below its flow: cancel along the full path first
+        net.reduce_flow(a, 2);
+        net.reduce_flow(b, 2);
+        net.set_capacity(a, 3);
+        assert_eq!(net.flow(a), 3);
+        assert_eq!(net.flow(b), 3);
+        // nothing left to augment: a is saturated at its new capacity
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_capacity below current flow")]
+    fn set_capacity_below_flow_panics() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 4);
+        net.max_flow(0, 1);
+        net.set_capacity(e, 3);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   DESIGN.md §5).
 //! * [`network`] — construction of `N(R,S)`, saturation testing, and
 //!   witness extraction, including the middle-edge exclusion hook used by
-//!   the minimal-witness self-reduction of Section 5.3.
+//!   the minimal-witness self-reduction of Section 5.3, and the
+//!   **warm-restart** repair path ([`network::ConsistencyNetwork::apply_edit`]):
+//!   a multiplicity delta maps to edge-capacity edits, overflowing flow
+//!   is cancelled along the touched arcs only, and Dinic re-augments
+//!   from the previous feasible flow instead of from zero.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,4 +31,4 @@ pub mod network;
 
 pub use dinic::{EdgeId, FlowNetwork};
 pub use mincost::MinCostFlow;
-pub use network::ConsistencyNetwork;
+pub use network::{ConsistencyNetwork, Side};

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI bench-trend regression gate.
+
+Compares freshly measured BENCH_*.json grids against the committed
+baselines: for every result row (matched on all non-timing fields, e.g.
+"support" and "threads") and every "*_ms" timing column, the fresh time
+must not exceed the baseline by more than TOLERANCE x. An absolute floor
+(ABS_FLOOR_MS) exempts micro-rows where scheduler jitter dominates; the
+tolerance is deliberately generous because baseline numbers are recorded
+in a 1-core dev container while the gate runs on a hosted multicore
+runner — it catches step-change regressions (an accidental O(n^2), a
+lost fast path), not single-digit-percent noise.
+
+Rows present only in the fresh grid (new experiments) pass with a note;
+rows present only in the baseline fail (a silently dropped measurement
+reads as "covered" when it is not).
+
+Usage: check_regression.py <baseline-dir> <fresh-dir>
+    compares every BENCH_*.json found in <fresh-dir> against the file of
+    the same name in <baseline-dir>.
+
+Exit codes: 0 = no regression, 1 = regression or missing data, 2 = usage.
+"""
+
+import glob
+import json
+import os
+import sys
+
+TOLERANCE = 1.5
+ABS_FLOOR_MS = 0.25
+
+
+def row_key(row):
+    """Identity of a result row: every non-timing field, sorted."""
+    return tuple(sorted((k, v) for k, v in row.items() if not k.endswith("_ms")))
+
+
+def check_file(base_path: str, fresh_path: str) -> bool:
+    with open(base_path) as fh:
+        base = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+    base_rows = {row_key(r): r for r in base["results"]}
+    fresh_rows = {row_key(r): r for r in fresh["results"]}
+    name = os.path.basename(fresh_path)
+    ok = True
+    print(f"{name}:")
+    for key, brow in base_rows.items():
+        frow = fresh_rows.get(key)
+        label = " ".join(f"{k}={v}" for k, v in key)
+        if frow is None:
+            print(f"  {label}: MISSING from fresh run")
+            ok = False
+            continue
+        for col in sorted(brow):
+            if not col.endswith("_ms"):
+                continue
+            b, f = brow[col], frow.get(col)
+            if f is None:
+                print(f"  {label} {col}: column missing from fresh run")
+                ok = False
+                continue
+            ratio = f / b if b > 0 else float("inf")
+            slow = f > b * TOLERANCE and f - b > ABS_FLOOR_MS
+            verdict = "REGRESSION" if slow else "ok"
+            print(f"  {label} {col}: base={b:9.4f} fresh={f:9.4f} "
+                  f"({ratio:5.2f}x) {verdict}")
+            if slow:
+                ok = False
+    for key in fresh_rows.keys() - base_rows.keys():
+        label = " ".join(f"{k}={v}" for k, v in key)
+        print(f"  {label}: new row (no baseline) — skipped")
+    return ok
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    base_dir, fresh_dir = sys.argv[1], sys.argv[2]
+    fresh_files = sorted(glob.glob(os.path.join(fresh_dir, "BENCH_*.json")))
+    if not fresh_files:
+        print(f"no BENCH_*.json files in {fresh_dir}")
+        return 1
+    ok = True
+    for fresh_path in fresh_files:
+        base_path = os.path.join(base_dir, os.path.basename(fresh_path))
+        if not os.path.exists(base_path):
+            print(f"{os.path.basename(fresh_path)}: no committed baseline — skipped")
+            continue
+        if not check_file(base_path, fresh_path):
+            ok = False
+    print("PASS" if ok else f"FAIL: some row regressed beyond {TOLERANCE}x")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

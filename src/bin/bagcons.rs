@@ -10,6 +10,9 @@
 //! bagcons counterexample [opts] <FILE>... emit a pairwise-consistent but
 //!                                         globally-inconsistent family over the
 //!                                         same (cyclic) schema
+//! bagcons watch [opts] <FILE>...          incremental mode: read multiplicity
+//!                                         deltas from stdin, one per line, and
+//!                                         re-emit a decision per delta
 //!
 //! options:
 //!   --threads N         worker threads (default: one per core, capped at 8)
@@ -20,8 +23,14 @@
 //!
 //! Each FILE holds one bag in the tabular text format of
 //! [`bagcons_core::io`] (header `A B #`, rows `1 2 : 3`,
-//! `%`-comments). Exit codes: 0 = yes/ok, 1 = no, 2 = usage or input
-//! error, 3 = undecided (search budget exhausted).
+//! `%`-comments). `watch` additionally reads delta lines
+//! `<bag-index> <values...> : <±delta>` from stdin (0-based index in
+//! FILE order, values in the bag's schema order, `: delta` defaulting
+//! to `+1`) and re-decides incrementally after each one: cached
+//! per-pair flow networks are repaired in place for support-preserving
+//! edits instead of rebuilding from scratch. Exit codes: 0 = yes/ok,
+//! 1 = no, 2 = usage or input error, 3 = undecided (search budget
+//! exhausted); `watch` exits with the code of its final decision.
 
 use bagcons::report::{Render, ReportFormat};
 use bagcons::session::{Decision, Session};
@@ -78,6 +87,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if cli.cmd == "watch" {
+        // watch owns the bags: the stream mutates them delta by delta.
+        return cmd_watch(&session, bags, cli.format);
     }
     let refs: Vec<&bagcons_core::Bag> = bags.iter().collect();
 
@@ -152,9 +165,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bagcons <check|witness|diagnose|pairwise|schema|counterexample> \
+        "usage: bagcons <check|witness|diagnose|pairwise|schema|counterexample|watch> \
          [--threads N] [--budget N] [--format text|json] <FILE>...\n\
-         FILEs hold bags in tabular text form (`A B #` header, `1 2 : 3` rows)."
+         FILEs hold bags in tabular text form (`A B #` header, `1 2 : 3` rows).\n\
+         watch reads `<bag-index> <values...> : <±delta>` lines from stdin and\n\
+         re-emits a decision per delta (incremental re-check; `: +1` default)."
     );
     ExitCode::from(2)
 }
@@ -228,6 +243,59 @@ fn cmd_schema(session: &Session, refs: &[&bagcons_core::Bag], format: ReportForm
     let outcome = session.schema_report(refs);
     emit(&outcome.render(format, session.names()));
     ExitCode::SUCCESS
+}
+
+fn cmd_watch(session: &Session, bags: Vec<bagcons_core::Bag>, format: ReportFormat) -> ExitCode {
+    use std::io::BufRead;
+
+    let mut stream = match session.open_stream(bags) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    // One opening line so consumers know the starting state, then one
+    // line per delta.
+    match format {
+        ReportFormat::Text => println!(
+            "open: {} ({} bags, {} branch)",
+            stream.decision().as_str(),
+            stream.bags().len(),
+            stream.branch().as_str()
+        ),
+        ReportFormat::Json => println!(
+            "{{\"report\":\"open\",\"decision\":\"{}\",\"branch\":\"{}\",\"bags\":{}}}",
+            stream.decision().as_str(),
+            stream.branch().as_str(),
+            stream.bags().len()
+        ),
+    }
+    let stdin = std::io::stdin();
+    for (i, line) in stdin.lock().lines().enumerate() {
+        let line_no = i + 1;
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => return fail(format!("stdin: {e}")),
+        };
+        let (index, row, delta) = match bagcons_core::io::parse_delta_line(&line, line_no) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => continue,
+            Err(e) => return fail(format!("stdin: {e}")),
+        };
+        let Some(bag) = stream.bags().get(index) else {
+            return fail(format!(
+                "stdin line {line_no}: bag index {index} out of range (0..{})",
+                stream.bags().len()
+            ));
+        };
+        let mut set = bagcons_core::DeltaSet::new(bag.schema().clone());
+        if let Err(e) = set.bump(row, delta) {
+            return fail(format!("stdin line {line_no}: {e}"));
+        }
+        match stream.update(index, &set) {
+            Ok(outcome) => emit(&outcome.render(format, session.names())),
+            Err(e) => return fail(format!("stdin line {line_no}: {e}")),
+        }
+    }
+    ExitCode::from(stream.decision().exit_code())
 }
 
 fn cmd_counterexample(

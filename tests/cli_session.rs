@@ -542,3 +542,120 @@ fn threads_flag_is_decision_invariant_on_triangle() {
         "thread count must not leak into JSON"
     );
 }
+
+#[test]
+fn watch_emits_one_decision_per_delta() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = tempdir("watch");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n1 1 : 3\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n1 8 : 3\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bagcons"))
+        .args(["watch", r.to_str().unwrap(), s.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"% a bump, a revert, a fresh row, its removal\n0 0 0 : +1\n0 0 0 : -1\n1 5 5 : +2\n1 5 5 : -2\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "open line + 4 deltas: {text}");
+    assert!(lines[0].starts_with("open: consistent"));
+    assert!(
+        lines[1].starts_with("inconsistent (bag 0: in-place"),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].starts_with("consistent (bag 0: in-place"),
+        "{}",
+        lines[2]
+    );
+    assert!(
+        lines[3].starts_with("inconsistent (bag 1: +1/-0 rows"),
+        "{}",
+        lines[3]
+    );
+    assert!(
+        lines[4].starts_with("consistent (bag 1: +0/-1 rows"),
+        "{}",
+        lines[4]
+    );
+    assert_eq!(out.status.code(), Some(0), "final decision is consistent");
+}
+
+#[test]
+fn watch_json_lines_and_exit_code_follow_last_decision() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = tempdir("watchjson");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bagcons"))
+        .args([
+            "watch",
+            "--format",
+            "json",
+            r.to_str().unwrap(),
+            s.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"0 0 0 : +1\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    assert!(lines[0].contains("\"report\":\"open\""));
+    JsonCheck::parse(lines[1]).expect("well-formed JSON");
+    assert_eq!(
+        json_str_field(lines[1], "decision").as_deref(),
+        Some("inconsistent")
+    );
+    assert_eq!(out.status.code(), Some(1), "exit code = last decision");
+}
+
+#[test]
+fn watch_rejects_bad_delta_lines() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = tempdir("watchbad");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n");
+    for bad in ["9 0 0 : 1\n", "0 0 : 1\n", "0 0 0 : x\n", "0 0 0 : -5\n"] {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_bagcons"))
+            .args(["watch", r.to_str().unwrap(), s.to_str().unwrap()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary runs");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(bad.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "input {bad:?} must fail");
+        assert!(!out.stderr.is_empty());
+    }
+}
