@@ -37,6 +37,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13", "E14", "E15",
+        "E16",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -59,6 +60,7 @@ fn main() {
             "E13" => e13(),
             "E14" => e14(),
             "E15" => e15(),
+            "E16" => e16(),
             other => eprintln!("unknown experiment {other}; known: {all:?}"),
         }
     }
@@ -911,4 +913,242 @@ fn e15() {
     );
     std::fs::write("BENCH_e15.json", &json).expect("write BENCH_e15.json");
     println!("wrote BENCH_e15.json");
+}
+
+/// E16 — the hot-loop layer: packed key codes, galloping merges, and
+/// session-lifetime scratch arenas, each measured against its
+/// pre-change baseline *in the same run* so the regression tracker
+/// sees both columns of one row. Three sub-grids:
+///
+/// 1. merge join over a 3-attribute join key (`x = {A0..A3}`,
+///    `y = {A1..A4}`): packed u64 key compares vs the slice-compare +
+///    linear-advance baseline, single-threaded (the CI speedup gate
+///    reads the largest-support row);
+/// 2. sorted-run merges at length skew 1x / 16x / 256x: galloping
+///    (exponential-search) advancement vs the always-linear merge;
+/// 3. 100 repeated `Session::check` calls on one warm session (scratch
+///    arenas reused) vs 100 cold sessions (fresh arenas per check).
+///
+/// Writes the grid to `BENCH_e16.json` in the current directory.
+fn e16() {
+    use bagcons::session::Session;
+    use bagcons_core::exec::merge_sorted_runs_for_bench;
+    use bagcons_core::join::{bag_join_merge_baseline_with, bag_join_merge_with};
+    use bagcons_core::{Bag, ExecConfig, Value};
+
+    header(
+        "E16",
+        "hot loops: packed key codes / galloping merges / warm scratch",
+    );
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {host}");
+    let reps = 7;
+    let median = |mut samples: Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples[samples.len() / 2]
+    };
+    let mut rows = Vec::new();
+
+    // --- 1. packed vs slice merge join, 3-column join key ---------------
+    println!(
+        "{:>9} {:>8} {:>12} {:>12} {:>9}",
+        "support", "threads", "packed(ms)", "slice(ms)", "speedup"
+    );
+    let x = Schema::range(0, 4); // {A0, A1, A2, A3}
+    let y = Schema::range(1, 5); // {A1, A2, A3, A4} -> 3 shared key attrs
+    let cfg = ExecConfig::builder()
+        .threads(1)
+        .min_parallel_support(usize::MAX)
+        .build()
+        .unwrap();
+    for exp in [12u32, 14, 15] {
+        let support = 1usize << exp;
+        // Compare-bound workload: join keys are the base-64 digits of a
+        // counter, so neighbouring keys share long prefixes and a slice
+        // compare must walk all three columns before deciding — exactly
+        // the case one packed u64 compare collapses. R holds even
+        // counters, S odd ones except every 16th row (the matches), so
+        // the merge loop emits only n/16 output rows (advancement, not
+        // materialisation, dominates). R's payload column A0 is a
+        // scrambled counter, so R's sealed order is uncorrelated with
+        // the {A1,A2,A3} join key and every join call pays the real
+        // key sort — ~log n deep compares per row, the loop the packed
+        // words collapse.
+        let digits = |v: u64| -> [u64; 3] { [v >> 12, (v >> 6) & 63, v & 63] };
+        let mut r = Bag::new(x.clone());
+        for i in 0..support as u64 {
+            let [d0, d1, d2] = digits(2 * i);
+            let scrambled = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 44;
+            r.insert(vec![Value(scrambled), Value(d0), Value(d1), Value(d2)], 1)
+                .expect("arity matches");
+        }
+        let mut s = Bag::new(y.clone());
+        for j in 0..support as u64 {
+            let v = if j % 16 == 0 { 2 * j } else { 2 * j + 1 };
+            let [d0, d1, d2] = digits(v);
+            s.insert(vec![Value(d0), Value(d1), Value(d2), Value(j)], 1)
+                .expect("arity matches");
+        }
+        r.seal();
+        s.seal();
+        assert!(r.is_sealed() && s.is_sealed());
+        // Warm-up doubles as the equivalence check: the packed loop must
+        // be bit-identical to the slice baseline.
+        let packed = bag_join_merge_with(&r, &s, &cfg).unwrap();
+        let slice = bag_join_merge_baseline_with(&r, &s, &cfg).unwrap();
+        assert!(packed.support_size() > 0, "planted pair must join");
+        assert_eq!(
+            packed.sorted_rows(),
+            slice.sorted_rows(),
+            "packed merge join must be bit-identical to the slice baseline"
+        );
+        let time_ms = |f: &dyn Fn() -> usize| -> f64 {
+            assert!(f() > 0, "warm-up produced an empty result");
+            median(
+                (0..reps)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        std::hint::black_box(f());
+                        ms(t0)
+                    })
+                    .collect(),
+            )
+        };
+        let packed_ms = time_ms(&|| bag_join_merge_with(&r, &s, &cfg).unwrap().support_size());
+        let slice_ms = time_ms(&|| {
+            bag_join_merge_baseline_with(&r, &s, &cfg)
+                .unwrap()
+                .support_size()
+        });
+        println!(
+            "{support:>9} {:>8} {packed_ms:>12.3} {slice_ms:>12.3} {:>8.2}x",
+            1,
+            slice_ms / packed_ms
+        );
+        rows.push(format!(
+            "    {{\"kind\": \"merge_join\", \"support\": {support}, \"threads\": 1, \
+             \"packed_join_ms\": {packed_ms:.4}, \"slice_join_ms\": {slice_ms:.4}}}"
+        ));
+    }
+
+    // --- 2. galloping vs linear sorted-run merge at skew ----------------
+    println!(
+        "{:>9} {:>8} {:>12} {:>12} {:>9}",
+        "long_len", "skew", "gallop(ms)", "linear(ms)", "speedup"
+    );
+    let long_len = 1usize << 17;
+    for skew in [1usize, 16, 256] {
+        let short_len = long_len / skew;
+        // Long run: even numbers. Short run: odd numbers spread evenly
+        // across the long run's range, so every short element forces a
+        // fresh landing site (the gallop's favourable case at high skew,
+        // its worst overhead case at skew 1).
+        let long: Vec<u64> = (0..long_len as u64).map(|i| i * 2).collect();
+        let stride = (long_len / short_len) as u64;
+        let short: Vec<u64> = (0..short_len as u64).map(|i| i * 2 * stride + 1).collect();
+        let galloped =
+            merge_sorted_runs_for_bench(long.clone(), short.clone(), |a, b| a.cmp(b), true);
+        let linear =
+            merge_sorted_runs_for_bench(long.clone(), short.clone(), |a, b| a.cmp(b), false);
+        assert_eq!(
+            galloped, linear,
+            "galloping merge must be bit-identical to the linear merge"
+        );
+        let time_merge = |gallop: bool| -> f64 {
+            median(
+                (0..reps)
+                    .map(|_| {
+                        let a = long.clone();
+                        let b = short.clone();
+                        let t0 = Instant::now();
+                        let out = merge_sorted_runs_for_bench(a, b, |x, y| x.cmp(y), gallop);
+                        let dt = ms(t0);
+                        std::hint::black_box(out.len());
+                        dt
+                    })
+                    .collect(),
+            )
+        };
+        let gallop_ms = time_merge(true);
+        let linear_ms = time_merge(false);
+        println!(
+            "{long_len:>9} {skew:>7}x {gallop_ms:>12.3} {linear_ms:>12.3} {:>8.2}x",
+            linear_ms / gallop_ms
+        );
+        rows.push(format!(
+            "    {{\"kind\": \"gallop_merge\", \"long_len\": {long_len}, \"skew\": {skew}, \
+             \"threads\": 1, \"gallop_ms\": {gallop_ms:.4}, \"linear_ms\": {linear_ms:.4}}}"
+        ));
+    }
+
+    // --- 3. warm (one session) vs cold (fresh session) scratch ----------
+    println!(
+        "{:>9} {:>8} {:>12} {:>12} {:>9}",
+        "support", "checks", "warm(ms)", "cold(ms)", "speedup"
+    );
+    let x2 = Schema::range(0, 2);
+    let y2 = Schema::range(1, 3);
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    let checks = 100usize;
+    for exp in [10u32, 12] {
+        let support = 1usize << exp;
+        let (r, s) = planted_pair(&x2, &y2, support as u64, support, 1 << 20, &mut rng).unwrap();
+        let bags = [&r, &s];
+        // Each sample is the total for `checks` repeated decisions; three
+        // samples keep the (expensive) sub-grid within budget. Warm and
+        // cold samples interleave (one pair per rep) so slow drift in the
+        // shared container doesn't land on one column wholesale.
+        let scratch_reps = 3;
+        let mut warm_samples = Vec::with_capacity(scratch_reps);
+        let mut cold_samples = Vec::with_capacity(scratch_reps);
+        for _ in 0..scratch_reps {
+            let session = Session::builder().threads(1).build().expect("valid");
+            let t0 = Instant::now();
+            for _ in 0..checks {
+                let out = session.check(&bags).unwrap();
+                assert_eq!(std::hint::black_box(out.decision).as_str(), "consistent");
+            }
+            warm_samples.push(ms(t0));
+            let t0 = Instant::now();
+            for _ in 0..checks {
+                let session = Session::builder().threads(1).build().expect("valid");
+                let out = session.check(&bags).unwrap();
+                assert_eq!(std::hint::black_box(out.decision).as_str(), "consistent");
+            }
+            cold_samples.push(ms(t0));
+        }
+        let warm_ms = median(warm_samples);
+        let cold_ms = median(cold_samples);
+        println!(
+            "{support:>9} {checks:>8} {warm_ms:>12.3} {cold_ms:>12.3} {:>8.2}x",
+            cold_ms / warm_ms
+        );
+        rows.push(format!(
+            "    {{\"kind\": \"scratch\", \"support\": {support}, \"checks\": {checks}, \
+             \"threads\": 1, \"warm_session_ms\": {warm_ms:.4}, \
+             \"cold_session_ms\": {cold_ms:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e16_hotloop\",\n  \"workload\": \
+         \"merge_join: x={{A0..A3}} y={{A1..A4}}, 3-attr join keys are \
+         base-64 digits of even (R) / mostly-odd (S) counters — deep \
+         shared prefixes, 1/16 match rate — packed u64 key codes vs \
+         slice-compare baseline measured in the same run; gallop_merge: \
+         sorted u64 runs at length skew 1x/16x/256x, galloping vs linear \
+         advancement; scratch: 100 repeated Session::check on one warm \
+         session vs 100 cold sessions (planted_pair seed=0xE2)\",\n  \
+         \"unit\": \"milliseconds, median of 7 (scratch rows: median of 3 \
+         totals over 100 checks)\",\n  \
+         \"host_parallelism\": {host},\n  \
+         \"note\": \"all rows are threads = 1: this experiment isolates \
+         per-element compare/advance/alloc cost below the thread level; \
+         each row carries the optimised and baseline columns from the \
+         same binary so trend tracking compares like with like\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_e16.json", &json).expect("write BENCH_e16.json");
+    println!("wrote BENCH_e16.json");
 }

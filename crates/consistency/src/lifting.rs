@@ -21,6 +21,7 @@
 //! cannot represent that, so lifting tracks plain `Vec<Schema>` states.
 
 use crate::tseitin::{tseitin_bags, TseitinError};
+use bagcons_core::exec::ScratchPool;
 use bagcons_core::{Attr, Bag, CoreError, ExecConfig, FxHashMap, Schema, Value};
 use bagcons_hypergraph::{find_obstruction, Hypergraph, SafeDeletion};
 use std::fmt;
@@ -99,6 +100,21 @@ pub fn lift_step_with(
     u0: Value,
     cfg: &ExecConfig,
 ) -> Result<Vec<Bag>, LiftError> {
+    lift_step_pooled_with(d0, targets, op, u0, cfg, &ScratchPool::new())
+}
+
+/// [`lift_step_with`] drawing the row-extension scratch buffer from a
+/// caller-owned [`ScratchPool`]: one buffer serves every target bag of
+/// the step (and every step of a sequence lift) instead of reallocating
+/// per bag.
+pub fn lift_step_pooled_with(
+    d0: &[Bag],
+    targets: &[Schema],
+    op: &SafeDeletion,
+    u0: Value,
+    cfg: &ExecConfig,
+    pool: &ScratchPool,
+) -> Result<Vec<Bag>, LiftError> {
     let by_schema: FxHashMap<&Schema, &Bag> = d0.iter().map(|b| (b.schema(), b)).collect();
     let find = |s: &Schema| -> Result<&Bag, LiftError> {
         by_schema
@@ -107,18 +123,34 @@ pub fn lift_step_with(
             .ok_or_else(|| LiftError::MissingSchema(s.clone()))
     };
     match op {
-        SafeDeletion::Vertex(a) => targets
-            .iter()
-            .map(|x| {
+        SafeDeletion::Vertex(a) => {
+            let mut scratch = pool.take_values();
+            let mut out = Vec::with_capacity(targets.len());
+            for x in targets {
                 let y = x.without(*a);
-                let source = find(&y)?;
-                if x.contains(*a) {
-                    Ok(extend_with_default(source, x, *a, u0)?)
+                let source = match find(&y) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        pool.put_values(scratch);
+                        return Err(e);
+                    }
+                };
+                let lifted = if x.contains(*a) {
+                    match extend_with_default(source, x, *a, u0, &mut scratch) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            pool.put_values(scratch);
+                            return Err(e.into());
+                        }
+                    }
                 } else {
-                    Ok(source.clone())
-                }
-            })
-            .collect(),
+                    source.clone()
+                };
+                out.push(lifted);
+            }
+            pool.put_values(scratch);
+            Ok(out)
+        }
         SafeDeletion::CoveredEdge { edge, cover } => targets
             .iter()
             .map(|x| {
@@ -133,20 +165,26 @@ pub fn lift_step_with(
 }
 
 /// Extends a bag over `Y = X \ {a}` to `X` by pinning `a = u0`
-/// (the vertex-deletion lift of Lemma 4's proof).
-fn extend_with_default(source: &Bag, x: &Schema, a: Attr, u0: Value) -> Result<Bag, CoreError> {
+/// (the vertex-deletion lift of Lemma 4's proof). `scratch` is a reused
+/// row-assembly buffer (cleared per row).
+fn extend_with_default(
+    source: &Bag,
+    x: &Schema,
+    a: Attr,
+    u0: Value,
+    scratch: &mut Vec<Value>,
+) -> Result<Bag, CoreError> {
     debug_assert!(x.contains(a));
     let y = x.without(a);
     debug_assert_eq!(source.schema(), &y);
     let pos = x.position(a).expect("a ∈ X");
     let mut out = Bag::with_capacity(x.clone(), source.support_size());
-    let mut scratch: Vec<Value> = Vec::with_capacity(x.arity());
     for (row, m) in source.iter() {
         scratch.clear();
         scratch.extend_from_slice(&row[..pos]);
         scratch.push(u0);
         scratch.extend_from_slice(&row[pos..]);
-        out.insert_row(&scratch, m)?;
+        out.insert_row(scratch, m)?;
     }
     Ok(out)
 }
@@ -176,6 +214,20 @@ pub fn lift_through_sequence_with(
     u0: Value,
     cfg: &ExecConfig,
 ) -> Result<Vec<Bag>, LiftError> {
+    lift_through_sequence_pooled_with(start_schemas, ops, d_final, u0, cfg, &ScratchPool::new())
+}
+
+/// [`lift_through_sequence_with`] drawing scratch buffers from a
+/// caller-owned [`ScratchPool`] (threaded into every
+/// [`lift_step_pooled_with`]).
+pub fn lift_through_sequence_pooled_with(
+    start_schemas: &[Schema],
+    ops: &[SafeDeletion],
+    d_final: &[Bag],
+    u0: Value,
+    cfg: &ExecConfig,
+    pool: &ScratchPool,
+) -> Result<Vec<Bag>, LiftError> {
     // Forward schema states s_0 .. s_n.
     let mut states: Vec<Vec<Schema>> = Vec::with_capacity(ops.len() + 1);
     let mut s: Vec<Schema> = {
@@ -192,7 +244,7 @@ pub fn lift_through_sequence_with(
     // Backward lifting.
     let mut bags: Vec<Bag> = d_final.to_vec();
     for (i, op) in ops.iter().enumerate().rev() {
-        bags = lift_step_with(&bags, &states[i], op, u0, cfg)?;
+        bags = lift_step_pooled_with(&bags, &states[i], op, u0, cfg, pool)?;
     }
     Ok(bags)
 }
@@ -216,6 +268,16 @@ pub fn lift_through_sequence_with(
 /// ```
 pub fn pairwise_consistent_globally_inconsistent(
     h: &Hypergraph,
+) -> Result<Option<Vec<Bag>>, LiftError> {
+    pairwise_consistent_globally_inconsistent_pooled(h, &ScratchPool::new())
+}
+
+/// [`pairwise_consistent_globally_inconsistent`] drawing the lift's
+/// scratch buffers from a caller-owned [`ScratchPool`] (the session
+/// facade passes its session-lifetime pool).
+pub fn pairwise_consistent_globally_inconsistent_pooled(
+    h: &Hypergraph,
+    pool: &ScratchPool,
 ) -> Result<Option<Vec<Bag>>, LiftError> {
     let Some(ob) = find_obstruction(h) else {
         return Ok(None);
@@ -244,7 +306,14 @@ pub fn pairwise_consistent_globally_inconsistent(
             None => return Err(LiftError::MissingSchema(s.clone())),
         }
     }
-    let lifted = lift_through_sequence(h.edges(), &ob.deletions, &d_final, Value(0))?;
+    let lifted = lift_through_sequence_pooled_with(
+        h.edges(),
+        &ob.deletions,
+        &d_final,
+        Value(0),
+        &ExecConfig::default(),
+        pool,
+    )?;
     Ok(Some(lifted))
 }
 

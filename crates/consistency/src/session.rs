@@ -43,12 +43,13 @@ use crate::diagnose::{diagnose_with, Diagnosis};
 use crate::global::{
     globally_consistent_via_ilp, is_global_witness_with, schema_hypergraph, witness_from_ilp,
 };
-use crate::lifting::{pairwise_consistent_globally_inconsistent, LiftError};
+use crate::lifting::LiftError;
 use crate::pairwise::{
-    bags_consistent_with, consistency_witness_with, first_inconsistent_pair_with,
+    bags_consistent_with, consistency_witness_pooled_with, first_inconsistent_pair_with,
 };
-use crate::reducer::{acyclic_join_with, naive_bag_semijoin_with, semijoin_with};
+use crate::reducer::{acyclic_join_with, naive_bag_semijoin_pooled_with, semijoin_pooled_with};
 use crate::report::{Json, Lemma2Report, Render};
+use bagcons_core::exec::ScratchPool;
 use bagcons_core::io::{parse_bag_with, write_bag, NameInterner, ParseError};
 use bagcons_core::{AttrNames, Bag, CoreError, ExecConfig, Relation, Schema};
 use bagcons_hypergraph::{
@@ -58,6 +59,7 @@ use bagcons_hypergraph::{
 use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Any failure a [`Session`] method can surface.
@@ -766,6 +768,7 @@ impl SessionBuilder {
             max_mismatches: self
                 .max_mismatches
                 .unwrap_or(Session::DEFAULT_MAX_MISMATCHES),
+            scratch: Arc::new(ScratchPool::new()),
         })
     }
 }
@@ -778,6 +781,10 @@ pub struct Session {
     solver: SolverConfig,
     interner: NameInterner,
     max_mismatches: usize,
+    /// Session-lifetime scratch arenas (network edge buffers, semijoin
+    /// key projections, lifting rows) reused across every
+    /// check/witness/stream call instead of reallocating per call.
+    scratch: Arc<ScratchPool>,
 }
 
 impl Default for Session {
@@ -815,6 +822,13 @@ impl Session {
         self.max_mismatches
     }
 
+    /// The session-lifetime scratch pool every pooled hot path draws
+    /// from. Buffers return to the pool after each call, so repeated
+    /// checks and stream updates reuse one set of allocations.
+    pub fn scratch(&self) -> &ScratchPool {
+        &self.scratch
+    }
+
     /// Display names for every attribute loaded through this session.
     pub fn names(&self) -> &AttrNames {
         self.interner.names()
@@ -842,14 +856,14 @@ impl Session {
     /// pairwise + witness-chain on acyclic schemas, exact integer search
     /// on cyclic ones.
     pub fn check(&self, bags: &[&Bag]) -> Result<CheckOutcome, SessionError> {
-        Ok(check_impl(bags, &self.solver, &self.exec)?)
+        Ok(check_impl(bags, &self.solver, &self.exec, &self.scratch)?)
     }
 
     /// [`Session::check`], rendering the full witness bag when one
     /// exists.
     pub fn witness(&self, bags: &[&Bag]) -> Result<WitnessOutcome, SessionError> {
         Ok(WitnessOutcome {
-            check: check_impl(bags, &self.solver, &self.exec)?,
+            check: check_impl(bags, &self.solver, &self.exec, &self.scratch)?,
         })
     }
 
@@ -908,7 +922,8 @@ impl Session {
         let mut stages = Vec::new();
         let t = Instant::now();
         let h = schema_hypergraph(bags);
-        let family = pairwise_consistent_globally_inconsistent(&h)?;
+        let family =
+            crate::lifting::pairwise_consistent_globally_inconsistent_pooled(&h, &self.scratch)?;
         push_stage(&mut stages, "lift", t);
         Ok(CounterexampleOutcome {
             hypergraph: h,
@@ -929,7 +944,7 @@ impl Session {
 
     /// Corollary 1: a two-bag witness via a saturated flow of `N(R,S)`.
     pub fn consistency_witness(&self, r: &Bag, s: &Bag) -> bagcons_core::Result<Option<Bag>> {
-        consistency_witness_with(r, s, &self.exec)
+        consistency_witness_pooled_with(r, s, &self.exec, &self.scratch)
     }
 
     /// True iff every two bags of the collection are consistent.
@@ -957,12 +972,12 @@ impl Session {
         bags: &[&Bag],
         strategy: WitnessStrategy,
     ) -> Result<Bag, AcyclicError> {
-        crate::acyclic::acyclic_global_witness_exec(bags, strategy, &self.exec)
+        crate::acyclic::acyclic_global_witness_pooled(bags, strategy, &self.exec, &self.scratch)
     }
 
     /// The set-semantics semijoin `R ⋉ S`.
     pub fn semijoin(&self, r: &Relation, s: &Relation) -> bagcons_core::Result<Relation> {
-        semijoin_with(r, s, &self.exec)
+        semijoin_pooled_with(r, s, &self.exec, &self.scratch)
     }
 
     /// Yannakakis' acyclic join (`None` on cyclic schemas).
@@ -972,7 +987,7 @@ impl Session {
 
     /// The naive support-pruning bag "semijoin" (Section 6's obstacle).
     pub fn naive_bag_semijoin(&self, r: &Bag, s: &Bag) -> bagcons_core::Result<Bag> {
-        naive_bag_semijoin_with(r, s, &self.exec)
+        naive_bag_semijoin_pooled_with(r, s, &self.exec, &self.scratch)
     }
 }
 
@@ -982,6 +997,7 @@ pub(crate) fn check_impl(
     bags: &[&Bag],
     solver: &SolverConfig,
     exec: &ExecConfig,
+    pool: &ScratchPool,
 ) -> bagcons_core::Result<CheckOutcome> {
     let mut stages = Vec::new();
     let t = Instant::now();
@@ -1003,7 +1019,7 @@ pub(crate) fn check_impl(
             });
         }
         let t = Instant::now();
-        let witness = match witness_chain(bags, WitnessStrategy::Saturated, exec) {
+        let witness = match witness_chain(bags, WitnessStrategy::Saturated, exec, pool) {
             Ok(w) => w,
             Err(AcyclicError::Core(e)) => return Err(e),
             Err(AcyclicError::NotAcyclic(h)) => {

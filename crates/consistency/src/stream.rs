@@ -185,7 +185,12 @@ impl<'s> ConsistencyStream<'s> {
                 let (check, consistent) = if shared.arity() == 0 {
                     (PairCheck::Totals, totals[i] == totals[j])
                 } else {
-                    let mut net = ConsistencyNetwork::build_with(&bags[i], &bags[j], exec)?;
+                    let mut net = ConsistencyNetwork::build_pooled_with(
+                        &bags[i],
+                        &bags[j],
+                        exec,
+                        session.scratch(),
+                    )?;
                     let consistent = net.reaugment();
                     (PairCheck::Network(Box::new(net)), consistent)
                 };
@@ -260,10 +265,11 @@ impl<'s> ConsistencyStream<'s> {
                             p.consistent = net.reaugment();
                             repaired += 1;
                         } else {
-                            let mut fresh = ConsistencyNetwork::build_with(
+                            let mut fresh = ConsistencyNetwork::build_pooled_with(
                                 &self.bags[p.i],
                                 &self.bags[p.j],
                                 exec,
+                                self.session.scratch(),
                             )?;
                             p.consistent = fresh.reaugment();
                             **net = fresh;
@@ -367,7 +373,12 @@ impl<'s> ConsistencyStream<'s> {
         }
         if self.witness.is_none() {
             let refs: Vec<&Bag> = self.bags.iter().collect();
-            let out = check_impl(&refs, self.session.solver(), self.session.exec())?;
+            let out = check_impl(
+                &refs,
+                self.session.solver(),
+                self.session.exec(),
+                self.session.scratch(),
+            )?;
             debug_assert_eq!(out.decision, Decision::Consistent);
             self.witness = out.witness;
         }

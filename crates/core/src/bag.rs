@@ -31,9 +31,11 @@
 //! * `R[Z][W] = R[W]` for `W ⊆ Z ⊆ X` (marginals commute with nesting).
 
 use crate::exec::{run_shards, shard_ranges, ExecConfig, ShardRun, ShardedRowStore};
+use crate::pack::{PackedView, RowOrd, PACK_MIN_ROWS};
 use crate::store::{RowId, RowStore};
 use crate::{CoreError, Relation, Result, Schema, Tuple, Value};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A finite bag (multiset) of tuples over a fixed schema.
 #[derive(Clone)]
@@ -46,6 +48,14 @@ pub struct Bag {
     live: usize,
     /// True iff rows are in strictly increasing lex order, tombstone-free.
     sealed: bool,
+    /// Packed-word view of the rows ([`crate::pack`]), cached while the
+    /// row arena is unchanged. Reset (to an unset `OnceLock`) by every
+    /// path that appends to the store; rebuilt eagerly by the seal and
+    /// lazily by [`Bag::packed_view`]. `Some(None)` records that no
+    /// encoding fits. Deliberately ignored by `PartialEq` (content
+    /// equality) — both impls below are field-explicit. Boxed so the
+    /// cache costs one pointer on every (frequently moved) `Bag`.
+    packed: OnceLock<Option<Box<PackedView>>>,
 }
 
 impl Bag {
@@ -58,6 +68,7 @@ impl Bag {
             mults: Vec::new(),
             live: 0,
             sealed: true,
+            packed: OnceLock::new(),
         }
     }
 
@@ -70,6 +81,7 @@ impl Bag {
             mults: Vec::with_capacity(n),
             live: 0,
             sealed: true,
+            packed: OnceLock::new(),
         }
     }
 
@@ -169,6 +181,9 @@ impl Bag {
         if !fresh {
             return Some(id);
         }
+        // The arena changed; any cached packed view is stale (even when
+        // the append keeps the bag sealed).
+        self.packed = OnceLock::new();
         self.mults.push(mult);
         self.live += 1;
         if self.sealed && last > 0 && self.store.row(RowId(id.0 - 1)) >= row {
@@ -337,6 +352,7 @@ impl Bag {
             self.store = self.store.reordered(&order);
             self.mults = mults;
             self.sealed = true;
+            self.rebuild_packed();
             return;
         }
         // Parallel re-layout: plain index ranges over the sorted
@@ -357,6 +373,42 @@ impl Bag {
             ShardedRowStore::from_runs(arity, runs),
             true,
         );
+        self.rebuild_packed();
+    }
+
+    /// The cached packed-word view of the rows ([`crate::pack`]): one
+    /// order-preserving integer per row, making row compares single
+    /// integer compares. `None` while the bag is unsealed (the view
+    /// tracks the at-rest layout) or when no encoding fits the row
+    /// values. Built on first demand and cached until the row arena next
+    /// changes.
+    pub fn packed_view(&self) -> Option<&PackedView> {
+        if !self.sealed {
+            return None;
+        }
+        self.packed
+            .get_or_init(|| PackedView::build(&self.store).map(Box::new))
+            .as_deref()
+    }
+
+    /// True iff a packed view is already materialized (without building
+    /// one): the bag is sealed and the last seal produced a view. Join
+    /// planning treats such a side as cheaper to merge.
+    pub fn packed_ready(&self) -> bool {
+        self.sealed && self.packed.get().is_some_and(|v| v.is_some())
+    }
+
+    /// Eagerly (re)builds the packed cache after a seal laid the rows
+    /// out. Skipped below [`PACK_MIN_ROWS`] — tiny bags take the hash
+    /// join anyway, and the lazy [`Bag::packed_view`] path still covers
+    /// direct requests.
+    fn rebuild_packed(&mut self) {
+        self.packed = OnceLock::new();
+        if self.store.len() >= PACK_MIN_ROWS {
+            let _ = self
+                .packed
+                .set(PackedView::build(&self.store).map(Box::new));
+        }
     }
 
     /// Applies a batch of signed multiplicity edits atomically; see
@@ -478,18 +530,31 @@ impl Bag {
     /// dirtied a previously sealed bag: the prefix `0..old_len` is still
     /// one sorted run (minus tombstones), the tail holds the delta's
     /// fresh rows. The tail sorts on its own (`k log k`), and the two
-    /// runs merge in one linear pass — sharded into plain position
-    /// ranges over the prefix (interned rows are distinct, so every
-    /// position is its own key group) with the tail aligned by binary
-    /// search. Per-shard runs splice in ascending order, so the layout
-    /// is identical to the sequential merge at every thread count.
+    /// runs merge — sharded into plain position ranges over the prefix
+    /// (interned rows are distinct, so every position is its own key
+    /// group) with the tail aligned by binary search. Per-shard runs
+    /// splice in ascending order, so the layout is identical to the
+    /// sequential merge at every thread count.
+    ///
+    /// Hot-loop details: compares go through a transient [`RowOrd`]
+    /// (single integer compares when a packed encoding fits — the cached
+    /// view died when the delta interned fresh rows), and the merge
+    /// walks the **tail**, bulk-emitting each prefix stretch; with the
+    /// prefix ≥ [`crate::exec::GALLOP_RATIO`]× the tail (the motivating
+    /// tiny-delta-against-huge-run skew), stretch ends are found by
+    /// galloping ([`crate::exec::gallop_bound`]) instead of a
+    /// row-at-a-time scan. Both changes are order-exact: distinct
+    /// interned rows make "prefix row < tail row" a strict total order,
+    /// so emitting prefix-until-bound then the tail row reproduces the
+    /// linear tail-pushing loop's sequence byte for byte.
     fn reseal_delta(&mut self, old_len: usize, cfg: &ExecConfig) {
         debug_assert!(!self.sealed);
         let arity = self.schema.arity();
         let mut tail: Vec<u32> = (old_len as u32..self.store.len() as u32)
             .filter(|&i| self.mults[i as usize] > 0)
             .collect();
-        tail.sort_unstable_by(|&a, &b| crate::store::cmp_rows(&self.store, a, b));
+        let ord = RowOrd::new(&self.store, old_len + tail.len());
+        tail.sort_unstable_by(|&a, &b| ord.cmp(a, b));
         let tasks = if old_len == 0 {
             vec![(0..0, 0..tail.len())]
         } else {
@@ -498,12 +563,7 @@ impl Bag {
                 tail.len(),
                 cfg.shards_for(old_len),
                 |_| false,
-                |p| {
-                    let row = self.store.row(RowId(p as u32));
-                    crate::exec::lower_bound_by(tail.len(), |t| {
-                        self.store.row(RowId(tail[t])) < row
-                    })
-                },
+                |p| crate::exec::lower_bound_by(tail.len(), |t| ord.less(tail[t], p as u32)),
             );
             // The aligned planner assigns right rows below the first left
             // key to no task (joins drop them; this merge must not).
@@ -515,22 +575,37 @@ impl Bag {
             tasks
         };
         let tail = &tail;
+        let ord = &ord;
         let runs = crate::exec::run_tasks(cfg.threads(), tasks, |(pr, tr)| {
             let mut run = ShardRun::with_capacity(arity, pr.len() + tr.len());
-            let mut t = tr.start;
-            for p in pr {
-                let row = self.store.row(RowId(p as u32));
-                while t < tr.end && self.store.row(RowId(tail[t])) < row {
-                    run.push(self.store.row(RowId(tail[t])), self.mults[tail[t] as usize]);
-                    t += 1;
+            let use_gallop = pr.len() >= crate::exec::GALLOP_RATIO * tr.len().max(1);
+            let mut p = pr.start;
+            for &tid in &tail[tr.clone()] {
+                // End of the prefix stretch that sorts before this tail
+                // row: galloped under skew, scanned otherwise.
+                let bound = if use_gallop {
+                    crate::exec::gallop_bound(p, pr.end, |q| ord.less(q as u32, tid))
+                } else {
+                    let mut q = p;
+                    while q < pr.end && ord.less(q as u32, tid) {
+                        q += 1;
+                    }
+                    q
+                };
+                for q in p..bound {
+                    let m = self.mults[q];
+                    if m > 0 {
+                        run.push(self.store.row(RowId(q as u32)), m);
+                    }
                 }
-                let m = self.mults[p];
-                if m > 0 {
-                    run.push(row, m);
-                }
-            }
-            for &tid in &tail[t..tr.end] {
+                p = bound;
                 run.push(self.store.row(RowId(tid)), self.mults[tid as usize]);
+            }
+            for q in p..pr.end {
+                let m = self.mults[q];
+                if m > 0 {
+                    run.push(self.store.row(RowId(q as u32)), m);
+                }
             }
             run
         });
@@ -688,6 +763,7 @@ impl Bag {
         debug_assert!(self.sealed);
         debug_assert!(mult > 0);
         debug_assert_eq!(row.len(), self.schema.arity());
+        self.packed = OnceLock::new();
         self.store.push_unique_unchecked(row);
         self.mults.push(mult);
         self.live += 1;
@@ -725,6 +801,7 @@ impl Bag {
             // An empty splice is trivially a sorted run — matching the
             // sequential paths, whose empty outputs are born sealed.
             sealed: sealed || live == 0,
+            packed: OnceLock::new(),
         }
     }
 
@@ -732,6 +809,7 @@ impl Bag {
     /// which are unique by construction but emitted in key-group order).
     pub(crate) fn push_unique_row(&mut self, row: &[Value], mult: u64) {
         debug_assert!(mult > 0);
+        self.packed = OnceLock::new();
         self.store.push_unique_unchecked(row);
         self.mults.push(mult);
         self.live += 1;
@@ -1252,6 +1330,42 @@ mod tests {
         assert!(b.is_sealed(), "revisiting an existing row keeps order");
         b.insert(vec![Value(3)], 0).unwrap();
         assert!(b.is_sealed(), "zero-multiplicity insert is a no-op");
+    }
+
+    #[test]
+    fn packed_cache_tracks_arena_changes() {
+        // Large enough that the seal materializes the cache eagerly.
+        let mut b = Bag::new(schema(&[0, 1]));
+        for v in (0..64u64).rev() {
+            b.insert(vec![Value(v), Value(v % 7)], 1).unwrap();
+        }
+        assert!(!b.is_sealed() && !b.packed_ready());
+        assert!(b.packed_view().is_none(), "unsealed bags expose no view");
+        b.seal();
+        assert!(b.packed_ready(), "seal materializes the view");
+        let view = b.packed_view().expect("small values fit the raw tier");
+        assert_eq!(view.len(), 64);
+        // Packed compares must equal slice compares across the store.
+        for a in 0..64u32 {
+            for c in 0..64u32 {
+                assert_eq!(
+                    view.cmp(a, c),
+                    b.store().row(RowId(a)).cmp(b.store().row(RowId(c)))
+                );
+            }
+        }
+        // An ascending append keeps the bag sealed but grows the arena:
+        // the cache must drop (and lazily rebuild to cover the new row).
+        b.insert(vec![Value(100), Value(0)], 1).unwrap();
+        assert!(b.is_sealed());
+        assert!(!b.packed_ready(), "arena growth invalidates the cache");
+        assert_eq!(b.packed_view().map(|v| v.len()), Some(65));
+        // Mult-only changes leave the arena (and so the view) intact.
+        b.insert(vec![Value(100), Value(0)], 5).unwrap();
+        assert!(b.packed_ready());
+        // A clone carries the cache state independently.
+        let c = b.clone();
+        assert!(c.packed_ready());
     }
 
     #[test]

@@ -434,16 +434,77 @@ pub fn parallel_sort_by<T: Send + Copy>(
     runs.pop().unwrap_or_default()
 }
 
-/// Two-way merge of sorted runs; ties take from `a` first.
+/// Length-ratio threshold above which the merge hot loops switch from
+/// linear stepping to galloping (exponential search): when one side is
+/// at least this many times longer than the other, long stretches of the
+/// long side sort consecutively and a gallop finds each stretch's end in
+/// `O(log run)` compares instead of `O(run)`.
+pub const GALLOP_RATIO: usize = 8;
+
+/// First position in `lo..hi` where the monotone predicate `keep`
+/// (true, then false) turns false, found by exponential probing from
+/// `lo` followed by a binary search of the last doubling window — the
+/// gallop step shared by the skewed-merge hot loops. `O(log d)` compares
+/// for an answer `d` past `lo`, against `O(d)` for a linear scan, and
+/// **exactly** the same answer: callers swap it in without changing
+/// emission order.
+pub fn gallop_bound(lo: usize, hi: usize, keep: impl Fn(usize) -> bool) -> usize {
+    if lo >= hi || !keep(lo) {
+        return lo;
+    }
+    let mut step = 1usize;
+    let mut last = lo;
+    while last + step < hi && keep(last + step) {
+        last += step;
+        step <<= 1;
+    }
+    // keep(last) is true and keep(last + step) is false (or out of
+    // range); binary-search the remaining open window.
+    let upper = last.saturating_add(step).min(hi);
+    last + 1 + lower_bound_by(upper - last - 1, |off| keep(last + 1 + off))
+}
+
+/// Two-way merge of sorted runs; ties take from `a` first. Skewed pairs
+/// (length ratio ≥ [`GALLOP_RATIO`]) advance through the long side by
+/// galloping; the output is bit-identical to the linear merge either way.
 fn merge_sorted_runs<T: Copy>(
     a: Vec<T>,
     b: Vec<T>,
     cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
 ) -> Vec<T> {
+    let gallop =
+        a.len() >= GALLOP_RATIO * b.len().max(1) || b.len() >= GALLOP_RATIO * a.len().max(1);
+    merge_sorted_runs_impl(a, b, cmp, gallop)
+}
+
+fn merge_sorted_runs_impl<T: Copy>(
+    a: Vec<T>,
+    b: Vec<T>,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+    gallop: bool,
+) -> Vec<T> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        if cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater {
+        if gallop {
+            // Bulk-take the stretch of `a` that sorts before (or ties
+            // with) b[j] — ties still come from `a` first, exactly as in
+            // the linear loop — then the stretch of `b` strictly before
+            // a[i].
+            let ai = gallop_bound(i, a.len(), |p| {
+                cmp(&a[p], &b[j]) != std::cmp::Ordering::Greater
+            });
+            out.extend_from_slice(&a[i..ai]);
+            i = ai;
+            if i >= a.len() {
+                break;
+            }
+            let bj = gallop_bound(j, b.len(), |p| {
+                cmp(&a[i], &b[p]) == std::cmp::Ordering::Greater
+            });
+            out.extend_from_slice(&b[j..bj]);
+            j = bj;
+        } else if cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater {
             out.push(a[i]);
             i += 1;
         } else {
@@ -454,6 +515,92 @@ fn merge_sorted_runs<T: Copy>(
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
     out
+}
+
+#[doc(hidden)]
+pub fn merge_sorted_runs_for_bench<T: Copy>(
+    a: Vec<T>,
+    b: Vec<T>,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+    gallop: bool,
+) -> Vec<T> {
+    merge_sorted_runs_impl(a, b, cmp, gallop)
+}
+
+/// A session-lifetime pool of scratch buffers for the solve hot paths.
+///
+/// Each consistency solve used to allocate its working buffers — network
+/// row scratch, semijoin key arenas, lifting extension rows — from
+/// scratch and drop them on return. Repeated `check`/`witness`/stream
+/// updates through one session pay that allocator round-trip every time.
+/// The pool keeps the freed buffers instead: `take_*` pops a warm buffer
+/// (empty, but with its previous capacity), `put_*` clears and returns
+/// it. Misses fall back to `Vec::new`, so the pool is never required for
+/// correctness, only for reuse.
+///
+/// The pool is internally synchronized (shard workers check buffers in
+/// and out concurrently) and bounded: at most [`ScratchPool::MAX_RETAINED`]
+/// buffers per kind are retained, so one huge transient workload cannot
+/// pin its peak memory for the life of the session.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    values: Mutex<Vec<Vec<Value>>>,
+    words: Mutex<Vec<Vec<u64>>>,
+}
+
+impl ScratchPool {
+    /// Retention cap per buffer kind; see the type docs.
+    pub const MAX_RETAINED: usize = 32;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Pops a pooled `Vec<Value>` scratch buffer (empty; warm capacity
+    /// if one was returned earlier), or a fresh one on a miss.
+    pub fn take_values(&self) -> Vec<Value> {
+        match self.values.lock() {
+            Ok(mut pool) => pool.pop().unwrap_or_default(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Returns a `Vec<Value>` scratch buffer to the pool for reuse.
+    /// Zero-capacity buffers and overflow past the retention cap are
+    /// simply dropped.
+    pub fn put_values(&self, mut buf: Vec<Value>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        if let Ok(mut pool) = self.values.lock() {
+            if pool.len() < Self::MAX_RETAINED {
+                pool.push(buf);
+            }
+        }
+    }
+
+    /// Pops a pooled `Vec<u64>` scratch buffer, or a fresh one on a miss.
+    pub fn take_words(&self) -> Vec<u64> {
+        match self.words.lock() {
+            Ok(mut pool) => pool.pop().unwrap_or_default(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Returns a `Vec<u64>` scratch buffer to the pool for reuse.
+    pub fn put_words(&self, mut buf: Vec<u64>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        if let Ok(mut pool) = self.words.lock() {
+            if pool.len() < Self::MAX_RETAINED {
+                pool.push(buf);
+            }
+        }
+    }
 }
 
 /// One shard's output: freshly assembled rows (flat, row-major) with
@@ -754,6 +901,65 @@ mod tests {
             assert_eq!(got, expected, "threads = {threads}, shards = {shards}");
         }
         assert!(parallel_sort_by(Vec::<u32>::new(), 4, 8, |a, b| a.cmp(b)).is_empty());
+    }
+
+    #[test]
+    fn gallop_bound_matches_linear_scan() {
+        // Monotone predicates over every (lo, boundary, hi) shape.
+        for hi in 0usize..40 {
+            for lo in 0..=hi {
+                for boundary in lo..=hi {
+                    let keep = |p: usize| p < boundary;
+                    assert_eq!(
+                        gallop_bound(lo, hi, keep),
+                        boundary.max(lo),
+                        "lo={lo} hi={hi} boundary={boundary}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_merge_is_bit_identical_to_linear() {
+        // Skewed and balanced pairs, with duplicate keys so the
+        // ties-from-a-first rule is actually exercised.
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            ((0..512).map(|i| i / 3).collect(), vec![5, 5, 100, 170]),
+            (vec![7], (0..300).map(|i| i % 64).collect::<Vec<_>>()),
+            ((0..64).collect(), (32..96).collect()),
+            (vec![], (0..10).collect()),
+            ((0..10).collect(), vec![]),
+        ];
+        for (mut a, mut b) in cases {
+            a.sort_unstable();
+            b.sort_unstable();
+            let linear = merge_sorted_runs_impl(a.clone(), b.clone(), |x, y| x.cmp(y), false);
+            let galloped = merge_sorted_runs_impl(a, b, |x, y| x.cmp(y), true);
+            assert_eq!(linear, galloped);
+        }
+    }
+
+    #[test]
+    fn scratch_pool_reuses_capacity_and_bounds_retention() {
+        let pool = ScratchPool::new();
+        let mut buf = pool.take_values();
+        assert!(buf.is_empty());
+        buf.extend(v(&[1, 2, 3]));
+        let cap = buf.capacity();
+        pool.put_values(buf);
+        let warm = pool.take_values();
+        assert!(warm.is_empty());
+        assert_eq!(warm.capacity(), cap);
+        // Retention is bounded.
+        for _ in 0..2 * ScratchPool::MAX_RETAINED {
+            pool.put_words(Vec::with_capacity(8));
+        }
+        let retained = (0..2 * ScratchPool::MAX_RETAINED)
+            .map(|_| pool.take_words())
+            .filter(|b| b.capacity() > 0)
+            .count();
+        assert!(retained <= ScratchPool::MAX_RETAINED);
     }
 
     #[test]

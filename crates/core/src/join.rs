@@ -64,12 +64,27 @@ pub struct JoinSide {
     /// its schema — its sorted run doubles as the key order, so the merge
     /// path gets this side's sort for free.
     pub sorted: bool,
+    /// True iff the operand already holds a materialized packed-word
+    /// view ([`crate::pack::PackedView`]): its merge-side compares are
+    /// single integer compares, shifting the merge-vs-hash crossover.
+    pub packed: bool,
 }
 
 impl JoinSide {
-    /// Builds the statistics from explicit values.
+    /// Builds the statistics from explicit values (`packed` defaults to
+    /// false; see [`JoinSide::with_packed`]).
     pub fn new(support: usize, sorted: bool) -> Self {
-        JoinSide { support, sorted }
+        JoinSide {
+            support,
+            sorted,
+            packed: false,
+        }
+    }
+
+    /// Overrides the packed-view availability flag.
+    pub fn with_packed(mut self, packed: bool) -> Self {
+        self.packed = packed;
+        self
     }
 
     /// Statistics of a bag operand whose key columns are `key`.
@@ -77,6 +92,7 @@ impl JoinSide {
         JoinSide {
             support: bag.support_size(),
             sorted: bag.is_sealed() && crate::tuple::is_prefix_projection(key),
+            packed: bag.packed_ready(),
         }
     }
 
@@ -85,6 +101,7 @@ impl JoinSide {
         JoinSide {
             support: rel.len(),
             sorted: rel.is_sealed() && crate::tuple::is_prefix_projection(key),
+            packed: rel.packed_ready(),
         }
     }
 }
@@ -137,6 +154,12 @@ impl JoinStrategy {
             JoinStrategy::SortMerge
         } else if large >= HASH_RATIO * small {
             JoinStrategy::Hash
+        } else if (left.sorted && left.packed) || (right.sorted && right.packed) {
+            // A sort-free side with a live packed view makes the merge
+            // sweep single integer compares — cheaper than the
+            // sequential-residue model above assumes, so take the merge
+            // even without sharding.
+            JoinStrategy::SortMerge
         } else if (left.sorted || right.sorted) && cfg.shards_for(small) > 1 {
             // `small` mirrors what the merge body actually shards on: if
             // it would fall back to one shard, claim no parallel win.
@@ -228,6 +251,16 @@ fn cmp_keys(a: &[Value], a_idx: &[usize], b: &[Value], b_idx: &[usize]) -> Order
 /// projected keys **materialized** into one flat columnar buffer aligned
 /// with the sorted order. The sort and merge sweep then touch only this
 /// contiguous buffer — no per-comparison trips back into the row arena.
+///
+/// When the pair's joint key values fit a raw packed encoding
+/// ([`crate::pack::PackSpec::raw`] over the per-column maxes of **both**
+/// sides, ≤ 64 bits total), each side additionally carries a `u64` word
+/// per key packed under that shared spec — so the sort, the merge-sweep
+/// compares, the run-end scans, and the shard alignment all become
+/// single integer compares that are valid *across* the two sides. The
+/// encoding is injective and order-preserving on the joint key space,
+/// so every result is bit-identical to the slice-compare path. Both
+/// sides of a pair are packed, or neither is.
 struct KeyedSide {
     /// Row ids in key order.
     ids: Vec<u32>,
@@ -235,65 +268,175 @@ struct KeyedSide {
     keys: Vec<Value>,
     /// Key width.
     k: usize,
+    /// Packed key words aligned with `ids`, under the pair's shared spec.
+    packed: Option<Vec<u64>>,
+    /// False pins the pre-packing behavior (slice compares, linear
+    /// advancement) — the bench/CI baseline path.
+    hot: bool,
 }
 
-impl KeyedSide {
-    /// Projects and sorts. A sealed operand whose key is a schema prefix
-    /// skips the sort — its storage order is already grouped by key.
-    fn build(store: &RowStore, ids: Vec<u32>, key: &[usize], sealed: bool) -> KeyedSide {
-        let k = key.len();
-        let is_prefix = crate::tuple::is_prefix_projection(key);
-        let mut keys: Vec<Value> = Vec::with_capacity(ids.len() * k);
-        for &a in &ids {
-            let row = store.row(crate::store::RowId(a));
-            keys.extend(key.iter().map(|&c| row[c]));
+/// The raw inputs of one [`KeyedSide`] before projection and sorting.
+struct SideInput<'a> {
+    store: &'a RowStore,
+    ids: Vec<u32>,
+    key: &'a [usize],
+    sealed: bool,
+}
+
+/// Builds both sides of a merge join together, so their packed key words
+/// share one spec (see [`KeyedSide`]). `hot = false` disables packing
+/// *and* gallop advancement — the pre-change baseline for benchmarks.
+fn build_keyed_pair(l: SideInput<'_>, r: SideInput<'_>, hot: bool) -> (KeyedSide, KeyedSide) {
+    let k = l.key.len();
+    debug_assert_eq!(k, r.key.len());
+    let extract = |input: &SideInput<'_>| -> Vec<Value> {
+        let mut keys: Vec<Value> = Vec::with_capacity(input.ids.len() * k);
+        for &a in &input.ids {
+            let row = input.store.row(crate::store::RowId(a));
+            keys.extend(input.key.iter().map(|&c| row[c]));
         }
-        if sealed && is_prefix {
-            // lex-sorted rows are sorted (and grouped) by any prefix
-            return KeyedSide { ids, keys, k };
+        keys
+    };
+    let lk = extract(&l);
+    let rk = extract(&r);
+    let spec = if hot && k > 0 {
+        let mut maxes = vec![0u64; k];
+        for keys in [&lk, &rk] {
+            for key in keys.chunks_exact(k) {
+                for (m, v) in maxes.iter_mut().zip(key) {
+                    *m = (*m).max(v.get());
+                }
+            }
         }
-        let mut order: Vec<u32> = (0..ids.len() as u32).collect();
-        order.sort_unstable_by(|&p, &q| {
+        crate::pack::PackSpec::raw(&maxes).filter(|s| s.total_bits() <= 64)
+    } else {
+        None
+    };
+    let pack = |keys: &[Value]| -> Option<Vec<u64>> {
+        let spec = spec.as_ref()?;
+        Some(
+            keys.chunks_exact(k)
+                .map(|key| {
+                    spec.pack_row(key)
+                        .expect("joint per-column maxes cover both sides")
+                        as u64
+                })
+                .collect(),
+        )
+    };
+    let lp = pack(&lk);
+    let rp = pack(&rk);
+    (finish_side(l, lk, lp, hot), finish_side(r, rk, rp, hot))
+}
+
+/// Sorts one side's permutation by `(key, id)` — through the packed
+/// words when available (identical order: the shared raw spec is
+/// injective and order-preserving on keys) — and lays ids/keys/words out
+/// in that order. A sealed operand whose key is a schema prefix skips
+/// the sort: its storage order is already grouped by key.
+fn finish_side(
+    input: SideInput<'_>,
+    keys: Vec<Value>,
+    packed: Option<Vec<u64>>,
+    hot: bool,
+) -> KeyedSide {
+    let k = input.key.len();
+    let ids = input.ids;
+    if input.sealed && crate::tuple::is_prefix_projection(input.key) {
+        // lex-sorted rows are sorted (and grouped) by any prefix
+        return KeyedSide {
+            ids,
+            keys,
+            k,
+            packed,
+            hot,
+        };
+    }
+    let mut order: Vec<u32> = (0..ids.len() as u32).collect();
+    match &packed {
+        Some(words) => order.sort_unstable_by(|&p, &q| {
+            let (p, q) = (p as usize, q as usize);
+            words[p].cmp(&words[q]).then_with(|| ids[p].cmp(&ids[q]))
+        }),
+        None => order.sort_unstable_by(|&p, &q| {
             let (p, q) = (p as usize, q as usize);
             keys[p * k..(p + 1) * k]
                 .cmp(&keys[q * k..(q + 1) * k])
                 .then_with(|| ids[p].cmp(&ids[q]))
-        });
-        let sorted_ids: Vec<u32> = order.iter().map(|&p| ids[p as usize]).collect();
-        let mut sorted_keys: Vec<Value> = Vec::with_capacity(keys.len());
-        for &p in &order {
-            let p = p as usize;
-            sorted_keys.extend_from_slice(&keys[p * k..(p + 1) * k]);
-        }
-        KeyedSide {
-            ids: sorted_ids,
-            keys: sorted_keys,
-            k,
-        }
+        }),
     }
+    let sorted_ids: Vec<u32> = order.iter().map(|&p| ids[p as usize]).collect();
+    let mut sorted_keys: Vec<Value> = Vec::with_capacity(keys.len());
+    for &p in &order {
+        let p = p as usize;
+        sorted_keys.extend_from_slice(&keys[p * k..(p + 1) * k]);
+    }
+    let sorted_packed = packed.map(|words| {
+        order
+            .iter()
+            .map(|&p| words[p as usize])
+            .collect::<Vec<u64>>()
+    });
+    KeyedSide {
+        ids: sorted_ids,
+        keys: sorted_keys,
+        k,
+        packed: sorted_packed,
+        hot,
+    }
+}
 
+impl KeyedSide {
     /// The key at sorted position `p`.
     #[inline]
     fn key(&self, p: usize) -> &[Value] {
         &self.keys[p * self.k..(p + 1) * self.k]
     }
 
+    /// Compares this side's key at `i` with `other`'s key at `j`: one
+    /// integer compare when the pair is packed (the words share a spec),
+    /// a slice compare otherwise.
+    #[inline]
+    fn cmp_at(&self, other: &KeyedSide, i: usize, j: usize) -> Ordering {
+        match (&self.packed, &other.packed) {
+            (Some(a), Some(b)) => a[i].cmp(&b[j]),
+            _ => self.key(i).cmp(other.key(j)),
+        }
+    }
+
+    /// True iff positions `p` and `q` of this side hold equal keys.
+    #[inline]
+    fn same_key(&self, p: usize, q: usize) -> bool {
+        match &self.packed {
+            Some(w) => w[p] == w[q],
+            None => self.key(p) == self.key(q),
+        }
+    }
+
     /// End of the equal-key run starting at `start`.
     #[inline]
     fn run_end(&self, start: usize) -> usize {
-        let head = self.key(start);
         let mut end = start + 1;
-        while end < self.ids.len() && self.key(end) == head {
+        while end < self.ids.len() && self.same_key(start, end) {
             end += 1;
         }
         end
     }
 
-    /// First sorted position whose key is `>= key` (binary search; the
-    /// shard planner aligns right-side ranges to left-side boundaries
-    /// with this).
-    fn lower_bound(&self, key: &[Value]) -> usize {
-        crate::exec::lower_bound_by(self.ids.len(), |p| self.key(p) < key)
+    /// First sorted position whose key is `>=` the key at `other`'s
+    /// position `p` (binary search; the shard planner aligns right-side
+    /// ranges to left-side boundaries with this).
+    fn lower_bound_at(&self, other: &KeyedSide, p: usize) -> usize {
+        match (&self.packed, &other.packed) {
+            (Some(a), Some(b)) => {
+                let target = b[p];
+                crate::exec::lower_bound_by(self.ids.len(), |q| a[q] < target)
+            }
+            _ => {
+                let key = other.key(p);
+                crate::exec::lower_bound_by(self.ids.len(), |q| self.key(q) < key)
+            }
+        }
     }
 }
 
@@ -348,17 +491,39 @@ pub fn bag_join_merge_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Bag> {
 /// Merge-join body shared by the dispatcher (which already built the
 /// plan) and the public entry points.
 fn bag_join_merge_planned(r: &Bag, s: &Bag, plan: &JoinPlan, cfg: &ExecConfig) -> Result<Bag> {
-    let left = KeyedSide::build(
-        r.store(),
-        r.live_ids().collect(),
-        &plan.left_key,
-        r.is_sealed(),
-    );
-    let right = KeyedSide::build(
-        s.store(),
-        s.live_ids().collect(),
-        &plan.right_key,
-        s.is_sealed(),
+    bag_join_merge_impl(r, s, plan, cfg, true)
+}
+
+#[doc(hidden)]
+pub fn bag_join_merge_baseline_with(r: &Bag, s: &Bag, cfg: &ExecConfig) -> Result<Bag> {
+    // Pre-packing behavior (slice compares, linear advancement): the
+    // reference the E16 bench and CI speedup gate measure against, and
+    // the oracle the equivalence property tests compare to.
+    let plan = JoinPlan::new(r.schema(), s.schema());
+    bag_join_merge_impl(r, s, &plan, cfg, false)
+}
+
+fn bag_join_merge_impl(
+    r: &Bag,
+    s: &Bag,
+    plan: &JoinPlan,
+    cfg: &ExecConfig,
+    hot: bool,
+) -> Result<Bag> {
+    let (left, right) = build_keyed_pair(
+        SideInput {
+            store: r.store(),
+            ids: r.live_ids().collect(),
+            key: &plan.left_key,
+            sealed: r.is_sealed(),
+        },
+        SideInput {
+            store: s.store(),
+            ids: s.live_ids().collect(),
+            key: &plan.right_key,
+            sealed: s.is_sealed(),
+        },
+        hot,
     );
 
     let shards = cfg.shards_for(left.ids.len().min(right.ids.len()));
@@ -386,8 +551,8 @@ fn bag_join_merge_planned(r: &Bag, s: &Bag, plan: &JoinPlan, cfg: &ExecConfig) -
         left.ids.len(),
         right.ids.len(),
         shards,
-        |p| left.key(p - 1) == left.key(p),
-        |p| right.lower_bound(left.key(p)),
+        |p| left.same_key(p - 1, p),
+        |p| right.lower_bound_at(&left, p),
     );
     let runs = run_tasks(cfg.threads, tasks, |(lr, rr)| {
         // Initial guess mirroring the sequential pre-sizing: at least one
@@ -409,6 +574,14 @@ fn bag_join_merge_planned(r: &Bag, s: &Bag, plan: &JoinPlan, cfg: &ExecConfig) -
 
 /// The group-by-group multiply-out of the merge join over one aligned
 /// pair of key ranges, emitting `(combined row, multiplicity)`.
+///
+/// Key compares go through [`KeyedSide::cmp_at`] (single integer
+/// compares when the pair is packed). On skewed ranges (length ratio ≥
+/// [`crate::exec::GALLOP_RATIO`]) the non-matching advancement gallops:
+/// the Less/Greater arms bulk-skip to the next candidate position by
+/// exponential search instead of stepping once. Nothing is emitted
+/// during advancement, so the output is bit-identical to the linear
+/// sweep.
 #[allow(clippy::too_many_arguments)] // internal: bundling would just rename the args
 fn merge_range(
     r: &Bag,
@@ -421,11 +594,30 @@ fn merge_range(
     scratch: &mut Vec<Value>,
     mut emit: impl FnMut(&[Value], u64),
 ) -> Result<()> {
+    let gallop = left.hot
+        && (l_range.len() >= crate::exec::GALLOP_RATIO * r_range.len().max(1)
+            || r_range.len() >= crate::exec::GALLOP_RATIO * l_range.len().max(1));
     let (mut i, mut j) = (l_range.start, r_range.start);
     while i < l_range.end && j < r_range.end {
-        match left.key(i).cmp(right.key(j)) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
+        match left.cmp_at(right, i, j) {
+            Ordering::Less => {
+                i = if gallop {
+                    crate::exec::gallop_bound(i, l_range.end, |p| {
+                        left.cmp_at(right, p, j) == Ordering::Less
+                    })
+                } else {
+                    i + 1
+                };
+            }
+            Ordering::Greater => {
+                j = if gallop {
+                    crate::exec::gallop_bound(j, r_range.end, |p| {
+                        left.cmp_at(right, i, p) == Ordering::Greater
+                    })
+                } else {
+                    j + 1
+                };
+            }
             Ordering::Equal => {
                 let i_end = left.run_end(i).min(l_range.end);
                 let j_end = right.run_end(j).min(r_range.end);
@@ -631,26 +823,50 @@ pub fn relation_join_merge(r: &Relation, s: &Relation) -> Relation {
 /// Merge-join body shared by the dispatcher (which already built the
 /// plan) and the public entry point.
 fn relation_join_merge_planned(r: &Relation, s: &Relation, plan: &JoinPlan) -> Relation {
-    let left = KeyedSide::build(
-        r.store(),
-        (0..r.len() as u32).collect(),
-        &plan.left_key,
-        r.is_sealed(),
-    );
-    let right = KeyedSide::build(
-        s.store(),
-        (0..s.len() as u32).collect(),
-        &plan.right_key,
-        s.is_sealed(),
+    let (left, right) = build_keyed_pair(
+        SideInput {
+            store: r.store(),
+            ids: (0..r.len() as u32).collect(),
+            key: &plan.left_key,
+            sealed: r.is_sealed(),
+        },
+        SideInput {
+            store: s.store(),
+            ids: (0..s.len() as u32).collect(),
+            key: &plan.right_key,
+            sealed: s.is_sealed(),
+        },
+        true,
     );
 
     let mut out = Relation::with_capacity(plan.out.clone(), left.ids.len().max(right.ids.len()));
     let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
+    // Same hot-loop shape as the bag-side `merge_range`: packed key
+    // compares plus galloped advancement under skew, bit-identical to
+    // the linear slice-compare sweep.
+    let gallop = left.ids.len() >= crate::exec::GALLOP_RATIO * right.ids.len().max(1)
+        || right.ids.len() >= crate::exec::GALLOP_RATIO * left.ids.len().max(1);
     let (mut i, mut j) = (0, 0);
     while i < left.ids.len() && j < right.ids.len() {
-        match left.key(i).cmp(right.key(j)) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
+        match left.cmp_at(&right, i, j) {
+            Ordering::Less => {
+                i = if gallop {
+                    crate::exec::gallop_bound(i, left.ids.len(), |p| {
+                        left.cmp_at(&right, p, j) == Ordering::Less
+                    })
+                } else {
+                    i + 1
+                };
+            }
+            Ordering::Greater => {
+                j = if gallop {
+                    crate::exec::gallop_bound(j, right.ids.len(), |p| {
+                        left.cmp_at(&right, i, p) == Ordering::Greater
+                    })
+                } else {
+                    j + 1
+                };
+            }
             Ordering::Equal => {
                 let i_end = left.run_end(i);
                 let j_end = right.run_end(j);
@@ -1017,6 +1233,26 @@ mod tests {
         // 0.51 ms hash vs 0.61 ms merge)
         assert_eq!(JoinStrategy::select(un(4096), un(4096)), JoinStrategy::Hash);
         assert_eq!(JoinStrategy::select(so(4096), un(4096)), JoinStrategy::Hash);
+        // ... but a sort-free side with a live packed view flips the
+        // sequential case to merge (integer-compare sweep), on either
+        // side; packed without sort-free does not
+        let sop = |n: usize| JoinSide::new(n, true).with_packed(true);
+        let unp = |n: usize| JoinSide::new(n, false).with_packed(true);
+        assert_eq!(
+            JoinStrategy::select(sop(4096), un(4096)),
+            JoinStrategy::SortMerge
+        );
+        assert_eq!(
+            JoinStrategy::select(un(4096), sop(4096)),
+            JoinStrategy::SortMerge
+        );
+        assert_eq!(
+            JoinStrategy::select(unp(4096), un(4096)),
+            JoinStrategy::Hash
+        );
+        // the small-side and ratio rules still come first
+        assert_eq!(JoinStrategy::select(sop(63), sop(63)), JoinStrategy::Hash);
+        assert_eq!(JoinStrategy::select(sop(64), un(512)), JoinStrategy::Hash);
         // ... unless sharding spreads the sweep across threads
         let cfg = ExecConfig {
             threads: 4,
@@ -1031,6 +1267,86 @@ mod tests {
             JoinStrategy::select_with(so(512), un(512), &cfg),
             JoinStrategy::Hash
         );
+    }
+
+    #[test]
+    fn packed_merge_join_matches_slice_baseline() {
+        // Multi-column keys with repeats and skewed sizes: exercises the
+        // shared-spec packing, the tie-broken permutation sort, and the
+        // galloped advancement — all of which must reproduce the
+        // slice-compare linear baseline byte for byte.
+        let mut r = Bag::new(schema(&[0, 1, 2, 3]));
+        let mut s = Bag::new(schema(&[1, 2, 3, 4]));
+        for i in 0..800u64 {
+            r.insert(
+                vec![Value(i), Value(i % 7), Value(i % 5), Value(i % 3)],
+                i % 9 + 1,
+            )
+            .unwrap();
+        }
+        for i in 0..60u64 {
+            s.insert(
+                vec![Value(i % 7), Value(i % 5), Value(i % 3), Value(i + 1000)],
+                i % 4 + 1,
+            )
+            .unwrap();
+        }
+        for sealed in [false, true] {
+            if sealed {
+                r.seal();
+                s.seal();
+            }
+            for threads in [1usize, 2, 4] {
+                let cfg = ExecConfig {
+                    threads,
+                    min_parallel_support: 1,
+                };
+                let base = bag_join_merge_baseline_with(&r, &s, &cfg).unwrap();
+                let hot = bag_join_merge_with(&r, &s, &cfg).unwrap();
+                assert_eq!(hot, base, "sealed = {sealed}, threads = {threads}");
+                let base_rows: Vec<&[Value]> = base.iter().map(|(row, _)| row).collect();
+                let hot_rows: Vec<&[Value]> = hot.iter().map(|(row, _)| row).collect();
+                assert_eq!(
+                    hot_rows, base_rows,
+                    "sealed = {sealed}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_pair_skips_oversized_keys() {
+        // Key values near u64::MAX blow the 64-bit shared-word budget on
+        // a 2-column key; the pair must fall back to slice compares and
+        // still agree with the baseline.
+        let mut r = Bag::new(schema(&[0, 1, 2]));
+        let mut s = Bag::new(schema(&[1, 2, 3]));
+        for i in 0..200u64 {
+            r.insert(
+                vec![
+                    Value(i),
+                    Value(u64::MAX - i % 11),
+                    Value(u64::MAX / 2 + i % 5),
+                ],
+                2,
+            )
+            .unwrap();
+            s.insert(
+                vec![
+                    Value(u64::MAX - i % 11),
+                    Value(u64::MAX / 2 + i % 5),
+                    Value(i),
+                ],
+                3,
+            )
+            .unwrap();
+        }
+        r.seal();
+        s.seal();
+        let cfg = ExecConfig::sequential();
+        let base = bag_join_merge_baseline_with(&r, &s, &cfg).unwrap();
+        let hot = bag_join_merge_with(&r, &s, &cfg).unwrap();
+        assert_eq!(hot, base);
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! columnar [`RowStore`] arena whose interning provides set semantics for
 //! free, with the same sealed sorted-run invariant.
 
+use crate::pack::{PackedView, PACK_MIN_ROWS};
 use crate::store::RowStore;
 use crate::{Bag, CoreError, Result, Schema, Value};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A finite relation over a fixed schema.
 #[derive(Clone)]
@@ -20,6 +22,10 @@ pub struct Relation {
     store: RowStore,
     /// True iff rows are laid out in strictly increasing lex order.
     sealed: bool,
+    /// Cached packed-word view ([`crate::pack`]); same lifecycle as the
+    /// cache on [`crate::Bag`]: reset whenever the arena grows, rebuilt
+    /// by the seal, ignored by the content-based `PartialEq`.
+    packed: OnceLock<Option<Box<PackedView>>>,
 }
 
 impl Relation {
@@ -30,6 +36,7 @@ impl Relation {
             schema,
             store: RowStore::new(arity),
             sealed: true,
+            packed: OnceLock::new(),
         }
     }
 
@@ -40,6 +47,7 @@ impl Relation {
             schema,
             store: RowStore::with_capacity(arity, n),
             sealed: true,
+            packed: OnceLock::new(),
         }
     }
 
@@ -102,6 +110,10 @@ impl Relation {
         }
         let last = self.store.len();
         let (id, fresh) = self.store.intern(row);
+        if fresh {
+            // The arena changed; any cached packed view is stale.
+            self.packed = OnceLock::new();
+        }
         if fresh && self.sealed && last > 0 {
             let prev = crate::store::RowId(id.0 - 1);
             if self.store.row(prev) >= row {
@@ -117,6 +129,7 @@ impl Relation {
     /// [`Relation::mark_sealed`].
     pub(crate) fn push_unique_row(&mut self, row: &[Value]) {
         debug_assert_eq!(row.len(), self.schema.arity());
+        self.packed = OnceLock::new();
         self.store.push_unique_unchecked(row);
         self.sealed = false;
     }
@@ -160,6 +173,35 @@ impl Relation {
         let order = self.store.sorted_order_with(order, cfg);
         self.store = self.store.reordered_with(&order, cfg);
         self.sealed = true;
+        self.rebuild_packed();
+    }
+
+    /// The cached packed-word view of the rows ([`crate::pack`]); same
+    /// contract as [`crate::Bag::packed_view`].
+    pub fn packed_view(&self) -> Option<&PackedView> {
+        if !self.sealed {
+            return None;
+        }
+        self.packed
+            .get_or_init(|| PackedView::build(&self.store).map(Box::new))
+            .as_deref()
+    }
+
+    /// True iff a packed view is already materialized; same contract as
+    /// [`crate::Bag::packed_ready`].
+    pub fn packed_ready(&self) -> bool {
+        self.sealed && self.packed.get().is_some_and(|v| v.is_some())
+    }
+
+    /// Eagerly (re)builds the packed cache after a seal; skipped below
+    /// [`PACK_MIN_ROWS`], mirroring the bag-side policy.
+    fn rebuild_packed(&mut self) {
+        self.packed = OnceLock::new();
+        if self.store.len() >= PACK_MIN_ROWS {
+            let _ = self
+                .packed
+                .set(PackedView::build(&self.store).map(Box::new));
+        }
     }
 
     /// The backing columnar arena, for single-pass scans. Ids are dense

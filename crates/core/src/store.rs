@@ -265,13 +265,20 @@ impl RowStore {
     /// the sort half of the parallel seal, fanned out per `cfg` through
     /// [`crate::exec::parallel_sort_by`]. Interned rows are distinct, so
     /// the order is total and independent of the chunking.
+    ///
+    /// When a transient packed view fits ([`crate::pack::PackedView`]),
+    /// every comparison in the sort is one integer compare on the packed
+    /// word column instead of a `&[Value]` slice walk; the encoding is
+    /// injective and order-preserving, so the resulting order is
+    /// bit-identical to the slice-compare path.
     pub(crate) fn sorted_order_with(
         &self,
         order: Vec<u32>,
         cfg: &crate::exec::ExecConfig,
     ) -> Vec<u32> {
         let shards = cfg.shards_for(order.len());
-        crate::exec::parallel_sort_by(order, cfg.threads(), shards, |&a, &b| cmp_rows(self, a, b))
+        let ord = crate::pack::RowOrd::new(self, order.len());
+        crate::exec::parallel_sort_by(order, cfg.threads(), shards, |&a, &b| ord.cmp(a, b))
     }
 
     #[inline]

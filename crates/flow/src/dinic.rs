@@ -25,6 +25,20 @@ pub struct FlowNetwork {
     edges: Vec<Edge>,
     /// Original capacity of each forward edge (for flow reconstruction).
     orig_cap: Vec<(usize, u64)>, // EdgeId -> (edge index, original cap)
+    /// BFS level scratch, reused across [`FlowNetwork::max_flow`] calls.
+    level_buf: Vec<i32>,
+    /// DFS edge-cursor scratch, reused across calls.
+    iter_buf: Vec<usize>,
+    /// Level labels of the last BFS phase that reached the sink, kept as
+    /// a **speculative starting frontier** for the next call: after
+    /// small capacity edits ([`FlowNetwork::set_capacity`]) the old
+    /// layered graph usually still contains the reopened slack, so the
+    /// next solve augments along it directly before falling back to
+    /// fresh BFS phases. Always sound — the DFS only walks
+    /// level-increasing residual edges, so anything it finds is a
+    /// genuine augmenting path whatever the labels — and never affects
+    /// maximality, which the BFS loop certifies as before.
+    warm_level: Vec<i32>,
 }
 
 impl FlowNetwork {
@@ -34,6 +48,9 @@ impl FlowNetwork {
             adj: vec![Vec::new(); n],
             edges: Vec::new(),
             orig_cap: Vec::new(),
+            level_buf: Vec::new(),
+            iter_buf: Vec::new(),
+            warm_level: Vec::new(),
         }
     }
 
@@ -125,12 +142,39 @@ impl FlowNetwork {
     /// The value is returned as `u128` because it is a *sum* of `u64`
     /// capacities and can exceed `u64::MAX` even though each individual
     /// edge flow fits in a `u64`.
+    ///
+    /// Repeated calls reuse the BFS/DFS scratch buffers, and a call that
+    /// follows capacity edits first augments along the **previous**
+    /// sink-reaching level labels (see the `warm_level` field): after a
+    /// small [`FlowNetwork::set_capacity`] edit the reopened slack
+    /// usually sits on the old layered graph, so it drains without any
+    /// new BFS. The fresh BFS phases then run exactly as before, so the
+    /// returned value is the true max-flow value regardless.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u128 {
         assert_ne!(s, t, "source and sink must differ");
         let n = self.adj.len();
         let mut total: u128 = 0;
-        let mut level = vec![-1i32; n];
-        let mut it = vec![0usize; n];
+        let mut level = std::mem::take(&mut self.level_buf);
+        let mut it = std::mem::take(&mut self.iter_buf);
+        level.resize(n, -1);
+        it.resize(n, 0);
+        // Warm phase: speculative blocking flow along the last run's
+        // layered graph. Sound for any labels (the DFS walks only
+        // level-increasing residual edges, so every path it finds is a
+        // genuine augmenting path); the guard just skips labels that
+        // cannot possibly route `s → t`.
+        let warm = std::mem::take(&mut self.warm_level);
+        if warm.len() == n && warm[s] == 0 && warm[t] > 0 {
+            it.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs(s, t, u64::MAX, &warm, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed as u128;
+            }
+        }
+        let mut wrote_warm = false;
         loop {
             // BFS phase: layered residual graph.
             level.iter_mut().for_each(|l| *l = -1);
@@ -146,8 +190,18 @@ impl FlowNetwork {
                 }
             }
             if level[t] < 0 {
+                if !wrote_warm {
+                    // No phase reached the sink this call; the previous
+                    // labels stay the best speculative frontier.
+                    self.warm_level = warm;
+                }
+                self.level_buf = level;
+                self.iter_buf = it;
                 return total;
             }
+            // Keep these labels for the next call's warm phase.
+            self.warm_level.clone_from(&level);
+            wrote_warm = true;
             // DFS phase: blocking flow.
             it.iter_mut().for_each(|i| *i = 0);
             loop {
@@ -326,5 +380,64 @@ mod tests {
         assert_eq!(net.max_flow(0, 2), 5);
         // residual graph has no augmenting path left
         assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    /// Warm restarts across many rounds of capacity edits must agree
+    /// with a cold solve of the same final capacities, on a network with
+    /// enough path diversity that the stale layered graph is sometimes
+    /// wrong (and must then be corrected by the fresh BFS phases).
+    #[test]
+    fn warm_restart_matches_cold_solve_across_edit_rounds() {
+        let build = |caps: &[u64]| {
+            // s=0, left {1,2}, right {3,4}, t=5; 8 capacity slots.
+            let mut net = FlowNetwork::new(6);
+            let ids = [
+                net.add_edge(0, 1, caps[0]),
+                net.add_edge(0, 2, caps[1]),
+                net.add_edge(1, 3, caps[2]),
+                net.add_edge(1, 4, caps[3]),
+                net.add_edge(2, 3, caps[4]),
+                net.add_edge(2, 4, caps[5]),
+                net.add_edge(3, 5, caps[6]),
+                net.add_edge(4, 5, caps[7]),
+            ];
+            (net, ids)
+        };
+        let mut caps = [4u64, 3, 2, 2, 3, 1, 5, 2];
+        let (mut warm, ids) = build(&caps);
+        let mut warm_total = warm.max_flow(0, 5);
+        for round in 0..6u64 {
+            // Deterministic pseudo-random raises (warm restarts only
+            // ever see capacity raises without reduce_flow).
+            for (slot, cap) in caps.iter_mut().enumerate() {
+                *cap += (round * 7 + slot as u64 * 3) % 4;
+                warm.set_capacity(ids[slot], *cap);
+            }
+            warm_total += warm.max_flow(0, 5);
+            let (mut cold, _) = build(&caps);
+            assert_eq!(
+                warm_total,
+                cold.max_flow(0, 5),
+                "round {round}: warm cumulative flow diverged from cold solve"
+            );
+        }
+    }
+
+    /// The speculative warm phase alone (no fresh BFS needed) drains
+    /// slack reopened on the previous layered graph.
+    #[test]
+    fn warm_phase_survives_useless_intermediate_calls() {
+        let mut net = FlowNetwork::new(3);
+        let a = net.add_edge(0, 1, 5);
+        let b = net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 2), 5);
+        // A saturated re-solve reaches the sink with no BFS phase; the
+        // previous sink-reaching labels must survive it.
+        assert_eq!(net.max_flow(0, 2), 0);
+        net.set_capacity(a, 9);
+        net.set_capacity(b, 8);
+        assert_eq!(net.max_flow(0, 2), 3);
+        assert_eq!(net.flow(a), 8);
+        assert_eq!(net.flow(b), 8);
     }
 }

@@ -13,7 +13,15 @@ is below 4: a 1-core container cannot measure parallel speedup, only
 scheduling overhead. CI hosted runners have >= 4 vCPUs, so the gate is
 real there.
 
-Usage: check_speedup.py BENCH_e13.json BENCH_e14.json
+An E16 file (experiment tag starting with "e16") is gated differently:
+it is single-threaded by design, so the check is that on the
+largest-support merge_join row the packed key-code path beats the
+slice-compare baseline by MIN_PACKED_SPEEDUP x. Both columns come from
+the same run of the same binary, so host parallelism is irrelevant —
+the gate only skips (loudly, exit 0) when the largest support is below
+E16_SUPPORT_FLOOR, where the join is too small to time reliably.
+
+Usage: check_speedup.py BENCH_e13.json BENCH_e14.json BENCH_e16.json
 """
 
 import json
@@ -23,10 +31,37 @@ MIN_SPEEDUP = 1.2
 THREADS_BASE = 1
 THREADS_PAR = 4
 
+MIN_PACKED_SPEEDUP = 1.15
+E16_SUPPORT_FLOOR = 4096
+
+
+def check_e16(path: str, doc: dict) -> bool:
+    rows = [r for r in doc["results"] if r.get("kind") == "merge_join"]
+    if not rows:
+        print(f"{path}: no merge_join rows — nothing to gate")
+        return False
+    largest = max(row["support"] for row in rows)
+    if largest < E16_SUPPORT_FLOOR:
+        print(f"{path}: largest merge_join support {largest} < "
+              f"{E16_SUPPORT_FLOOR}; too small to time reliably — skipping")
+        return True
+    row = next(r for r in rows if r["support"] == largest)
+    packed, slice_ms = row["packed_join_ms"], row["slice_join_ms"]
+    speedup = slice_ms / packed if packed > 0 else float("inf")
+    ok = speedup >= MIN_PACKED_SPEEDUP
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{path}: support={largest} packed={packed:.3f} ms "
+          f"slice={slice_ms:.3f} ms speedup={speedup:.2f}x")
+    print(f"  {verdict}: packed merge join vs slice baseline "
+          f"(required >= {MIN_PACKED_SPEEDUP}x)")
+    return ok
+
 
 def check(path: str) -> bool:
     with open(path) as fh:
         doc = json.load(fh)
+    if doc.get("experiment", "").startswith("e16"):
+        return check_e16(path, doc)
     host = doc.get("host_parallelism", 0)
     if host < THREADS_PAR:
         print(f"{path}: host_parallelism={host} < {THREADS_PAR}; "

@@ -1,0 +1,271 @@
+//! Property tests: the hot-loop layer (packed key codes, galloping
+//! merges, session-lifetime scratch arenas) is a pure re-encoding.
+//!
+//! Each optimisation must be observationally invisible: the packed
+//! per-row words order exactly as lexicographic row compares, the
+//! galloping advancement emits the bit-identical merge, the packed
+//! merge join reproduces the slice-compare baseline at every thread
+//! count, delta repair (which gallops its fresh-tail merge) lands on
+//! the same bag a from-scratch rebuild does, and a warm `Session`
+//! (whose scratch arenas have been reused across a hundred checks)
+//! reports exactly what a fresh `Session` reports.
+
+use bag_consistency::prelude::*;
+use bagcons_core::exec::merge_sorted_runs_for_bench;
+use bagcons_core::join::{bag_join_merge_baseline_with, bag_join_merge_with};
+use bagcons_core::{DeltaSet, RowId};
+use proptest::prelude::*;
+
+/// Thread counts under test (the packed/gallop paths shard above 1).
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// A config that shards everything it legally can.
+fn cfg(threads: usize) -> ExecConfig {
+    ExecConfig::builder()
+        .threads(threads)
+        .min_parallel_support(1)
+        .build()
+        .unwrap()
+}
+
+/// Strategy: a random bag over `{A_first..A_first+arity}`.
+fn arb_bag(first: u32, arity: u32, domain: u64, max_support: usize) -> impl Strategy<Value = Bag> {
+    let schema = Schema::range(first, first + arity);
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0..domain, arity as usize),
+            1..=8u64,
+        ),
+        0..=max_support,
+    )
+    .prop_map(move |rows| {
+        let mut bag = Bag::new(schema.clone());
+        for (row, m) in rows {
+            let vals: Vec<Value> = row.into_iter().map(Value::new).collect();
+            bag.insert(vals, m).unwrap();
+        }
+        bag
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The sealed packed view orders row ids exactly as lexicographic
+    /// compares over the arena rows do — on every pair of ids.
+    #[test]
+    fn packed_view_cmp_matches_lexicographic_row_cmp(
+        bag in arb_bag(0, 3, 6, 48),
+    ) {
+        let mut bag = bag;
+        bag.seal();
+        if let Some(view) = bag.packed_view() {
+            let store = bag.store();
+            let n = store.len() as u32;
+            prop_assert_eq!(view.len(), store.len());
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(
+                        view.cmp(a, b),
+                        store.row(RowId(a)).cmp(store.row(RowId(b))),
+                        "packed cmp({}, {}) disagrees with row cmp", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// The packed + galloping merge join is bit-identical to the
+    /// slice-compare, linear-advance baseline at threads 1/2/4 — on a
+    /// 3-attribute join key, where the packed word covers a real prefix.
+    #[test]
+    fn packed_merge_join_matches_slice_baseline_wide_key(
+        r in arb_bag(0, 4, 3, 24),
+        s in arb_bag(1, 4, 3, 24),
+    ) {
+        let baseline = bag_join_merge_baseline_with(&r, &s, &ExecConfig::sequential()).unwrap();
+        let mut rs = r.clone();
+        let mut ss = s.clone();
+        rs.seal();
+        ss.seal();
+        for threads in THREADS {
+            let hot = bag_join_merge_with(&r, &s, &cfg(threads)).unwrap();
+            prop_assert_eq!(hot.sorted_rows(), baseline.sorted_rows());
+            // Sealed operands route through the cached packed views.
+            let hot_sealed = bag_join_merge_with(&rs, &ss, &cfg(threads)).unwrap();
+            prop_assert_eq!(hot_sealed.sorted_rows(), baseline.sorted_rows());
+        }
+    }
+
+    /// Same contract on the 2-attribute overlap the rest of the suite
+    /// uses (single shared key column, heavy duplicate groups).
+    #[test]
+    fn packed_merge_join_matches_slice_baseline_narrow_key(
+        r in arb_bag(0, 2, 3, 20),
+        s in arb_bag(1, 2, 3, 20),
+    ) {
+        let baseline = bag_join_merge_baseline_with(&r, &s, &ExecConfig::sequential()).unwrap();
+        for threads in THREADS {
+            let hot = bag_join_merge_with(&r, &s, &cfg(threads)).unwrap();
+            prop_assert_eq!(hot.sorted_rows(), baseline.sorted_rows());
+        }
+    }
+
+    /// Galloping advancement is a pure access-path change: the merged
+    /// run is bit-identical to the linear merge, at every length skew
+    /// the generator produces (including the degenerate empty sides).
+    #[test]
+    fn galloping_run_merge_is_bit_identical(
+        mut a in proptest::collection::vec(0..1000u64, 0..400),
+        mut b in proptest::collection::vec(0..1000u64, 0..25),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let galloped =
+            merge_sorted_runs_for_bench(a.clone(), b.clone(), |x, y| x.cmp(y), true);
+        let linear = merge_sorted_runs_for_bench(a, b, |x, y| x.cmp(y), false);
+        prop_assert_eq!(galloped, linear);
+    }
+
+    /// Delta repair on a sealed bag (packed-order binary search for the
+    /// touched rows, galloping fresh-tail merge) lands on exactly the
+    /// bag a from-scratch rebuild produces — at threads 1/2/4.
+    #[test]
+    fn delta_repair_matches_from_scratch_rebuild(
+        base in arb_bag(0, 2, 5, 30),
+        bumps in proptest::collection::vec(
+            (proptest::collection::vec(0..5u64, 2), 1..=4u64), 0..12),
+        drops in proptest::collection::vec(0..30usize, 0..6),
+    ) {
+        let mut sealed = base.clone();
+        sealed.seal();
+        let mut delta = DeltaSet::new(base.schema().clone());
+        // Fresh or growing rows...
+        for (row, d) in &bumps {
+            delta.bump_u64s(row, *d as i64).unwrap();
+        }
+        // ...plus full removals of existing rows (never below zero).
+        let rows: Vec<(Vec<Value>, u64)> = sealed
+            .sorted_rows()
+            .iter()
+            .map(|(r, m)| (r.to_vec(), *m))
+            .collect();
+        let mut dropped = std::collections::BTreeSet::new();
+        for &i in &drops {
+            if i < rows.len() && dropped.insert(i) {
+                let key: Vec<u64> = rows[i].0.iter().map(|v| v.get()).collect();
+                delta.bump_u64s(&key, -(rows[i].1 as i64)).unwrap();
+            }
+        }
+        // Model: replay base + delta into a fresh bag.
+        let mut expected = Bag::new(base.schema().clone());
+        for (i, (row, m)) in rows.iter().enumerate() {
+            if !dropped.contains(&i) {
+                expected.insert(row.clone(), *m).unwrap();
+            }
+        }
+        for (row, d) in &bumps {
+            let vals: Vec<Value> = row.iter().copied().map(Value::new).collect();
+            expected.insert(vals, *d).unwrap();
+        }
+        for threads in THREADS {
+            let mut repaired = sealed.clone();
+            repaired.apply_delta_with(&delta, &cfg(threads)).unwrap();
+            prop_assert!(repaired.is_sealed());
+            prop_assert_eq!(&repaired, &expected);
+            prop_assert_eq!(repaired.sorted_rows(), expected.sorted_rows());
+        }
+    }
+}
+
+/// A sealed bag big enough to pack must actually carry a packed view —
+/// pins the property test above against going vacuously green.
+#[test]
+fn sealed_bag_above_floor_has_packed_view() {
+    let mut bag = Bag::new(Schema::range(0, 3));
+    for i in 0..64u64 {
+        bag.insert(vec![Value(i % 8), Value(i / 8), Value(i % 3)], i % 4 + 1)
+            .unwrap();
+    }
+    bag.seal();
+    let view = bag.packed_view().expect("64 sealed rows pack");
+    assert_eq!(view.len(), bag.store().len());
+    // Mutating the arena invalidates the cached view; the rebuilt view
+    // covers the new row.
+    let before = bag.store().len();
+    bag.insert(vec![Value(9), Value(9), Value(9)], 1).unwrap();
+    bag.seal();
+    let view = bag.packed_view().expect("repacks after mutation");
+    assert_eq!(view.len(), before + 1);
+}
+
+/// Strips the volatile `"micros": <n>` timings out of a JSON report so
+/// two runs of the same check compare equal.
+fn strip_micros(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"micros\":") {
+        let end = pos + "\"micros\":".len();
+        out.push_str(&rest[..end]);
+        rest = &rest[end..];
+        out.push('0');
+        rest = rest.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// A hundred checks against one warm `Session` (scratch arenas reused
+/// throughout) report exactly what a fresh per-check `Session` reports:
+/// same decision, branch, search effort, witness bag, and JSON report
+/// (timings normalised).
+#[test]
+fn warm_session_checks_match_fresh_sessions() {
+    // A consistent chain, an inconsistent pair, and a cyclic triangle —
+    // one workload per dichotomy branch and decision.
+    let chain = |off: u64| -> Vec<Bag> {
+        let r = Bag::from_u64s(
+            Schema::range(0, 2),
+            [(&[off, 1][..], 2), (&[off + 1, 2][..], 1)],
+        )
+        .unwrap();
+        let s = Bag::from_u64s(
+            Schema::range(1, 3),
+            [(&[1u64, 5][..], 2), (&[2u64, 6][..], 1)],
+        )
+        .unwrap();
+        vec![r, s]
+    };
+    let inconsistent = vec![
+        Bag::from_u64s(Schema::range(0, 2), [(&[0u64, 0][..], 1)]).unwrap(),
+        Bag::from_u64s(Schema::range(1, 3), [(&[0u64, 0][..], 2)]).unwrap(),
+    ];
+    let wide: Vec<(&[u64], u64)> = vec![(&[0, 0], 1), (&[1, 1], 1)];
+    let triangle = vec![
+        Bag::from_u64s(Schema::range(0, 2), wide.clone()).unwrap(),
+        Bag::from_u64s(Schema::range(1, 3), wide.clone()).unwrap(),
+        Bag::from_u64s(Schema::from_attrs([Attr::new(0), Attr::new(2)]), wide).unwrap(),
+    ];
+    let names = AttrNames::new();
+    let warm = Session::builder().threads(2).build().unwrap();
+    for round in 0..100u64 {
+        let bags = match round % 3 {
+            0 => chain(round % 7),
+            1 => inconsistent.clone(),
+            _ => triangle.clone(),
+        };
+        let refs: Vec<&Bag> = bags.iter().collect();
+        let from_warm = warm.check(&refs).unwrap();
+        let fresh = Session::builder().threads(2).build().unwrap();
+        let from_fresh = fresh.check(&refs).unwrap();
+        assert_eq!(from_warm.decision.as_str(), from_fresh.decision.as_str());
+        assert_eq!(from_warm.branch, from_fresh.branch);
+        assert_eq!(from_warm.search_nodes, from_fresh.search_nodes);
+        assert_eq!(from_warm.witness, from_fresh.witness);
+        assert_eq!(
+            strip_micros(&from_warm.json(&names)),
+            strip_micros(&from_fresh.json(&names)),
+            "round {round}: warm and fresh sessions must render identically"
+        );
+    }
+}
