@@ -53,7 +53,7 @@ pub fn schema_hypergraph(bags: &[&Bag]) -> Hypergraph {
 /// Outcome of the generic ILP decision, with search statistics.
 #[derive(Clone, Debug)]
 pub struct IlpDecision {
-    /// `Sat(witness)` / `Unsat` / `NodeLimit`.
+    /// `Sat(witness)` / `Unsat` / `Aborted(reason)`.
     pub outcome: IlpOutcome,
     /// DFS nodes explored.
     pub stats: SolveStats,

@@ -33,7 +33,7 @@ pub fn k_wise_consistent(bags: &[&Bag], k: usize, cfg: &SolverConfig) -> Result<
             match globally_consistent_via_ilp(&subset, cfg)?.outcome {
                 IlpOutcome::Sat(_) => {}
                 IlpOutcome::Unsat => return Ok(Some(false)),
-                IlpOutcome::NodeLimit => return Ok(None),
+                IlpOutcome::Aborted(_) => return Ok(None),
             }
         }
         if left == 0 {

@@ -6,7 +6,7 @@
 //! `N(R,S)`.
 
 use bagcons_core::exec::ScratchPool;
-use bagcons_core::{Bag, ExecConfig, Result, Schema};
+use bagcons_core::{Bag, CoreError, ExecConfig, Result, Schema};
 use bagcons_flow::ConsistencyNetwork;
 
 /// Lemma 2 (1)⟺(2): decides consistency of two bags by comparing the
@@ -121,12 +121,19 @@ pub fn first_inconsistent_pair(bags: &[&Bag]) -> Result<Option<(usize, usize)>> 
 }
 
 /// [`first_inconsistent_pair`] under an explicit execution configuration.
+///
+/// Polls `cfg`'s [`bagcons_core::Deadline`] between pairs: an expiry or
+/// cancellation surfaces as [`CoreError::Aborted`], which the session
+/// layer converts into a graceful `Decision::Unknown`.
 pub fn first_inconsistent_pair_with(
     bags: &[&Bag],
     cfg: &ExecConfig,
 ) -> Result<Option<(usize, usize)>> {
     for i in 0..bags.len() {
         for j in (i + 1)..bags.len() {
+            if let Some(reason) = cfg.deadline().poll() {
+                return Err(CoreError::Aborted(reason));
+            }
             if !bags_consistent_with(bags[i], bags[j], cfg)? {
                 return Ok(Some((i, j)));
             }

@@ -51,7 +51,9 @@ use crate::reducer::{acyclic_join_with, naive_bag_semijoin_pooled_with, semijoin
 use crate::report::{Json, Lemma2Report, Render};
 use bagcons_core::exec::ScratchPool;
 use bagcons_core::io::{parse_bag_with, write_bag, NameInterner, ParseError};
-use bagcons_core::{AttrNames, Bag, CoreError, ExecConfig, Relation, Schema};
+use bagcons_core::{
+    AbortReason, AttrNames, Bag, CoreError, Deadline, ExecConfig, Relation, Schema,
+};
 use bagcons_hypergraph::{
     find_obstruction, is_acyclic, is_chordal, is_conformal, rip_order, Hypergraph, Obstruction,
     ObstructionKind,
@@ -294,6 +296,10 @@ pub struct CheckOutcome {
     pub witness: Option<Bag>,
     /// The first inconsistent index pair (acyclic-branch refusals only).
     pub inconsistent_pair: Option<(usize, usize)>,
+    /// Why the decision is [`Decision::Unknown`], when it is: the node
+    /// budget ran out, the session deadline expired, or a
+    /// [`bagcons_core::CancelToken`] fired. `None` on decided outcomes.
+    pub abort_reason: Option<AbortReason>,
     /// Wall-clock timings per pipeline stage, in execution order.
     pub stages: Vec<StageTiming>,
 }
@@ -311,10 +317,13 @@ impl Render for CheckOutcome {
                 self.branch.path_str(),
                 self.search_nodes
             ),
-            Decision::Unknown => format!(
-                "undecided: search budget exhausted ({} nodes)",
-                self.search_nodes
-            ),
+            Decision::Unknown => {
+                let why = match self.abort_reason {
+                    Some(reason) => reason.describe(),
+                    None => "search budget exhausted",
+                };
+                format!("undecided: {why} ({} nodes)", self.search_nodes)
+            }
         }
     }
 
@@ -325,6 +334,11 @@ impl Render for CheckOutcome {
         j.field_str("decision", self.decision.as_str());
         j.field_str("branch", self.branch.as_str());
         j.field_u64("search_nodes", self.search_nodes);
+        j.key("abort_reason");
+        match self.abort_reason {
+            Some(reason) => j.string(reason.as_str()),
+            None => j.null(),
+        }
         j.key("inconsistent_pair");
         match self.inconsistent_pair {
             Some((a, b)) => {
@@ -365,7 +379,13 @@ impl Render for WitnessOutcome {
     fn text(&self, names: &AttrNames) -> String {
         match (&self.check.decision, self.witness()) {
             (Decision::Consistent, Some(w)) => write_bag(w, names),
-            (Decision::Unknown, _) => "undecided: search budget exhausted".to_string(),
+            (Decision::Unknown, _) => {
+                let why = match self.check.abort_reason {
+                    Some(reason) => reason.describe(),
+                    None => "search budget exhausted",
+                };
+                format!("undecided: {why}")
+            }
             _ => "no witness: the bags are not globally consistent".to_string(),
         }
     }
@@ -377,6 +397,11 @@ impl Render for WitnessOutcome {
         j.field_str("decision", self.check.decision.as_str());
         j.field_str("branch", self.check.branch.as_str());
         j.field_u64("search_nodes", self.check.search_nodes);
+        j.key("abort_reason");
+        match self.check.abort_reason {
+            Some(reason) => j.string(reason.as_str()),
+            None => j.null(),
+        }
         j.key("witness");
         match self.witness() {
             Some(w) => json_bag_rows(&mut j, w, names),
@@ -703,6 +728,7 @@ pub struct SessionBuilder {
     exec: Option<ExecConfig>,
     solver: SolverConfig,
     budget: Option<u64>,
+    deadline: Option<Duration>,
     max_mismatches: Option<usize>,
 }
 
@@ -737,6 +763,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Wall-clock budget for each top-level operation: every
+    /// [`Session::check`], [`Session::witness`], and
+    /// [`crate::stream::ConsistencyStream::update`] arms a fresh
+    /// [`Deadline`] this far in the future and polls it cooperatively
+    /// (shard-chunk boundaries, flow phases, search-node batches, and
+    /// between bag pairs). On expiry the operation degrades gracefully to
+    /// [`Decision::Unknown`] with
+    /// [`AbortReason::DeadlineExceeded`] — it never hangs and is never
+    /// killed mid-mutation. Composes with any deadline already on the
+    /// [`SessionBuilder::exec`] config (the earlier one wins).
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
     /// Cap on the marginal mismatches [`Session::diagnose`] collects
     /// (default 32).
     pub fn max_mismatches(mut self, cap: usize) -> Self {
@@ -754,6 +795,7 @@ impl SessionBuilder {
                 ExecConfig::builder()
                     .threads(threads)
                     .min_parallel_support(base.min_parallel_support())
+                    .deadline(base.deadline().clone())
                     .build()?
             }
         };
@@ -764,6 +806,7 @@ impl SessionBuilder {
         Ok(Session {
             exec,
             solver,
+            time_budget: self.deadline,
             interner: NameInterner::new(),
             max_mismatches: self
                 .max_mismatches
@@ -779,6 +822,9 @@ impl SessionBuilder {
 pub struct Session {
     exec: ExecConfig,
     solver: SolverConfig,
+    /// Per-operation wall-clock budget ([`SessionBuilder::deadline`]);
+    /// each top-level call arms a fresh [`Deadline`] from it.
+    time_budget: Option<Duration>,
     interner: NameInterner,
     max_mismatches: usize,
     /// Session-lifetime scratch arenas (network edge buffers, semijoin
@@ -815,6 +861,25 @@ impl Session {
     /// The exact-search configuration the cyclic branch runs under.
     pub fn solver(&self) -> &SolverConfig {
         &self.solver
+    }
+
+    /// The per-operation wall-clock budget, if one is configured
+    /// ([`SessionBuilder::deadline`]).
+    pub fn time_budget(&self) -> Option<Duration> {
+        self.time_budget
+    }
+
+    /// Arms a fresh per-operation [`Deadline`] (the builder's time budget
+    /// merged with any deadline on the exec config) and returns the
+    /// governed exec + solver configs one top-level call runs under.
+    pub(crate) fn arm(&self) -> (ExecConfig, SolverConfig) {
+        let deadline = match self.time_budget {
+            Some(budget) => self.exec.deadline().merged(&Deadline::after(budget)),
+            None => self.exec.deadline().clone(),
+        };
+        let mut solver = self.solver.clone();
+        solver.deadline = solver.deadline.merged(&deadline);
+        (self.exec.clone().with_deadline(deadline), solver)
     }
 
     /// The diagnose mismatch cap.
@@ -855,15 +920,22 @@ impl Session {
     /// Decides global consistency (Theorem 4's dichotomy): polynomial
     /// pairwise + witness-chain on acyclic schemas, exact integer search
     /// on cyclic ones.
+    ///
+    /// Under a [`SessionBuilder::deadline`] (or a cancel token on the
+    /// exec config), expiry mid-pipeline returns
+    /// [`Decision::Unknown`] with the [`CheckOutcome::abort_reason`]
+    /// set — never an error, never a hang.
     pub fn check(&self, bags: &[&Bag]) -> Result<CheckOutcome, SessionError> {
-        Ok(check_impl(bags, &self.solver, &self.exec, &self.scratch)?)
+        let (exec, solver) = self.arm();
+        Ok(check_impl(bags, &solver, &exec, &self.scratch)?)
     }
 
     /// [`Session::check`], rendering the full witness bag when one
     /// exists.
     pub fn witness(&self, bags: &[&Bag]) -> Result<WitnessOutcome, SessionError> {
+        let (exec, solver) = self.arm();
         Ok(WitnessOutcome {
-            check: check_impl(bags, &self.solver, &self.exec, &self.scratch)?,
+            check: check_impl(bags, &solver, &exec, &self.scratch)?,
         })
     }
 
@@ -991,8 +1063,27 @@ impl Session {
     }
 }
 
+/// The graceful-degradation outcome: a governed stage aborted, so the
+/// decision is [`Decision::Unknown`] with the reason attached.
+fn aborted_outcome(branch: Branch, reason: AbortReason, stages: Vec<StageTiming>) -> CheckOutcome {
+    CheckOutcome {
+        decision: Decision::Unknown,
+        branch,
+        search_nodes: 0,
+        witness: None,
+        inconsistent_pair: None,
+        abort_reason: Some(reason),
+        stages,
+    }
+}
+
 /// The canonical dichotomy decision (shared by [`Session::check`] and the
 /// legacy [`crate::dichotomy::decide_global_consistency_exec`]).
+///
+/// Deadline/cancellation aborts ([`CoreError::Aborted`]) from the
+/// pairwise sweep or the witness chain are converted into an
+/// [`Decision::Unknown`] outcome here, so governed callers never see
+/// them as errors.
 pub(crate) fn check_impl(
     bags: &[&Bag],
     solver: &SolverConfig,
@@ -1006,7 +1097,14 @@ pub(crate) fn check_impl(
     push_stage(&mut stages, "schema", t);
     if acyclic {
         let t = Instant::now();
-        let pair = first_inconsistent_pair_with(bags, exec)?;
+        let pair = match first_inconsistent_pair_with(bags, exec) {
+            Ok(pair) => pair,
+            Err(CoreError::Aborted(reason)) => {
+                push_stage(&mut stages, "pairwise", t);
+                return Ok(aborted_outcome(Branch::Acyclic, reason, stages));
+            }
+            Err(e) => return Err(e),
+        };
         push_stage(&mut stages, "pairwise", t);
         if let Some((i, j)) = pair {
             return Ok(CheckOutcome {
@@ -1015,12 +1113,17 @@ pub(crate) fn check_impl(
                 search_nodes: 0,
                 witness: None,
                 inconsistent_pair: Some((i, j)),
+                abort_reason: None,
                 stages,
             });
         }
         let t = Instant::now();
         let witness = match witness_chain(bags, WitnessStrategy::Saturated, exec, pool) {
             Ok(w) => w,
+            Err(AcyclicError::Core(CoreError::Aborted(reason))) => {
+                push_stage(&mut stages, "witness", t);
+                return Ok(aborted_outcome(Branch::Acyclic, reason, stages));
+            }
             Err(AcyclicError::Core(e)) => return Err(e),
             Err(AcyclicError::NotAcyclic(h)) => {
                 unreachable!("hypergraph {h} tested acyclic above")
@@ -1037,6 +1140,7 @@ pub(crate) fn check_impl(
             search_nodes: 0,
             witness: Some(witness),
             inconsistent_pair: None,
+            abort_reason: None,
             stages,
         })
     } else {
@@ -1044,6 +1148,7 @@ pub(crate) fn check_impl(
         let decision = globally_consistent_via_ilp(bags, solver)?;
         push_stage(&mut stages, "search", t);
         let search_nodes = decision.stats.nodes;
+        let mut abort_reason = None;
         let (outcome, witness) = match &decision.outcome {
             IlpOutcome::Sat(_) => {
                 let t = Instant::now();
@@ -1052,7 +1157,10 @@ pub(crate) fn check_impl(
                 (Decision::Consistent, Some(w))
             }
             IlpOutcome::Unsat => (Decision::Inconsistent, None),
-            IlpOutcome::NodeLimit => (Decision::Unknown, None),
+            IlpOutcome::Aborted(reason) => {
+                abort_reason = Some(*reason);
+                (Decision::Unknown, None)
+            }
         };
         Ok(CheckOutcome {
             decision: outcome,
@@ -1060,6 +1168,7 @@ pub(crate) fn check_impl(
             search_nodes,
             witness,
             inconsistent_pair: None,
+            abort_reason,
             stages,
         })
     }
@@ -1169,6 +1278,67 @@ mod tests {
         let out = tiny.check(&refs).unwrap();
         assert_eq!(out.decision, Decision::Unknown);
         assert_eq!(out.decision.exit_code(), 3);
+        assert_eq!(out.abort_reason, Some(AbortReason::NodeBudget));
+        assert!(out
+            .text(&AttrNames::new())
+            .contains("node budget exhausted"));
+        assert!(out
+            .json(&AttrNames::new())
+            .contains("\"abort_reason\":\"node_budget\""));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_check_to_unknown() {
+        let (r, s) = path_pair();
+        let session = Session::builder().deadline(Duration::ZERO).build().unwrap();
+        let out = session.check(&[&r, &s]).unwrap();
+        assert_eq!(out.decision, Decision::Unknown);
+        assert_eq!(out.abort_reason, Some(AbortReason::DeadlineExceeded));
+        assert!(out.text(&AttrNames::new()).contains("deadline exceeded"));
+        assert!(out
+            .json(&AttrNames::new())
+            .contains("\"abort_reason\":\"deadline_exceeded\""));
+        // the cyclic branch degrades the same way
+        let bags = parity_triangle();
+        let refs: Vec<&Bag> = bags.iter().collect();
+        let out = session.check(&refs).unwrap();
+        assert_eq!(out.decision, Decision::Unknown);
+        assert_eq!(out.abort_reason, Some(AbortReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancel_token_degrades_check_to_unknown() {
+        let token = bagcons_core::CancelToken::new();
+        token.cancel();
+        let exec = ExecConfig::builder()
+            .deadline(Deadline::cancelled_by(token))
+            .build()
+            .unwrap();
+        let session = Session::builder().exec(exec).build().unwrap();
+        let (r, s) = path_pair();
+        let out = session.check(&[&r, &s]).unwrap();
+        assert_eq!(out.decision, Decision::Unknown);
+        assert_eq!(out.abort_reason, Some(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_witness_to_unknown() {
+        let (r, s) = path_pair();
+        let session = Session::builder().deadline(Duration::ZERO).build().unwrap();
+        let out = session.witness(&[&r, &s]).unwrap();
+        assert_eq!(out.check.decision, Decision::Unknown);
+        assert!(out.witness().is_none());
+        assert!(out.json(&AttrNames::new()).contains("deadline_exceeded"));
+    }
+
+    #[test]
+    fn builder_deadline_recorded_as_time_budget() {
+        let session = Session::builder()
+            .deadline(Duration::from_millis(250))
+            .build()
+            .unwrap();
+        assert_eq!(session.time_budget(), Some(Duration::from_millis(250)));
+        assert!(Session::default().time_budget().is_none());
     }
 
     #[test]

@@ -36,16 +36,33 @@
 //!   [`UpdateOutcome::full_search`] reports the fallback.
 //! * A failed update (overflow/underflow/schema mismatch) is atomic:
 //!   bag, caches, and decision are left exactly as before.
+//!
+//! # Governance and fault containment
+//!
+//! Each update arms the session's per-operation [`bagcons_core::Deadline`]
+//! ([`crate::session::SessionBuilder::deadline`]) and polls it between
+//! pair repairs. An expiry or cancellation **after** the delta applied
+//! degrades gracefully: the pairs not yet repaired are marked stale,
+//! the update returns [`Decision::Unknown`] with
+//! [`UpdateOutcome::abort_reason`] set, and the next update rebuilds
+//! the stale pairs before deciding — no cache is ever left silently
+//! wrong. A worker panic during a pair rebuild (surfaced as
+//! [`bagcons_core::CoreError::WorkerPanicked`]) follows the same stale
+//! protocol but propagates as an error; the stream stays usable. The
+//! cyclic branch's exact search carries its own abort reason: a node
+//! budget exhausted mid-search reports
+//! [`bagcons_core::AbortReason::NodeBudget`] through the outcome's text
+//! and JSON.
 
 use crate::global::{globally_consistent_via_ilp, schema_hypergraph};
 use crate::report::{Json, Render};
 use crate::session::{
     check_impl, json_stages, push_stage, Branch, Decision, Session, SessionError, StageTiming,
 };
-use bagcons_core::{AttrNames, Bag, DeltaApply, DeltaSet, ExecConfig};
+use bagcons_core::{AbortReason, AttrNames, Bag, CoreError, DeltaApply, DeltaSet, ExecConfig};
 use bagcons_flow::{ConsistencyNetwork, Side};
 use bagcons_hypergraph::is_acyclic;
-use bagcons_lp::ilp::IlpOutcome;
+use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
 use std::time::Instant;
 
 /// Cached consistency evidence for one bag pair.
@@ -61,6 +78,11 @@ struct PairState {
     j: usize,
     check: PairCheck,
     consistent: bool,
+    /// True while the cached evidence is out of date with the bags — set
+    /// when a governed repair aborted (or a rebuild's worker panicked)
+    /// before reaching this pair. Stale pairs rebuild on the next
+    /// update's repair pass and never feed a decision.
+    stale: bool,
 }
 
 /// A stateful incremental checker over a fixed collection of bags; see
@@ -77,6 +99,8 @@ pub struct ConsistencyStream<'s> {
     decision: Decision,
     inconsistent_pair: Option<(usize, usize)>,
     search_nodes: u64,
+    /// Why the current decision is [`Decision::Unknown`], when it is.
+    abort_reason: Option<AbortReason>,
     witness: Option<Bag>,
 }
 
@@ -102,6 +126,10 @@ pub struct UpdateOutcome {
     pub full_search: bool,
     /// Search nodes of that run (0 otherwise).
     pub search_nodes: u64,
+    /// Why the decision is [`Decision::Unknown`], when it is: the cyclic
+    /// search's node budget ran out ([`AbortReason::NodeBudget`]), the
+    /// per-update deadline expired, or a cancel token fired.
+    pub abort_reason: Option<AbortReason>,
     /// Wall-clock timings per update stage (`apply`, `repair`,
     /// `decide`).
     pub stages: Vec<StageTiming>,
@@ -119,8 +147,12 @@ impl Render for UpdateOutcome {
         } else {
             String::new()
         };
+        let abort = match self.abort_reason {
+            Some(reason) => format!("; {}", reason.describe()),
+            None => String::new(),
+        };
         format!(
-            "{} (bag {}: {edit}; pairs: {} repaired, {} rebuilt{search})",
+            "{} (bag {}: {edit}; pairs: {} repaired, {} rebuilt{search}{abort})",
             self.decision.as_str(),
             self.bag,
             self.pairs_repaired,
@@ -152,6 +184,11 @@ impl Render for UpdateOutcome {
         }
         j.field_bool("full_search", self.full_search);
         j.field_u64("search_nodes", self.search_nodes);
+        j.key("abort_reason");
+        match self.abort_reason {
+            Some(reason) => j.string(reason.as_str()),
+            None => j.null(),
+        }
         json_stages(&mut j, &self.stages);
         j.end_object();
         j.finish()
@@ -171,9 +208,9 @@ impl Session {
 
 impl<'s> ConsistencyStream<'s> {
     fn open(session: &'s Session, mut bags: Vec<Bag>) -> Result<Self, SessionError> {
-        let exec = session.exec();
+        let (exec, solver) = session.arm();
         for bag in &mut bags {
-            bag.seal_with(exec);
+            bag.try_seal_with(&exec)?;
         }
         let totals: Vec<u128> = bags.iter().map(Bag::unary_size).collect();
         let refs: Vec<&Bag> = bags.iter().collect();
@@ -188,10 +225,10 @@ impl<'s> ConsistencyStream<'s> {
                     let mut net = ConsistencyNetwork::build_pooled_with(
                         &bags[i],
                         &bags[j],
-                        exec,
+                        &exec,
                         session.scratch(),
                     )?;
-                    let consistent = net.reaugment();
+                    let consistent = net.try_reaugment(&exec)?;
                     (PairCheck::Network(Box::new(net)), consistent)
                 };
                 pairs.push(PairState {
@@ -199,6 +236,7 @@ impl<'s> ConsistencyStream<'s> {
                     j,
                     check,
                     consistent,
+                    stale: false,
                 });
             }
         }
@@ -211,44 +249,125 @@ impl<'s> ConsistencyStream<'s> {
             decision: Decision::Consistent,
             inconsistent_pair: None,
             search_nodes: 0,
+            abort_reason: None,
             witness: None,
         };
-        stream.decide()?;
+        stream.decide(&solver)?;
         Ok(stream)
     }
 
     /// Applies `delta` to bag `bag`, repairs the touched pair caches,
-    /// and re-decides. Errors are atomic (see the module docs).
+    /// and re-decides. Errors before the delta commits are atomic; a
+    /// deadline expiry after it degrades to [`Decision::Unknown`] with
+    /// stale pairs queued for the next update (see the module docs).
     pub fn update(&mut self, bag: usize, delta: &DeltaSet) -> Result<UpdateOutcome, SessionError> {
+        bagcons_core::fault::fire("stream::update");
         if bag >= self.bags.len() {
-            return Err(SessionError::Core(bagcons_core::CoreError::InvalidConfig(
+            return Err(SessionError::Core(CoreError::InvalidConfig(
                 "bag index out of range",
             )));
         }
-        let exec: &ExecConfig = self.session.exec();
+        let (exec, solver) = self.session.arm();
         let mut stages = Vec::new();
 
         let t = Instant::now();
-        let applied = self.bags[bag].apply_delta_with(delta, exec)?;
+        let applied = self.bags[bag].apply_delta_with(delta, &exec)?;
         self.totals[bag] = (self.totals[bag] as i128 + applied.unary_change) as u128;
         push_stage(&mut stages, "apply", t);
 
         let t = Instant::now();
+        let (repaired, rebuilt, abort) = self.repair(bag, delta, &applied, &exec)?;
+        push_stage(&mut stages, "repair", t);
+
+        let t = Instant::now();
+        let full_search = if let Some(reason) = abort {
+            // Pairs past the abort point are stale: the decision cannot
+            // be trusted until a later pass rebuilds them.
+            self.decision = Decision::Unknown;
+            self.abort_reason = Some(reason);
+            self.inconsistent_pair = None;
+            self.search_nodes = 0;
+            false
+        } else {
+            self.decide(&solver)?
+        };
+        push_stage(&mut stages, "decide", t);
+
+        Ok(UpdateOutcome {
+            decision: self.decision,
+            branch: self.branch(),
+            bag,
+            applied,
+            pairs_repaired: repaired,
+            pairs_rebuilt: rebuilt,
+            inconsistent_pair: self.inconsistent_pair,
+            full_search,
+            search_nodes: if full_search { self.search_nodes } else { 0 },
+            abort_reason: self.abort_reason,
+            stages,
+        })
+    }
+
+    /// Marks every pair from `idx` on whose cache an edit to `bag`
+    /// invalidated (already-stale pairs stay stale).
+    fn mark_stale_from(&mut self, idx: usize, bag: usize) {
+        for p in &mut self.pairs[idx..] {
+            if p.i == bag || p.j == bag {
+                p.stale = true;
+            }
+        }
+    }
+
+    /// Repairs or rebuilds every pair cache invalidated by an edit to
+    /// `bag`, plus any pair left stale by an earlier aborted pass.
+    /// Returns `(repaired, rebuilt, abort)`; on `abort` the unprocessed
+    /// pairs are stale and the caller must not trust the cached flags.
+    fn repair(
+        &mut self,
+        bag: usize,
+        delta: &DeltaSet,
+        applied: &DeltaApply,
+        exec: &ExecConfig,
+    ) -> Result<(usize, usize, Option<AbortReason>), SessionError> {
+        enum Step {
+            Totals,
+            Repaired,
+            Rebuilt,
+            Abort(AbortReason),
+            Fail(CoreError),
+        }
         let mut repaired = 0usize;
         let mut rebuilt = 0usize;
-        if !applied.is_noop() {
-            self.witness = None;
-            for p in &mut self.pairs {
-                if p.i != bag && p.j != bag {
-                    continue;
-                }
+        let have_stale = self.pairs.iter().any(|p| p.stale);
+        if applied.is_noop() && !have_stale {
+            return Ok((0, 0, None));
+        }
+        self.witness = None;
+        for idx in 0..self.pairs.len() {
+            let (was_stale, touched) = {
+                let p = &self.pairs[idx];
+                (p.stale, p.i == bag || p.j == bag)
+            };
+            if !touched && !was_stale {
+                continue;
+            }
+            if let Some(reason) = exec.deadline().poll() {
+                self.mark_stale_from(idx, bag);
+                return Ok((repaired, rebuilt, Some(reason)));
+            }
+            let step = {
+                let p = &mut self.pairs[idx];
                 match &mut p.check {
                     PairCheck::Totals => {
                         p.consistent = self.totals[p.i] == self.totals[p.j];
+                        p.stale = false;
+                        Step::Totals
                     }
                     PairCheck::Network(net) => {
                         let side = if p.i == bag { Side::R } else { Side::S };
-                        let mut in_place = !applied.support_changed();
+                        // The delta-based in-place patch is only sound
+                        // for a network that saw every earlier edit.
+                        let mut in_place = !was_stale && touched && !applied.support_changed();
                         if in_place {
                             for e in delta.edits() {
                                 let mult = self.bags[bag].multiplicity(e.row());
@@ -262,46 +381,86 @@ impl<'s> ConsistencyStream<'s> {
                             }
                         }
                         if in_place {
-                            p.consistent = net.reaugment();
-                            repaired += 1;
+                            match net.try_reaugment(exec) {
+                                Ok(consistent) => {
+                                    p.consistent = consistent;
+                                    p.stale = false;
+                                    Step::Repaired
+                                }
+                                Err(CoreError::Aborted(reason)) => {
+                                    p.stale = true;
+                                    Step::Abort(reason)
+                                }
+                                Err(e) => {
+                                    p.stale = true;
+                                    Step::Fail(e)
+                                }
+                            }
                         } else {
-                            let mut fresh = ConsistencyNetwork::build_pooled_with(
+                            let built = ConsistencyNetwork::build_pooled_with(
                                 &self.bags[p.i],
                                 &self.bags[p.j],
                                 exec,
                                 self.session.scratch(),
-                            )?;
-                            p.consistent = fresh.reaugment();
-                            **net = fresh;
-                            rebuilt += 1;
+                            )
+                            .and_then(|mut fresh| {
+                                let consistent = fresh.try_reaugment(exec)?;
+                                Ok((fresh, consistent))
+                            });
+                            match built {
+                                Ok((fresh, consistent)) => {
+                                    p.consistent = consistent;
+                                    **net = fresh;
+                                    p.stale = false;
+                                    Step::Rebuilt
+                                }
+                                Err(CoreError::Aborted(reason)) => {
+                                    p.stale = true;
+                                    Step::Abort(reason)
+                                }
+                                Err(e) => {
+                                    p.stale = true;
+                                    Step::Fail(e)
+                                }
+                            }
                         }
                     }
                 }
+            };
+            match step {
+                Step::Totals => {}
+                Step::Repaired => repaired += 1,
+                Step::Rebuilt => rebuilt += 1,
+                Step::Abort(reason) => {
+                    self.mark_stale_from(idx + 1, bag);
+                    return Ok((repaired, rebuilt, Some(reason)));
+                }
+                Step::Fail(e) => {
+                    // Worker panic (or another hard failure) during a
+                    // rebuild: the pair's old network is untouched but
+                    // out of date. Degrade the decision and surface the
+                    // contained error; the next update rebuilds.
+                    self.mark_stale_from(idx + 1, bag);
+                    self.decision = Decision::Unknown;
+                    self.abort_reason = None;
+                    self.inconsistent_pair = None;
+                    self.search_nodes = 0;
+                    self.witness = None;
+                    return Err(e.into());
+                }
             }
         }
-        push_stage(&mut stages, "repair", t);
-
-        let t = Instant::now();
-        let full_search = self.decide()?;
-        push_stage(&mut stages, "decide", t);
-
-        Ok(UpdateOutcome {
-            decision: self.decision,
-            branch: self.branch(),
-            bag,
-            applied,
-            pairs_repaired: repaired,
-            pairs_rebuilt: rebuilt,
-            inconsistent_pair: self.inconsistent_pair,
-            full_search,
-            search_nodes: if full_search { self.search_nodes } else { 0 },
-            stages,
-        })
+        Ok((repaired, rebuilt, None))
     }
 
     /// Recomputes the global decision from the pair caches; returns
     /// whether the exact search ran (cyclic branch, pairwise clean).
-    fn decide(&mut self) -> Result<bool, SessionError> {
+    fn decide(&mut self, solver: &SolverConfig) -> Result<bool, SessionError> {
+        debug_assert!(
+            self.pairs.iter().all(|p| !p.stale),
+            "decide must not read stale pair caches"
+        );
+        self.abort_reason = None;
         self.inconsistent_pair = self
             .pairs
             .iter()
@@ -324,13 +483,15 @@ impl<'s> ConsistencyStream<'s> {
         // back to the exact integer search (the documented limit of the
         // incremental path).
         let refs: Vec<&Bag> = self.bags.iter().collect();
-        let report = globally_consistent_via_ilp(&refs, self.session.solver())
-            .map_err(SessionError::Core)?;
+        let report = globally_consistent_via_ilp(&refs, solver).map_err(SessionError::Core)?;
         self.search_nodes = report.stats.nodes;
         self.decision = match report.outcome {
             IlpOutcome::Sat(_) => Decision::Consistent,
             IlpOutcome::Unsat => Decision::Inconsistent,
-            IlpOutcome::NodeLimit => Decision::Unknown,
+            IlpOutcome::Aborted(reason) => {
+                self.abort_reason = Some(reason);
+                Decision::Unknown
+            }
         };
         Ok(true)
     }
@@ -360,6 +521,12 @@ impl<'s> ConsistencyStream<'s> {
         self.inconsistent_pair
     }
 
+    /// Why the current decision is [`Decision::Unknown`], when it is
+    /// (deadline expiry, cancellation, or an exhausted node budget).
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        self.abort_reason
+    }
+
     /// The bags in their current (post-delta, sealed) state.
     pub fn bags(&self) -> &[Bag] {
         &self.bags
@@ -372,14 +539,13 @@ impl<'s> ConsistencyStream<'s> {
             return Ok(None);
         }
         if self.witness.is_none() {
+            let (exec, solver) = self.session.arm();
             let refs: Vec<&Bag> = self.bags.iter().collect();
-            let out = check_impl(
-                &refs,
-                self.session.solver(),
-                self.session.exec(),
-                self.session.scratch(),
-            )?;
-            debug_assert_eq!(out.decision, Decision::Consistent);
+            let out = check_impl(&refs, &solver, &exec, self.session.scratch())?;
+            debug_assert!(
+                out.decision == Decision::Consistent || out.abort_reason.is_some(),
+                "a consistent stream state must re-verify (or abort)"
+            );
             self.witness = out.witness;
         }
         Ok(self.witness.as_ref())
@@ -527,6 +693,75 @@ mod tests {
         assert!(stream.update(1, &ok).is_err(), "schema mismatch");
         assert!(stream.update(5, &ok).is_err(), "index out of range");
         assert_eq!(stream.decision(), Decision::Consistent);
+    }
+
+    #[test]
+    fn exhausted_budget_carries_node_budget_reason() {
+        // loose satisfiable triangle: pairwise consistent, needs real
+        // search nodes, so a 1-node budget leaves every decide undecided
+        let wide: Vec<(&[u64], u64)> = vec![(&[0, 0], 3), (&[0, 1], 3), (&[1, 0], 3), (&[1, 1], 3)];
+        let bags = vec![
+            Bag::from_u64s(schema(&[0, 1]), wide.clone()).unwrap(),
+            Bag::from_u64s(schema(&[1, 2]), wide.clone()).unwrap(),
+            Bag::from_u64s(schema(&[0, 2]), wide).unwrap(),
+        ];
+        let session = Session::builder().budget(1).build().unwrap();
+        let mut stream = session.open_stream(bags).unwrap();
+        assert_eq!(stream.decision(), Decision::Unknown);
+        assert_eq!(stream.abort_reason(), Some(AbortReason::NodeBudget));
+
+        // marginal-preserving swap keeps the pairwise stage clean, so the
+        // update must fall back to the (budget-starved) full search
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[0, 0], 1).unwrap();
+        d.bump_u64s(&[0, 1], -1).unwrap();
+        d.bump_u64s(&[1, 0], -1).unwrap();
+        d.bump_u64s(&[1, 1], 1).unwrap();
+        let out = stream.update(0, &d).unwrap();
+        assert!(out.full_search);
+        assert_eq!(out.decision, Decision::Unknown);
+        assert_eq!(out.abort_reason, Some(AbortReason::NodeBudget));
+        let text = out.text(session.names());
+        assert!(text.contains("node budget exhausted"), "{text}");
+        let json = out.json(session.names());
+        assert!(json.contains("\"abort_reason\":\"node_budget\""), "{json}");
+
+        // raising the budget on a fresh session resolves the same state
+        let roomy = Session::builder().build().unwrap();
+        let full = roomy.open_stream(stream.bags().to_vec()).unwrap();
+        assert_eq!(full.decision(), Decision::Consistent);
+        assert_eq!(full.abort_reason(), None);
+    }
+
+    #[test]
+    fn cancelled_token_never_corrupts_stream_state() {
+        let token = bagcons_core::CancelToken::new();
+        let exec = ExecConfig::builder()
+            .deadline(bagcons_core::Deadline::cancelled_by(token.clone()))
+            .build()
+            .unwrap();
+        let session = Session::builder().exec(exec).build().unwrap();
+        let (r, s) = path_pair();
+        let mut stream = session.open_stream(vec![r, s]).unwrap();
+        assert_eq!(stream.decision(), Decision::Consistent);
+
+        token.cancel();
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[0, 0], 1).unwrap();
+        // the abort surfaces either before the delta commits (atomic
+        // apply-stage error, state untouched) or after (degraded Unknown
+        // outcome) — never as a decision computed from half-repaired pairs
+        match stream.update(0, &d) {
+            Err(SessionError::Core(CoreError::Aborted(AbortReason::Cancelled))) => {
+                assert_eq!(stream.decision(), Decision::Consistent);
+                assert_eq!(stream.bags()[0].unary_size(), 5);
+            }
+            Ok(out) => {
+                assert_eq!(out.decision, Decision::Unknown);
+                assert_eq!(out.abort_reason, Some(AbortReason::Cancelled));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
     }
 
     #[test]

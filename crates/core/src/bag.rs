@@ -30,7 +30,7 @@
 //! * `R'[Z] = R[Z]'` (support of marginal = projection of support), and
 //! * `R[Z][W] = R[W]` for `W ⊆ Z ⊆ X` (marginals commute with nesting).
 
-use crate::exec::{run_shards, shard_ranges, ExecConfig, ShardRun, ShardedRowStore};
+use crate::exec::{shard_ranges, ExecConfig, ShardRun, ShardedRowStore};
 use crate::pack::{PackedView, RowOrd, PACK_MIN_ROWS};
 use crate::store::{RowId, RowStore};
 use crate::{CoreError, Relation, Result, Schema, Tuple, Value};
@@ -339,21 +339,47 @@ impl Bag {
     /// the sequential seal at every thread count — interned rows are
     /// distinct, so the sorted order is total.
     pub fn seal_with(&mut self, cfg: &ExecConfig) {
-        if self.sealed {
-            return;
+        // Infallible entry point: runs ungoverned (no deadline poll) so
+        // the only possible failure is a worker panic, which re-raises
+        // with its task index attached. Deadline-governed callers use
+        // [`Bag::try_seal_with`].
+        let ungoverned = cfg.clone().with_deadline(crate::Deadline::NONE);
+        if let Err(e) = self.try_seal_with(&ungoverned) {
+            panic!("{e}");
         }
+    }
+
+    /// [`Bag::seal_with`] under governance: polls `cfg`'s
+    /// [`crate::Deadline`] at shard-chunk boundaries and contains worker
+    /// panics. On any error the bag is left **exactly** as it was —
+    /// unsealed, layout, multiplicities, and packed cache untouched —
+    /// because the seal only commits by whole-value replacement after
+    /// every shard has succeeded.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Aborted`] when the deadline fires mid-seal;
+    /// [`CoreError::WorkerPanicked`] when a re-layout worker panics.
+    pub fn try_seal_with(&mut self, cfg: &ExecConfig) -> Result<()> {
+        if self.sealed {
+            return Ok(());
+        }
+        crate::fault::fire("bag::seal");
         let order: Vec<u32> = (0..self.store.len() as u32)
             .filter(|&i| self.mults[i as usize] > 0)
             .collect();
         let shards = cfg.shards_for(order.len());
         let order = self.store.sorted_order_with(order, cfg);
         if shards <= 1 {
+            if let Some(reason) = cfg.deadline().poll() {
+                return Err(CoreError::Aborted(reason));
+            }
             let mults = order.iter().map(|&i| self.mults[i as usize]).collect();
             self.store = self.store.reordered(&order);
             self.mults = mults;
             self.sealed = true;
             self.rebuild_packed();
-            return;
+            return Ok(());
         }
         // Parallel re-layout: plain index ranges over the sorted
         // permutation (rows are independent); each worker copies rows
@@ -361,19 +387,20 @@ impl Bag {
         let arity = self.schema.arity();
         let ranges = shard_ranges(order.len(), shards, |_| false);
         let order = &order;
-        let runs = run_shards(cfg.threads(), ranges, |range| {
+        let runs = crate::exec::try_run_shards(cfg, ranges, |range| {
             let mut run = ShardRun::with_capacity(arity, range.len());
             for &id in &order[range] {
                 run.push(self.store.row(RowId(id)), self.mults[id as usize]);
             }
             run
-        });
+        })?;
         *self = Bag::from_shard_runs(
             self.schema.clone(),
             ShardedRowStore::from_runs(arity, runs),
             true,
         );
         self.rebuild_packed();
+        Ok(())
     }
 
     /// The cached packed-word view of the rows ([`crate::pack`]): one
@@ -467,9 +494,13 @@ impl Bag {
             finals.insert(e.row(), next);
         }
         // Apply pass, in first-touch edit order so the storage layout of
-        // fresh rows is deterministic.
+        // fresh rows is deterministic. Every in-place multiplicity write
+        // journals the old count so a failed reseal can roll the whole
+        // batch back (fresh interned rows roll back by truncation).
         let was_sealed = self.sealed;
         let old_len = self.store.len();
+        let old_live = self.live;
+        let mut journal: Vec<(usize, u64)> = Vec::new();
         let mut out = crate::DeltaApply {
             touched: 0,
             added: 0,
@@ -491,6 +522,7 @@ impl Bag {
                     .store
                     .lookup(e.row())
                     .expect("old > 0 implies interned");
+                journal.push((id.index(), old));
                 self.mults[id.index()] = 0;
                 self.live -= 1;
                 self.sealed = false;
@@ -500,6 +532,7 @@ impl Bag {
                     // Reviving a tombstone (only possible on an unsealed
                     // input — sealed bags have none).
                     Some(id) => {
+                        journal.push((id.index(), 0));
                         self.mults[id.index()] = fin;
                         self.live += 1;
                     }
@@ -511,15 +544,47 @@ impl Bag {
                     .store
                     .lookup(e.row())
                     .expect("old > 0 implies interned");
+                journal.push((id.index(), old));
                 self.mults[id.index()] = fin;
                 out.touched += 1;
             }
         }
         if !self.sealed {
-            if was_sealed {
-                self.reseal_delta(old_len, cfg);
-            } else {
-                self.seal_with(cfg);
+            // Contain panics from the repair (failpoints, worker bugs on
+            // the sequential path) so the rollback below always runs —
+            // the batch is atomic: it either commits fully resealed or
+            // the bag reverts to its exact pre-call state.
+            let resealed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if was_sealed {
+                    self.try_reseal_delta(old_len, cfg)
+                } else {
+                    self.try_seal_with(cfg)
+                }
+            }))
+            .unwrap_or_else(|payload| {
+                Err(CoreError::WorkerPanicked {
+                    task: 0,
+                    message: crate::exec::panic_message(payload),
+                })
+            });
+            if let Err(e) = resealed {
+                // Roll back the apply pass: drop the batch's fresh rows,
+                // restore every journaled count, and re-establish the
+                // pre-call seal state and packed cache.
+                self.store.truncate(old_len);
+                self.mults.truncate(old_len);
+                for &(id, m) in &journal {
+                    debug_assert!(id < old_len, "journal only covers pre-existing rows");
+                    self.mults[id] = m;
+                }
+                self.live = old_live;
+                self.sealed = was_sealed;
+                if was_sealed {
+                    self.rebuild_packed();
+                } else {
+                    self.packed = OnceLock::new();
+                }
+                return Err(e);
             }
             out.resealed = true;
         }
@@ -547,7 +612,7 @@ impl Bag {
     /// interned rows make "prefix row < tail row" a strict total order,
     /// so emitting prefix-until-bound then the tail row reproduces the
     /// linear tail-pushing loop's sequence byte for byte.
-    fn reseal_delta(&mut self, old_len: usize, cfg: &ExecConfig) {
+    fn try_reseal_delta(&mut self, old_len: usize, cfg: &ExecConfig) -> Result<()> {
         debug_assert!(!self.sealed);
         let arity = self.schema.arity();
         let mut tail: Vec<u32> = (old_len as u32..self.store.len() as u32)
@@ -576,7 +641,8 @@ impl Bag {
         };
         let tail = &tail;
         let ord = &ord;
-        let runs = crate::exec::run_tasks(cfg.threads(), tasks, |(pr, tr)| {
+        let runs = crate::exec::try_run_tasks(cfg, tasks, |(pr, tr)| {
+            crate::fault::fire("bag::reseal_delta::merge");
             let mut run = ShardRun::with_capacity(arity, pr.len() + tr.len());
             let use_gallop = pr.len() >= crate::exec::GALLOP_RATIO * tr.len().max(1);
             let mut p = pr.start;
@@ -608,12 +674,13 @@ impl Bag {
                 }
             }
             run
-        });
+        })?;
         *self = Bag::from_shard_runs(
             self.schema.clone(),
             ShardedRowStore::from_runs(arity, runs),
             true,
         );
+        Ok(())
     }
 
     /// The support `Supp(R)` as a relation over the same schema.
@@ -656,7 +723,7 @@ impl Bag {
             let k = idx.len();
             let shards = cfg.shards_for(self.store.len());
             if shards > 1 {
-                return self.marginal_prefix_parallel(sub, k, shards, cfg.threads);
+                return self.marginal_prefix_parallel(sub, k, shards, cfg);
             }
             return self.marginal_sorted_prefix(sub, k);
         }
@@ -679,14 +746,15 @@ impl Bag {
         sub: &Schema,
         k: usize,
         shards: usize,
-        threads: usize,
+        cfg: &ExecConfig,
     ) -> Result<Bag> {
         let arity = self.schema.arity();
         let data = self.store.values();
         let ranges = shard_ranges(self.store.len(), shards, |p| {
             data[(p - 1) * arity..(p - 1) * arity + k] == data[p * arity..p * arity + k]
         });
-        let runs = run_shards(threads, ranges, |range| self.marginal_prefix_run(k, range));
+        let runs =
+            crate::exec::try_run_shards(cfg, ranges, |range| self.marginal_prefix_run(k, range))?;
         let runs: Result<Vec<ShardRun>> = runs.into_iter().collect();
         Ok(Bag::from_shard_runs(
             sub.clone(),
@@ -1004,7 +1072,7 @@ impl fmt::Display for Bag {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Attr;
+    use crate::{Attr, Deadline};
 
     fn schema(ids: &[u32]) -> Schema {
         Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
@@ -1310,6 +1378,7 @@ mod tests {
             par.seal_with(&ExecConfig {
                 threads,
                 min_parallel_support: 1,
+                deadline: Deadline::NONE,
             });
             assert!(par.is_sealed());
             // identical storage layout, not just equal multisets
@@ -1504,6 +1573,110 @@ mod tests {
             let par_rows: Vec<(&[Value], u64)> = par.iter().collect();
             assert_eq!(par_rows, seq_rows, "threads = {threads}");
         }
+    }
+
+    /// A bag fingerprint for atomicity assertions: physical layout
+    /// (row-major values in id order), multiplicity column, live count,
+    /// seal flag, and whether a packed view is materialized.
+    fn fingerprint(b: &Bag) -> (Vec<Value>, Vec<u64>, usize, bool, bool) {
+        (
+            b.store().values().to_vec(),
+            (0..b.store().len() as u32).map(|i| b.mult_of(i)).collect(),
+            b.support_size(),
+            b.is_sealed(),
+            b.packed_ready(),
+        )
+    }
+
+    /// Builds a sealed bag plus a support-changing delta large enough to
+    /// force the fresh-tail merge, for the atomicity tests below.
+    fn atomicity_fixture() -> (Bag, crate::DeltaSet) {
+        let mut base = Bag::new(schema(&[0, 1]));
+        for i in 0..300u64 {
+            base.insert(vec![Value(i % 41), Value(i % 13)], i % 5 + 1)
+                .unwrap();
+        }
+        base.seal();
+        let _ = base.packed_view(); // materialize the cache
+        let mut d = crate::DeltaSet::new(base.schema().clone());
+        for i in 0..30u64 {
+            d.bump([Value(200 + i), Value(i)], (i % 4 + 1) as i64)
+                .unwrap();
+        }
+        d.bump_u64s(&[1, 1], -(base.multiplicity(&[Value(1), Value(1)]) as i64))
+            .unwrap();
+        d.bump_u64s(&[2, 2], 7).unwrap();
+        (base, d)
+    }
+
+    #[test]
+    fn apply_delta_rolls_back_when_reseal_aborts() {
+        let (base, d) = atomicity_fixture();
+        for threads in [1usize, 4] {
+            let mut b = base.clone();
+            let before = fingerprint(&b);
+            let cfg = ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1)
+                .deadline(Deadline::at(std::time::Instant::now()))
+                .build()
+                .unwrap();
+            let err = b.apply_delta_with(&d, &cfg).unwrap_err();
+            assert!(
+                matches!(err, CoreError::Aborted(_)),
+                "threads={threads}: {err}"
+            );
+            assert_eq!(
+                fingerprint(&b),
+                before,
+                "threads={threads}: layout, mults, live count, seal flag, \
+                 and packed cache must be untouched after an aborted apply"
+            );
+            // The rolled-back bag is fully usable: the same delta applies
+            // cleanly once the governance pressure is lifted.
+            let mut expect = base.clone();
+            expect.apply_delta(&d).unwrap();
+            b.apply_delta(&d).unwrap();
+            assert_eq!(b, expect, "threads={threads}");
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn apply_delta_rolls_back_when_merge_panics() {
+        use crate::fault::{self, FaultAction};
+        let _guard = fault::test_lock();
+        // Worker-thread panics are not captured by the test harness;
+        // silence the hook so intentional failpoint panics stay quiet.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (base, d) = atomicity_fixture();
+        for threads in [1usize, 4] {
+            let mut b = base.clone();
+            let before = fingerprint(&b);
+            let cfg = ExecConfig::builder()
+                .threads(threads)
+                .min_parallel_support(1)
+                .build()
+                .unwrap();
+            fault::arm("bag::reseal_delta::merge", FaultAction::Panic, 1);
+            let err = b.apply_delta_with(&d, &cfg).unwrap_err();
+            fault::reset();
+            assert!(
+                matches!(err, CoreError::WorkerPanicked { .. }),
+                "threads={threads}: {err}"
+            );
+            assert_eq!(
+                fingerprint(&b),
+                before,
+                "threads={threads}: mid-merge panic must leave the bag untouched"
+            );
+            let mut expect = base.clone();
+            expect.apply_delta(&d).unwrap();
+            b.apply_delta(&d).unwrap();
+            assert_eq!(b, expect, "threads={threads}");
+        }
+        std::panic::set_hook(prev_hook);
     }
 
     #[test]

@@ -42,6 +42,22 @@ pub enum CoreError {
     /// A configuration builder rejected its inputs (e.g. zero threads in
     /// [`crate::exec::ExecConfigBuilder::build`]).
     InvalidConfig(&'static str),
+    /// The operation stopped at a cancellation point before completing:
+    /// its [`crate::Deadline`] expired, its [`crate::CancelToken`] was
+    /// cancelled, or a search budget ran out. The operands are left
+    /// exactly as they were — callers can retry with a larger budget or
+    /// surface the reason as an "unknown" answer.
+    Aborted(crate::AbortReason),
+    /// A worker thread panicked inside a parallel bulk operation. The
+    /// executor contained the panic ([`crate::exec::try_run_tasks`]),
+    /// cancelled the sibling chunks, and reports which task failed; the
+    /// operation's operands are left exactly as they were.
+    WorkerPanicked {
+        /// Index of the task whose body panicked.
+        task: usize,
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -68,6 +84,10 @@ impl fmt::Display for CoreError {
                 write!(f, "multiplicity delta drove a count below zero")
             }
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Aborted(reason) => write!(f, "operation aborted: {reason}"),
+            CoreError::WorkerPanicked { task, message } => {
+                write!(f, "worker task {task} panicked: {message}")
+            }
         }
     }
 }

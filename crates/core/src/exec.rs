@@ -32,11 +32,13 @@
 //! and inserts dedup-table slots without rehashing — the only sequential
 //! work left on the output side is the flat-table probe.
 
+use crate::cancel::Deadline;
 use crate::store::{hash_row, RowStore};
 use crate::{CoreError, Value};
 use std::fmt;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 
 /// Configuration for shard-parallel execution.
@@ -48,7 +50,7 @@ use std::sync::Mutex;
 /// circulation satisfies those invariants; benchmarks and property tests
 /// force sharding on tiny inputs via
 /// `ExecConfig::builder().threads(4).min_parallel_support(1).build()`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Maximum worker threads (and shards) per parallel operation.
     /// `1` disables parallelism entirely. Invariant: `>= 1`.
@@ -57,6 +59,12 @@ pub struct ExecConfig {
     /// `threads > 1`: below it, thread spawn + splice overhead outweighs
     /// the per-shard work. Invariant: `>= 1`.
     pub(crate) min_parallel_support: usize,
+    /// Cooperative abort condition, polled by [`try_run_tasks`] at every
+    /// chunk claim (and by the phase/node/pair-granular poll sites
+    /// downstream). [`Deadline::NONE`] — the default — never fires and
+    /// costs two `Option` tests per poll. `Clone`, not `Copy`: the
+    /// deadline may carry an `Arc`'d [`crate::CancelToken`].
+    pub(crate) deadline: Deadline,
 }
 
 impl ExecConfig {
@@ -88,12 +96,27 @@ impl ExecConfig {
         self.min_parallel_support
     }
 
+    /// The abort condition governing operations run under this
+    /// configuration ([`Deadline::NONE`] unless set).
+    pub const fn deadline(&self) -> &Deadline {
+        &self.deadline
+    }
+
+    /// Returns the configuration with `deadline` as its abort condition
+    /// — how [`Deadline`]s thread into the `*_with` entry points without
+    /// new parameters. The sizing knobs are untouched.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// A strictly sequential configuration: every `*_with` entry point
     /// takes its unchanged single-threaded code path.
     pub const fn sequential() -> Self {
         ExecConfig {
             threads: 1,
             min_parallel_support: Self::DEFAULT_MIN_PARALLEL_SUPPORT,
+            deadline: Deadline::NONE,
         }
     }
 
@@ -109,6 +132,7 @@ impl ExecConfig {
         ExecConfig {
             threads,
             min_parallel_support: Self::DEFAULT_MIN_PARALLEL_SUPPORT,
+            deadline: Deadline::NONE,
         }
     }
 
@@ -157,10 +181,11 @@ impl fmt::Display for ExecConfig {
 /// Validation happens once in [`ExecConfigBuilder::build`] — the
 /// executors and shard planners downstream can rely on `threads >= 1`
 /// and `min_parallel_support >= 1` instead of re-checking per call.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecConfigBuilder {
     threads: Option<usize>,
     min_parallel_support: usize,
+    deadline: Deadline,
 }
 
 impl ExecConfigBuilder {
@@ -168,6 +193,7 @@ impl ExecConfigBuilder {
         ExecConfigBuilder {
             threads: None,
             min_parallel_support: ExecConfig::DEFAULT_MIN_PARALLEL_SUPPORT,
+            deadline: Deadline::NONE,
         }
     }
 
@@ -185,6 +211,12 @@ impl ExecConfigBuilder {
         self
     }
 
+    /// Sets the abort condition ([`Deadline::NONE`] when unset).
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// Validates and builds: `threads >= 1`, `min_parallel_support >= 1`.
     pub fn build(self) -> Result<ExecConfig, CoreError> {
         let threads = self.threads.unwrap_or_else(default_threads);
@@ -199,6 +231,7 @@ impl ExecConfigBuilder {
         Ok(ExecConfig {
             threads,
             min_parallel_support: self.min_parallel_support,
+            deadline: self.deadline,
         })
     }
 }
@@ -306,30 +339,107 @@ pub fn run_shards<T: Send>(
     run_tasks(threads, ranges, work)
 }
 
+/// [`try_run_tasks`] for the common range-per-shard case.
+pub fn try_run_shards<T: Send>(
+    cfg: &ExecConfig,
+    ranges: Vec<Range<usize>>,
+    work: impl Fn(Range<usize>) -> T + Sync,
+) -> Result<Vec<T>, CoreError> {
+    try_run_tasks(cfg, ranges, work)
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Ok(s) = payload.downcast::<String>() {
+        *s
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `work` over each task on at most `threads` scoped worker
 /// threads, returning outputs in task order.
 ///
-/// The tasks form a **self-scheduling work queue**: an atomic cursor
-/// indexes the task list, and each worker claims the next unclaimed
-/// task whenever it finishes one. No task-to-worker assignment is fixed
-/// up front, so a skewed plan (one chunk much more expensive than the
-/// rest) keeps every worker busy until the queue drains — the static
-/// one-chunk-per-worker split this replaces would idle all but one.
-/// Each output is written into the slot of its task index, so the
-/// returned vector is in task order regardless of which worker finished
-/// which task when; splice-order invariants downstream are unaffected
-/// by scheduling.
-///
-/// With one task (or `threads <= 1`) the work runs inline on the calling
-/// thread — the sequential fallback spawns nothing. A worker panic is
-/// re-raised on the caller with its original payload.
+/// The **ungoverned** executor: no deadline is polled, and a worker
+/// panic is re-raised on the caller — with the failing task's index
+/// attached to the payload (`"worker task {i} panicked: {message}"`), so
+/// a shard panic is attributable even on this path. Bulk operations that
+/// can surface a typed error use [`try_run_tasks`] instead; this entry
+/// point remains for infallible internals (e.g. [`parallel_sort_by`])
+/// whose callers treat a panic as a bug.
 pub fn run_tasks<I: Send, T: Send>(
     threads: usize,
     tasks: Vec<I>,
     work: impl Fn(I) -> T + Sync,
 ) -> Vec<T> {
+    match run_tasks_impl(threads, &Deadline::NONE, tasks, work) {
+        Ok(out) => out,
+        // Attach the task identity; the original payload's message rides
+        // along. (Aborted cannot happen under Deadline::NONE.)
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs `work` over each task on `cfg`'s workers with **governance**:
+/// the executor polls `cfg`'s [`Deadline`] at every chunk claim and
+/// contains worker panics, so the call either returns every output in
+/// task order or a typed error — it never hangs past a poll site and
+/// never unwinds through the caller.
+///
+/// The tasks form a **self-scheduling work queue**: an atomic cursor
+/// indexes the task list, and each worker claims the next unclaimed
+/// task whenever it finishes one. No task-to-worker assignment is fixed
+/// up front, so a skewed plan (one chunk much more expensive than the
+/// rest) keeps every worker busy until the queue drains. Each output is
+/// written into the slot of its task index, so the returned vector is
+/// in task order regardless of which worker finished which task when;
+/// splice-order invariants downstream are unaffected by scheduling.
+///
+/// With one task (or `threads <= 1`) the work runs inline on the
+/// calling thread — the sequential fallback spawns nothing, but is
+/// governed all the same (deadline poll between tasks, panic caught).
+///
+/// # Errors
+///
+/// * [`CoreError::Aborted`] — the deadline fired at a chunk boundary;
+///   remaining chunks were abandoned (in-flight chunks finish first).
+/// * [`CoreError::WorkerPanicked`] — a task body panicked; the panic was
+///   caught on the worker, sibling chunks were cancelled, and the error
+///   names the failing task. Callers own their state: nothing is spliced
+///   on the error path, so operands stay untouched.
+pub fn try_run_tasks<I: Send, T: Send>(
+    cfg: &ExecConfig,
+    tasks: Vec<I>,
+    work: impl Fn(I) -> T + Sync,
+) -> Result<Vec<T>, CoreError> {
+    run_tasks_impl(cfg.threads, &cfg.deadline, tasks, work)
+}
+
+fn run_tasks_impl<I: Send, T: Send>(
+    threads: usize,
+    deadline: &Deadline,
+    tasks: Vec<I>,
+    work: impl Fn(I) -> T + Sync,
+) -> Result<Vec<T>, CoreError> {
     if threads <= 1 || tasks.len() <= 1 {
-        return tasks.into_iter().map(work).collect();
+        let mut out = Vec::with_capacity(tasks.len());
+        for (i, task) in tasks.into_iter().enumerate() {
+            if let Some(reason) = deadline.poll() {
+                return Err(CoreError::Aborted(reason));
+            }
+            match catch_unwind(AssertUnwindSafe(|| work(task))) {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    return Err(CoreError::WorkerPanicked {
+                        task: i,
+                        message: panic_message(payload),
+                    })
+                }
+            }
+        }
+        return Ok(out);
     }
     let n = tasks.len();
     let workers = threads.min(n);
@@ -339,13 +449,44 @@ pub fn run_tasks<I: Send, T: Send>(
     let queue: Vec<Mutex<Option<I>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    // Containment state: `halt` tells sibling workers to stop claiming
+    // chunks; `failure` records what went wrong (a panic beats an abort
+    // — it is the more specific diagnosis, and an abort may only be the
+    // injected side effect of the panic's cleanup).
+    let halt = AtomicBool::new(false);
+    let failure: Mutex<Option<CoreError>> = Mutex::new(None);
+    let record = |err: CoreError| {
+        halt.store(true, AtomicOrdering::Relaxed);
+        if let Ok(mut slot) = failure.lock() {
+            let replace = matches!(
+                (&*slot, &err),
+                (None, _)
+                    | (
+                        Some(CoreError::Aborted(_)),
+                        CoreError::WorkerPanicked { .. }
+                    )
+            );
+            if replace {
+                *slot = Some(err);
+            }
+        }
+    };
     let (queue_ref, slots_ref, cursor_ref, work_ref) = (&queue, &slots, &cursor, &work);
+    let (halt_ref, record_ref) = (&halt, &record);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let (queue, slots, cursor, work) = (queue_ref, slots_ref, cursor_ref, work_ref);
+                let (halt, record) = (halt_ref, record_ref);
                 scope.spawn(move || {
                     loop {
+                        if halt.load(AtomicOrdering::Relaxed) {
+                            break;
+                        }
+                        if let Some(reason) = deadline.poll() {
+                            record(CoreError::Aborted(reason));
+                            break;
+                        }
                         let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
                         if i >= n {
                             break;
@@ -357,30 +498,42 @@ pub fn run_tasks<I: Send, T: Send>(
                             .expect("claiming worker cannot observe a poisoned task slot")
                             .take()
                             .expect("task claimed twice");
-                        let out = work(task);
-                        *slots[i]
-                            .lock()
-                            .expect("finishing worker cannot observe a poisoned result slot") =
-                            Some(out);
+                        match catch_unwind(AssertUnwindSafe(|| work(task))) {
+                            Ok(out) => {
+                                *slots[i].lock().expect(
+                                    "finishing worker cannot observe a poisoned result slot",
+                                ) = Some(out);
+                            }
+                            Err(payload) => {
+                                record(CoreError::WorkerPanicked {
+                                    task: i,
+                                    message: panic_message(payload),
+                                });
+                                break;
+                            }
+                        }
                     }
                 })
             })
             .collect();
         for h in handles {
-            if let Err(payload) = h.join() {
-                // Re-raise with the worker's own message and location.
-                std::panic::resume_unwind(payload);
-            }
+            h.join()
+                .expect("worker panics are contained by catch_unwind");
         }
     });
-    slots
+    if let Ok(mut slot) = failure.lock() {
+        if let Some(err) = slot.take() {
+            return Err(err);
+        }
+    }
+    Ok(slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("no worker panicked past the join above")
-                .expect("every claimed task wrote its result")
+                .expect("result mutexes are uncontended after the join")
+                .expect("every task completed on the success path")
         })
-        .collect()
+        .collect())
 }
 
 /// Parallel merge sort over the work-stealing executor: `items` splits
@@ -754,6 +907,135 @@ mod tests {
         }
     }
 
+    /// Silences the default panic-to-stderr hook for the duration of a
+    /// test that panics on purpose (worker containment tests).
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn try_run_tasks_reports_panicking_task_index() {
+        for threads in [1, 4] {
+            let cfg = ExecConfig {
+                threads,
+                min_parallel_support: 1,
+                deadline: Deadline::NONE,
+            };
+            let tasks: Vec<usize> = (0..16).collect();
+            let err = with_quiet_panics(|| {
+                try_run_tasks(&cfg, tasks, |i| {
+                    if i == 7 {
+                        panic!("boom at {i}");
+                    }
+                    i * 2
+                })
+                .unwrap_err()
+            });
+            match err {
+                CoreError::WorkerPanicked { task, message } => {
+                    assert_eq!(task, 7, "threads={threads}");
+                    assert!(message.contains("boom at 7"), "message = {message:?}");
+                }
+                other => panic!("expected WorkerPanicked, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_run_tasks_panic_names_the_task() {
+        let caught = with_quiet_panics(|| {
+            std::panic::catch_unwind(|| {
+                run_tasks(4, (0..8).collect::<Vec<usize>>(), |i| {
+                    if i == 3 {
+                        panic!("exploded");
+                    }
+                    i
+                })
+            })
+            .unwrap_err()
+        });
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("re-raised panic carries a String payload");
+        assert!(
+            msg.contains("worker task 3 panicked") && msg.contains("exploded"),
+            "payload = {msg:?}"
+        );
+    }
+
+    #[test]
+    fn try_run_tasks_aborts_on_expired_deadline() {
+        use crate::cancel::AbortReason;
+        for threads in [1, 4] {
+            let cfg = ExecConfig {
+                threads,
+                min_parallel_support: 1,
+                deadline: Deadline::at(std::time::Instant::now()),
+            };
+            let err = try_run_tasks(&cfg, (0..64).collect::<Vec<usize>>(), |i| i).unwrap_err();
+            assert_eq!(err, CoreError::Aborted(AbortReason::DeadlineExceeded));
+        }
+    }
+
+    #[test]
+    fn try_run_tasks_aborts_on_cancelled_token() {
+        use crate::cancel::{AbortReason, CancelToken};
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = ExecConfig {
+            threads: 4,
+            min_parallel_support: 1,
+            deadline: Deadline::cancelled_by(token),
+        };
+        let err = try_run_tasks(&cfg, (0..64).collect::<Vec<usize>>(), |i| i).unwrap_err();
+        assert_eq!(err, CoreError::Aborted(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn try_run_tasks_succeeds_in_task_order() {
+        let cfg = ExecConfig {
+            threads: 4,
+            min_parallel_support: 1,
+            deadline: Deadline::NONE,
+        };
+        let out = try_run_tasks(&cfg, (0..100usize).collect(), |i| i * 3).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_beats_abort_when_both_fire() {
+        // A panicking worker sets `halt`; siblings then see the halt (or
+        // an expired deadline) — the panic must still win the report.
+        let cfg = ExecConfig {
+            threads: 4,
+            min_parallel_support: 1,
+            deadline: Deadline::after(std::time::Duration::from_millis(1)),
+        };
+        let err = with_quiet_panics(|| {
+            try_run_tasks(&cfg, (0..4usize).collect(), |i| {
+                if i == 0 {
+                    panic!("first chunk dies");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                i
+            })
+            .unwrap_err()
+        });
+        match err {
+            CoreError::WorkerPanicked { task: 0, .. } => {}
+            CoreError::Aborted(_) => {
+                // Legal when the deadline fired before any worker claimed
+                // chunk 0; rare but not a containment failure.
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
     #[test]
     fn shard_ranges_tile_and_respect_groups() {
         // groups of 3: positions 0..30, group = p / 3
@@ -838,6 +1120,7 @@ mod tests {
         let tiny = ExecConfig {
             threads: 4,
             min_parallel_support: 1,
+            deadline: Deadline::NONE,
         };
         assert_eq!(tiny.shards_for(0), 1);
         assert_eq!(tiny.shards_for(1), 1);

@@ -31,7 +31,7 @@
 //! arithmetic (key extraction and output-row assembly) so multiway joins
 //! and repeated joins don't redo it.
 
-use crate::exec::{run_tasks, ExecConfig, ShardRun, ShardedRowStore};
+use crate::exec::{ExecConfig, ShardRun, ShardedRowStore};
 use crate::store::RowStore;
 use crate::{Bag, CoreError, Relation, Result, Schema, Value};
 use std::cmp::Ordering;
@@ -554,7 +554,8 @@ fn bag_join_merge_impl(
         |p| left.same_key(p - 1, p),
         |p| right.lower_bound_at(&left, p),
     );
-    let runs = run_tasks(cfg.threads, tasks, |(lr, rr)| {
+    let runs = crate::exec::try_run_tasks(cfg, tasks, |(lr, rr)| {
+        crate::fault::fire("join::merge::shard");
         // Initial guess mirroring the sequential pre-sizing: at least one
         // output row per larger-side input row is the common case.
         let mut run = ShardRun::with_capacity(plan.out.arity(), lr.len().max(rr.len()));
@@ -563,7 +564,7 @@ fn bag_join_merge_impl(
             run.push(row, m)
         })?;
         Ok(run)
-    });
+    })?;
     let runs: Result<Vec<ShardRun>> = runs.into_iter().collect();
     Ok(Bag::from_shard_runs(
         plan.out.clone(),
@@ -773,7 +774,8 @@ fn bag_join_hash_planned(r: &Bag, s: &Bag, plan: &JoinPlan, cfg: &ExecConfig) ->
     let probe_ids: Vec<u32> = r.live_ids().collect();
     let ranges = crate::exec::shard_ranges(probe_ids.len(), shards, |_| false);
     let (probe_ids, index) = (&probe_ids, &index);
-    let runs = run_tasks(cfg.threads(), ranges, |range| {
+    let runs = crate::exec::try_run_tasks(cfg, ranges, |range| {
+        crate::fault::fire("join::hash::shard");
         let mut run = ShardRun::with_capacity(plan.out.arity(), range.len());
         let mut key_scratch: Vec<Value> = Vec::with_capacity(plan.common.arity());
         let mut scratch: Vec<Value> = Vec::with_capacity(plan.out.arity());
@@ -791,7 +793,7 @@ fn bag_join_hash_planned(r: &Bag, s: &Bag, plan: &JoinPlan, cfg: &ExecConfig) ->
             }
         }
         Ok(run)
-    });
+    })?;
     let runs: Result<Vec<ShardRun>> = runs.into_iter().collect();
     Ok(Bag::from_shard_runs(
         plan.out.clone(),
@@ -956,6 +958,29 @@ pub fn merge_matching_pairs_sharded<T: Send>(
     cfg: &ExecConfig,
     shard: impl Fn(PairSweep<'_, '_>) -> T + Sync,
 ) -> Vec<T> {
+    // Ungoverned entry point: strips the deadline so the only failure
+    // mode is a worker panic, re-raised with its task index. Governed
+    // callers use [`try_merge_matching_pairs_sharded`].
+    let ungoverned = cfg.clone().with_deadline(crate::Deadline::NONE);
+    match try_merge_matching_pairs_sharded(left, left_key, right, right_key, &ungoverned, shard) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`merge_matching_pairs_sharded`] under governance: polls `cfg`'s
+/// [`crate::Deadline`] at shard-chunk boundaries and contains worker
+/// panics, returning [`CoreError::Aborted`] / [`CoreError::WorkerPanicked`]
+/// instead of hanging or unwinding. Nothing is assembled on the error
+/// path — per-shard outputs are dropped.
+pub fn try_merge_matching_pairs_sharded<T: Send>(
+    left: &[(&[Value], u64)],
+    left_key: &[usize],
+    right: &[(&[Value], u64)],
+    right_key: &[usize],
+    cfg: &ExecConfig,
+    shard: impl Fn(PairSweep<'_, '_>) -> T + Sync,
+) -> Result<Vec<T>> {
     let keyed = KeyedPairs::sort(left, left_key, right, right_key);
     let n = keyed.l_order.len();
     let shards = cfg.shards_for(n.min(keyed.r_order.len()));
@@ -974,7 +999,7 @@ pub fn merge_matching_pairs_sharded<T: Send>(
         |p| keyed.right_lower_bound(left[keyed.l_order[p] as usize].0),
     );
     let keyed = &keyed;
-    run_tasks(cfg.threads, tasks, |(lr, rr)| shard(keyed.sweep(lr, rr)))
+    crate::exec::try_run_tasks(cfg, tasks, |(lr, rr)| shard(keyed.sweep(lr, rr)))
 }
 
 /// Both sides of [`merge_matching_pairs`] with their key-sorted position
@@ -1107,7 +1132,7 @@ pub fn multi_bag_join(bags: &[&Bag]) -> Result<Bag> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Attr;
+    use crate::{Attr, Deadline};
 
     fn schema(ids: &[u32]) -> Schema {
         Schema::from_attrs(ids.iter().map(|&i| Attr::new(i)))
@@ -1257,6 +1282,7 @@ mod tests {
         let cfg = ExecConfig {
             threads: 4,
             min_parallel_support: 1024,
+            deadline: Deadline::NONE,
         };
         assert_eq!(
             JoinStrategy::select_with(so(4096), un(4096), &cfg),
@@ -1300,6 +1326,7 @@ mod tests {
                 let cfg = ExecConfig {
                     threads,
                     min_parallel_support: 1,
+                    deadline: Deadline::NONE,
                 };
                 let base = bag_join_merge_baseline_with(&r, &s, &cfg).unwrap();
                 let hot = bag_join_merge_with(&r, &s, &cfg).unwrap();
@@ -1366,6 +1393,7 @@ mod tests {
             let cfg = ExecConfig {
                 threads,
                 min_parallel_support: 1,
+                deadline: Deadline::NONE,
             };
             let par = bag_join_merge_with(&r, &s, &cfg).unwrap();
             assert_eq!(par, seq, "threads = {threads}");
@@ -1395,6 +1423,7 @@ mod tests {
             let cfg = ExecConfig {
                 threads,
                 min_parallel_support: 1,
+                deadline: Deadline::NONE,
             };
             let par = bag_join_hash_with(&r, &s, &cfg).unwrap();
             assert_eq!(par, seq, "threads = {threads}");
@@ -1411,6 +1440,7 @@ mod tests {
             &ExecConfig {
                 threads: 4,
                 min_parallel_support: 1,
+                deadline: Deadline::NONE,
             },
         )
         .unwrap();
@@ -1429,6 +1459,7 @@ mod tests {
             let cfg = ExecConfig {
                 threads,
                 min_parallel_support: 1,
+                deadline: Deadline::NONE,
             };
             assert_eq!(
                 bag_join_hash_with(&r, &s, &cfg),
@@ -1452,6 +1483,7 @@ mod tests {
             let cfg = ExecConfig {
                 threads,
                 min_parallel_support: 1,
+                deadline: Deadline::NONE,
             };
             let per_shard: Vec<Vec<(usize, usize)>> =
                 merge_matching_pairs_sharded(&left, &[0], &right, &[0], &cfg, |sweep| {

@@ -154,9 +154,11 @@
 
 pub mod attr;
 pub mod bag;
+pub mod cancel;
 pub mod delta;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod hash;
 pub mod io;
 pub mod join;
@@ -170,6 +172,7 @@ pub mod tuple;
 
 pub use attr::{Attr, Value};
 pub use bag::Bag;
+pub use cancel::{AbortReason, CancelToken, Deadline};
 pub use delta::{DeltaApply, DeltaEdit, DeltaSet};
 pub use error::CoreError;
 pub use exec::{ExecConfig, ExecConfigBuilder};

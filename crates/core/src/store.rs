@@ -220,6 +220,34 @@ impl RowStore {
         id
     }
 
+    /// Drops every row with id `>= new_len`, restoring the store to an
+    /// earlier length — the rollback half of the delta-apply atomicity
+    /// guarantee ([`crate::Bag::apply_delta_with`]). Error-path-only:
+    /// individual slots cannot be unlinked from a linear-probing table
+    /// without corrupting probe chains, so the dedup table is rebuilt
+    /// from the surviving rows (`O(new_len)` — acceptable where the
+    /// alternative is a corrupted bag).
+    pub(crate) fn truncate(&mut self, new_len: usize) {
+        if new_len >= self.len() {
+            return;
+        }
+        self.data.truncate(new_len * self.arity);
+        self.len = new_len as u32;
+        let cap = slot_count_for(new_len);
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        self.mask = cap - 1;
+        for id in 0..self.len {
+            let off = id as usize * self.arity;
+            let hash = hash_row(&self.data[off..off + self.arity]);
+            let mut i = hash as usize & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = id;
+        }
+    }
+
     /// Rebuilds the store with rows in `order`, dropping rows not listed.
     ///
     /// `order` must contain distinct, in-bounds ids. Used by

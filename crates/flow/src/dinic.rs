@@ -5,6 +5,8 @@
 //! produces an **integral** max flow whenever all capacities are integers,
 //! which is exactly the integrality theorem the paper invokes.
 
+use bagcons_core::{AbortReason, Deadline};
+
 /// Identifier of a directed edge added with [`FlowNetwork::add_edge`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EdgeId(usize);
@@ -151,6 +153,34 @@ impl FlowNetwork {
     /// new BFS. The fresh BFS phases then run exactly as before, so the
     /// returned value is the true max-flow value regardless.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u128 {
+        let (total, aborted) = self.max_flow_governed(s, t, &Deadline::NONE);
+        debug_assert!(aborted.is_none(), "Deadline::NONE never fires");
+        total
+    }
+
+    /// Augmenting paths between deadline polls in
+    /// [`FlowNetwork::max_flow_governed`]'s blocking-flow loops: frequent
+    /// enough that a stuck phase is noticed quickly, sparse enough that
+    /// the `Instant::now()` syscall is noise against the DFS work.
+    const PATHS_PER_POLL: u32 = 64;
+
+    /// [`FlowNetwork::max_flow`] under a cooperative [`Deadline`]: the
+    /// deadline is polled once per phase (before the warm blocking flow
+    /// and before each BFS) and every `PATHS_PER_POLL`
+    /// augmenting paths inside the blocking-flow loops.
+    ///
+    /// Returns `(augmented, abort)`. On abort (`Some` reason) the network
+    /// holds a **valid feasible flow** — every DFS augmentation is
+    /// path-atomic, so conservation holds and `augmented` units really
+    /// were routed `s → t`; it is just not certified maximal. Callers may
+    /// bank the partial value and call again later to resume where the
+    /// search stopped (residual capacities persist).
+    pub fn max_flow_governed(
+        &mut self,
+        s: usize,
+        t: usize,
+        deadline: &Deadline,
+    ) -> (u128, Option<AbortReason>) {
         assert_ne!(s, t, "source and sink must differ");
         let n = self.adj.len();
         let mut total: u128 = 0;
@@ -158,60 +188,88 @@ impl FlowNetwork {
         let mut it = std::mem::take(&mut self.iter_buf);
         level.resize(n, -1);
         it.resize(n, 0);
-        // Warm phase: speculative blocking flow along the last run's
-        // layered graph. Sound for any labels (the DFS walks only
-        // level-increasing residual edges, so every path it finds is a
-        // genuine augmenting path); the guard just skips labels that
-        // cannot possibly route `s → t`.
         let warm = std::mem::take(&mut self.warm_level);
-        if warm.len() == n && warm[s] == 0 && warm[t] > 0 {
-            it.iter_mut().for_each(|i| *i = 0);
-            loop {
-                let pushed = self.dfs(s, t, u64::MAX, &warm, &mut it);
-                if pushed == 0 {
-                    break;
-                }
-                total += pushed as u128;
-            }
-        }
         let mut wrote_warm = false;
-        loop {
-            // BFS phase: layered residual graph.
-            level.iter_mut().for_each(|l| *l = -1);
-            level[s] = 0;
-            let mut queue = std::collections::VecDeque::from([s]);
-            while let Some(u) = queue.pop_front() {
-                for &e in &self.adj[u] {
-                    let edge = &self.edges[e];
-                    if edge.cap > 0 && level[edge.to] < 0 {
-                        level[edge.to] = level[u] + 1;
-                        queue.push_back(edge.to);
+        let mut aborted: Option<AbortReason> = None;
+        let mut paths: u32 = 0;
+        'search: {
+            // Warm phase: speculative blocking flow along the last run's
+            // layered graph. Sound for any labels (the DFS walks only
+            // level-increasing residual edges, so every path it finds is a
+            // genuine augmenting path); the guard just skips labels that
+            // cannot possibly route `s → t`.
+            if warm.len() == n && warm[s] == 0 && warm[t] > 0 {
+                if let Some(r) = deadline.poll() {
+                    aborted = Some(r);
+                    break 'search;
+                }
+                it.iter_mut().for_each(|i| *i = 0);
+                loop {
+                    let pushed = self.dfs(s, t, u64::MAX, &warm, &mut it);
+                    if pushed == 0 {
+                        break;
+                    }
+                    total += pushed as u128;
+                    paths += 1;
+                    if paths % Self::PATHS_PER_POLL == 0 {
+                        if let Some(r) = deadline.poll() {
+                            aborted = Some(r);
+                            break 'search;
+                        }
                     }
                 }
             }
-            if level[t] < 0 {
-                if !wrote_warm {
-                    // No phase reached the sink this call; the previous
-                    // labels stay the best speculative frontier.
-                    self.warm_level = warm;
-                }
-                self.level_buf = level;
-                self.iter_buf = it;
-                return total;
-            }
-            // Keep these labels for the next call's warm phase.
-            self.warm_level.clone_from(&level);
-            wrote_warm = true;
-            // DFS phase: blocking flow.
-            it.iter_mut().for_each(|i| *i = 0);
             loop {
-                let pushed = self.dfs(s, t, u64::MAX, &level, &mut it);
-                if pushed == 0 {
-                    break;
+                if let Some(r) = deadline.poll() {
+                    aborted = Some(r);
+                    break 'search;
                 }
-                total += pushed as u128;
+                // BFS phase: layered residual graph.
+                level.iter_mut().for_each(|l| *l = -1);
+                level[s] = 0;
+                let mut queue = std::collections::VecDeque::from([s]);
+                while let Some(u) = queue.pop_front() {
+                    for &e in &self.adj[u] {
+                        let edge = &self.edges[e];
+                        if edge.cap > 0 && level[edge.to] < 0 {
+                            level[edge.to] = level[u] + 1;
+                            queue.push_back(edge.to);
+                        }
+                    }
+                }
+                if level[t] < 0 {
+                    // Maximality certified: no augmenting path remains.
+                    break 'search;
+                }
+                // Keep these labels for the next call's warm phase.
+                self.warm_level.clone_from(&level);
+                wrote_warm = true;
+                // DFS phase: blocking flow.
+                it.iter_mut().for_each(|i| *i = 0);
+                loop {
+                    let pushed = self.dfs(s, t, u64::MAX, &level, &mut it);
+                    if pushed == 0 {
+                        break;
+                    }
+                    total += pushed as u128;
+                    paths += 1;
+                    if paths % Self::PATHS_PER_POLL == 0 {
+                        if let Some(r) = deadline.poll() {
+                            aborted = Some(r);
+                            break 'search;
+                        }
+                    }
+                }
             }
         }
+        if !wrote_warm {
+            // No phase reached the sink this call; the previous labels
+            // stay the best speculative frontier.
+            self.warm_level = warm;
+        }
+        self.level_buf = level;
+        self.iter_buf = it;
+        (total, aborted)
     }
 
     fn dfs(&mut self, u: usize, t: usize, limit: u64, level: &[i32], it: &mut [usize]) -> u64 {
@@ -421,6 +479,34 @@ mod tests {
                 "round {round}: warm cumulative flow diverged from cold solve"
             );
         }
+    }
+
+    /// An expired deadline aborts the search before any augmentation;
+    /// the network stays a valid (here: zero) flow and a later
+    /// ungoverned call resumes to the true maximum.
+    #[test]
+    fn governed_abort_banks_partial_flow_and_resumes() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 5);
+        let expired = Deadline::at(std::time::Instant::now());
+        let (got, aborted) = net.max_flow_governed(0, 2, &expired);
+        assert_eq!(got, 0, "no phase ran under an expired deadline");
+        assert_eq!(aborted, Some(AbortReason::DeadlineExceeded));
+        assert_eq!(net.max_flow(0, 2), 5, "resume finds the full flow");
+    }
+
+    /// A cancelled token reports `Cancelled`, not `DeadlineExceeded`.
+    #[test]
+    fn governed_abort_reports_cancellation() {
+        use bagcons_core::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 3);
+        let (got, aborted) = net.max_flow_governed(0, 1, &Deadline::cancelled_by(token));
+        assert_eq!(got, 0);
+        assert_eq!(aborted, Some(AbortReason::Cancelled));
     }
 
     /// The speculative warm phase alone (no fresh BFS needed) drains

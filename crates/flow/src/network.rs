@@ -27,8 +27,8 @@
 
 use crate::dinic::{EdgeId, FlowNetwork};
 use bagcons_core::exec::{ExecConfig, ScratchPool, ShardRun};
-use bagcons_core::join::{merge_matching_pairs_sharded, JoinPlan};
-use bagcons_core::{Bag, Result, RowId, RowStore, Schema, Value};
+use bagcons_core::join::{try_merge_matching_pairs_sharded, JoinPlan};
+use bagcons_core::{Bag, CoreError, Result, RowId, RowStore, Schema, Value};
 
 /// Which side of `N(R,S)` a row edit targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -178,7 +178,7 @@ impl ConsistencyNetwork {
     /// execution configuration.
     ///
     /// The sort-merge key matching shards by key range
-    /// ([`merge_matching_pairs_sharded`]): each shard assembles its
+    /// (`merge_matching_pairs_sharded`): each shard assembles its
     /// candidate `XY`-rows, capacities, and vertex pairs into private
     /// buffers (hashing rows on the worker thread), and the buffers then
     /// splice into the network-local arena in ascending key order — the
@@ -249,7 +249,8 @@ impl ConsistencyNetwork {
             run: ShardRun,
         }
         let buffers: Vec<EdgeBuffer> =
-            merge_matching_pairs_sharded(&r_rows, &z_of_r, &s_rows, &z_of_s, cfg, |sweep| {
+            try_merge_matching_pairs_sharded(&r_rows, &z_of_r, &s_rows, &z_of_s, cfg, |sweep| {
+                bagcons_core::fault::fire("network::build");
                 let mut buf = EdgeBuffer {
                     pairs: Vec::new(),
                     run: ShardRun::new(out_schema.arity()),
@@ -268,7 +269,7 @@ impl ConsistencyNetwork {
                 });
                 pool.put_values(scratch);
                 buf
-            });
+            })?;
 
         // Splice: edge insertion order across shards equals the
         // sequential emission order; row hashes were precomputed on the
@@ -344,6 +345,25 @@ impl ConsistencyNetwork {
         self.reaugment().then(|| self.extract_witness(cfg))
     }
 
+    /// [`ConsistencyNetwork::solve_with`] under governance: honours
+    /// `cfg`'s [`bagcons_core::Deadline`] in both the max-flow search
+    /// (per-phase polls) and the witness's closing seal.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Aborted`] when the deadline fires — the partial flow
+    /// found so far is banked inside `self`, but `self` is consumed, so
+    /// retrying means rebuilding (use [`ConsistencyNetwork::try_reaugment`]
+    /// then [`ConsistencyNetwork::try_witness_with`] on a borrowed network
+    /// to keep resumability). [`CoreError::WorkerPanicked`] when a seal
+    /// worker panics.
+    pub fn try_solve_with(mut self, cfg: &ExecConfig) -> Result<Option<Bag>> {
+        if !self.try_reaugment(cfg)? {
+            return Ok(None);
+        }
+        self.try_witness_with(cfg)
+    }
+
     /// Augments the retained flow to a maximum with Dinic — from
     /// whatever feasible flow previous solves and
     /// [`ConsistencyNetwork::apply_edit`] repairs left behind, not from
@@ -362,6 +382,36 @@ impl ConsistencyNetwork {
         self.flow_value == self.total_r
     }
 
+    /// [`ConsistencyNetwork::reaugment`] under governance: Dinic polls
+    /// `cfg`'s [`bagcons_core::Deadline`] per phase (and every few
+    /// augmenting paths).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Aborted`] when the deadline fires mid-search. The
+    /// network stays **valid and resumable**: the partial augmentation is
+    /// banked into the retained flow value (every augmenting path is
+    /// atomic, so the flow is feasible and conserved), and a later call —
+    /// with a fresh deadline or none — picks up from the residual graph
+    /// rather than from zero.
+    pub fn try_reaugment(&mut self, cfg: &ExecConfig) -> Result<bool> {
+        bagcons_core::fault::fire("network::reaugment");
+        if self.total_r != self.total_s {
+            // A saturated flow needs both sides saturated; impossible.
+            return Ok(false);
+        }
+        if self.flow_value != self.total_r {
+            let (added, aborted) =
+                self.net
+                    .max_flow_governed(self.source, self.sink, cfg.deadline());
+            self.flow_value += added;
+            if let Some(reason) = aborted {
+                return Err(CoreError::Aborted(reason));
+            }
+        }
+        Ok(self.flow_value == self.total_r)
+    }
+
     /// True iff the retained flow saturates the network (call
     /// [`ConsistencyNetwork::reaugment`] after edits first).
     pub fn is_saturated(&self) -> bool {
@@ -375,8 +425,32 @@ impl ConsistencyNetwork {
         self.is_saturated().then(|| self.extract_witness(cfg))
     }
 
+    /// [`ConsistencyNetwork::witness_with`] under governance: the
+    /// witness's closing seal honours `cfg`'s deadline and contains
+    /// worker panics. The network itself is only read — on error nothing
+    /// is cached or mutated.
+    pub fn try_witness_with(&self, cfg: &ExecConfig) -> Result<Option<Bag>> {
+        if !self.is_saturated() {
+            return Ok(None);
+        }
+        let mut witness = self.assemble_witness();
+        witness.try_seal_with(cfg)?;
+        Ok(Some(witness))
+    }
+
     /// Builds `T(t) = f(t[X], t[Y])` from the current per-edge flows.
     fn extract_witness(&self, cfg: &ExecConfig) -> Bag {
+        let mut witness = self.assemble_witness();
+        witness.seal_with(cfg);
+        witness
+    }
+
+    /// The unsealed witness bag of the current per-edge flows. Witnesses
+    /// leave sealed ([`ConsistencyNetwork::extract_witness`] /
+    /// [`ConsistencyNetwork::try_witness_with`]): the acyclic chain feeds
+    /// them straight back into the next network build (which wants sorted
+    /// order) and into prefix marginals (which then skip hashing).
+    fn assemble_witness(&self) -> Bag {
         let mut witness = Bag::with_capacity(self.xy.clone(), self.middle.len());
         for m in &self.middle {
             let f = self.net.flow(m.edge);
@@ -386,11 +460,6 @@ impl ConsistencyNetwork {
                     .expect("middle rows are valid XY rows and flows fit u64");
             }
         }
-        // Witnesses leave as sealed sorted runs: the acyclic chain feeds
-        // them straight back into the next network build (which wants
-        // sorted order) and into prefix marginals (which then skip
-        // hashing entirely).
-        witness.seal_with(cfg);
         witness
     }
 

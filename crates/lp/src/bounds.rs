@@ -91,7 +91,7 @@ pub fn minimize_support(prog: &ConsistencyProgram, cfg: &SolverConfig) -> Option
         match solve_masked(prog, cfg, &banned) {
             (IlpOutcome::Sat(x), _) => current = x,
             (IlpOutcome::Unsat, _) => banned[v] = false,
-            (IlpOutcome::NodeLimit, _) => return None,
+            (IlpOutcome::Aborted(_), _) => return None,
         }
     }
     Some(current)

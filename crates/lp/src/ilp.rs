@@ -17,12 +17,18 @@
 //! `2^{n-1}`-witness family of Section 3 (experiment E1) is verified.
 
 use crate::ConsistencyProgram;
+use bagcons_core::{AbortReason, Deadline};
 
 /// Knobs for the exact solver.
 #[derive(Clone, Debug, Default)]
 pub struct SolverConfig {
     /// Abort after this many search nodes (`None` = unlimited).
     pub node_limit: Option<u64>,
+    /// Cooperative wall-clock/cancellation governance: polled every
+    /// [`NODES_PER_POLL`] search nodes; an expired deadline aborts the
+    /// search with [`IlpOutcome::Aborted`]. [`Deadline::NONE`] (the
+    /// default) never fires.
+    pub deadline: Deadline,
     /// Ablation: skip forced-variable detection (DESIGN.md ablation A1).
     /// The search stays correct but explores more nodes.
     pub disable_forcing: bool,
@@ -46,9 +52,16 @@ pub struct SolverConfigBuilder {
 
 impl SolverConfigBuilder {
     /// Aborts the search after `nodes` DFS nodes (reported as
-    /// [`IlpOutcome::NodeLimit`]).
+    /// [`IlpOutcome::Aborted`] with [`AbortReason::NodeBudget`]).
     pub fn node_limit(mut self, nodes: u64) -> Self {
         self.cfg.node_limit = Some(nodes);
+        self
+    }
+
+    /// Aborts the search when `deadline` fires (polled every
+    /// [`NODES_PER_POLL`] nodes; reported as [`IlpOutcome::Aborted`]).
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.cfg.deadline = deadline;
         self
     }
 
@@ -84,8 +97,10 @@ pub enum IlpOutcome {
     Sat(Vec<u64>),
     /// Proven infeasible.
     Unsat,
-    /// Search aborted at the node limit; feasibility unknown.
-    NodeLimit,
+    /// Search aborted before an answer — node budget exhausted, deadline
+    /// expired, or cancelled; feasibility unknown. The reason travels to
+    /// the decision layer, which surfaces it in reports and JSON.
+    Aborted(AbortReason),
 }
 
 impl IlpOutcome {
@@ -102,6 +117,11 @@ pub struct SolveStats {
     pub nodes: u64,
 }
 
+/// Search nodes between deadline polls: frequent enough that a 10 ms
+/// deadline stops an adversarial search promptly, sparse enough that the
+/// `Instant::now()` call vanishes against the per-node work.
+pub const NODES_PER_POLL: u64 = 128;
+
 struct Search<'a> {
     prog: &'a ConsistencyProgram,
     banned: &'a [bool],
@@ -110,13 +130,14 @@ struct Search<'a> {
     x: Vec<u64>,
     nodes: u64,
     node_limit: Option<u64>,
+    deadline: Deadline,
     use_forcing: bool,
 }
 
 enum Found {
     Yes,
     No,
-    Aborted,
+    Aborted(AbortReason),
 }
 
 impl<'a> Search<'a> {
@@ -160,6 +181,7 @@ impl<'a> Search<'a> {
             x: vec![0; n],
             nodes: 0,
             node_limit: cfg.node_limit,
+            deadline: cfg.deadline.clone(),
             use_forcing: !cfg.disable_forcing,
         })
     }
@@ -210,10 +232,15 @@ impl<'a> Search<'a> {
         loop {
             if let Some(limit) = self.node_limit {
                 if self.nodes >= limit {
-                    return Found::Aborted;
+                    return Found::Aborted(AbortReason::NodeBudget);
                 }
             }
             self.nodes += 1;
+            if self.nodes % NODES_PER_POLL == 0 {
+                if let Some(reason) = self.deadline.poll() {
+                    return Found::Aborted(reason);
+                }
+            }
             // assign x_v = val
             self.x[v] = val;
             let mut ok = true;
@@ -274,6 +301,12 @@ pub fn solve_masked(
     cfg: &SolverConfig,
     banned: &[bool],
 ) -> (IlpOutcome, SolveStats) {
+    // Entry poll: an already-expired deadline aborts before presolve
+    // touches the program, so even instances that presolve would settle
+    // respect the governance contract deterministically.
+    if let Some(reason) = cfg.deadline.poll() {
+        return (IlpOutcome::Aborted(reason), SolveStats::default());
+    }
     let Some(mut search) = Search::new(prog, banned, cfg) else {
         return (IlpOutcome::Unsat, SolveStats::default());
     };
@@ -288,7 +321,7 @@ pub fn solve_masked(
     let outcome = match found {
         Found::Yes => IlpOutcome::Sat(solution.expect("solution recorded")),
         Found::No => IlpOutcome::Unsat,
-        Found::Aborted => IlpOutcome::NodeLimit,
+        Found::Aborted(reason) => IlpOutcome::Aborted(reason),
     };
     (outcome, stats)
 }
@@ -307,9 +340,9 @@ pub fn count_solutions(prog: &ConsistencyProgram, cfg: &SolverConfig, limit: u64
         count < limit
     });
     match found {
-        Found::Yes => (count, false),     // stopped by limit
-        Found::No => (count, true),       // exhausted the space
-        Found::Aborted => (count, false), // node budget
+        Found::Yes => (count, false),        // stopped by limit
+        Found::No => (count, true),          // exhausted the space
+        Found::Aborted(_) => (count, false), // node budget / deadline
     }
 }
 
@@ -415,7 +448,29 @@ mod tests {
             ..Default::default()
         };
         // with 4 variables, one node cannot finish
-        assert_eq!(solve(&prog, &cfg), IlpOutcome::NodeLimit);
+        assert_eq!(
+            solve(&prog, &cfg),
+            IlpOutcome::Aborted(AbortReason::NodeBudget)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_aborts_search() {
+        // Adversarial-ish loose instance; enough nodes that the
+        // every-128-nodes poll is guaranteed to run.
+        let r = Bag::from_u64s(schema(&[0]), [(&[0u64][..], 200), (&[1][..], 200)]).unwrap();
+        let s = Bag::from_u64s(schema(&[1]), [(&[0u64][..], 200), (&[1][..], 200)]).unwrap();
+        let prog = ConsistencyProgram::build(&[&r, &s]).unwrap();
+        let cfg = SolverConfig::builder()
+            .disable_forcing(true)
+            .deadline(Deadline::at(std::time::Instant::now()))
+            .build();
+        match solve(&prog, &cfg) {
+            IlpOutcome::Aborted(AbortReason::DeadlineExceeded) => {}
+            // Tiny instances can finish inside the first poll window.
+            IlpOutcome::Sat(_) => {}
+            other => panic!("expected deadline abort or fast Sat, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   --threads N         worker threads (default: one per core, capped at 8)
 //!   --budget N          node budget for the cyclic exact search
 //!                       (default 50000000)
+//!   --timeout MS        wall-clock budget in milliseconds per operation
+//!                       (per delta under `watch`); on expiry the decision
+//!                       degrades to `unknown` (exit 3) instead of hanging
 //!   --format text|json  output format (default text)
 //! ```
 //!
@@ -44,6 +47,7 @@ struct Cli {
     files: Vec<String>,
     threads: Option<usize>,
     budget: u64,
+    timeout: Option<std::time::Duration>,
     format: ReportFormat,
 }
 
@@ -62,6 +66,9 @@ fn main() -> ExitCode {
     let mut builder = Session::builder().budget(cli.budget);
     if let Some(threads) = cli.threads {
         builder = builder.threads(threads);
+    }
+    if let Some(timeout) = cli.timeout {
+        builder = builder.deadline(timeout);
     }
     let mut session = match builder.build() {
         Ok(s) => s,
@@ -112,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut positional: Vec<String> = Vec::new();
     let mut threads = None;
     let mut budget = DEFAULT_BUDGET;
+    let mut timeout = None;
     let mut format = ReportFormat::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -141,6 +149,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse::<u64>()
                     .map_err(|_| "--budget expects an unsigned integer".to_string())?;
             }
+            "--timeout" => {
+                let ms = value(&mut it)?
+                    .parse::<u64>()
+                    .map_err(|_| "--timeout expects milliseconds".to_string())?;
+                timeout = Some(std::time::Duration::from_millis(ms));
+            }
             "--format" => {
                 format = value(&mut it)?.parse::<ReportFormat>()?;
             }
@@ -159,6 +173,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         files,
         threads,
         budget,
+        timeout,
         format,
     })
 }
@@ -166,7 +181,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bagcons <check|witness|diagnose|pairwise|schema|counterexample|watch> \
-         [--threads N] [--budget N] [--format text|json] <FILE>...\n\
+         [--threads N] [--budget N] [--timeout MS] [--format text|json] <FILE>...\n\
          FILEs hold bags in tabular text form (`A B #` header, `1 2 : 3` rows).\n\
          watch reads `<bag-index> <values...> : <±delta>` lines from stdin and\n\
          re-emits a decision per delta (incremental re-check; `: +1` default)."

@@ -659,3 +659,99 @@ fn watch_rejects_bad_delta_lines() {
         assert!(!out.stderr.is_empty());
     }
 }
+
+#[test]
+fn timeout_zero_degrades_check_to_unknown() {
+    let dir = tempdir("timeout");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n1 1 : 3\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n1 8 : 3\n");
+    let wide = "0 0 : 3\n0 1 : 3\n1 0 : 3\n1 1 : 3\n";
+    let ta = write(&dir, "ta.bag", &format!("A B #\n{wide}"));
+    let tb = write(&dir, "tb.bag", &format!("B C #\n{wide}"));
+    let tc = write(&dir, "tc.bag", &format!("A C #\n{wide}"));
+
+    // acyclic branch: the pairwise sweep polls before the first pair
+    let out = run(&[
+        "check",
+        "--timeout",
+        "0",
+        "--format",
+        "json",
+        r.to_str().unwrap(),
+        s.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let json = stdout(&out);
+    assert_eq!(
+        json_str_field(&json, "decision").as_deref(),
+        Some("unknown")
+    );
+    assert_eq!(
+        json_str_field(&json, "abort_reason").as_deref(),
+        Some("deadline_exceeded")
+    );
+
+    // cyclic branch: the ILP entry poll fires before presolve
+    let out = run(&[
+        "check",
+        "--timeout=0",
+        "--format",
+        "json",
+        ta.to_str().unwrap(),
+        tb.to_str().unwrap(),
+        tc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert_eq!(
+        json_str_field(&stdout(&out), "abort_reason").as_deref(),
+        Some("deadline_exceeded")
+    );
+
+    // text mode names the reason
+    let out = run(&[
+        "check",
+        "--timeout",
+        "0",
+        r.to_str().unwrap(),
+        s.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        stdout(&out).contains("deadline exceeded"),
+        "{:?}",
+        stdout(&out)
+    );
+
+    // a generous timeout changes nothing on an easy instance
+    let out = run(&[
+        "check",
+        "--timeout",
+        "60000",
+        r.to_str().unwrap(),
+        s.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn watch_stdin_read_error_exits_two_with_diagnostic() {
+    use std::process::Stdio;
+
+    let dir = tempdir("watcherr");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n");
+    // a directory opens fine but reads fail (EISDIR), so the stream dies
+    // mid-watch rather than at spawn
+    let broken_stdin = fs::File::open(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bagcons"))
+        .args(["watch", r.to_str().unwrap(), s.to_str().unwrap()])
+        .stdin(Stdio::from(broken_stdin))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert_eq!(stderr.lines().count(), 1, "one-line diagnostic: {stderr:?}");
+    assert!(stderr.starts_with("error: stdin:"), "{stderr:?}");
+    // the opening state line still lands before the failure
+    assert!(stdout(&out).starts_with("open: consistent"), "{out:?}");
+}
