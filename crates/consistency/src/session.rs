@@ -730,6 +730,7 @@ pub struct SessionBuilder {
     budget: Option<u64>,
     deadline: Option<Duration>,
     max_mismatches: Option<usize>,
+    scratch: Option<Arc<ScratchPool>>,
 }
 
 impl SessionBuilder {
@@ -785,6 +786,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Shares an existing scratch pool instead of allocating a private
+    /// one — many sessions (e.g. the serving daemon's per-connection
+    /// sessions) can then draw their reusable buffers from one sharded
+    /// pool.
+    pub fn scratch(mut self, pool: Arc<ScratchPool>) -> Self {
+        self.scratch = Some(pool);
+        self
+    }
+
     /// Validates the configuration and builds the session.
     pub fn build(self) -> Result<Session, CoreError> {
         let exec = match (self.exec, self.threads) {
@@ -811,7 +821,7 @@ impl SessionBuilder {
             max_mismatches: self
                 .max_mismatches
                 .unwrap_or(Session::DEFAULT_MAX_MISMATCHES),
-            scratch: Arc::new(ScratchPool::new()),
+            scratch: self.scratch.unwrap_or_else(|| Arc::new(ScratchPool::new())),
         })
     }
 }
@@ -873,13 +883,13 @@ impl Session {
     /// merged with any deadline on the exec config) and returns the
     /// governed exec + solver configs one top-level call runs under.
     pub(crate) fn arm(&self) -> (ExecConfig, SolverConfig) {
-        let deadline = match self.time_budget {
-            Some(budget) => self.exec.deadline().merged(&Deadline::after(budget)),
-            None => self.exec.deadline().clone(),
-        };
-        let mut solver = self.solver.clone();
-        solver.deadline = solver.deadline.merged(&deadline);
-        (self.exec.clone().with_deadline(deadline), solver)
+        arm_configs(&self.exec, &self.solver, self.time_budget)
+    }
+
+    /// The scratch pool as a shareable handle (for streams and other
+    /// long-lived state that must outlive the session borrow).
+    pub(crate) fn scratch_handle(&self) -> Arc<ScratchPool> {
+        Arc::clone(&self.scratch)
     }
 
     /// The diagnose mismatch cap.
@@ -1061,6 +1071,25 @@ impl Session {
     pub fn naive_bag_semijoin(&self, r: &Bag, s: &Bag) -> bagcons_core::Result<Bag> {
         naive_bag_semijoin_pooled_with(r, s, &self.exec, &self.scratch)
     }
+}
+
+/// Arms a fresh per-operation [`Deadline`] over a copied configuration:
+/// the optional wall-clock budget is merged with any deadline already on
+/// the exec config (earlier wins), and the solver inherits the result.
+/// Shared by [`Session::arm`] and the de-lifetimed
+/// [`crate::stream::ConsistencyStream`].
+pub(crate) fn arm_configs(
+    exec: &ExecConfig,
+    solver: &SolverConfig,
+    time_budget: Option<Duration>,
+) -> (ExecConfig, SolverConfig) {
+    let deadline = match time_budget {
+        Some(budget) => exec.deadline().merged(&Deadline::after(budget)),
+        None => exec.deadline().clone(),
+    };
+    let mut solver = solver.clone();
+    solver.deadline = solver.deadline.merged(&deadline);
+    (exec.clone().with_deadline(deadline), solver)
 }
 
 /// The graceful-degradation outcome: a governed stage aborted, so the

@@ -19,6 +19,28 @@
 //!   only the touched pairs' networks;
 //! * leaves every pair not sharing the edited bag fully cached.
 //!
+//! # Shared generations (copy-on-write)
+//!
+//! The stream holds its bags as `Arc<Bag>`. [`Session::open_stream_shared`]
+//! opens a stream directly over a shared, sealed *generation* of bags —
+//! many readers (the serving daemon's sessions) can pin the same
+//! generation with zero copying, because sealed [`Bag`] state is
+//! immutable. The first delta a writer applies to a shared bag
+//! copy-on-writes just that bag (`Arc::make_mut`); the other bags, and
+//! every concurrent reader's view, stay physically shared.
+//! [`ConsistencyStream::share_bags`] hands the current (sealed) bags
+//! back out as a new shareable generation.
+//!
+//! # Batched updates
+//!
+//! [`ConsistencyStream::update_batch`] applies a burst of deltas and
+//! re-decides **once**: every edit is applied first, then each touched
+//! pair is repaired a single time (all capacity edits, then one
+//! re-augmentation), amortizing the repair cost across the burst. The
+//! batch is atomic: if any delta fails to apply, the already-applied
+//! prefix is rolled back with negated deltas and the stream state is
+//! exactly as before.
+//!
 //! # Delta invariants (when is an update cheap?)
 //!
 //! * Edits that keep every edited row's multiplicity **non-zero and
@@ -39,8 +61,10 @@
 //!
 //! # Governance and fault containment
 //!
-//! Each update arms the session's per-operation [`bagcons_core::Deadline`]
-//! ([`crate::session::SessionBuilder::deadline`]) and polls it between
+//! Each update arms a fresh per-operation [`bagcons_core::Deadline`]
+//! from the opening session's configuration
+//! ([`crate::session::SessionBuilder::deadline`]; adjustable per stream
+//! via [`ConsistencyStream::set_time_budget`]) and polls it between
 //! pair repairs. An expiry or cancellation **after** the delta applied
 //! degrades gracefully: the pairs not yet repaired are marked stale,
 //! the update returns [`Decision::Unknown`] with
@@ -57,13 +81,19 @@
 use crate::global::{globally_consistent_via_ilp, schema_hypergraph};
 use crate::report::{Json, Render};
 use crate::session::{
-    check_impl, json_stages, push_stage, Branch, Decision, Session, SessionError, StageTiming,
+    arm_configs, check_impl, json_stages, push_stage, Branch, Decision, Session, SessionError,
+    StageTiming,
 };
-use bagcons_core::{AbortReason, AttrNames, Bag, CoreError, DeltaApply, DeltaSet, ExecConfig};
+use bagcons_core::exec::ScratchPool;
+use bagcons_core::{
+    AbortReason, AttrNames, Bag, CoreError, Deadline, DeltaApply, DeltaSet, ExecConfig,
+};
 use bagcons_flow::{ConsistencyNetwork, Side};
 use bagcons_hypergraph::is_acyclic;
-use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
-use std::time::Instant;
+use bagcons_lp::ilp::SolverConfig;
+use bagcons_lp::IlpOutcome;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Cached consistency evidence for one bag pair.
 enum PairCheck {
@@ -87,9 +117,20 @@ struct PairState {
 
 /// A stateful incremental checker over a fixed collection of bags; see
 /// the [module docs](self) and [`Session::open_stream`].
-pub struct ConsistencyStream<'s> {
-    session: &'s Session,
-    bags: Vec<Bag>,
+///
+/// The stream owns a copy of the opening session's governance
+/// configuration (exec, solver, per-operation time budget, scratch
+/// pool), so it has no borrow of the session and can be moved across
+/// threads or stored in long-lived connection state.
+pub struct ConsistencyStream {
+    exec: ExecConfig,
+    solver: SolverConfig,
+    time_budget: Option<Duration>,
+    scratch: Arc<ScratchPool>,
+    /// The bags, shared copy-on-write: sealed state is immutable, so
+    /// readers of the same generation alias these allocations until a
+    /// delta forces a private clone of the touched bag.
+    bags: Vec<Arc<Bag>>,
     /// Cached `‖R‖u` per bag, updated from [`DeltaApply::unary_change`].
     totals: Vec<u128>,
     acyclic: bool,
@@ -104,16 +145,19 @@ pub struct ConsistencyStream<'s> {
     witness: Option<Bag>,
 }
 
-/// Outcome of one [`ConsistencyStream::update`].
+/// Outcome of one [`ConsistencyStream::update`] or
+/// [`ConsistencyStream::update_batch`].
 #[derive(Clone, Debug)]
 pub struct UpdateOutcome {
     /// The global decision after the update.
     pub decision: Decision,
     /// Which dichotomy branch produced it.
     pub branch: Branch,
-    /// Index of the edited bag.
+    /// Index of the (first) edited bag.
     pub bag: usize,
-    /// What the delta did to the bag.
+    /// Number of delta sets in the batch (1 for a plain update).
+    pub deltas: usize,
+    /// What the batch did to the bags, aggregated over every delta.
     pub applied: DeltaApply,
     /// Pairs whose cached network warm-restarted in place.
     pub pairs_repaired: usize,
@@ -151,13 +195,23 @@ impl Render for UpdateOutcome {
             Some(reason) => format!("; {}", reason.describe()),
             None => String::new(),
         };
-        format!(
-            "{} (bag {}: {edit}; pairs: {} repaired, {} rebuilt{search}{abort})",
-            self.decision.as_str(),
-            self.bag,
-            self.pairs_repaired,
-            self.pairs_rebuilt,
-        )
+        if self.deltas == 1 {
+            format!(
+                "{} (bag {}: {edit}; pairs: {} repaired, {} rebuilt{search}{abort})",
+                self.decision.as_str(),
+                self.bag,
+                self.pairs_repaired,
+                self.pairs_rebuilt,
+            )
+        } else {
+            format!(
+                "{} (batch of {}: {edit}; pairs: {} repaired, {} rebuilt{search}{abort})",
+                self.decision.as_str(),
+                self.deltas,
+                self.pairs_repaired,
+                self.pairs_rebuilt,
+            )
+        }
     }
 
     fn json(&self, _names: &AttrNames) -> String {
@@ -167,6 +221,7 @@ impl Render for UpdateOutcome {
         j.field_str("decision", self.decision.as_str());
         j.field_str("branch", self.branch.as_str());
         j.field_u64("bag", self.bag as u64);
+        j.field_u64("deltas", self.deltas as u64);
         j.field_bool("in_place", !self.applied.support_changed());
         j.field_u64("rows_added", self.applied.added as u64);
         j.field_u64("rows_removed", self.applied.removed as u64);
@@ -201,19 +256,36 @@ impl Session {
     /// each subsequent [`ConsistencyStream::update`] re-decides at
     /// delta-proportional cost. See the [`stream`](crate::stream)
     /// module docs for the caching and fallback invariants.
-    pub fn open_stream(&self, bags: Vec<Bag>) -> Result<ConsistencyStream<'_>, SessionError> {
+    pub fn open_stream(&self, bags: Vec<Bag>) -> Result<ConsistencyStream, SessionError> {
+        ConsistencyStream::open(self, bags.into_iter().map(Arc::new).collect())
+    }
+
+    /// [`Session::open_stream`] over an already-shared *generation* of
+    /// sealed bags: the stream aliases the given `Arc`s instead of
+    /// copying, so any number of concurrent streams can pin one
+    /// generation. A later [`ConsistencyStream::update`] copy-on-writes
+    /// only the touched bag; the shared originals are never mutated.
+    pub fn open_stream_shared(
+        &self,
+        bags: Vec<Arc<Bag>>,
+    ) -> Result<ConsistencyStream, SessionError> {
         ConsistencyStream::open(self, bags)
     }
 }
 
-impl<'s> ConsistencyStream<'s> {
-    fn open(session: &'s Session, mut bags: Vec<Bag>) -> Result<Self, SessionError> {
+/// One delta of a batch: the target bag index and the delta to apply.
+pub type BatchEdit = (usize, DeltaSet);
+
+impl ConsistencyStream {
+    fn open(session: &Session, mut bags: Vec<Arc<Bag>>) -> Result<Self, SessionError> {
         let (exec, solver) = session.arm();
         for bag in &mut bags {
-            bag.try_seal_with(&exec)?;
+            if !bag.is_sealed() {
+                Arc::make_mut(bag).try_seal_with(&exec)?;
+            }
         }
-        let totals: Vec<u128> = bags.iter().map(Bag::unary_size).collect();
-        let refs: Vec<&Bag> = bags.iter().collect();
+        let totals: Vec<u128> = bags.iter().map(|b| b.unary_size()).collect();
+        let refs: Vec<&Bag> = bags.iter().map(|b| b.as_ref()).collect();
         let acyclic = is_acyclic(&schema_hypergraph(&refs));
         let mut pairs = Vec::new();
         for i in 0..bags.len() {
@@ -241,7 +313,10 @@ impl<'s> ConsistencyStream<'s> {
             }
         }
         let mut stream = ConsistencyStream {
-            session,
+            exec: session.exec().clone(),
+            solver: session.solver().clone(),
+            time_budget: session.time_budget(),
+            scratch: session.scratch_handle(),
             bags,
             totals,
             acyclic,
@@ -256,27 +331,71 @@ impl<'s> ConsistencyStream<'s> {
         Ok(stream)
     }
 
+    /// Arms a fresh per-operation deadline over the stream's copied
+    /// session configuration (same protocol as `Session::arm`).
+    fn arm(&self) -> (ExecConfig, SolverConfig) {
+        arm_configs(&self.exec, &self.solver, self.time_budget)
+    }
+
+    /// Replaces the per-update wall-clock budget
+    /// ([`crate::session::SessionBuilder::deadline`]); `None` removes
+    /// it. Takes effect from the next update.
+    pub fn set_time_budget(&mut self, budget: Option<Duration>) {
+        self.time_budget = budget;
+    }
+
     /// Applies `delta` to bag `bag`, repairs the touched pair caches,
     /// and re-decides. Errors before the delta commits are atomic; a
     /// deadline expiry after it degrades to [`Decision::Unknown`] with
     /// stale pairs queued for the next update (see the module docs).
     pub fn update(&mut self, bag: usize, delta: &DeltaSet) -> Result<UpdateOutcome, SessionError> {
+        self.update_impl(&[(bag, delta)])
+    }
+
+    /// Applies a whole batch of deltas, then repairs each touched pair
+    /// **once** and re-decides **once** — the amortized form of calling
+    /// [`ConsistencyStream::update`] per delta. The batch is atomic: on
+    /// any apply failure the already-applied prefix is rolled back (with
+    /// negated deltas) and the error is returned with the stream state
+    /// unchanged. An empty batch re-decides without touching the bags
+    /// (repairing any pairs left stale by an earlier aborted pass).
+    pub fn update_batch(&mut self, edits: &[BatchEdit]) -> Result<UpdateOutcome, SessionError> {
+        let refs: Vec<(usize, &DeltaSet)> = edits.iter().map(|(b, d)| (*b, d)).collect();
+        self.update_impl(&refs)
+    }
+
+    fn update_impl(&mut self, edits: &[(usize, &DeltaSet)]) -> Result<UpdateOutcome, SessionError> {
         bagcons_core::fault::fire("stream::update");
-        if bag >= self.bags.len() {
-            return Err(SessionError::Core(CoreError::InvalidConfig(
-                "bag index out of range",
-            )));
+        for (bag, _) in edits {
+            if *bag >= self.bags.len() {
+                return Err(SessionError::Core(CoreError::InvalidConfig(
+                    "bag index out of range",
+                )));
+            }
         }
-        let (exec, solver) = self.session.arm();
+        let (exec, solver) = self.arm();
         let mut stages = Vec::new();
 
         let t = Instant::now();
-        let applied = self.bags[bag].apply_delta_with(delta, &exec)?;
-        self.totals[bag] = (self.totals[bag] as i128 + applied.unary_change) as u128;
+        let applied = self.apply_batch(edits, &exec)?;
+        let mut agg = DeltaApply {
+            touched: 0,
+            added: 0,
+            removed: 0,
+            resealed: false,
+            unary_change: 0,
+        };
+        for a in &applied {
+            agg.touched += a.touched;
+            agg.added += a.added;
+            agg.removed += a.removed;
+            agg.resealed |= a.resealed;
+            agg.unary_change += a.unary_change;
+        }
         push_stage(&mut stages, "apply", t);
 
         let t = Instant::now();
-        let (repaired, rebuilt, abort) = self.repair(bag, delta, &applied, &exec)?;
+        let (repaired, rebuilt, abort) = self.repair(edits, &applied, &exec)?;
         push_stage(&mut stages, "repair", t);
 
         let t = Instant::now();
@@ -296,8 +415,9 @@ impl<'s> ConsistencyStream<'s> {
         Ok(UpdateOutcome {
             decision: self.decision,
             branch: self.branch(),
-            bag,
-            applied,
+            bag: edits.first().map_or(0, |(b, _)| *b),
+            deltas: edits.len(),
+            applied: agg,
             pairs_repaired: repaired,
             pairs_rebuilt: rebuilt,
             inconsistent_pair: self.inconsistent_pair,
@@ -308,25 +428,81 @@ impl<'s> ConsistencyStream<'s> {
         })
     }
 
-    /// Marks every pair from `idx` on whose cache an edit to `bag`
-    /// invalidated (already-stale pairs stay stale).
-    fn mark_stale_from(&mut self, idx: usize, bag: usize) {
+    /// Applies every delta of the batch in order, copy-on-writing shared
+    /// bags. On failure at any point the already-applied prefix is
+    /// undone (each apply is individually atomic, so the rollback
+    /// replays negated deltas) and the original error is returned.
+    fn apply_batch(
+        &mut self,
+        edits: &[(usize, &DeltaSet)],
+        exec: &ExecConfig,
+    ) -> Result<Vec<DeltaApply>, SessionError> {
+        let mut applied: Vec<DeltaApply> = Vec::with_capacity(edits.len());
+        for (k, (bag, delta)) in edits.iter().enumerate() {
+            match Arc::make_mut(&mut self.bags[*bag]).apply_delta_with(delta, exec) {
+                Ok(a) => {
+                    self.totals[*bag] = (self.totals[*bag] as i128 + a.unary_change) as u128;
+                    applied.push(a);
+                }
+                Err(e) => {
+                    // Roll back the applied prefix, newest first, under
+                    // an ungoverned deadline (a rollback must not be
+                    // interrupted by the same expiry that may have
+                    // caused the failure).
+                    let ungoverned = exec.clone().with_deadline(Deadline::NONE);
+                    let mut rollback_failed = false;
+                    for (b, d) in edits[..k].iter().rev() {
+                        let neg = negated(d);
+                        match Arc::make_mut(&mut self.bags[*b]).apply_delta_with(&neg, &ungoverned)
+                        {
+                            Ok(undone) => {
+                                self.totals[*b] =
+                                    (self.totals[*b] as i128 + undone.unary_change) as u128;
+                            }
+                            Err(_) => rollback_failed = true,
+                        }
+                    }
+                    if rollback_failed {
+                        // The pre-batch state could not be restored
+                        // (should be impossible: reverting a just-applied
+                        // delta cannot overflow). Poison every cache so
+                        // nothing stale feeds a decision.
+                        for p in &mut self.pairs {
+                            p.stale = true;
+                        }
+                        self.decision = Decision::Unknown;
+                        self.abort_reason = None;
+                        self.inconsistent_pair = None;
+                        self.search_nodes = 0;
+                        self.witness = None;
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Marks every pair from `idx` on whose cache an edit to one of the
+    /// `edited` bags invalidated (already-stale pairs stay stale).
+    fn mark_stale_from(&mut self, idx: usize, edited: &[bool]) {
         for p in &mut self.pairs[idx..] {
-            if p.i == bag || p.j == bag {
+            if edited[p.i] || edited[p.j] {
                 p.stale = true;
             }
         }
     }
 
-    /// Repairs or rebuilds every pair cache invalidated by an edit to
-    /// `bag`, plus any pair left stale by an earlier aborted pass.
-    /// Returns `(repaired, rebuilt, abort)`; on `abort` the unprocessed
-    /// pairs are stale and the caller must not trust the cached flags.
+    /// Repairs or rebuilds every pair cache invalidated by the batch,
+    /// plus any pair left stale by an earlier aborted pass. Each touched
+    /// pair is processed once: all capacity edits first, then a single
+    /// re-augmentation (the batch amortization). Returns
+    /// `(repaired, rebuilt, abort)`; on `abort` the unprocessed pairs
+    /// are stale and the caller must not trust the cached flags.
     fn repair(
         &mut self,
-        bag: usize,
-        delta: &DeltaSet,
-        applied: &DeltaApply,
+        edits: &[(usize, &DeltaSet)],
+        applied: &[DeltaApply],
         exec: &ExecConfig,
     ) -> Result<(usize, usize, Option<AbortReason>), SessionError> {
         enum Step {
@@ -338,21 +514,29 @@ impl<'s> ConsistencyStream<'s> {
         }
         let mut repaired = 0usize;
         let mut rebuilt = 0usize;
+        // Per-bag view of the batch: was it edited at all, and did any
+        // of its deltas change the support?
+        let mut edited = vec![false; self.bags.len()];
+        let mut support_changed = vec![false; self.bags.len()];
+        for ((bag, _), a) in edits.iter().zip(applied) {
+            edited[*bag] = true;
+            support_changed[*bag] |= a.support_changed();
+        }
         let have_stale = self.pairs.iter().any(|p| p.stale);
-        if applied.is_noop() && !have_stale {
+        if applied.iter().all(DeltaApply::is_noop) && !have_stale {
             return Ok((0, 0, None));
         }
         self.witness = None;
         for idx in 0..self.pairs.len() {
             let (was_stale, touched) = {
                 let p = &self.pairs[idx];
-                (p.stale, p.i == bag || p.j == bag)
+                (p.stale, edited[p.i] || edited[p.j])
             };
             if !touched && !was_stale {
                 continue;
             }
             if let Some(reason) = exec.deadline().poll() {
-                self.mark_stale_from(idx, bag);
+                self.mark_stale_from(idx, &edited);
                 return Ok((repaired, rebuilt, Some(reason)));
             }
             let step = {
@@ -364,19 +548,30 @@ impl<'s> ConsistencyStream<'s> {
                         Step::Totals
                     }
                     PairCheck::Network(net) => {
-                        let side = if p.i == bag { Side::R } else { Side::S };
                         // The delta-based in-place patch is only sound
-                        // for a network that saw every earlier edit.
-                        let mut in_place = !was_stale && touched && !applied.support_changed();
+                        // for a network that saw every earlier edit, and
+                        // only while the support of both sides held.
+                        let support_broke = (edited[p.i] && support_changed[p.i])
+                            || (edited[p.j] && support_changed[p.j]);
+                        let mut in_place = !was_stale && touched && !support_broke;
                         if in_place {
-                            for e in delta.edits() {
-                                let mult = self.bags[bag].multiplicity(e.row());
-                                if !net.apply_edit(side, e.row(), mult) {
-                                    // A row the network never saw: the
-                                    // support did change for this pair's
-                                    // purposes — rebuild instead.
-                                    in_place = false;
-                                    break;
+                            'edits: for (bag, delta) in edits {
+                                let side = if *bag == p.i {
+                                    Side::R
+                                } else if *bag == p.j {
+                                    Side::S
+                                } else {
+                                    continue;
+                                };
+                                for e in delta.edits() {
+                                    let mult = self.bags[*bag].multiplicity(e.row());
+                                    if !net.apply_edit(side, e.row(), mult) {
+                                        // A row the network never saw:
+                                        // the support did change for this
+                                        // pair's purposes — rebuild.
+                                        in_place = false;
+                                        break 'edits;
+                                    }
                                 }
                             }
                         }
@@ -401,7 +596,7 @@ impl<'s> ConsistencyStream<'s> {
                                 &self.bags[p.i],
                                 &self.bags[p.j],
                                 exec,
-                                self.session.scratch(),
+                                &self.scratch,
                             )
                             .and_then(|mut fresh| {
                                 let consistent = fresh.try_reaugment(exec)?;
@@ -432,7 +627,7 @@ impl<'s> ConsistencyStream<'s> {
                 Step::Repaired => repaired += 1,
                 Step::Rebuilt => rebuilt += 1,
                 Step::Abort(reason) => {
-                    self.mark_stale_from(idx + 1, bag);
+                    self.mark_stale_from(idx + 1, &edited);
                     return Ok((repaired, rebuilt, Some(reason)));
                 }
                 Step::Fail(e) => {
@@ -440,7 +635,7 @@ impl<'s> ConsistencyStream<'s> {
                     // rebuild: the pair's old network is untouched but
                     // out of date. Degrade the decision and surface the
                     // contained error; the next update rebuilds.
-                    self.mark_stale_from(idx + 1, bag);
+                    self.mark_stale_from(idx + 1, &edited);
                     self.decision = Decision::Unknown;
                     self.abort_reason = None;
                     self.inconsistent_pair = None;
@@ -482,7 +677,7 @@ impl<'s> ConsistencyStream<'s> {
         // Cyclic schema: pairwise consistency does not decide — fall
         // back to the exact integer search (the documented limit of the
         // incremental path).
-        let refs: Vec<&Bag> = self.bags.iter().collect();
+        let refs: Vec<&Bag> = self.bags.iter().map(|b| b.as_ref()).collect();
         let report = globally_consistent_via_ilp(&refs, solver).map_err(SessionError::Core)?;
         self.search_nodes = report.stats.nodes;
         self.decision = match report.outcome {
@@ -528,8 +723,16 @@ impl<'s> ConsistencyStream<'s> {
     }
 
     /// The bags in their current (post-delta, sealed) state.
-    pub fn bags(&self) -> &[Bag] {
+    pub fn bags(&self) -> &[Arc<Bag>] {
         &self.bags
+    }
+
+    /// The current bags as a shareable generation: the returned `Arc`s
+    /// alias the stream's state, so publishing them (e.g. as a new
+    /// dataset generation in the serving registry) costs no copying, and
+    /// later updates through this stream copy-on-write away from them.
+    pub fn share_bags(&self) -> Vec<Arc<Bag>> {
+        self.bags.clone()
     }
 
     /// A global witness for the current state, computed on demand and
@@ -539,9 +742,9 @@ impl<'s> ConsistencyStream<'s> {
             return Ok(None);
         }
         if self.witness.is_none() {
-            let (exec, solver) = self.session.arm();
-            let refs: Vec<&Bag> = self.bags.iter().collect();
-            let out = check_impl(&refs, &solver, &exec, self.session.scratch())?;
+            let (exec, solver) = self.arm();
+            let refs: Vec<&Bag> = self.bags.iter().map(|b| b.as_ref()).collect();
+            let out = check_impl(&refs, &solver, &exec, &self.scratch)?;
             debug_assert!(
                 out.decision == Decision::Consistent || out.abort_reason.is_some(),
                 "a consistent stream state must re-verify (or abort)"
@@ -550,6 +753,16 @@ impl<'s> ConsistencyStream<'s> {
         }
         Ok(self.witness.as_ref())
     }
+}
+
+/// The sign-flipped copy of a delta set (used to roll back a batch).
+fn negated(delta: &DeltaSet) -> DeltaSet {
+    let mut neg = DeltaSet::new(delta.schema().clone());
+    for e in delta.edits() {
+        neg.bump(e.row(), -e.delta())
+            .expect("negation preserves arity");
+    }
+    neg
 }
 
 #[cfg(test)]
@@ -580,6 +793,7 @@ mod tests {
         let out = stream.update(0, &bump).unwrap();
         assert_eq!(out.decision, Decision::Inconsistent);
         assert!(!out.applied.support_changed());
+        assert_eq!(out.deltas, 1);
         assert_eq!(out.pairs_repaired, 1);
         assert_eq!(out.pairs_rebuilt, 0);
         assert_eq!(out.inconsistent_pair, Some((0, 1)));
@@ -591,8 +805,8 @@ mod tests {
         assert_eq!(out.pairs_repaired, 1);
 
         let w = stream.witness().unwrap().expect("consistent").clone();
-        assert_eq!(w.marginal(&schema(&[0, 1])).unwrap(), stream.bags()[0]);
-        assert_eq!(w.marginal(&schema(&[1, 2])).unwrap(), stream.bags()[1]);
+        assert_eq!(w.marginal(&schema(&[0, 1])).unwrap(), *stream.bags()[0]);
+        assert_eq!(w.marginal(&schema(&[1, 2])).unwrap(), *stream.bags()[1]);
     }
 
     #[test]
@@ -647,6 +861,102 @@ mod tests {
         assert_eq!(out.pairs_repaired, 1, "net-zero fresh row must not rebuild");
         assert_eq!(out.pairs_rebuilt, 0);
         assert_eq!(out.decision, Decision::Inconsistent);
+    }
+
+    #[test]
+    fn batch_update_amortizes_repair_and_matches_sequential() {
+        // A matched bump on both sides of a pair: two plain updates
+        // repair the pair twice; one batch repairs it once, with the
+        // same final decision and bag state.
+        let (r, s) = path_pair();
+        let session = Session::default();
+
+        let mut seq = session.open_stream(vec![r.clone(), s.clone()]).unwrap();
+        let mut r_plus = DeltaSet::new(schema(&[0, 1]));
+        r_plus.bump_u64s(&[0, 0], 1).unwrap();
+        let mut s_plus = DeltaSet::new(schema(&[1, 2]));
+        s_plus.bump_u64s(&[0, 7], 1).unwrap();
+        let a = seq.update(0, &r_plus).unwrap();
+        let b = seq.update(1, &s_plus).unwrap();
+        assert_eq!(a.pairs_repaired + b.pairs_repaired, 2);
+        assert_eq!(seq.decision(), Decision::Consistent);
+
+        let mut batched = session.open_stream(vec![r, s]).unwrap();
+        let out = batched
+            .update_batch(&[(0, r_plus.clone()), (1, s_plus.clone())])
+            .unwrap();
+        assert_eq!(out.decision, Decision::Consistent);
+        assert_eq!(out.deltas, 2);
+        assert_eq!(out.pairs_repaired, 1, "one repair for the whole batch");
+        assert_eq!(out.pairs_rebuilt, 0);
+        assert!(!out.applied.support_changed());
+        assert_eq!(*batched.bags()[0], *seq.bags()[0]);
+        assert_eq!(*batched.bags()[1], *seq.bags()[1]);
+
+        let text = out.text(session.names());
+        assert!(text.starts_with("consistent (batch of 2:"), "{text}");
+        let json = out.json(session.names());
+        assert!(json.contains("\"deltas\":2"), "{json}");
+    }
+
+    #[test]
+    fn failed_batch_rolls_back_applied_prefix() {
+        let (r, s) = path_pair();
+        let session = Session::default();
+        let mut stream = session.open_stream(vec![r.clone(), s.clone()]).unwrap();
+        let mut ok = DeltaSet::new(schema(&[0, 1]));
+        ok.bump_u64s(&[0, 0], 1).unwrap();
+        let mut bad = DeltaSet::new(schema(&[1, 2]));
+        bad.bump_u64s(&[0, 7], -10).unwrap(); // underflow
+        assert!(stream.update_batch(&[(0, ok), (1, bad)]).is_err());
+        // the first delta was applied, then rolled back
+        assert_eq!(*stream.bags()[0], r);
+        assert_eq!(*stream.bags()[1], s);
+        assert_eq!(stream.decision(), Decision::Consistent);
+        let mut again = DeltaSet::new(schema(&[0, 1]));
+        again.bump_u64s(&[0, 0], 1).unwrap();
+        let out = stream.update(0, &again).unwrap();
+        assert_eq!(out.decision, Decision::Inconsistent);
+    }
+
+    #[test]
+    fn empty_batch_keeps_decision() {
+        let (r, s) = path_pair();
+        let session = Session::default();
+        let mut stream = session.open_stream(vec![r, s]).unwrap();
+        let out = stream.update_batch(&[]).unwrap();
+        assert_eq!(out.decision, Decision::Consistent);
+        assert_eq!(out.deltas, 0);
+        assert!(out.applied.is_noop());
+    }
+
+    #[test]
+    fn shared_generation_copy_on_writes() {
+        let (r, s) = path_pair();
+        let generation: Vec<Arc<Bag>> = vec![Arc::new(r.clone()), Arc::new(s.clone())];
+        let session = Session::default();
+        let mut writer = session.open_stream_shared(generation.clone()).unwrap();
+        let reader = session.open_stream_shared(generation.clone()).unwrap();
+        // both streams alias the generation's allocations
+        assert!(Arc::ptr_eq(&writer.bags()[0], &generation[0]));
+        assert!(Arc::ptr_eq(&reader.bags()[0], &generation[0]));
+
+        let mut d = DeltaSet::new(schema(&[0, 1]));
+        d.bump_u64s(&[0, 0], 1).unwrap();
+        writer.update(0, &d).unwrap();
+        // the writer cloned only the touched bag; the generation (and
+        // the reader pinned to it) is untouched
+        assert!(!Arc::ptr_eq(&writer.bags()[0], &generation[0]));
+        assert!(Arc::ptr_eq(&writer.bags()[1], &generation[1]));
+        assert_eq!(*generation[0], r);
+        assert_eq!(reader.decision(), Decision::Consistent);
+        assert_eq!(writer.bags()[0].unary_size(), r.unary_size() + 1);
+
+        // publishing the writer's state is a new shareable generation
+        let next = writer.share_bags();
+        assert!(Arc::ptr_eq(&next[1], &generation[1]));
+        let reopened = session.open_stream_shared(next).unwrap();
+        assert_eq!(reopened.decision(), Decision::Inconsistent);
     }
 
     #[test]
@@ -728,7 +1038,7 @@ mod tests {
 
         // raising the budget on a fresh session resolves the same state
         let roomy = Session::builder().build().unwrap();
-        let full = roomy.open_stream(stream.bags().to_vec()).unwrap();
+        let full = roomy.open_stream_shared(stream.share_bags()).unwrap();
         assert_eq!(full.decision(), Decision::Consistent);
         assert_eq!(full.abort_reason(), None);
     }
@@ -779,6 +1089,7 @@ mod tests {
         assert!(json.contains("\"report\":\"update\""));
         assert!(json.contains("\"decision\":\"inconsistent\""));
         assert!(json.contains("\"in_place\":true"));
+        assert!(json.contains("\"deltas\":1"));
         assert!(json.contains("\"stages\":[{\"stage\":\"apply\""));
     }
 }

@@ -693,27 +693,72 @@ pub fn merge_sorted_runs_for_bench<T: Copy>(
 ///
 /// The pool is internally synchronized (shard workers check buffers in
 /// and out concurrently) and bounded: at most [`ScratchPool::MAX_RETAINED`]
-/// buffers per kind are retained, so one huge transient workload cannot
-/// pin its peak memory for the life of the session.
-#[derive(Debug, Default)]
+/// buffers per kind are retained in each shard, so one huge transient
+/// workload cannot pin its peak memory for the life of the session.
+///
+/// Internally the freelists are split across [`ScratchPool::SHARDS`]
+/// lock shards keyed by the calling thread, so many concurrent streams
+/// (the serving daemon routes every connection's session through one
+/// shared pool) don't serialize on a single mutex. A thread always
+/// returns buffers to the shard it took them from, which keeps the warm
+/// single-threaded hit rate identical to the unsharded pool.
+#[derive(Debug)]
 pub struct ScratchPool {
+    shards: [ScratchShard; ScratchPool::SHARDS],
+}
+
+#[derive(Debug, Default)]
+struct ScratchShard {
     values: Mutex<Vec<Vec<Value>>>,
     words: Mutex<Vec<Vec<u64>>>,
 }
 
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool {
+            shards: std::array::from_fn(|_| ScratchShard::default()),
+        }
+    }
+}
+
 impl ScratchPool {
-    /// Retention cap per buffer kind; see the type docs.
+    /// Retention cap per buffer kind *per shard*; see the type docs.
     pub const MAX_RETAINED: usize = 32;
+
+    /// Number of internal lock shards (power of two).
+    pub const SHARDS: usize = 8;
 
     /// An empty pool.
     pub fn new() -> Self {
         ScratchPool::default()
     }
 
+    /// The shard serving the calling thread. The thread-id hash is
+    /// cached in a thread-local so steady-state take/put pairs cost one
+    /// `Cell` read, and a thread keeps hitting the same (warm) freelist.
+    fn shard(&self) -> &ScratchShard {
+        use std::hash::{Hash, Hasher};
+        thread_local! {
+            static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+        }
+        let idx = SHARD.with(|cached| {
+            let idx = cached.get();
+            if idx != usize::MAX {
+                return idx;
+            }
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            let idx = (h.finish() as usize) & (Self::SHARDS - 1);
+            cached.set(idx);
+            idx
+        });
+        &self.shards[idx]
+    }
+
     /// Pops a pooled `Vec<Value>` scratch buffer (empty; warm capacity
     /// if one was returned earlier), or a fresh one on a miss.
     pub fn take_values(&self) -> Vec<Value> {
-        match self.values.lock() {
+        match self.shard().values.lock() {
             Ok(mut pool) => pool.pop().unwrap_or_default(),
             Err(_) => Vec::new(),
         }
@@ -727,7 +772,7 @@ impl ScratchPool {
         if buf.capacity() == 0 {
             return;
         }
-        if let Ok(mut pool) = self.values.lock() {
+        if let Ok(mut pool) = self.shard().values.lock() {
             if pool.len() < Self::MAX_RETAINED {
                 pool.push(buf);
             }
@@ -736,7 +781,7 @@ impl ScratchPool {
 
     /// Pops a pooled `Vec<u64>` scratch buffer, or a fresh one on a miss.
     pub fn take_words(&self) -> Vec<u64> {
-        match self.words.lock() {
+        match self.shard().words.lock() {
             Ok(mut pool) => pool.pop().unwrap_or_default(),
             Err(_) => Vec::new(),
         }
@@ -748,7 +793,7 @@ impl ScratchPool {
         if buf.capacity() == 0 {
             return;
         }
-        if let Ok(mut pool) = self.words.lock() {
+        if let Ok(mut pool) = self.shard().words.lock() {
             if pool.len() < Self::MAX_RETAINED {
                 pool.push(buf);
             }
@@ -1243,6 +1288,38 @@ mod tests {
             .filter(|b| b.capacity() > 0)
             .count();
         assert!(retained <= ScratchPool::MAX_RETAINED);
+    }
+
+    #[test]
+    fn scratch_pool_shards_survive_concurrent_traffic() {
+        let pool = std::sync::Arc::new(ScratchPool::new());
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let mut buf = pool.take_values();
+                        assert!(buf.is_empty());
+                        buf.extend(v(&[1, 2]));
+                        pool.put_values(buf);
+                        let mut w = pool.take_words();
+                        w.push(7);
+                        pool.put_words(w);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // Same-thread warm reuse holds after concurrent traffic: a
+        // thread always returns to (and takes from) its own shard.
+        let mut buf = pool.take_values();
+        buf.clear();
+        buf.extend(v(&[1, 2, 3]));
+        let cap = buf.capacity();
+        pool.put_values(buf);
+        assert_eq!(pool.take_values().capacity(), cap);
     }
 
     #[test]

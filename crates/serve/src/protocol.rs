@@ -1,0 +1,263 @@
+//! The line-oriented wire protocol: request parsing and response
+//! rendering (see the [crate docs](crate) for the command table).
+//!
+//! Responses reuse the library's [`Render`] implementations verbatim —
+//! a decision line in `json` format is exactly the `watch` CLI's update
+//! report with a `"status"` key spliced in front, so existing consumers
+//! parse both.
+
+use bagcons::report::{Json, Render, ReportFormat};
+use bagcons::stream::UpdateOutcome;
+use bagcons_core::AttrNames;
+use std::time::Duration;
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// Register a dataset from bag files.
+    Load {
+        /// Registry name for the dataset.
+        name: String,
+        /// Bag files in the tabular text format.
+        files: Vec<String>,
+    },
+    /// Enumerate datasets.
+    List,
+    /// Open this connection's session on a dataset.
+    Open(String),
+    /// Re-pin the session to the dataset's current generation.
+    Sync,
+    /// Publish the session's bags as the next generation.
+    Commit,
+    /// Re-emit the session's decision.
+    Check,
+    /// Set the per-request wall-clock budget (`None` = unlimited).
+    Timeout(Option<Duration>),
+    /// Set the response format for this connection.
+    Format(ReportFormat),
+    /// Begin a delta batch.
+    BatchBegin,
+    /// Apply the pending batch and emit its one decision.
+    BatchEnd,
+    /// A raw delta line (`<bag> <vals...> : <±d>`), parsed downstream by
+    /// [`bagcons_core::io::parse_delta_line`].
+    Delta(String),
+    /// Close the session, keep the connection.
+    Close,
+    /// Close the connection.
+    Quit,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+/// Parses one request line. `Ok(None)` for blank lines and `%` comments
+/// (no response owed); `Err` is a protocol error to answer with
+/// [`error_response`] — the connection stays open either way.
+pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
+    let stripped = line.split('%').next().unwrap_or("").trim();
+    if stripped.is_empty() {
+        return Ok(None);
+    }
+    let mut tokens = stripped.split_whitespace();
+    let head = tokens.next().expect("nonempty line has a first token");
+    let rest: Vec<&str> = tokens.collect();
+    let bare = |cmd: Command| -> Result<Option<Command>, String> {
+        if rest.is_empty() {
+            Ok(Some(cmd))
+        } else {
+            Err(format!("{head} takes no arguments"))
+        }
+    };
+    match head {
+        "ping" => bare(Command::Ping),
+        "list" => bare(Command::List),
+        "sync" => bare(Command::Sync),
+        "commit" => bare(Command::Commit),
+        "check" => bare(Command::Check),
+        "batch" => bare(Command::BatchBegin),
+        "end" => bare(Command::BatchEnd),
+        "close" => bare(Command::Close),
+        "quit" => bare(Command::Quit),
+        "shutdown" => bare(Command::Shutdown),
+        "load" => match rest.split_first() {
+            Some((name, files)) if !files.is_empty() => Ok(Some(Command::Load {
+                name: name.to_string(),
+                files: files.iter().map(|f| f.to_string()).collect(),
+            })),
+            _ => Err("load needs a dataset name and at least one file".to_string()),
+        },
+        "open" => match rest.as_slice() {
+            [name] => Ok(Some(Command::Open(name.to_string()))),
+            _ => Err("open needs exactly one dataset name".to_string()),
+        },
+        "timeout" => match rest.as_slice() {
+            ["none"] => Ok(Some(Command::Timeout(None))),
+            [ms] => ms
+                .parse::<u64>()
+                .map(|ms| Some(Command::Timeout(Some(Duration::from_millis(ms)))))
+                .map_err(|_| "timeout expects milliseconds or `none`".to_string()),
+            _ => Err("timeout needs exactly one argument".to_string()),
+        },
+        "format" => match rest.as_slice() {
+            [fmt] => fmt
+                .parse::<ReportFormat>()
+                .map(|f| Some(Command::Format(f)))
+                .map_err(|e| e.to_string()),
+            _ => Err("format needs exactly one argument".to_string()),
+        },
+        _ if head.bytes().all(|b| b.is_ascii_digit()) => {
+            Ok(Some(Command::Delta(stripped.to_string())))
+        }
+        _ => Err(format!("unknown command {head:?}")),
+    }
+}
+
+/// Splices `"status":<code>` in as the first key of a one-line JSON
+/// object (the decision/error renderings are all objects).
+fn with_status(json: &str, status: u8) -> String {
+    debug_assert!(json.starts_with('{') && json.len() > 2);
+    format!("{{\"status\":{status},{}", &json[1..])
+}
+
+/// Renders one decision response: the update outcome with the CLI
+/// exit-code contract mapped onto a `status` field.
+pub fn decision_response(
+    format: ReportFormat,
+    outcome: &UpdateOutcome,
+    names: &AttrNames,
+) -> String {
+    let status = outcome.decision.exit_code();
+    match format {
+        ReportFormat::Text => format!("status={status} {}", outcome.text(names)),
+        ReportFormat::Json => with_status(&outcome.json(names), status),
+    }
+}
+
+/// Renders the degraded form of a request whose deadline expired (or
+/// whose cancel token fired) **before** any state committed: the stream
+/// rolled the request back, so there is no outcome to render, but the
+/// client still gets the `status=3` / `abort_reason` contract rather
+/// than an opaque error.
+pub fn aborted_response(format: ReportFormat, reason: bagcons_core::AbortReason) -> String {
+    match format {
+        ReportFormat::Text => format!("status=3 unknown (aborted: {})", reason.describe()),
+        ReportFormat::Json => {
+            let mut j = Json::new();
+            j.begin_object();
+            j.field_u64("status", 3);
+            j.field_str("report", "update");
+            j.field_str("decision", "unknown");
+            j.field_str("abort_reason", reason.as_str());
+            j.end_object();
+            j.finish()
+        }
+    }
+}
+
+/// Renders a structured error response (`status` 2 — the usage/input
+/// error code). Never closes the connection by itself.
+pub fn error_response(format: ReportFormat, kind: &str, message: &str) -> String {
+    // Responses are line-framed: a multi-line message would desync the
+    // client, so flatten it.
+    let message = message.replace(['\n', '\r'], " ");
+    match format {
+        ReportFormat::Text => format!("err {kind}: {message}"),
+        ReportFormat::Json => {
+            let mut j = Json::new();
+            j.begin_object();
+            j.field_str("report", "error");
+            j.field_u64("status", 2);
+            j.field_str("kind", kind);
+            j.field_str("message", &message);
+            j.end_object();
+            j.finish()
+        }
+    }
+}
+
+/// Renders a non-decision success response (`ok <verb> k=v ...` in text;
+/// a `{"report":"ok","verb":...}` object in JSON, values as strings).
+pub fn ok_response(format: ReportFormat, verb: &str, fields: &[(&str, String)]) -> String {
+    match format {
+        ReportFormat::Text => {
+            let mut out = format!("ok {verb}");
+            for (k, v) in fields {
+                out.push(' ');
+                out.push_str(k);
+                out.push('=');
+                out.push_str(v);
+            }
+            out
+        }
+        ReportFormat::Json => {
+            let mut j = Json::new();
+            j.begin_object();
+            j.field_str("report", "ok");
+            j.field_str("verb", verb);
+            for (k, v) in fields {
+                j.field_str(k, v);
+            }
+            j.end_object();
+            j.finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commands_and_deltas() {
+        assert_eq!(parse_command("  ping  ").unwrap(), Some(Command::Ping));
+        assert_eq!(parse_command("% comment").unwrap(), None);
+        assert_eq!(parse_command("").unwrap(), None);
+        assert_eq!(
+            parse_command("open flights").unwrap(),
+            Some(Command::Open("flights".to_string()))
+        );
+        assert_eq!(
+            parse_command("load d a.bag b.bag").unwrap(),
+            Some(Command::Load {
+                name: "d".to_string(),
+                files: vec!["a.bag".to_string(), "b.bag".to_string()],
+            })
+        );
+        assert_eq!(
+            parse_command("0 1 2 : -3").unwrap(),
+            Some(Command::Delta("0 1 2 : -3".to_string()))
+        );
+        assert_eq!(
+            parse_command("timeout 250").unwrap(),
+            Some(Command::Timeout(Some(Duration::from_millis(250))))
+        );
+        assert_eq!(
+            parse_command("timeout none").unwrap(),
+            Some(Command::Timeout(None))
+        );
+        assert!(parse_command("open").is_err());
+        assert!(parse_command("ping extra").is_err());
+        assert!(parse_command("frobnicate").is_err());
+        assert!(parse_command("load d").is_err());
+    }
+
+    #[test]
+    fn error_response_is_single_line() {
+        let text = error_response(ReportFormat::Text, "protocol", "bad\nline");
+        assert_eq!(text, "err protocol: bad line");
+        let json = error_response(ReportFormat::Json, "protocol", "x");
+        assert!(json.contains("\"status\":2"), "{json}");
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn ok_response_renders_fields() {
+        let text = ok_response(ReportFormat::Text, "open", &[("gen", "3".to_string())]);
+        assert_eq!(text, "ok open gen=3");
+        let json = ok_response(ReportFormat::Json, "open", &[("gen", "3".to_string())]);
+        assert!(json.contains("\"verb\":\"open\""));
+        assert!(json.contains("\"gen\":\"3\""));
+    }
+}

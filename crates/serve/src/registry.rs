@@ -1,0 +1,147 @@
+//! Named datasets as sequences of immutable, shareable generations.
+//!
+//! A [`Generation`] is a sealed snapshot of a dataset's bags behind
+//! `Arc`s; readers pin one by cloning the `Arc`s and are immune to later
+//! publishes. [`Dataset::publish`] is a compare-and-swap on the
+//! generation sequence number, so two writers racing from the same
+//! parent cannot silently clobber each other — the loser gets a conflict
+//! with the current sequence number and can re-sync.
+
+use bagcons_core::Bag;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One immutable snapshot of a dataset: sealed bags, shared by `Arc`.
+#[derive(Debug)]
+pub struct Generation {
+    /// Monotonic sequence number within the dataset (0 = as loaded).
+    pub seq: u64,
+    /// The bags; every one is sealed and never mutated after publish.
+    pub bags: Vec<Arc<Bag>>,
+}
+
+/// A named dataset: the current [`Generation`] plus CAS publication.
+#[derive(Debug)]
+pub struct Dataset {
+    name: String,
+    current: Mutex<Arc<Generation>>,
+}
+
+impl Dataset {
+    fn new(name: String, bags: Vec<Arc<Bag>>) -> Self {
+        debug_assert!(bags.iter().all(|b| b.is_sealed()));
+        Dataset {
+            name,
+            current: Mutex::new(Arc::new(Generation { seq: 0, bags })),
+        }
+    }
+
+    /// The dataset's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pins the current generation (cheap: two `Arc` bumps under a
+    /// short lock).
+    pub fn current(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.lock().expect("dataset lock poisoned"))
+    }
+
+    /// Publishes `bags` as the next generation **iff** the current one
+    /// is still `parent_seq` (compare-and-swap). On success returns the
+    /// new generation; on a lost race returns the current sequence
+    /// number so the caller can `sync` and retry.
+    pub fn publish(&self, parent_seq: u64, bags: Vec<Arc<Bag>>) -> Result<Arc<Generation>, u64> {
+        debug_assert!(bags.iter().all(|b| b.is_sealed()));
+        let mut current = self.current.lock().expect("dataset lock poisoned");
+        if current.seq != parent_seq {
+            return Err(current.seq);
+        }
+        let next = Arc::new(Generation {
+            seq: parent_seq + 1,
+            bags,
+        });
+        *current = Arc::clone(&next);
+        Ok(next)
+    }
+}
+
+/// The daemon-wide name → dataset map (deterministic listing order).
+#[derive(Debug, Default)]
+pub struct Registry {
+    datasets: Mutex<BTreeMap<String, Arc<Dataset>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a new dataset at generation 0. Every bag must already
+    /// be sealed. Fails (returning the rejected bags) if the name is
+    /// taken — datasets are append-only snapshots, never reloaded in
+    /// place under live readers.
+    pub fn insert(&self, name: &str, bags: Vec<Arc<Bag>>) -> Result<Arc<Dataset>, Vec<Arc<Bag>>> {
+        let mut map = self.datasets.lock().expect("registry lock poisoned");
+        if map.contains_key(name) {
+            return Err(bags);
+        }
+        let ds = Arc::new(Dataset::new(name.to_string(), bags));
+        map.insert(name.to_string(), Arc::clone(&ds));
+        Ok(ds)
+    }
+
+    /// Looks a dataset up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.datasets
+            .lock()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// `(name, current generation, bag count)` for every dataset, in
+    /// name order.
+    pub fn list(&self) -> Vec<(String, u64, usize)> {
+        self.datasets
+            .lock()
+            .expect("registry lock poisoned")
+            .values()
+            .map(|ds| {
+                let generation = ds.current();
+                (ds.name().to_string(), generation.seq, generation.bags.len())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcons_core::{Attr, ExecConfig, Schema};
+
+    fn sealed_bag() -> Arc<Bag> {
+        let schema = Schema::from_attrs([Attr::new(0), Attr::new(1)]);
+        let mut bag = Bag::from_u64s(schema, [(&[0u64, 0][..], 2)]).unwrap();
+        bag.try_seal_with(&ExecConfig::default()).unwrap();
+        Arc::new(bag)
+    }
+
+    #[test]
+    fn publish_is_compare_and_swap() {
+        let reg = Registry::new();
+        let ds = reg.insert("d", vec![sealed_bag()]).unwrap();
+        assert!(reg.insert("d", vec![sealed_bag()]).is_err());
+        let g0 = ds.current();
+        assert_eq!(g0.seq, 0);
+
+        let g1 = ds.publish(0, vec![sealed_bag()]).unwrap();
+        assert_eq!(g1.seq, 1);
+        // the pinned generation is untouched, the loser's CAS fails
+        assert_eq!(g0.seq, 0);
+        assert!(matches!(ds.publish(0, vec![sealed_bag()]), Err(1)));
+        assert_eq!(reg.list(), vec![("d".to_string(), 1, 1)]);
+        assert!(reg.get("missing").is_none());
+    }
+}

@@ -13,15 +13,29 @@
 //! bagcons watch [opts] <FILE>...          incremental mode: read multiplicity
 //!                                         deltas from stdin, one per line, and
 //!                                         re-emit a decision per delta
+//! bagcons serve [opts] [<FILE>...]        long-lived daemon: host named datasets
+//!                                         with copy-on-write generations and one
+//!                                         delta-stream session per connection
 //!
 //! options:
 //!   --threads N         worker threads (default: one per core, capped at 8)
 //!   --budget N          node budget for the cyclic exact search
 //!                       (default 50000000)
 //!   --timeout MS        wall-clock budget in milliseconds per operation
-//!                       (per delta under `watch`); on expiry the decision
-//!                       degrades to `unknown` (exit 3) instead of hanging
+//!                       (per delta under `watch`, per request under `serve`);
+//!                       on expiry the decision degrades to `unknown` (exit 3
+//!                       / status 3) instead of hanging
 //!   --format text|json  output format (default text)
+//!
+//! serve options:
+//!   --listen ADDR         TCP listen address (default 127.0.0.1:0;
+//!                         the bound address is printed on startup)
+//!   --unix PATH           unix-domain socket path (unix only)
+//!   --name NAME           dataset name for the preloaded FILEs
+//!                         (default "default")
+//!   --worker-budget N     max concurrent decision computations
+//!                         (default: host parallelism)
+//!   --max-connections N   connection cap (default 64)
 //! ```
 //!
 //! Each FILE holds one bag in the tabular text format of
@@ -31,9 +45,19 @@
 //! FILE order, values in the bag's schema order, `: delta` defaulting
 //! to `+1`) and re-decides incrementally after each one: cached
 //! per-pair flow networks are repaired in place for support-preserving
-//! edits instead of rebuilding from scratch. Exit codes: 0 = yes/ok,
-//! 1 = no, 2 = usage or input error, 3 = undecided (search budget
-//! exhausted); `watch` exits with the code of its final decision.
+//! edits instead of rebuilding from scratch. A `batch` line opens a
+//! delta group that is applied — and decided — as one atomic update on
+//! the matching `end` line, amortizing pair repair across the burst.
+//! Exit codes: 0 = yes/ok, 1 = no, 2 = usage or input error, 3 =
+//! undecided (search budget exhausted); `watch` exits with the code of
+//! its final decision.
+//!
+//! `serve` turns the same delta-stream loop into a daemon (see
+//! [`bagcons_serve`]): clients speak a line protocol over TCP or a unix
+//! socket (`open`, delta lines, `batch`…`end`, `check`, `sync`,
+//! `commit`, …), readers share immutable dataset generations, and a
+//! writer publishes the next generation copy-on-write. SIGINT/SIGTERM
+//! (or a client's `shutdown`) drain in-flight requests before exit.
 
 use bagcons::report::{Render, ReportFormat};
 use bagcons::session::{Decision, Session};
@@ -49,6 +73,12 @@ struct Cli {
     budget: u64,
     timeout: Option<std::time::Duration>,
     format: ReportFormat,
+    // serve-only options
+    listen: Option<String>,
+    unix: Option<String>,
+    name: String,
+    worker_budget: Option<usize>,
+    max_connections: Option<usize>,
 }
 
 fn main() -> ExitCode {
@@ -62,6 +92,12 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+
+    // serve builds its own sessions (one per connection, via the
+    // daemon's shared loader), so it branches before the CLI session.
+    if cli.cmd == "serve" {
+        return cmd_serve(&cli);
+    }
 
     let mut builder = Session::builder().budget(cli.budget);
     if let Some(threads) = cli.threads {
@@ -121,6 +157,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut budget = DEFAULT_BUDGET;
     let mut timeout = None;
     let mut format = ReportFormat::Text;
+    let mut listen = None;
+    let mut unix = None;
+    let mut name = "default".to_string();
+    let mut worker_budget = None;
+    let mut max_connections = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -158,6 +199,22 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--format" => {
                 format = value(&mut it)?.parse::<ReportFormat>()?;
             }
+            "--listen" => listen = Some(value(&mut it)?),
+            "--unix" => unix = Some(value(&mut it)?),
+            "--name" => name = value(&mut it)?,
+            "--worker-budget" => {
+                worker_budget = Some(
+                    value(&mut it)?
+                        .parse::<usize>()
+                        .map_err(|_| "--worker-budget expects an unsigned integer".to_string())?,
+                );
+            }
+            "--max-connections" => {
+                max_connections =
+                    Some(value(&mut it)?.parse::<usize>().map_err(|_| {
+                        "--max-connections expects an unsigned integer".to_string()
+                    })?);
+            }
             f if f.starts_with("--") => return Err(format!("unknown option {f}")),
             _ => positional.push(arg.clone()),
         }
@@ -165,7 +222,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut positional = positional.into_iter();
     let cmd = positional.next().ok_or(String::new())?;
     let files: Vec<String> = positional.collect();
-    if files.is_empty() {
+    // serve can start with an empty registry (clients `load` at runtime);
+    // every other command needs at least one bag file.
+    if files.is_empty() && cmd != "serve" {
         return Err(String::new());
     }
     Ok(Cli {
@@ -175,16 +234,25 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         budget,
         timeout,
         format,
+        listen,
+        unix,
+        name,
+        worker_budget,
+        max_connections,
     })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bagcons <check|witness|diagnose|pairwise|schema|counterexample|watch> \
+        "usage: bagcons <check|witness|diagnose|pairwise|schema|counterexample|watch|serve> \
          [--threads N] [--budget N] [--timeout MS] [--format text|json] <FILE>...\n\
          FILEs hold bags in tabular text form (`A B #` header, `1 2 : 3` rows).\n\
          watch reads `<bag-index> <values...> : <±delta>` lines from stdin and\n\
-         re-emits a decision per delta (incremental re-check; `: +1` default)."
+         re-emits a decision per delta (incremental re-check; `: +1` default);\n\
+         `batch` ... `end` groups deltas into one atomic update.\n\
+         serve hosts datasets over TCP/unix sockets ([--listen ADDR] [--unix PATH]\n\
+         [--name NAME] [--worker-budget N] [--max-connections N]); FILEs, if any,\n\
+         are preloaded as dataset NAME."
     );
     ExitCode::from(2)
 }
@@ -284,12 +352,39 @@ fn cmd_watch(session: &Session, bags: Vec<bagcons_core::Bag>, format: ReportForm
         ),
     }
     let stdin = std::io::stdin();
+    // `batch` ... `end` groups deltas into one atomic update: pair
+    // repair (and the decision) run once on `end` instead of per line.
+    let mut batch: Option<Vec<(usize, bagcons_core::DeltaSet)>> = None;
     for (i, line) in stdin.lock().lines().enumerate() {
         let line_no = i + 1;
         let line = match line {
             Ok(l) => l,
             Err(e) => return fail(format!("stdin: {e}")),
         };
+        match line.split('%').next().unwrap_or("").trim() {
+            "batch" => {
+                if batch.is_some() {
+                    return fail(format!(
+                        "stdin line {line_no}: batch already open (finish it with `end`)"
+                    ));
+                }
+                batch = Some(Vec::new());
+                continue;
+            }
+            "end" => {
+                let Some(edits) = batch.take() else {
+                    return fail(format!(
+                        "stdin line {line_no}: no open batch (start one with `batch`)"
+                    ));
+                };
+                match stream.update_batch(&edits) {
+                    Ok(outcome) => emit(&outcome.render(format, session.names())),
+                    Err(e) => return fail(format!("stdin line {line_no}: {e}")),
+                }
+                continue;
+            }
+            _ => {}
+        }
         let (index, row, delta) = match bagcons_core::io::parse_delta_line(&line, line_no) {
             Ok(Some(parsed)) => parsed,
             Ok(None) => continue,
@@ -305,12 +400,65 @@ fn cmd_watch(session: &Session, bags: Vec<bagcons_core::Bag>, format: ReportForm
         if let Err(e) = set.bump(row, delta) {
             return fail(format!("stdin line {line_no}: {e}"));
         }
+        if let Some(edits) = batch.as_mut() {
+            edits.push((index, set));
+            continue;
+        }
         match stream.update(index, &set) {
             Ok(outcome) => emit(&outcome.render(format, session.names())),
             Err(e) => return fail(format!("stdin line {line_no}: {e}")),
         }
     }
+    if batch.is_some() {
+        return fail("stdin ended with an open batch (missing `end`)");
+    }
     ExitCode::from(stream.decision().exit_code())
+}
+
+fn cmd_serve(cli: &Cli) -> ExitCode {
+    let mut opts = bagcons_serve::ServeOptions::default();
+    if let Some(addr) = &cli.listen {
+        opts.tcp = Some(addr.clone());
+    } else if cli.unix.is_some() {
+        // --unix without --listen means unix-only.
+        opts.tcp = None;
+    }
+    opts.unix = cli.unix.as_ref().map(std::path::PathBuf::from);
+    opts.threads = cli.threads;
+    opts.budget = Some(cli.budget);
+    opts.timeout = cli.timeout;
+    opts.worker_budget = cli.worker_budget;
+    if let Some(cap) = cli.max_connections {
+        opts.max_connections = cap;
+    }
+    let server = match bagcons_serve::Server::bind(opts) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if !cli.files.is_empty() {
+        match server.preload(&cli.name, &cli.files) {
+            Ok(bags) => eprintln!("loaded dataset {:?} ({bags} bags)", cli.name),
+            Err(e) => return fail(e),
+        }
+    }
+    // SIGINT/SIGTERM request the same graceful drain as the `shutdown`
+    // command: stop accepting, finish in-flight requests, then exit.
+    #[cfg(unix)]
+    bagcons_serve::server::install_signal_handlers();
+    if let Some(addr) = server.local_addr() {
+        println!("listening on {addr}");
+    }
+    if let Some(path) = &cli.unix {
+        println!("listening on unix:{path}");
+    }
+    // Piped stdout is block-buffered: supervisors wait for this line to
+    // learn the bound port, so push it out before blocking in run().
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
 }
 
 fn cmd_counterexample(

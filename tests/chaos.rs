@@ -112,7 +112,7 @@ fn script_strategy() -> impl Strategy<Value = Script> {
     )
 }
 
-fn make_delta(bags: &[Bag], bag: usize, edits: &[(u64, u64, u64)]) -> DeltaSet {
+fn make_delta(bags: &[std::sync::Arc<Bag>], bag: usize, edits: &[(u64, u64, u64)]) -> DeltaSet {
     let mut d = DeltaSet::new(bags[bag].schema().clone());
     for &(a, b, k) in edits {
         let row: Vec<u64> = if bags[bag].schema().arity() == 1 {

@@ -593,6 +593,125 @@ fn watch_emits_one_decision_per_delta() {
 }
 
 #[test]
+fn watch_batch_groups_deltas_into_one_decision() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = tempdir("watchbatch");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n1 1 : 3\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n1 8 : 3\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bagcons"))
+        .args(["watch", r.to_str().unwrap(), s.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // The two edits grow both B-marginals together: individually each
+    // would flip the decision, batched they cancel out — one decision
+    // line for the whole group proves the burst decided atomically.
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"batch\n0 0 0 : +1\n1 0 7 : +1\nend\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "open line + 1 batch decision: {text}");
+    assert!(lines[0].starts_with("open: consistent"));
+    assert!(
+        lines[1].starts_with("consistent (batch of 2: in-place"),
+        "{}",
+        lines[1]
+    );
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn watch_rejects_unterminated_batch() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = tempdir("watchbatchopen");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bagcons"))
+        .args(["watch", r.to_str().unwrap(), s.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"batch\n0 0 0 : +1\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "open batch at EOF is an error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("open batch"), "{err}");
+}
+
+#[test]
+fn serve_subcommand_serves_the_wire_protocol() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let dir = tempdir("servecli");
+    let r = write(&dir, "r.bag", "A B #\n0 0 : 2\n1 1 : 3\n");
+    let s = write(&dir, "s.bag", "B C #\n0 7 : 2\n1 8 : 3\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bagcons"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--name",
+            "flights",
+            r.to_str().unwrap(),
+            s.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut request = |line: &str| -> String {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        writer.flush().expect("flush");
+        let mut resp = String::new();
+        assert!(reader.read_line(&mut resp).expect("recv") > 0, "EOF");
+        resp.trim_end().to_string()
+    };
+    assert_eq!(request("ping"), "ok pong");
+    assert_eq!(request("list"), "ok list datasets=flights:gen=0:bags=2");
+    assert!(request("open flights").starts_with("ok open dataset=flights gen=0 "));
+    assert!(request("0 0 0 : 1").starts_with("status=1 "));
+    assert_eq!(request("shutdown"), "ok shutdown");
+
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "clean drain after shutdown");
+}
+
+#[test]
 fn watch_json_lines_and_exit_code_follow_last_decision() {
     use std::io::Write;
     use std::process::Stdio;

@@ -562,7 +562,7 @@ fn run_delta_stream(seed: u64, edits: usize) {
                 );
             }
             assert_eq!(
-                &streams[0].bags()[b],
+                &*streams[0].bags()[b],
                 reference_bag,
                 "step {}: bag {}",
                 step,

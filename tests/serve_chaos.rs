@@ -1,0 +1,98 @@
+//! Chaos suite for the daemon: arms fault-injection failpoints under a
+//! live connection and asserts containment — a panicking request answers
+//! `err internal` and closes only that session, an injected deadline
+//! degrades to `status=3`, and in both cases the daemon keeps serving
+//! deterministic decisions afterwards.
+//!
+//! Only builds with `--features fault-injection` (see `[[test]]` in the
+//! root manifest). Arming is process-global, so each test serializes on
+//! [`bagcons_core::fault::test_lock`].
+
+mod serve_util;
+
+use bagcons_core::fault::{self, FaultAction};
+use serve_util::TestServer;
+
+/// Silences the default panic-to-stderr hook until dropped (armed
+/// failpoints panic on purpose).
+fn quiet_panics() -> impl Drop {
+    type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+    struct Restore(Option<Hook>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(hook) = self.0.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    Restore(Some(prev))
+}
+
+/// A panic inside one request is contained: the client gets
+/// `err internal`, its session closes, the connection and the daemon
+/// both keep serving — and because `stream::update` fires before any
+/// mutation, a re-opened session sees unchanged state.
+#[test]
+fn panicking_request_is_contained() {
+    let _lock = fault::test_lock();
+    fault::reset();
+    let _quiet = quiet_panics();
+
+    let server = TestServer::start(None);
+    let mut c = server.client();
+    assert!(c.request("open fixture").starts_with("ok open "));
+
+    fault::arm("stream::update", FaultAction::Panic, 1);
+    let resp = c.request("0 0 0 : 1");
+    fault::reset();
+    assert_eq!(resp, "err internal: request panicked; session closed");
+
+    // Same connection, still served; session gone, state unchanged.
+    assert_eq!(c.request("ping"), "ok pong");
+    assert!(c.request("check").starts_with("err usage:"));
+    let reopened = c.request("open fixture");
+    assert!(reopened.contains("gen=0"), "{reopened}");
+    assert!(reopened.contains("decision=consistent"), "{reopened}");
+    assert!(c.request("0 0 0 : 1").starts_with("status=1 "));
+
+    // Other connections never noticed.
+    let mut c2 = server.client();
+    assert!(c2.request("open fixture").starts_with("ok open "));
+    assert!(c2.request("check").starts_with("status=0 "));
+    server.stop();
+}
+
+/// An injected deadline expiry degrades the request to `status=3` with
+/// an abort reason; after disarming, a `sync` restores deterministic
+/// service on the same connection.
+#[test]
+fn injected_deadline_degrades_to_unknown() {
+    let _lock = fault::test_lock();
+    fault::reset();
+
+    let server = TestServer::start(None);
+    let mut c = server.client();
+    // The injected expiry only bites when a real deadline is armed; one
+    // hour never expires on its own.
+    assert_eq!(c.request("timeout 3600000"), "ok timeout ms=3600000");
+    assert!(c.request("open fixture").starts_with("ok open "));
+
+    fault::arm("stream::update", FaultAction::InjectDeadline, 1);
+    let resp = c.request("0 0 0 : 1");
+    fault::reset();
+    assert!(resp.starts_with("status=3 "), "{resp}");
+    assert!(resp.contains("deadline exceeded"), "{resp}");
+
+    // Recovery on the same session: re-pin and replay deterministically.
+    let synced = c.request("sync");
+    assert!(
+        synced.starts_with("ok sync dataset=fixture gen=0 "),
+        "{synced}"
+    );
+    assert!(synced.contains("decision=consistent"), "{synced}");
+    assert!(c.request("0 0 0 : 1").starts_with("status=1 "));
+    assert!(c.request("0 0 0 : -1").starts_with("status=0 "));
+    server.stop();
+}

@@ -1,0 +1,145 @@
+//! Shared scaffolding for the serve integration suites: an embedded
+//! daemon on a loopback socket plus a line-protocol client.
+#![allow(dead_code)]
+
+use bagcons_serve::{ServeOptions, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The two-bag acyclic fixture (path schema A–B, B–C; consistent).
+pub const R_TEXT: &str = "A B #\n0 0 : 2\n1 1 : 3\n";
+pub const S_TEXT: &str = "B C #\n0 7 : 2\n1 8 : 3\n";
+
+/// A fresh per-test scratch directory under the system temp dir.
+pub fn temp_dir() -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bagcons-serve-test-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Writes the fixture bags as files, returning their paths.
+pub fn write_fixture(dir: &Path) -> Vec<String> {
+    let r = dir.join("r.bag");
+    let s = dir.join("s.bag");
+    std::fs::write(&r, R_TEXT).expect("write fixture");
+    std::fs::write(&s, S_TEXT).expect("write fixture");
+    vec![r.display().to_string(), s.display().to_string()]
+}
+
+/// An embedded daemon on a loopback TCP socket with the fixture
+/// preloaded as dataset `fixture`; shut down (and its temp dir removed)
+/// on drop.
+pub struct TestServer {
+    pub addr: SocketAddr,
+    pub handle: ServerHandle,
+    pub dir: PathBuf,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    /// Starts a daemon with the given per-decision thread cap.
+    pub fn start(threads: Option<usize>) -> TestServer {
+        TestServer::start_with(|opts| opts.threads = threads)
+    }
+
+    /// Starts a daemon with arbitrary option tweaks.
+    pub fn start_with(tweak: impl FnOnce(&mut ServeOptions)) -> TestServer {
+        let mut opts = ServeOptions::default();
+        tweak(&mut opts);
+        let server = Server::bind(opts).expect("bind loopback");
+        let addr = server.local_addr().expect("tcp listener");
+        let handle = server.handle();
+        let dir = temp_dir();
+        let files = write_fixture(&dir);
+        server.preload("fixture", &files).expect("preload fixture");
+        let thread = std::thread::spawn(move || server.run().expect("serve loop"));
+        TestServer {
+            addr,
+            handle,
+            dir,
+            thread: Some(thread),
+        }
+    }
+
+    /// A fresh client connection.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr)
+    }
+
+    /// Requests shutdown and joins the accept loop (drain included).
+    pub fn stop(mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("server thread");
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A line-protocol client over TCP.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    /// Sends one request line (no response expected — e.g. queued batch
+    /// deltas). A single write, so Nagle never splits request packets.
+    pub fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    /// Reads one response line; panics on EOF.
+    pub fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    /// One request, one response.
+    pub fn request(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+
+    /// True iff the server has closed this connection (EOF).
+    pub fn at_eof(&mut self) -> bool {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("eof probe") == 0
+    }
+
+    /// Surrenders the raw stream (for abrupt-disconnect tests).
+    pub fn into_stream(self) -> TcpStream {
+        self.writer
+    }
+}
