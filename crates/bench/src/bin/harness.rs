@@ -37,7 +37,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13", "E14", "E15",
-        "E16", "E17",
+        "E16", "E17", "E18",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -62,6 +62,7 @@ fn main() {
             "E15" => e15(),
             "E16" => e16(),
             "E17" => e17(),
+            "E18" => e18(),
             other => eprintln!("unknown experiment {other}; known: {all:?}"),
         }
     }
@@ -1367,4 +1368,175 @@ fn e17() {
     );
     std::fs::write("BENCH_e17.json", &json).expect("write BENCH_e17.json");
     println!("wrote BENCH_e17.json");
+}
+
+/// E18 — the snapshot layer: zero-copy snapshot open vs text parse +
+/// seal over a support grid, and warm stream resume (persisted flow
+/// columns reinstalled, [`bagcons_flow::ConsistencyNetwork`] only
+/// re-verified) vs the cold per-pair max-flow rebuild. The dataset is a
+/// planted consistent pair written three ways from one prep session:
+/// two text bag files with the rows deliberately scrambled (so the
+/// parse path pays the real seal sort), and one snapshot file carrying
+/// the sealed arenas plus the stream's warm flow column. Writes the
+/// grid to `BENCH_e18.json` in the current directory.
+fn e18() {
+    use bagcons::session::Session;
+    use std::sync::Arc;
+
+    header(
+        "E18",
+        "snapshot open vs parse+seal; warm resume vs cold rebuild",
+    );
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {host}");
+    println!(
+        "{:>9} {:>12} {:>13} {:>13} {:>9} {:>11} {:>11}",
+        "support", "snap bytes", "parse+seal", "snap open", "speedup", "cold(ms)", "warm(ms)"
+    );
+    let dir = std::env::temp_dir().join(format!("bagcons-e18-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let x = Schema::range(0, 2);
+    let y = Schema::range(1, 3);
+    let mut rng = StdRng::seed_from_u64(0xE18);
+    let reps = 7;
+    let median = |mut samples: Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples[samples.len() / 2]
+    };
+    let mut rows = Vec::new();
+    for exp in [10u32, 12, 14, 16, 17] {
+        let support = 1usize << exp;
+        let (r, s) = planted_pair(&x, &y, support as u64, support, 1 << 20, &mut rng).unwrap();
+        // Text files with the rows written back-to-front: a sorted file
+        // would let the seal's run detection skip the sort, understating
+        // the cost the snapshot path actually removes.
+        let write_text = |bag: &Bag, attrs: [&str; 2], name: &str| -> std::path::PathBuf {
+            let mut text = format!("{} {} #\n", attrs[0], attrs[1]);
+            for (row, mult) in bag.sorted_rows().iter().rev() {
+                text.push_str(&format!("{} {} : {mult}\n", row[0].get(), row[1].get()));
+            }
+            let path = dir.join(format!("{name}{support}.bag"));
+            std::fs::write(&path, text).expect("write text bag");
+            path
+        };
+        let rp = write_text(&r, ["A0", "A1"], "r");
+        let sp = write_text(&s, ["A1", "A2"], "s");
+        // Prep session: parse the text back (so the snapshots hold the
+        // same symbolic attrs a text load produces), warm a stream, and
+        // persist two snapshots — a plain one (what `snapshot save`
+        // emits; the load comparison) and one carrying the warm flow
+        // column (the resume comparison).
+        let snap_path = dir.join(format!("d{support}.snap"));
+        let warm_path = dir.join(format!("w{support}.snap"));
+        {
+            let mut prep = Session::builder().threads(1).build().expect("valid");
+            let mut bags = prep.load_path(&rp).expect("parse r");
+            bags.extend(prep.load_path(&sp).expect("parse s"));
+            let arcs: Vec<Arc<Bag>> = bags.iter().cloned().map(Arc::new).collect();
+            let stream = prep.open_stream_shared(arcs).expect("stream opens");
+            assert_eq!(stream.decision().as_str(), "consistent", "planted pair");
+            let refs: Vec<&Bag> = bags.iter().collect();
+            prep.write_snapshot(&snap_path, &refs)
+                .expect("write snapshot");
+            prep.write_snapshot_warm(&warm_path, &refs, stream.warm_flows())
+                .expect("write warm snapshot");
+        }
+        let snap_bytes = std::fs::metadata(&snap_path)
+            .expect("snapshot written")
+            .len();
+
+        // Loading: text parse + seal vs snapshot open, each through the
+        // same auto-detecting `Session::load_path` entry point.
+        let load_ms = |paths: &[&std::path::Path]| -> f64 {
+            median(
+                (0..reps)
+                    .map(|_| {
+                        let mut sess = Session::builder().threads(1).build().expect("valid");
+                        let t0 = Instant::now();
+                        let mut bags = Vec::new();
+                        for p in paths {
+                            bags.extend(sess.load_path(p).expect("load"));
+                        }
+                        let dt = ms(t0);
+                        assert_eq!(bags.len(), 2);
+                        assert_eq!(
+                            std::hint::black_box(&bags)[0].support_size(),
+                            r.support_size()
+                        );
+                        dt
+                    })
+                    .collect(),
+            )
+        };
+        let parse_ms = load_ms(&[&rp, &sp]);
+        let snap_ms = load_ms(&[&snap_path]);
+
+        // Stream opening from in-memory bags: cold rebuilds and solves
+        // the pair network from zero; warm reinstalls the persisted flow
+        // column and only re-verifies feasibility.
+        let session = Session::builder().threads(1).build().expect("valid");
+        let (bags, flows) = {
+            let mut loader = Session::builder().threads(1).build().expect("valid");
+            let (bags, flows) = loader.load_snapshot_warm(&warm_path).expect("reload");
+            (bags, flows.expect("snapshot carries flows"))
+        };
+        let arcs: Vec<Arc<Bag>> = bags.into_iter().map(Arc::new).collect();
+        let stream_ms = |warm: bool| -> f64 {
+            median(
+                (0..reps)
+                    .map(|_| {
+                        let pinned = arcs.clone();
+                        let t0 = Instant::now();
+                        let stream = if warm {
+                            session.open_stream_resumed(pinned, &flows)
+                        } else {
+                            session.open_stream_shared(pinned)
+                        }
+                        .expect("stream opens");
+                        let dt = ms(t0);
+                        assert_eq!(
+                            std::hint::black_box(stream).decision().as_str(),
+                            "consistent"
+                        );
+                        dt
+                    })
+                    .collect(),
+            )
+        };
+        let cold_ms = stream_ms(false);
+        let warm_ms = stream_ms(true);
+        println!(
+            "{support:>9} {snap_bytes:>12} {parse_ms:>13.3} {snap_ms:>13.3} {:>8.1}x \
+             {cold_ms:>11.3} {warm_ms:>11.3}",
+            parse_ms / snap_ms
+        );
+        rows.push(format!(
+            "    {{\"support\": {support}, \"snapshot_bytes\": {snap_bytes}, \
+             \"parse_seal_ms\": {parse_ms:.4}, \"snap_open_ms\": {snap_ms:.4}, \
+             \"cold_stream_ms\": {cold_ms:.4}, \"warm_resume_ms\": {warm_ms:.4}}}"
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let json = format!(
+        "{{\n  \"experiment\": \"e18_snapshot\",\n  \"workload\": \
+         \"planted_pair x={{A0,A1}} y={{A1,A2}} mult=2^20 seed=0xE18, written \
+         as scrambled text bag files and as one snapshot carrying the warm \
+         flow column; parse_seal = Session::load_path on the two text files \
+         (tokenize + intern + sort + seal), snap_open = Session::load_path \
+         on the snapshot (verify hashes + adopt sealed arenas); cold_stream \
+         = open_stream_shared (per-pair network build + max-flow from \
+         zero), warm_resume = open_stream_resumed (network build + \
+         persisted flow column reinstalled, feasibility re-verified)\",\n  \
+         \"unit\": \"milliseconds, median of 7\",\n  \
+         \"host_parallelism\": {host},\n  \
+         \"note\": \"snap_open must beat parse_seal by >= 10x on the \
+         largest row: the snapshot adopts the sealed sorted-run arena \
+         after hash verification instead of re-tokenizing, re-interning, \
+         and re-sorting; warm_resume must not lose to cold_stream — the \
+         reinstalled flow makes the first re-augmentation a no-op\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_e18.json", &json).expect("write BENCH_e18.json");
+    println!("wrote BENCH_e18.json");
 }

@@ -96,7 +96,7 @@ pub use kwise::k_wise_consistent;
 pub use minimal::minimal_two_bag_witness;
 pub use pairwise::{bags_consistent, consistency_witness, pairwise_consistent};
 pub use report::{Lemma2Report, Render, ReportFormat};
-pub use session::{Session, SessionBuilder, SessionError};
+pub use session::{DatasetSource, Session, SessionBuilder, SessionError};
 pub use stream::{ConsistencyStream, UpdateOutcome};
 pub use tseitin::tseitin_bags;
 
@@ -104,8 +104,9 @@ pub use tseitin::tseitin_bags;
 pub mod prelude_session {
     pub use crate::report::{Render, ReportFormat};
     pub use crate::session::{
-        Branch, CheckOutcome, CounterexampleOutcome, Decision, DiagnoseOutcome, PairwiseOutcome,
-        SchemaOutcome, Session, SessionBuilder, SessionError, StageTiming, WitnessOutcome,
+        Branch, CheckOutcome, CounterexampleOutcome, DatasetSource, Decision, DiagnoseOutcome,
+        PairwiseOutcome, SchemaOutcome, Session, SessionBuilder, SessionError, StageTiming,
+        WitnessOutcome,
     };
     pub use crate::stream::{ConsistencyStream, UpdateOutcome};
 }

@@ -59,8 +59,9 @@ use bagcons_hypergraph::{
     ObstructionKind,
 };
 use bagcons_lp::ilp::{IlpOutcome, SolverConfig};
+use bagcons_snap::{looks_like_snapshot, SnapError, Snapshot, SnapshotWriter};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -75,6 +76,8 @@ pub enum SessionError {
     Lift(LiftError),
     /// Reading a bag file failed ([`Session::load_bag_file`]).
     Io(std::io::Error),
+    /// A snapshot failed to open or decode ([`Session::load_snapshot`]).
+    Snap(SnapError),
 }
 
 impl fmt::Display for SessionError {
@@ -84,6 +87,7 @@ impl fmt::Display for SessionError {
             SessionError::Core(e) => write!(f, "{e}"),
             SessionError::Lift(e) => write!(f, "{e}"),
             SessionError::Io(e) => write!(f, "{e}"),
+            SessionError::Snap(e) => write!(f, "{e}"),
         }
     }
 }
@@ -95,6 +99,7 @@ impl std::error::Error for SessionError {
             SessionError::Core(e) => Some(e),
             SessionError::Lift(e) => Some(e),
             SessionError::Io(e) => Some(e),
+            SessionError::Snap(e) => Some(e),
         }
     }
 }
@@ -120,6 +125,66 @@ impl From<LiftError> for SessionError {
 impl From<std::io::Error> for SessionError {
     fn from(e: std::io::Error) -> Self {
         SessionError::Io(e)
+    }
+}
+
+impl From<SnapError> for SessionError {
+    fn from(e: SnapError) -> Self {
+        SessionError::Snap(e)
+    }
+}
+
+/// A typed dataset input: the tabular text format or a binary snapshot.
+///
+/// This is the one vocabulary the CLI (`check`/`watch`/`serve` file
+/// args), the daemon's `load` verb, and [`Session::load_source`] share —
+/// it replaces the three divergent parse-and-seal call sites that each
+/// assumed "file" meant "text".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatasetSource {
+    /// Tabular text ([`Session::load_bag`] format); one bag per file.
+    Text(PathBuf),
+    /// Binary snapshot (`bagcons-snap`); may hold several bags.
+    Snapshot(PathBuf),
+}
+
+impl DatasetSource {
+    /// Classifies the file at `path` by magic bytes: files beginning
+    /// with the snapshot magic are [`DatasetSource::Snapshot`],
+    /// everything else (including files shorter than the magic) is
+    /// [`DatasetSource::Text`]. Only the first eight bytes are read.
+    pub fn detect(path: impl AsRef<Path>) -> Result<DatasetSource, std::io::Error> {
+        use std::io::Read;
+        let path = path.as_ref().to_path_buf();
+        let mut head = [0u8; 8];
+        let mut file = std::fs::File::open(&path)?;
+        let mut got = 0;
+        while got < head.len() {
+            match file.read(&mut head[got..])? {
+                0 => break,
+                n => got += n,
+            }
+        }
+        Ok(if looks_like_snapshot(&head[..got]) {
+            DatasetSource::Snapshot(path)
+        } else {
+            DatasetSource::Text(path)
+        })
+    }
+
+    /// The underlying file path.
+    pub fn path(&self) -> &Path {
+        match self {
+            DatasetSource::Text(p) | DatasetSource::Snapshot(p) => p,
+        }
+    }
+
+    /// Stable kind tag (`text` / `snapshot`) for logs and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DatasetSource::Text(_) => "text",
+            DatasetSource::Snapshot(_) => "snapshot",
+        }
     }
 }
 
@@ -920,6 +985,93 @@ impl Session {
     pub fn load_bag_file(&mut self, path: impl AsRef<Path>) -> Result<Bag, SessionError> {
         let text = std::fs::read_to_string(path)?;
         self.load_bag(&text)
+    }
+
+    /// Loads every bag in the snapshot at `path`, restoring the stored
+    /// attribute names into this session's interner (first binding of a
+    /// name wins, so live names are never clobbered). Bags arrive
+    /// sealed — no parsing, no interning, no sort.
+    pub fn load_snapshot(&mut self, path: impl AsRef<Path>) -> Result<Vec<Bag>, SessionError> {
+        let (bags, _) = self.load_snapshot_warm(path)?;
+        Ok(bags)
+    }
+
+    /// [`Session::load_snapshot`] that additionally surfaces the warm
+    /// per-pair flow columns, if the snapshot carries any — feed them to
+    /// [`Session::open_stream_resumed`] to skip the cold max-flow on
+    /// resume.
+    #[allow(clippy::type_complexity)]
+    pub fn load_snapshot_warm(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<(Vec<Bag>, Option<Vec<Option<Vec<u64>>>>), SessionError> {
+        let snapshot = Snapshot::open(path)?;
+        let (bags, names, flows) = snapshot.into_parts();
+        for (attr, name) in &names {
+            self.interner.restore(*attr, name);
+        }
+        Ok((bags, flows))
+    }
+
+    /// Writes `bags` as a snapshot at `path`, carrying this session's
+    /// attribute-name table. Every bag must be sealed
+    /// ([`SnapError::Unsealed`] otherwise — seal first, the format
+    /// persists the sorted-run layout verbatim).
+    pub fn write_snapshot(
+        &self,
+        path: impl AsRef<Path>,
+        bags: &[&Bag],
+    ) -> Result<(), SessionError> {
+        let mut writer = SnapshotWriter::new();
+        for bag in bags {
+            writer.add_bag(bag).map_err(SessionError::Snap)?;
+        }
+        writer.set_names(self.interner.entries());
+        writer.write_file(path).map_err(SessionError::Snap)?;
+        Ok(())
+    }
+
+    /// [`Session::write_snapshot`] that also persists warm per-pair flow
+    /// columns ([`ConsistencyStream::warm_flows`](crate::stream::ConsistencyStream::warm_flows)),
+    /// so a restart can [`Session::open_stream_resumed`] instead of
+    /// re-solving every pair's max-flow from zero.
+    pub fn write_snapshot_warm(
+        &self,
+        path: impl AsRef<Path>,
+        bags: &[&Bag],
+        flows: Vec<Option<Vec<u64>>>,
+    ) -> Result<(), SessionError> {
+        let mut writer = SnapshotWriter::new();
+        for bag in bags {
+            writer.add_bag(bag).map_err(SessionError::Snap)?;
+        }
+        writer.set_names(self.interner.entries());
+        writer.set_flows(flows);
+        writer.write_file(path).map_err(SessionError::Snap)?;
+        Ok(())
+    }
+
+    /// Loads a dataset source, returning sealed bags either way: text
+    /// sources parse through the session interner and seal under the
+    /// session's exec config, snapshot sources decode directly. This is
+    /// the one loading path the CLI, the daemon, and embedders share.
+    pub fn load_source(&mut self, source: &DatasetSource) -> Result<Vec<Bag>, SessionError> {
+        match source {
+            DatasetSource::Text(path) => {
+                let text = std::fs::read_to_string(path)?;
+                let mut bag = self.load_bag(&text)?;
+                bag.try_seal_with(&self.exec)?;
+                Ok(vec![bag])
+            }
+            DatasetSource::Snapshot(path) => self.load_snapshot(path),
+        }
+    }
+
+    /// [`Session::load_source`] with the source kind auto-detected by
+    /// magic bytes ([`DatasetSource::detect`]).
+    pub fn load_path(&mut self, path: impl AsRef<Path>) -> Result<Vec<Bag>, SessionError> {
+        let source = DatasetSource::detect(path)?;
+        self.load_source(&source)
     }
 
     /// Serializes a bag using the session's attribute names.

@@ -257,7 +257,7 @@ impl Session {
     /// delta-proportional cost. See the [`stream`](crate::stream)
     /// module docs for the caching and fallback invariants.
     pub fn open_stream(&self, bags: Vec<Bag>) -> Result<ConsistencyStream, SessionError> {
-        ConsistencyStream::open(self, bags.into_iter().map(Arc::new).collect())
+        ConsistencyStream::open(self, bags.into_iter().map(Arc::new).collect(), None)
     }
 
     /// [`Session::open_stream`] over an already-shared *generation* of
@@ -269,7 +269,24 @@ impl Session {
         &self,
         bags: Vec<Arc<Bag>>,
     ) -> Result<ConsistencyStream, SessionError> {
-        ConsistencyStream::open(self, bags)
+        ConsistencyStream::open(self, bags, None)
+    }
+
+    /// [`Session::open_stream_shared`] resuming from persisted warm
+    /// state: `flows` is the per-pair middle-edge flow column a previous
+    /// stream exported through [`ConsistencyStream::warm_flows`] (and a
+    /// snapshot round-tripped). Each pair's network is still rebuilt
+    /// deterministically from the bags, but the feasible flow is
+    /// reinstalled instead of re-augmented from zero — a column that no
+    /// longer matches the rebuilt network is simply ignored, falling
+    /// back to the cold path, so stale warm state costs nothing but
+    /// time.
+    pub fn open_stream_resumed(
+        &self,
+        bags: Vec<Arc<Bag>>,
+        flows: &[Option<Vec<u64>>],
+    ) -> Result<ConsistencyStream, SessionError> {
+        ConsistencyStream::open(self, bags, Some(flows))
     }
 }
 
@@ -277,7 +294,11 @@ impl Session {
 pub type BatchEdit = (usize, DeltaSet);
 
 impl ConsistencyStream {
-    fn open(session: &Session, mut bags: Vec<Arc<Bag>>) -> Result<Self, SessionError> {
+    fn open(
+        session: &Session,
+        mut bags: Vec<Arc<Bag>>,
+        warm: Option<&[Option<Vec<u64>>]>,
+    ) -> Result<Self, SessionError> {
         let (exec, solver) = session.arm();
         for bag in &mut bags {
             if !bag.is_sealed() {
@@ -300,6 +321,15 @@ impl ConsistencyStream {
                         &exec,
                         session.scratch(),
                     )?;
+                    // Reinstall persisted warm flow for this pair, if
+                    // any; a non-matching column is ignored and the
+                    // reaugment below runs cold.
+                    if let Some(column) = warm
+                        .and_then(|w| w.get(pairs.len()))
+                        .and_then(|f| f.as_ref())
+                    {
+                        net.install_flows(column);
+                    }
                     let consistent = net.try_reaugment(&exec)?;
                     (PairCheck::Network(Box::new(net)), consistent)
                 };
@@ -752,6 +782,22 @@ impl ConsistencyStream {
             self.witness = out.witness;
         }
         Ok(self.witness.as_ref())
+    }
+
+    /// Exports the warm per-pair flow columns — one entry per pair in
+    /// lexicographic `i < j` order, `Some` for network-backed pairs and
+    /// `None` for totals-only (disjoint-schema) pairs. Persist this
+    /// alongside the bags (`SnapshotWriter::set_flows`) and feed it to
+    /// [`Session::open_stream_resumed`] after a restart to skip the
+    /// cold max-flow.
+    pub fn warm_flows(&self) -> Vec<Option<Vec<u64>>> {
+        self.pairs
+            .iter()
+            .map(|p| match &p.check {
+                PairCheck::Totals => None,
+                PairCheck::Network(net) => Some(net.edge_flows()),
+            })
+            .collect()
     }
 }
 

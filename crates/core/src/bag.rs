@@ -873,6 +873,36 @@ impl Bag {
         }
     }
 
+    /// Reassembles a sealed bag from its persisted parts — the snapshot
+    /// loading seam. `store` must already satisfy the sealed sorted-run
+    /// invariant (certified by [`RowStore::from_sorted_rows`], not
+    /// recomputed here), `mults` is the dense multiplicity column with no
+    /// tombstones. No re-interning, no re-sorting; the packed view stays
+    /// lazy exactly as after a seal. Returns `None` on any shape
+    /// violation: arity mismatch, column-length mismatch, or a zero
+    /// multiplicity (tombstones never survive a seal).
+    pub fn from_sealed_parts(schema: Schema, store: RowStore, mults: Vec<u64>) -> Option<Bag> {
+        if store.arity() != schema.arity() || mults.len() != store.len() {
+            return None;
+        }
+        if mults.contains(&0) {
+            return None;
+        }
+        debug_assert!(
+            store.iter().zip(store.iter().skip(1)).all(|(a, b)| a < b),
+            "from_sealed_parts requires a strictly ascending arena"
+        );
+        let live = store.len();
+        Some(Bag {
+            schema,
+            store,
+            mults,
+            live,
+            sealed: true,
+            packed: OnceLock::new(),
+        })
+    }
+
     /// Appends a distinct row without the sorted guarantee (join outputs,
     /// which are unique by construction but emitted in key-group order).
     pub(crate) fn push_unique_row(&mut self, row: &[Value], mult: u64) {

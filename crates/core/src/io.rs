@@ -141,6 +141,34 @@ impl NameInterner {
     pub fn names(&self) -> &AttrNames {
         &self.names
     }
+
+    /// Every known `(attribute, name)` binding, sorted by attribute id —
+    /// a deterministic serialization order for snapshot writers.
+    pub fn entries(&self) -> Vec<(Attr, String)> {
+        let mut out: Vec<(Attr, String)> = self
+            .by_name
+            .iter()
+            .map(|(name, &attr)| (attr, name.clone()))
+            .collect();
+        out.sort_by_key(|(attr, _)| attr.id());
+        out
+    }
+
+    /// Re-binds a persisted `(attribute, name)` pair (snapshot loading).
+    /// The first binding of a name wins — a live session's names are
+    /// never clobbered by a loaded file. Restoring a symbolic attribute
+    /// advances the allocator past it so later fresh names cannot
+    /// collide with restored ids.
+    pub fn restore(&mut self, attr: Attr, name: &str) {
+        if self.by_name.contains_key(name) {
+            return;
+        }
+        self.names.set(attr, name);
+        self.by_name.insert(name.to_string(), attr);
+        if attr.id() >= 1 << 30 {
+            self.next_symbolic = self.next_symbolic.max(attr.id() + 1);
+        }
+    }
 }
 
 /// Parses a bag from the tabular text format. Returns the bag plus the

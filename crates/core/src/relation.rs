@@ -81,6 +81,28 @@ impl Relation {
         Ok(rel)
     }
 
+    /// Reassembles a sealed relation from a persisted arena — the
+    /// snapshot loading seam, mirroring [`Bag::from_sealed_parts`]. The
+    /// store must already satisfy the sealed sorted-run invariant
+    /// (certified by [`RowStore::from_sorted_rows`]); interning provides
+    /// set semantics, so there is no multiplicity column to validate.
+    /// Returns `None` on an arity mismatch.
+    pub fn from_sealed_store(schema: Schema, store: RowStore) -> Option<Relation> {
+        if store.arity() != schema.arity() {
+            return None;
+        }
+        debug_assert!(
+            store.iter().zip(store.iter().skip(1)).all(|(a, b)| a < b),
+            "from_sealed_store requires a strictly ascending arena"
+        );
+        Some(Relation {
+            schema,
+            store,
+            sealed: true,
+            packed: OnceLock::new(),
+        })
+    }
+
     /// The relation over `∅` holding the empty tuple — the identity of the
     /// relational join.
     pub fn unit() -> Self {

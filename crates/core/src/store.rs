@@ -10,8 +10,11 @@
 //!
 //! Deduplication uses an open-addressing hash table (`u32` slots, linear
 //! probing) whose entries point back into the arena, so the whole store
-//! is three flat allocations regardless of row count: no per-row boxes,
-//! no per-bucket vectors.
+//! is at most three flat allocations regardless of row count: no per-row
+//! boxes, no per-bucket vectors. The table is **lazy**: a store adopted
+//! wholesale from a snapshot ([`RowStore::from_sorted_rows`]) carries
+//! its distinctness certificate in the sorted order and only pays for
+//! the hash table on the first content probe (lookup, intern, delta).
 //!
 //! Invariants:
 //!
@@ -26,6 +29,7 @@
 
 use crate::Value;
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::OnceLock;
 
 /// Compact handle to an interned row within one [`RowStore`].
 ///
@@ -45,6 +49,52 @@ impl RowId {
 /// Sentinel for an empty hash slot.
 const EMPTY: u32 = u32::MAX;
 
+/// The open-addressing dedup table: row ids probed by row-content hash.
+/// Split out of [`RowStore`] so the whole table can sit behind a
+/// `OnceLock` and build lazily — a snapshot-adopted store whose rows are
+/// certified distinct by their sorted order defers the build until the
+/// first content probe actually needs it (the same contract as the lazy
+/// packed view).
+#[derive(Clone, Debug)]
+struct SlotTable {
+    /// Open-addressing table of row ids (EMPTY = vacant), linear probing.
+    slots: Vec<u32>,
+    /// `slots.len() - 1`; slot count is a power of two.
+    mask: usize,
+}
+
+impl SlotTable {
+    /// An empty table sized for `rows` rows at the 7/8 load ceiling.
+    fn with_capacity(rows: usize) -> SlotTable {
+        let cap = slot_count_for(rows);
+        SlotTable {
+            slots: vec![EMPTY; cap],
+            mask: cap - 1,
+        }
+    }
+
+    /// Builds the table from an interned arena's rows (all distinct).
+    fn build(arity: usize, data: &[Value], len: u32) -> SlotTable {
+        let mut table = SlotTable::with_capacity(len as usize);
+        if arity == 0 {
+            if len > 0 {
+                let hash = hash_row(&[]);
+                table.slots[hash as usize & table.mask] = 0;
+            }
+            return table;
+        }
+        for (id, row) in data.chunks_exact(arity).enumerate() {
+            let hash = hash_row(row);
+            let mut i = hash as usize & table.mask;
+            while table.slots[i] != EMPTY {
+                i = (i + 1) & table.mask;
+            }
+            table.slots[i] = id as u32;
+        }
+        table
+    }
+}
+
 /// A per-schema arena of interned rows.
 #[derive(Clone, Debug)]
 pub struct RowStore {
@@ -53,16 +103,12 @@ pub struct RowStore {
     data: Vec<Value>,
     /// Number of rows (tracked separately: `arity` may be 0).
     len: u32,
-    /// Open-addressing table of row ids, probed by row-content hash.
-    slots: Vec<u32>,
-    /// `slots.len() - 1`; slot count is a power of two.
-    mask: usize,
+    /// The dedup table, built on first probe (see [`SlotTable`]).
+    index: OnceLock<SlotTable>,
 }
 
 impl Default for RowStore {
-    /// An empty arity-0 store. A derived `Default` would zero the slot
-    /// table and violate the nonzero power-of-two slot-count invariant,
-    /// panicking on first insert — so it is implemented by hand.
+    /// An empty arity-0 store.
     fn default() -> Self {
         RowStore::new(0)
     }
@@ -76,14 +122,53 @@ impl RowStore {
 
     /// An empty store with room for `rows` rows before reallocating.
     pub fn with_capacity(arity: usize, rows: usize) -> Self {
-        let cap = slot_count_for(rows);
+        // Pre-set a right-sized table: the caller told us the row count,
+        // so there is nothing to gain from laziness here and an eager
+        // table avoids doubling rehashes during the fill.
+        let index = OnceLock::new();
+        let _ = index.set(SlotTable::with_capacity(rows));
         RowStore {
             arity,
             data: Vec::with_capacity(arity * rows),
             len: 0,
-            slots: vec![EMPTY; cap],
-            mask: cap - 1,
+            index,
         }
+    }
+
+    /// Adopts a pre-sorted, pre-deduplicated columnar arena wholesale —
+    /// the bulk-move half of snapshot loading. `data` must hold exactly
+    /// `rows * arity` values laid out row-major in **strictly increasing**
+    /// lexicographic row order; strictness doubles as the distinctness
+    /// certificate, so no content comparisons are needed beyond one
+    /// adjacent-pair pass. The dedup table is left **unbuilt**: sorted
+    /// strict order already certifies distinctness, so hashing every row
+    /// up front would be pure overhead on the snapshot-open path — the
+    /// table materializes on the first content probe instead.
+    /// Returns `None` if the shape or the ordering certificate fails —
+    /// never adopts a half-checked arena.
+    pub fn from_sorted_rows(arity: usize, rows: usize, data: Vec<Value>) -> Option<RowStore> {
+        if data.len() != rows.checked_mul(arity)? || rows > (u32::MAX - 1) as usize {
+            return None;
+        }
+        if arity == 0 && rows > 1 {
+            // Arity-0 rows are all equal; at most one can be distinct.
+            return None;
+        }
+        if arity > 0 {
+            let mut prev: &[Value] = &[];
+            for (id, row) in data.chunks_exact(arity).enumerate() {
+                if id > 0 && prev >= row {
+                    return None;
+                }
+                prev = row;
+            }
+        }
+        Some(RowStore {
+            arity,
+            data,
+            len: rows as u32,
+            index: OnceLock::new(),
+        })
     }
 
     /// Row length this store accepts.
@@ -145,37 +230,45 @@ impl RowStore {
         assert_eq!(row.len(), self.arity, "row arity mismatch");
         self.grow_if_needed();
         let hash = hash_row(row);
-        let mut i = hash as usize & self.mask;
-        loop {
-            let slot = self.slots[i];
-            if slot == EMPTY {
-                let id = self.push_row(row);
-                self.slots[i] = id.0;
-                return (id, true);
+        // Probe with shared borrows first (table + arena), then mutate
+        // once the probe has settled on either a hit or a vacant slot.
+        let vacant = {
+            let table = self.index.get().expect("grow_if_needed builds the table");
+            let mut i = hash as usize & table.mask;
+            loop {
+                let slot = table.slots[i];
+                if slot == EMPTY {
+                    break i;
+                }
+                if self.stored_row(slot) == row {
+                    return (RowId(slot), false);
+                }
+                i = (i + 1) & table.mask;
             }
-            if self.stored_row(slot) == row {
-                return (RowId(slot), false);
-            }
-            i = (i + 1) & self.mask;
-        }
+        };
+        let id = self.push_row(row);
+        self.index.get_mut().expect("built above").slots[vacant] = id.0;
+        (id, true)
     }
 
-    /// Looks up an existing row without inserting.
+    /// Looks up an existing row without inserting. First call on a
+    /// snapshot-adopted store builds the dedup table (`O(len)`, once).
     pub fn lookup(&self, row: &[Value]) -> Option<RowId> {
         if row.len() != self.arity || self.len == 0 {
             return None;
         }
+        let table = self.table();
         let hash = hash_row(row);
-        let mut i = hash as usize & self.mask;
+        let mut i = hash as usize & table.mask;
         loop {
-            let slot = self.slots[i];
+            let slot = table.slots[i];
             if slot == EMPTY {
                 return None;
             }
             if self.stored_row(slot) == row {
                 return Some(RowId(slot));
             }
-            i = (i + 1) & self.mask;
+            i = (i + 1) & table.mask;
         }
     }
 
@@ -211,12 +304,16 @@ impl RowStore {
             "push_unique_unchecked on duplicate row"
         );
         self.grow_if_needed();
-        let mut i = hash as usize & self.mask;
-        while self.slots[i] != EMPTY {
-            i = (i + 1) & self.mask;
-        }
+        let vacant = {
+            let table = self.index.get().expect("grow_if_needed builds the table");
+            let mut i = hash as usize & table.mask;
+            while table.slots[i] != EMPTY {
+                i = (i + 1) & table.mask;
+            }
+            i
+        };
         let id = self.push_row(row);
-        self.slots[i] = id.0;
+        self.index.get_mut().expect("built above").slots[vacant] = id.0;
         id
     }
 
@@ -224,28 +321,17 @@ impl RowStore {
     /// earlier length — the rollback half of the delta-apply atomicity
     /// guarantee ([`crate::Bag::apply_delta_with`]). Error-path-only:
     /// individual slots cannot be unlinked from a linear-probing table
-    /// without corrupting probe chains, so the dedup table is rebuilt
-    /// from the surviving rows (`O(new_len)` — acceptable where the
-    /// alternative is a corrupted bag).
+    /// without corrupting probe chains, so the dedup table is simply
+    /// discarded and rebuilt lazily from the surviving rows on the next
+    /// probe (`O(new_len)` — acceptable where the alternative is a
+    /// corrupted bag).
     pub(crate) fn truncate(&mut self, new_len: usize) {
         if new_len >= self.len() {
             return;
         }
         self.data.truncate(new_len * self.arity);
         self.len = new_len as u32;
-        let cap = slot_count_for(new_len);
-        self.slots.clear();
-        self.slots.resize(cap, EMPTY);
-        self.mask = cap - 1;
-        for id in 0..self.len {
-            let off = id as usize * self.arity;
-            let hash = hash_row(&self.data[off..off + self.arity]);
-            let mut i = hash as usize & self.mask;
-            while self.slots[i] != EMPTY {
-                i = (i + 1) & self.mask;
-            }
-            self.slots[i] = id;
-        }
+        self.index = OnceLock::new();
     }
 
     /// Rebuilds the store with rows in `order`, dropping rows not listed.
@@ -309,6 +395,13 @@ impl RowStore {
         crate::exec::parallel_sort_by(order, cfg.threads(), shards, |&a, &b| ord.cmp(a, b))
     }
 
+    /// The dedup table, built on first use.
+    #[inline]
+    fn table(&self) -> &SlotTable {
+        self.index
+            .get_or_init(|| SlotTable::build(self.arity, &self.data, self.len))
+    }
+
     #[inline]
     fn stored_row(&self, id: u32) -> &[Value] {
         let i = id as usize;
@@ -327,13 +420,19 @@ impl RowStore {
         id
     }
 
-    /// Keeps the load factor below 7/8, rehashing by re-deriving hashes
-    /// from row content (no stored hash column needed).
+    /// Ensures the dedup table exists and keeps its load factor below
+    /// 7/8, rehashing by re-deriving hashes from row content (no stored
+    /// hash column needed).
     fn grow_if_needed(&mut self) {
-        if (self.len as usize + 1) * 8 <= self.slots.len() * 7 {
+        if self.index.get().is_none() {
+            let table = SlotTable::build(self.arity, &self.data, self.len);
+            let _ = self.index.set(table);
+        }
+        let cur = self.index.get().expect("just built").slots.len();
+        if (self.len as usize + 1) * 8 <= cur * 7 {
             return;
         }
-        let cap = self.slots.len() * 2;
+        let cap = cur * 2;
         let mask = cap - 1;
         let mut slots = vec![EMPTY; cap];
         for id in 0..self.len {
@@ -344,8 +443,7 @@ impl RowStore {
             }
             slots[i] = id;
         }
-        self.slots = slots;
-        self.mask = mask;
+        *self.index.get_mut().expect("built above") = SlotTable { slots, mask };
     }
 }
 
@@ -483,6 +581,36 @@ mod tests {
         assert!(fresh);
         assert_eq!(s.row(id), &[] as &[Value]);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn from_sorted_rows_defers_index_until_first_probe() {
+        let s = RowStore::from_sorted_rows(2, 3, v(&[1, 2, 3, 4, 5, 6])).unwrap();
+        assert!(s.index.get().is_none(), "adoption must not build the table");
+        assert_eq!(s.lookup(&v(&[3, 4])), Some(RowId(1)));
+        assert!(s.index.get().is_some(), "first probe builds the table");
+        assert_eq!(s.lookup(&v(&[5, 7])), None);
+        // Mutation after lazy adoption keeps the table coherent.
+        let mut s = s;
+        let (id, fresh) = s.intern(&v(&[0, 9]));
+        assert!(fresh);
+        assert_eq!(s.lookup(&v(&[0, 9])), Some(id));
+    }
+
+    #[test]
+    fn truncate_discards_and_lazily_rebuilds_index() {
+        let mut s = RowStore::new(1);
+        for i in 0..10 {
+            s.intern(&v(&[i]));
+        }
+        s.truncate(4);
+        assert!(s.index.get().is_none());
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.lookup(&v(&[3])), Some(RowId(3)));
+        assert_eq!(s.lookup(&v(&[7])), None);
+        let (id, fresh) = s.intern(&v(&[7]));
+        assert!(fresh);
+        assert_eq!(id, RowId(4));
     }
 
     #[test]

@@ -139,6 +139,27 @@ impl FlowNetwork {
         self.edges[rev].cap -= amount;
     }
 
+    /// Routes `amount` additional units of flow through edge `id`
+    /// (forward residual shrinks, reverse residual grows) — the inverse
+    /// of [`FlowNetwork::reduce_flow`], used to reinstall a persisted
+    /// feasible flow without re-running augmentation. The caller is
+    /// responsible for conservation: push matching amounts along a full
+    /// source-to-sink path.
+    ///
+    /// # Panics
+    /// Panics if `amount` exceeds the edge's residual capacity.
+    pub fn push_flow(&mut self, id: EdgeId, amount: u64) {
+        let (e, _) = self.orig_cap[id.0];
+        assert!(
+            amount <= self.edges[e].cap,
+            "cannot push {amount} units into {} residual units",
+            self.edges[e].cap
+        );
+        self.edges[e].cap -= amount;
+        let rev = self.edges[e].rev;
+        self.edges[rev].cap += amount;
+    }
+
     /// Computes a maximum `s → t` flow and returns its value.
     ///
     /// The value is returned as `u128` because it is a *sum* of `u64`

@@ -329,6 +329,64 @@ impl ConsistencyNetwork {
         self.middle.iter().map(|m| self.rows.row(m.row))
     }
 
+    /// The flow routed through each middle edge, in deterministic build
+    /// order — the persistable warm state of this network. Because
+    /// `build*` emits middle edges in an order that is bit-identical
+    /// across thread counts, this column plus the two bags fully
+    /// determines the feasible flow: a freshly rebuilt network accepts
+    /// it back through [`ConsistencyNetwork::install_flows`].
+    pub fn edge_flows(&self) -> Vec<u64> {
+        self.middle.iter().map(|m| self.net.flow(m.edge)).collect()
+    }
+
+    /// Reinstalls a persisted middle-edge flow column into a freshly
+    /// built (zero-flow) network, routing each unit along its unique
+    /// source → middle → sink path — the warm-restart half of snapshot
+    /// resume, after which [`ConsistencyNetwork::try_reaugment`] has
+    /// little or nothing left to do.
+    ///
+    /// The column is validated before anything is pushed: the length
+    /// must match the middle-edge count, each entry must fit its middle
+    /// capacity, and the per-vertex sums must fit the boundary-arc
+    /// capacities (checked in `u128`, so adversarial columns cannot
+    /// overflow). Returns `false` — leaving the network untouched — on
+    /// any violation or if this network already carries flow; callers
+    /// then simply fall back to cold augmentation.
+    pub fn install_flows(&mut self, flows: &[u64]) -> bool {
+        if self.flow_value != 0 || flows.len() != self.middle.len() {
+            return false;
+        }
+        let mut r_sums = vec![0u128; self.r_mults.len()];
+        let mut s_sums = vec![0u128; self.s_mults.len()];
+        for (m, &f) in self.middle.iter().zip(flows) {
+            if f > self.net.capacity(m.edge) {
+                return false;
+            }
+            r_sums[m.r as usize] += f as u128;
+            s_sums[m.s as usize] += f as u128;
+        }
+        let r_ok = r_sums
+            .iter()
+            .zip(&self.r_mults)
+            .all(|(&sum, &cap)| sum <= cap as u128);
+        let s_ok = s_sums
+            .iter()
+            .zip(&self.s_mults)
+            .all(|(&sum, &cap)| sum <= cap as u128);
+        if !r_ok || !s_ok {
+            return false;
+        }
+        for (m, &f) in self.middle.iter().zip(flows) {
+            if f > 0 {
+                self.net.push_flow(self.source_edges[m.r as usize], f);
+                self.net.push_flow(m.edge, f);
+                self.net.push_flow(self.sink_edges[m.s as usize], f);
+                self.flow_value += f as u128;
+            }
+        }
+        true
+    }
+
     /// Runs max-flow; if the flow saturates every source and sink arc,
     /// returns the witness bag `T(t) = f(t[X], t[Y])`, else `None`.
     pub fn solve(self) -> Option<Bag> {

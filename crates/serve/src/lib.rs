@@ -42,7 +42,8 @@
 //! | request | effect |
 //! |---|---|
 //! | `ping` | liveness probe, answers `ok pong` |
-//! | `load <name> <file>...` | parse + seal bag files, register as dataset `<name>` (generation 0) |
+//! | `load <name> <file>...` | register dataset `<name>` from files (generation 0); text bags parse + seal, snapshot files decode directly (auto-detected by magic bytes) |
+//! | `save <name> <file>` | export the dataset's current generation as a snapshot file |
 //! | `list` | enumerate datasets with generation + bag counts |
 //! | `open <name>` | open this connection's session on the current generation |
 //! | `<bag> <vals...> : <±d>` | one delta (`parse_delta_line` format) → one decision |

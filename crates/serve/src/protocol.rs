@@ -16,12 +16,20 @@ use std::time::Duration;
 pub enum Command {
     /// Liveness probe.
     Ping,
-    /// Register a dataset from bag files.
+    /// Register a dataset from bag files (tabular text or binary
+    /// snapshot, auto-detected by magic bytes).
     Load {
         /// Registry name for the dataset.
         name: String,
-        /// Bag files in the tabular text format.
+        /// Dataset files (text bags or snapshots).
         files: Vec<String>,
+    },
+    /// Export a dataset's current generation as a snapshot file.
+    Save {
+        /// Registry name of the dataset to export.
+        name: String,
+        /// Destination snapshot file.
+        file: String,
     },
     /// Enumerate datasets.
     List,
@@ -87,6 +95,13 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
                 files: files.iter().map(|f| f.to_string()).collect(),
             })),
             _ => Err("load needs a dataset name and at least one file".to_string()),
+        },
+        "save" => match rest.as_slice() {
+            [name, file] => Ok(Some(Command::Save {
+                name: name.to_string(),
+                file: file.to_string(),
+            })),
+            _ => Err("save needs a dataset name and a destination file".to_string()),
         },
         "open" => match rest.as_slice() {
             [name] => Ok(Some(Command::Open(name.to_string()))),
@@ -237,10 +252,19 @@ mod tests {
             parse_command("timeout none").unwrap(),
             Some(Command::Timeout(None))
         );
+        assert_eq!(
+            parse_command("save d out.snap").unwrap(),
+            Some(Command::Save {
+                name: "d".to_string(),
+                file: "out.snap".to_string(),
+            })
+        );
         assert!(parse_command("open").is_err());
         assert!(parse_command("ping extra").is_err());
         assert!(parse_command("frobnicate").is_err());
         assert!(parse_command("load d").is_err());
+        assert!(parse_command("save d").is_err());
+        assert!(parse_command("save d a b").is_err());
     }
 
     #[test]

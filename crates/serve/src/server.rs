@@ -15,10 +15,11 @@ use bagcons::report::ReportFormat;
 use bagcons::session::{Session, SessionError};
 use bagcons::stream::ConsistencyStream;
 use bagcons_core::exec::ScratchPool;
-use bagcons_core::{AttrNames, DeltaSet};
+use bagcons_core::{AttrNames, Bag, DeltaSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -52,6 +53,12 @@ pub struct ServeOptions {
     pub worker_budget: Option<usize>,
     /// Connection cap; excess connections are refused with `err busy`.
     pub max_connections: usize,
+    /// Allowlist root for client-supplied dataset paths (`load`/`save`):
+    /// when set, paths are canonicalized and must fall under this
+    /// directory — violations answer `err usage:`. `None` (the default)
+    /// trusts paths as before, for operator-driven deployments.
+    /// Operator preloads ([`Server::preload`]) always bypass the check.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -64,6 +71,7 @@ impl Default for ServeOptions {
             timeout: None,
             worker_budget: None,
             max_connections: 64,
+            data_dir: None,
         }
     }
 }
@@ -169,20 +177,62 @@ impl Shared {
         Ok(b.build()?)
     }
 
-    /// Parses and seals bag files through the shared loader, then
-    /// registers them as a dataset.
-    fn load_dataset(&self, name: &str, files: &[String]) -> Result<Arc<Dataset>, String> {
-        let mut bags = Vec::with_capacity(files.len());
+    /// Resolves a client-supplied path against the `--data-dir`
+    /// allowlist. Without a configured data dir the path passes through
+    /// untouched. With one, relative paths resolve under it, the result
+    /// is canonicalized (the parent, for write targets that do not exist
+    /// yet), and anything escaping the root — `..` hops, absolute paths
+    /// elsewhere, symlinks out — is rejected with the message the `load`
+    /// and `save` handlers answer as `err usage:`.
+    fn authorize(&self, raw: &str, for_write: bool) -> Result<PathBuf, String> {
+        let Some(root) = &self.opts.data_dir else {
+            return Ok(PathBuf::from(raw));
+        };
+        let root = root
+            .canonicalize()
+            .map_err(|e| format!("data dir {}: {e}", root.display()))?;
+        let raw_path = Path::new(raw);
+        let joined = if raw_path.is_absolute() {
+            raw_path.to_path_buf()
+        } else {
+            root.join(raw_path)
+        };
+        let real = if for_write {
+            // The target may not exist yet; canonicalize its parent and
+            // keep the (plain) file name.
+            let file_name = joined
+                .file_name()
+                .filter(|n| *n != ".." && *n != ".")
+                .ok_or_else(|| format!("{raw:?} is not a file path"))?
+                .to_os_string();
+            joined
+                .parent()
+                .ok_or_else(|| format!("{raw:?} is not a file path"))?
+                .canonicalize()
+                .map_err(|e| format!("{raw:?}: {e}"))?
+                .join(file_name)
+        } else {
+            joined.canonicalize().map_err(|e| format!("{raw:?}: {e}"))?
+        };
+        if !real.starts_with(&root) {
+            return Err(format!("{raw:?} escapes the data dir"));
+        }
+        Ok(real)
+    }
+
+    /// Loads dataset files through the shared loader — text bags parse
+    /// and seal, snapshots decode directly (kind auto-detected by magic
+    /// bytes; a snapshot file may carry several bags) — then registers
+    /// the lot as a dataset.
+    fn load_dataset(&self, name: &str, files: &[PathBuf]) -> Result<Arc<Dataset>, String> {
+        let mut bags: Vec<Arc<Bag>> = Vec::with_capacity(files.len());
         {
             let mut loader = self.loader.lock().expect("loader lock poisoned");
             for path in files {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
-                let mut bag = loader.load_bag(&text).map_err(|e| format!("{path}: {e}"))?;
-                let exec = loader.exec().clone();
-                bag.try_seal_with(&exec)
-                    .map_err(|e| format!("{path}: {e}"))?;
-                bags.push(Arc::new(bag));
+                let loaded = loader
+                    .load_path(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                bags.extend(loaded.into_iter().map(Arc::new));
             }
         }
         self.registry
@@ -400,21 +450,58 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
             };
             Action::Reply(protocol::ok_response(fmt, "timeout", &[("ms", ms)]))
         }
-        Command::Load { name, files } => match shared.load_dataset(&name, &files) {
-            Ok(ds) => {
-                let generation = ds.current();
-                Action::Reply(protocol::ok_response(
+        Command::Load { name, files } => {
+            let mut paths = Vec::with_capacity(files.len());
+            for file in &files {
+                match shared.authorize(file, false) {
+                    Ok(p) => paths.push(p),
+                    Err(msg) => return err("usage", &msg),
+                }
+            }
+            match shared.load_dataset(&name, &paths) {
+                Ok(ds) => {
+                    let generation = ds.current();
+                    Action::Reply(protocol::ok_response(
+                        fmt,
+                        "load",
+                        &[
+                            ("dataset", name),
+                            ("gen", generation.seq.to_string()),
+                            ("bags", generation.bags.len().to_string()),
+                        ],
+                    ))
+                }
+                Err(msg) => err("load", &msg),
+            }
+        }
+        Command::Save { name, file } => {
+            let Some(dataset) = shared.registry.get(&name) else {
+                return err("save", &format!("unknown dataset {name:?}"));
+            };
+            let path = match shared.authorize(&file, true) {
+                Ok(p) => p,
+                Err(msg) => return err("usage", &msg),
+            };
+            let generation = dataset.current();
+            let refs: Vec<&Bag> = generation.bags.iter().map(|b| b.as_ref()).collect();
+            let written = {
+                let loader = shared.loader.lock().expect("loader lock poisoned");
+                loader.write_snapshot(&path, &refs)
+            };
+            match written {
+                Ok(()) => Action::Reply(protocol::ok_response(
                     fmt,
-                    "load",
+                    "save",
                     &[
                         ("dataset", name),
                         ("gen", generation.seq.to_string()),
                         ("bags", generation.bags.len().to_string()),
+                        ("file", path.display().to_string()),
                     ],
-                ))
+                )),
+                Err(e) => err("save", &e.to_string()),
             }
-            Err(msg) => err("load", &msg),
-        },
+        }
         Command::List => {
             let rendered: Vec<String> = shared
                 .registry
@@ -788,7 +875,10 @@ impl Server {
     /// Loads bag files as a dataset before serving (the CLI's positional
     /// FILE arguments; same path as the `load` request).
     pub fn preload(&self, name: &str, files: &[String]) -> Result<usize, String> {
-        let ds = self.shared.load_dataset(name, files)?;
+        // Operator paths: the `--data-dir` allowlist governs client
+        // requests, not the process's own command line.
+        let paths: Vec<PathBuf> = files.iter().map(PathBuf::from).collect();
+        let ds = self.shared.load_dataset(name, &paths)?;
         Ok(ds.current().bags.len())
     }
 

@@ -21,7 +21,15 @@ the same run of the same binary, so host parallelism is irrelevant —
 the gate only skips (loudly, exit 0) when the largest support is below
 E16_SUPPORT_FLOOR, where the join is too small to time reliably.
 
-Usage: check_speedup.py BENCH_e13.json BENCH_e14.json BENCH_e16.json
+An E18 file (experiment tag starting with "e18") gates the snapshot
+layer: on the largest-support row, opening the binary snapshot
+(parse-free, re-intern-free, re-sort-free) must be at least
+MIN_SNAP_SPEEDUP x faster than parsing + sealing the equivalent text
+dataset. Both columns come from the same run, so this gate is also
+host-independent and never skips.
+
+Usage: check_speedup.py BENCH_e13.json BENCH_e14.json BENCH_e16.json \
+       BENCH_e18.json
 """
 
 import json
@@ -33,6 +41,8 @@ THREADS_PAR = 4
 
 MIN_PACKED_SPEEDUP = 1.15
 E16_SUPPORT_FLOOR = 4096
+
+MIN_SNAP_SPEEDUP = 10.0
 
 
 def check_e16(path: str, doc: dict) -> bool:
@@ -57,11 +67,31 @@ def check_e16(path: str, doc: dict) -> bool:
     return ok
 
 
+def check_e18(path: str, doc: dict) -> bool:
+    rows = doc["results"]
+    if not rows:
+        print(f"{path}: no rows — nothing to gate")
+        return False
+    largest = max(row["support"] for row in rows)
+    row = next(r for r in rows if r["support"] == largest)
+    parse_ms, open_ms = row["parse_seal_ms"], row["snap_open_ms"]
+    speedup = parse_ms / open_ms if open_ms > 0 else float("inf")
+    ok = speedup >= MIN_SNAP_SPEEDUP
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{path}: support={largest} parse+seal={parse_ms:.3f} ms "
+          f"snapshot open={open_ms:.3f} ms speedup={speedup:.2f}x")
+    print(f"  {verdict}: snapshot open vs parse+seal "
+          f"(required >= {MIN_SNAP_SPEEDUP}x)")
+    return ok
+
+
 def check(path: str) -> bool:
     with open(path) as fh:
         doc = json.load(fh)
     if doc.get("experiment", "").startswith("e16"):
         return check_e16(path, doc)
+    if doc.get("experiment", "").startswith("e18"):
+        return check_e18(path, doc)
     host = doc.get("host_parallelism", 0)
     if host < THREADS_PAR:
         print(f"{path}: host_parallelism={host} < {THREADS_PAR}; "

@@ -16,6 +16,11 @@
 //! bagcons serve [opts] [<FILE>...]        long-lived daemon: host named datasets
 //!                                         with copy-on-write generations and one
 //!                                         delta-stream session per connection
+//! bagcons snapshot save <OUT> <FILE>...   write the datasets as one binary
+//!                                         snapshot (sealed arenas, content-hashed
+//!                                         sections; loads with no re-parse/re-sort)
+//! bagcons snapshot info <FILE>            print a snapshot's header + section table
+//! bagcons snapshot verify <FILE>          check every section hash and decode
 //!
 //! options:
 //!   --threads N         worker threads (default: one per core, capped at 8)
@@ -36,11 +41,15 @@
 //!   --worker-budget N     max concurrent decision computations
 //!                         (default: host parallelism)
 //!   --max-connections N   connection cap (default 64)
+//!   --data-dir DIR        allowlist root for client-supplied `load`/`save`
+//!                         paths (canonicalized; escapes answer `err usage:`)
 //! ```
 //!
 //! Each FILE holds one bag in the tabular text format of
 //! [`bagcons_core::io`] (header `A B #`, rows `1 2 : 3`,
-//! `%`-comments). `watch` additionally reads delta lines
+//! `%`-comments) **or** a binary snapshot written by `bagcons snapshot
+//! save` (auto-detected by magic bytes; a snapshot may carry several
+//! bags). `watch` additionally reads delta lines
 //! `<bag-index> <values...> : <±delta>` from stdin (0-based index in
 //! FILE order, values in the bag's schema order, `: delta` defaulting
 //! to `+1`) and re-decides incrementally after each one: cached
@@ -79,6 +88,7 @@ struct Cli {
     name: String,
     worker_budget: Option<usize>,
     max_connections: Option<usize>,
+    data_dir: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -94,9 +104,13 @@ fn main() -> ExitCode {
     };
 
     // serve builds its own sessions (one per connection, via the
-    // daemon's shared loader), so it branches before the CLI session.
+    // daemon's shared loader), so it branches before the CLI session;
+    // snapshot subcommands manage files, not decisions.
     if cli.cmd == "serve" {
         return cmd_serve(&cli);
+    }
+    if cli.cmd == "snapshot" {
+        return cmd_snapshot(&cli);
     }
 
     let mut builder = Session::builder().budget(cli.budget);
@@ -114,17 +128,13 @@ fn main() -> ExitCode {
         }
     };
 
+    // One typed loading path for every file argument: text bags parse
+    // through the session interner and seal; snapshot files (detected
+    // by magic bytes) decode directly, possibly several bags per file.
     let mut bags = Vec::new();
     for path in &cli.files {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        match session.load_bag(&text) {
-            Ok(bag) => bags.push(bag),
+        match session.load_path(path) {
+            Ok(loaded) => bags.extend(loaded),
             Err(e) => {
                 eprintln!("error: {path}: {e}");
                 return ExitCode::from(2);
@@ -162,6 +172,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut name = "default".to_string();
     let mut worker_budget = None;
     let mut max_connections = None;
+    let mut data_dir = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -215,6 +226,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         "--max-connections expects an unsigned integer".to_string()
                     })?);
             }
+            "--data-dir" => data_dir = Some(value(&mut it)?),
             f if f.starts_with("--") => return Err(format!("unknown option {f}")),
             _ => positional.push(arg.clone()),
         }
@@ -239,20 +251,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         name,
         worker_budget,
         max_connections,
+        data_dir,
     })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bagcons <check|witness|diagnose|pairwise|schema|counterexample|watch|serve> \
+        "usage: bagcons <check|witness|diagnose|pairwise|schema|counterexample|watch|serve|snapshot> \
          [--threads N] [--budget N] [--timeout MS] [--format text|json] <FILE>...\n\
-         FILEs hold bags in tabular text form (`A B #` header, `1 2 : 3` rows).\n\
+         FILEs hold bags in tabular text form (`A B #` header, `1 2 : 3` rows) or\n\
+         binary snapshots written by `bagcons snapshot save` (auto-detected).\n\
          watch reads `<bag-index> <values...> : <±delta>` lines from stdin and\n\
          re-emits a decision per delta (incremental re-check; `: +1` default);\n\
          `batch` ... `end` groups deltas into one atomic update.\n\
          serve hosts datasets over TCP/unix sockets ([--listen ADDR] [--unix PATH]\n\
-         [--name NAME] [--worker-budget N] [--max-connections N]); FILEs, if any,\n\
-         are preloaded as dataset NAME."
+         [--name NAME] [--worker-budget N] [--max-connections N] [--data-dir DIR]);\n\
+         FILEs, if any, are preloaded as dataset NAME.\n\
+         snapshot save <OUT> <FILE>... | snapshot info <FILE> | snapshot verify <FILE>."
     );
     ExitCode::from(2)
 }
@@ -431,6 +446,7 @@ fn cmd_serve(cli: &Cli) -> ExitCode {
     if let Some(cap) = cli.max_connections {
         opts.max_connections = cap;
     }
+    opts.data_dir = cli.data_dir.as_ref().map(std::path::PathBuf::from);
     let server = match bagcons_serve::Server::bind(opts) {
         Ok(s) => s,
         Err(e) => return fail(e),
@@ -458,6 +474,132 @@ fn cmd_serve(cli: &Cli) -> ExitCode {
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(e),
+    }
+}
+
+/// `bagcons snapshot save|info|verify`: write, describe, or fully
+/// validate a binary snapshot. Lives outside the decision session —
+/// `save` builds its own loader session; `info`/`verify` never build
+/// one.
+fn cmd_snapshot(cli: &Cli) -> ExitCode {
+    let Some((action, rest)) = cli.files.split_first() else {
+        eprintln!("error: snapshot needs an action (save|info|verify)");
+        return ExitCode::from(2);
+    };
+    match action.as_str() {
+        "save" => {
+            let Some((out, inputs)) = rest.split_first() else {
+                eprintln!("error: snapshot save needs an output file and at least one input");
+                return ExitCode::from(2);
+            };
+            if inputs.is_empty() {
+                eprintln!("error: snapshot save needs at least one input file");
+                return ExitCode::from(2);
+            }
+            let mut builder = Session::builder().budget(cli.budget);
+            if let Some(threads) = cli.threads {
+                builder = builder.threads(threads);
+            }
+            let mut session = match builder.build() {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
+            let mut bags = Vec::new();
+            for path in inputs {
+                match session.load_path(path) {
+                    Ok(loaded) => bags.extend(loaded),
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let refs: Vec<&bagcons_core::Bag> = bags.iter().collect();
+            if let Err(e) = session.write_snapshot(out, &refs) {
+                return fail(format!("{out}: {e}"));
+            }
+            eprintln!("wrote {out} ({} bags)", bags.len());
+            ExitCode::SUCCESS
+        }
+        "info" | "verify" => {
+            let [file] = rest else {
+                eprintln!("error: snapshot {action} needs exactly one file");
+                return ExitCode::from(2);
+            };
+            let bytes = match std::fs::read(file) {
+                Ok(b) => b,
+                Err(e) => return fail(format!("cannot read {file}: {e}")),
+            };
+            let result = if action == "verify" {
+                bagcons_snap::verify(&bytes)
+            } else {
+                bagcons_snap::inspect(&bytes)
+            };
+            let info = match result {
+                Ok(info) => info,
+                Err(e) => {
+                    // Corruption is a "no" answer, not a usage error.
+                    eprintln!("invalid snapshot {file}: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            match cli.format {
+                ReportFormat::Text => {
+                    println!(
+                        "snapshot {file}: version={} bytes={} bags={} pairs={} flows={}{}",
+                        info.version,
+                        info.file_len,
+                        info.bag_count,
+                        info.pair_count,
+                        if info.has_flows { "yes" } else { "no" },
+                        if action == "verify" {
+                            " verified=yes"
+                        } else {
+                            ""
+                        },
+                    );
+                    for s in &info.sections {
+                        println!(
+                            "  section {} index={} offset={} len={} hash={:016x}",
+                            s.name, s.index, s.offset, s.len, s.hash
+                        );
+                    }
+                }
+                ReportFormat::Json => {
+                    use bagcons::report::Json;
+                    let mut j = Json::new();
+                    j.begin_object();
+                    j.field_str("report", "snapshot");
+                    j.field_str("action", action);
+                    j.field_str("file", file);
+                    j.field_u64("version", u64::from(info.version));
+                    j.field_u64("bytes", info.file_len);
+                    j.field_u64("bags", u64::from(info.bag_count));
+                    j.field_u64("pairs", u64::from(info.pair_count));
+                    j.field_bool("flows", info.has_flows);
+                    j.field_bool("verified", action == "verify");
+                    j.key("sections");
+                    j.begin_array();
+                    for s in &info.sections {
+                        j.begin_object();
+                        j.field_str("kind", s.name);
+                        j.field_u64("index", u64::from(s.index));
+                        j.field_u64("offset", s.offset);
+                        j.field_u64("len", s.len);
+                        j.field_str("hash", &format!("{:016x}", s.hash));
+                        j.end_object();
+                    }
+                    j.end_array();
+                    j.end_object();
+                    println!("{}", j.finish());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown snapshot action {other:?} (save|info|verify)");
+            ExitCode::from(2)
+        }
     }
 }
 

@@ -15,6 +15,10 @@
 //!   `N(R,S)`;
 //! * [`lp`] — the linear program `P(R₁,…,R_m)`, exact integer
 //!   search, Carathéodory / Eisenbrand–Shmonin sparsification;
+//! * [`snap`] — the versioned binary snapshot container: sealed arenas,
+//!   multiplicity columns, schemas, names, and warm stream flows as
+//!   content-hashed sections that load with no re-parse, re-intern, or
+//!   re-sort ([`Session::load_snapshot`](bagcons::session::Session::load_snapshot));
 //! * [`bagcons`] — the paper's algorithms behind the [`Session`] facade:
 //!   two-bag consistency (Lemma 2), the local-to-global structure theorem
 //!   (Theorem 2), the complexity dichotomy (Theorem 4), and witness
@@ -59,6 +63,7 @@ pub use bagcons_flow as flow;
 pub use bagcons_gen as gen;
 pub use bagcons_hypergraph as hypergraph;
 pub use bagcons_lp as lp;
+pub use bagcons_snap as snap;
 
 pub use bagcons::session::Session;
 
@@ -67,8 +72,9 @@ pub mod prelude {
     pub use bagcons::dichotomy::{GcpbOutcome, GcpbReport};
     pub use bagcons::report::{Lemma2Report, Render, ReportFormat};
     pub use bagcons::session::{
-        Branch, CheckOutcome, CounterexampleOutcome, Decision, DiagnoseOutcome, PairwiseOutcome,
-        SchemaOutcome, Session, SessionBuilder, SessionError, StageTiming, WitnessOutcome,
+        Branch, CheckOutcome, CounterexampleOutcome, DatasetSource, Decision, DiagnoseOutcome,
+        PairwiseOutcome, SchemaOutcome, Session, SessionBuilder, SessionError, StageTiming,
+        WitnessOutcome,
     };
     #[allow(deprecated)]
     #[doc(hidden)]
@@ -84,4 +90,5 @@ pub mod prelude {
         Attr, AttrNames, Bag, CoreError, ExecConfig, Relation, Schema, Tuple, Value,
     };
     pub use bagcons_hypergraph::Hypergraph;
+    pub use bagcons_snap::{SnapError, Snapshot, SnapshotWriter};
 }

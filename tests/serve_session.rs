@@ -14,6 +14,7 @@ use bagcons_core::{AttrNames, Bag, DeltaSet};
 use bagcons_serve::protocol::decision_response;
 use bagcons_serve::ServeOptions;
 use serve_util::{Client, TestServer, R_TEXT, S_TEXT};
+use std::path::Path;
 use std::sync::{Arc, Barrier};
 
 /// The writer's delta script (protocol lines; also replayed through the
@@ -515,4 +516,161 @@ fn default_options_bind_loopback() {
     let opts = ServeOptions::default();
     assert_eq!(opts.tcp.as_deref(), Some("127.0.0.1:0"));
     assert!(opts.unix.is_none());
+}
+
+/// Writes the fixture as one sealed two-bag snapshot file, returning
+/// its path.
+fn write_snapshot_fixture(dir: &Path) -> String {
+    let mut session = Session::builder().build().expect("session");
+    let mut r = session.load_bag(R_TEXT).expect("parse r");
+    let mut s = session.load_bag(S_TEXT).expect("parse s");
+    r.seal();
+    s.seal();
+    let path = dir.join("fixture.snap");
+    session
+        .write_snapshot(&path, &[&r, &s])
+        .expect("write snapshot");
+    path.display().to_string()
+}
+
+/// A dataset loaded from a binary snapshot serves the same decision
+/// trace as the same data loaded from text files — at thread caps 1,
+/// 2, and 4. Only the dataset name may differ between the responses.
+#[test]
+fn snapshot_dataset_matches_text_dataset_traces() {
+    const SCRIPT: [&str; 4] = ["0 0 0 : 1", "0 0 0 : -1", "1 0 7 : 2", "1 0 7 : -2"];
+    for threads in [1usize, 2, 4] {
+        let server = TestServer::start(Some(threads));
+        let dir = serve_util::temp_dir();
+        let files = serve_util::write_fixture(&dir);
+        let snap = write_snapshot_fixture(&dir);
+        let mut c = server.client();
+        assert!(c
+            .request(&format!("load text {} {}", files[0], files[1]))
+            .starts_with("ok load dataset=text gen=0 bags=2"));
+        assert!(c
+            .request(&format!("load snap {snap}"))
+            .starts_with("ok load dataset=snap gen=0 bags=2"));
+
+        let trace_of = |c: &mut Client, dataset: &str| -> Vec<String> {
+            let open = c.request(&format!("open {dataset}"));
+            let (_, pinned) = open
+                .split_once(" bags=")
+                .unwrap_or_else(|| panic!("unexpected open response: {open}"));
+            let mut trace = vec![pinned.to_string()];
+            for line in SCRIPT {
+                trace.push(c.request(line));
+            }
+            trace.push(c.request("check"));
+            assert_eq!(c.request("close"), "ok close");
+            trace
+        };
+        let text_trace = trace_of(&mut c, "text");
+        let snap_trace = trace_of(&mut c, "snap");
+        assert_eq!(text_trace, snap_trace, "threads={threads}");
+        // The script is decision-bearing, not a vacuous equality.
+        assert!(text_trace[1].starts_with("status=1 "), "{text_trace:?}");
+        assert!(text_trace[2].starts_with("status=0 "), "{text_trace:?}");
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `save` writes the current generation as a snapshot that `load`
+/// round-trips into an equivalent dataset — including edits committed
+/// after the original load.
+#[test]
+fn save_round_trips_through_load() {
+    let server = TestServer::start(None);
+    let dir = serve_util::temp_dir();
+    let out = dir.join("saved.snap").display().to_string();
+    let mut c = server.client();
+
+    // Commit an edit so the saved generation differs from the files.
+    assert!(c.request("open fixture").starts_with("ok open "));
+    assert!(c.request("0 0 0 : 1").starts_with("status=1 "));
+    assert_eq!(c.request("commit"), "ok commit dataset=fixture gen=1");
+    let resp = c.request(&format!("save fixture {out}"));
+    assert!(
+        resp.starts_with("ok save dataset=fixture gen=1 bags=2 file="),
+        "{resp}"
+    );
+
+    let resp = c.request(&format!("load restored {out}"));
+    assert_eq!(resp, "ok load dataset=restored gen=0 bags=2");
+    assert_eq!(c.request("close"), "ok close");
+    let open = c.request("open restored");
+    assert!(
+        open.contains("decision=inconsistent") && open.ends_with("status=1"),
+        "the committed edit must survive the save/load round trip: {open}"
+    );
+    // Reverting the edit restores consistency — the restored bags are
+    // live, not a frozen replay.
+    assert!(c.request("0 0 0 : -1").starts_with("status=0 "));
+
+    let resp = c.request(&format!("save ghost {out}"));
+    assert!(resp.starts_with("err save:"), "{resp}");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `--data-dir`, client-supplied paths resolve under the allowlist
+/// root and anything escaping it — absolute paths elsewhere, `..` hops,
+/// write targets outside — is refused as `err usage:` without touching
+/// the filesystem.
+#[test]
+fn data_dir_allowlist_confines_load_and_save() {
+    let dir = serve_util::temp_dir();
+    serve_util::write_fixture(&dir);
+    let outside = serve_util::temp_dir();
+    let outside_bag = outside.join("r.bag");
+    std::fs::write(&outside_bag, R_TEXT).expect("write outside bag");
+    let server = {
+        let dir = dir.clone();
+        TestServer::start_with(move |opts| opts.data_dir = Some(dir))
+    };
+    let mut c = server.client();
+
+    // Relative paths resolve under the root.
+    assert_eq!(
+        c.request("load rel r.bag s.bag"),
+        "ok load dataset=rel gen=0 bags=2"
+    );
+    // Absolute paths inside the root are fine too.
+    let inside = dir.join("r.bag").display().to_string();
+    assert_eq!(
+        c.request(&format!("load abs {inside}")),
+        "ok load dataset=abs gen=0 bags=1"
+    );
+
+    // Escapes: absolute path elsewhere, `..` hop, and a write target
+    // outside the root.
+    let resp = c.request(&format!("load esc {}", outside_bag.display()));
+    assert!(resp.starts_with("err usage:"), "{resp}");
+    let resp = c.request("load esc ../x.bag");
+    assert!(resp.starts_with("err usage:"), "{resp}");
+    let resp = c.request("save rel ../out.snap");
+    assert!(resp.starts_with("err usage:"), "{resp}");
+    let escaped = outside.join("out.snap");
+    let resp = c.request(&format!("save rel {}", escaped.display()));
+    assert!(resp.starts_with("err usage:"), "{resp}");
+    assert!(!escaped.exists(), "refused save must not create the file");
+
+    // A confined save round-trips. The echoed path is canonicalized
+    // (symlink-resolved), so compare against the canonical root.
+    let canon = dir.canonicalize().expect("canonicalize data dir");
+    assert_eq!(
+        c.request("save rel saved.snap"),
+        format!(
+            "ok save dataset=rel gen=0 bags=2 file={}",
+            canon.join("saved.snap").display()
+        )
+    );
+    assert_eq!(
+        c.request("load resaved saved.snap"),
+        "ok load dataset=resaved gen=0 bags=2"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&outside);
 }
