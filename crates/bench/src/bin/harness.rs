@@ -37,7 +37,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13", "E14", "E15",
-        "E16", "E17", "E18",
+        "E16", "E17", "E18", "E19",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -63,6 +63,7 @@ fn main() {
             "E16" => e16(),
             "E17" => e17(),
             "E18" => e18(),
+            "E19" => e19(),
             other => eprintln!("unknown experiment {other}; known: {all:?}"),
         }
     }
@@ -1539,4 +1540,107 @@ fn e18() {
     );
     std::fs::write("BENCH_e18.json", &json).expect("write BENCH_e18.json");
     println!("wrote BENCH_e18.json");
+}
+
+/// E19 — coordinator-vs-local wall clock for the distributed pairwise
+/// screen (PR 10): the same `check` over worker-process counts
+/// {0, 1, 2, 4} on a multi-pair acyclic family, across a support grid.
+/// Workers are real `bagcons worker` children over pipes (resolved from
+/// `BAGCONS_WORKER_BIN` or the `bagcons` binary next to this harness),
+/// reused across repetitions through one long-lived [`bagcons_dist::pool::WorkerPool`] per
+/// cell — the daemon's amortization, not per-check spawn cost. Writes
+/// the grid to `BENCH_e19.json` in the current directory.
+fn e19() {
+    use bagcons::session::Session;
+    use bagcons_dist::{ClusterConfig, WorkerPool};
+
+    header("E19", "distributed pairwise screen: workers vs local");
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {host}");
+    let worker_bin = std::env::var_os("BAGCONS_WORKER_BIN")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            let sibling = std::env::current_exe().ok()?.with_file_name("bagcons");
+            sibling.is_file().then_some(sibling)
+        });
+    let Some(worker_bin) = worker_bin else {
+        println!(
+            "E19 SKIPPED: no `bagcons` binary next to the harness and no \
+             BAGCONS_WORKER_BIN set — build the CLI first (cargo build --release)"
+        );
+        return;
+    };
+    println!("worker binary: {}", worker_bin.display());
+    println!(
+        "{:>9} {:>8} {:>11} {:>9} {:>9}",
+        "support", "workers", "check(ms)", "remote", "local"
+    );
+    let h = path(6);
+    let mut rng = StdRng::seed_from_u64(0xE19);
+    let reps = 5;
+    let median = |mut samples: Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples[samples.len() / 2]
+    };
+    let session = Session::builder().threads(1).build().expect("valid");
+    let mut rows = Vec::new();
+    for exp in [12u32, 14, 16] {
+        let support = 1usize << exp;
+        let (bags, _) =
+            planted_family(&h, support as u64, support, 1 << 12, &mut rng).expect("planted family");
+        let refs: Vec<&Bag> = bags.iter().collect();
+        for workers in [0usize, 1, 2, 4] {
+            let cfg = ClusterConfig::builder()
+                .workers(workers)
+                .threads(1)
+                .worker_bin(worker_bin.clone())
+                .build();
+            let pool = WorkerPool::new(cfg);
+            let mut remote = 0;
+            let mut local = 0;
+            let check_ms = median(
+                (0..reps)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        let dist = pool.check(&session, &refs).expect("distributed check");
+                        let dt = ms(t0);
+                        assert_eq!(
+                            std::hint::black_box(&dist).outcome.decision.as_str(),
+                            "consistent",
+                            "planted family"
+                        );
+                        assert_eq!(dist.stats.degraded_workers, 0, "healthy bench run");
+                        remote = dist.stats.pairs_remote;
+                        local = dist.stats.pairs_local;
+                        dt
+                    })
+                    .collect(),
+            );
+            println!("{support:>9} {workers:>8} {check_ms:>11.3} {remote:>9} {local:>9}");
+            rows.push(format!(
+                "    {{\"support\": {support}, \"workers\": {workers}, \
+                 \"check_ms\": {check_ms:.4}, \"pairs_remote\": {remote}, \
+                 \"pairs_local\": {local}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e19_dist\",\n  \"workload\": \
+         \"planted_family over path(6) (5 bags, 4 overlapping pairs + \
+         disjoint totals pairs), domain=support, mult=2^12, seed=0xE19; check_ms = \
+         one distributed Session check through a long-lived WorkerPool \
+         (workers=0 solves every pair in-process through the same \
+         coordinator; workers=N ships round-robin partitions to `bagcons \
+         worker` children over pipes as sub-snapshots and collects typed \
+         verdicts)\",\n  \"unit\": \"milliseconds, median of 5\",\n  \
+         \"host_parallelism\": {host},\n  \
+         \"note\": \"the gate compares workers=4 against workers=0 on the \
+         largest support: pair-level process parallelism must beat the \
+         sequential screen despite snapshot encode + pipe transport; \
+         skipped on hosts with fewer than 4 cores\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_e19.json", &json).expect("write BENCH_e19.json");
+    println!("wrote BENCH_e19.json");
 }

@@ -359,7 +359,9 @@ pub struct CheckOutcome {
     pub search_nodes: u64,
     /// A witness bag over the union schema, when consistent.
     pub witness: Option<Bag>,
-    /// The first inconsistent index pair (acyclic-branch refusals only).
+    /// The first inconsistent index pair, in lexicographic order —
+    /// acyclic-branch refusals, plus cyclic-branch refusals found by a
+    /// [`Session::check_via`] pairwise screen.
     pub inconsistent_pair: Option<(usize, usize)>,
     /// Why the decision is [`Decision::Unknown`], when it is: the node
     /// budget ran out, the session deadline expired, or a
@@ -790,6 +792,7 @@ impl Render for CounterexampleOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct SessionBuilder {
     threads: Option<usize>,
+    workers: Option<usize>,
     exec: Option<ExecConfig>,
     solver: SolverConfig,
     budget: Option<u64>,
@@ -804,6 +807,19 @@ impl SessionBuilder {
     /// passed to [`SessionBuilder::exec`].
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Worker-**process** count for the distributed pair-graph backend
+    /// (default 0 — everything runs in-process). The session itself
+    /// never spawns processes: this knob is the `ClusterConfig` seed the
+    /// `bagcons-dist` coordinator (and the CLI's `--workers` flag, and
+    /// the serving daemon's pool) reads back through
+    /// [`Session::workers`]. Orthogonal to
+    /// [`SessionBuilder::threads`], which caps threads *within* each
+    /// process.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
         self
     }
 
@@ -881,6 +897,7 @@ impl SessionBuilder {
         Ok(Session {
             exec,
             solver,
+            workers: self.workers.unwrap_or(0),
             time_budget: self.deadline,
             interner: NameInterner::new(),
             max_mismatches: self
@@ -897,6 +914,9 @@ impl SessionBuilder {
 pub struct Session {
     exec: ExecConfig,
     solver: SolverConfig,
+    /// Requested worker-process count for the distributed backend
+    /// ([`SessionBuilder::workers`]); advisory — see [`Session::workers`].
+    workers: usize,
     /// Per-operation wall-clock budget ([`SessionBuilder::deadline`]);
     /// each top-level call arms a fresh [`Deadline`] from it.
     time_budget: Option<Duration>,
@@ -942,6 +962,15 @@ impl Session {
     /// ([`SessionBuilder::deadline`]).
     pub fn time_budget(&self) -> Option<Duration> {
         self.time_budget
+    }
+
+    /// The configured worker-process count for the distributed
+    /// pair-graph backend (0 = in-process). Advisory: `Session::check`
+    /// itself always runs locally; a distributed front end (the
+    /// `bagcons-dist` coordinator) reads this to size its pool and
+    /// dispatches the pairwise screen through [`Session::check_via`].
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Arms a fresh per-operation [`Deadline`] (the builder's time budget
@@ -1090,6 +1119,43 @@ impl Session {
     pub fn check(&self, bags: &[&Bag]) -> Result<CheckOutcome, SessionError> {
         let (exec, solver) = self.arm();
         Ok(check_impl(bags, &solver, &exec, &self.scratch)?)
+    }
+
+    /// [`Session::check`] with the pairwise screen dispatched through
+    /// `screen` instead of the in-process sweep — the seam a
+    /// distributed backend (the `bagcons-dist` coordinator) plugs into.
+    ///
+    /// `screen` receives every index pair `i < j` in lexicographic
+    /// order and must answer a consistency verdict per pair, however it
+    /// likes (worker processes, in-process solves, a cache). The rest
+    /// of the pipeline — outcome assembly, stage accounting, the
+    /// acyclic witness chain, the cyclic exact search — runs here, so a
+    /// screen that answers the same verdicts as the local sweep yields
+    /// a bit-identical [`CheckOutcome`] regardless of where the pairs
+    /// were solved.
+    ///
+    /// Differences from [`Session::check`], by design:
+    ///
+    /// * On **cyclic** schemas the screen runs *before* the ILP and a
+    ///   pairwise refutation short-circuits the search (Lemma 1:
+    ///   pairwise inconsistency already refutes global consistency), so
+    ///   the outcome carries `inconsistent_pair` with 0 search nodes
+    ///   where `check` would have burned nodes proving `Unsat`. The
+    ///   *decision* is identical; the report reaches it down a cheaper
+    ///   path, identical across every screen backend.
+    /// * A screen returning [`CoreError::Aborted`] degrades to
+    ///   [`Decision::Unknown`] exactly like an in-process deadline.
+    ///
+    /// The screen also receives the **armed** [`ExecConfig`] — the
+    /// session's configuration with the per-operation deadline already
+    /// ticking — so an external backend can poll the same governance
+    /// the in-process sweep obeys.
+    pub fn check_via<F>(&self, bags: &[&Bag], screen: F) -> Result<CheckOutcome, SessionError>
+    where
+        F: FnOnce(&[PairJob], &ExecConfig) -> bagcons_core::Result<Vec<PairVerdict>>,
+    {
+        let (exec, solver) = self.arm();
+        Ok(check_via_impl(bags, &solver, &exec, &self.scratch, screen)?)
     }
 
     /// [`Session::check`], rendering the full witness bag when one
@@ -1288,71 +1354,177 @@ pub(crate) fn check_impl(
         };
         push_stage(&mut stages, "pairwise", t);
         if let Some((i, j)) = pair {
-            return Ok(CheckOutcome {
-                decision: Decision::Inconsistent,
-                branch: Branch::Acyclic,
-                search_nodes: 0,
-                witness: None,
-                inconsistent_pair: Some((i, j)),
-                abort_reason: None,
-                stages,
-            });
+            return Ok(refuted_outcome(Branch::Acyclic, (i, j), stages));
         }
-        let t = Instant::now();
-        let witness = match witness_chain(bags, WitnessStrategy::Saturated, exec, pool) {
-            Ok(w) => w,
-            Err(AcyclicError::Core(CoreError::Aborted(reason))) => {
-                push_stage(&mut stages, "witness", t);
-                return Ok(aborted_outcome(Branch::Acyclic, reason, stages));
-            }
-            Err(AcyclicError::Core(e)) => return Err(e),
-            Err(AcyclicError::NotAcyclic(h)) => {
-                unreachable!("hypergraph {h} tested acyclic above")
-            }
-            Err(e @ AcyclicError::InconsistentPair(..))
-            | Err(e @ AcyclicError::DuplicateSchemaMismatch(..)) => {
-                unreachable!("pairwise consistency established above: {e}")
-            }
-        };
-        push_stage(&mut stages, "witness", t);
-        Ok(CheckOutcome {
-            decision: Decision::Consistent,
-            branch: Branch::Acyclic,
-            search_nodes: 0,
-            witness: Some(witness),
-            inconsistent_pair: None,
-            abort_reason: None,
-            stages,
-        })
+        acyclic_witness_outcome(bags, exec, pool, stages)
     } else {
-        let t = Instant::now();
-        let decision = globally_consistent_via_ilp(bags, solver)?;
-        push_stage(&mut stages, "search", t);
-        let search_nodes = decision.stats.nodes;
-        let mut abort_reason = None;
-        let (outcome, witness) = match &decision.outcome {
-            IlpOutcome::Sat(_) => {
-                let t = Instant::now();
-                let w = witness_from_ilp(bags, &decision)?.expect("Sat carries witness");
-                push_stage(&mut stages, "witness", t);
-                (Decision::Consistent, Some(w))
-            }
-            IlpOutcome::Unsat => (Decision::Inconsistent, None),
-            IlpOutcome::Aborted(reason) => {
-                abort_reason = Some(*reason);
-                (Decision::Unknown, None)
-            }
-        };
-        Ok(CheckOutcome {
-            decision: outcome,
-            branch: Branch::CyclicSearch,
-            search_nodes,
-            witness,
-            inconsistent_pair: None,
-            abort_reason,
-            stages,
-        })
+        cyclic_search_outcome(bags, solver, stages)
     }
+}
+
+/// One pairwise job of a [`Session::check_via`] screen: a bag-index
+/// pair `i < j` into the caller's slice, in lexicographic order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairJob {
+    /// Left bag index (`i < j`).
+    pub i: usize,
+    /// Right bag index.
+    pub j: usize,
+}
+
+/// One verdict a [`Session::check_via`] screen backend answers for a
+/// [`PairJob`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairVerdict {
+    /// Left bag index, echoed from the job.
+    pub i: usize,
+    /// Right bag index, echoed from the job.
+    pub j: usize,
+    /// Whether bags `i` and `j` are consistent (Lemma 2).
+    pub consistent: bool,
+}
+
+/// [`check_impl`] with the pairwise sweep handed to an external screen;
+/// see [`Session::check_via`] for the contract. Both dichotomy branches
+/// share the tails ([`acyclic_witness_outcome`] /
+/// [`cyclic_search_outcome`]) with the local pipeline, so identical
+/// verdicts produce identical outcomes.
+pub(crate) fn check_via_impl<F>(
+    bags: &[&Bag],
+    solver: &SolverConfig,
+    exec: &ExecConfig,
+    pool: &ScratchPool,
+    screen: F,
+) -> bagcons_core::Result<CheckOutcome>
+where
+    F: FnOnce(&[PairJob], &ExecConfig) -> bagcons_core::Result<Vec<PairVerdict>>,
+{
+    let mut stages = Vec::new();
+    let t = Instant::now();
+    let h = schema_hypergraph(bags);
+    let acyclic = is_acyclic(&h);
+    push_stage(&mut stages, "schema", t);
+    let branch = if acyclic {
+        Branch::Acyclic
+    } else {
+        Branch::CyclicSearch
+    };
+    let t = Instant::now();
+    let mut jobs = Vec::with_capacity(bags.len() * bags.len().saturating_sub(1) / 2);
+    for i in 0..bags.len() {
+        for j in (i + 1)..bags.len() {
+            jobs.push(PairJob { i, j });
+        }
+    }
+    let verdicts = match screen(&jobs, exec) {
+        Ok(v) => v,
+        Err(CoreError::Aborted(reason)) => {
+            push_stage(&mut stages, "pairwise", t);
+            return Ok(aborted_outcome(branch, reason, stages));
+        }
+        Err(e) => return Err(e),
+    };
+    // Lexicographic minimum, independent of verdict arrival order, so
+    // the reported pair matches the sequential sweep's first hit.
+    let pair = verdicts
+        .iter()
+        .filter(|v| !v.consistent)
+        .map(|v| (v.i, v.j))
+        .min();
+    push_stage(&mut stages, "pairwise", t);
+    if let Some((i, j)) = pair {
+        return Ok(refuted_outcome(branch, (i, j), stages));
+    }
+    if acyclic {
+        acyclic_witness_outcome(bags, exec, pool, stages)
+    } else {
+        cyclic_search_outcome(bags, solver, stages)
+    }
+}
+
+/// The Inconsistent-by-pairwise-refutation outcome both pipelines share.
+fn refuted_outcome(branch: Branch, pair: (usize, usize), stages: Vec<StageTiming>) -> CheckOutcome {
+    CheckOutcome {
+        decision: Decision::Inconsistent,
+        branch,
+        search_nodes: 0,
+        witness: None,
+        inconsistent_pair: Some(pair),
+        abort_reason: None,
+        stages,
+    }
+}
+
+/// The acyclic branch's tail once every pair passed: Theorem 6's
+/// witness chain, with deadline aborts degrading to `Unknown`.
+fn acyclic_witness_outcome(
+    bags: &[&Bag],
+    exec: &ExecConfig,
+    pool: &ScratchPool,
+    mut stages: Vec<StageTiming>,
+) -> bagcons_core::Result<CheckOutcome> {
+    let t = Instant::now();
+    let witness = match witness_chain(bags, WitnessStrategy::Saturated, exec, pool) {
+        Ok(w) => w,
+        Err(AcyclicError::Core(CoreError::Aborted(reason))) => {
+            push_stage(&mut stages, "witness", t);
+            return Ok(aborted_outcome(Branch::Acyclic, reason, stages));
+        }
+        Err(AcyclicError::Core(e)) => return Err(e),
+        Err(AcyclicError::NotAcyclic(h)) => {
+            unreachable!("hypergraph {h} tested acyclic above")
+        }
+        Err(e @ AcyclicError::InconsistentPair(..))
+        | Err(e @ AcyclicError::DuplicateSchemaMismatch(..)) => {
+            unreachable!("pairwise consistency established above: {e}")
+        }
+    };
+    push_stage(&mut stages, "witness", t);
+    Ok(CheckOutcome {
+        decision: Decision::Consistent,
+        branch: Branch::Acyclic,
+        search_nodes: 0,
+        witness: Some(witness),
+        inconsistent_pair: None,
+        abort_reason: None,
+        stages,
+    })
+}
+
+/// The cyclic branch's tail: the exact ILP search (and the witness it
+/// materializes on `Sat`).
+fn cyclic_search_outcome(
+    bags: &[&Bag],
+    solver: &SolverConfig,
+    mut stages: Vec<StageTiming>,
+) -> bagcons_core::Result<CheckOutcome> {
+    let t = Instant::now();
+    let decision = globally_consistent_via_ilp(bags, solver)?;
+    push_stage(&mut stages, "search", t);
+    let search_nodes = decision.stats.nodes;
+    let mut abort_reason = None;
+    let (outcome, witness) = match &decision.outcome {
+        IlpOutcome::Sat(_) => {
+            let t = Instant::now();
+            let w = witness_from_ilp(bags, &decision)?.expect("Sat carries witness");
+            push_stage(&mut stages, "witness", t);
+            (Decision::Consistent, Some(w))
+        }
+        IlpOutcome::Unsat => (Decision::Inconsistent, None),
+        IlpOutcome::Aborted(reason) => {
+            abort_reason = Some(*reason);
+            (Decision::Unknown, None)
+        }
+    };
+    Ok(CheckOutcome {
+        decision: outcome,
+        branch: Branch::CyclicSearch,
+        search_nodes,
+        witness,
+        inconsistent_pair: None,
+        abort_reason,
+        stages,
+    })
 }
 
 #[cfg(test)]

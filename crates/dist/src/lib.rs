@@ -1,0 +1,245 @@
+//! # `bagcons-dist`
+//!
+//! Distributes the pairwise consistency screen across worker
+//! **processes** over the snapshot wire format.
+//!
+//! Theorem 2 makes the pair graph embarrassingly parallel for acyclic
+//! schemas: global consistency is exactly the conjunction of the
+//! independent pairwise checks, so no global coordination step is
+//! needed beyond collecting verdicts. This crate exploits that at
+//! process granularity: a coordinator partitions the pairs, ships each
+//! partition to a `bagcons worker` child over pipes, and collects typed
+//! per-pair verdicts plus warm flow columns. Cyclic schemas still run
+//! their exact ILP locally — but only after the distributed screen, so
+//! a pairwise refutation (Lemma 1) short-circuits the search from any
+//! worker.
+//!
+//! ## Protocol stack (normative)
+//!
+//! ```text
+//! layer      module                        spec
+//! ─────      ──────                        ────
+//! framing    bagcons_snap::frame           BAGWIRE1: 32-byte header
+//!                                          (magic · kind · seq · len ·
+//!                                          striped content hash) + raw
+//!                                          payload
+//! messages   bagcons_dist::wire            DATASET / ASSIGN / VERDICT /
+//!                                          DONE / ERROR payload layouts
+//! payloads   bagcons_snap (BAGSNAP1),      dataset = a complete
+//!            bagcons::protocol             snapshot container; errors =
+//!                                          canonical `err <kind>:` lines
+//! ```
+//!
+//! Reusing the snapshot container for datasets and the snapshot's
+//! striped hash for frame integrity means the wire format inherits the
+//! snapshot layer's verification story; reusing `bagcons::protocol`'s
+//! error lines means worker failures render and parse exactly like
+//! daemon failures.
+//!
+//! ## Execution model
+//!
+//! [`WorkerPool::check`] plugs the coordinator into
+//! [`bagcons::session::Session::check_via`]: the session assembles the
+//! outcome (stages, witness chain, ILP) from whatever verdicts the
+//! screen answers, so distributed runs are **bit-identical** to local
+//! ones at any worker count — including every degradation path. The
+//! containment contract (spawn failure, worker death, deadlines) is
+//! specified on [`pool`]'s module docs. Transport is single-machine
+//! pipes, so CI exercises the full stack with no network dependency.
+//!
+//! ```no_run
+//! use bagcons::prelude_session::*;
+//! use bagcons_dist::ClusterConfig;
+//!
+//! let mut session = Session::builder().workers(4).build()?;
+//! let r = session.load_bag("A B #\n0 1 : 2\n")?;
+//! let s = session.load_bag("B C #\n1 2 : 2\n")?;
+//! let cfg = ClusterConfig::from_session(&session);
+//! let dist = bagcons_dist::check(&session, &[&r, &s], &cfg)?;
+//! assert_eq!(dist.outcome.decision, Decision::Consistent);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod wire;
+pub mod worker;
+
+pub use pool::{ScreenOutcome, WorkerPool};
+
+use bagcons::prelude_session::CheckOutcome;
+use bagcons::session::Session;
+use bagcons::SessionError;
+use bagcons_core::Bag;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Worker-side wall-clock budget when neither the builder nor the
+/// session's time budget supplies one: generous enough for real solves,
+/// finite so a wedged worker can never hang a check.
+pub const DEFAULT_WORKER_DEADLINE: Duration = Duration::from_secs(60);
+
+/// How a coordinator runs its workers: count, binary, per-worker solver
+/// threads, per-worker deadline, and extra environment (the chaos
+/// suite's fault knob travels through `worker_env`).
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    workers: usize,
+    worker_bin: Option<PathBuf>,
+    threads: usize,
+    worker_deadline: Duration,
+    worker_env: Vec<(String, String)>,
+}
+
+impl ClusterConfig {
+    /// Starts a builder (defaults: 0 workers, auto-resolved binary, 1
+    /// thread, [`DEFAULT_WORKER_DEADLINE`], empty environment).
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            cfg: ClusterConfig {
+                workers: 0,
+                worker_bin: None,
+                threads: 1,
+                worker_deadline: DEFAULT_WORKER_DEADLINE,
+                worker_env: Vec::new(),
+            },
+        }
+    }
+
+    /// A configuration mirroring a session's knobs: worker count from
+    /// [`Session::workers`] (the `Session::builder().workers(N)` value),
+    /// solver threads from its exec config, and the per-worker deadline
+    /// from its time budget when one is set.
+    pub fn from_session(session: &Session) -> Self {
+        ClusterConfig {
+            workers: session.workers(),
+            worker_bin: None,
+            threads: session.exec().threads(),
+            worker_deadline: session.time_budget().unwrap_or(DEFAULT_WORKER_DEADLINE),
+            worker_env: Vec::new(),
+        }
+    }
+
+    /// Maximum worker processes per screen (0 = everything local).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Explicit worker binary, if configured. Unset, the coordinator
+    /// falls back to `BAGCONS_WORKER_BIN`, then to the current
+    /// executable when it is the `bagcons` CLI itself.
+    pub fn worker_bin(&self) -> Option<&Path> {
+        self.worker_bin.as_deref()
+    }
+
+    /// Solver threads each worker runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Wall-clock budget per worker conversation; expiry kills the
+    /// worker and degrades its partition to local execution.
+    pub fn worker_deadline(&self) -> Duration {
+        self.worker_deadline
+    }
+
+    /// Extra environment variables set on spawned workers.
+    pub fn worker_env(&self) -> &[(String, String)] {
+        &self.worker_env
+    }
+}
+
+/// Builder for [`ClusterConfig`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the maximum worker-process count (0 = all pairs local).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Pins the worker binary (a `bagcons` CLI build).
+    pub fn worker_bin(mut self, bin: impl Into<PathBuf>) -> Self {
+        self.cfg.worker_bin = Some(bin.into());
+        self
+    }
+
+    /// Sets the solver threads each worker runs with.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-worker wall-clock budget.
+    pub fn worker_deadline(mut self, deadline: Duration) -> Self {
+        self.cfg.worker_deadline = deadline;
+        self
+    }
+
+    /// Adds an environment variable to spawned workers.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.cfg.worker_env.push((key.into(), value.into()));
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> ClusterConfig {
+        self.cfg
+    }
+}
+
+/// Where the screen's pairs were solved — the coordinator's audit trail,
+/// and what the chaos suite asserts degradation against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Pairs the screen was asked to answer.
+    pub pairs_total: usize,
+    /// Pairs shipped to workers (overlapping-schema pairs only).
+    pub pairs_shipped: usize,
+    /// Pairs answered by worker verdicts.
+    pub pairs_remote: usize,
+    /// Overlapping pairs solved in-process (workers = 0, spawn failures,
+    /// degraded partitions). Disjoint-schema totals comparisons are
+    /// answered inline and counted in neither remote nor local.
+    pub pairs_local: usize,
+    /// Worker processes actually fed an assignment.
+    pub workers_used: usize,
+    /// Workers that died, erred, timed out, or went off-protocol
+    /// mid-conversation (their partitions degraded to local).
+    pub degraded_workers: usize,
+    /// Partitions that never got a worker (spawn failed or no binary).
+    pub spawn_failures: usize,
+}
+
+/// A distributed check: the session outcome plus the coordinator-only
+/// extras.
+#[derive(Debug)]
+pub struct DistCheck {
+    /// The decision, bit-identical to [`Session::check`] on the same
+    /// input (assembled by the same pipeline).
+    pub outcome: CheckOutcome,
+    /// Warm flow columns per pair in lexicographic pair order — feed to
+    /// `Session::open_stream_resumed` to open an incremental stream
+    /// without re-solving. Empty when the screen never ran (e.g. the
+    /// check aborted before it).
+    pub warm: Vec<Option<Vec<u64>>>,
+    /// Placement accounting.
+    pub stats: DistStats,
+}
+
+/// One-shot distributed check: spawns a transient [`WorkerPool`], runs
+/// [`WorkerPool::check`], and tears the workers down. Long-lived callers
+/// (the daemon) should own a pool instead to amortize process startup.
+pub fn check(
+    session: &Session,
+    bags: &[&Bag],
+    cfg: &ClusterConfig,
+) -> Result<DistCheck, SessionError> {
+    WorkerPool::new(cfg.clone()).check(session, bags)
+}

@@ -1,0 +1,618 @@
+//! The coordinator: partitions the pair graph, ships each partition to a
+//! worker process over pipes, and collects verdicts with typed
+//! containment of every way a worker can die.
+//!
+//! ## Containment contract (normative)
+//!
+//! The pool never lets a worker failure change an answer or hang a
+//! check; it only changes *where* pairs get solved:
+//!
+//! * **Spawn failure** (missing binary, fork error): the partition is
+//!   solved locally; `spawn_failures` is counted. No error surfaces.
+//! * **Worker death** (SIGKILL, `exit`, closed pipe, torn or corrupt
+//!   frame): the reader sees a typed failure, the coordinator kills and
+//!   reaps the child, and that partition's unanswered pairs are solved
+//!   locally; `degraded_workers` is counted.
+//! * **Worker-reported error** (an ERROR frame, including a caught
+//!   panic): same degradation. If the error was a genuine solver error,
+//!   the local re-solve surfaces it exactly as an in-process run would.
+//! * **Per-worker deadline expiry** ([`crate::ClusterConfig`]): the
+//!   worker is killed and its partition degrades — a wedged worker can
+//!   stall a check by at most the worker deadline, never forever.
+//! * **Session deadline expiry** (the armed [`ExecConfig`]): all workers
+//!   are killed and the screen returns `CoreError::Aborted`, which
+//!   [`bagcons::session::Session::check_via`] degrades to the same
+//!   `Unknown` outcome an in-process abort yields.
+//!
+//! Local fallback solves use the same `solve_pair` routine the worker
+//! runs, so degradation is invisible in the decision: verdicts — and
+//! therefore the assembled [`bagcons::prelude_session::CheckOutcome`] —
+//! are bit-identical to an undisturbed run.
+
+use crate::wire::{self, AssignedPair, Assignment, WorkerReply};
+use crate::worker::solve_pair;
+use crate::{ClusterConfig, DistCheck, DistStats};
+use bagcons::session::{PairJob, PairVerdict, Session};
+use bagcons::SessionError;
+use bagcons_core::exec::ScratchPool;
+use bagcons_core::{Bag, CoreError, Deadline, ExecConfig};
+use bagcons_snap::SnapshotWriter;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-pair warm flow columns, index-aligned with the job list; `None`
+/// where a pair has no network (disjoint schemas) or the column was not
+/// produced.
+type WarmColumns = Vec<Option<Vec<u64>>>;
+
+/// A pool of reusable worker processes plus the coordinator logic that
+/// drives them. Cheap to construct: workers are spawned lazily on the
+/// first screen and parked (blocked reading the next DATASET) between
+/// screens, so a long-lived owner — the `bagcons serve` daemon — pays
+/// process startup once, not per request.
+///
+/// Dropping the pool closes every parked worker's stdin; the workers see
+/// EOF and exit cleanly, and the pool reaps them.
+pub struct WorkerPool {
+    cfg: ClusterConfig,
+    idle: Mutex<Vec<PooledWorker>>,
+}
+
+/// A parked worker between conversations.
+struct PooledWorker {
+    child: Child,
+    stdin: BufWriter<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+/// The result of a standalone pairwise screen ([`WorkerPool::warm_screen`]).
+pub struct ScreenOutcome {
+    /// One verdict per pair, in the pair-lexicographic job order.
+    pub verdicts: Vec<PairVerdict>,
+    /// Warm flow columns aligned with the verdicts — `Some` for
+    /// overlapping-schema pairs (importable into a
+    /// [`bagcons::ConsistencyStream`] via `open_stream_resumed`), `None`
+    /// for totals-only pairs.
+    pub warm: Vec<Option<Vec<u64>>>,
+    /// Where the pairs were solved.
+    pub stats: DistStats,
+}
+
+/// What one live worker is doing during a screen.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum LiveState {
+    Running,
+    Done,
+    Degraded,
+}
+
+/// Coordinator-side record of one fed worker.
+struct Live {
+    child: Child,
+    stdin: Option<BufWriter<ChildStdin>>,
+    reader: Option<JoinHandle<BufReader<ChildStdout>>>,
+    /// Global job indices assigned to this worker.
+    pairs: Vec<usize>,
+    answered: usize,
+    expires: Instant,
+    state: LiveState,
+}
+
+/// One reader-thread message, tagged with the worker it came from.
+struct Tagged {
+    widx: usize,
+    reply: Reply,
+}
+
+enum Reply {
+    Verdict(wire::Verdict),
+    Done(u32),
+    /// An ERROR frame or a transport failure; either way the partition
+    /// degrades identically, so the reason is not carried.
+    Failed,
+}
+
+impl WorkerPool {
+    /// A pool driving at most [`ClusterConfig::workers`] processes.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        WorkerPool {
+            cfg,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// [`bagcons::session::Session::check`] with the pairwise screen
+    /// distributed across this pool — decisions, witnesses, and stage
+    /// structure are bit-identical to the local pipeline (the outcome is
+    /// assembled by [`Session::check_via`] either way), plus the warm
+    /// flow columns and placement stats only a coordinator can report.
+    pub fn check(&self, session: &Session, bags: &[&Bag]) -> Result<DistCheck, SessionError> {
+        let mut warm = Vec::new();
+        let mut stats = DistStats::default();
+        let outcome = session.check_via(bags, |jobs, exec| {
+            let (verdicts, columns) =
+                self.screen(jobs, bags, exec, session.scratch(), &mut stats)?;
+            warm = columns;
+            Ok(verdicts)
+        })?;
+        Ok(DistCheck {
+            outcome,
+            warm,
+            stats,
+        })
+    }
+
+    /// Runs only the pairwise screen (no witness chain, no ILP) and
+    /// returns the verdicts with their warm flow columns — the daemon's
+    /// path for opening an incremental stream with pre-solved networks
+    /// (`Session::open_stream_resumed`).
+    pub fn warm_screen(
+        &self,
+        session: &Session,
+        bags: &[&Bag],
+    ) -> Result<ScreenOutcome, SessionError> {
+        // Arm the session's wall-clock budget the way `Session::check`
+        // does, so the screen obeys the same governance.
+        let deadline = match session.time_budget() {
+            Some(budget) => session.exec().deadline().merged(&Deadline::after(budget)),
+            None => session.exec().deadline().clone(),
+        };
+        let exec = session.exec().clone().with_deadline(deadline);
+        let mut jobs = Vec::new();
+        for i in 0..bags.len() {
+            for j in (i + 1)..bags.len() {
+                jobs.push(PairJob { i, j });
+            }
+        }
+        let mut stats = DistStats::default();
+        let (verdicts, warm) = self.screen(&jobs, bags, &exec, session.scratch(), &mut stats)?;
+        Ok(ScreenOutcome {
+            verdicts,
+            warm,
+            stats,
+        })
+    }
+
+    /// The screen: answers every job, distributing overlapping-schema
+    /// pairs across workers and solving the remainder (totals pairs,
+    /// degraded partitions, `workers == 0`) locally.
+    fn screen(
+        &self,
+        jobs: &[PairJob],
+        bags: &[&Bag],
+        exec: &ExecConfig,
+        scratch: &ScratchPool,
+        stats: &mut DistStats,
+    ) -> bagcons_core::Result<(Vec<PairVerdict>, WarmColumns)> {
+        let n = jobs.len();
+        stats.pairs_total += n;
+        let mut consistent: Vec<Option<bool>> = vec![None; n];
+        let mut warm: Vec<Option<Vec<u64>>> = (0..n).map(|_| None).collect();
+        // Disjoint-schema pairs are a u128 comparison — answered inline,
+        // never shipped.
+        let mut overlap: Vec<usize> = Vec::new();
+        for (k, job) in jobs.iter().enumerate() {
+            let shared = bags[job.i].schema().intersection(bags[job.j].schema());
+            if shared.arity() == 0 {
+                consistent[k] = Some(bags[job.i].unary_size() == bags[job.j].unary_size());
+            } else {
+                overlap.push(k);
+            }
+        }
+        let mut local: Vec<usize> = Vec::new();
+        let nparts = self.cfg.workers().min(overlap.len());
+        if nparts == 0 {
+            local = overlap;
+        } else {
+            self.dispatch(
+                jobs,
+                bags,
+                &overlap,
+                nparts,
+                exec,
+                stats,
+                &mut consistent,
+                &mut warm,
+                &mut local,
+            )?;
+        }
+        local.sort_unstable();
+        local.dedup();
+        for k in local {
+            if consistent[k].is_some() {
+                continue;
+            }
+            if let Some(reason) = exec.deadline().poll() {
+                return Err(CoreError::Aborted(reason));
+            }
+            let job = jobs[k];
+            let (c, flows) = solve_pair(bags[job.i], bags[job.j], exec, scratch)?;
+            consistent[k] = Some(c);
+            warm[k] = flows;
+            stats.pairs_local += 1;
+        }
+        let verdicts = jobs
+            .iter()
+            .zip(&consistent)
+            .map(|(job, c)| PairVerdict {
+                i: job.i,
+                j: job.j,
+                consistent: c.expect("screen answered every pair"),
+            })
+            .collect();
+        Ok((verdicts, warm))
+    }
+
+    /// Ships `overlap` (round-robin over `nparts` partitions) to worker
+    /// processes and collects their verdicts. Failed partitions land in
+    /// `local`; only a session-deadline abort is an error.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &self,
+        jobs: &[PairJob],
+        bags: &[&Bag],
+        overlap: &[usize],
+        nparts: usize,
+        exec: &ExecConfig,
+        stats: &mut DistStats,
+        consistent: &mut [Option<bool>],
+        warm: &mut [Option<Vec<u64>>],
+        local: &mut Vec<usize>,
+    ) -> bagcons_core::Result<()> {
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+        for (pos, &k) in overlap.iter().enumerate() {
+            parts[pos % nparts].push(k);
+        }
+        // The snapshot format persists only sealed bags; clone-and-seal
+        // any unsealed ones once, shared across partitions.
+        let mut sealed: HashMap<usize, Bag> = HashMap::new();
+        for &k in overlap {
+            for b in [jobs[k].i, jobs[k].j] {
+                if !bags[b].is_sealed() && !sealed.contains_key(&b) {
+                    let mut clone = bags[b].clone();
+                    clone.try_seal_with(exec)?;
+                    sealed.insert(b, clone);
+                }
+            }
+        }
+        let deadline_ms = u64::try_from(self.cfg.worker_deadline().as_millis()).unwrap_or(u64::MAX);
+        let threads = u32::try_from(self.cfg.threads().max(1)).unwrap_or(1);
+
+        let (tx, rx) = mpsc::channel::<Tagged>();
+        let mut lives: Vec<Live> = Vec::new();
+        for part in parts {
+            // Bags this partition touches, in ascending global order =
+            // the shipped snapshot's bag order.
+            let mut ids: Vec<usize> = part.iter().flat_map(|&k| [jobs[k].i, jobs[k].j]).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let mut writer = SnapshotWriter::new();
+            let mut writable = true;
+            for &b in &ids {
+                let bag = sealed.get(&b).unwrap_or(bags[b]);
+                if writer.add_bag(bag).is_err() {
+                    writable = false;
+                    break;
+                }
+            }
+            if !writable {
+                local.extend_from_slice(&part);
+                continue;
+            }
+            let assignment = Assignment {
+                threads,
+                deadline_ms,
+                pairs: part
+                    .iter()
+                    .map(|&k| AssignedPair {
+                        pair_id: u32::try_from(k).expect("pair index fits u32"),
+                        local_i: u32::try_from(ids.binary_search(&jobs[k].i).expect("bag shipped"))
+                            .expect("local index fits u32"),
+                        local_j: u32::try_from(ids.binary_search(&jobs[k].j).expect("bag shipped"))
+                            .expect("local index fits u32"),
+                    })
+                    .collect(),
+            };
+            let Some(mut worker) = self.obtain() else {
+                stats.spawn_failures += 1;
+                local.extend_from_slice(&part);
+                continue;
+            };
+            let fed = wire::send_dataset(&mut worker.stdin, &writer.to_bytes())
+                .and_then(|()| wire::send_assignment(&mut worker.stdin, &assignment))
+                .and_then(|()| worker.stdin.flush().map_err(Into::into));
+            if fed.is_err() {
+                stats.degraded_workers += 1;
+                local.extend_from_slice(&part);
+                let _ = worker.child.kill();
+                let _ = worker.child.wait();
+                continue;
+            }
+            let widx = lives.len();
+            let tx = tx.clone();
+            let mut stdout = worker.stdout;
+            let reader = std::thread::spawn(move || {
+                loop {
+                    match wire::recv_reply(&mut stdout) {
+                        Ok(WorkerReply::Verdict(v)) => {
+                            if tx
+                                .send(Tagged {
+                                    widx,
+                                    reply: Reply::Verdict(v),
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        Ok(WorkerReply::Done { answered }) => {
+                            let _ = tx.send(Tagged {
+                                widx,
+                                reply: Reply::Done(answered),
+                            });
+                            break;
+                        }
+                        Ok(WorkerReply::Error(_)) | Err(_) => {
+                            let _ = tx.send(Tagged {
+                                widx,
+                                reply: Reply::Failed,
+                            });
+                            break;
+                        }
+                    }
+                }
+                stdout
+            });
+            stats.workers_used += 1;
+            stats.pairs_shipped += part.len();
+            lives.push(Live {
+                child: worker.child,
+                stdin: Some(worker.stdin),
+                reader: Some(reader),
+                pairs: part,
+                answered: 0,
+                expires: Instant::now() + self.cfg.worker_deadline(),
+                state: LiveState::Running,
+            });
+        }
+        drop(tx);
+
+        let mut outstanding = lives.len();
+        while outstanding > 0 {
+            if let Some(reason) = exec.deadline().poll() {
+                // Kill everything — including Done workers parked for
+                // reuse — so reap's wait() can never block.
+                for l in &mut lives {
+                    kill_live(l);
+                    l.state = LiveState::Degraded;
+                }
+                reap(lives);
+                return Err(CoreError::Aborted(reason));
+            }
+            let now = Instant::now();
+            for l in lives.iter_mut() {
+                if l.state == LiveState::Running && l.expires <= now {
+                    degrade(l, consistent, local, stats);
+                    outstanding -= 1;
+                }
+            }
+            if outstanding == 0 {
+                break;
+            }
+            let nearest = lives
+                .iter()
+                .filter(|l| l.state == LiveState::Running)
+                .map(|l| l.expires)
+                .min()
+                .unwrap_or(now);
+            // Cap the wait so the session deadline keeps getting polled
+            // even while every worker is quietly busy.
+            let wait = nearest
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(50));
+            let msg = match rx.recv_timeout(wait) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    for l in lives.iter_mut() {
+                        if l.state == LiveState::Running {
+                            degrade(l, consistent, local, stats);
+                        }
+                    }
+                    break;
+                }
+            };
+            let l = &mut lives[msg.widx];
+            if l.state != LiveState::Running {
+                continue; // late message from an already-degraded worker
+            }
+            match msg.reply {
+                Reply::Verdict(v) => {
+                    let k = v.pair_id as usize;
+                    let valid = l.pairs.contains(&k) && consistent[k].is_none();
+                    if valid {
+                        consistent[k] = Some(v.consistent);
+                        warm[k] = Some(v.flows);
+                        l.answered += 1;
+                        stats.pairs_remote += 1;
+                    } else {
+                        // A verdict for a pair it was never assigned (or
+                        // answered twice): the worker is off-protocol.
+                        degrade(l, consistent, local, stats);
+                        outstanding -= 1;
+                    }
+                }
+                Reply::Done(answered) => {
+                    if l.answered == l.pairs.len() && answered as usize == l.answered {
+                        l.state = LiveState::Done;
+                    } else {
+                        degrade(l, consistent, local, stats);
+                    }
+                    outstanding -= 1;
+                }
+                Reply::Failed => {
+                    degrade(l, consistent, local, stats);
+                    outstanding -= 1;
+                }
+            }
+        }
+        // Park finished workers for the next screen; clean up the rest.
+        for mut l in lives {
+            if l.state == LiveState::Done {
+                if let (Some(stdin), Some(reader)) = (l.stdin.take(), l.reader.take()) {
+                    if let Ok(stdout) = reader.join() {
+                        self.check_in(PooledWorker {
+                            child: l.child,
+                            stdin,
+                            stdout,
+                        });
+                        continue;
+                    }
+                }
+            }
+            if let Some(reader) = l.reader.take() {
+                let _ = reader.join();
+            }
+            let _ = l.child.kill();
+            let _ = l.child.wait();
+        }
+        Ok(())
+    }
+
+    /// Pops a live parked worker or spawns a fresh one; `None` means the
+    /// partition must run locally.
+    fn obtain(&self) -> Option<PooledWorker> {
+        loop {
+            let candidate = self.idle.lock().unwrap_or_else(|e| e.into_inner()).pop();
+            match candidate {
+                Some(mut w) => match w.child.try_wait() {
+                    Ok(None) => return Some(w), // parked and alive
+                    _ => {
+                        let _ = w.child.wait(); // died while parked: reap
+                    }
+                },
+                None => break,
+            }
+        }
+        self.spawn_worker().ok()
+    }
+
+    /// Parks a worker for reuse by a later screen.
+    fn check_in(&self, worker: PooledWorker) {
+        self.idle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(worker);
+    }
+
+    fn spawn_worker(&self) -> io::Result<PooledWorker> {
+        let bin = self.resolve_bin().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "no worker binary configured")
+        })?;
+        let mut child = Command::new(&bin)
+            .arg("worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .envs(self.cfg.worker_env().iter().map(|(k, v)| (k, v)))
+            .spawn()?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| io::Error::other("worker stdin not captured"))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| io::Error::other("worker stdout not captured"))?;
+        Ok(PooledWorker {
+            child,
+            stdin: BufWriter::new(stdin),
+            stdout: BufReader::new(stdout),
+        })
+    }
+
+    /// The worker binary: the configured path, then `BAGCONS_WORKER_BIN`,
+    /// then this executable — but self-spawn only when this process *is*
+    /// the `bagcons` CLI. Re-executing an arbitrary host binary (a test
+    /// harness, a daemon embedding the library) with a `worker` argument
+    /// would not speak the protocol and could recurse.
+    fn resolve_bin(&self) -> Option<PathBuf> {
+        if let Some(bin) = self.cfg.worker_bin() {
+            return Some(bin.to_path_buf());
+        }
+        if let Ok(bin) = std::env::var("BAGCONS_WORKER_BIN") {
+            if !bin.is_empty() {
+                return Some(PathBuf::from(bin));
+            }
+        }
+        let exe = std::env::current_exe().ok()?;
+        if exe.file_stem()?.to_str()? == "bagcons" {
+            Some(exe)
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let idle = std::mem::take(self.idle.get_mut().unwrap_or_else(|e| e.into_inner()));
+        for worker in idle {
+            let PooledWorker {
+                mut child,
+                stdin,
+                stdout,
+            } = worker;
+            drop(stdin); // EOF: the worker's conversation loop exits 0
+            drop(stdout);
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Kills a running worker without touching its pair bookkeeping.
+fn kill_live(l: &mut Live) {
+    drop(l.stdin.take());
+    let _ = l.child.kill();
+    let _ = l.child.wait();
+}
+
+/// Degrades a worker: kill, reap, and requeue its unanswered pairs for
+/// local execution. Verdicts that already arrived are kept.
+fn degrade(
+    l: &mut Live,
+    consistent: &[Option<bool>],
+    local: &mut Vec<usize>,
+    stats: &mut DistStats,
+) {
+    kill_live(l);
+    l.state = LiveState::Degraded;
+    for &k in &l.pairs {
+        if consistent[k].is_none() {
+            local.push(k);
+        }
+    }
+    stats.degraded_workers += 1;
+}
+
+/// Abort-path cleanup: every child is already killed; join readers and
+/// drop.
+fn reap(lives: Vec<Live>) {
+    for mut l in lives {
+        if let Some(reader) = l.reader.take() {
+            let _ = reader.join();
+        }
+        let _ = l.child.wait();
+    }
+}

@@ -1,0 +1,440 @@
+//! Typed messages of the coordinator ↔ worker conversation, each carried
+//! in one [`bagcons_snap::frame`] frame.
+//!
+//! ## Message catalogue (normative)
+//!
+//! Frame `kind` selects the message; payloads are little-endian, packed,
+//! no padding. One conversation is:
+//!
+//! ```text
+//! coordinator → worker   DATASET (1)   payload = a complete BAGSNAP1
+//!                                      container holding exactly the
+//!                                      bags this worker's pairs touch
+//! coordinator → worker   ASSIGN  (2)   payload =
+//!                                        threads      u32
+//!                                        deadline_ms  u64   (0 = none)
+//!                                        pair_count   u32
+//!                                        pair_count × { pair_id  u32
+//!                                                       local_i  u32
+//!                                                       local_j  u32 }
+//! worker → coordinator   VERDICT (3)   one per assigned pair, streamed
+//!                                      as solved; frame seq = pair_id;
+//!                                      payload =
+//!                                        pair_id     u32
+//!                                        consistent  u32   (0 or 1)
+//!                                        flow_count  u32
+//!                                        flow_count × u64  (warm column)
+//! worker → coordinator   DONE    (4)   payload = answered u32; the
+//!                                      worker then waits for the next
+//!                                      DATASET (conversations loop) or
+//!                                      a clean stdin EOF (shutdown)
+//! worker → coordinator   ERROR   (5)   payload = UTF-8 `err <kind>: …`
+//!                                      line (the canonical shape of
+//!                                      [`bagcons::protocol::error_response`],
+//!                                      parsed back with
+//!                                      [`bagcons::protocol::parse_error_line`]);
+//!                                      terminal — the worker exits
+//! ```
+//!
+//! `pair_id` is the coordinator's global pair index (pairs `i < j` in
+//! lexicographic order, numbered from 0); `local_i`/`local_j` index into
+//! the DATASET container's bag order. The indirection lets a worker hold
+//! only its slice of the dataset while verdicts come back in the global
+//! numbering the [`bagcons::session::Session`] pipeline uses.
+//!
+//! Integrity is the frame layer's job (per-frame striped content hash);
+//! this module only validates shape, and every malformed payload is a
+//! typed [`WireError`] — the coordinator treats any of them as a dead
+//! worker and degrades that partition to local execution.
+
+use bagcons_snap::frame::{read_frame, write_frame, FrameError};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Frame kind: coordinator → worker dataset snapshot.
+pub const KIND_DATASET: u32 = 1;
+/// Frame kind: coordinator → worker pair assignment.
+pub const KIND_ASSIGN: u32 = 2;
+/// Frame kind: worker → coordinator per-pair verdict.
+pub const KIND_VERDICT: u32 = 3;
+/// Frame kind: worker → coordinator end-of-assignment acknowledgement.
+pub const KIND_DONE: u32 = 4;
+/// Frame kind: worker → coordinator terminal error line.
+pub const KIND_ERROR: u32 = 5;
+
+/// A transport or shape violation on the worker wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// The frame layer failed (I/O, bad magic, oversize, hash mismatch).
+    Frame(FrameError),
+    /// The peer closed the stream where a message was required.
+    Closed,
+    /// A structurally invalid payload for the frame's kind.
+    Malformed(&'static str),
+    /// A frame kind that does not belong at this point of the
+    /// conversation.
+    Unexpected {
+        /// What the conversation state machine was waiting for.
+        want: &'static str,
+        /// The frame kind that actually arrived.
+        got: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Frame(e) => write!(f, "{e}"),
+            WireError::Closed => write!(f, "peer closed the stream mid-conversation"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::Unexpected { want, got } => {
+                write!(f, "unexpected frame kind {got} (wanted {want})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        WireError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Frame(FrameError::Io(e))
+    }
+}
+
+/// One pair of an [`Assignment`]: the coordinator's global pair id plus
+/// the two bag positions inside the worker's DATASET container.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AssignedPair {
+    /// Global pair index (lexicographic numbering over all pairs).
+    pub pair_id: u32,
+    /// Left bag position in the shipped snapshot.
+    pub local_i: u32,
+    /// Right bag position in the shipped snapshot.
+    pub local_j: u32,
+}
+
+/// The ASSIGN message: execution knobs plus the pair list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Solver threads the worker may use (`0` is treated as `1`).
+    pub threads: u32,
+    /// Worker-side wall-clock budget in milliseconds (`0` = unlimited).
+    pub deadline_ms: u64,
+    /// The pairs to solve, answered in any order.
+    pub pairs: Vec<AssignedPair>,
+}
+
+/// The VERDICT message: one solved pair with its warm flow column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// Global pair index, echoed from the assignment.
+    pub pair_id: u32,
+    /// Whether the pair is consistent (Lemma 2: flow saturation).
+    pub consistent: bool,
+    /// The network's edge flows in deterministic edge order — importable
+    /// via `ConsistencyNetwork::install_flows` even when unsaturated
+    /// (partial columns warm-start the reaugment).
+    pub flows: Vec<u64>,
+}
+
+/// Everything a worker can say back to the coordinator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerReply {
+    /// A solved pair.
+    Verdict(Verdict),
+    /// The assignment is fully answered (`answered` verdicts sent).
+    Done {
+        /// Number of VERDICT frames that preceded this DONE.
+        answered: u32,
+    },
+    /// A terminal `err <kind>: …` line; the worker exits after sending.
+    Error(String),
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Sequential little-endian reader over a payload, with typed underflow.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, off: 0 }
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let end = self.off + 4;
+        let Some(chunk) = self.bytes.get(self.off..end) else {
+            return Err(WireError::Malformed(what));
+        };
+        self.off = end;
+        Ok(u32::from_le_bytes(chunk.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let end = self.off + 8;
+        let Some(chunk) = self.bytes.get(self.off..end) else {
+            return Err(WireError::Malformed(what));
+        };
+        self.off = end;
+        Ok(u64::from_le_bytes(chunk.try_into().unwrap()))
+    }
+
+    fn finish(self, what: &'static str) -> Result<(), WireError> {
+        if self.off == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(what))
+        }
+    }
+}
+
+/// Sends the DATASET message (`snapshot` is a complete BAGSNAP1
+/// container, typically from `SnapshotWriter::to_bytes`).
+pub fn send_dataset(w: &mut impl Write, snapshot: &[u8]) -> Result<(), WireError> {
+    write_frame(w, KIND_DATASET, 0, snapshot)?;
+    Ok(())
+}
+
+/// Sends the ASSIGN message.
+pub fn send_assignment(w: &mut impl Write, a: &Assignment) -> Result<(), WireError> {
+    let mut buf = Vec::with_capacity(16 + a.pairs.len() * 12);
+    push_u32(&mut buf, a.threads);
+    push_u64(&mut buf, a.deadline_ms);
+    push_u32(
+        &mut buf,
+        u32::try_from(a.pairs.len())
+            .map_err(|_| WireError::Malformed("assignment pair count exceeds u32"))?,
+    );
+    for p in &a.pairs {
+        push_u32(&mut buf, p.pair_id);
+        push_u32(&mut buf, p.local_i);
+        push_u32(&mut buf, p.local_j);
+    }
+    write_frame(w, KIND_ASSIGN, 0, &buf)?;
+    Ok(())
+}
+
+/// Sends one VERDICT message (frame seq = `pair_id`).
+pub fn send_verdict(w: &mut impl Write, v: &Verdict) -> Result<(), WireError> {
+    let mut buf = Vec::with_capacity(12 + v.flows.len() * 8);
+    push_u32(&mut buf, v.pair_id);
+    push_u32(&mut buf, u32::from(v.consistent));
+    push_u32(
+        &mut buf,
+        u32::try_from(v.flows.len())
+            .map_err(|_| WireError::Malformed("flow column exceeds u32 entries"))?,
+    );
+    for &f in &v.flows {
+        push_u64(&mut buf, f);
+    }
+    write_frame(w, KIND_VERDICT, v.pair_id, &buf)?;
+    Ok(())
+}
+
+/// Sends the DONE message.
+pub fn send_done(w: &mut impl Write, answered: u32) -> Result<(), WireError> {
+    write_frame(w, KIND_DONE, 0, &answered.to_le_bytes())?;
+    Ok(())
+}
+
+/// Sends the terminal ERROR message carrying a canonical `err <kind>: …`
+/// line.
+pub fn send_error(w: &mut impl Write, line: &str) -> Result<(), WireError> {
+    write_frame(w, KIND_ERROR, 0, line.as_bytes())?;
+    Ok(())
+}
+
+/// Worker side: receives the DATASET that opens a conversation.
+/// `Ok(None)` is a clean EOF at the frame boundary — the coordinator
+/// closed the pipe, the worker should exit 0.
+pub fn recv_dataset(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let Some(frame) = read_frame(r)? else {
+        return Ok(None);
+    };
+    if frame.kind != KIND_DATASET {
+        return Err(WireError::Unexpected {
+            want: "DATASET",
+            got: frame.kind,
+        });
+    }
+    Ok(Some(frame.payload))
+}
+
+/// Worker side: receives the ASSIGN that follows a DATASET.
+pub fn recv_assignment(r: &mut impl Read) -> Result<Assignment, WireError> {
+    let Some(frame) = read_frame(r)? else {
+        return Err(WireError::Closed);
+    };
+    if frame.kind != KIND_ASSIGN {
+        return Err(WireError::Unexpected {
+            want: "ASSIGN",
+            got: frame.kind,
+        });
+    }
+    let mut c = Cursor::new(&frame.payload);
+    let threads = c.u32("assignment threads")?;
+    let deadline_ms = c.u64("assignment deadline")?;
+    let count = c.u32("assignment pair count")? as usize;
+    let mut pairs = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        pairs.push(AssignedPair {
+            pair_id: c.u32("assignment pair id")?,
+            local_i: c.u32("assignment local_i")?,
+            local_j: c.u32("assignment local_j")?,
+        });
+    }
+    c.finish("assignment trailing bytes")?;
+    Ok(Assignment {
+        threads,
+        deadline_ms,
+        pairs,
+    })
+}
+
+/// Coordinator side: receives the next worker reply (VERDICT, DONE, or
+/// ERROR). A closed stream is [`WireError::Closed`] — the worker died.
+pub fn recv_reply(r: &mut impl Read) -> Result<WorkerReply, WireError> {
+    let Some(frame) = read_frame(r)? else {
+        return Err(WireError::Closed);
+    };
+    match frame.kind {
+        KIND_VERDICT => {
+            let mut c = Cursor::new(&frame.payload);
+            let pair_id = c.u32("verdict pair id")?;
+            let consistent = match c.u32("verdict flag")? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("verdict flag not 0/1")),
+            };
+            let count = c.u32("verdict flow count")? as usize;
+            let mut flows = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                flows.push(c.u64("verdict flow entry")?);
+            }
+            c.finish("verdict trailing bytes")?;
+            Ok(WorkerReply::Verdict(Verdict {
+                pair_id,
+                consistent,
+                flows,
+            }))
+        }
+        KIND_DONE => {
+            let mut c = Cursor::new(&frame.payload);
+            let answered = c.u32("done count")?;
+            c.finish("done trailing bytes")?;
+            Ok(WorkerReply::Done { answered })
+        }
+        KIND_ERROR => Ok(WorkerReply::Error(
+            String::from_utf8_lossy(&frame.payload).into_owned(),
+        )),
+        got => Err(WireError::Unexpected {
+            want: "VERDICT/DONE/ERROR",
+            got,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_round_trips() {
+        let a = Assignment {
+            threads: 4,
+            deadline_ms: 30_000,
+            pairs: vec![
+                AssignedPair {
+                    pair_id: 0,
+                    local_i: 0,
+                    local_j: 1,
+                },
+                AssignedPair {
+                    pair_id: 5,
+                    local_i: 1,
+                    local_j: 2,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        send_assignment(&mut buf, &a).unwrap();
+        let back = recv_assignment(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let mut buf = Vec::new();
+        send_verdict(
+            &mut buf,
+            &Verdict {
+                pair_id: 7,
+                consistent: true,
+                flows: vec![3, 0, 9],
+            },
+        )
+        .unwrap();
+        send_done(&mut buf, 1).unwrap();
+        send_error(&mut buf, "err worker: boom").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            recv_reply(&mut r).unwrap(),
+            WorkerReply::Verdict(Verdict {
+                pair_id: 7,
+                consistent: true,
+                flows: vec![3, 0, 9],
+            })
+        );
+        assert_eq!(
+            recv_reply(&mut r).unwrap(),
+            WorkerReply::Done { answered: 1 }
+        );
+        assert_eq!(
+            recv_reply(&mut r).unwrap(),
+            WorkerReply::Error("err worker: boom".into())
+        );
+        assert!(matches!(recv_reply(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn shape_violations_are_typed() {
+        // A DONE frame where a DATASET is required.
+        let mut buf = Vec::new();
+        send_done(&mut buf, 0).unwrap();
+        assert!(matches!(
+            recv_dataset(&mut buf.as_slice()),
+            Err(WireError::Unexpected {
+                want: "DATASET",
+                ..
+            })
+        ));
+        // Truncated assignment payload.
+        let mut buf = Vec::new();
+        bagcons_snap::frame::write_frame(&mut buf, KIND_ASSIGN, 0, &[1, 2, 3]).unwrap();
+        assert!(matches!(
+            recv_assignment(&mut buf.as_slice()),
+            Err(WireError::Malformed(_))
+        ));
+        // Clean EOF mid-conversation is Closed, not Ok.
+        assert!(matches!(
+            recv_assignment(&mut [].as_slice()),
+            Err(WireError::Closed)
+        ));
+    }
+}

@@ -1,0 +1,337 @@
+//! The worker half of the distributed pair screen: a conversation loop
+//! over stdin/stdout, spawned as the hidden `bagcons worker` subcommand.
+//!
+//! A worker is a pure function of its input stream. Each conversation is
+//! DATASET → ASSIGN → streamed VERDICTs → DONE (see [`crate::wire`]);
+//! after DONE the worker blocks on the next DATASET, so a coordinator
+//! pool can reuse the process across screens. Clean EOF on stdin is the
+//! shutdown signal (exit 0).
+//!
+//! ## Containment
+//!
+//! Every failure the worker can *detect* is shipped as one terminal
+//! ERROR frame carrying the canonical `err <kind>: …` line — snapshot
+//! decode failures (`err snapshot:`), protocol violations (`err wire:`),
+//! out-of-range assignments (`err assign:`), solver errors
+//! (`err solve:`), worker-deadline expiry (`err aborted:`), and panics
+//! caught at the conversation boundary (`err worker:`). Failures it
+//! cannot detect (SIGKILL) surface coordinator-side as a closed pipe.
+//! Either way the coordinator's containment is the same: the partition
+//! degrades to local execution.
+//!
+//! ## Fault injection
+//!
+//! `BAGCONS_DIST_FAULT=<action>:<nth>` arms a process-death fault for
+//! the chaos suite: before solving the `nth` assigned pair (counted
+//! across conversations, from 0) the worker `panic`s (caught →
+//! ERROR frame), `exit`s with status 9, or SIGKILLs itself (`kill`).
+//! The knob only exists in worker processes the chaos tests spawn; it is
+//! read once at startup.
+
+use crate::wire::{self, Assignment, Verdict};
+use bagcons::protocol::error_response;
+use bagcons::ReportFormat;
+use bagcons_core::exec::ScratchPool;
+use bagcons_core::{Bag, CoreError, Deadline, ExecConfig};
+use bagcons_flow::ConsistencyNetwork;
+use bagcons_snap::Snapshot;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Runs the worker loop over this process's stdin/stdout and returns the
+/// process exit code (0 = clean shutdown on EOF, 1 = terminal error).
+pub fn run_stdio() -> i32 {
+    let mut input = BufReader::new(io::stdin().lock());
+    let mut output = BufWriter::new(io::stdout().lock());
+    run(&mut input, &mut output)
+}
+
+/// The worker conversation loop over arbitrary streams (the in-process
+/// seam the unit tests drive; [`run_stdio`] binds it to the real pipes).
+/// Returns the exit code.
+pub fn run<R: Read, W: Write>(input: &mut R, output: &mut W) -> i32 {
+    let fault = FaultPlan::from_env();
+    let mut served: u64 = 0;
+    loop {
+        let dataset = match wire::recv_dataset(input) {
+            Ok(None) => return 0,
+            Ok(Some(bytes)) => bytes,
+            Err(e) => {
+                let line = error_response(ReportFormat::Text, "wire", &e.to_string());
+                let _ = wire::send_error(output, &line);
+                let _ = output.flush();
+                return 1;
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            conversation(&dataset, input, output, &fault, &mut served)
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(line)) => {
+                let _ = wire::send_error(output, &line);
+                let _ = output.flush();
+                return 1;
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                let line =
+                    error_response(ReportFormat::Text, "worker", &format!("panicked: {msg}"));
+                let _ = wire::send_error(output, &line);
+                let _ = output.flush();
+                return 1;
+            }
+        }
+    }
+}
+
+/// One DATASET→DONE conversation. `Err` carries the ready-to-ship
+/// `err <kind>: …` line.
+fn conversation<R: Read, W: Write>(
+    dataset: &[u8],
+    input: &mut R,
+    output: &mut W,
+    fault: &FaultPlan,
+    served: &mut u64,
+) -> Result<(), String> {
+    let text = ReportFormat::Text;
+    let snapshot = Snapshot::from_bytes(dataset)
+        .map_err(|e| error_response(text, "snapshot", &e.to_string()))?;
+    let assignment: Assignment =
+        wire::recv_assignment(input).map_err(|e| error_response(text, "wire", &e.to_string()))?;
+    let deadline = if assignment.deadline_ms > 0 {
+        Deadline::after(Duration::from_millis(assignment.deadline_ms))
+    } else {
+        Deadline::NONE
+    };
+    let exec = ExecConfig::builder()
+        .threads((assignment.threads.max(1)) as usize)
+        .deadline(deadline)
+        .build()
+        .map_err(|e| error_response(text, "assign", &e.to_string()))?;
+    let scratch = ScratchPool::new();
+    let bags = snapshot.bags();
+    let mut answered: u32 = 0;
+    for pair in &assignment.pairs {
+        fault.fire_if(*served);
+        *served += 1;
+        let (i, j) = (pair.local_i as usize, pair.local_j as usize);
+        let (Some(r), Some(s)) = (bags.get(i), bags.get(j)) else {
+            return Err(error_response(
+                text,
+                "assign",
+                &format!("bag index {i}/{j} out of range (0..{})", bags.len()),
+            ));
+        };
+        let (consistent, flows) = solve_pair(r, s, &exec, &scratch).map_err(|e| match e {
+            CoreError::Aborted(reason) => error_response(text, "aborted", reason.describe()),
+            other => error_response(text, "solve", &other.to_string()),
+        })?;
+        wire::send_verdict(
+            output,
+            &Verdict {
+                pair_id: pair.pair_id,
+                consistent,
+                flows: flows.unwrap_or_default(),
+            },
+        )
+        .map_err(|e| error_response(text, "wire", &e.to_string()))?;
+        // Stream verdicts as they land so the coordinator's progress (and
+        // its per-worker deadline accounting) sees them promptly.
+        output
+            .flush()
+            .map_err(|e| error_response(text, "wire", &e.to_string()))?;
+        answered += 1;
+    }
+    wire::send_done(output, answered).map_err(|e| error_response(text, "wire", &e.to_string()))?;
+    output
+        .flush()
+        .map_err(|e| error_response(text, "wire", &e.to_string()))
+}
+
+/// Solves one pair exactly as the in-process sweep does: disjoint
+/// schemas compare unary totals (no flow network, no warm column);
+/// overlapping schemas build the pair's consistency network and
+/// reaugment to saturation (Lemma 2). The flow column comes back even
+/// when unsaturated — a partial column still warm-starts a later
+/// `install_flows` + reaugment.
+pub(crate) fn solve_pair(
+    r: &Bag,
+    s: &Bag,
+    exec: &ExecConfig,
+    scratch: &ScratchPool,
+) -> bagcons_core::Result<(bool, Option<Vec<u64>>)> {
+    let shared = r.schema().intersection(s.schema());
+    if shared.arity() == 0 {
+        return Ok((r.unary_size() == s.unary_size(), None));
+    }
+    let mut net = ConsistencyNetwork::build_pooled_with(r, s, exec, scratch)?;
+    let saturated = net.try_reaugment(exec)?;
+    Ok((saturated, Some(net.edge_flows())))
+}
+
+/// Renders a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The `BAGCONS_DIST_FAULT` plan (chaos-suite process-death injection).
+struct FaultPlan {
+    armed: Option<(FaultAction, u64)>,
+}
+
+#[derive(Clone, Copy)]
+enum FaultAction {
+    Panic,
+    Exit,
+    Kill,
+}
+
+impl FaultPlan {
+    fn from_env() -> Self {
+        let armed = std::env::var("BAGCONS_DIST_FAULT").ok().and_then(|spec| {
+            let (action, nth) = spec.split_once(':')?;
+            let nth: u64 = nth.parse().ok()?;
+            let action = match action {
+                "panic" => FaultAction::Panic,
+                "exit" => FaultAction::Exit,
+                "kill" => FaultAction::Kill,
+                _ => return None,
+            };
+            Some((action, nth))
+        });
+        FaultPlan { armed }
+    }
+
+    /// Fires the armed fault when `served` reaches the armed ordinal.
+    fn fire_if(&self, served: u64) {
+        let Some((action, nth)) = self.armed else {
+            return;
+        };
+        if served != nth {
+            return;
+        }
+        match action {
+            FaultAction::Panic => panic!("injected worker panic (BAGCONS_DIST_FAULT)"),
+            FaultAction::Exit => std::process::exit(9),
+            FaultAction::Kill => {
+                // SIGKILL self: the death a coordinator cannot be warned
+                // about. Fall back to abort if no `kill` binary exists —
+                // either way the process dies without an ERROR frame.
+                let pid = std::process::id().to_string();
+                let _ = std::process::Command::new("/bin/kill")
+                    .args(["-9", &pid])
+                    .status();
+                std::process::abort();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcons::prelude_session::*;
+    use bagcons_snap::SnapshotWriter;
+    use wire::{AssignedPair, WorkerReply};
+
+    fn dataset() -> (Vec<u8>, Session) {
+        let mut session = Session::builder().build().unwrap();
+        let mut r = session
+            .load_bag("Origin Dest #\n0 1 : 120\n0 2 : 80\n")
+            .unwrap();
+        let mut s = session
+            .load_bag("Dest Carrier #\n1 10 : 120\n2 11 : 80\n")
+            .unwrap();
+        r.try_seal_with(session.exec()).unwrap();
+        s.try_seal_with(session.exec()).unwrap();
+        let mut w = SnapshotWriter::new();
+        w.add_bag(&r).unwrap();
+        w.add_bag(&s).unwrap();
+        (w.to_bytes(), session)
+    }
+
+    #[test]
+    fn worker_answers_assignment_then_shuts_down_on_eof() {
+        let (snap, _session) = dataset();
+        let mut input = Vec::new();
+        wire::send_dataset(&mut input, &snap).unwrap();
+        wire::send_assignment(
+            &mut input,
+            &wire::Assignment {
+                threads: 1,
+                deadline_ms: 0,
+                pairs: vec![AssignedPair {
+                    pair_id: 0,
+                    local_i: 0,
+                    local_j: 1,
+                }],
+            },
+        )
+        .unwrap();
+        let mut output = Vec::new();
+        let code = run(&mut input.as_slice(), &mut output);
+        assert_eq!(code, 0);
+        let mut r = output.as_slice();
+        let WorkerReply::Verdict(v) = wire::recv_reply(&mut r).unwrap() else {
+            panic!("expected a verdict first");
+        };
+        assert_eq!(v.pair_id, 0);
+        assert!(v.consistent);
+        assert!(!v.flows.is_empty());
+        assert_eq!(
+            wire::recv_reply(&mut r).unwrap(),
+            WorkerReply::Done { answered: 1 }
+        );
+    }
+
+    #[test]
+    fn garbage_dataset_yields_typed_error_frame() {
+        let mut input = Vec::new();
+        wire::send_dataset(&mut input, b"not a snapshot").unwrap();
+        let mut output = Vec::new();
+        let code = run(&mut input.as_slice(), &mut output);
+        assert_eq!(code, 1);
+        let WorkerReply::Error(line) = wire::recv_reply(&mut output.as_slice()).unwrap() else {
+            panic!("expected an error frame");
+        };
+        let (kind, _) = bagcons::protocol::parse_error_line(&line).unwrap();
+        assert_eq!(kind, "snapshot");
+    }
+
+    #[test]
+    fn out_of_range_assignment_is_contained() {
+        let (snap, _session) = dataset();
+        let mut input = Vec::new();
+        wire::send_dataset(&mut input, &snap).unwrap();
+        wire::send_assignment(
+            &mut input,
+            &wire::Assignment {
+                threads: 1,
+                deadline_ms: 0,
+                pairs: vec![AssignedPair {
+                    pair_id: 0,
+                    local_i: 0,
+                    local_j: 9,
+                }],
+            },
+        )
+        .unwrap();
+        let mut output = Vec::new();
+        assert_eq!(run(&mut input.as_slice(), &mut output), 1);
+        let WorkerReply::Error(line) = wire::recv_reply(&mut output.as_slice()).unwrap() else {
+            panic!("expected an error frame");
+        };
+        assert_eq!(
+            bagcons::protocol::parse_error_line(&line).map(|(k, _)| k),
+            Some("assign")
+        );
+    }
+}

@@ -476,6 +476,17 @@ impl ConsistencyNetwork {
         self.total_r == self.total_s && self.flow_value == self.total_r
     }
 
+    /// The total flow currently routed source → sink. With
+    /// [`ConsistencyNetwork::edge_flows`] this is the import/export
+    /// contract of a warm flow column: a partial (unsaturated) column
+    /// shipped from another process still passes
+    /// [`ConsistencyNetwork::install_flows`] validation and banks
+    /// exactly this much value, leaving only the remainder for
+    /// [`ConsistencyNetwork::try_reaugment`] to find.
+    pub fn flow_value(&self) -> u128 {
+        self.flow_value
+    }
+
     /// The witness bag of the retained flow, when saturated — like
     /// [`ConsistencyNetwork::solve_with`] but borrowing, so a cached
     /// network survives to absorb the next delta.

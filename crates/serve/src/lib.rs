@@ -35,7 +35,12 @@
 //! input error, `3` undecided (with `abort_reason`). In `text` format a
 //! decision is `status=<code> <outcome text>`, an error is
 //! `err <kind>: <message>`; in `json` format both are single-line JSON
-//! objects with a `"status"` key. A malformed request is answered with a
+//! objects with a `"status"` key. The response shapes are the canonical
+//! renderers in [`bagcons::protocol`], shared with the `watch` CLI and
+//! the `bagcons-dist` worker transport. Error kinds distinguish the
+//! caller's fault from the world's: a policy or grammar violation is
+//! `err usage:`/`err protocol:`, a filesystem failure during `load`/
+//! `save` is `err io:`. A malformed request is answered with a
 //! structured error and the connection **stays open** — only `quit`,
 //! EOF, or daemon shutdown close it.
 //!
@@ -48,6 +53,7 @@
 //! | `open <name>` | open this connection's session on the current generation |
 //! | `<bag> <vals...> : <±d>` | one delta (`parse_delta_line` format) → one decision |
 //! | `batch` … `end` | group deltas; one [`bagcons::stream::ConsistencyStream::update_batch`] decision on `end` |
+//! | `bulk <delta>[;<delta>]*` | a whole delta batch in one framed line: one payload, one round trip, one decision (all-or-nothing parse; `batch`/`end` stay as the incremental aliases) |
 //! | `check` | re-emit the session's decision (repairs stale pairs) |
 //! | `sync` | re-pin the session to the dataset's current generation |
 //! | `commit` | publish the session's bags as the next generation (CAS) |

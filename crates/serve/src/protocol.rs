@@ -1,14 +1,17 @@
 //! The line-oriented wire protocol: request parsing and response
 //! rendering (see the [crate docs](crate) for the command table).
 //!
-//! Responses reuse the library's [`Render`] implementations verbatim —
-//! a decision line in `json` format is exactly the `watch` CLI's update
-//! report with a `"status"` key spliced in front, so existing consumers
-//! parse both.
+//! Response rendering is **shared**, not serve-specific: the
+//! `status=`/`err <kind>:`/`ok <verb>` shapes live in
+//! [`bagcons::protocol`] (one parser/renderer pair for the `watch` CLI,
+//! this daemon, and the `bagcons-dist` worker transport) and are
+//! re-exported here verbatim, so the daemon's golden tests pin the one
+//! canonical implementation. Only the request grammar — the command
+//! table — is serve-only.
 
-use bagcons::report::{Json, Render, ReportFormat};
-use bagcons::stream::UpdateOutcome;
-use bagcons_core::AttrNames;
+pub use bagcons::protocol::{aborted_response, decision_response, error_response, ok_response};
+
+use bagcons::report::ReportFormat;
 use std::time::Duration;
 
 /// One parsed request line.
@@ -49,8 +52,12 @@ pub enum Command {
     BatchBegin,
     /// Apply the pending batch and emit its one decision.
     BatchEnd,
+    /// A whole delta batch in one framed line (`bulk <delta>[;<delta>]*`):
+    /// one payload, one round trip, one decision. `batch`/`end` remain
+    /// as the incremental aliases of the same operation.
+    Bulk(Vec<String>),
     /// A raw delta line (`<bag> <vals...> : <±d>`), parsed downstream by
-    /// [`bagcons_core::io::parse_delta_line`].
+    /// [`bagcons::protocol::parse_delta_edit`].
     Delta(String),
     /// Close the session, keep the connection.
     Close,
@@ -89,6 +96,22 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         "close" => bare(Command::Close),
         "quit" => bare(Command::Quit),
         "shutdown" => bare(Command::Shutdown),
+        "bulk" => {
+            let payload = stripped["bulk".len()..].trim();
+            if payload.is_empty() {
+                return Err("bulk needs at least one delta (`bulk <delta>[;<delta>]*`)".to_string());
+            }
+            let deltas: Vec<String> = payload
+                .split(';')
+                .map(str::trim)
+                .filter(|d| !d.is_empty())
+                .map(str::to_string)
+                .collect();
+            if deltas.is_empty() {
+                return Err("bulk needs at least one delta (`bulk <delta>[;<delta>]*`)".to_string());
+            }
+            Ok(Some(Command::Bulk(deltas)))
+        }
         "load" => match rest.split_first() {
             Some((name, files)) if !files.is_empty() => Ok(Some(Command::Load {
                 name: name.to_string(),
@@ -126,97 +149,6 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
             Ok(Some(Command::Delta(stripped.to_string())))
         }
         _ => Err(format!("unknown command {head:?}")),
-    }
-}
-
-/// Splices `"status":<code>` in as the first key of a one-line JSON
-/// object (the decision/error renderings are all objects).
-fn with_status(json: &str, status: u8) -> String {
-    debug_assert!(json.starts_with('{') && json.len() > 2);
-    format!("{{\"status\":{status},{}", &json[1..])
-}
-
-/// Renders one decision response: the update outcome with the CLI
-/// exit-code contract mapped onto a `status` field.
-pub fn decision_response(
-    format: ReportFormat,
-    outcome: &UpdateOutcome,
-    names: &AttrNames,
-) -> String {
-    let status = outcome.decision.exit_code();
-    match format {
-        ReportFormat::Text => format!("status={status} {}", outcome.text(names)),
-        ReportFormat::Json => with_status(&outcome.json(names), status),
-    }
-}
-
-/// Renders the degraded form of a request whose deadline expired (or
-/// whose cancel token fired) **before** any state committed: the stream
-/// rolled the request back, so there is no outcome to render, but the
-/// client still gets the `status=3` / `abort_reason` contract rather
-/// than an opaque error.
-pub fn aborted_response(format: ReportFormat, reason: bagcons_core::AbortReason) -> String {
-    match format {
-        ReportFormat::Text => format!("status=3 unknown (aborted: {})", reason.describe()),
-        ReportFormat::Json => {
-            let mut j = Json::new();
-            j.begin_object();
-            j.field_u64("status", 3);
-            j.field_str("report", "update");
-            j.field_str("decision", "unknown");
-            j.field_str("abort_reason", reason.as_str());
-            j.end_object();
-            j.finish()
-        }
-    }
-}
-
-/// Renders a structured error response (`status` 2 — the usage/input
-/// error code). Never closes the connection by itself.
-pub fn error_response(format: ReportFormat, kind: &str, message: &str) -> String {
-    // Responses are line-framed: a multi-line message would desync the
-    // client, so flatten it.
-    let message = message.replace(['\n', '\r'], " ");
-    match format {
-        ReportFormat::Text => format!("err {kind}: {message}"),
-        ReportFormat::Json => {
-            let mut j = Json::new();
-            j.begin_object();
-            j.field_str("report", "error");
-            j.field_u64("status", 2);
-            j.field_str("kind", kind);
-            j.field_str("message", &message);
-            j.end_object();
-            j.finish()
-        }
-    }
-}
-
-/// Renders a non-decision success response (`ok <verb> k=v ...` in text;
-/// a `{"report":"ok","verb":...}` object in JSON, values as strings).
-pub fn ok_response(format: ReportFormat, verb: &str, fields: &[(&str, String)]) -> String {
-    match format {
-        ReportFormat::Text => {
-            let mut out = format!("ok {verb}");
-            for (k, v) in fields {
-                out.push(' ');
-                out.push_str(k);
-                out.push('=');
-                out.push_str(v);
-            }
-            out
-        }
-        ReportFormat::Json => {
-            let mut j = Json::new();
-            j.begin_object();
-            j.field_str("report", "ok");
-            j.field_str("verb", verb);
-            for (k, v) in fields {
-                j.field_str(k, v);
-            }
-            j.end_object();
-            j.finish()
-        }
     }
 }
 
@@ -265,6 +197,24 @@ mod tests {
         assert!(parse_command("load d").is_err());
         assert!(parse_command("save d").is_err());
         assert!(parse_command("save d a b").is_err());
+    }
+
+    #[test]
+    fn parses_bulk_payloads() {
+        assert_eq!(
+            parse_command("bulk 0 1 2 : +3").unwrap(),
+            Some(Command::Bulk(vec!["0 1 2 : +3".to_string()]))
+        );
+        assert_eq!(
+            parse_command("bulk 0 1 2 : +3; 1 2 3 : -1 ;0 4 5 : +2").unwrap(),
+            Some(Command::Bulk(vec![
+                "0 1 2 : +3".to_string(),
+                "1 2 3 : -1".to_string(),
+                "0 4 5 : +2".to_string(),
+            ]))
+        );
+        assert!(parse_command("bulk").is_err());
+        assert!(parse_command("bulk ; ;").is_err());
     }
 
     #[test]

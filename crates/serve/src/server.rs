@@ -55,10 +55,20 @@ pub struct ServeOptions {
     pub max_connections: usize,
     /// Allowlist root for client-supplied dataset paths (`load`/`save`):
     /// when set, paths are canonicalized and must fall under this
-    /// directory — violations answer `err usage:`. `None` (the default)
-    /// trusts paths as before, for operator-driven deployments.
+    /// directory — violations answer `err usage:` (filesystem failures
+    /// during the resolution answer `err io:` instead). `None` (the
+    /// default) trusts paths as before, for operator-driven deployments.
     /// Operator preloads ([`Server::preload`]) always bypass the check.
     pub data_dir: Option<PathBuf>,
+    /// Worker processes for the distributed pairwise screen (0 = all
+    /// local). When set, the daemon owns one [`bagcons_dist::WorkerPool`]
+    /// shared by every connection: `open`/`sync` screen the pair graph
+    /// across workers and import the warm flow columns into the
+    /// incremental stream.
+    pub workers: usize,
+    /// Worker binary for the pool (`None`: `BAGCONS_WORKER_BIN`, then
+    /// the current executable when it is the `bagcons` CLI).
+    pub worker_bin: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +82,8 @@ impl Default for ServeOptions {
             worker_budget: None,
             max_connections: 64,
             data_dir: None,
+            workers: 0,
+            worker_bin: None,
         }
     }
 }
@@ -152,9 +164,21 @@ struct Shared {
     /// One sharded scratch pool for every connection's session.
     scratch: Arc<ScratchPool>,
     budget: WorkerBudget,
+    /// Worker-process pool for the distributed pairwise screen
+    /// (`--workers N`); `None` keeps every solve in-process.
+    dist: Option<bagcons_dist::WorkerPool>,
     shutdown: AtomicBool,
     connections: AtomicUsize,
     opts: ServeOptions,
+}
+
+/// Typed path-authorization failure: a policy violation is a usage
+/// error; a filesystem failure during resolution is an I/O error — the
+/// two answer distinct `err` kinds so clients can tell a confinement
+/// refusal from a missing file.
+enum AuthError {
+    Usage(String),
+    Io(String),
 }
 
 impl Shared {
@@ -182,16 +206,27 @@ impl Shared {
     /// untouched. With one, relative paths resolve under it, the result
     /// is canonicalized (the parent, for write targets that do not exist
     /// yet), and anything escaping the root — `..` hops, absolute paths
-    /// elsewhere, symlinks out — is rejected with the message the `load`
-    /// and `save` handlers answer as `err usage:`.
-    fn authorize(&self, raw: &str, for_write: bool) -> Result<PathBuf, String> {
+    /// elsewhere, symlinks out — is rejected as [`AuthError::Usage`]
+    /// (`err usage:`), while filesystem failures along the way (a
+    /// missing file, an unreadable directory) are [`AuthError::Io`]
+    /// (`err io:`).
+    fn authorize(&self, raw: &str, for_write: bool) -> Result<PathBuf, AuthError> {
         let Some(root) = &self.opts.data_dir else {
             return Ok(PathBuf::from(raw));
         };
         let root = root
             .canonicalize()
-            .map_err(|e| format!("data dir {}: {e}", root.display()))?;
+            .map_err(|e| AuthError::Io(format!("data dir {}: {e}", root.display())))?;
         let raw_path = Path::new(raw);
+        // `..` hops are a confinement violation lexically — reject them
+        // before touching the filesystem, so an escape to a nonexistent
+        // path is still `usage`, not `io`.
+        if raw_path
+            .components()
+            .any(|c| matches!(c, std::path::Component::ParentDir))
+        {
+            return Err(AuthError::Usage(format!("{raw:?} escapes the data dir")));
+        }
         let joined = if raw_path.is_absolute() {
             raw_path.to_path_buf()
         } else {
@@ -203,41 +238,65 @@ impl Shared {
             let file_name = joined
                 .file_name()
                 .filter(|n| *n != ".." && *n != ".")
-                .ok_or_else(|| format!("{raw:?} is not a file path"))?
+                .ok_or_else(|| AuthError::Usage(format!("{raw:?} is not a file path")))?
                 .to_os_string();
             joined
                 .parent()
-                .ok_or_else(|| format!("{raw:?} is not a file path"))?
+                .ok_or_else(|| AuthError::Usage(format!("{raw:?} is not a file path")))?
                 .canonicalize()
-                .map_err(|e| format!("{raw:?}: {e}"))?
+                .map_err(|e| AuthError::Io(format!("{raw:?}: {e}")))?
                 .join(file_name)
         } else {
-            joined.canonicalize().map_err(|e| format!("{raw:?}: {e}"))?
+            joined
+                .canonicalize()
+                .map_err(|e| AuthError::Io(format!("{raw:?}: {e}")))?
         };
         if !real.starts_with(&root) {
-            return Err(format!("{raw:?} escapes the data dir"));
+            return Err(AuthError::Usage(format!("{raw:?} escapes the data dir")));
         }
         Ok(real)
+    }
+
+    /// Runs the distributed pairwise screen for a stream open, returning
+    /// the warm flow columns to resume from — or `None` when there is no
+    /// pool or the screen failed (the caller opens cold; degradation is
+    /// never an error).
+    fn warm_columns(&self, session: &Session, bags: &[Arc<Bag>]) -> Option<Vec<Option<Vec<u64>>>> {
+        let pool = self.dist.as_ref()?;
+        let refs: Vec<&Bag> = bags.iter().map(|b| b.as_ref()).collect();
+        match pool.warm_screen(session, &refs) {
+            Ok(out) => Some(out.warm),
+            Err(_) => None,
+        }
     }
 
     /// Loads dataset files through the shared loader — text bags parse
     /// and seal, snapshots decode directly (kind auto-detected by magic
     /// bytes; a snapshot file may carry several bags) — then registers
-    /// the lot as a dataset.
-    fn load_dataset(&self, name: &str, files: &[PathBuf]) -> Result<Arc<Dataset>, String> {
+    /// the lot as a dataset. The error carries the `err` kind to answer
+    /// with: filesystem failures are `io`, everything else `load`.
+    fn load_dataset(
+        &self,
+        name: &str,
+        files: &[PathBuf],
+    ) -> Result<Arc<Dataset>, (&'static str, String)> {
         let mut bags: Vec<Arc<Bag>> = Vec::with_capacity(files.len());
         {
             let mut loader = self.loader.lock().expect("loader lock poisoned");
             for path in files {
-                let loaded = loader
-                    .load_path(path)
-                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let loaded = loader.load_path(path).map_err(|e| {
+                    let kind = match &e {
+                        SessionError::Io(_) => "io",
+                        _ => "load",
+                    };
+                    (kind, format!("{}: {e}", path.display()))
+                })?;
                 bags.extend(loaded.into_iter().map(Arc::new));
             }
         }
         self.registry
             .insert(name, bags)
-            .map_err(|_| format!("dataset {name:?} already exists"))
+            .map_err(|_| ("load", format!("dataset {name:?} already exists")))
     }
 }
 
@@ -455,7 +514,8 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
             for file in &files {
                 match shared.authorize(file, false) {
                     Ok(p) => paths.push(p),
-                    Err(msg) => return err("usage", &msg),
+                    Err(AuthError::Usage(msg)) => return err("usage", &msg),
+                    Err(AuthError::Io(msg)) => return err("io", &msg),
                 }
             }
             match shared.load_dataset(&name, &paths) {
@@ -471,7 +531,7 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
                         ],
                     ))
                 }
-                Err(msg) => err("load", &msg),
+                Err((kind, msg)) => err(kind, &msg),
             }
         }
         Command::Save { name, file } => {
@@ -480,7 +540,8 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
             };
             let path = match shared.authorize(&file, true) {
                 Ok(p) => p,
-                Err(msg) => return err("usage", &msg),
+                Err(AuthError::Usage(msg)) => return err("usage", &msg),
+                Err(AuthError::Io(msg)) => return err("io", &msg),
             };
             let generation = dataset.current();
             let refs: Vec<&Bag> = generation.bags.iter().map(|b| b.as_ref()).collect();
@@ -499,6 +560,13 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
                         ("file", path.display().to_string()),
                     ],
                 )),
+                // A filesystem failure writing the snapshot is `err io:`
+                // (the path was authorized; the disk said no), distinct
+                // from `err save:` semantic failures.
+                Err(SessionError::Io(e)) => err("io", &e.to_string()),
+                Err(SessionError::Snap(bagcons_snap::SnapError::Io(e))) => {
+                    err("io", &e.to_string())
+                }
                 Err(e) => err("save", &e.to_string()),
             }
         }
@@ -521,7 +589,16 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
             };
             let generation = dataset.current();
             let _permit = shared.budget.acquire();
-            match conn.session.open_stream_shared(generation.bags.clone()) {
+            // With a worker pool, screen the pair graph across processes
+            // and open the stream from the warm flow columns; without
+            // one (or if the screen degrades), open cold.
+            let opened = match shared.warm_columns(&conn.session, &generation.bags) {
+                Some(warm) => conn
+                    .session
+                    .open_stream_resumed(generation.bags.clone(), &warm),
+                None => conn.session.open_stream_shared(generation.bags.clone()),
+            };
+            match opened {
                 Ok(stream) => {
                     let reply = protocol::ok_response(
                         fmt,
@@ -552,7 +629,13 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
             };
             let generation = open.dataset.current();
             let _permit = shared.budget.acquire();
-            match conn.session.open_stream_shared(generation.bags.clone()) {
+            let opened = match shared.warm_columns(&conn.session, &generation.bags) {
+                Some(warm) => conn
+                    .session
+                    .open_stream_resumed(generation.bags.clone(), &warm),
+                None => conn.session.open_stream_shared(generation.bags.clone()),
+            };
+            match opened {
                 Ok(stream) => {
                     open.parent_seq = generation.seq;
                     open.stream = stream;
@@ -645,26 +728,20 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
             let Some(open) = conn.open.as_mut() else {
                 return err("usage", "no open session (use `open <dataset>`)");
             };
-            let parsed = match bagcons_core::io::parse_delta_line(&raw, conn.requests) {
-                Ok(Some(parsed)) => parsed,
-                // parse_command only routes nonempty digit-led lines here
+            // One shared grammar with the `watch` CLI and the worker
+            // transport: parsing, the bag-index range check, and the
+            // DeltaSet assembly all live in `bagcons::protocol`.
+            let (index, set) = match bagcons::protocol::parse_delta_edit(
+                &raw,
+                conn.requests,
+                open.stream.bags(),
+            ) {
+                Ok(Some(edit)) => edit,
+                // parse_command only routes nonempty digit-led lines
+                // here
                 Ok(None) => return Action::Silent,
-                Err(e) => return err("protocol", &e.to_string()),
+                Err(msg) => return err("protocol", &msg),
             };
-            let (index, row, delta) = parsed;
-            let Some(bag) = open.stream.bags().get(index) else {
-                return err(
-                    "protocol",
-                    &format!(
-                        "bag index {index} out of range (0..{})",
-                        open.stream.bags().len()
-                    ),
-                );
-            };
-            let mut set = DeltaSet::new(bag.schema().clone());
-            if let Err(e) = set.bump(row, delta) {
-                return err("protocol", &e.to_string());
-            }
             if let Some(batch) = conn.batch.as_mut() {
                 if batch.len() >= MAX_BATCH {
                     return err(
@@ -677,6 +754,42 @@ fn handle_command(conn: &mut Conn, shared: &Shared, cmd: Command) -> Action {
             }
             let _permit = shared.budget.acquire();
             match open.stream.update(index, &set) {
+                Ok(out) => Action::Reply(protocol::decision_response(fmt, &out, &conn.names)),
+                Err(SessionError::Core(bagcons_core::CoreError::Aborted(reason))) => {
+                    Action::Reply(protocol::aborted_response(fmt, reason))
+                }
+                Err(e) => err("update", &e.to_string()),
+            }
+        }
+        Command::Bulk(deltas) => {
+            let Some(open) = conn.open.as_mut() else {
+                return err("usage", "no open session (use `open <dataset>`)");
+            };
+            if conn.batch.is_some() {
+                return err(
+                    "protocol",
+                    "bulk inside an open batch (finish it with `end`)",
+                );
+            }
+            if deltas.len() > MAX_BATCH {
+                return err("busy", &format!("bulk exceeds {MAX_BATCH} deltas"));
+            }
+            // All-or-nothing: every delta parses before any applies, so a
+            // malformed payload never half-commits.
+            let mut edits: Vec<(usize, DeltaSet)> = Vec::with_capacity(deltas.len());
+            for (offset, raw) in deltas.iter().enumerate() {
+                match bagcons::protocol::parse_delta_edit(
+                    raw,
+                    conn.requests + offset,
+                    open.stream.bags(),
+                ) {
+                    Ok(Some(edit)) => edits.push(edit),
+                    Ok(None) => {}
+                    Err(msg) => return err("protocol", &msg),
+                }
+            }
+            let _permit = shared.budget.acquire();
+            match open.stream.update_batch(&edits) {
                 Ok(out) => Action::Reply(protocol::decision_response(fmt, &out, &conn.names)),
                 Err(SessionError::Core(bagcons_core::CoreError::Aborted(reason))) => {
                     Action::Reply(protocol::aborted_response(fmt, reason))
@@ -844,6 +957,21 @@ impl Server {
             .build()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let scratch = Arc::new(ScratchPool::new());
+        let dist = if opts.workers > 0 {
+            let mut cluster = bagcons_dist::ClusterConfig::builder().workers(opts.workers);
+            if let Some(threads) = opts.threads {
+                cluster = cluster.threads(threads);
+            }
+            if let Some(bin) = &opts.worker_bin {
+                cluster = cluster.worker_bin(bin.clone());
+            }
+            if let Some(t) = opts.timeout {
+                cluster = cluster.worker_deadline(t);
+            }
+            Some(bagcons_dist::WorkerPool::new(cluster.build()))
+        } else {
+            None
+        };
         Ok(Server {
             listeners,
             tcp_addr,
@@ -853,6 +981,7 @@ impl Server {
                 loader: Mutex::new(loader),
                 scratch,
                 budget: WorkerBudget::new(worker_budget),
+                dist,
                 shutdown: AtomicBool::new(false),
                 connections: AtomicUsize::new(0),
                 opts,
@@ -878,7 +1007,10 @@ impl Server {
         // Operator paths: the `--data-dir` allowlist governs client
         // requests, not the process's own command line.
         let paths: Vec<PathBuf> = files.iter().map(PathBuf::from).collect();
-        let ds = self.shared.load_dataset(name, &paths)?;
+        let ds = self
+            .shared
+            .load_dataset(name, &paths)
+            .map_err(|(_, msg)| msg)?;
         Ok(ds.current().bags.len())
     }
 

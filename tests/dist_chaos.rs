@@ -1,0 +1,149 @@
+//! Chaos suite for worker-process death: a worker SIGKILLed, exiting
+//! nonzero, or panicking mid-solve must never change a decision or hang
+//! a check — the coordinator reaps the corpse and degrades its
+//! partition to local execution, yielding results bit-identical to an
+//! undisturbed run.
+//!
+//! The faults are real process deaths: `BAGCONS_DIST_FAULT=<action>:<n>`
+//! arms each spawned `bagcons worker` child to die (or panic) before
+//! solving its `n`-th assigned pair. No mocks, no fault-injection
+//! feature — the knob travels through the cluster config's worker
+//! environment and only exists in the children.
+
+use bagcons::prelude_session::*;
+use bagcons::report::{Render, ReportFormat};
+use bagcons_core::Bag;
+use bagcons_dist::ClusterConfig;
+use bagcons_gen::consistent::planted_family;
+use bagcons_gen::perturb::bump_one_tuple;
+use bagcons_hypergraph::path;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Replaces every `"micros":<digits>` with `"micros":0` so timing noise
+/// never breaks a bit-identical comparison.
+fn normalize_micros(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    const KEY: &str = "\"micros\":";
+    while let Some(pos) = rest.find(KEY) {
+        let (head, tail) = rest.split_at(pos + KEY.len());
+        out.push_str(head);
+        out.push('0');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+fn cluster(workers: usize, threads: usize, fault: Option<&str>) -> ClusterConfig {
+    let mut b = ClusterConfig::builder()
+        .workers(workers)
+        .threads(threads)
+        .worker_bin(env!("CARGO_BIN_EXE_bagcons"));
+    if let Some(spec) = fault {
+        b = b.env("BAGCONS_DIST_FAULT", spec);
+    }
+    b.build()
+}
+
+/// A consistent and an inconsistent acyclic family with enough
+/// overlapping pairs that every worker gets real work.
+fn fixtures() -> Vec<(&'static str, Vec<Bag>)> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let (good, _) = planted_family(&path(6), 3, 18, 5, &mut rng).unwrap();
+    let (mut bad, _) = planted_family(&path(6), 3, 18, 5, &mut rng).unwrap();
+    bump_one_tuple(&mut bad, &mut rng).unwrap().unwrap();
+    for b in &mut bad {
+        b.seal();
+    }
+    vec![("consistent", good), ("inconsistent", bad)]
+}
+
+/// Every flavor of worker death — SIGKILL (undetectable, surfaces as a
+/// closed pipe), clean nonzero exit, and a panic caught into an ERROR
+/// frame — at solver threads 1/2/4, yields decisions and reports
+/// bit-identical to the undisturbed workers=0 run, with the degradation
+/// visible in the stats.
+#[test]
+fn worker_death_degrades_to_local_bit_identically() {
+    let session = Session::builder().build().unwrap();
+    for (tag, bags) in fixtures() {
+        let refs: Vec<&Bag> = bags.iter().collect();
+        let baseline = bagcons_dist::check(&session, &refs, &cluster(0, 1, None)).unwrap();
+        let expected =
+            normalize_micros(&baseline.outcome.render(ReportFormat::Json, session.names()));
+
+        // `kill:0`/`exit:0` die before answering anything; `panic:1`
+        // answers one pair first, so the coordinator must keep the
+        // verdicts a worker streamed before its death.
+        for fault in ["kill:0", "exit:0", "panic:0", "panic:1"] {
+            for threads in [1usize, 2, 4] {
+                let cfg = cluster(2, threads, Some(fault));
+                let dist = bagcons_dist::check(&session, &refs, &cfg)
+                    .unwrap_or_else(|e| panic!("{tag} {fault} threads={threads}: {e}"));
+                assert_eq!(
+                    normalize_micros(&dist.outcome.render(ReportFormat::Json, session.names())),
+                    expected,
+                    "{tag} {fault} threads={threads}: report diverged"
+                );
+                assert_eq!(
+                    dist.outcome.decision, baseline.outcome.decision,
+                    "{tag} {fault} threads={threads}"
+                );
+                assert!(
+                    dist.stats.degraded_workers > 0,
+                    "{tag} {fault} threads={threads}: the fault must actually fire \
+                     (stats: {:?})",
+                    dist.stats
+                );
+                // Degraded pairs were re-solved locally; none were lost.
+                assert_eq!(
+                    dist.stats.pairs_remote + dist.stats.pairs_local,
+                    dist.stats.pairs_shipped,
+                    "{tag} {fault} threads={threads}: {:?}",
+                    dist.stats
+                );
+            }
+        }
+    }
+}
+
+/// A nonexistent worker binary degrades every partition to local
+/// execution — spawn failure is containment, not an error.
+#[test]
+fn spawn_failure_degrades_to_local() {
+    let session = Session::builder().build().unwrap();
+    let (_, bags) = &fixtures()[0];
+    let refs: Vec<&Bag> = bags.iter().collect();
+    let baseline = bagcons_dist::check(&session, &refs, &cluster(0, 1, None)).unwrap();
+    let cfg = ClusterConfig::builder()
+        .workers(2)
+        .worker_bin("/nonexistent/bagcons")
+        .build();
+    let dist = bagcons_dist::check(&session, &refs, &cfg).unwrap();
+    assert_eq!(dist.outcome.decision, baseline.outcome.decision);
+    assert!(dist.stats.spawn_failures > 0, "{:?}", dist.stats);
+    assert_eq!(dist.stats.pairs_remote, 0, "{:?}", dist.stats);
+}
+
+/// A worker wedged past its per-conversation deadline is killed and its
+/// partition degrades — a dead or sleeping worker can never hang a
+/// check. (`kill:0` workers answer nothing, so with a generous deadline
+/// this doubles as the no-hang guarantee under the default timeouts.)
+#[test]
+fn worker_deadline_never_hangs_the_check() {
+    let session = Session::builder().build().unwrap();
+    let (_, bags) = &fixtures()[0];
+    let refs: Vec<&Bag> = bags.iter().collect();
+    let cfg = ClusterConfig::builder()
+        .workers(2)
+        .worker_bin(env!("CARGO_BIN_EXE_bagcons"))
+        .worker_deadline(std::time::Duration::from_millis(200))
+        .env("BAGCONS_DIST_FAULT", "kill:0")
+        .build();
+    let baseline = bagcons_dist::check(&session, &refs, &cluster(0, 1, None)).unwrap();
+    let dist = bagcons_dist::check(&session, &refs, &cfg).unwrap();
+    assert_eq!(dist.outcome.decision, baseline.outcome.decision);
+    assert!(dist.stats.degraded_workers > 0, "{:?}", dist.stats);
+}

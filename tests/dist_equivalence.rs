@@ -1,0 +1,186 @@
+//! Acceptance for the distributed execution backend: decisions,
+//! witnesses, and JSON reports from coordinator/worker runs are
+//! **bit-identical** to local `Session` runs at every worker count —
+//! the session assembles the outcome from per-pair verdicts either way,
+//! so distribution must be observationally invisible.
+//!
+//! Worker processes are real `bagcons worker` children (the
+//! `CARGO_BIN_EXE_bagcons` build) over pipes; nothing here is mocked.
+
+use bagcons::prelude_session::*;
+use bagcons::report::{Render, ReportFormat};
+use bagcons_core::Bag;
+use bagcons_dist::ClusterConfig;
+use bagcons_gen::consistent::planted_family;
+use bagcons_gen::perturb::bump_one_tuple;
+use bagcons_hypergraph::{cycle, path, star, Hypergraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Worker counts under test; 0 is the all-local baseline through the
+/// same coordinator code path.
+const WORKERS: [usize; 4] = [0, 1, 2, 4];
+
+/// Replaces every `"micros":<digits>` with `"micros":0` so timing noise
+/// never breaks a bit-identical comparison.
+fn normalize_micros(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    const KEY: &str = "\"micros\":";
+    while let Some(pos) = rest.find(KEY) {
+        let (head, tail) = rest.split_at(pos + KEY.len());
+        out.push_str(head);
+        out.push('0');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// A cluster config pinned to the freshly built CLI binary (integration
+/// tests are their own executable, so auto-resolution must not be relied
+/// on here).
+fn cluster(workers: usize) -> ClusterConfig {
+    ClusterConfig::builder()
+        .workers(workers)
+        .worker_bin(env!("CARGO_BIN_EXE_bagcons"))
+        .build()
+}
+
+/// The fixture families: acyclic consistent/inconsistent, cyclic
+/// consistent/inconsistent, and a disjoint-schema totals mismatch.
+fn fixtures() -> Vec<(&'static str, Vec<Bag>)> {
+    let mut rng = StdRng::seed_from_u64(2021);
+    let mut out = Vec::new();
+
+    for (tag, h) in [
+        ("path5", path(5)),
+        ("star4", star(4)),
+        ("cycle3", cycle(3)),
+        ("cycle4", cycle(4)),
+    ] {
+        let (bags, _) = planted_family(&h, 3, 20, 6, &mut rng).unwrap();
+        out.push((tag, bags));
+    }
+
+    // Perturbed acyclic family: one bumped tuple breaks a marginal
+    // equality, so some pair refutes (Lemma 1).
+    let (mut bags, _) = planted_family(&path(5), 3, 20, 6, &mut rng).unwrap();
+    bump_one_tuple(&mut bags, &mut rng).unwrap().unwrap();
+    for b in &mut bags {
+        b.seal();
+    }
+    out.push(("path5-bumped", bags));
+
+    // Cyclic pairwise-consistent but globally inconsistent family: the
+    // screen passes everywhere and the local ILP must still refute.
+    let lifted = bagcons::lifting::pairwise_consistent_globally_inconsistent(&cycle(3))
+        .unwrap()
+        .expect("cycle(3) has a counterexample family");
+    out.push(("cycle3-lifted", lifted));
+
+    // Disjoint schemas with unequal totals: the totals-only pair path
+    // (never shipped to workers) must agree too.
+    let h = Hypergraph::from_edges([
+        bagcons_core::Schema::range(0, 2),
+        bagcons_core::Schema::range(5, 7),
+    ]);
+    let (mut bags, _) = planted_family(&h, 3, 10, 4, &mut rng).unwrap();
+    bump_one_tuple(&mut bags, &mut rng).unwrap().unwrap();
+    for b in &mut bags {
+        b.seal();
+    }
+    out.push(("disjoint-unequal", bags));
+
+    out
+}
+
+/// Decisions, full JSON reports, and witness chains are bit-identical
+/// across worker counts 0/1/2/4 on every fixture. The workers=0 run
+/// (every pair solved in-process) is the local baseline; plain
+/// [`Session::check`] is additionally the decision/witness oracle —
+/// with full-report equality on acyclic schemas, where `check` and the
+/// screen-dispatched pipeline are stage-for-stage the same. (On cyclic
+/// schemas `check_via` documents one intentional report difference: the
+/// pairwise screen runs before the ILP, so the stage list gains a
+/// `pairwise` entry and a refutation short-circuits at 0 search nodes.
+/// The decision is identical, and identical across every worker count.)
+#[test]
+fn distributed_check_matches_local_bitwise() {
+    let session = Session::builder().build().unwrap();
+    for (tag, bags) in fixtures() {
+        let refs: Vec<&Bag> = bags.iter().collect();
+        let oracle = session.check(&refs).unwrap();
+        let local = bagcons_dist::check(&session, &refs, &cluster(0)).unwrap();
+        assert_eq!(local.outcome.decision, oracle.decision, "{tag}: workers=0");
+        assert_eq!(
+            local.outcome.witness.is_some(),
+            oracle.witness.is_some(),
+            "{tag}: workers=0 witness presence"
+        );
+        if local.outcome.branch == Branch::Acyclic {
+            assert_eq!(
+                normalize_micros(&local.outcome.render(ReportFormat::Json, session.names())),
+                normalize_micros(&oracle.render(ReportFormat::Json, session.names())),
+                "{tag}: acyclic workers=0 run must match Session::check bitwise"
+            );
+        }
+        let local_json =
+            normalize_micros(&local.outcome.render(ReportFormat::Json, session.names()));
+        let local_text = local.outcome.render(ReportFormat::Text, session.names());
+
+        for workers in WORKERS {
+            let dist = bagcons_dist::check(&session, &refs, &cluster(workers)).unwrap();
+            assert_eq!(
+                normalize_micros(&dist.outcome.render(ReportFormat::Json, session.names())),
+                local_json,
+                "{tag}: JSON report diverged at workers={workers}"
+            );
+            assert_eq!(
+                dist.outcome.render(ReportFormat::Text, session.names()),
+                local_text,
+                "{tag}: text report diverged at workers={workers}"
+            );
+
+            // Placement accounting must reflect a healthy run.
+            assert_eq!(dist.stats.degraded_workers, 0, "{tag} workers={workers}");
+            assert_eq!(dist.stats.spawn_failures, 0, "{tag} workers={workers}");
+            if workers == 0 {
+                assert_eq!(dist.stats.pairs_remote, 0, "{tag}");
+            } else {
+                assert_eq!(
+                    dist.stats.pairs_remote, dist.stats.pairs_shipped,
+                    "{tag} workers={workers}: healthy runs answer every shipped pair remotely"
+                );
+            }
+        }
+    }
+}
+
+/// The warm flow columns a distributed check returns resume an
+/// incremental stream to the same decision the check reported.
+#[test]
+fn warm_columns_resume_a_stream() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (bags, _) = planted_family(&path(4), 3, 16, 5, &mut rng).unwrap();
+    let session = Session::builder().build().unwrap();
+    let refs: Vec<&Bag> = bags.iter().collect();
+    let dist = bagcons_dist::check(&session, &refs, &cluster(2)).unwrap();
+    assert_eq!(dist.outcome.decision, Decision::Consistent);
+
+    let shared: Vec<std::sync::Arc<Bag>> = bags.into_iter().map(std::sync::Arc::new).collect();
+    let stream = session
+        .open_stream_resumed(shared, &dist.warm)
+        .expect("resume from distributed columns");
+    assert_eq!(stream.decision(), dist.outcome.decision);
+}
+
+/// `Session::builder().workers(N)` threads the knob through
+/// [`ClusterConfig::from_session`] — the CLI's configuration path.
+#[test]
+fn cluster_config_mirrors_the_session() {
+    let session = Session::builder().workers(3).threads(2).build().unwrap();
+    let cfg = ClusterConfig::from_session(&session);
+    assert_eq!(cfg.workers(), 3);
+    assert_eq!(cfg.threads(), 2);
+}

@@ -445,8 +445,10 @@ fn load_and_list_datasets() {
     );
     let resp = c.request(&format!("load extra {}", files[0]));
     assert!(resp.starts_with("err load:"), "{resp}");
+    // A filesystem failure is the world's fault, not the caller's: it
+    // answers `err io:`, distinct from the `err load:` policy errors.
     let resp = c.request("load ghost /nonexistent/path.bag");
-    assert!(resp.starts_with("err load:"), "{resp}");
+    assert!(resp.starts_with("err io:"), "{resp}");
     assert!(c.request("open extra").starts_with("ok open "));
     let _ = std::fs::remove_dir_all(&dir);
     server.stop();
@@ -673,4 +675,66 @@ fn data_dir_allowlist_confines_load_and_save() {
     server.stop();
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&outside);
+}
+
+/// `bulk` applies a whole delta group in one framed line — one payload,
+/// one round trip, one decision — bit-identical to the incremental
+/// `batch`…`end` path over the same edits, with an all-or-nothing parse.
+#[test]
+fn bulk_is_one_round_trip_batch() {
+    let names = AttrNames::new();
+    let (_session, mut stream) = open_fixture(2);
+    let edits: Vec<(usize, DeltaSet)> = ["0 0 0 : 1", "1 0 7 : 1"]
+        .iter()
+        .map(|line| parse_edit(stream.bags(), line))
+        .collect();
+    let expected = decision_response(
+        ReportFormat::Text,
+        &stream.update_batch(&edits).expect("batch"),
+        &names,
+    );
+
+    let server = TestServer::start(Some(2));
+    let mut c = server.client();
+    // Needs an open session, like every decision-bearing verb.
+    assert!(c
+        .request("bulk 0 0 0 : 1; 1 0 7 : 1")
+        .starts_with("err usage:"));
+    assert!(c.request("open fixture").starts_with("ok open "));
+    assert_eq!(c.request("bulk 0 0 0 : 1; 1 0 7 : 1"), expected);
+
+    // All-or-nothing: a payload with one bad delta commits nothing —
+    // the follow-up empty batch still sees the post-bulk state only.
+    let resp = c.request("bulk 0 0 0 : 1; 9 0 0 : 1");
+    assert!(resp.starts_with("err protocol:"), "{resp}");
+    let resp = c.request("bulk 0 0 0 : bogus");
+    assert!(resp.starts_with("err protocol:"), "{resp}");
+
+    // Inside an open incremental batch the verb is refused: the two
+    // framings are aliases of the same operation, not nestable.
+    c.send("batch");
+    let resp = c.request("bulk 0 0 0 : 1");
+    assert!(resp.starts_with("err protocol:"), "{resp}");
+    let after_batch = c.request("end");
+    assert!(after_batch.starts_with("status="), "{after_batch}");
+
+    // The JSON rendering carries the same status contract.
+    assert!(c.request("format json").starts_with("{\"report\":\"ok\""));
+    let resp = c.request("bulk 0 0 0 : 1; 0 0 0 : -1");
+    assert!(resp.starts_with("{\"status\":"), "{resp}");
+    server.stop();
+}
+
+/// Filesystem failures during `save` answer `err io:` — distinct from
+/// `err usage:` (confinement/grammar) and `err save:` (unknown dataset).
+#[test]
+fn save_io_failures_answer_err_io() {
+    let server = TestServer::start(None);
+    let mut c = server.client();
+    let resp = c.request("save fixture /nonexistent/dir/out.snap");
+    assert!(resp.starts_with("err io:"), "{resp}");
+    // Unknown dataset remains a `save` policy error.
+    let resp = c.request("save ghost /tmp/out.snap");
+    assert!(resp.starts_with("err save:"), "{resp}");
+    server.stop();
 }
